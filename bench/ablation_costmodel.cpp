@@ -1,0 +1,81 @@
+// Cost-model ablation (ours) — DESIGN.md claims the paper's qualitative
+// results are protocol phenomena, not artifacts of the virtual-time
+// constants.  This bench re-runs a Figure-9-style point (128-node tree, 8
+// threads, 20% updates) across a range of shared-access costs and abort
+// penalties and reports each scheme's speedup over the standard lock.  The
+// orderings that matter (MCS: SCM/SLR >> retries ~ HLE ~ 1) should hold at
+// every setting; the absolute ratios shift.
+//
+// Flags: --seeds=N --duration-ms=F
+#include <cstdio>
+
+#include "harness/cli.h"
+#include "harness/rbtree_workload.h"
+#include "harness/table.h"
+
+using namespace sihle;
+using harness::Args;
+using harness::Table;
+using harness::WorkloadConfig;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const int seeds = static_cast<int>(args.get_int("seeds", 3));
+  const double duration_ms = args.get_double("duration-ms", 1.2);
+
+  struct Setting {
+    const char* name;
+    sim::Cycles access;
+    sim::Cycles abort_penalty;
+  };
+  const Setting settings[] = {
+      {"L1-hit accesses (12cyc), abort 170", 12, 170},
+      {"L2-ish accesses (25cyc), abort 170", 25, 170},
+      {"default: miss-dominated (40cyc), abort 170", 40, 170},
+      {"slow memory (70cyc), abort 170", 70, 170},
+      {"default accesses, cheap abort (60cyc)", 40, 60},
+      {"default accesses, dear abort (400cyc)", 40, 400},
+  };
+
+  std::printf(
+      "Cost-model ablation: 128-node tree, 8 threads, 20%% updates; each "
+      "cell = scheme speedup over the standard version of the lock\n\n");
+
+  for (locks::LockKind lock : {locks::LockKind::kTtas, locks::LockKind::kMcs}) {
+    Table table({"setting", "HLE", "HLE-retries", "HLE-SCM", "opt SLR", "SLR-SCM"});
+    for (const Setting& s : settings) {
+      WorkloadConfig cfg;
+      cfg.lock = lock;
+      cfg.tree_size = 128;
+      cfg.update_pct = 20;
+      cfg.costs.mem_access = s.access;
+      cfg.costs.tx_access = s.access;
+      cfg.costs.rmw = s.access + 20;
+      cfg.costs.tx_abort = s.abort_penalty;
+      cfg.duration = static_cast<sim::Cycles>(duration_ms * cfg.costs.cycles_per_ms);
+
+      cfg.scheme = elision::Scheme::kStandard;
+      const double base = harness::average_throughput(cfg, seeds);
+
+      std::vector<std::string> row{s.name};
+      for (elision::Scheme scheme :
+           {elision::Scheme::kHle, elision::Scheme::kHleRetries,
+            elision::Scheme::kHleScm, elision::Scheme::kOptSlr,
+            elision::Scheme::kSlrScm}) {
+        cfg.scheme = scheme;
+        row.push_back(Table::num(harness::average_throughput(cfg, seeds) / base));
+      }
+      table.row(std::move(row));
+    }
+    std::printf("%s lock:\n", locks::to_string(lock));
+    table.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected: the MCS ordering (SCM/SLR far above HLE~1) holds at every "
+      "setting.  The HLE-retries-vs-MCS collapse hinges on the critical "
+      "section outlasting the retry burn, so it weakens when accesses are "
+      "implausibly cheap (L1-hit row) — exactly the sensitivity DESIGN.md "
+      "documents.\n");
+  return 0;
+}

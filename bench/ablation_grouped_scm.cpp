@@ -1,0 +1,129 @@
+// Extension ablation — grouped conflict management (§6 Remark / §8 future
+// work).  Workload: G independent "hot" counter pairs behind ONE global
+// lock; each thread hammers its own pair, so conflicts only ever occur
+// within a pair.  Classic SCM funnels every aborted thread through a single
+// auxiliary lock, serializing across unrelated conflict groups; grouped SCM
+// hashes the abort's conflict line to one of G auxiliary locks and keeps
+// the groups independent.
+//
+// Flags: --threads=N --groups=G --ops=N --seeds=N
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "elision/scm_grouped.h"
+#include "harness/cli.h"
+#include "harness/table.h"
+#include "runtime/ctx.h"
+
+using namespace sihle;
+using harness::Args;
+using harness::Table;
+using runtime::Ctx;
+using runtime::LineHandle;
+using runtime::Machine;
+
+namespace {
+
+struct HotPair {
+  LineHandle la, lb;
+  mem::Shared<std::uint64_t> a, b;
+  explicit HotPair(Machine& m) : la(m), lb(m), a(la.line(), 0), b(lb.line(), 0) {}
+};
+
+// Mostly-read op over the pair; mutates with the given probability, so
+// conflicts arrive in sporadic bursts rather than continuously.
+sim::Task<void> pair_op(Ctx& c, HotPair& p, int write_pct) {
+  const std::uint64_t va = co_await c.load(p.a);
+  co_await c.work(150);
+  const std::uint64_t vb = co_await c.load(p.b);
+  (void)vb;
+  if (static_cast<int>(c.rng().below(100)) < write_pct) {
+    co_await c.store(p.a, va + 1);
+    co_await c.store(p.b, vb + 1);
+  }
+}
+
+enum class Mode { kScm, kGroupedScm };
+
+sim::Cycles run(Mode mode, int threads, int groups, int ops, int write_pct,
+                std::uint64_t seed, stats::OpStats* out) {
+  Machine::Config cfg;
+  cfg.seed = seed;
+  cfg.htm.spurious_abort_per_access = 1e-4;
+  Machine m(cfg);
+  locks::MCSLock main(m);
+  locks::MCSLock single_aux(m);
+  elision::GroupedAux grouped_aux(m, groups);
+  std::vector<std::unique_ptr<HotPair>> pairs;
+  for (int g = 0; g < groups; ++g) pairs.push_back(std::make_unique<HotPair>(m));
+
+  std::vector<stats::OpStats> st(threads);
+  for (int t = 0; t < threads; ++t) {
+    HotPair& mine = *pairs[t % groups];
+    m.spawn([&, t](Ctx& c) -> sim::Task<void> {
+      return [](Ctx& cc, Mode md, locks::MCSLock& mn, locks::MCSLock& sa,
+                elision::GroupedAux& ga, HotPair& p, int n, int wp,
+                stats::OpStats& s) -> sim::Task<void> {
+        for (int i = 0; i < n; ++i) {
+          if (md == Mode::kScm) {
+            co_await elision::run_scm(
+                cc, mn, sa, [&p, wp](Ctx& c2) { return pair_op(c2, p, wp); }, s,
+                elision::ScmFlavor::kHle);
+          } else {
+            co_await elision::run_scm_grouped(
+                cc, mn, ga, [&p, wp](Ctx& c2) { return pair_op(c2, p, wp); }, s,
+                elision::ScmFlavor::kHle);
+          }
+        }
+      }(c, mode, main, single_aux, grouped_aux, mine, ops, write_pct, st[t]);
+    });
+  }
+  m.run();
+  for (const auto& s : st) *out += s;
+  return m.exec().max_clock();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const int threads = static_cast<int>(args.get_int("threads", 8));
+  const int ops = static_cast<int>(args.get_int("ops", 1200));
+  const int seeds = static_cast<int>(args.get_int("seeds", 3));
+  const int write_pct = static_cast<int>(args.get_int("write-pct", 30));
+
+  std::printf(
+      "Grouped SCM ablation (paper's future-work extension): %d threads, "
+      "disjoint hot pairs, one global MCS lock\n\n",
+      threads);
+
+  Table table({"conflict groups", "SCM time", "grouped-SCM time", "speedup",
+               "SCM aux-entries", "grouped aux-entries"});
+  for (int groups : {1, 2, 4}) {
+    double scm_time = 0.0;
+    double grp_time = 0.0;
+    stats::OpStats scm_stats;
+    stats::OpStats grp_stats;
+    for (int s = 0; s < seeds; ++s) {
+      scm_time += static_cast<double>(
+          run(Mode::kScm, threads, groups, ops, write_pct, 1 + s, &scm_stats));
+      grp_time += static_cast<double>(
+          run(Mode::kGroupedScm, threads, groups, ops, write_pct, 1 + s, &grp_stats));
+    }
+    table.row({std::to_string(groups), Table::num(scm_time / seeds, 0),
+               Table::num(grp_time / seeds, 0), Table::num(scm_time / grp_time),
+               std::to_string(scm_stats.aux_acquisitions / seeds),
+               std::to_string(grp_stats.aux_acquisitions / seeds)});
+  }
+  table.print();
+  std::printf(
+      "\nExpected: with one conflict group the schemes tie by construction.  "
+      "With several independent groups and sporadic (mostly-read) conflicts, "
+      "grouped SCM avoids cross-group serialization on the single auxiliary "
+      "queue and wins modestly.  Under continuous conflicts the win "
+      "disappears: serializing everything is then near-optimal anyway, and "
+      "the finer groups just pay more serializing-path round trips — which "
+      "is presumably why the paper left the policy as future work.\n");
+  return 0;
+}

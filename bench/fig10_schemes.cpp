@@ -1,0 +1,78 @@
+// Figure 10 — "Speedup of the generic software lock-elision schemes
+// compared to Haswell HLE": for each contention mix and tree size, each
+// software scheme's throughput normalized to the plain-HLE version of the
+// same lock (1.0 = plain HLE).
+//
+// Flags: --sizes=... --threads=N --seeds=N --duration-ms=F
+#include <cstdio>
+
+#include "harness/cli.h"
+#include "harness/rbtree_workload.h"
+#include "harness/table.h"
+
+using namespace sihle;
+using harness::Args;
+using harness::Table;
+using harness::WorkloadConfig;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const int threads = static_cast<int>(args.get_int("threads", 8));
+  const int seeds = static_cast<int>(args.get_int("seeds", 3));
+  const double duration_ms = args.get_double("duration-ms", 1.2);
+
+  std::vector<std::size_t> sizes;
+  for (const auto& s : args.get_list("sizes", {})) sizes.push_back(std::stoul(s));
+  if (sizes.empty()) sizes = harness::paper_sizes();
+
+  const elision::Scheme schemes[] = {
+      elision::Scheme::kHleRetries, elision::Scheme::kHleScm,
+      elision::Scheme::kOptSlr, elision::Scheme::kSlrScm};
+
+  struct Mix {
+    const char* name;
+    int update_pct;
+  };
+  const Mix mixes[] = {{"Lookups-Only", 0},
+                       {"10% insertion 10% deletion 80% lookups", 20},
+                       {"50% insertion 50% deletion", 100}};
+
+  std::printf(
+      "Figure 10: software schemes normalized to the plain-HLE version of "
+      "the same lock (%d threads; 1.0 = plain HLE)\n\n",
+      threads);
+
+  for (locks::LockKind lock : {locks::LockKind::kTtas, locks::LockKind::kMcs}) {
+    for (const Mix& mix : mixes) {
+      Table table({"size", "HLE-retries", "HLE-SCM", "opt SLR", "SLR-SCM"});
+      for (std::size_t size : sizes) {
+        WorkloadConfig cfg;
+        cfg.threads = threads;
+        cfg.tree_size = size;
+        cfg.update_pct = mix.update_pct;
+        cfg.lock = lock;
+        cfg.duration =
+            static_cast<sim::Cycles>(duration_ms * cfg.costs.cycles_per_ms);
+        cfg.scheme = elision::Scheme::kHle;
+        const double hle = harness::average_throughput(cfg, seeds);
+
+        std::vector<std::string> row{harness::size_label(size)};
+        for (elision::Scheme scheme : schemes) {
+          cfg.scheme = scheme;
+          row.push_back(Table::num(harness::average_throughput(cfg, seeds) / hle));
+        }
+        table.row(std::move(row));
+      }
+      std::printf("%s lock — %s:\n", locks::to_string(lock), mix.name);
+      table.print();
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "Paper shape: TTAS lookups-only — no scheme improves on plain HLE.  "
+      "TTAS with updates — up to ~3.5x gains, HLE-SCM strongest on short "
+      "transactions.  MCS — 2-10x gains for SCM/SLR at every mix (spurious "
+      "aborts alone lemming plain HLE), while HLE-retries fails to help "
+      "under load.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 3 — "Serialization dynamics of HLE execution, 8 threads, size 64":
+// the run is divided into 1-simulated-millisecond slots; for each slot we
+// report throughput normalized to the whole-run average and the fraction of
+// operations that completed non-speculatively.
+//
+// Flags: --slots=N --threads=N --size=N --updates=PCT --seed=N
+#include <cstdio>
+
+#include "harness/cli.h"
+#include "harness/rbtree_workload.h"
+#include "harness/table.h"
+
+using namespace sihle;
+using harness::Args;
+using harness::Table;
+using harness::WorkloadConfig;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const int slots = static_cast<int>(args.get_int("slots", 40));
+  const int threads = static_cast<int>(args.get_int("threads", 8));
+  const std::size_t size = static_cast<std::size_t>(args.get_int("size", 64));
+  const int updates = static_cast<int>(args.get_int("updates", 20));
+
+  std::printf(
+      "Figure 3: HLE serialization dynamics over time (%d threads, tree size "
+      "%zu, %d%% updates, 1ms virtual slots)\n\n",
+      threads, size, updates);
+
+  for (const char* lock_name : {"mcs", "ttas"}) {
+    WorkloadConfig cfg;
+    cfg.threads = threads;
+    cfg.tree_size = size;
+    cfg.update_pct = updates;
+    cfg.scheme = elision::Scheme::kHle;
+    cfg.lock = harness::parse_lock(lock_name);
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
+    cfg.record_slices = true;
+    cfg.duration = static_cast<sim::Cycles>(slots) * cfg.costs.cycles_per_ms;
+
+    auto r = harness::run_rbtree_workload(cfg);
+    const auto& sl = *r.slices;
+    double mean_ops = 0.0;
+    std::size_t full_slots = std::min<std::size_t>(sl.slices(), slots);
+    for (std::size_t i = 0; i < full_slots; ++i) mean_ops += static_cast<double>(sl.ops_in(i));
+    mean_ops /= full_slots != 0 ? static_cast<double>(full_slots) : 1.0;
+
+    Table table({"t[ms]", "norm-throughput", "nonspec-frac", "bar"});
+    for (std::size_t i = 0; i < full_slots; ++i) {
+      const double norm =
+          mean_ops > 0 ? static_cast<double>(sl.ops_in(i)) / mean_ops : 0.0;
+      const double nonspec =
+          sl.ops_in(i) > 0
+              ? static_cast<double>(sl.nonspec_in(i)) / static_cast<double>(sl.ops_in(i))
+              : 0.0;
+      table.row({std::to_string(i), Table::num(norm), Table::num(nonspec, 3),
+                 std::string(static_cast<std::size_t>(norm * 20), '#')});
+    }
+    std::printf("HLE %s lock (whole-run nonspec fraction %.3f):\n",
+                locks::to_string(cfg.lock), r.stats.nonspec_fraction());
+    table.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper shape: with MCS every slot is ~100%% non-speculative (flat, "
+      "serialized).  With TTAS most slots are speculative, but serialization "
+      "bursts appear as slots with elevated nonspec fraction and throughput "
+      "dips of up to ~2.5x.\n");
+  return 0;
+}

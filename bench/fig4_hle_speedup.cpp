@@ -1,0 +1,73 @@
+// Figure 4 — "HLE speedup of 8 threads with different types of locks" under
+// three contention mixes (lookups-only / 20% updates / 100% updates).  Each
+// cell is HLE throughput normalized to the same lock's standard
+// (non-speculative) version.
+//
+// Flags: --sizes=... --threads=N --seeds=N --duration-ms=F
+#include <cstdio>
+
+#include "harness/cli.h"
+#include "harness/rbtree_workload.h"
+#include "harness/table.h"
+
+using namespace sihle;
+using harness::Args;
+using harness::Table;
+using harness::WorkloadConfig;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const int threads = static_cast<int>(args.get_int("threads", 8));
+  const int seeds = static_cast<int>(args.get_int("seeds", 3));
+  const double duration_ms = args.get_double("duration-ms", 1.2);
+
+  std::vector<std::size_t> sizes;
+  for (const auto& s : args.get_list("sizes", {})) sizes.push_back(std::stoul(s));
+  if (sizes.empty()) sizes = harness::paper_sizes();
+
+  struct Mix {
+    const char* name;
+    int update_pct;
+  };
+  const Mix mixes[] = {{"No contention (lookups only)", 0},
+                       {"Moderate contention (10% ins, 10% del, 80% lookups)", 20},
+                       {"Extensive contention (50% ins, 50% del)", 100}};
+
+  std::printf("Figure 4: HLE speedup over the standard version of each lock "
+              "(%d threads)\n\n", threads);
+
+  for (const Mix& mix : mixes) {
+    Table table({"size", "TTAS", "MCS"});
+    for (std::size_t size : sizes) {
+      std::vector<std::string> row{harness::size_label(size)};
+      for (locks::LockKind lock : {locks::LockKind::kTtas, locks::LockKind::kMcs}) {
+        WorkloadConfig cfg;
+        cfg.threads = threads;
+        cfg.tree_size = size;
+        cfg.update_pct = mix.update_pct;
+        cfg.lock = lock;
+        cfg.duration = static_cast<sim::Cycles>(duration_ms * cfg.costs.cycles_per_ms);
+        double hle = 0.0;
+        double base = 0.0;
+        for (int s = 0; s < seeds; ++s) {
+          cfg.seed = 1 + s;
+          cfg.scheme = elision::Scheme::kHle;
+          hle += harness::run_rbtree_workload(cfg).ops_per_mcycle;
+          cfg.scheme = elision::Scheme::kStandard;
+          base += harness::run_rbtree_workload(cfg).ops_per_mcycle;
+        }
+        row.push_back(Table::num(hle / base));
+      }
+      table.row(std::move(row));
+    }
+    std::printf("%s:\n", mix.name);
+    table.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper shape: MCS gains nothing from HLE at any size or mix (~1.0).  "
+      "TTAS gains grow with tree size; under no contention the gain is "
+      "large at every size, under heavier update mixes the small-tree gain "
+      "shrinks toward ~1.\n");
+  return 0;
+}

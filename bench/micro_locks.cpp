@@ -1,0 +1,106 @@
+// Google-benchmark micro-benchmarks of the lock implementations and
+// elision building blocks: wall-clock cost of simulated acquire/release
+// round trips, elided attempts, and the virtual-cycle price each lock pays
+// per handoff.  These track the harness's own performance.
+#include <benchmark/benchmark.h>
+
+#include "elision/schemes.h"
+#include "locks/locks.h"
+#include "runtime/ctx.h"
+
+namespace {
+
+using namespace sihle;
+using runtime::Ctx;
+using runtime::LineHandle;
+using runtime::Machine;
+
+template <class Lock>
+sim::Task<void> acquire_release_loop(Ctx& c, Lock& lock, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await lock.acquire(c);
+    co_await c.work(10);
+    co_await lock.release(c);
+  }
+}
+
+template <class Lock>
+void BM_UncontendedAcquireRelease(benchmark::State& state) {
+  std::uint64_t iters = 0;
+  for (auto _ : state) {
+    Machine m;
+    Lock lock(m);
+    m.spawn([&](Ctx& c) { return acquire_release_loop(c, lock, 2000); });
+    m.run();
+    iters += 2000;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(iters));
+}
+BENCHMARK(BM_UncontendedAcquireRelease<locks::TTASLock>)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_UncontendedAcquireRelease<locks::MCSLock>)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_UncontendedAcquireRelease<locks::TicketLock>)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_UncontendedAcquireRelease<locks::CLHLock>)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_UncontendedAcquireRelease<locks::ElidableTicketLock>)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_UncontendedAcquireRelease<locks::ElidableCLHLock>)
+    ->Unit(benchmark::kMillisecond);
+
+template <class Lock>
+void BM_ContendedHandoffs(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  std::uint64_t iters = 0;
+  for (auto _ : state) {
+    Machine m;
+    Lock lock(m);
+    for (int t = 0; t < threads; ++t) {
+      m.spawn([&](Ctx& c) { return acquire_release_loop(c, lock, 300); });
+    }
+    m.run();
+    iters += static_cast<std::uint64_t>(threads) * 300;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(iters));
+}
+BENCHMARK(BM_ContendedHandoffs<locks::TTASLock>)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ContendedHandoffs<locks::MCSLock>)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+struct Cell {
+  LineHandle line;
+  mem::Shared<std::uint64_t> v;
+  explicit Cell(Machine& m) : line(m), v(line.line(), 0) {}
+};
+
+template <class Lock>
+sim::Task<void> elided_loop(Ctx& c, Lock& lock, locks::MCSLock& aux, Cell& cell,
+                            int n, stats::OpStats& st) {
+  for (int i = 0; i < n; ++i) {
+    co_await elision::run_op(
+        elision::Scheme::kHle, c, lock, aux,
+        [&cell](Ctx& cc) -> sim::Task<void> {
+          return [](Ctx& c2, Cell& k) -> sim::Task<void> {
+            const std::uint64_t v = co_await c2.load(k.v);
+            co_await c2.store(k.v, v + 1);
+          }(cc, cell);
+        },
+        st);
+  }
+}
+
+template <class Lock>
+void BM_ElidedCriticalSection(benchmark::State& state) {
+  std::uint64_t iters = 0;
+  for (auto _ : state) {
+    Machine m;
+    Lock lock(m);
+    locks::MCSLock aux(m);
+    Cell cell(m);
+    stats::OpStats st;
+    m.spawn([&](Ctx& c) { return elided_loop(c, lock, aux, cell, 1500, st); });
+    m.run();
+    iters += 1500;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(iters));
+}
+BENCHMARK(BM_ElidedCriticalSection<locks::TTASLock>)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ElidedCriticalSection<locks::MCSLock>)->Unit(benchmark::kMillisecond);
+
+}  // namespace

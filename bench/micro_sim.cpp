@@ -1,0 +1,114 @@
+// Google-benchmark micro-benchmarks of the simulator engine itself:
+// wall-clock cost of simulation events, transactions, and contended runs.
+// These measure the harness, not the paper's claims — useful for spotting
+// regressions in the discrete-event core.
+#include <benchmark/benchmark.h>
+
+#include "ds/rbtree.h"
+#include "elision/schemes.h"
+#include "locks/locks.h"
+#include "runtime/ctx.h"
+
+namespace {
+
+using namespace sihle;
+using runtime::Ctx;
+using runtime::LineHandle;
+using runtime::Machine;
+
+struct Counter {
+  LineHandle line;
+  mem::Shared<std::uint64_t> value;
+  explicit Counter(Machine& m) : line(m), value(line.line(), 0) {}
+};
+
+sim::Task<void> load_loop(Ctx& c, Counter& cnt, std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t v = co_await c.load(cnt.value);
+    (void)v;
+  }
+}
+
+void BM_NonTxLoadEvent(benchmark::State& state) {
+  for (auto _ : state) {
+    Machine m;
+    Counter cnt(m);
+    m.spawn([&](Ctx& c) { return load_loop(c, cnt, 10000); });
+    m.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_NonTxLoadEvent)->Unit(benchmark::kMillisecond);
+
+sim::Task<void> tx_loop(Ctx& c, Counter& cnt, std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto s = co_await c.with_tx([&c, &cnt] {
+      return [](Ctx& cc, Counter& k) -> sim::Task<void> {
+        const std::uint64_t v = co_await cc.load(k.value);
+        co_await cc.store(k.value, v + 1);
+      }(c, cnt);
+    });
+    (void)s;
+  }
+}
+
+void BM_CommittedTransaction(benchmark::State& state) {
+  for (auto _ : state) {
+    Machine m;
+    Counter cnt(m);
+    m.spawn([&](Ctx& c) { return tx_loop(c, cnt, 5000); });
+    m.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_CommittedTransaction)->Unit(benchmark::kMillisecond);
+
+template <class Lock>
+sim::Task<void> contended_worker(Ctx& c, elision::Scheme s, Lock& lock,
+                                 locks::MCSLock& aux, ds::RBTree& tree, int ops,
+                                 stats::OpStats& st) {
+  for (int i = 0; i < ops; ++i) {
+    const std::int64_t key = static_cast<std::int64_t>(c.rng().below(256));
+    co_await elision::run_op(
+        s, c, lock, aux,
+        [&tree, key](Ctx& cc) -> sim::Task<void> {
+          return [](Ctx& c2, ds::RBTree& t, std::int64_t k) -> sim::Task<void> {
+            const bool r = co_await t.insert(c2, k);
+            if (!r) co_await t.erase(c2, k);
+          }(cc, tree, key);
+        },
+        st);
+  }
+}
+
+void BM_ContendedTreeRun(benchmark::State& state) {
+  const auto scheme = static_cast<elision::Scheme>(state.range(0));
+  std::uint64_t total_ops = 0;
+  for (auto _ : state) {
+    Machine::Config mc;
+    mc.htm.spurious_abort_per_access = 1e-4;
+    Machine m(mc);
+    locks::TTASLock lock(m);
+    locks::MCSLock aux(m);
+    ds::RBTree tree(m);
+    for (int k = 0; k < 256; k += 2) tree.debug_insert(k);
+    std::vector<stats::OpStats> st(8);
+    for (int t = 0; t < 8; ++t) {
+      m.spawn([&, t](Ctx& c) {
+        return contended_worker<locks::TTASLock>(c, scheme, lock, aux, tree, 500,
+                                                 st[t]);
+      });
+    }
+    m.run();
+    total_ops += 8 * 500;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total_ops));
+}
+BENCHMARK(BM_ContendedTreeRun)
+    ->Arg(static_cast<int>(elision::Scheme::kStandard))
+    ->Arg(static_cast<int>(elision::Scheme::kHle))
+    ->Arg(static_cast<int>(elision::Scheme::kHleScm))
+    ->Arg(static_cast<int>(elision::Scheme::kOptSlr))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

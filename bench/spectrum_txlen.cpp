@@ -1,0 +1,89 @@
+// Transaction-length spectrum (ours) — where does lock elision stop
+// helping?  The four data structures span the read-set spectrum at the same
+// element count: hash table (O(1) reads), skiplist and red-black tree
+// (O(log n)), sorted linked list (O(n)).  With the read-set capacity set to
+// an L2-like 1024 lines, the linked list's transactions cross the capacity
+// wall as the set grows and elision collapses to the lock, scheme
+// regardless — the regime the paper's techniques cannot (and do not claim
+// to) fix.
+//
+// Flags: --threads=N --updates=PCT --seeds=N --read-lines=N --duration-ms=F
+#include <cstdio>
+
+#include "harness/cli.h"
+#include "harness/rbtree_workload.h"
+#include "harness/table.h"
+
+using namespace sihle;
+using harness::Args;
+using harness::Table;
+using harness::WorkloadConfig;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const int threads = static_cast<int>(args.get_int("threads", 8));
+  const int updates = static_cast<int>(args.get_int("updates", 20));
+  const int seeds = static_cast<int>(args.get_int("seeds", 2));
+  const auto read_lines =
+      static_cast<std::uint32_t>(args.get_int("read-lines", 1024));
+  const double duration_ms = args.get_double("duration-ms", 1.0);
+
+  std::printf(
+      "Transaction-length spectrum: HLE-TTAS speedup over the standard lock "
+      "and capacity-abort share, per structure (%d threads, %d%% updates, "
+      "read-set capacity %u lines)\n\n",
+      threads, updates, read_lines);
+
+  const harness::DsKind kinds[] = {
+      harness::DsKind::kHashTable, harness::DsKind::kSkipList,
+      harness::DsKind::kRbTree, harness::DsKind::kLinkedList};
+
+  for (std::size_t size : {128, 512, 2048}) {
+    Table table({"structure", "HLE speedup", "nonspec-frac", "capacity-abort share",
+                 "HLE-SCM speedup"});
+    for (harness::DsKind ds : kinds) {
+      WorkloadConfig cfg;
+      cfg.ds = ds;
+      cfg.threads = threads;
+      cfg.tree_size = size;
+      cfg.update_pct = updates;
+      cfg.lock = locks::LockKind::kTtas;
+      cfg.max_read_lines = read_lines;
+      cfg.duration = static_cast<sim::Cycles>(duration_ms * cfg.costs.cycles_per_ms);
+
+      double hle = 0.0;
+      double scm = 0.0;
+      double base = 0.0;
+      stats::OpStats hle_stats;
+      for (int s = 0; s < seeds; ++s) {
+        cfg.seed = 1 + s;
+        cfg.scheme = elision::Scheme::kHle;
+        auto r = harness::run_rbtree_workload(cfg);
+        hle += r.ops_per_mcycle;
+        hle_stats += r.stats;
+        cfg.scheme = elision::Scheme::kHleScm;
+        scm += harness::run_rbtree_workload(cfg).ops_per_mcycle;
+        cfg.scheme = elision::Scheme::kStandard;
+        base += harness::run_rbtree_workload(cfg).ops_per_mcycle;
+      }
+      const double cap_share =
+          hle_stats.aborts == 0
+              ? 0.0
+              : static_cast<double>(hle_stats.abort_causes[static_cast<std::size_t>(
+                    htm::AbortCause::kCapacity)]) /
+                    static_cast<double>(hle_stats.aborts);
+      table.row({harness::to_string(ds), Table::num(hle / base),
+                 Table::num(hle_stats.nonspec_fraction(), 3),
+                 Table::num(cap_share, 3), Table::num(scm / base)});
+    }
+    std::printf("%zu elements:\n", size);
+    table.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected: short-transaction structures elide at full speed at every "
+      "size; the linked list degrades as traversals approach the read-set "
+      "capacity and collapses to ~1x once most operations overflow — no "
+      "software scheme recovers capacity-bound transactions.\n");
+  return 0;
+}

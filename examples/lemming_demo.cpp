@@ -1,0 +1,74 @@
+// Narrated demonstration of the lemming effect and its cure.
+//
+// Runs the same red-black-tree workload three times on an HLE-elided MCS
+// lock — plain HLE, HLE with Intel's retry recommendation, and HLE with the
+// paper's software-assisted conflict management — and prints a per-
+// millisecond timeline of how much of the execution was speculative.
+//
+// Run: ./build/examples/lemming_demo
+#include <cstdio>
+
+#include "harness/rbtree_workload.h"
+
+using namespace sihle;
+
+void run_and_narrate(elision::Scheme scheme, const char* story) {
+  harness::WorkloadConfig cfg;
+  cfg.scheme = scheme;
+  cfg.lock = locks::LockKind::kMcs;
+  cfg.tree_size = 128;
+  cfg.threads = 8;
+  cfg.update_pct = 20;
+  cfg.seed = 3;
+  cfg.record_slices = true;
+  cfg.slice_cycles = cfg.costs.cycles_per_ms / 4;  // 0.25 ms slices
+  cfg.duration = 16 * cfg.slice_cycles;
+
+  const auto r = harness::run_rbtree_workload(cfg);
+
+  std::printf("=== %s on an MCS lock ===\n%s\n\n", elision::to_string(scheme), story);
+  std::printf("  slot | ops | speculative share\n");
+  const auto& sl = *r.slices;
+  for (std::size_t i = 0; i < sl.slices(); ++i) {
+    const auto ops = sl.ops_in(i);
+    const double spec =
+        ops == 0 ? 0.0 : 1.0 - static_cast<double>(sl.nonspec_in(i)) / ops;
+    std::printf("  %4zu | %3llu | %5.1f%% |%s\n", i,
+                static_cast<unsigned long long>(ops), spec * 100.0,
+                std::string(static_cast<std::size_t>(spec * 40), '#').c_str());
+  }
+  std::printf("\n  whole run: %llu ops, %.1f%% speculative, %.2f attempts/op\n\n",
+              static_cast<unsigned long long>(r.stats.ops()),
+              (1.0 - r.stats.nonspec_fraction()) * 100.0,
+              r.stats.attempts_per_op());
+}
+
+int main() {
+  std::printf(
+      "The lemming effect (Afek, Levy & Morrison, PODC'14):\n"
+      "an aborted HLE transaction acquires the lock for real, which aborts\n"
+      "every other speculating thread; with a fair queue lock the queue\n"
+      "'remembers' the event and the whole system stays non-speculative\n"
+      "until a quiescent period that never comes.\n\n");
+
+  run_and_narrate(elision::Scheme::kHle,
+                  "Plain HLE: the first abort sends everyone into the MCS queue\n"
+                  "and speculation never recovers — throughput equals the plain\n"
+                  "lock despite the hardware's best intentions.");
+
+  run_and_narrate(elision::Scheme::kHleRetries,
+                  "Intel's recommendation (retry 10 times): retries burn out\n"
+                  "against the standing queue at 8 threads, so the lemming\n"
+                  "march continues.");
+
+  run_and_narrate(elision::Scheme::kHleScm,
+                  "Software-assisted conflict management: aborted threads\n"
+                  "serialize on an auxiliary lock and rejoin speculation; the\n"
+                  "main lock stays free and the timeline stays speculative.");
+
+  run_and_narrate(elision::Scheme::kOptSlr,
+                  "Software-assisted lock removal: transactions ignore the lock\n"
+                  "until commit, so a lock acquisition cannot chain-abort them\n"
+                  "(at the price of opacity).");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Interactive explorer for the red-black-tree benchmark: pick a scheme,
+// lock, tree size, thread count and update mix on the command line and get
+// the full statistics breakdown, including abort causes.
+//
+// Run: ./build/examples/rbtree_explorer --scheme=slr --lock=mcs --size=512 \
+//          --threads=8 --updates=20 --duration-ms=2 --seed=1
+// Add --trace=FILE to dump a per-transaction CSV timeline
+// (thread,begin,end,outcome) for offline analysis.
+#include <cstdio>
+
+#include "harness/cli.h"
+#include "harness/rbtree_workload.h"
+
+using namespace sihle;
+using harness::Args;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  harness::WorkloadConfig cfg;
+  cfg.scheme = harness::parse_scheme(args.get("scheme", "hle"));
+  cfg.lock = harness::parse_lock(args.get("lock", "ttas"));
+  cfg.tree_size = static_cast<std::size_t>(args.get_int("size", 128));
+  cfg.threads = static_cast<int>(args.get_int("threads", 8));
+  cfg.update_pct = static_cast<int>(args.get_int("updates", 20));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  cfg.spurious = args.get_double("spurious", harness::kDefaultSpurious);
+  cfg.persistent = args.get_double("persistent", harness::kDefaultPersistent);
+  const std::string ds_name = args.get("ds", "rbtree");
+  if (ds_name == "hashtable") {
+    cfg.ds = harness::DsKind::kHashTable;
+  } else if (ds_name == "linkedlist") {
+    cfg.ds = harness::DsKind::kLinkedList;
+  } else if (ds_name == "skiplist") {
+    cfg.ds = harness::DsKind::kSkipList;
+  } else {
+    cfg.ds = harness::DsKind::kRbTree;
+  }
+  cfg.duration = static_cast<sim::Cycles>(args.get_double("duration-ms", 1.5) *
+                                          cfg.costs.cycles_per_ms);
+  stats::TxTrace trace;
+  const std::string trace_path = args.get("trace", "");
+  if (!trace_path.empty()) cfg.trace = &trace;
+
+  const auto r = harness::run_rbtree_workload(cfg);
+
+  if (!trace_path.empty()) {
+    std::FILE* f = std::fopen(trace_path.c_str(), "w");
+    if (f != nullptr) {
+      trace.dump_csv(f);
+      std::fclose(f);
+      std::printf("wrote %zu transaction records to %s\n", trace.records().size(),
+                  trace_path.c_str());
+    }
+  }
+
+  std::printf("workload:   %s, %zu elements, %d threads, %d%% updates\n",
+              harness::to_string(cfg.ds), cfg.tree_size, cfg.threads,
+              cfg.update_pct);
+  std::printf("scheme:     %s on %s lock (seed %llu)\n",
+              elision::to_string(cfg.scheme), locks::to_string(cfg.lock),
+              static_cast<unsigned long long>(cfg.seed));
+  std::printf("\n");
+  std::printf("virtual time:        %llu cycles (%.3f simulated ms)\n",
+              static_cast<unsigned long long>(r.elapsed),
+              static_cast<double>(r.elapsed) / cfg.costs.cycles_per_ms);
+  std::printf("operations:          %llu (%.1f per 1K cycles)\n",
+              static_cast<unsigned long long>(r.stats.ops()),
+              r.ops_per_mcycle / 1000.0);
+  std::printf("speculative commits: %llu\n",
+              static_cast<unsigned long long>(r.stats.spec_commits));
+  std::printf("non-speculative:     %llu (fraction %.4f)\n",
+              static_cast<unsigned long long>(r.stats.nonspec),
+              r.stats.nonspec_fraction());
+  std::printf("aborted attempts:    %llu (%.3f attempts per op)\n",
+              static_cast<unsigned long long>(r.stats.aborts),
+              r.stats.attempts_per_op());
+  std::printf("arrived-lock-held:   %.4f of arrivals\n",
+              r.stats.arrival_lock_held_fraction());
+  std::printf("SCM aux entries:     %llu\n",
+              static_cast<unsigned long long>(r.stats.aux_acquisitions));
+  std::printf("abort causes:\n");
+  for (std::size_t i = 1; i < htm::kNumAbortCauses; ++i) {
+    if (r.stats.abort_causes[i] == 0) continue;
+    std::printf("  %-10s %llu\n",
+                std::string(htm::to_string(static_cast<htm::AbortCause>(i))).c_str(),
+                static_cast<unsigned long long>(r.stats.abort_causes[i]));
+  }
+  std::printf("\nstructure valid: %s, final size %zu\n", r.tree_valid ? "yes" : "NO",
+              r.final_size);
+  return r.tree_valid ? 0 : 1;
+}

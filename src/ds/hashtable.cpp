@@ -1,0 +1,107 @@
+#include "ds/hashtable.h"
+
+namespace sihle::ds {
+
+using runtime::Ctx;
+
+HashTable::~HashTable() {
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    Node* n = buckets_[b].debug_value();
+    while (n != nullptr) {
+      Node* next = n->next.debug_value();
+      delete n;
+      n = next;
+    }
+  }
+}
+
+sim::Task<bool> HashTable::contains(Ctx& c, Key key) {
+  Node* n = co_await c.load(buckets_[bucket_of(key)]);
+  while (n != nullptr) {
+    const Key k = co_await c.load(n->key);
+    if (k == key) co_return true;
+    n = co_await c.load(n->next);
+  }
+  co_return false;
+}
+
+sim::Task<bool> HashTable::insert(Ctx& c, Key key) {
+  mem::Shared<Node*>& head = buckets_[bucket_of(key)];
+  Node* first = co_await c.load(head);
+  for (Node* n = first; n != nullptr;) {
+    const Key k = co_await c.load(n->key);
+    if (k == key) co_return false;
+    n = co_await c.load(n->next);
+  }
+  Node* fresh = c.tx_new<Node>(m_, key);
+  fresh->next.set_raw(mem::Shared<Node*>::pack(first));  // private until linked
+  co_await c.store(head, fresh);
+  co_return true;
+}
+
+sim::Task<bool> HashTable::erase(Ctx& c, Key key) {
+  mem::Shared<Node*>& head = buckets_[bucket_of(key)];
+  Node* n = co_await c.load(head);
+  Node* prev = nullptr;
+  while (n != nullptr) {
+    const Key k = co_await c.load(n->key);
+    if (k == key) {
+      Node* next = co_await c.load(n->next);
+      if (prev == nullptr) {
+        co_await c.store(head, next);
+      } else {
+        co_await c.store(prev->next, next);
+      }
+      c.retire(n);
+      co_return true;
+    }
+    prev = n;
+    n = co_await c.load(n->next);
+  }
+  co_return false;
+}
+
+void HashTable::debug_insert(Key key) {
+  mem::Shared<Node*>& head = buckets_[bucket_of(key)];
+  for (Node* n = head.debug_value(); n != nullptr; n = n->next.debug_value()) {
+    if (n->key.debug_value() == key) return;
+  }
+  Node* fresh = new Node(m_, key);
+  fresh->next.set_raw(mem::Shared<Node*>::pack(head.debug_value()));
+  head.set_raw(mem::Shared<Node*>::pack(fresh));
+}
+
+bool HashTable::debug_contains(Key key) const {
+  const auto& head = buckets_[bucket_of(key)];
+  for (Node* n = head.debug_value(); n != nullptr; n = n->next.debug_value()) {
+    if (n->key.debug_value() == key) return true;
+  }
+  return false;
+}
+
+std::size_t HashTable::debug_size() const {
+  std::size_t count = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    for (Node* n = buckets_[b].debug_value(); n != nullptr; n = n->next.debug_value()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+bool HashTable::debug_validate() const {
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    std::vector<Key> seen;
+    for (Node* n = buckets_[b].debug_value(); n != nullptr; n = n->next.debug_value()) {
+      const Key k = n->key.debug_value();
+      if (bucket_of(k) != b) return false;
+      for (Key s : seen) {
+        if (s == k) return false;
+      }
+      seen.push_back(k);
+    }
+  }
+  return true;
+}
+
+}  // namespace sihle::ds

@@ -1,0 +1,58 @@
+// Chained hash table protected by a single global lock — the paper's second
+// data-structure benchmark (§7.1).  Hash-table transactions are always
+// short, "zooming in" on the short-transaction end of the red-black-tree
+// workload spectrum.
+//
+// Same conventions as RBTree: simulated operations are critical-section
+// bodies; debug_* operate directly for pre-fill and validation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/ctx.h"
+#include "runtime/shared_array.h"
+
+namespace sihle::ds {
+
+class HashTable {
+ public:
+  using Key = std::int64_t;
+
+  HashTable(runtime::Machine& m, std::size_t buckets)
+      : m_(m), buckets_(m, buckets, nullptr) {}
+  ~HashTable();
+
+  HashTable(const HashTable&) = delete;
+  HashTable& operator=(const HashTable&) = delete;
+
+  sim::Task<bool> contains(runtime::Ctx& c, Key key);
+  sim::Task<bool> insert(runtime::Ctx& c, Key key);
+  sim::Task<bool> erase(runtime::Ctx& c, Key key);
+
+  void debug_insert(Key key);
+  bool debug_contains(Key key) const;
+  std::size_t debug_size() const;
+  // Every chain's nodes hash to their bucket; no duplicate keys.
+  bool debug_validate() const;
+
+ private:
+  struct Node {
+    runtime::LineHandle line;
+    mem::Shared<Key> key;
+    mem::Shared<Node*> next;
+    Node(runtime::Machine& m, Key k)
+        : line(m), key(line.line(), k), next(line.line(), nullptr) {}
+  };
+
+  std::size_t bucket_of(Key key) const {
+    // Fibonacci hashing; buckets_.size() need not be a power of two.
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(key) * 0x9E3779B97F4A7C15ULL) % buckets_.size());
+  }
+
+  runtime::Machine& m_;
+  runtime::SharedArray<Node*> buckets_;
+};
+
+}  // namespace sihle::ds

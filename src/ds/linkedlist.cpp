@@ -1,0 +1,95 @@
+#include "ds/linkedlist.h"
+
+namespace sihle::ds {
+
+using runtime::Ctx;
+
+LinkedListSet::~LinkedListSet() {
+  Node* n = head_;
+  while (n != nullptr) {
+    Node* next = n->next.debug_value();
+    delete n;
+    n = next;
+  }
+}
+
+sim::Task<bool> LinkedListSet::contains(Ctx& c, Key key) {
+  Node* cur = co_await c.load(head_->next);
+  while (cur != nullptr) {
+    const Key k = co_await c.load(cur->key);
+    if (k == key) co_return true;
+    if (k > key) co_return false;
+    cur = co_await c.load(cur->next);
+  }
+  co_return false;
+}
+
+sim::Task<bool> LinkedListSet::insert(Ctx& c, Key key) {
+  Node* prev = head_;
+  Node* cur = co_await c.load(head_->next);
+  while (cur != nullptr) {
+    const Key k = co_await c.load(cur->key);
+    if (k == key) co_return false;
+    if (k > key) break;
+    prev = cur;
+    cur = co_await c.load(cur->next);
+  }
+  Node* fresh = c.tx_new<Node>(m_, key);
+  fresh->next.set_raw(mem::Shared<Node*>::pack(cur));  // private until linked
+  co_await c.store(prev->next, fresh);
+  co_return true;
+}
+
+sim::Task<bool> LinkedListSet::erase(Ctx& c, Key key) {
+  Node* prev = head_;
+  Node* cur = co_await c.load(head_->next);
+  while (cur != nullptr) {
+    const Key k = co_await c.load(cur->key);
+    if (k == key) {
+      Node* next = co_await c.load(cur->next);
+      co_await c.store(prev->next, next);
+      c.retire(cur);
+      co_return true;
+    }
+    if (k > key) co_return false;
+    prev = cur;
+    cur = co_await c.load(cur->next);
+  }
+  co_return false;
+}
+
+void LinkedListSet::debug_insert(Key key) {
+  Node* prev = head_;
+  Node* cur = head_->next.debug_value();
+  while (cur != nullptr && cur->key.debug_value() < key) {
+    prev = cur;
+    cur = cur->next.debug_value();
+  }
+  if (cur != nullptr && cur->key.debug_value() == key) return;
+  Node* fresh = new Node(m_, key);
+  fresh->next.set_raw(mem::Shared<Node*>::pack(cur));
+  prev->next.set_raw(mem::Shared<Node*>::pack(fresh));
+}
+
+std::size_t LinkedListSet::debug_size() const {
+  std::size_t n = 0;
+  for (Node* cur = head_->next.debug_value(); cur != nullptr;
+       cur = cur->next.debug_value()) {
+    ++n;
+  }
+  return n;
+}
+
+bool LinkedListSet::debug_validate() const {
+  if (head_->key.debug_value() != kMinKey) return false;
+  Key last = kMinKey;
+  for (Node* cur = head_->next.debug_value(); cur != nullptr;
+       cur = cur->next.debug_value()) {
+    const Key k = cur->key.debug_value();
+    if (k <= last) return false;
+    last = k;
+  }
+  return true;
+}
+
+}  // namespace sihle::ds

@@ -1,0 +1,50 @@
+// Sorted singly-linked list set under a single global lock.
+//
+// The classic elision stress case: every operation's read set grows
+// linearly with the list prefix it traverses, so transactions run into the
+// HTM's read-set capacity — the regime where lock elision stops helping no
+// matter the scheme.  Used by the transaction-length-spectrum bench.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/ctx.h"
+
+namespace sihle::ds {
+
+class LinkedListSet {
+ public:
+  using Key = std::int64_t;
+
+  explicit LinkedListSet(runtime::Machine& m)
+      : m_(m), head_(new Node(m, kMinKey)) {}
+  ~LinkedListSet();
+
+  LinkedListSet(const LinkedListSet&) = delete;
+  LinkedListSet& operator=(const LinkedListSet&) = delete;
+
+  sim::Task<bool> contains(runtime::Ctx& c, Key key);
+  sim::Task<bool> insert(runtime::Ctx& c, Key key);
+  sim::Task<bool> erase(runtime::Ctx& c, Key key);
+
+  void debug_insert(Key key);
+  std::size_t debug_size() const;
+  // Strictly sorted, sentinel intact.
+  bool debug_validate() const;
+
+ private:
+  static constexpr Key kMinKey = INT64_MIN;
+
+  struct Node {
+    runtime::LineHandle line;
+    mem::Shared<Key> key;
+    mem::Shared<Node*> next;
+    Node(runtime::Machine& m, Key k)
+        : line(m), key(line.line(), k), next(line.line(), nullptr) {}
+  };
+
+  runtime::Machine& m_;
+  Node* head_;  // sentinel
+};
+
+}  // namespace sihle::ds

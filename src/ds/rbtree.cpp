@@ -1,0 +1,553 @@
+#include "ds/rbtree.h"
+
+#include <cassert>
+
+namespace sihle::ds {
+
+using mem::Shared;
+
+namespace {
+
+// Inside a transaction, dereferencing an "impossible" null pointer models a
+// page fault, which on real TSX aborts the transaction rather than crashing
+// — this can only happen to a zombie transaction reading inconsistent state
+// under SLR.  Outside a transaction it is a genuine bug.
+void fault_if_tx(Ctx& c) {
+  if (c.in_tx()) {
+    throw htm::TxAbortException(
+        htm::AbortStatus{htm::AbortCause::kInterrupt, 0, /*retry=*/true});
+  }
+  assert(false && "null dereference outside a transaction");
+}
+
+}  // namespace
+
+RBTree::~RBTree() { debug_destroy(root_.debug_value()); }
+
+void RBTree::debug_destroy(Node* n) {
+  if (n == nullptr) return;
+  debug_destroy(n->left.debug_value());
+  debug_destroy(n->right.debug_value());
+  delete n;
+}
+
+// --- Simulated operations ---------------------------------------------------
+
+sim::Task<std::uint8_t> RBTree::color_of(Ctx& c, Node* n) {
+  if (n == nullptr) co_return kBlack;
+  const std::uint8_t col = co_await c.load(n->color);
+  co_return col;
+}
+
+sim::Task<bool> RBTree::contains(Ctx& c, Key key) {
+  Node* x = co_await c.load(root_);
+  while (x != nullptr) {
+    const Key k = co_await c.load(x->key);
+    if (key == k) co_return true;
+    if (key < k) {
+      x = co_await c.load(x->left);
+    } else {
+      x = co_await c.load(x->right);
+    }
+  }
+  co_return false;
+}
+
+sim::Task<void> RBTree::rotate_left(Ctx& c, Node* x) {
+  Node* y = co_await c.load(x->right);
+  if (y == nullptr) {
+    fault_if_tx(c);
+    co_return;
+  }
+  Node* b = co_await c.load(y->left);
+  co_await c.store(x->right, b);
+  if (b != nullptr) co_await c.store(b->parent, x);
+  Node* xp = co_await c.load(x->parent);
+  co_await c.store(y->parent, xp);
+  if (xp == nullptr) {
+    co_await c.store(root_, y);
+  } else {
+    Node* xpl = co_await c.load(xp->left);
+    if (xpl == x) {
+      co_await c.store(xp->left, y);
+    } else {
+      co_await c.store(xp->right, y);
+    }
+  }
+  co_await c.store(y->left, x);
+  co_await c.store(x->parent, y);
+}
+
+sim::Task<void> RBTree::rotate_right(Ctx& c, Node* x) {
+  Node* y = co_await c.load(x->left);
+  if (y == nullptr) {
+    fault_if_tx(c);
+    co_return;
+  }
+  Node* b = co_await c.load(y->right);
+  co_await c.store(x->left, b);
+  if (b != nullptr) co_await c.store(b->parent, x);
+  Node* xp = co_await c.load(x->parent);
+  co_await c.store(y->parent, xp);
+  if (xp == nullptr) {
+    co_await c.store(root_, y);
+  } else {
+    Node* xpl = co_await c.load(xp->left);
+    if (xpl == x) {
+      co_await c.store(xp->left, y);
+    } else {
+      co_await c.store(xp->right, y);
+    }
+  }
+  co_await c.store(y->right, x);
+  co_await c.store(x->parent, y);
+}
+
+sim::Task<bool> RBTree::insert(Ctx& c, Key key) {
+  Node* y = nullptr;
+  Key yk = 0;
+  Node* x = co_await c.load(root_);
+  while (x != nullptr) {
+    y = x;
+    yk = co_await c.load(x->key);
+    if (key == yk) co_return false;
+    if (key < yk) {
+      x = co_await c.load(x->left);
+    } else {
+      x = co_await c.load(x->right);
+    }
+  }
+  // A fresh node is private until linked; its constructor initializes the
+  // committed state directly.  tx_new undoes the allocation on abort.
+  Node* z = c.tx_new<Node>(m_, key);
+  co_await c.store(z->parent, y);
+  if (y == nullptr) {
+    co_await c.store(root_, z);
+  } else if (key < yk) {
+    co_await c.store(y->left, z);
+  } else {
+    co_await c.store(y->right, z);
+  }
+  co_await insert_fixup(c, z);
+  co_return true;
+}
+
+sim::Task<void> RBTree::insert_fixup(Ctx& c, Node* z) {
+  for (;;) {
+    Node* zp = co_await c.load(z->parent);
+    if (zp == nullptr) break;
+    const std::uint8_t zp_color = co_await c.load(zp->color);
+    if (zp_color != kRed) break;
+    Node* zpp = co_await c.load(zp->parent);
+    if (zpp == nullptr) {
+      // A red parent is never the root in a consistent tree.
+      fault_if_tx(c);
+      break;
+    }
+    Node* zppl = co_await c.load(zpp->left);
+    if (zp == zppl) {
+      Node* u = co_await c.load(zpp->right);  // uncle
+      const std::uint8_t u_color = co_await color_of(c, u);
+      if (u_color == kRed) {
+        co_await c.store(zp->color, std::uint8_t{kBlack});
+        co_await c.store(u->color, std::uint8_t{kBlack});
+        co_await c.store(zpp->color, std::uint8_t{kRed});
+        z = zpp;
+      } else {
+        Node* zpr = co_await c.load(zp->right);
+        if (z == zpr) {
+          z = zp;
+          co_await rotate_left(c, z);
+          zp = co_await c.load(z->parent);
+          if (zp == nullptr) {
+            fault_if_tx(c);
+            break;
+          }
+        }
+        co_await c.store(zp->color, std::uint8_t{kBlack});
+        co_await c.store(zpp->color, std::uint8_t{kRed});
+        co_await rotate_right(c, zpp);
+      }
+    } else {
+      Node* u = zppl;  // uncle
+      const std::uint8_t u_color = co_await color_of(c, u);
+      if (u_color == kRed) {
+        co_await c.store(zp->color, std::uint8_t{kBlack});
+        co_await c.store(u->color, std::uint8_t{kBlack});
+        co_await c.store(zpp->color, std::uint8_t{kRed});
+        z = zpp;
+      } else {
+        Node* zpl = co_await c.load(zp->left);
+        if (z == zpl) {
+          z = zp;
+          co_await rotate_right(c, z);
+          zp = co_await c.load(z->parent);
+          if (zp == nullptr) {
+            fault_if_tx(c);
+            break;
+          }
+        }
+        co_await c.store(zp->color, std::uint8_t{kBlack});
+        co_await c.store(zpp->color, std::uint8_t{kRed});
+        co_await rotate_left(c, zpp);
+      }
+    }
+  }
+  // HTM-friendliness: avoid the silent store of CLRS's unconditional
+  // root-blackening — a same-value store still dirties the line and would
+  // doom every concurrent transaction that read the root.
+  Node* r = co_await c.load(root_);
+  if (r != nullptr) {
+    const std::uint8_t rc = co_await c.load(r->color);
+    if (rc != kBlack) co_await c.store(r->color, std::uint8_t{kBlack});
+  }
+}
+
+// Replace subtree rooted at u with subtree rooted at v (v may be null).
+sim::Task<void> RBTree::transplant(Ctx& c, Node* u, Node* v) {
+  Node* up = co_await c.load(u->parent);
+  if (up == nullptr) {
+    co_await c.store(root_, v);
+  } else {
+    Node* upl = co_await c.load(up->left);
+    if (upl == u) {
+      co_await c.store(up->left, v);
+    } else {
+      co_await c.store(up->right, v);
+    }
+  }
+  if (v != nullptr) co_await c.store(v->parent, up);
+}
+
+sim::Task<bool> RBTree::erase(Ctx& c, Key key) {
+  // Locate the node.
+  Node* z = co_await c.load(root_);
+  while (z != nullptr) {
+    const Key k = co_await c.load(z->key);
+    if (key == k) break;
+    if (key < k) {
+      z = co_await c.load(z->left);
+    } else {
+      z = co_await c.load(z->right);
+    }
+  }
+  if (z == nullptr) co_return false;
+
+  Node* y = z;
+  std::uint8_t y_color = co_await c.load(y->color);
+  Node* x = nullptr;   // the child that replaces y (may be null)
+  Node* xp = nullptr;  // x's parent after the splice
+
+  Node* zl = co_await c.load(z->left);
+  Node* zr = co_await c.load(z->right);
+  if (zl == nullptr) {
+    x = zr;
+    xp = co_await c.load(z->parent);
+    co_await transplant(c, z, zr);
+  } else if (zr == nullptr) {
+    x = zl;
+    xp = co_await c.load(z->parent);
+    co_await transplant(c, z, zl);
+  } else {
+    // y = minimum of z's right subtree.
+    y = zr;
+    for (;;) {
+      Node* yl = co_await c.load(y->left);
+      if (yl == nullptr) break;
+      y = yl;
+    }
+    y_color = co_await c.load(y->color);
+    x = co_await c.load(y->right);
+    Node* y_parent = co_await c.load(y->parent);
+    if (y_parent == z) {
+      xp = y;
+    } else {
+      xp = y_parent;
+      co_await transplant(c, y, x);
+      co_await c.store(y->right, zr);
+      co_await c.store(zr->parent, y);
+    }
+    co_await transplant(c, z, y);
+    co_await c.store(y->left, zl);
+    co_await c.store(zl->parent, y);
+    const std::uint8_t z_color = co_await c.load(z->color);
+    co_await c.store(y->color, z_color);
+  }
+
+  c.retire(z);
+  if (y_color == kBlack) co_await erase_fixup(c, x, xp);
+  co_return true;
+}
+
+sim::Task<void> RBTree::erase_fixup(Ctx& c, Node* x, Node* xp) {
+  for (;;) {
+    if (xp == nullptr) break;  // x is the root
+    const std::uint8_t x_color = co_await color_of(c, x);
+    if (x_color != kBlack) break;
+    Node* xpl = co_await c.load(xp->left);
+    if (x == xpl) {
+      Node* w = co_await c.load(xp->right);
+      if (w == nullptr) {
+        fault_if_tx(c);
+        break;
+      }
+      std::uint8_t w_color = co_await c.load(w->color);
+      if (w_color == kRed) {
+        co_await c.store(w->color, std::uint8_t{kBlack});
+        co_await c.store(xp->color, std::uint8_t{kRed});
+        co_await rotate_left(c, xp);
+        w = co_await c.load(xp->right);
+        if (w == nullptr) {
+          fault_if_tx(c);
+          break;
+        }
+      }
+      Node* wl = co_await c.load(w->left);
+      Node* wr = co_await c.load(w->right);
+      const std::uint8_t wl_color = co_await color_of(c, wl);
+      std::uint8_t wr_color = co_await color_of(c, wr);
+      if (wl_color == kBlack && wr_color == kBlack) {
+        co_await c.store(w->color, std::uint8_t{kRed});
+        x = xp;
+        xp = co_await c.load(x->parent);
+      } else {
+        if (wr_color == kBlack) {
+          if (wl != nullptr) co_await c.store(wl->color, std::uint8_t{kBlack});
+          co_await c.store(w->color, std::uint8_t{kRed});
+          co_await rotate_right(c, w);
+          w = co_await c.load(xp->right);
+          if (w == nullptr) {
+            fault_if_tx(c);
+            break;
+          }
+          wr = co_await c.load(w->right);
+        }
+        const std::uint8_t xp_color = co_await c.load(xp->color);
+        co_await c.store(w->color, xp_color);
+        co_await c.store(xp->color, std::uint8_t{kBlack});
+        if (wr != nullptr) co_await c.store(wr->color, std::uint8_t{kBlack});
+        co_await rotate_left(c, xp);
+        break;
+      }
+    } else {
+      Node* w = xpl;
+      if (w == nullptr) {
+        fault_if_tx(c);
+        break;
+      }
+      std::uint8_t w_color = co_await c.load(w->color);
+      if (w_color == kRed) {
+        co_await c.store(w->color, std::uint8_t{kBlack});
+        co_await c.store(xp->color, std::uint8_t{kRed});
+        co_await rotate_right(c, xp);
+        w = co_await c.load(xp->left);
+        if (w == nullptr) {
+          fault_if_tx(c);
+          break;
+        }
+      }
+      Node* wl = co_await c.load(w->left);
+      Node* wr = co_await c.load(w->right);
+      std::uint8_t wl_color = co_await color_of(c, wl);
+      const std::uint8_t wr_color = co_await color_of(c, wr);
+      if (wl_color == kBlack && wr_color == kBlack) {
+        co_await c.store(w->color, std::uint8_t{kRed});
+        x = xp;
+        xp = co_await c.load(x->parent);
+      } else {
+        if (wl_color == kBlack) {
+          if (wr != nullptr) co_await c.store(wr->color, std::uint8_t{kBlack});
+          co_await c.store(w->color, std::uint8_t{kRed});
+          co_await rotate_left(c, w);
+          w = co_await c.load(xp->left);
+          if (w == nullptr) {
+            fault_if_tx(c);
+            break;
+          }
+          wl = co_await c.load(w->left);
+        }
+        const std::uint8_t xp_color = co_await c.load(xp->color);
+        co_await c.store(w->color, xp_color);
+        co_await c.store(xp->color, std::uint8_t{kBlack});
+        if (wl != nullptr) co_await c.store(wl->color, std::uint8_t{kBlack});
+        co_await rotate_right(c, xp);
+        break;
+      }
+    }
+  }
+  if (x != nullptr) {
+    const std::uint8_t xc = co_await c.load(x->color);
+    if (xc != kBlack) co_await c.store(x->color, std::uint8_t{kBlack});
+  }
+}
+
+// --- Direct (non-simulated) operations --------------------------------------
+
+void RBTree::debug_rotate_left(Node* x) {
+  Node* y = x->right.debug_value();
+  Node* b = y->left.debug_value();
+  x->right.set_raw(Shared<Node*>::pack(b));
+  if (b != nullptr) b->parent.set_raw(Shared<Node*>::pack(x));
+  Node* xp = x->parent.debug_value();
+  y->parent.set_raw(Shared<Node*>::pack(xp));
+  if (xp == nullptr) {
+    root_.set_raw(Shared<Node*>::pack(y));
+  } else if (xp->left.debug_value() == x) {
+    xp->left.set_raw(Shared<Node*>::pack(y));
+  } else {
+    xp->right.set_raw(Shared<Node*>::pack(y));
+  }
+  y->left.set_raw(Shared<Node*>::pack(x));
+  x->parent.set_raw(Shared<Node*>::pack(y));
+}
+
+void RBTree::debug_rotate_right(Node* x) {
+  Node* y = x->left.debug_value();
+  Node* b = y->right.debug_value();
+  x->left.set_raw(Shared<Node*>::pack(b));
+  if (b != nullptr) b->parent.set_raw(Shared<Node*>::pack(x));
+  Node* xp = x->parent.debug_value();
+  y->parent.set_raw(Shared<Node*>::pack(xp));
+  if (xp == nullptr) {
+    root_.set_raw(Shared<Node*>::pack(y));
+  } else if (xp->left.debug_value() == x) {
+    xp->left.set_raw(Shared<Node*>::pack(y));
+  } else {
+    xp->right.set_raw(Shared<Node*>::pack(y));
+  }
+  y->right.set_raw(Shared<Node*>::pack(x));
+  x->parent.set_raw(Shared<Node*>::pack(y));
+}
+
+void RBTree::debug_insert(Key key) {
+  Node* y = nullptr;
+  Node* x = root_.debug_value();
+  while (x != nullptr) {
+    y = x;
+    const Key k = x->key.debug_value();
+    if (key == k) return;
+    x = key < k ? x->left.debug_value() : x->right.debug_value();
+  }
+  Node* z = new Node(m_, key);
+  z->parent.set_raw(Shared<Node*>::pack(y));
+  if (y == nullptr) {
+    root_.set_raw(Shared<Node*>::pack(z));
+  } else if (key < y->key.debug_value()) {
+    y->left.set_raw(Shared<Node*>::pack(z));
+  } else {
+    y->right.set_raw(Shared<Node*>::pack(z));
+  }
+  debug_insert_fixup(z);
+}
+
+void RBTree::debug_insert_fixup(Node* z) {
+  for (;;) {
+    Node* zp = z->parent.debug_value();
+    if (zp == nullptr || zp->color.debug_value() != kRed) break;
+    Node* zpp = zp->parent.debug_value();
+    if (zp == zpp->left.debug_value()) {
+      Node* u = zpp->right.debug_value();
+      if (debug_color(u) == kRed) {
+        zp->color.set_raw(kBlack);
+        u->color.set_raw(kBlack);
+        zpp->color.set_raw(kRed);
+        z = zpp;
+      } else {
+        if (z == zp->right.debug_value()) {
+          z = zp;
+          debug_rotate_left(z);
+          zp = z->parent.debug_value();
+        }
+        zp->color.set_raw(kBlack);
+        zpp->color.set_raw(kRed);
+        debug_rotate_right(zpp);
+      }
+    } else {
+      Node* u = zpp->left.debug_value();
+      if (debug_color(u) == kRed) {
+        zp->color.set_raw(kBlack);
+        u->color.set_raw(kBlack);
+        zpp->color.set_raw(kRed);
+        z = zpp;
+      } else {
+        if (z == zp->left.debug_value()) {
+          z = zp;
+          debug_rotate_right(z);
+          zp = z->parent.debug_value();
+        }
+        zp->color.set_raw(kBlack);
+        zpp->color.set_raw(kRed);
+        debug_rotate_left(zpp);
+      }
+    }
+  }
+  root_.debug_value()->color.set_raw(kBlack);
+}
+
+bool RBTree::debug_contains(Key key) const {
+  const Node* x = root_.debug_value();
+  while (x != nullptr) {
+    const Key k = x->key.debug_value();
+    if (key == k) return true;
+    x = key < k ? x->left.debug_value() : x->right.debug_value();
+  }
+  return false;
+}
+
+std::vector<RBTree::Key> RBTree::debug_keys() const {
+  std::vector<Key> out;
+  // Iterative in-order traversal using parent pointers.
+  const Node* n = root_.debug_value();
+  if (n == nullptr) return out;
+  while (n->left.debug_value() != nullptr) n = n->left.debug_value();
+  while (n != nullptr) {
+    out.push_back(n->key.debug_value());
+    if (n->right.debug_value() != nullptr) {
+      n = n->right.debug_value();
+      while (n->left.debug_value() != nullptr) n = n->left.debug_value();
+    } else {
+      const Node* p = n->parent.debug_value();
+      while (p != nullptr && n == p->right.debug_value()) {
+        n = p;
+        p = p->parent.debug_value();
+      }
+      n = p;
+    }
+  }
+  return out;
+}
+
+std::size_t RBTree::debug_size() const { return debug_keys().size(); }
+
+bool RBTree::debug_check(const Node* n, const Node* parent, Key lo, bool has_lo,
+                         Key hi, bool has_hi, int* bh) const {
+  if (n == nullptr) {
+    *bh = 1;
+    return true;
+  }
+  if (n->parent.debug_value() != parent) return false;
+  const Key k = n->key.debug_value();
+  if ((has_lo && k <= lo) || (has_hi && k >= hi)) return false;
+  const std::uint8_t col = n->color.debug_value();
+  const Node* l = n->left.debug_value();
+  const Node* r = n->right.debug_value();
+  if (col == kRed && (debug_color(l) == kRed || debug_color(r) == kRed)) return false;
+  int lbh = 0;
+  int rbh = 0;
+  if (!debug_check(l, n, lo, has_lo, k, true, &lbh)) return false;
+  if (!debug_check(r, n, k, true, hi, has_hi, &rbh)) return false;
+  if (lbh != rbh) return false;
+  *bh = lbh + (col == kBlack ? 1 : 0);
+  return true;
+}
+
+bool RBTree::debug_validate(int* black_height) const {
+  const Node* r = root_.debug_value();
+  if (r != nullptr && r->color.debug_value() != kBlack) return false;
+  int bh = 0;
+  const bool ok = debug_check(r, nullptr, 0, false, 0, false, &bh);
+  if (ok && black_height != nullptr) *black_height = bh;
+  return ok;
+}
+
+}  // namespace sihle::ds

@@ -1,0 +1,100 @@
+// Red-black tree protected by a single global lock — the paper's primary
+// data-structure benchmark (§4, §7.1).
+//
+// Every shared access in insert/erase/contains goes through the simulator
+// (Ctx), so operations are usable as critical-section bodies under any
+// elision scheme.  Each node occupies one cache line.  Nodes removed by
+// erase() are retired through the deferred-reclamation machinery so that
+// zombie transactions (possible under SLR) never touch freed memory.
+//
+// debug_* methods operate directly on committed values without simulating
+// accesses: they are for pre-filling trees before a timed run and for
+// validating invariants afterwards, never for workload code.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/ctx.h"
+
+namespace sihle::ds {
+
+using runtime::Ctx;
+using runtime::LineHandle;
+using runtime::Machine;
+
+class RBTree {
+ public:
+  using Key = std::int64_t;
+
+  explicit RBTree(Machine& m)
+      : m_(m), root_line_(m), root_(root_line_.line(), nullptr) {}
+  ~RBTree();
+
+  RBTree(const RBTree&) = delete;
+  RBTree& operator=(const RBTree&) = delete;
+
+  // --- Simulated operations (critical-section bodies) ----------------------
+
+  sim::Task<bool> contains(Ctx& c, Key key);
+  // Returns false if the key was already present.
+  sim::Task<bool> insert(Ctx& c, Key key);
+  // Returns false if the key was absent.
+  sim::Task<bool> erase(Ctx& c, Key key);
+
+  // --- Direct (non-simulated) operations -----------------------------------
+
+  void debug_insert(Key key);
+  bool debug_contains(Key key) const;
+  std::size_t debug_size() const;
+  // In-order key sequence.
+  std::vector<Key> debug_keys() const;
+  // Checks the red-black invariants: root black, no red-red edge, equal
+  // black height on every path, BST ordering, parent links consistent.
+  // Returns true and sets *black_height if valid.
+  bool debug_validate(int* black_height = nullptr) const;
+
+ private:
+  enum Color : std::uint8_t { kRed = 0, kBlack = 1 };
+
+  struct Node {
+    LineHandle line;
+    mem::Shared<Key> key;
+    mem::Shared<std::uint8_t> color;
+    mem::Shared<Node*> left;
+    mem::Shared<Node*> right;
+    mem::Shared<Node*> parent;
+    Node(Machine& m, Key k)
+        : line(m),
+          key(line.line(), k),
+          color(line.line(), kRed),
+          left(line.line(), nullptr),
+          right(line.line(), nullptr),
+          parent(line.line(), nullptr) {}
+  };
+
+  // Simulated helpers.
+  sim::Task<void> rotate_left(Ctx& c, Node* x);
+  sim::Task<void> rotate_right(Ctx& c, Node* x);
+  sim::Task<void> insert_fixup(Ctx& c, Node* z);
+  sim::Task<void> erase_fixup(Ctx& c, Node* x, Node* xp);
+  sim::Task<void> transplant(Ctx& c, Node* u, Node* v);
+  sim::Task<std::uint8_t> color_of(Ctx& c, Node* n);  // null nodes are black
+
+  // Direct helpers.
+  void debug_rotate_left(Node* x);
+  void debug_rotate_right(Node* x);
+  void debug_insert_fixup(Node* z);
+  static std::uint8_t debug_color(const Node* n) {
+    return n == nullptr ? kBlack : n->color.debug_value();
+  }
+  void debug_destroy(Node* n);
+  bool debug_check(const Node* n, const Node* parent, Key lo, bool has_lo, Key hi,
+                   bool has_hi, int* bh) const;
+
+  Machine& m_;
+  LineHandle root_line_;
+  mem::Shared<Node*> root_;
+};
+
+}  // namespace sihle::ds

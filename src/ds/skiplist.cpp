@@ -1,0 +1,140 @@
+#include "ds/skiplist.h"
+
+#include <vector>
+
+namespace sihle::ds {
+
+using runtime::Ctx;
+
+SkipList::~SkipList() {
+  Node* n = head_;
+  while (n != nullptr) {
+    Node* next = n->next[0]->debug_value();
+    delete n;
+    n = next;
+  }
+}
+
+sim::Task<bool> SkipList::contains(Ctx& c, Key key) {
+  Node* cur = head_;
+  for (int l = kMaxLevel - 1; l >= 0; --l) {
+    for (;;) {
+      Node* nxt = co_await c.load(*cur->next[l]);
+      if (nxt == nullptr) break;
+      const Key k = co_await c.load(nxt->key);
+      if (k == key) co_return true;
+      if (k > key) break;
+      cur = nxt;
+    }
+  }
+  co_return false;
+}
+
+sim::Task<bool> SkipList::insert(Ctx& c, Key key) {
+  std::array<Node*, kMaxLevel> preds;
+  Node* cur = head_;
+  for (int l = kMaxLevel - 1; l >= 0; --l) {
+    for (;;) {
+      Node* nxt = co_await c.load(*cur->next[l]);
+      if (nxt == nullptr) break;
+      const Key k = co_await c.load(nxt->key);
+      if (k == key) co_return false;
+      if (k > key) break;
+      cur = nxt;
+    }
+    preds[static_cast<std::size_t>(l)] = cur;
+  }
+  const int level = level_of(key);
+  Node* fresh = c.tx_new<Node>(m_, key);
+  for (int l = 0; l < level; ++l) {
+    Node* succ = co_await c.load(*preds[static_cast<std::size_t>(l)]->next[l]);
+    fresh->next[l]->set_raw(mem::Shared<Node*>::pack(succ));  // private
+    co_await c.store(*preds[static_cast<std::size_t>(l)]->next[l], fresh);
+  }
+  co_return true;
+}
+
+sim::Task<bool> SkipList::erase(Ctx& c, Key key) {
+  std::array<Node*, kMaxLevel> preds;
+  Node* cur = head_;
+  Node* victim = nullptr;
+  for (int l = kMaxLevel - 1; l >= 0; --l) {
+    for (;;) {
+      Node* nxt = co_await c.load(*cur->next[l]);
+      if (nxt == nullptr) break;
+      const Key k = co_await c.load(nxt->key);
+      if (k >= key) {
+        if (k == key) victim = nxt;
+        break;
+      }
+      cur = nxt;
+    }
+    preds[static_cast<std::size_t>(l)] = cur;
+  }
+  if (victim == nullptr) co_return false;
+  for (int l = 0; l < kMaxLevel; ++l) {
+    Node* nxt = co_await c.load(*preds[static_cast<std::size_t>(l)]->next[l]);
+    if (nxt == victim) {
+      Node* after = co_await c.load(*victim->next[l]);
+      co_await c.store(*preds[static_cast<std::size_t>(l)]->next[l], after);
+    }
+  }
+  c.retire(victim);
+  co_return true;
+}
+
+void SkipList::debug_insert(Key key) {
+  std::array<Node*, kMaxLevel> preds;
+  Node* cur = head_;
+  for (int l = kMaxLevel - 1; l >= 0; --l) {
+    for (;;) {
+      Node* nxt = cur->next[l]->debug_value();
+      if (nxt == nullptr || nxt->key.debug_value() > key) break;
+      if (nxt->key.debug_value() == key) return;
+      cur = nxt;
+    }
+    preds[static_cast<std::size_t>(l)] = cur;
+  }
+  const int level = level_of(key);
+  Node* fresh = new Node(m_, key);
+  for (int l = 0; l < level; ++l) {
+    fresh->next[l]->set_raw(preds[static_cast<std::size_t>(l)]->next[l]->raw());
+    preds[static_cast<std::size_t>(l)]->next[l]->set_raw(
+        mem::Shared<Node*>::pack(fresh));
+  }
+}
+
+std::size_t SkipList::debug_size() const {
+  std::size_t n = 0;
+  for (Node* cur = head_->next[0]->debug_value(); cur != nullptr;
+       cur = cur->next[0]->debug_value()) {
+    ++n;
+  }
+  return n;
+}
+
+bool SkipList::debug_validate() const {
+  // Level 0: strictly sorted.
+  std::vector<const Node*> level0;
+  Key last = kMinKey;
+  for (Node* cur = head_->next[0]->debug_value(); cur != nullptr;
+       cur = cur->next[0]->debug_value()) {
+    const Key k = cur->key.debug_value();
+    if (k <= last) return false;
+    last = k;
+    level0.push_back(cur);
+  }
+  // Upper levels: sorted sublists of level 0, consistent with level_of.
+  for (int l = 1; l < kMaxLevel; ++l) {
+    std::size_t idx = 0;
+    for (Node* cur = head_->next[l]->debug_value(); cur != nullptr;
+         cur = cur->next[l]->debug_value()) {
+      if (level_of(cur->key.debug_value()) <= l) return false;
+      while (idx < level0.size() && level0[idx] != cur) ++idx;
+      if (idx == level0.size()) return false;  // not reachable at level 0
+    }
+  }
+  return true;
+}
+
+}  // namespace sihle::ds

@@ -1,0 +1,72 @@
+// Skiplist set under a single global lock.
+//
+// Logarithmic traversals like the red-black tree, but with a different
+// conflict signature: writes touch only the new/removed node and its
+// predecessors' forward pointers (no rebalancing cascades), and the tall
+// "express lane" nodes are read by almost every operation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "runtime/ctx.h"
+
+namespace sihle::ds {
+
+class SkipList {
+ public:
+  using Key = std::int64_t;
+  static constexpr int kMaxLevel = 8;
+
+  explicit SkipList(runtime::Machine& m) : m_(m), head_(new Node(m, kMinKey)) {}
+  ~SkipList();
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  sim::Task<bool> contains(runtime::Ctx& c, Key key);
+  sim::Task<bool> insert(runtime::Ctx& c, Key key);
+  sim::Task<bool> erase(runtime::Ctx& c, Key key);
+
+  void debug_insert(Key key);
+  std::size_t debug_size() const;
+  // Sorted at every level; every node reachable at level 0; each node's
+  // higher-level successors consistent with level 0.
+  bool debug_validate() const;
+
+ private:
+  static constexpr Key kMinKey = INT64_MIN;
+
+  struct Node {
+    // key + 8 forward pointers: 72 bytes, two cache lines (like a real
+    // skiplist node with a forward array).
+    runtime::LineHandle line_a;
+    runtime::LineHandle line_b;
+    mem::Shared<Key> key;
+    std::array<std::unique_ptr<mem::Shared<Node*>>, kMaxLevel> next;
+    Node(runtime::Machine& m, Key k) : line_a(m), line_b(m), key(line_a.line(), k) {
+      for (int l = 0; l < kMaxLevel; ++l) {
+        next[l] = std::make_unique<mem::Shared<Node*>>(
+            (l < 3 ? line_a : line_b).line(), nullptr);
+      }
+    }
+  };
+
+  // Deterministic geometric level in [1, kMaxLevel] from the key hash, so
+  // the structure is identical across runs and schemes.
+  static int level_of(Key key) {
+    std::uint64_t h = static_cast<std::uint64_t>(key) * 0x9E3779B97F4A7C15ULL;
+    h ^= h >> 29;
+    int level = 1;
+    while (level < kMaxLevel && (h & 3) == 0) {
+      ++level;
+      h >>= 2;
+    }
+    return level;
+  }
+
+  runtime::Machine& m_;
+  Node* head_;  // sentinel with all kMaxLevel forward pointers
+};
+
+}  // namespace sihle::ds

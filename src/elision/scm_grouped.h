@@ -1,0 +1,92 @@
+// Grouped software-assisted conflict management — the refinement the paper
+// leaves as future work (§6 Remark, §8): "grouping the conflicting threads
+// in one group may be too strict... a natural extension is dividing the
+// conflicting threads into different groups, each containing only threads
+// that conflict among themselves", using "abort information provided by the
+// hardware (such as the location in which a conflict occurs)".
+//
+// The simulator's abort status carries the conflicting cache line, so the
+// serializing path can hash it to one of K auxiliary locks: threads
+// conflicting on unrelated data serialize independently instead of all
+// funnelling through a single auxiliary queue.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "elision/schemes.h"
+
+namespace sihle::elision {
+
+class GroupedAux {
+ public:
+  GroupedAux(runtime::Machine& m, int groups) {
+    for (int i = 0; i < groups; ++i) locks_.push_back(std::make_unique<locks::MCSLock>(m));
+  }
+
+  locks::MCSLock& pick(std::uint32_t conflict_line) {
+    if (conflict_line == htm::kNoConflictLine) return *locks_[0];
+    // Fibonacci hash of the line id.
+    const std::uint64_t h = conflict_line * 0x9E3779B97F4A7C15ULL;
+    return *locks_[h % locks_.size()];
+  }
+
+  int groups() const { return static_cast<int>(locks_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<locks::MCSLock>> locks_;
+};
+
+// run_scm with a per-conflict-group serializing path.  The auxiliary lock
+// is chosen from the conflict location of the abort that sent the thread to
+// the serializing path; everything else follows Figure 7.
+template <class Lock, class Body>
+sim::Task<void> run_scm_grouped(Ctx& c, Lock& main, GroupedAux& aux, Body body,
+                                stats::OpStats& st, ScmFlavor flavor,
+                                int max_retries = kMaxRetries) {
+  st.arrivals++;
+  bool arrival_counted = false;
+  locks::MCSLock* held_aux = nullptr;
+  int retries = 0;
+  for (;;) {
+    if (flavor == ScmFlavor::kHle && Lock::kHleArrivalWaits) {
+      const bool waited = co_await main.wait_until_free(c);
+      if (waited && !arrival_counted) {
+        st.arrivals_lock_held++;
+        arrival_counted = true;
+      }
+    }
+    AbortStatus s;
+    if (flavor == ScmFlavor::kHle) {
+      s = co_await detail::hle_attempt(c, main, body);
+    } else {
+      s = co_await detail::slr_attempt(c, main, body);
+    }
+    if (s.ok()) {
+      st.spec_commits++;
+      break;
+    }
+    if (flavor == ScmFlavor::kHle && Lock::kHleArrivalWaits &&
+        detail::is_lock_busy(s)) {
+      continue;
+    }
+    st.record_abort(s);
+    if (held_aux == nullptr) {
+      held_aux = &aux.pick(s.conflict_line);
+      co_await held_aux->acquire(c);
+      st.aux_acquisitions++;
+      retries = 0;
+      continue;
+    }
+    ++retries;
+    const bool give_up =
+        retries >= max_retries || (flavor == ScmFlavor::kSlr && !s.retry);
+    if (give_up) {
+      co_await detail::run_nonspec(c, main, body, st);
+      break;
+    }
+  }
+  if (held_aux != nullptr) co_await held_aux->release(c);
+}
+
+}  // namespace sihle::elision

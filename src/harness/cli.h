@@ -1,0 +1,111 @@
+// Minimal --key=value argument parsing for the bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "elision/schemes.h"
+#include "locks/locks.h"
+
+namespace sihle::harness {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  bool has(std::string_view name) const {
+    for (const auto& a : args_) {
+      if (a == std::string("--") + std::string(name)) return true;
+      if (a.rfind(std::string("--") + std::string(name) + "=", 0) == 0) return true;
+    }
+    return false;
+  }
+
+  std::string get(std::string_view name, std::string def) const {
+    const std::string prefix = std::string("--") + std::string(name) + "=";
+    for (const auto& a : args_) {
+      if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+    }
+    return def;
+  }
+
+  long get_int(std::string_view name, long def) const {
+    const std::string v = get(name, "");
+    return v.empty() ? def : std::strtol(v.c_str(), nullptr, 10);
+  }
+
+  double get_double(std::string_view name, double def) const {
+    const std::string v = get(name, "");
+    return v.empty() ? def : std::strtod(v.c_str(), nullptr);
+  }
+
+  std::vector<std::string> get_list(std::string_view name,
+                                    const std::vector<std::string>& def) const {
+    const std::string v = get(name, "");
+    if (v.empty()) return def;
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= v.size()) {
+      const std::size_t comma = v.find(',', pos);
+      if (comma == std::string::npos) {
+        out.push_back(v.substr(pos));
+        break;
+      }
+      out.push_back(v.substr(pos, comma - pos));
+      pos = comma + 1;
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+// Paper's tree-size sweep (Figures 2, 4, 10).
+inline std::vector<std::size_t> paper_sizes() {
+  return {2, 8, 32, 128, 512, 2048, 8192, 32768, 131072, 524288};
+}
+
+inline const char* size_label(std::size_t s) {
+  static thread_local char buf[16];
+  if (s >= 1024 && s % 1024 == 0) {
+    std::snprintf(buf, sizeof(buf), "%zuK", s / 1024);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zu", s);
+  }
+  return buf;
+}
+
+inline locks::LockKind parse_lock(const std::string& s) {
+  if (s == "ttas" || s == "TTAS") return locks::LockKind::kTtas;
+  if (s == "mcs" || s == "MCS") return locks::LockKind::kMcs;
+  if (s == "ticket") return locks::LockKind::kTicket;
+  if (s == "clh") return locks::LockKind::kClh;
+  if (s == "anderson") return locks::LockKind::kAnderson;
+  if (s == "eticket") return locks::LockKind::kElidableTicket;
+  if (s == "eclh") return locks::LockKind::kElidableClh;
+  if (s == "eanderson") return locks::LockKind::kElidableAnderson;
+  std::fprintf(stderr, "unknown lock '%s'\n", s.c_str());
+  std::exit(2);
+}
+
+inline elision::Scheme parse_scheme(const std::string& s) {
+  if (s == "nolock") return elision::Scheme::kNoLock;
+  if (s == "standard") return elision::Scheme::kStandard;
+  if (s == "hle") return elision::Scheme::kHle;
+  if (s == "hle-retries" || s == "retries") return elision::Scheme::kHleRetries;
+  if (s == "hle-scm" || s == "scm") return elision::Scheme::kHleScm;
+  if (s == "slr") return elision::Scheme::kOptSlr;
+  if (s == "slr-scm") return elision::Scheme::kSlrScm;
+  if (s == "adaptive") return elision::Scheme::kAdaptive;
+  std::fprintf(stderr, "unknown scheme '%s'\n", s.c_str());
+  std::exit(2);
+}
+
+}  // namespace sihle::harness

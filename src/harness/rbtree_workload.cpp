@@ -1,0 +1,206 @@
+#include "harness/rbtree_workload.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "ds/hashtable.h"
+#include "ds/linkedlist.h"
+#include "ds/rbtree.h"
+#include "ds/skiplist.h"
+#include "runtime/ctx.h"
+
+namespace sihle::harness {
+
+namespace {
+
+using elision::Scheme;
+using runtime::Ctx;
+using runtime::Machine;
+
+struct SharedState {
+  std::uint64_t key_domain;
+  int update_pct;
+  sim::Cycles duration;
+  Scheme scheme;
+  stats::SliceRecorder* slices;       // may be null
+  elision::AdaptState* adapt;         // glibc-style per-lock adaptation state
+};
+
+template <class DS>
+sim::Task<void> op_insert(Ctx& c, DS& t, std::int64_t k) {
+  const bool r = co_await t.insert(c, k);
+  (void)r;
+}
+template <class DS>
+sim::Task<void> op_erase(Ctx& c, DS& t, std::int64_t k) {
+  const bool r = co_await t.erase(c, k);
+  (void)r;
+}
+template <class DS>
+sim::Task<void> op_lookup(Ctx& c, DS& t, std::int64_t k) {
+  const bool r = co_await t.contains(c, k);
+  (void)r;
+}
+
+template <class DS, class Lock>
+sim::Task<void> worker(Ctx& c, DS& ds, Lock& lock, locks::MCSLock& aux,
+                       SharedState& ss, stats::OpStats& st,
+                       stats::LatencyHistogram& lat) {
+  const sim::Cycles t0 = c.now();
+  while (c.now() - t0 < ss.duration) {
+    const std::int64_t key = static_cast<std::int64_t>(c.rng().below(ss.key_domain));
+    const int dice = static_cast<int>(c.rng().below(100));
+    const std::uint64_t nonspec_before = st.nonspec;
+    const sim::Cycles op_start = c.now();
+    if (dice < ss.update_pct / 2) {
+      co_await elision::run_op(
+          ss.scheme, c, lock, aux,
+          [&ds, key](Ctx& cc) { return op_insert(cc, ds, key); }, st, ss.adapt);
+    } else if (dice < ss.update_pct) {
+      co_await elision::run_op(
+          ss.scheme, c, lock, aux,
+          [&ds, key](Ctx& cc) { return op_erase(cc, ds, key); }, st, ss.adapt);
+    } else {
+      co_await elision::run_op(
+          ss.scheme, c, lock, aux,
+          [&ds, key](Ctx& cc) { return op_lookup(cc, ds, key); }, st, ss.adapt);
+    }
+    lat.record(c.now() - op_start);
+    if (ss.slices != nullptr) {
+      ss.slices->record_op(c.now(), st.nonspec != nonspec_before);
+    }
+  }
+}
+
+// Uniform construction / validation over the two data structures.
+template <class DS>
+DS* construct(Machine& m, const WorkloadConfig& cfg);
+
+template <>
+ds::RBTree* construct<ds::RBTree>(Machine& m, const WorkloadConfig&) {
+  return new ds::RBTree(m);
+}
+template <>
+ds::HashTable* construct<ds::HashTable>(Machine& m, const WorkloadConfig& cfg) {
+  return new ds::HashTable(m, std::max<std::size_t>(cfg.tree_size, 16));
+}
+template <>
+ds::LinkedListSet* construct<ds::LinkedListSet>(Machine& m, const WorkloadConfig&) {
+  return new ds::LinkedListSet(m);
+}
+template <>
+ds::SkipList* construct<ds::SkipList>(Machine& m, const WorkloadConfig&) {
+  return new ds::SkipList(m);
+}
+
+bool validate(const ds::RBTree& t) { return t.debug_validate(); }
+bool validate(const ds::HashTable& t) { return t.debug_validate(); }
+bool validate(const ds::LinkedListSet& t) { return t.debug_validate(); }
+bool validate(const ds::SkipList& t) { return t.debug_validate(); }
+
+template <class DS, class Lock>
+WorkloadResult run_impl(const WorkloadConfig& cfg) {
+  Machine::Config mc;
+  mc.seed = cfg.seed;
+  mc.htm.spurious_abort_per_access = cfg.spurious;
+  mc.htm.persistent_abort_per_tx = cfg.persistent;
+  if (cfg.max_read_lines != 0) mc.htm.max_read_lines = cfg.max_read_lines;
+  mc.random_tie_break = cfg.random_tie_break;
+  mc.costs = cfg.costs;
+  Machine m(mc);
+  if (cfg.trace != nullptr) m.set_tx_trace(cfg.trace);
+
+  Lock lock(m);
+  locks::MCSLock aux(m);
+  std::unique_ptr<DS> ds(construct<DS>(m, cfg));
+
+  // Pre-fill to exactly `tree_size` distinct keys from [0, 2*tree_size).
+  const std::uint64_t domain = std::max<std::uint64_t>(2 * cfg.tree_size, 2);
+  {
+    sim::Rng fill_rng(cfg.seed ^ 0xF111F111ULL);
+    std::set<std::int64_t> chosen;
+    while (chosen.size() < cfg.tree_size) {
+      chosen.insert(static_cast<std::int64_t>(fill_rng.below(domain)));
+    }
+    for (auto k : chosen) ds->debug_insert(k);
+  }
+
+  WorkloadResult out;
+  if (cfg.record_slices) {
+    const sim::Cycles slice =
+        cfg.slice_cycles != 0 ? cfg.slice_cycles : mc.costs.cycles_per_ms;
+    out.slices = std::make_shared<stats::SliceRecorder>(slice);
+  }
+
+  elision::AdaptState adapt;
+  SharedState ss{domain, cfg.update_pct, cfg.duration, cfg.scheme,
+                 out.slices.get(), &adapt};
+
+  std::vector<stats::OpStats> per_thread(cfg.threads);
+  std::vector<stats::LatencyHistogram> per_thread_lat(cfg.threads);
+  for (int t = 0; t < cfg.threads; ++t) {
+    m.spawn([&, t](Ctx& c) {
+      return worker<DS, Lock>(c, *ds, lock, aux, ss, per_thread[t],
+                              per_thread_lat[t]);
+    });
+  }
+  m.run();
+
+  for (const auto& st : per_thread) out.stats += st;
+  for (const auto& lh : per_thread_lat) out.latency += lh;
+  out.elapsed = m.exec().max_clock();
+  out.ops_per_mcycle = out.elapsed == 0
+                           ? 0.0
+                           : static_cast<double>(out.stats.ops()) * 1e6 /
+                                 static_cast<double>(out.elapsed);
+  out.tree_valid = validate(*ds);
+  out.final_size = ds->debug_size();
+  return out;
+}
+
+template <class DS>
+WorkloadResult run_with_ds(const WorkloadConfig& cfg) {
+  switch (cfg.lock) {
+    case locks::LockKind::kTtas:
+      return run_impl<DS, locks::TTASLock>(cfg);
+    case locks::LockKind::kMcs:
+      return run_impl<DS, locks::MCSLock>(cfg);
+    case locks::LockKind::kTicket:
+      return run_impl<DS, locks::TicketLock>(cfg);
+    case locks::LockKind::kClh:
+      return run_impl<DS, locks::CLHLock>(cfg);
+    case locks::LockKind::kAnderson:
+      return run_impl<DS, locks::AndersonLock>(cfg);
+    case locks::LockKind::kElidableTicket:
+      return run_impl<DS, locks::ElidableTicketLock>(cfg);
+    case locks::LockKind::kElidableClh:
+      return run_impl<DS, locks::ElidableCLHLock>(cfg);
+    case locks::LockKind::kElidableAnderson:
+      return run_impl<DS, locks::ElidableAndersonLock>(cfg);
+  }
+  return {};
+}
+
+}  // namespace
+
+WorkloadResult run_rbtree_workload(const WorkloadConfig& cfg) {
+  switch (cfg.ds) {
+    case DsKind::kRbTree: return run_with_ds<ds::RBTree>(cfg);
+    case DsKind::kHashTable: return run_with_ds<ds::HashTable>(cfg);
+    case DsKind::kLinkedList: return run_with_ds<ds::LinkedListSet>(cfg);
+    case DsKind::kSkipList: return run_with_ds<ds::SkipList>(cfg);
+  }
+  return {};
+}
+
+double average_throughput(WorkloadConfig cfg, int seeds) {
+  double sum = 0.0;
+  for (int i = 0; i < seeds; ++i) {
+    sum += run_rbtree_workload(cfg).ops_per_mcycle;
+    cfg.seed++;
+  }
+  return sum / seeds;
+}
+
+}  // namespace sihle::harness

@@ -1,0 +1,77 @@
+// Data-structure workload driver reproducing the paper's benchmark
+// methodology (§4, §7.1): for size s, pre-fill the structure with random
+// keys from a domain of size 2s, then have every thread continuously
+// perform random insert/delete/lookup operations (equal insert and delete
+// rates) for a fixed virtual duration, under a chosen lock and elision
+// scheme.  Covers both the red-black tree and the hash table benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "elision/schemes.h"
+#include "locks/locks.h"
+#include "stats/op_stats.h"
+#include "stats/tx_trace.h"
+
+namespace sihle::harness {
+
+// Injected spurious-abort probability per transactional access.  Non-zero by
+// default: the paper observes spurious aborts on real TSX (§3.1) and they
+// are what makes even read-only HLE-MCS workloads degrade.
+inline constexpr double kDefaultSpurious = 1e-4;
+
+// Probability per critical section of latching a persistent abort (page
+// fault on first touch of a fresh allocation etc.; see HtmConfig).
+inline constexpr double kDefaultPersistent = 2e-3;
+
+enum class DsKind : std::uint8_t { kRbTree, kHashTable, kLinkedList, kSkipList };
+
+constexpr const char* to_string(DsKind d) {
+  switch (d) {
+    case DsKind::kRbTree: return "rbtree";
+    case DsKind::kHashTable: return "hashtable";
+    case DsKind::kLinkedList: return "linkedlist";
+    case DsKind::kSkipList: return "skiplist";
+  }
+  return "?";
+}
+
+struct WorkloadConfig {
+  int threads = 8;
+  // Read-set capacity override (0 = HtmConfig default); the linked-list
+  // spectrum bench uses this to place the capacity wall inside the sweep.
+  std::uint32_t max_read_lines = 0;
+  std::size_t tree_size = 128;
+  int update_pct = 20;  // mutating fraction of ops, split evenly insert/erase
+  sim::Cycles duration = 5'000'000;
+  std::uint64_t seed = 1;
+  elision::Scheme scheme = elision::Scheme::kStandard;
+  locks::LockKind lock = locks::LockKind::kTtas;
+  DsKind ds = DsKind::kRbTree;
+  double spurious = kDefaultSpurious;
+  double persistent = kDefaultPersistent;
+  bool record_slices = false;
+  sim::Cycles slice_cycles = 0;  // 0 = one simulated millisecond
+  sim::CostModel costs{};        // overridable for the cost-model ablation
+  stats::TxTrace* trace = nullptr;  // optional per-transaction timeline
+  bool random_tie_break = false;    // schedule fuzzing (see Machine::Config)
+};
+
+struct WorkloadResult {
+  stats::OpStats stats;
+  stats::LatencyHistogram latency;  // per-operation, arrival to completion
+  sim::Cycles elapsed = 0;  // makespan of the measured window
+  double ops_per_mcycle = 0.0;
+  bool tree_valid = false;
+  std::size_t final_size = 0;
+  std::shared_ptr<stats::SliceRecorder> slices;  // set iff record_slices
+};
+
+WorkloadResult run_rbtree_workload(const WorkloadConfig& cfg);
+
+// Convenience: average ops_per_mcycle over `seeds` runs with consecutive
+// seeds starting at cfg.seed.
+double average_throughput(WorkloadConfig cfg, int seeds);
+
+}  // namespace sihle::harness

@@ -1,0 +1,55 @@
+// Fixed-width text tables for the bench binaries' output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sihle::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> width(headers_.size(), 0);
+    for (std::size_t i = 0; i < headers_.size(); ++i) width[i] = headers_[i].size();
+    for (const auto& r : rows_) {
+      for (std::size_t i = 0; i < r.size() && i < width.size(); ++i) {
+        width[i] = std::max(width[i], r[i].size());
+      }
+    }
+    print_row(out, headers_, width);
+    std::string sep;
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      sep += std::string(width[i], '-');
+      if (i + 1 < width.size()) sep += "-+-";
+    }
+    std::fprintf(out, "%s\n", sep.c_str());
+    for (const auto& r : rows_) print_row(out, r, width);
+  }
+
+  static std::string num(double v, int prec = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+  }
+
+ private:
+  static void print_row(std::FILE* out, const std::vector<std::string>& cells,
+                        const std::vector<std::size_t>& width) {
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      std::fprintf(out, "%-*s", static_cast<int>(width[i]), c.c_str());
+      if (i + 1 < width.size()) std::fprintf(out, " | ");
+    }
+    std::fprintf(out, "\n");
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sihle::harness

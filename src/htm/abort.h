@@ -1,0 +1,68 @@
+// Abort causes and status word, modelled on Intel TSX's RTM abort status
+// (the EAX register filled in on an abort).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace sihle::htm {
+
+enum class AbortCause : std::uint8_t {
+  kNone = 0,      // no abort (transaction committed)
+  kConflict,      // data conflict: another agent touched our footprint
+  kCapacity,      // read/write set exceeded buffering capacity
+  kExplicit,      // XABORT executed; `code` carries the imm8 operand
+  kSpurious,      // unexplained abort (TSX exhibits these; see paper §3.1)
+  kPersistent,    // abort that repeats on retry until the thread runs
+                  // non-speculatively (models page faults on first-touch,
+                  // e.g. of freshly allocated nodes); retry bit clear
+  kInterrupt,     // event-based abort (models interrupts / sandbox cap)
+  kNumCauses,
+};
+
+inline constexpr std::size_t kNumAbortCauses = static_cast<std::size_t>(AbortCause::kNumCauses);
+
+constexpr std::string_view to_string(AbortCause c) {
+  switch (c) {
+    case AbortCause::kNone: return "none";
+    case AbortCause::kConflict: return "conflict";
+    case AbortCause::kCapacity: return "capacity";
+    case AbortCause::kExplicit: return "explicit";
+    case AbortCause::kSpurious: return "spurious";
+    case AbortCause::kPersistent: return "persistent";
+    case AbortCause::kInterrupt: return "interrupt";
+    default: return "?";
+  }
+}
+
+// "No conflict location available" marker for AbortStatus::conflict_line.
+inline constexpr std::uint32_t kNoConflictLine = 0xFFFFFFFFu;
+
+struct AbortStatus {
+  AbortCause cause = AbortCause::kNone;
+  std::uint8_t code = 0;  // XABORT imm8 operand, valid when cause == kExplicit
+  // Intel's "retry possible" hint: set for transient causes (conflicts,
+  // spurious/interrupt events, explicit aborts), clear for capacity.
+  bool retry = false;
+  // The cache line on which the conflict occurred, when the cause is
+  // kConflict.  Haswell does not expose this; the paper's conclusion names
+  // it as the promising hardware hint for refined conflict management, and
+  // the simulator provides it to implement that extension (grouped SCM).
+  std::uint32_t conflict_line = kNoConflictLine;
+
+  bool ok() const { return cause == AbortCause::kNone; }
+};
+
+// Thrown by simulated transactional accesses when the enclosing transaction
+// must abort; caught by Ctx::with_tx, never by workload code.
+class TxAbortException {
+ public:
+  explicit TxAbortException(AbortStatus s) : status_(s) {}
+  AbortStatus status() const { return status_; }
+
+ private:
+  AbortStatus status_;
+};
+
+}  // namespace sihle::htm

@@ -1,0 +1,280 @@
+#include "htm/htm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace sihle::htm {
+
+void Htm::begin(std::uint32_t tid, sim::Rng& rng) {
+  TxContext& t = tx(tid);
+  assert(!t.active && "nested transactions are not supported");
+  if (!t.persistent && cfg_.persistent_abort_per_tx > 0.0 &&
+      rng.chance(cfg_.persistent_abort_per_tx)) {
+    t.persistent = true;
+  }
+  t.active = true;
+  t.doomed = false;
+  t.doom_status = {};
+  t.read_lines.clear();
+  t.write_lines.clear();
+  t.writes.clear();
+  t.accesses = 0;
+  t.undo_on_abort.clear();
+  t.retire_on_commit.clear();
+  t.elided.clear();
+  t.observations.clear();
+  ++active_count_;
+}
+
+void Htm::doom(std::uint32_t victim, AbortCause cause, std::uint32_t line) {
+  TxContext& t = tx(victim);
+  if (!t.active || t.doomed) return;
+  t.doomed = true;
+  t.doom_status = AbortStatus{cause, 0, /*retry=*/true, line};
+  clear_footprint(victim);
+  ++total_dooms_;
+  if (cfg_.track_conflict_lines && line != kNoConflictLine) {
+    if (line >= conflict_counts_.size()) conflict_counts_.resize(line + 1, 0);
+    conflict_counts_[line]++;
+    ++located_conflicts_;
+  }
+  if (doom_listener_) doom_listener_(victim);
+}
+
+void Htm::clear_footprint(std::uint32_t tid) {
+  TxContext& t = tx(tid);
+  const std::uint64_t bit = 1ULL << tid;
+  for (mem::Line l : t.read_lines) dir_[l].tx_readers &= ~bit;
+  for (mem::Line l : t.write_lines) {
+    if (dir_[l].tx_writer == static_cast<std::int16_t>(tid)) dir_[l].tx_writer = -1;
+  }
+  t.read_lines.clear();
+  t.write_lines.clear();
+}
+
+void Htm::doom_conflictors(std::uint32_t tid, mem::LineState& st, bool is_write,
+                           std::uint32_t line) {
+  if (st.tx_writer != -1 && st.tx_writer != static_cast<std::int16_t>(tid)) {
+    doom(static_cast<std::uint32_t>(st.tx_writer), AbortCause::kConflict, line);
+  }
+  if (is_write) {
+    std::uint64_t readers = st.tx_readers & ~(1ULL << tid);
+    while (readers != 0) {
+      const int r = __builtin_ctzll(readers);
+      readers &= readers - 1;
+      doom(static_cast<std::uint32_t>(r), AbortCause::kConflict, line);
+    }
+  }
+}
+
+TxResult Htm::tx_load(std::uint32_t tid, const mem::RawCell& cell, sim::Rng& rng) {
+  TxContext& t = tx(tid);
+  assert(t.active);
+  if (t.doomed) return {0, t.doom_status};
+  if (t.persistent) {
+    return {0, AbortStatus{AbortCause::kPersistent, 0, /*retry=*/false}};
+  }
+  if (++t.accesses > cfg_.max_tx_accesses) {
+    return {0, AbortStatus{AbortCause::kInterrupt, 0, /*retry=*/false}};
+  }
+  if (cfg_.spurious_abort_per_access > 0.0 &&
+      rng.chance(cfg_.spurious_abort_per_access)) {
+    return {0, AbortStatus{AbortCause::kSpurious, 0, /*retry=*/true}};
+  }
+
+  // Read own staged store if present (store-to-load forwarding).
+  for (auto it = t.writes.rbegin(); it != t.writes.rend(); ++it) {
+    if (it->cell == &cell) return {it->staged, {}};
+  }
+  // An elided XACQUIRE maintains the local illusion that the lock was
+  // acquired: reads of the lock see the value "stored".
+  for (const auto& e : t.elided) {
+    if (e.cell == &cell) return {e.illusion, {}};
+  }
+
+  mem::LineState& st = dir_[cell.line()];
+  doom_conflictors(tid, st, /*is_write=*/false, cell.line());
+
+  const std::uint64_t bit = 1ULL << tid;
+  if ((st.tx_readers & bit) == 0) {
+    if (t.read_lines.size() >= cfg_.max_read_lines) {
+      return {0, AbortStatus{AbortCause::kCapacity, 0, /*retry=*/false}};
+    }
+    st.tx_readers |= bit;
+    t.read_lines.push_back(cell.line());
+  }
+  if (cfg_.verify_opacity) t.observations.push_back({&cell, cell.raw()});
+  return {cell.raw(), {}};
+}
+
+TxResult Htm::tx_store(std::uint32_t tid, mem::RawCell& cell, std::uint64_t value,
+                       sim::Rng& rng) {
+  TxContext& t = tx(tid);
+  assert(t.active);
+  if (t.doomed) return {0, t.doom_status};
+  if (t.persistent) {
+    return {0, AbortStatus{AbortCause::kPersistent, 0, /*retry=*/false}};
+  }
+  if (++t.accesses > cfg_.max_tx_accesses) {
+    return {0, AbortStatus{AbortCause::kInterrupt, 0, /*retry=*/false}};
+  }
+  if (cfg_.spurious_abort_per_access > 0.0 &&
+      rng.chance(cfg_.spurious_abort_per_access)) {
+    return {0, AbortStatus{AbortCause::kSpurious, 0, /*retry=*/true}};
+  }
+
+  mem::LineState& st = dir_[cell.line()];
+  doom_conflictors(tid, st, /*is_write=*/true, cell.line());
+
+  if (st.tx_writer != static_cast<std::int16_t>(tid)) {
+    if (t.write_lines.size() >= cfg_.max_write_lines) {
+      return {0, AbortStatus{AbortCause::kCapacity, 0, /*retry=*/false}};
+    }
+    st.tx_writer = static_cast<std::int16_t>(tid);
+    t.write_lines.push_back(cell.line());
+  }
+
+  // Update staged value in place if the cell was written before.
+  for (auto& w : t.writes) {
+    if (w.cell == &cell) {
+      w.staged = value;
+      return {value, {}};
+    }
+  }
+  t.writes.push_back({&cell, value});
+  return {value, {}};
+}
+
+AbortStatus Htm::commit(std::uint32_t tid, std::vector<mem::Line>& published) {
+  TxContext& t = tx(tid);
+  assert(t.active);
+  if (t.doomed) return t.doom_status;
+  if (!t.elided.empty()) {
+    // An elided XACQUIRE was never balanced by a restoring XRELEASE — the
+    // hardware cannot commit the elision (e.g. a plain ticket lock's
+    // release, which increments owner instead of restoring next).
+    return AbortStatus{AbortCause::kExplicit, kAbortCodeHleMismatch,
+                       /*retry=*/false};
+  }
+  if (cfg_.verify_opacity) {
+    // Every value this transaction read must still be current: an
+    // intervening overwrite would have doomed it (requestor wins).  Skip
+    // cells the transaction itself staged (their memory value is published
+    // below).
+    for (const auto& ob : t.observations) {
+      bool self_written = false;
+      for (const auto& w : t.writes) self_written = self_written || w.cell == ob.cell;
+      if (!self_written && ob.cell->raw() != ob.value) ++opacity_violations_;
+    }
+  }
+
+  for (const auto& w : t.writes) w.cell->set_raw(w.staged);
+  for (mem::Line l : t.write_lines) {
+    dir_[l].version++;
+    published.push_back(l);
+  }
+
+  clear_footprint(tid);
+  t.writes.clear();
+  t.undo_on_abort.clear();
+  t.elided.clear();
+  // retire_on_commit is harvested by the runtime (Machine) after commit.
+  t.active = false;
+  --active_count_;
+  return {};
+}
+
+void Htm::rollback(std::uint32_t tid) {
+  TxContext& t = tx(tid);
+  assert(t.active);
+  clear_footprint(tid);
+  t.writes.clear();
+  t.retire_on_commit.clear();
+  t.elided.clear();
+  for (auto it = t.undo_on_abort.rbegin(); it != t.undo_on_abort.rend(); ++it) (*it)();
+  t.undo_on_abort.clear();
+  t.doomed = false;
+  t.active = false;
+  --active_count_;
+}
+
+std::uint64_t Htm::nontx_load(std::uint32_t tid, const mem::RawCell& cell) {
+  mem::LineState& st = dir_[cell.line()];
+  // A coherence read request for a line in another transaction's write set
+  // aborts that transaction (its speculatively-modified line is requested).
+  if (st.tx_writer != -1 && st.tx_writer != static_cast<std::int16_t>(tid)) {
+    doom(static_cast<std::uint32_t>(st.tx_writer), AbortCause::kConflict,
+         cell.line());
+  }
+  return cell.raw();
+}
+
+void Htm::nontx_store(std::uint32_t tid, mem::RawCell& cell, std::uint64_t value) {
+  // Non-speculative progress by the thread resolves any latched persistent
+  // abort condition (the fault is serviced on the fallback path).
+  tx(tid).persistent = false;
+  mem::LineState& st = dir_[cell.line()];
+  doom_conflictors(tid, st, /*is_write=*/true, cell.line());
+  st.version++;
+  cell.set_raw(value);
+}
+
+void Htm::on_line_freed(mem::Line line) {
+  mem::LineState& st = dir_[line];
+  if (st.tx_writer != -1) doom(static_cast<std::uint32_t>(st.tx_writer), AbortCause::kConflict);
+  std::uint64_t readers = st.tx_readers;
+  while (readers != 0) {
+    const int r = __builtin_ctzll(readers);
+    readers &= readers - 1;
+    doom(static_cast<std::uint32_t>(r), AbortCause::kConflict);
+  }
+  dir_.free(line);
+}
+
+TxResult Htm::xacquire_store(std::uint32_t tid, const mem::RawCell& cell,
+                             std::uint64_t intended, sim::Rng& rng) {
+  // The elided store is a transactional READ of the line plus a local
+  // illusion entry; nothing joins the write set.
+  TxResult r = tx_load(tid, cell, rng);
+  if (!r.abort.ok()) return r;
+  tx(tid).elided.push_back({&cell, r.value, intended});
+  return r;  // value = the pre-store memory value (e.g. TAS's old value)
+}
+
+TxResult Htm::xrelease_store(std::uint32_t tid, const mem::RawCell& cell,
+                             std::uint64_t value, sim::Rng& rng) {
+  TxContext& t = tx(tid);
+  if (t.doomed) return {0, t.doom_status};
+  (void)rng;
+  for (auto it = t.elided.begin(); it != t.elided.end(); ++it) {
+    if (it->cell == &cell) {
+      if (it->original != value) {
+        // Haswell conservatively requires the releasing store to restore
+        // the lock's original value; otherwise the transaction aborts.
+        return {0, AbortStatus{AbortCause::kExplicit, kAbortCodeHleMismatch,
+                               /*retry=*/false}};
+      }
+      t.elided.erase(it);
+      return {value, {}};
+    }
+  }
+  // XRELEASE without a matching XACQUIRE behaves as an ordinary
+  // transactional store.
+  return tx_store(tid, const_cast<mem::RawCell&>(cell), value, rng);
+}
+
+std::vector<std::pair<mem::Line, std::uint64_t>> Htm::conflict_heatmap(
+    std::size_t top_n) const {
+  std::vector<std::pair<mem::Line, std::uint64_t>> out;
+  for (mem::Line l = 0; l < conflict_counts_.size(); ++l) {
+    if (conflict_counts_[l] != 0) out.emplace_back(l, conflict_counts_[l]);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  if (out.size() > top_n) out.resize(top_n);
+  return out;
+}
+
+}  // namespace sihle::htm

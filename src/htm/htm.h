@@ -1,0 +1,216 @@
+// Software model of Intel Haswell's transactional memory (TSX/RTM) with the
+// paper's observed behaviours:
+//
+//  * cache-line-granular conflict detection over the mem::Directory;
+//  * "requestor wins": any access (transactional or not) that conflicts with
+//    another transaction's footprint dooms that transaction on the spot;
+//  * write buffering: transactional stores are invisible until commit and
+//    are published atomically;
+//  * capacity aborts for L1-bounded write sets and bounded read sets;
+//  * spurious aborts at a configurable per-access probability (§3.1);
+//  * an access cap per transaction that models event-based (interrupt)
+//    aborts and bounds SLR zombie transactions (sandboxing).
+//
+// The methods here are plain synchronous state transitions; the runtime
+// layer (Ctx awaitables) invokes them at simulation events and converts
+// returned abort statuses into TxAbortException unwinds inside the victim's
+// own coroutine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "htm/abort.h"
+#include "mem/directory.h"
+#include "mem/shared.h"
+#include "sim/rng.h"
+
+namespace sihle::htm {
+
+struct HtmConfig {
+  // Haswell's write set is bounded by the 32 KB L1d: 512 lines.
+  std::uint32_t max_write_lines = 512;
+  // Read sets are tracked beyond L1 via a bloom-ish structure; we model a
+  // generous fixed bound.
+  std::uint32_t max_read_lines = 16384;
+  // Probability that any single transactional access aborts spuriously.
+  double spurious_abort_per_access = 0.0;
+  // Probability, sampled at each XBEGIN of a fresh critical section, that
+  // the section has latched a persistent abort condition (e.g. a page fault
+  // on a first-touched allocation).  While latched, every transactional
+  // attempt by the thread aborts with kPersistent (retry bit clear); the
+  // latch clears once the thread makes non-speculative progress (its first
+  // non-transactional store, i.e. the fallback path running the faulting
+  // work for real).
+  double persistent_abort_per_tx = 0.0;
+  // Sandbox: a transaction performing more than this many accesses aborts
+  // with kInterrupt (real TSX transactions never survive a timer interrupt).
+  std::uint64_t max_tx_accesses = 100000;
+  // Record a per-line histogram of conflict dooms (the "conflict location"
+  // hardware hint of the paper's conclusion); costs one counter bump per
+  // doom when enabled.
+  bool track_conflict_lines = false;
+  // Debug mode: record every transactional read's (cell, value) pair and
+  // re-validate the whole read set at commit.  With correct requestor-wins
+  // tracking, a committing transaction's reads are always still current
+  // (any overwrite would have doomed it first), so a validation failure
+  // indicates a conflict-detection bug, never a legal execution.
+  bool verify_opacity = false;
+};
+
+// Outcome of a single transactional access.
+struct TxResult {
+  std::uint64_t value = 0;
+  AbortStatus abort{};  // abort.ok() == true means the access succeeded
+};
+
+// Per-thread transaction context.
+struct TxContext {
+  bool active = false;
+  bool doomed = false;
+  AbortStatus doom_status{};
+
+  std::vector<mem::Line> read_lines;   // distinct lines in read set
+  std::vector<mem::Line> write_lines;  // distinct lines in write set
+  struct WriteEntry {
+    mem::RawCell* cell;
+    std::uint64_t staged;
+  };
+  std::vector<WriteEntry> writes;  // staged stores, program order (last wins)
+  std::uint64_t accesses = 0;
+
+  // Compensation for speculative allocation: run on abort, dropped on
+  // commit (e.g. delete a node allocated inside the transaction).
+  std::vector<std::function<void()>> undo_on_abort;
+  // Deferred reclamation: moved to the machine's limbo list on commit,
+  // dropped on abort (e.g. a node unlinked by the transaction).
+  std::vector<std::function<void()>> retire_on_commit;
+
+  // Latched persistent-abort condition (see
+  // HtmConfig::persistent_abort_per_tx).
+  bool persistent = false;
+
+  // verify_opacity mode: values observed by reads, revalidated at commit.
+  struct ReadObservation {
+    const mem::RawCell* cell;
+    std::uint64_t value;
+  };
+  std::vector<ReadObservation> observations;
+
+  // True-HLE elided lock acquisitions (§3): the XACQUIRE-prefixed store was
+  // elided — the line is only in the read set — but the transaction sees
+  // the "acquired" value locally.  XRELEASE must restore `original`.
+  struct ElidedEntry {
+    const mem::RawCell* cell;
+    std::uint64_t original;
+    std::uint64_t illusion;
+  };
+  std::vector<ElidedEntry> elided;
+};
+
+class Htm {
+ public:
+  Htm(mem::Directory& dir, HtmConfig cfg) : dir_(dir), cfg_(cfg) {}
+
+  // Called with the victim's thread id whenever a transaction is doomed.
+  // The runtime uses this to wake victims that are blocked (e.g. sleeping
+  // in-transaction on a phantom lock-queue entry) so the asynchronous abort
+  // is observed promptly, as on real hardware.
+  void set_doom_listener(std::function<void(std::uint32_t)> f) {
+    doom_listener_ = std::move(f);
+  }
+
+  const HtmConfig& config() const { return cfg_; }
+  void set_config(const HtmConfig& cfg) { cfg_ = cfg; }
+
+  TxContext& tx(std::uint32_t tid) {
+    if (tid >= txs_.size()) txs_.resize(tid + 1);
+    return txs_[tid];
+  }
+  bool in_tx(std::uint32_t tid) const {
+    return tid < txs_.size() && txs_[tid].active;
+  }
+  std::uint32_t active_count() const { return active_count_; }
+
+  // --- Transactional interface --------------------------------------------
+
+  // XBEGIN.  Nesting is not supported (TSX flattens; our runtime forbids).
+  void begin(std::uint32_t tid, sim::Rng& rng);
+
+  TxResult tx_load(std::uint32_t tid, const mem::RawCell& cell, sim::Rng& rng);
+  TxResult tx_store(std::uint32_t tid, mem::RawCell& cell, std::uint64_t value,
+                    sim::Rng& rng);
+
+  // --- True HLE prefix semantics (§3) --------------------------------------
+  //
+  // XACQUIRE-prefixed store/RMW: the store is elided.  The lock's line joins
+  // the READ set only; the returned value is the pre-store (memory) value,
+  // and subsequent transactional reads of the cell observe `intended`
+  // locally (the illusion that the lock was acquired).
+  TxResult xacquire_store(std::uint32_t tid, const mem::RawCell& cell,
+                          std::uint64_t intended, sim::Rng& rng);
+  // XRELEASE-prefixed store: must restore the cell to its pre-XACQUIRE
+  // value; a mismatching value aborts the transaction (code
+  // kAbortCodeHleMismatch), as Haswell requires.
+  static constexpr std::uint8_t kAbortCodeHleMismatch = 0xfe;
+  TxResult xrelease_store(std::uint32_t tid, const mem::RawCell& cell,
+                          std::uint64_t value, sim::Rng& rng);
+
+  // XEND, phase 1: returns kNone status if the transaction may commit
+  // (not doomed), otherwise the doom status.  On success the staged writes
+  // are published to memory and the lines written are appended to
+  // `published` so the caller can wake watchers.
+  AbortStatus commit(std::uint32_t tid, std::vector<mem::Line>& published);
+
+  // Clean up after an abort (doomed, capacity, explicit, ...): clears any
+  // remaining footprint, discards the write buffer, runs undo actions.
+  void rollback(std::uint32_t tid);
+
+  // --- Non-transactional accesses that interact with transactions ---------
+
+  std::uint64_t nontx_load(std::uint32_t tid, const mem::RawCell& cell);
+  void nontx_store(std::uint32_t tid, mem::RawCell& cell, std::uint64_t value);
+
+  // Abort `victim`'s transaction with the given cause (requestor wins).
+  // Clears the victim's directory footprint immediately; the victim unwinds
+  // at its next access or commit.  `line` is the conflicting cache line
+  // when known (the future-work hardware hint the paper's conclusion asks
+  // for).
+  void doom(std::uint32_t victim, AbortCause cause,
+            std::uint32_t line = kNoConflictLine);
+
+  // Line lifecycle: dooms any transaction with residual footprint on the
+  // line (models the line being reused), then returns it to the pool.
+  void on_line_freed(mem::Line line);
+
+  // Monotone counters for tests / stats.
+  std::uint64_t total_dooms() const { return total_dooms_; }
+  // Opacity-verification failures observed at commit (always 0 unless the
+  // conflict tracking is broken); only counted with verify_opacity.
+  std::uint64_t opacity_violations() const { return opacity_violations_; }
+
+  // Top-N conflicting lines by doom count (requires track_conflict_lines).
+  std::vector<std::pair<mem::Line, std::uint64_t>> conflict_heatmap(
+      std::size_t top_n) const;
+  std::uint64_t located_conflicts() const { return located_conflicts_; }
+
+ private:
+  void clear_footprint(std::uint32_t tid);
+  // Dooms every transaction conflicting with an access to `line`:
+  // writers always; readers too when `is_write`.
+  void doom_conflictors(std::uint32_t tid, mem::LineState& st, bool is_write,
+                        std::uint32_t line);
+
+  mem::Directory& dir_;
+  HtmConfig cfg_;
+  std::vector<TxContext> txs_;
+  std::function<void(std::uint32_t)> doom_listener_;
+  std::vector<std::uint64_t> conflict_counts_;  // by line, when tracking
+  std::uint32_t active_count_ = 0;
+  std::uint64_t total_dooms_ = 0;
+  std::uint64_t located_conflicts_ = 0;
+  std::uint64_t opacity_violations_ = 0;
+};
+
+}  // namespace sihle::htm

@@ -1,0 +1,155 @@
+// Anderson array-based queue lock, and an HLE-adjusted variant built with
+// the paper's Appendix-A recipe.
+//
+// The plain Anderson lock is fair but HLE-incompatible for the same reason
+// as the ticket lock: releasing advances the slot baton instead of
+// restoring the ticket counter.  The elidable variant's release first tries
+// to CAS the ticket counter back down (erasing the acquisition entirely —
+// in a solo run no slot flag was ever touched), and only on failure falls
+// back to the standard baton hand-off.  This demonstrates that the
+// Appendix-A adjustment is a recipe, not a per-lock trick: "a thread
+// releasing the lock first tries to optimistically restore the original
+// state using a compare-and-swap".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/ctx.h"
+
+namespace sihle::locks {
+
+using runtime::Ctx;
+using runtime::LineHandle;
+using runtime::Machine;
+
+class AndersonLock {
+ public:
+  // One slot per possible thread; each slot on its own cache line, as the
+  // algorithm requires to avoid false sharing among spinners.
+  static constexpr std::size_t kSlots = sim::kMaxThreads;
+
+  explicit AndersonLock(Machine& m)
+      : tail_line_(m), tail_(tail_line_.line(), 0), tickets_(sim::kMaxThreads, 0) {
+    slots_.reserve(kSlots);
+    for (std::size_t i = 0; i < kSlots; ++i) {
+      slots_.push_back(std::make_unique<Slot>(m, i == 0 ? 1 : 0));
+    }
+  }
+
+  static constexpr const char* kName = "Anderson";
+  static constexpr bool kFair = true;
+  // Like the other queue locks: the re-executed XACQUIRE F&A takes a slot,
+  // committing the thread to a non-speculative acquisition.
+  static constexpr bool kHleArrivalWaits = false;
+
+  sim::Task<void> acquire(Ctx& c) {
+    const std::uint64_t t = co_await c.fetch_add(tail_, std::uint64_t{1});
+    tickets_[c.id()] = t;
+    co_await runtime::spin_until(c, slots_[t % kSlots]->flag,
+                                 [](std::uint64_t v) { return v != 0; });
+  }
+
+  sim::Task<void> release(Ctx& c) {
+    const std::uint64_t t = tickets_[c.id()];
+    co_await c.store(slots_[t % kSlots]->flag, std::uint64_t{0});
+    co_await c.store(slots_[(t + 1) % kSlots]->flag, std::uint64_t{1});
+  }
+
+  sim::Task<bool> try_acquire_once(Ctx& c) {
+    co_await acquire(c);
+    co_return true;
+  }
+
+  // The lock appears free when the next ticket's slot holds the baton.
+  sim::Task<bool> is_locked(Ctx& c) {
+    const std::uint64_t t = co_await c.load(tail_);
+    const std::uint64_t flag = co_await c.load(slots_[t % kSlots]->flag);
+    co_return flag == 0;
+  }
+
+  sim::Task<bool> wait_until_free(Ctx& c) {
+    bool waited = false;
+    for (;;) {
+      const std::uint32_t vt = c.line_version(tail_);
+      const std::uint64_t t = co_await c.load(tail_);
+      const std::uint32_t vs = c.line_version(slots_[t % kSlots]->flag);
+      const std::uint64_t flag = co_await c.load(slots_[t % kSlots]->flag);
+      if (flag != 0) co_return waited;
+      waited = true;
+      co_await c.watch_lines(tail_, vt, slots_[t % kSlots]->flag, vs);
+    }
+  }
+
+  sim::Task<void> elided_acquire(Ctx& c, bool sleep_when_busy = true) {
+    const std::uint64_t t = co_await c.load(tail_);
+    const std::uint64_t flag = co_await c.load(slots_[t % kSlots]->flag);
+    if (flag != 0) co_return;
+    if (!sleep_when_busy) c.xabort(runtime::kAbortCodeLockBusy);
+    co_await c.tx_sleep(slots_[t % kSlots]->flag);
+  }
+
+  // --- True HLE prefixes; call inside a transaction -------------------------
+  sim::Task<void> hle_acquire(Ctx& c) {
+    const std::uint64_t t = co_await c.xacquire_fetch_add(tail_, std::uint64_t{1});
+    tickets_[c.id()] = t;
+    const std::uint64_t flag = co_await c.load(slots_[t % kSlots]->flag);
+    if (flag == 0) c.xabort(runtime::kAbortCodeLockBusy);
+  }
+  // Plain Anderson's release does not restore the ticket counter: the
+  // elision cannot commit (mismatch at XEND) — HLE-incompatible by design.
+  sim::Task<void> hle_release(Ctx& c) {
+    const std::uint64_t t = tickets_[c.id()];
+    co_await c.store(slots_[t % kSlots]->flag, std::uint64_t{0});
+    co_await c.store(slots_[(t + 1) % kSlots]->flag, std::uint64_t{1});
+  }
+
+  bool debug_locked() const {
+    const std::uint64_t t = tail_.debug_value();
+    return slots_[t % kSlots]->flag.debug_value() == 0;
+  }
+  std::uint64_t debug_tail() const { return tail_.debug_value(); }
+
+ protected:
+  struct Slot {
+    LineHandle line;
+    mem::Shared<std::uint64_t> flag;
+    Slot(Machine& m, std::uint64_t init) : line(m), flag(line.line(), init) {}
+  };
+
+  LineHandle tail_line_;
+  mem::Shared<std::uint64_t> tail_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<std::uint64_t> tickets_;  // per-thread ticket (thread-local)
+};
+
+// Appendix-A-recipe adjusted Anderson lock: the release optimistically
+// erases the acquisition by CASing the ticket counter back down.
+class ElidableAndersonLock : public AndersonLock {
+ public:
+  using AndersonLock::AndersonLock;
+  static constexpr const char* kName = "EAnderson";
+
+  sim::Task<void> release(Ctx& c) {
+    const std::uint64_t t = tickets_[c.id()];
+    // Solo run: no slot flag was written during acquire (we found the baton
+    // already set), so CASing tail from t+1 back to t restores the lock's
+    // entire state bit-for-bit.
+    if (!(co_await c.compare_exchange(tail_, t + 1, t))) {
+      co_await c.store(slots_[t % kSlots]->flag, std::uint64_t{0});
+      co_await c.store(slots_[(t + 1) % kSlots]->flag, std::uint64_t{1});
+    }
+  }
+
+  sim::Task<void> hle_release(Ctx& c) {
+    const std::uint64_t t = tickets_[c.id()];
+    const bool restored = co_await c.xrelease_compare_exchange(tail_, t + 1, t);
+    if (!restored) {
+      co_await c.store(slots_[t % kSlots]->flag, std::uint64_t{0});
+      co_await c.store(slots_[(t + 1) % kSlots]->flag, std::uint64_t{1});
+    }
+  }
+};
+
+}  // namespace sihle::locks

@@ -1,0 +1,164 @@
+// CLH queue lock (Craig; Landin & Hagersten — paper Figure 14) and its
+// HLE-adjusted variant (Figure 15, Appendix A).
+//
+// The plain CLH lock is fair but not HLE-compatible: releasing clears the
+// caller's node's `locked` flag and recycles the predecessor node, so a solo
+// run does not restore the lock's original state.  The elidable variant's
+// release first tries to CAS the tail from the caller's node back to its
+// predecessor, erasing the presence of the node entirely; on failure (a
+// successor already enqueued) it falls back to the standard release.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/ctx.h"
+
+namespace sihle::locks {
+
+using runtime::Ctx;
+using runtime::LineHandle;
+using runtime::Machine;
+
+class CLHLock {
+ protected:
+  struct QNode {
+    LineHandle line;
+    mem::Shared<std::uint64_t> locked;
+    explicit QNode(Machine& m) : line(m), locked(line.line(), 0) {}
+  };
+
+ public:
+  explicit CLHLock(Machine& m) : m_(m), tail_line_(m), slots_(sim::kMaxThreads) {
+    nodes_.push_back(std::make_unique<QNode>(m));  // initial unlocked dummy
+    tail_ = std::make_unique<mem::Shared<QNode*>>(tail_line_.line(), nodes_.back().get());
+  }
+
+  static constexpr const char* kName = "CLH";
+  static constexpr bool kFair = true;
+  // Like MCS: the re-executed XACQUIRE SWAP enqueues unconditionally.
+  static constexpr bool kHleArrivalWaits = false;
+
+  sim::Task<void> acquire(Ctx& c) {
+    Slot& s = slot(c);
+    co_await c.store(s.mine->locked, std::uint64_t{1});
+    s.pred = co_await c.exchange(*tail_, s.mine);
+    co_await runtime::spin_until(c, s.pred->locked,
+                                 [](std::uint64_t v) { return v == 0; });
+  }
+
+  sim::Task<void> release(Ctx& c) {
+    Slot& s = slot(c);
+    co_await c.store(s.mine->locked, std::uint64_t{0});
+    s.mine = s.pred;  // recycle the predecessor's node
+  }
+
+  sim::Task<bool> try_acquire_once(Ctx& c) {
+    co_await acquire(c);
+    co_return true;
+  }
+
+  // The lock appears free when the tail node's flag is clear.
+  sim::Task<bool> is_locked(Ctx& c) {
+    QNode* t = co_await c.load(*tail_);
+    co_return (co_await c.load(t->locked)) != 0;
+  }
+
+  // Elided XACQUIRE SWAP: reads the tail and its node's flag into the read
+  // set; free means the flag is clear.  Otherwise spin in-transaction as a
+  // phantom queue entry until queue activity aborts the transaction.
+  sim::Task<void> elided_acquire(Ctx& c, bool sleep_when_busy = true) {
+    QNode* t = co_await c.load(*tail_);
+    const std::uint64_t locked = co_await c.load(t->locked);
+    if (locked == 0) co_return;
+    if (!sleep_when_busy) c.xabort(runtime::kAbortCodeLockBusy);
+    co_await c.tx_sleep(t->locked);
+  }
+
+  sim::Task<bool> wait_until_free(Ctx& c) {
+    bool waited = false;
+    for (;;) {
+      const std::uint32_t vt = c.line_version(*tail_);
+      QNode* t = co_await c.load(*tail_);
+      const std::uint32_t vn = c.line_version(t->locked);
+      if (co_await c.load(t->locked) == 0) co_return waited;
+      waited = true;
+      // Freedom can arrive via the tail moving (elidable release CAS) or
+      // via the tail node's flag clearing; watch both lines.
+      co_await c.watch_lines(*tail_, vt, t->locked, vn);
+    }
+  }
+
+  // --- True HLE prefixes (Figure 14 with XACQUIRE); inside a transaction ---
+  //
+  // The PLAIN CLH lock is HLE-incompatible: its release clears the node's
+  // flag instead of restoring the tail, so the elision never balances and
+  // aborts at commit.  (Node recycling is skipped here: on real hardware
+  // the register rename of myNode := pred is rolled back by the abort, and
+  // a committed elided run never recycles.)
+  sim::Task<void> hle_acquire(Ctx& c) {
+    Slot& s = slot(c);
+    co_await c.store(s.mine->locked, std::uint64_t{1});
+    s.pred = co_await c.xacquire_exchange(*tail_, s.mine);
+    const std::uint64_t pl = co_await c.load(s.pred->locked);
+    if (pl != 0) c.xabort(runtime::kAbortCodeLockBusy);
+  }
+  sim::Task<void> hle_release(Ctx& c) {
+    Slot& s = slot(c);
+    co_await c.store(s.mine->locked, std::uint64_t{0});
+  }
+
+  bool debug_locked() const { return tail_->debug_value()->locked.debug_value() != 0; }
+  // Identity of the current tail node, for the Appendix-A restoration tests.
+  const void* debug_tail() const { return tail_->debug_value(); }
+
+ protected:
+  struct Slot {
+    QNode* mine = nullptr;
+    QNode* pred = nullptr;
+  };
+
+  Slot& slot(Ctx& c) {
+    const std::uint32_t tid = c.id();
+    // slots_ is pre-sized: callers hold Slot references across suspensions,
+    // so the vector must never reallocate.
+    if (slots_[tid].mine == nullptr) {
+      nodes_.push_back(std::make_unique<QNode>(m_));
+      slots_[tid].mine = nodes_.back().get();
+    }
+    return slots_[tid];
+  }
+
+  Machine& m_;
+  LineHandle tail_line_;
+  std::unique_ptr<mem::Shared<QNode*>> tail_;
+  std::vector<std::unique_ptr<QNode>> nodes_;  // owns every node ever used
+  std::vector<Slot> slots_;
+};
+
+// Figure 15: lock-elision adjusted CLH lock.
+class ElidableCLHLock : public CLHLock {
+ public:
+  using CLHLock::CLHLock;
+  static constexpr const char* kName = "ECLH";
+
+  sim::Task<void> release(Ctx& c) {
+    Slot& s = slot(c);
+    // Optimistically place the predecessor back at the tail, erasing this
+    // node's presence; exactly restores the original state in a solo run.
+    if (!(co_await c.compare_exchange(*tail_, s.mine, s.pred))) {
+      co_await c.store(s.mine->locked, std::uint64_t{0});
+      s.mine = s.pred;
+    }
+  }
+
+  // Figure 15's release with the XRELEASE prefix on the restoring CAS.
+  sim::Task<void> hle_release(Ctx& c) {
+    Slot& s = slot(c);
+    const bool restored = co_await c.xrelease_compare_exchange(*tail_, s.mine, s.pred);
+    if (!restored) co_await c.store(s.mine->locked, std::uint64_t{0});
+  }
+};
+
+}  // namespace sihle::locks

@@ -1,0 +1,51 @@
+// Umbrella header for the lock implementations.
+//
+// Every lock satisfies the interface the elision schemes need:
+//   Task<void> acquire(Ctx&)          — standard (non-speculative) acquire
+//   Task<void> release(Ctx&)          — standard release
+//   Task<bool> try_acquire_once(Ctx&) — the non-transactional re-execution
+//                                       of the XACQUIRE instruction after an
+//                                       abort (single TAS for TTAS;
+//                                       unconditional enqueue for fair locks)
+//   Task<bool> is_locked(Ctx&)        — lock-state read; transactional when
+//                                       called inside a transaction (this is
+//                                       the read that couples elided
+//                                       transactions to the lock's line)
+//   Task<bool> wait_until_free(Ctx&)  — non-transactional wait; returns
+//                                       whether the caller had to wait
+#pragma once
+
+#include "locks/anderson.h"
+#include "locks/clh.h"
+#include "locks/mcs.h"
+#include "locks/ticket.h"
+#include "locks/ttas.h"
+
+namespace sihle::locks {
+
+enum class LockKind {
+  kTtas,
+  kMcs,
+  kTicket,
+  kClh,
+  kAnderson,
+  kElidableTicket,
+  kElidableClh,
+  kElidableAnderson,
+};
+
+constexpr const char* to_string(LockKind k) {
+  switch (k) {
+    case LockKind::kTtas: return "TTAS";
+    case LockKind::kMcs: return "MCS";
+    case LockKind::kTicket: return "Ticket";
+    case LockKind::kClh: return "CLH";
+    case LockKind::kAnderson: return "Anderson";
+    case LockKind::kElidableTicket: return "ETicket";
+    case LockKind::kElidableClh: return "ECLH";
+    case LockKind::kElidableAnderson: return "EAnderson";
+  }
+  return "?";
+}
+
+}  // namespace sihle::locks

@@ -1,0 +1,143 @@
+// MCS queue lock (Mellor-Crummey & Scott).  Fair (FIFO) and
+// HLE-compatible as-is: a thread running alone leaves the lock exactly as
+// it found it (tail == nullptr), which is why the paper uses MCS as the
+// representative fair lock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/ctx.h"
+
+namespace sihle::locks {
+
+using runtime::Ctx;
+using runtime::LineHandle;
+using runtime::Machine;
+
+class MCSLock {
+  struct QNode {
+    LineHandle line;
+    mem::Shared<std::uint64_t> locked;  // 1 = wait for predecessor
+    mem::Shared<QNode*> next;
+    explicit QNode(Machine& m)
+        : line(m), locked(line.line(), 0), next(line.line(), nullptr) {}
+  };
+
+ public:
+  explicit MCSLock(Machine& m) : m_(m), tail_line_(m), tail_(tail_line_.line(), nullptr) {}
+
+  static constexpr const char* kName = "MCS";
+  static constexpr bool kFair = true;
+  // Arriving at a held MCS lock under true HLE commits the thread to the
+  // queue: the elided SWAP spins in-transaction on the predecessor, aborts,
+  // and the re-executed SWAP enqueues non-speculatively (§4).
+  static constexpr bool kHleArrivalWaits = false;
+
+  sim::Task<void> acquire(Ctx& c) {
+    QNode& me = node(c);
+    co_await c.store(me.next, static_cast<QNode*>(nullptr));
+    QNode* pred = co_await c.exchange(tail_, &me);
+    if (pred != nullptr) {
+      co_await c.store(me.locked, std::uint64_t{1});
+      co_await c.store(pred->next, &me);
+      co_await runtime::spin_until(c, me.locked, [](std::uint64_t v) { return v == 0; });
+    }
+    co_return;
+  }
+
+  sim::Task<void> release(Ctx& c) {
+    QNode& me = node(c);
+    QNode* succ = co_await c.load(me.next);
+    if (succ == nullptr) {
+      if (co_await c.compare_exchange(tail_, &me, static_cast<QNode*>(nullptr))) {
+        co_return;
+      }
+      // A successor is linking itself; wait for the link to appear.
+      succ = co_await runtime::spin_until(c, me.next,
+                                          [](QNode* n) { return n != nullptr; });
+    }
+    co_await c.store(succ->locked, std::uint64_t{0});
+  }
+
+  // HLE's re-executed XACQUIRE after an abort is the SWAP on the tail: it
+  // unconditionally enqueues, committing the thread to a non-speculative
+  // acquisition.  This is the root of the severe MCS lemming effect.
+  sim::Task<bool> try_acquire_once(Ctx& c) {
+    co_await acquire(c);
+    co_return true;
+  }
+
+  // The lock "appears free" when the queue is empty.
+  sim::Task<bool> is_locked(Ctx& c) {
+    co_return (co_await c.load(tail_)) != nullptr;
+  }
+
+  // Elided XACQUIRE SWAP: reads the tail into the read set.  If the queue
+  // is empty the acquire is elided.  Otherwise the thread becomes a phantom
+  // queue entry, spinning in-transaction on the observed tail node — the
+  // spin ends when queue activity (an enqueue, the queue emptying, or the
+  // tail node's handoff) disturbs the read set and aborts the transaction.
+  // This is what burns HLE-retries budgets while an MCS queue exists (§7.1).
+  // `sleep_when_busy` selects between the true-HLE phantom wait (the abort,
+  // and hence the re-executed enqueue, happens when queue activity disturbs
+  // the read set) and an immediate explicit abort (the RTM retry policy,
+  // which burns its retry budget as fast as it can while a queue exists).
+  sim::Task<void> elided_acquire(Ctx& c, bool sleep_when_busy = true) {
+    QNode* t = co_await c.load(tail_);
+    if (t == nullptr) co_return;
+    if (!sleep_when_busy) c.xabort(runtime::kAbortCodeLockBusy);
+    co_await c.tx_sleep(t->locked);
+  }
+
+  sim::Task<bool> wait_until_free(Ctx& c) {
+    bool waited = false;
+    for (;;) {
+      const std::uint32_t ver = c.line_version(tail_);
+      if (co_await c.load(tail_) == nullptr) co_return waited;
+      waited = true;
+      co_await c.watch_line(tail_, ver);
+    }
+  }
+
+  // --- True HLE prefixes; call inside a transaction ------------------------
+  //
+  // MCS is HLE-compatible as-is: a thread running alone leaves tail at
+  // nullptr, which the XRELEASE CAS restores exactly.
+  sim::Task<void> hle_acquire(Ctx& c) {
+    QNode& me = node(c);
+    co_await c.store(me.next, static_cast<QNode*>(nullptr));
+    QNode* pred = co_await c.xacquire_exchange(tail_, &me);
+    if (pred != nullptr) co_await c.tx_sleep(pred->locked);
+  }
+  sim::Task<void> hle_release(Ctx& c) {
+    QNode& me = node(c);
+    QNode* succ = co_await c.load(me.next);
+    if (succ == nullptr) {
+      const bool restored =
+          co_await c.xrelease_compare_exchange(tail_, &me, static_cast<QNode*>(nullptr));
+      if (restored) co_return;
+    }
+    // A successor observed our phantom node: impossible in an elided run
+    // (the SWAP was never published), so treat as a conflict.
+    c.xabort(runtime::kAbortCodeLockBusy);
+  }
+
+  bool debug_locked() const { return tail_.debug_value() != nullptr; }
+
+ private:
+  QNode& node(Ctx& c) {
+    const std::uint32_t tid = c.id();
+    if (tid >= nodes_.size()) nodes_.resize(tid + 1);
+    if (!nodes_[tid]) nodes_[tid] = std::make_unique<QNode>(m_);
+    return *nodes_[tid];
+  }
+
+  Machine& m_;
+  LineHandle tail_line_;
+  mem::Shared<QNode*> tail_;
+  std::vector<std::unique_ptr<QNode>> nodes_;
+};
+
+}  // namespace sihle::locks

@@ -1,0 +1,137 @@
+// Ticket lock (paper Figure 12) and its HLE-adjusted variant (Figure 13,
+// Appendix A).
+//
+// The plain ticket lock is fair but NOT HLE-compatible: releasing
+// increments `owner`, so the release store does not restore the lock to its
+// pre-acquire state as XRELEASE requires.  The elidable variant's release
+// first tries to CAS `next` back down (erasing all trace of the
+// acquisition, which is what a solo or speculative run observes); only if
+// that fails — meaning other requesters arrived — does it increment `owner`
+// like the standard algorithm.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/ctx.h"
+
+namespace sihle::locks {
+
+using runtime::Ctx;
+using runtime::LineHandle;
+using runtime::Machine;
+
+// `next` and `owner` share one cache line, as in the Linux kernel's ticket
+// spinlock, so a single line watch covers the whole lock state.
+class TicketLock {
+ public:
+  explicit TicketLock(Machine& m)
+      : line_(m), next_(line_.line(), 0), owner_(line_.line(), 0) {}
+
+  static constexpr const char* kName = "Ticket";
+  static constexpr bool kFair = true;
+  // Like MCS: the re-executed XACQUIRE F&A takes a ticket, committing the
+  // thread to a non-speculative acquisition.
+  static constexpr bool kHleArrivalWaits = false;
+
+  sim::Task<void> acquire(Ctx& c) {
+    const std::uint64_t my = co_await c.fetch_add(next_, std::uint64_t{1});
+    co_await wait_for_turn(c, my);
+  }
+
+  sim::Task<void> release(Ctx& c) {
+    const std::uint64_t own = co_await c.load(owner_);
+    co_await c.store(owner_, own + 1);
+  }
+
+  sim::Task<bool> try_acquire_once(Ctx& c) {
+    co_await acquire(c);
+    co_return true;
+  }
+
+  sim::Task<bool> is_locked(Ctx& c) {
+    const std::uint64_t n = co_await c.load(next_);
+    const std::uint64_t o = co_await c.load(owner_);
+    co_return n != o;
+  }
+
+  // Elided XACQUIRE F&A: reads next/owner into the read set; free means
+  // next == owner.  Otherwise the thread holds a phantom ticket and spins
+  // in-transaction on owner, which every release disturbs.
+  sim::Task<void> elided_acquire(Ctx& c, bool sleep_when_busy = true) {
+    const std::uint64_t n = co_await c.load(next_);
+    const std::uint64_t o = co_await c.load(owner_);
+    if (n == o) co_return;
+    if (!sleep_when_busy) c.xabort(runtime::kAbortCodeLockBusy);
+    co_await c.tx_sleep(owner_);
+  }
+
+  sim::Task<bool> wait_until_free(Ctx& c) {
+    bool waited = false;
+    for (;;) {
+      const std::uint32_t ver = c.line_version(next_);
+      const std::uint64_t n = co_await c.load(next_);
+      const std::uint64_t o = co_await c.load(owner_);
+      if (n == o) co_return waited;
+      waited = true;
+      co_await c.watch_line(next_, ver);
+    }
+  }
+
+  // --- True HLE prefixes (Figure 12 with XACQUIRE); inside a transaction ---
+  //
+  // The PLAIN ticket lock is deliberately HLE-incompatible: its release
+  // increments owner instead of restoring next, so the elided XACQUIRE is
+  // never balanced and the transaction aborts at commit
+  // (kAbortCodeHleMismatch).  This is the motivation for Appendix A.
+  sim::Task<void> hle_acquire(Ctx& c) {
+    const std::uint64_t cur = co_await c.xacquire_fetch_add(next_, std::uint64_t{1});
+    const std::uint64_t own = co_await c.load(owner_);
+    if (own != cur) c.xabort(runtime::kAbortCodeLockBusy);
+  }
+  sim::Task<void> hle_release(Ctx& c) {
+    const std::uint64_t own = co_await c.load(owner_);
+    co_await c.store(owner_, own + 1);
+  }
+
+  bool debug_locked() const { return next_.debug_value() != owner_.debug_value(); }
+  std::uint64_t debug_next() const { return next_.debug_value(); }
+  std::uint64_t debug_owner() const { return owner_.debug_value(); }
+
+ protected:
+  sim::Task<void> wait_for_turn(Ctx& c, std::uint64_t my) {
+    co_await runtime::spin_until(c, owner_,
+                                 [my](std::uint64_t o) { return o == my; });
+  }
+
+  LineHandle line_;
+  mem::Shared<std::uint64_t> next_;
+  mem::Shared<std::uint64_t> owner_;
+};
+
+// Figure 13: lock-elision adjusted ticket lock.
+class ElidableTicketLock : public TicketLock {
+ public:
+  using TicketLock::TicketLock;
+  static constexpr const char* kName = "ETicket";
+
+  sim::Task<void> release(Ctx& c) {
+    const std::uint64_t own = co_await c.load(owner_);
+    // Optimistically erase the acquisition: next goes from own+1 back to
+    // own.  Succeeds exactly when we were the only requester, restoring the
+    // lock's original state as HLE's XRELEASE requires.
+    if (!(co_await c.compare_exchange(next_, own + 1, own))) {
+      co_await c.store(owner_, own + 1);
+    }
+  }
+
+  // Figure 13's release with the XRELEASE prefix on the restoring CAS: in
+  // an elided run the CAS sees the illusion value own+1, restores next to
+  // own (its true pre-acquire value), and the elision commits.
+  sim::Task<void> hle_release(Ctx& c) {
+    const std::uint64_t own = co_await c.load(owner_);
+    const bool restored = co_await c.xrelease_compare_exchange(next_, own + 1, own);
+    if (!restored) co_await c.store(owner_, own + 1);
+  }
+};
+
+}  // namespace sihle::locks

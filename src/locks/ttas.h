@@ -1,0 +1,87 @@
+// Test-and-test-and-set spinlock (paper Figure 1, minus the HLE prefixes —
+// elision is layered on by the schemes in src/elision).
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/ctx.h"
+
+namespace sihle::locks {
+
+using runtime::Ctx;
+using runtime::LineHandle;
+using runtime::Machine;
+
+class TTASLock {
+ public:
+  explicit TTASLock(Machine& m) : line_(m), locked_(line_.line(), 0) {}
+
+  static constexpr const char* kName = "TTAS";
+  static constexpr bool kFair = false;
+  // Arriving at a held TTAS lock under true HLE just spins (the re-executed
+  // TAS returns 1 without enqueueing), so the thread waits and re-elides.
+  static constexpr bool kHleArrivalWaits = true;
+
+  sim::Task<void> acquire(Ctx& c) {
+    for (;;) {
+      co_await runtime::spin_until(c, locked_, [](std::uint64_t v) { return v == 0; });
+      if (co_await c.exchange(locked_, std::uint64_t{1}) == 0) co_return;
+    }
+  }
+
+  sim::Task<void> release(Ctx& c) { co_await c.store(locked_, std::uint64_t{0}); }
+
+  // One test-and-set, as HLE's re-executed XACQUIRE store performs after an
+  // abort.  Returns true if the lock was acquired.
+  sim::Task<bool> try_acquire_once(Ctx& c) {
+    co_return (co_await c.exchange(locked_, std::uint64_t{1})) == 0;
+  }
+
+  // Lock-state read; transactional inside a transaction (this is the read
+  // that puts the lock's line in an eliding transaction's read set).
+  sim::Task<bool> is_locked(Ctx& c) { co_return (co_await c.load(locked_)) != 0; }
+
+  // Elided XACQUIRE TAS: reads the lock into the read set.  If it is free
+  // the store is elided and the critical section proceeds; if taken, the
+  // transaction self-aborts (the caller spins outside and re-elides, per
+  // the TTAS loop of Figure 1).
+  sim::Task<void> elided_acquire(Ctx& c, bool sleep_when_busy = true) {
+    (void)sleep_when_busy;  // TTAS waiters spin outside the transaction
+    const std::uint64_t v = co_await c.load(locked_);
+    if (v != 0) c.xabort(runtime::kAbortCodeLockBusy);
+  }
+
+  // Wait (non-transactionally) until the lock appears free.  Returns true
+  // if the caller had to wait — i.e. it arrived while the lock was held.
+  sim::Task<bool> wait_until_free(Ctx& c) {
+    bool waited = false;
+    for (;;) {
+      const std::uint32_t ver = c.line_version(locked_);
+      if (co_await c.load(locked_) == 0) co_return waited;
+      waited = true;
+      co_await c.watch_line(locked_, ver);
+    }
+  }
+
+  // --- True HLE prefixes (Figure 1 verbatim); call inside a transaction ---
+
+  // XACQUIRE TAS: elides the lock store; the transaction locally sees the
+  // lock as taken.  A non-zero old value means the lock is genuinely held.
+  sim::Task<void> hle_acquire(Ctx& c) {
+    const std::uint64_t old = co_await c.xacquire_exchange(locked_, std::uint64_t{1});
+    if (old != 0) c.xabort(runtime::kAbortCodeLockBusy);
+  }
+  // XRELEASE store of 0 restores the pre-acquire value, so the elision
+  // commits.
+  sim::Task<void> hle_release(Ctx& c) {
+    co_await c.xrelease_store(locked_, std::uint64_t{0});
+  }
+
+  bool debug_locked() const { return locked_.debug_value() != 0; }
+
+ private:
+  LineHandle line_;
+  mem::Shared<std::uint64_t> locked_;
+};
+
+}  // namespace sihle::locks

@@ -1,0 +1,56 @@
+// Cache-line conflict directory.
+//
+// Tracks, per 64-byte line, which transactions currently have the line in
+// their read set (bitmask over thread ids) and which single transaction, if
+// any, has it in its write set.  The HTM layer consults and updates this
+// state to implement Haswell's requestor-wins conflict policy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/shared.h"
+
+namespace sihle::mem {
+
+struct LineState {
+  std::uint64_t tx_readers = 0;  // bitmask of thread ids with line in read set
+  std::int16_t tx_writer = -1;   // thread id with line in write set, -1 if none
+  // Bumped on every publish (non-transactional store/RMW or transaction
+  // commit) to the line; used by the executor's blocking-wait primitive to
+  // close the window between observing a value and suspending.
+  std::uint32_t version = 0;
+
+  bool clean() const { return tx_readers == 0 && tx_writer == -1; }
+};
+
+class Directory {
+ public:
+  Line alloc() {
+    if (!freelist_.empty()) {
+      Line l = freelist_.back();
+      freelist_.pop_back();
+      return l;
+    }
+    states_.emplace_back();
+    return static_cast<Line>(states_.size() - 1);
+  }
+
+  // The caller (Machine::free_line) is responsible for clearing any residual
+  // transactional footprint before returning a line to the pool.
+  void free(Line l) {
+    states_[l] = LineState{};
+    freelist_.push_back(l);
+  }
+
+  LineState& operator[](Line l) { return states_[l]; }
+  const LineState& operator[](Line l) const { return states_[l]; }
+
+  std::size_t allocated_lines() const { return states_.size() - freelist_.size(); }
+
+ private:
+  std::vector<LineState> states_;
+  std::vector<Line> freelist_;
+};
+
+}  // namespace sihle::mem

@@ -1,0 +1,63 @@
+// Simulated shared-memory cells.
+//
+// All memory that simulated threads share is declared as Shared<T> cells.
+// A cell stores its committed value (transactional stores are buffered in
+// the writer's transaction context until commit) and the id of the 64-byte
+// cache line it lives on.  Conflict detection is per line, so several cells
+// placed on one line conflict as a unit — exactly like fields of one struct
+// on real hardware.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace sihle::mem {
+
+using Line = std::uint32_t;
+
+// Values must fit a single 8-byte word so the write buffer can stage them
+// uniformly; this covers integers, pointers, bools and enums, which is all
+// the paper's algorithms and workloads need.
+template <typename T>
+concept SharedValue = std::is_trivially_copyable_v<T> && sizeof(T) <= 8;
+
+// Type-erased storage cell: a 64-bit word plus its cache-line id.
+class RawCell {
+ public:
+  RawCell(Line line, std::uint64_t init) : raw_(init), line_(line) {}
+
+  RawCell(const RawCell&) = delete;
+  RawCell& operator=(const RawCell&) = delete;
+
+  Line line() const { return line_; }
+  std::uint64_t raw() const { return raw_; }
+  void set_raw(std::uint64_t v) { raw_ = v; }
+
+ private:
+  std::uint64_t raw_;
+  Line line_;
+};
+
+template <SharedValue T>
+class Shared : public RawCell {
+ public:
+  Shared(Line line, T init) : RawCell(line, pack(init)) {}
+
+  static std::uint64_t pack(T v) {
+    std::uint64_t raw = 0;
+    std::memcpy(&raw, &v, sizeof(T));
+    return raw;
+  }
+  static T unpack(std::uint64_t raw) {
+    T v;
+    std::memcpy(&v, &raw, sizeof(T));
+    return v;
+  }
+
+  // Peek at the committed value without simulating an access.  For test
+  // assertions and post-run validation only — never from workload code.
+  T debug_value() const { return unpack(raw()); }
+};
+
+}  // namespace sihle::mem

@@ -1,0 +1,35 @@
+// Sense-reversing barrier over simulated memory, for multi-phase workloads
+// (e.g. genome's dedup → link phases).  Non-transactional: arrive() must be
+// called outside any critical section.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/ctx.h"
+
+namespace sihle::runtime {
+
+class Barrier {
+ public:
+  Barrier(Machine& m, std::uint32_t threads)
+      : line_(m), count_(line_.line(), 0), gen_(line_.line(), 0), threads_(threads) {}
+
+  sim::Task<void> arrive(Ctx& c) {
+    const std::uint64_t g = co_await c.load(gen_);
+    const std::uint64_t n = co_await c.fetch_add(count_, std::uint64_t{1}) + 1;
+    if (n == threads_) {
+      co_await c.store(count_, std::uint64_t{0});
+      co_await c.store(gen_, g + 1);
+      co_return;
+    }
+    co_await spin_until(c, gen_, [g](std::uint64_t cur) { return cur != g; });
+  }
+
+ private:
+  LineHandle line_;
+  mem::Shared<std::uint64_t> count_;
+  mem::Shared<std::uint64_t> gen_;
+  std::uint32_t threads_;
+};
+
+}  // namespace sihle::runtime

@@ -1,0 +1,526 @@
+// Ctx: the per-logical-thread access API.
+//
+// Workload code receives a Ctx& and performs every shared-memory access
+// through it: `co_await ctx.load(cell)`, `co_await ctx.store(cell, v)`, etc.
+// Each access is one simulation event: the effect is applied against the
+// directory/HTM, the thread's virtual clock is charged, and the coroutine
+// suspends back to the executor so other logical threads interleave.
+//
+// Inside a transaction (Ctx::with_tx) the same calls become transactional
+// accesses; an abort unwinds the workload coroutine with TxAbortException,
+// which with_tx converts into a returned AbortStatus.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "htm/abort.h"
+#include "htm/htm.h"
+#include "mem/shared.h"
+#include "runtime/machine.h"
+#include "sim/task.h"
+
+namespace sihle::runtime {
+
+using mem::Shared;
+using mem::SharedValue;
+
+// XABORT code used by the schemes to signal "lock was observed taken".
+inline constexpr std::uint8_t kAbortCodeLockBusy = 0xff;
+
+class Ctx {
+ public:
+  Ctx(Machine& m, std::uint32_t tid) : m_(m), tid_(tid) {}
+
+  Machine& machine() { return m_; }
+  std::uint32_t id() const { return tid_; }
+  sim::Cycles now() const { return m_.exec().thread(tid_).clock; }
+  sim::Rng& rng() { return m_.exec().thread(tid_).rng; }
+  bool in_tx() const { return m_.htm().in_tx(tid_); }
+
+ private:
+  sim::ThreadState& ts() { return m_.exec().thread(tid_); }
+
+  // --- awaitables ----------------------------------------------------------
+
+  struct OpBase {
+    Ctx& c;
+    htm::AbortStatus abort{};
+    std::uint64_t value = 0;
+    bool await_ready() const noexcept { return false; }
+    void finish(std::coroutine_handle<> h, sim::Cycles cost) {
+      c.ts().clock += cost;
+      c.m_.exec().suspend_current(h);
+    }
+    std::uint64_t resume_raw() {
+      if (!abort.ok()) throw htm::TxAbortException(abort);
+      return value;
+    }
+  };
+
+  struct LoadOp : OpBase {
+    const mem::RawCell& cell;
+    LoadOp(Ctx& c, const mem::RawCell& cell) : OpBase{c}, cell(cell) {}
+    void await_suspend(std::coroutine_handle<> h) {
+      auto& m = c.m_;
+      if (m.htm().in_tx(c.tid_)) {
+        auto r = m.htm().tx_load(c.tid_, cell, c.rng());
+        value = r.value;
+        abort = r.abort;
+        finish(h, m.costs().tx_access);
+      } else {
+        value = m.htm().nontx_load(c.tid_, cell);
+        finish(h, m.costs().mem_access);
+      }
+    }
+  };
+
+  struct StoreOp : OpBase {
+    mem::RawCell& cell;
+    std::uint64_t v;
+    StoreOp(Ctx& c, mem::RawCell& cell, std::uint64_t v) : OpBase{c}, cell(cell), v(v) {}
+    void await_suspend(std::coroutine_handle<> h) {
+      auto& m = c.m_;
+      if (m.htm().in_tx(c.tid_)) {
+        auto r = m.htm().tx_store(c.tid_, cell, v, c.rng());
+        abort = r.abort;
+        finish(h, m.costs().tx_access);
+      } else {
+        m.htm().nontx_store(c.tid_, cell, v);
+        finish(h, m.costs().mem_access);
+        m.exec().wake_watchers(cell.line(), c.ts().clock, m.costs());
+      }
+    }
+  };
+
+  enum class RmwKind { kExchange, kCompareExchange, kFetchAdd };
+
+  // Atomic read-modify-write.  Non-transactionally this is a locked bus op:
+  // it always counts as a write for conflict purposes (the RFO dooms every
+  // transaction with the line in its footprint, even if a CAS fails).
+  // Transactionally it is a read + buffered write in one event.
+  struct RmwOp : OpBase {
+    mem::RawCell& cell;
+    RmwKind kind;
+    std::uint64_t a, b;
+    bool success = false;  // CAS outcome
+    RmwOp(Ctx& c, mem::RawCell& cell, RmwKind k, std::uint64_t a, std::uint64_t b)
+        : OpBase{c}, cell(cell), kind(k), a(a), b(b) {}
+
+    std::uint64_t apply(std::uint64_t old) {
+      switch (kind) {
+        case RmwKind::kExchange:
+          success = true;
+          return a;
+        case RmwKind::kCompareExchange:
+          success = (old == a);
+          return success ? b : old;
+        case RmwKind::kFetchAdd:
+          success = true;
+          return old + a;
+      }
+      return old;
+    }
+
+    void await_suspend(std::coroutine_handle<> h) {
+      auto& m = c.m_;
+      if (m.htm().in_tx(c.tid_)) {
+        auto r = m.htm().tx_load(c.tid_, cell, c.rng());
+        if (!r.abort.ok()) {
+          abort = r.abort;
+          finish(h, m.costs().tx_access);
+          return;
+        }
+        value = r.value;
+        const std::uint64_t nv = apply(r.value);
+        auto w = m.htm().tx_store(c.tid_, cell, nv, c.rng());
+        abort = w.abort;
+        finish(h, m.costs().rmw);
+      } else {
+        value = m.htm().nontx_load(c.tid_, cell);
+        const std::uint64_t nv = apply(value);
+        // The RFO write request dooms conflicting transactions regardless of
+        // whether the value changes.
+        m.htm().nontx_store(c.tid_, cell, nv);
+        finish(h, m.costs().rmw);
+        m.exec().wake_watchers(cell.line(), c.ts().clock, m.costs());
+      }
+    }
+  };
+
+  struct WorkOp {
+    Ctx& c;
+    std::uint64_t units;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      c.ts().clock += units * c.m_.costs().work_unit;
+      c.m_.exec().suspend_current(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  struct WatchLineOp {
+    Ctx& c;
+    mem::Line line;
+    std::uint32_t seen_version;
+    mem::Line line2 = sim::kInvalidLine;
+    std::uint32_t seen_version2 = 0;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      assert(!c.in_tx() && "watch_line() is a non-transactional primitive");
+      const bool moved =
+          c.m_.dir()[line].version != seen_version ||
+          (line2 != sim::kInvalidLine && c.m_.dir()[line2].version != seen_version2);
+      if (moved) {
+        // A watched line was published to since the caller sampled it:
+        // charge one spin probe and stay runnable (guards against missed
+        // wakeups).
+        c.ts().clock += c.m_.costs().spin_iter;
+        c.m_.exec().suspend_current(h);
+      } else {
+        c.m_.exec().block_current_on_line(line, h, line2);
+      }
+    }
+    void await_resume() const noexcept {}
+  };
+
+  // In-transaction sleep: models spinning inside a transaction on a line in
+  // the read set (e.g. an elided queue-lock acquire spinning on its phantom
+  // predecessor).  The cell's line joins the read set, so any disturbance —
+  // a write to it or to anything else this transaction read — dooms the
+  // transaction and wakes the sleeper.  Always ends by throwing the abort.
+  struct TxSleepOp : OpBase {
+    const mem::RawCell& cell;
+    TxSleepOp(Ctx& c, const mem::RawCell& cell) : OpBase{c}, cell(cell) {}
+    void await_suspend(std::coroutine_handle<> h) {
+      assert(c.in_tx() && "tx_sleep() is only meaningful inside a transaction");
+      auto& m = c.m_;
+      auto r = m.htm().tx_load(c.tid_, cell, c.rng());
+      abort = r.abort;
+      if (!abort.ok()) {
+        finish(h, m.costs().tx_access);
+        return;
+      }
+      c.ts().clock += m.costs().tx_access;
+      m.exec().block_current_on_line(cell.line(), h);
+    }
+    void await_resume() {
+      if (!abort.ok()) throw htm::TxAbortException(abort);
+      const auto& t = c.m_.htm().tx(c.tid_);
+      throw htm::TxAbortException(
+          t.doomed ? t.doom_status
+                   : htm::AbortStatus{htm::AbortCause::kConflict, 0, /*retry=*/true});
+    }
+  };
+
+  enum class XAcquireKind { kExchange, kFetchAdd };
+
+  struct XAcquireOp : OpBase {
+    mem::RawCell& cell;
+    std::uint64_t operand;
+    XAcquireKind kind;
+    XAcquireOp(Ctx& c, mem::RawCell& cell, std::uint64_t operand, XAcquireKind k)
+        : OpBase{c}, cell(cell), operand(operand), kind(k) {}
+    void await_suspend(std::coroutine_handle<> h) {
+      assert(c.in_tx() && "XACQUIRE is only modelled inside a transaction");
+      auto& m = c.m_;
+      // Peek the current (illusion-aware) value to compute the intended
+      // stored value, then record the elision.
+      auto peek = m.htm().tx_load(c.tid_, cell, c.rng());
+      if (!peek.abort.ok()) {
+        abort = peek.abort;
+        finish(h, m.costs().tx_access);
+        return;
+      }
+      const std::uint64_t intended =
+          kind == XAcquireKind::kExchange ? operand : peek.value + operand;
+      auto r = m.htm().xacquire_store(c.tid_, cell, intended, c.rng());
+      abort = r.abort;
+      value = peek.value;
+      finish(h, m.costs().rmw);
+    }
+  };
+
+  struct XReleaseOp : OpBase {
+    mem::RawCell& cell;
+    std::uint64_t v;
+    XReleaseOp(Ctx& c, mem::RawCell& cell, std::uint64_t v) : OpBase{c}, cell(cell), v(v) {}
+    void await_suspend(std::coroutine_handle<> h) {
+      assert(c.in_tx() && "XRELEASE is only modelled inside a transaction");
+      auto& m = c.m_;
+      auto r = m.htm().xrelease_store(c.tid_, cell, v, c.rng());
+      abort = r.abort;
+      finish(h, m.costs().tx_access);
+    }
+  };
+
+  struct BeginOp {
+    Ctx& c;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      c.m_.htm().begin(c.tid_, c.rng());
+      c.ts().clock += c.m_.costs().tx_begin;
+      if (auto* tr = c.m_.tx_trace()) tr->on_begin(c.tid_, c.ts().clock);
+      c.m_.exec().suspend_current(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  struct CommitOp : OpBase {
+    explicit CommitOp(Ctx& c) : OpBase{c} {}
+    void await_suspend(std::coroutine_handle<> h) {
+      auto& m = c.m_;
+      std::vector<mem::Line> published;
+      abort = m.htm().commit(c.tid_, published);
+      if (abort.ok()) {
+        finish(h, m.costs().tx_commit);
+        if (auto* tr = m.tx_trace()) {
+          tr->on_end(c.tid_, c.ts().clock, htm::AbortCause::kNone);
+        }
+        for (mem::Line l : published) {
+          m.exec().wake_watchers(l, c.ts().clock, m.costs());
+        }
+        auto& t = m.htm().tx(c.tid_);
+        for (auto& f : t.retire_on_commit) m.add_limbo(std::move(f));
+        t.retire_on_commit.clear();
+        m.maybe_drain();
+      } else {
+        finish(h, m.costs().mem_access);
+      }
+    }
+    void await_resume() { (void)resume_raw(); }
+  };
+
+  struct RollbackOp {
+    Ctx& c;
+    htm::AbortStatus status{};
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      c.m_.htm().rollback(c.tid_);
+      c.ts().clock += c.m_.costs().tx_abort;
+      if (auto* tr = c.m_.tx_trace()) tr->on_end(c.tid_, c.ts().clock, status.cause);
+      c.m_.exec().suspend_current(h);
+      c.m_.maybe_drain();
+    }
+    void await_resume() const noexcept {}
+  };
+
+ public:
+  // --- Memory access -------------------------------------------------------
+
+  template <SharedValue T>
+  auto load(const Shared<T>& cell) {
+    struct Op : LoadOp {
+      using LoadOp::LoadOp;
+      T await_resume() { return Shared<T>::unpack(this->resume_raw()); }
+    };
+    return Op{*this, cell};
+  }
+
+  template <SharedValue T>
+  auto store(Shared<T>& cell, T v) {
+    struct Op : StoreOp {
+      using StoreOp::StoreOp;
+      void await_resume() { (void)this->resume_raw(); }
+    };
+    return Op{*this, cell, Shared<T>::pack(v)};
+  }
+
+  // Atomic swap; returns the previous value.
+  template <SharedValue T>
+  auto exchange(Shared<T>& cell, T v) {
+    struct Op : RmwOp {
+      using RmwOp::RmwOp;
+      T await_resume() { return Shared<T>::unpack(this->resume_raw()); }
+    };
+    return Op{*this, cell, RmwKind::kExchange, Shared<T>::pack(v), 0};
+  }
+
+  // Atomic compare-and-swap; returns true on success.
+  template <SharedValue T>
+  auto compare_exchange(Shared<T>& cell, T expected, T desired) {
+    struct Op : RmwOp {
+      using RmwOp::RmwOp;
+      bool await_resume() {
+        (void)this->resume_raw();
+        return this->success;
+      }
+    };
+    return Op{*this, cell, RmwKind::kCompareExchange, Shared<T>::pack(expected),
+              Shared<T>::pack(desired)};
+  }
+
+  // Atomic fetch-and-add; returns the previous value.  T must be integral.
+  template <SharedValue T>
+  auto fetch_add(Shared<T>& cell, T delta) {
+    static_assert(std::is_integral_v<T>);
+    struct Op : RmwOp {
+      using RmwOp::RmwOp;
+      T await_resume() { return Shared<T>::unpack(this->resume_raw()); }
+    };
+    return Op{*this, cell, RmwKind::kFetchAdd, Shared<T>::pack(delta), 0};
+  }
+
+  // Private computation: advances this thread's clock without touching
+  // shared memory.
+  auto work(std::uint64_t units) { return WorkOp{*this, units}; }
+
+  // Sleep inside the running transaction until it is doomed (or the cell's
+  // line is republished); always aborts.  See TxSleepOp.
+  template <SharedValue T>
+  auto tx_sleep(const Shared<T>& cell) {
+    return TxSleepOp{*this, cell};
+  }
+
+  // --- True HLE prefixes (§3); only meaningful inside a transaction --------
+
+  // XACQUIRE-prefixed swap: elides the store (line joins the read set only)
+  // and returns the pre-store value; later reads of the cell see `v`.
+  template <SharedValue T>
+  auto xacquire_exchange(Shared<T>& cell, T v) {
+    struct Op : XAcquireOp {
+      using XAcquireOp::XAcquireOp;
+      T await_resume() { return Shared<T>::unpack(this->resume_raw()); }
+    };
+    return Op{*this, cell, Shared<T>::pack(v), XAcquireKind::kExchange};
+  }
+
+  // XACQUIRE-prefixed fetch-and-add; returns the pre-add value.
+  template <SharedValue T>
+  auto xacquire_fetch_add(Shared<T>& cell, T delta) {
+    static_assert(std::is_integral_v<T>);
+    struct Op : XAcquireOp {
+      using XAcquireOp::XAcquireOp;
+      T await_resume() { return Shared<T>::unpack(this->resume_raw()); }
+    };
+    return Op{*this, cell, Shared<T>::pack(delta), XAcquireKind::kFetchAdd};
+  }
+
+  // XRELEASE-prefixed store: must restore the elided cell's original value
+  // or the transaction aborts (kAbortCodeHleMismatch).
+  template <SharedValue T>
+  auto xrelease_store(Shared<T>& cell, T v) {
+    struct Op : XReleaseOp {
+      using XReleaseOp::XReleaseOp;
+      void await_resume() { (void)this->resume_raw(); }
+    };
+    return Op{*this, cell, Shared<T>::pack(v)};
+  }
+
+  // XRELEASE-prefixed CAS (the Appendix-A locks' releasing instruction):
+  // on success the store goes through xrelease semantics; on failure it is
+  // just the transactional read.  Returns whether the CAS succeeded.
+  template <SharedValue T>
+  sim::Task<bool> xrelease_compare_exchange(Shared<T>& cell, T expected, T desired) {
+    const T cur = co_await load(cell);
+    if (Shared<T>::pack(cur) != Shared<T>::pack(expected)) co_return false;
+    co_await xrelease_store(cell, desired);
+    co_return true;
+  }
+
+  // Current publish-version of the cell's line.  A simulator-internal peek
+  // (no event) used together with watch_line() to wait without spinning.
+  std::uint32_t line_version(const mem::RawCell& cell) {
+    return m_.dir()[cell.line()].version;
+  }
+
+  // Block until the cell's line is published to again (its version moves
+  // past `seen_version`).  Non-transactional only.  Usage: sample
+  // line_version, load and test the condition, then watch_line with the
+  // sampled version — a publish in between makes watch_line return
+  // immediately, so wakeups cannot be missed.
+  auto watch_line(const mem::RawCell& cell, std::uint32_t seen_version) {
+    return WatchLineOp{*this, cell.line(), seen_version};
+  }
+
+  // Two-line variant, for wait conditions spanning two cache lines (e.g.
+  // the CLH lock's tail pointer and the tail node's locked flag).
+  auto watch_lines(const mem::RawCell& a, std::uint32_t ver_a,
+                   const mem::RawCell& b, std::uint32_t ver_b) {
+    return WatchLineOp{*this, a.line(), ver_a, b.line(), ver_b};
+  }
+
+  // --- Transactions --------------------------------------------------------
+
+  // Runs `body()` (a callable returning Task<void>) as one transaction.
+  // Returns AbortStatus with cause kNone on commit.  Nesting is forbidden.
+  template <class Body>
+  sim::Task<htm::AbortStatus> with_tx(Body body) {
+    assert(!in_tx());
+    co_await BeginOp{*this};
+    htm::AbortStatus status{};
+    try {
+      co_await body();
+      co_await CommitOp{*this};
+    } catch (const htm::TxAbortException& e) {
+      status = e.status();
+    }
+    if (!status.ok()) co_await RollbackOp{*this, status};
+    co_return status;
+  }
+
+  // XABORT: self-abort the running transaction with an 8-bit code.
+  [[noreturn]] void xabort(std::uint8_t code) {
+    assert(in_tx());
+    throw htm::TxAbortException(
+        htm::AbortStatus{htm::AbortCause::kExplicit, code, /*retry=*/true});
+  }
+
+  // --- Speculation-safe allocation ----------------------------------------
+
+  // Allocate an object; if called inside a transaction, the allocation is
+  // undone should the transaction abort.
+  template <class T, class... Args>
+  T* tx_new(Args&&... args) {
+    T* p = new T(std::forward<Args>(args)...);
+    if (in_tx()) {
+      m_.htm().tx(tid_).undo_on_abort.push_back([p] { delete p; });
+    }
+    return p;
+  }
+
+  // Retire an object unlinked by the current critical section.  Reclamation
+  // is deferred until no transaction is active; if called inside a
+  // transaction, it only takes effect if the transaction commits.
+  template <class T>
+  void retire(T* p) {
+    auto reclaim = [p] { delete p; };
+    if (in_tx()) {
+      m_.htm().tx(tid_).retire_on_commit.push_back(reclaim);
+    } else {
+      m_.add_limbo(reclaim);
+    }
+  }
+
+ private:
+  Machine& m_;
+  std::uint32_t tid_;
+};
+
+// Spin until pred(value of cell) holds; returns the satisfying value.
+// Non-transactional: waiting threads block on the cell's line and are woken
+// by publishes, so waiting costs no simulation events while idle.
+template <SharedValue T, class Pred>
+sim::Task<T> spin_until(Ctx& ctx, const Shared<T>& cell, Pred pred) {
+  for (;;) {
+    const std::uint32_t ver = ctx.line_version(cell);
+    T v = co_await ctx.load(cell);
+    if (pred(v)) co_return v;
+    co_await ctx.watch_line(cell, ver);
+  }
+}
+
+template <class F>
+std::uint32_t Machine::spawn(F&& make_body) {
+  const auto tid = static_cast<std::uint32_t>(ctxs_.size());
+  ctxs_.push_back(std::make_unique<Ctx>(*this, tid));
+  const std::uint32_t got = exec_.spawn(make_body(*ctxs_.back()));
+  assert(got == tid);
+  (void)got;
+  return tid;
+}
+
+}  // namespace sihle::runtime

@@ -1,0 +1,14 @@
+#include "runtime/machine.h"
+
+#include "runtime/ctx.h"
+
+namespace sihle::runtime {
+
+Machine::~Machine() = default;
+
+void Machine::run() {
+  exec_.run();
+  maybe_drain();
+}
+
+}  // namespace sihle::runtime

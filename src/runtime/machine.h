@@ -1,0 +1,145 @@
+// Machine: composition root of the simulator.
+//
+// Owns the discrete-event executor, the cache-line directory, the HTM model
+// and the cost model, and provides line lifecycle management with deferred
+// (quiescence-based) reclamation so that zombie transactions — possible
+// under SLR, which sacrifices opacity — can never dereference freed memory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "htm/htm.h"
+#include "mem/directory.h"
+#include "sim/cost_model.h"
+#include "sim/executor.h"
+#include "stats/tx_trace.h"
+
+namespace sihle::runtime {
+
+class Ctx;
+
+class Machine {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;
+    sim::CostModel costs{};
+    htm::HtmConfig htm{};
+    // Schedule fuzzing: break equal-virtual-clock ties randomly (still
+    // deterministic per seed) instead of by lowest thread id.
+    bool random_tie_break = false;
+  };
+
+  Machine() : Machine(Config{}) {}
+  explicit Machine(Config cfg)
+      : cfg_(cfg), exec_(cfg.seed, cfg.random_tie_break), htm_(dir_, cfg.htm) {
+    // Aborts are asynchronous on real hardware: a doomed transaction whose
+    // thread is blocked (sleeping in-transaction) must be woken so it can
+    // observe the abort.
+    htm_.set_doom_listener([this](std::uint32_t victim) {
+      // Direct HTM use (tests) may run without simulated threads.
+      if (victim >= exec_.thread_count()) return;
+      auto& t = exec_.thread(victim);
+      if (t.state == sim::RunState::kBlocked) {
+        t.state = sim::RunState::kRunnable;
+        t.watch_line = sim::kInvalidLine;
+        t.watch_line2 = sim::kInvalidLine;
+        t.clock = std::max(t.clock, exec_.current().clock + cfg_.costs.wake_latency);
+      }
+    });
+  }
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+  ~Machine();
+
+  // Registers a logical thread.  `make_body` is invoked once, immediately,
+  // with the thread's Ctx and must return the (lazy) root task — typically
+  // by calling a coroutine function whose parameters capture what the
+  // thread needs.  Do not pass a coroutine lambda: its captures would not
+  // outlive this call.
+  template <class F>
+  std::uint32_t spawn(F&& make_body);  // defined in ctx.h
+
+  // Runs the simulation to completion and drains deferred reclamation.
+  void run();
+
+  sim::Executor& exec() { return exec_; }
+  mem::Directory& dir() { return dir_; }
+  htm::Htm& htm() { return htm_; }
+  const sim::CostModel& costs() const { return cfg_.costs; }
+  const Config& config() const { return cfg_; }
+
+  Ctx& ctx(std::uint32_t tid) { return *ctxs_[tid]; }
+
+  // Optional transaction-level tracing (see stats::TxTrace).  The trace
+  // object must outlive the run; pass nullptr to disable.
+  void set_tx_trace(stats::TxTrace* t) { tx_trace_ = t; }
+  stats::TxTrace* tx_trace() { return tx_trace_; }
+
+  // --- Line lifecycle ------------------------------------------------------
+  mem::Line alloc_line() { return dir_.alloc(); }
+  void free_line(mem::Line l) { htm_.on_line_freed(l); }
+
+  // --- Deferred reclamation ------------------------------------------------
+  // Queue a reclamation action; it runs once no transaction is active, so a
+  // zombie transaction can still safely read the dead object's lines.
+  void add_limbo(std::function<void()> f) {
+    limbo_.push_back(std::move(f));
+    maybe_drain();
+  }
+  void maybe_drain() {
+    if (htm_.active_count() != 0 || limbo_.empty()) return;
+    // Reclaimers may retire further objects; swap first.
+    std::vector<std::function<void()>> batch;
+    batch.swap(limbo_);
+    for (auto& f : batch) f();
+  }
+  std::size_t limbo_size() const { return limbo_.size(); }
+
+ private:
+  Config cfg_;
+  sim::Executor exec_;
+  mem::Directory dir_;
+  htm::Htm htm_;
+  std::vector<std::unique_ptr<Ctx>> ctxs_;
+  std::vector<std::function<void()>> limbo_;
+  stats::TxTrace* tx_trace_ = nullptr;
+};
+
+// RAII ownership of one simulated cache line.  Objects holding Shared<T>
+// fields own their line(s) through this handle; destruction returns the
+// line to the directory (dooming any residual speculative footprint, which
+// models the physical line being reused).
+class LineHandle {
+ public:
+  explicit LineHandle(Machine& m) : m_(&m), line_(m.alloc_line()) {}
+  LineHandle(LineHandle&& o) noexcept
+      : m_(std::exchange(o.m_, nullptr)), line_(o.line_) {}
+  LineHandle& operator=(LineHandle&& o) noexcept {
+    if (this != &o) {
+      release();
+      m_ = std::exchange(o.m_, nullptr);
+      line_ = o.line_;
+    }
+    return *this;
+  }
+  LineHandle(const LineHandle&) = delete;
+  LineHandle& operator=(const LineHandle&) = delete;
+  ~LineHandle() { release(); }
+
+  mem::Line line() const { return line_; }
+
+ private:
+  void release() {
+    if (m_ != nullptr) m_->free_line(line_);
+    m_ = nullptr;
+  }
+  Machine* m_;
+  mem::Line line_ = 0;
+};
+
+}  // namespace sihle::runtime

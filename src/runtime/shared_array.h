@@ -1,0 +1,40 @@
+// Array of Shared<T> cells packed eight per 64-byte cache line, as a real
+// array of 8-byte slots would be.  Used for hash-table bucket heads, grids,
+// and other array-shaped shared state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/shared.h"
+#include "runtime/machine.h"
+
+namespace sihle::runtime {
+
+template <mem::SharedValue T>
+class SharedArray {
+ public:
+  static constexpr std::size_t kCellsPerLine = 8;  // 64B / 8B
+
+  SharedArray(Machine& m, std::size_t n, T init) {
+    const std::size_t lines = (n + kCellsPerLine - 1) / kCellsPerLine;
+    lines_.reserve(lines);
+    for (std::size_t i = 0; i < lines; ++i) lines_.emplace_back(m);
+    cells_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      cells_.push_back(
+          std::make_unique<mem::Shared<T>>(lines_[i / kCellsPerLine].line(), init));
+    }
+  }
+
+  std::size_t size() const { return cells_.size(); }
+  mem::Shared<T>& operator[](std::size_t i) { return *cells_[i]; }
+  const mem::Shared<T>& operator[](std::size_t i) const { return *cells_[i]; }
+
+ private:
+  std::vector<LineHandle> lines_;
+  std::vector<std::unique_ptr<mem::Shared<T>>> cells_;
+};
+
+}  // namespace sihle::runtime

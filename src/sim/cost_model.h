@@ -1,0 +1,50 @@
+// Virtual-time cost model.
+//
+// Every simulated event charges the issuing logical thread a number of
+// virtual cycles.  The constants below are order-of-magnitude figures for a
+// Haswell-class part (3.4 GHz Core i7-4770 in the paper); the ablation bench
+// `ablation_costmodel` demonstrates that the paper's qualitative results are
+// insensitive to the exact values.
+#pragma once
+
+#include <cstdint>
+
+namespace sihle::sim {
+
+using Cycles = std::uint64_t;
+
+struct CostModel {
+  // Plain (non-transactional) load / store of a shared line.  Shared-data
+  // accesses in a contended multi-core run are dominated by coherence
+  // misses (L2/L3/remote-L1 transfers), not L1 hits, so the blended cost is
+  // a few dozen cycles.  This ratio of critical-section length to abort
+  // cost is what the retry-policy dynamics (§7.1) hinge on; see the
+  // ablation_costmodel bench.
+  Cycles mem_access = 40;
+  // Atomic read-modify-write (CAS / SWAP / F&A): locked bus operation.
+  Cycles rmw = 60;
+  // Transactional load / store (read- or write-set bookkeeping included).
+  Cycles tx_access = 40;
+  // XBEGIN: checkpoint registers, enter speculation.
+  Cycles tx_begin = 40;
+  // XEND: commit, publish write set.
+  Cycles tx_commit = 50;
+  // Abort: discard speculative state, restore checkpoint, reach handler.
+  // Measured TSX abort round trips are ~150-200 cycles.
+  Cycles tx_abort = 170;
+  // One iteration of a spin-wait loop (test + pause).
+  Cycles spin_iter = 10;
+  // Latency from a store publishing to a waiter observing the new value
+  // (coherence propagation).
+  Cycles wake_latency = 40;
+  // Charged when a blocked thread is woken (reload of the watched line).
+  Cycles wake_reload = 12;
+
+  // One "unit" of private computation, used by workloads via Ctx::work().
+  Cycles work_unit = 1;
+
+  // Virtual cycles per simulated millisecond (paper machine: 3.4 GHz).
+  Cycles cycles_per_ms = 3'400'000;
+};
+
+}  // namespace sihle::sim

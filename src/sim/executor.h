@@ -1,0 +1,120 @@
+// Discrete-event executor for logical threads.
+//
+// All logical threads run on a single OS thread.  The executor repeatedly
+// resumes the runnable thread with the smallest virtual clock, so the
+// interleaving of simulated shared-memory accesses is totally ordered by
+// virtual time and fully deterministic for a given seed.  This models N
+// hardware threads executing in parallel: each thread's clock advances by
+// the cost of the events it performs, and the run's makespan is the maximum
+// clock over all threads.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <limits>
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "sim/rng.h"
+#include "sim/task.h"
+
+namespace sihle::sim {
+
+inline constexpr std::uint32_t kMaxThreads = 64;
+inline constexpr std::uint32_t kInvalidLine = std::numeric_limits<std::uint32_t>::max();
+
+enum class RunState : std::uint8_t { kRunnable, kBlocked, kFinished };
+
+// Per-logical-thread simulation state.  Higher layers (memory, HTM) keep
+// their own per-thread state indexed by `id`.
+struct ThreadState {
+  std::uint32_t id = 0;
+  Cycles clock = 0;
+  Rng rng;
+  RunState state = RunState::kRunnable;
+  std::coroutine_handle<> resume_point;
+  // A blocked thread wakes when either watched line is published to.
+  std::uint32_t watch_line = kInvalidLine;
+  std::uint32_t watch_line2 = kInvalidLine;
+  std::exception_ptr failure;
+  std::uint64_t events = 0;  // number of simulation events performed
+};
+
+// Root coroutine wrapper: drives a Task<void> and parks at final_suspend so
+// the executor can detect completion via handle.done().
+struct RootTask {
+  struct promise_type {
+    ThreadState* ts = nullptr;
+    RootTask get_return_object() {
+      return RootTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() noexcept {
+      if (ts) ts->failure = std::current_exception();
+    }
+  };
+  std::coroutine_handle<promise_type> handle;
+};
+
+class Executor {
+ public:
+  explicit Executor(std::uint64_t seed, bool random_tie_break = false)
+      : seed_(seed), random_tie_break_(random_tie_break) {
+    std::uint64_t sm = seed ^ 0x5EED5EEDULL;
+    sched_rng_ = Rng(splitmix64(sm));
+  }
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  // Registers a logical thread whose body is `root`.  Must be called before
+  // run().  Returns the thread id (0-based, dense).
+  std::uint32_t spawn(Task<void> root);
+
+  // Runs until every logical thread finishes.  Throws std::runtime_error on
+  // deadlock (all live threads blocked) and rethrows any exception that
+  // escapes a thread body.
+  void run();
+
+  std::uint32_t thread_count() const { return static_cast<std::uint32_t>(threads_.size()); }
+  ThreadState& thread(std::uint32_t id) { return threads_[id]; }
+  const ThreadState& thread(std::uint32_t id) const { return threads_[id]; }
+
+  // The thread currently being resumed; valid only from within awaitables.
+  ThreadState& current() { return threads_[current_]; }
+
+  // Makespan of the simulated run so far.
+  Cycles max_clock() const;
+
+  // --- Called from awaitables ---------------------------------------------
+
+  // Record the innermost suspended frame of the current thread.
+  void suspend_current(std::coroutine_handle<> h) { threads_[current_].resume_point = h; }
+
+  // Suspend the current thread until `line` (or `line2`, if given) is
+  // published to.
+  void block_current_on_line(std::uint32_t line, std::coroutine_handle<> h,
+                             std::uint32_t line2 = kInvalidLine);
+
+  // Wake every thread blocked on `line`; the waiter's clock jumps to the
+  // publisher's clock plus coherence latency.
+  void wake_watchers(std::uint32_t line, Cycles publisher_clock, const CostModel& costs);
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint32_t pick_next();  // kInvalidLine if none runnable
+
+  std::uint64_t seed_;
+  bool random_tie_break_;
+  Rng sched_rng_;
+  std::vector<ThreadState> threads_;
+  std::vector<RootTask> roots_;
+  std::uint32_t current_ = 0;
+};
+
+}  // namespace sihle::sim

@@ -1,0 +1,63 @@
+// Deterministic per-thread random number generation.
+//
+// Every logical thread owns an Xoshiro-style generator seeded from the
+// machine seed and the thread id, so complete runs are reproducible from a
+// single 64-bit seed.
+#pragma once
+
+#include <cstdint>
+
+namespace sihle::sim {
+
+// SplitMix64: used to expand seeds; good avalanche properties.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// xorshift128+ generator: fast, deterministic, adequate statistical quality
+// for workload generation and abort injection.
+class Rng {
+ public:
+  Rng() : Rng(0x853C49E6748FEA9BULL) {}
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    s0_ = splitmix64(sm);
+    s1_ = splitmix64(sm);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  std::uint64_t next() {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Bernoulli trial with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+}  // namespace sihle::sim

@@ -1,0 +1,122 @@
+// Minimal lazy coroutine task used for all simulated-thread code.
+//
+// A sihle::sim::Task<T> is a lazily-started coroutine that transfers control
+// back to its awaiter on completion (symmetric transfer) and propagates
+// exceptions to the awaiting frame.  Every piece of workload code that may
+// touch simulated shared memory is written as a Task so that the executor
+// can suspend a logical thread at each memory access.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace sihle::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+// Shared behaviour of Task promises: continuation chaining and exception
+// capture.  The awaiting coroutine's handle is stored as `continuation` and
+// resumed (via symmetric transfer) when the task finishes.
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr error;
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<P> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { error = std::current_exception(); }
+};
+
+template <typename T>
+struct Promise : PromiseBase {
+  T value{};
+  Task<T> get_return_object();
+  void return_value(T v) { value = std::move(v); }
+};
+
+template <>
+struct Promise<void> : PromiseBase {
+  Task<void> get_return_object();
+  void return_void() {}
+};
+
+}  // namespace detail
+
+// Lazily started coroutine task.  `co_await task` starts it; completion
+// resumes the awaiter.  Move-only; owns the coroutine frame.
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::Promise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+
+  struct Awaiter {
+    Handle handle;
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) noexcept {
+      handle.promise().continuation = awaiting;
+      return handle;  // start the child task
+    }
+    T await_resume() {
+      if (handle.promise().error) std::rethrow_exception(handle.promise().error);
+      if constexpr (!std::is_void_v<T>) return std::move(handle.promise().value);
+    }
+  };
+
+  Awaiter operator co_await() const& { return Awaiter{handle_}; }
+  Awaiter operator co_await() && { return Awaiter{handle_}; }
+
+  // For root tasks only: start the coroutine with no continuation.  The
+  // executor uses RootTask below instead; exposed for tests.
+  void start_detached() { handle_.resume(); }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  Handle handle_;
+};
+
+namespace detail {
+template <typename T>
+Task<T> Promise<T>::get_return_object() {
+  return Task<T>(std::coroutine_handle<Promise<T>>::from_promise(*this));
+}
+inline Task<void> Promise<void>::get_return_object() {
+  return Task<void>(std::coroutine_handle<Promise<void>>::from_promise(*this));
+}
+}  // namespace detail
+
+}  // namespace sihle::sim

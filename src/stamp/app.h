@@ -1,0 +1,74 @@
+// STAMP-kernel substrate (§7.2).
+//
+// The paper evaluates the schemes on the STAMP suite with every transaction
+// replaced by a critical section on one global lock per application.  We
+// reimplement the eight evaluated configurations (bayes is excluded, as in
+// the paper) as compact kernels that preserve each application's
+// transaction-profile signature — transaction length distribution,
+// read/write-set size, and conflict structure — which is what determines
+// the relative behaviour of the elision schemes.
+//
+//   genome        long-ish read-mostly transactions over a shared hash set,
+//                 then a linking phase with moderate conflicts
+//   intruder      short queue-pop + fragment-map transactions, high churn
+//   kmeans_high   tiny accumulator transactions on few clusters (hot)
+//   kmeans_low    tiny accumulator transactions on many clusters (cool)
+//   labyrinth     very long transactions claiming whole grid paths (large
+//                 write sets, occasional capacity aborts)
+//   yada          medium cavity-refinement transactions with a shared
+//                 worklist
+//   ssca2         tiny graph-edge insertion transactions, very low conflict
+//   vacation_high travel-reservation mixes over red-black-tree tables,
+//                 wide queries and more updates
+//   vacation_low  narrower queries, fewer updates
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "elision/schemes.h"
+#include "locks/locks.h"
+#include "sim/cost_model.h"
+#include "stats/op_stats.h"
+
+namespace sihle::stamp {
+
+struct StampConfig {
+  elision::Scheme scheme = elision::Scheme::kStandard;
+  locks::LockKind lock = locks::LockKind::kTtas;
+  int threads = 8;
+  std::uint64_t seed = 1;
+  double spurious = 1e-4;
+  double persistent = 2e-3;
+  double scale = 1.0;  // workload size multiplier
+  sim::CostModel costs{};
+};
+
+struct StampResult {
+  sim::Cycles time = 0;  // virtual-time makespan of the run
+  stats::OpStats stats;
+  bool valid = false;  // application-level validation passed
+};
+
+using StampFn = StampResult (*)(const StampConfig&);
+
+struct StampApp {
+  const char* name;
+  StampFn run;
+};
+
+// The nine evaluated configurations, in the paper's Figure 11 order.
+const std::vector<StampApp>& stamp_apps();
+
+StampResult run_genome(const StampConfig&);
+StampResult run_intruder(const StampConfig&);
+StampResult run_kmeans_high(const StampConfig&);
+StampResult run_kmeans_low(const StampConfig&);
+StampResult run_labyrinth(const StampConfig&);
+StampResult run_yada(const StampConfig&);
+StampResult run_ssca2(const StampConfig&);
+StampResult run_vacation_high(const StampConfig&);
+StampResult run_vacation_low(const StampConfig&);
+
+}  // namespace sihle::stamp

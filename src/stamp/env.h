@@ -1,0 +1,62 @@
+// Shared plumbing for the STAMP kernels: a machine + one global lock (the
+// paper's methodology replaces every STAMP transaction with a critical
+// section on a single global lock) + the SCM auxiliary lock, and the
+// lock-kind dispatch macro each kernel uses.
+#pragma once
+
+#include "runtime/ctx.h"
+#include "runtime/shared_array.h"
+#include "stamp/app.h"
+
+namespace sihle::stamp {
+
+using runtime::Ctx;
+using runtime::LineHandle;
+using runtime::Machine;
+using runtime::SharedArray;
+
+template <class Lock>
+struct Env {
+  Machine m;
+  Lock lock;
+  locks::MCSLock aux;
+  explicit Env(const StampConfig& cfg)
+      : m(machine_config(cfg)), lock(m), aux(m) {}
+
+  static Machine::Config machine_config(const StampConfig& cfg) {
+    Machine::Config mc;
+    mc.seed = cfg.seed;
+    mc.htm.spurious_abort_per_access = cfg.spurious;
+    mc.htm.persistent_abort_per_tx = cfg.persistent;
+    mc.costs = cfg.costs;
+    return mc;
+  }
+
+  StampResult finish(std::vector<stats::OpStats>& per_thread, bool valid) {
+    StampResult out;
+    for (const auto& st : per_thread) out.stats += st;
+    out.time = m.exec().max_clock();
+    out.valid = valid;
+    return out;
+  }
+};
+
+// Expands to the lock-kind dispatch body for a kernel implemented as
+// `template <class Lock> StampResult name_impl(const StampConfig&)`.
+#define SIHLE_STAMP_DISPATCH(impl, cfg)                                   \
+  switch ((cfg).lock) {                                                   \
+    case locks::LockKind::kTtas: return impl<locks::TTASLock>(cfg);       \
+    case locks::LockKind::kMcs: return impl<locks::MCSLock>(cfg);         \
+    case locks::LockKind::kTicket: return impl<locks::TicketLock>(cfg);   \
+    case locks::LockKind::kClh: return impl<locks::CLHLock>(cfg);         \
+    case locks::LockKind::kAnderson: return impl<locks::AndersonLock>(cfg); \
+    case locks::LockKind::kElidableTicket:                                \
+      return impl<locks::ElidableTicketLock>(cfg);                        \
+    case locks::LockKind::kElidableClh:                                   \
+      return impl<locks::ElidableCLHLock>(cfg);                           \
+    case locks::LockKind::kElidableAnderson:                              \
+      return impl<locks::ElidableAndersonLock>(cfg);                      \
+  }                                                                       \
+  return {}
+
+}  // namespace sihle::stamp

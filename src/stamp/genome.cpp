@@ -1,0 +1,163 @@
+// genome — gene sequencing, in the original's three phases.  Phase 1
+// deduplicates DNA segments into a shared hash set (read-mostly
+// transactions over chains).  Phase 2 links unique segments into sequence
+// chains by matching overlaps (transactions that probe the set and write
+// link slots, with moderate conflicts).  Phase 3 walks the linked chains to
+// emit the reconstructed sequence (read-only transactions of medium
+// length).
+#include <algorithm>
+#include <vector>
+
+#include "ds/hashtable.h"
+#include "runtime/barrier.h"
+#include "stamp/env.h"
+
+namespace sihle::stamp {
+
+namespace {
+
+struct GenomeData {
+  ds::HashTable segments;             // deduplicated segment set
+  SharedArray<std::int64_t> link;     // successor of each unique segment id
+  std::vector<std::int64_t> input;    // immutable segment stream (with dups)
+  std::int64_t distinct = 0;          // ground truth
+
+  GenomeData(Machine& m, int unique, int dups, sim::Rng& rng)
+      : segments(m, static_cast<std::size_t>(unique) * 2),
+        link(m, static_cast<std::size_t>(unique), -1) {
+    for (int i = 0; i < unique; ++i) input.push_back(i);
+    for (int i = 0; i < dups; ++i) {
+      input.push_back(static_cast<std::int64_t>(rng.below(unique)));
+    }
+    for (std::size_t i = input.size(); i > 1; --i) {
+      std::swap(input[i - 1], input[rng.below(i)]);
+    }
+    std::vector<bool> seen(unique, false);
+    for (auto s : input) {
+      if (!seen[static_cast<std::size_t>(s)]) {
+        seen[static_cast<std::size_t>(s)] = true;
+        ++distinct;
+      }
+    }
+  }
+};
+
+sim::Task<void> dedup_insert(Ctx& c, GenomeData& d, std::int64_t seg) {
+  const bool fresh = co_await d.segments.insert(c, seg);
+  (void)fresh;
+}
+
+// Phase 3: walk up to `cap` links starting at `seg`, accumulating the
+// reconstructed subsequence length.  Read-only.
+sim::Task<void> walk_chain(Ctx& c, GenomeData& d, std::int64_t seg, int cap,
+                           std::int64_t* length) {
+  *length = 0;
+  std::int64_t cur = seg;
+  for (int i = 0; i < cap; ++i) {
+    const std::int64_t next = co_await c.load(d.link[static_cast<std::size_t>(cur)]);
+    if (next == -1) co_return;
+    ++*length;
+    cur = next;
+  }
+}
+
+// Phase 2: link segment `seg` to its overlap successor if both exist.
+sim::Task<void> link_segment(Ctx& c, GenomeData& d, std::int64_t seg) {
+  const std::int64_t succ = (seg + 1) % static_cast<std::int64_t>(d.link.size());
+  const bool have_succ = co_await d.segments.contains(c, succ);
+  if (have_succ) {
+    const std::int64_t cur = co_await c.load(d.link[static_cast<std::size_t>(seg)]);
+    if (cur == -1) {
+      co_await c.store(d.link[static_cast<std::size_t>(seg)], succ);
+    }
+  }
+}
+
+template <class Lock>
+sim::Task<void> genome_worker(Ctx& c, const StampConfig cfg, Env<Lock>& env,
+                              GenomeData& d, runtime::Barrier& bar, int lo, int hi,
+                              int unique, stats::OpStats& st,
+                              std::int64_t* chain_total) {
+  // Phase 1: deduplicate this thread's slice of the segment stream.
+  for (int i = lo; i < hi; ++i) {
+    const std::int64_t seg = d.input[static_cast<std::size_t>(i)];
+    co_await c.work(25);  // hash the segment string
+    co_await elision::run_op(
+        cfg.scheme, c, env.lock, env.aux,
+        [&d, seg](Ctx& cc) { return dedup_insert(cc, d, seg); }, st);
+  }
+  co_await bar.arrive(c);
+  // Phase 2: link unique segments (partitioned by segment id).
+  const int chunk = (unique + cfg.threads - 1) / cfg.threads;
+  const int tlo = static_cast<int>(c.id()) * chunk;
+  const int thi = std::min(unique, tlo + chunk);
+  for (int seg = tlo; seg < thi; ++seg) {
+    co_await c.work(40);  // overlap matching
+    co_await elision::run_op(
+        cfg.scheme, c, env.lock, env.aux,
+        [&d, seg](Ctx& cc) { return link_segment(cc, d, seg); }, st);
+  }
+  co_await bar.arrive(c);
+  // Phase 3: walk chains to emit the sequence (read-only, medium length).
+  for (int seg = tlo; seg < thi; seg += 8) {
+    std::int64_t length = 0;
+    co_await elision::run_op(
+        cfg.scheme, c, env.lock, env.aux,
+        [&d, seg, &length](Ctx& cc) { return walk_chain(cc, d, seg, 16, &length); },
+        st);
+    *chain_total += length;
+    co_await c.work(20);
+  }
+}
+
+template <class Lock>
+StampResult genome_impl(const StampConfig& cfg) {
+  Env<Lock> env(cfg);
+  const int unique = static_cast<int>(1024 * cfg.scale);
+  const int dups = static_cast<int>(3072 * cfg.scale);
+  sim::Rng input_rng(cfg.seed ^ 0x6E0EULL);
+  GenomeData data(env.m, unique, dups, input_rng);
+  runtime::Barrier bar(env.m, static_cast<std::uint32_t>(cfg.threads));
+
+  std::vector<stats::OpStats> st(cfg.threads);
+  std::vector<std::int64_t> chain_totals(cfg.threads, 0);
+  const int n = static_cast<int>(data.input.size());
+  const int chunk = (n + cfg.threads - 1) / cfg.threads;
+  for (int t = 0; t < cfg.threads; ++t) {
+    const int lo = t * chunk;
+    const int hi = std::min(n, lo + chunk);
+    env.m.spawn([&, lo, hi, t](Ctx& c) {
+      return genome_worker<Lock>(c, cfg, env, data, bar, lo, hi, unique, st[t],
+                                 &chain_totals[t]);
+    });
+  }
+  env.m.run();
+
+  bool ok = data.segments.debug_size() == static_cast<std::size_t>(data.distinct);
+  std::int64_t links = 0;
+  for (std::size_t i = 0; i < data.link.size(); ++i) {
+    const std::int64_t v = data.link[i].debug_value();
+    ok = ok && (v == -1 || v == static_cast<std::int64_t>((i + 1) % data.link.size()));
+    if (v != -1) ++links;
+  }
+  ok = ok && links == static_cast<std::int64_t>(unique);  // all segments present
+  // Phase 3 sanity: with every link in place, every sampled walk runs the
+  // full cap, so the total is exactly (#samples * cap).
+  std::int64_t walked = 0;
+  for (auto v : chain_totals) walked += v;
+  std::int64_t expected_walk = 0;
+  const int wchunk = (unique + cfg.threads - 1) / cfg.threads;
+  for (int t = 0; t < cfg.threads; ++t) {
+    const int tlo = t * wchunk;
+    const int thi = std::min(unique, tlo + wchunk);
+    for (int seg = tlo; seg < thi; seg += 8) expected_walk += 16;
+  }
+  ok = ok && walked == expected_walk;
+  return env.finish(st, ok);
+}
+
+}  // namespace
+
+StampResult run_genome(const StampConfig& cfg) { SIHLE_STAMP_DISPATCH(genome_impl, cfg); }
+
+}  // namespace sihle::stamp

@@ -1,0 +1,138 @@
+// intruder — network-intrusion detection: threads pop packet fragments from
+// a shared queue (a short but hot transaction), insert them into a
+// per-flow reassembly map (short transaction, moderate conflicts), and run
+// detection locally once a flow completes.  The hot queue head is what
+// limits intruder's speculation on real hardware.
+#include <algorithm>
+#include <vector>
+
+#include "ds/hashtable.h"
+#include "stamp/env.h"
+
+namespace sihle::stamp {
+
+namespace {
+
+struct Packet {
+  int flow;
+  int fragment;
+  std::int64_t payload;  // synthetic fragment contents
+};
+
+struct IntruderData {
+  LineHandle cursor_line;
+  mem::Shared<std::uint64_t> cursor;   // next packet index (hot)
+  SharedArray<std::int64_t> received;  // fragments received per flow
+  SharedArray<std::int64_t> checksum;  // reassembly checksum per flow
+  ds::HashTable seen;                  // flow*4096+fragment dedup set
+  std::vector<Packet> packets;         // immutable input
+  std::vector<int> flow_len;           // immutable input
+  std::vector<std::int64_t> expected_checksum;  // ground truth per flow
+
+  IntruderData(Machine& m, int flows, sim::Rng& rng)
+      : cursor_line(m),
+        cursor(cursor_line.line(), 0),
+        received(m, static_cast<std::size_t>(flows), 0),
+        checksum(m, static_cast<std::size_t>(flows), 0),
+        seen(m, static_cast<std::size_t>(flows) * 2) {
+    flow_len.resize(flows);
+    expected_checksum.assign(flows, 0);
+    for (int f = 0; f < flows; ++f) {
+      flow_len[f] = static_cast<int>(rng.range(2, 8));
+      for (int p = 0; p < flow_len[f]; ++p) {
+        const auto payload = static_cast<std::int64_t>(rng.below(1 << 20));
+        packets.push_back({f, p, payload});
+        expected_checksum[f] += payload;  // order-independent checksum
+      }
+    }
+    // Shuffle so fragments of one flow arrive interleaved.
+    for (std::size_t i = packets.size(); i > 1; --i) {
+      std::swap(packets[i - 1], packets[rng.below(i)]);
+    }
+  }
+};
+
+// Critical section 1: grab the next packet off the shared queue.
+sim::Task<void> pop_packet(Ctx& c, IntruderData& d, std::uint64_t* out) {
+  const std::uint64_t idx = co_await c.load(d.cursor);
+  if (idx < d.packets.size()) co_await c.store(d.cursor, idx + 1);
+  *out = idx;
+}
+
+// Critical section 2: record the fragment into the reassembly state
+// (dedup set, fragment count, running checksum); report whether the flow is
+// now fully assembled.
+sim::Task<void> record_fragment(Ctx& c, IntruderData& d, Packet p, bool* completed) {
+  const bool fresh =
+      co_await d.seen.insert(c, static_cast<std::int64_t>(p.flow) * 4096 + p.fragment);
+  *completed = false;
+  if (fresh) {
+    const std::int64_t got = co_await c.load(d.received[static_cast<std::size_t>(p.flow)]);
+    co_await c.store(d.received[static_cast<std::size_t>(p.flow)], got + 1);
+    const std::int64_t sum = co_await c.load(d.checksum[static_cast<std::size_t>(p.flow)]);
+    co_await c.store(d.checksum[static_cast<std::size_t>(p.flow)], sum + p.payload);
+    *completed = got + 1 == d.flow_len[static_cast<std::size_t>(p.flow)];
+  }
+}
+
+template <class Lock>
+sim::Task<void> intruder_worker(Ctx& c, const StampConfig cfg, Env<Lock>& env,
+                                IntruderData& d, stats::OpStats& st,
+                                std::uint64_t& detected) {
+  for (;;) {
+    std::uint64_t idx = 0;
+    co_await elision::run_op(
+        cfg.scheme, c, env.lock, env.aux,
+        [&d, &idx](Ctx& cc) { return pop_packet(cc, d, &idx); }, st);
+    if (idx >= d.packets.size()) co_return;
+    const Packet p = d.packets[idx];
+    bool completed = false;
+    co_await elision::run_op(
+        cfg.scheme, c, env.lock, env.aux,
+        [&d, p, &completed](Ctx& cc) { return record_fragment(cc, d, p, &completed); },
+        st);
+    if (completed) {
+      // Local detection pass over the assembled flow.
+      co_await c.work(80ULL * static_cast<std::uint64_t>(d.flow_len[p.flow]));
+      ++detected;
+    }
+  }
+}
+
+template <class Lock>
+StampResult intruder_impl(const StampConfig& cfg) {
+  Env<Lock> env(cfg);
+  const int flows = static_cast<int>(1200 * cfg.scale);
+  sim::Rng input_rng(cfg.seed ^ 0x1257ULL);
+  IntruderData data(env.m, flows, input_rng);
+
+  std::vector<stats::OpStats> st(cfg.threads);
+  std::vector<std::uint64_t> detected(cfg.threads, 0);
+  for (int t = 0; t < cfg.threads; ++t) {
+    env.m.spawn([&, t](Ctx& c) {
+      return intruder_worker<Lock>(c, cfg, env, data, st[t], detected[t]);
+    });
+  }
+  env.m.run();
+
+  std::uint64_t total_detected = 0;
+  for (auto v : detected) total_detected += v;
+  bool ok = total_detected == static_cast<std::uint64_t>(flows) &&
+            data.cursor.debug_value() >= data.packets.size() &&
+            data.seen.debug_size() == data.packets.size();
+  // Reassembly fidelity: every flow's checksum matches the ground truth —
+  // no fragment was lost, duplicated, or torn by an aborted attempt.
+  for (int f = 0; f < flows && ok; ++f) {
+    ok = data.checksum[static_cast<std::size_t>(f)].debug_value() ==
+         data.expected_checksum[static_cast<std::size_t>(f)];
+  }
+  return env.finish(st, ok);
+}
+
+}  // namespace
+
+StampResult run_intruder(const StampConfig& cfg) {
+  SIHLE_STAMP_DISPATCH(intruder_impl, cfg);
+}
+
+}  // namespace sihle::stamp

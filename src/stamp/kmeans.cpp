@@ -1,0 +1,104 @@
+// kmeans — iterative clustering.  Each point costs some private distance
+// computation, then a tiny transaction folds the point's coordinates into
+// its cluster's accumulator.  The high-contention configuration uses few
+// clusters (hot accumulators); the low-contention one uses many.
+#include <algorithm>
+#include <array>
+
+#include "stamp/env.h"
+
+namespace sihle::stamp {
+
+namespace {
+
+constexpr int kDims = 4;
+constexpr int kIters = 3;
+
+struct KmeansData {
+  SharedArray<std::int64_t> acc;  // per cluster: kDims sums + 1 count
+  int clusters;
+  int points;
+  KmeansData(Machine& m, int clusters, int points)
+      : acc(m, static_cast<std::size_t>(clusters) * (kDims + 1), 0),
+        clusters(clusters),
+        points(points) {}
+};
+
+sim::Task<void> add_point(Ctx& c, KmeansData& d, int cluster,
+                          const std::array<std::int64_t, kDims>& coords) {
+  const std::size_t base = static_cast<std::size_t>(cluster) * (kDims + 1);
+  for (int i = 0; i < kDims; ++i) {
+    const std::int64_t cur = co_await c.load(d.acc[base + i]);
+    co_await c.store(d.acc[base + i], cur + coords[i]);
+  }
+  const std::int64_t cnt = co_await c.load(d.acc[base + kDims]);
+  co_await c.store(d.acc[base + kDims], cnt + 1);
+}
+
+template <class Lock>
+sim::Task<void> kmeans_worker(Ctx& c, const StampConfig cfg, Env<Lock>& env,
+                              KmeansData& d, int lo, int hi, stats::OpStats& st) {
+  for (int iter = 0; iter < kIters; ++iter) {
+    for (int p = lo; p < hi; ++p) {
+      // Private work: distance of the point to every centroid.
+      co_await c.work(30ULL * static_cast<std::uint64_t>(d.clusters < 16 ? d.clusters : 16));
+      std::array<std::int64_t, kDims> coords;
+      std::uint64_t h = static_cast<std::uint64_t>(p) * 0x9E3779B97F4A7C15ULL + iter;
+      for (int i = 0; i < kDims; ++i) {
+        h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+        coords[i] = static_cast<std::int64_t>(h >> 56);
+      }
+      const int cluster = static_cast<int>(h % static_cast<std::uint64_t>(d.clusters));
+      co_await elision::run_op(
+          cfg.scheme, c, env.lock, env.aux,
+          [&d, cluster, coords](Ctx& cc) { return add_point(cc, d, cluster, coords); },
+          st);
+    }
+  }
+}
+
+template <class Lock>
+StampResult kmeans_impl(const StampConfig& cfg, int clusters) {
+  Env<Lock> env(cfg);
+  const int points = static_cast<int>(2000 * cfg.scale);
+  KmeansData data(env.m, clusters, points);
+
+  std::vector<stats::OpStats> st(cfg.threads);
+  const int chunk = (points + cfg.threads - 1) / cfg.threads;
+  for (int t = 0; t < cfg.threads; ++t) {
+    const int lo = t * chunk;
+    const int hi = std::min(points, lo + chunk);
+    env.m.spawn([&, lo, hi, t](Ctx& c) {
+      return kmeans_worker<Lock>(c, cfg, env, data, lo, hi, st[t]);
+    });
+  }
+  env.m.run();
+
+  std::int64_t total = 0;
+  for (int k = 0; k < clusters; ++k) {
+    total += data.acc[static_cast<std::size_t>(k) * (kDims + 1) + kDims].debug_value();
+  }
+  return env.finish(st, total == static_cast<std::int64_t>(points) * kIters);
+}
+
+// STAMP's high-contention kmeans uses ~15 clusters, the low-contention one
+// ~40; we keep the same ratio.
+template <class Lock>
+StampResult kmeans_high_impl(const StampConfig& cfg) {
+  return kmeans_impl<Lock>(cfg, 15);
+}
+template <class Lock>
+StampResult kmeans_low_impl(const StampConfig& cfg) {
+  return kmeans_impl<Lock>(cfg, 60);
+}
+
+}  // namespace
+
+StampResult run_kmeans_high(const StampConfig& cfg) {
+  SIHLE_STAMP_DISPATCH(kmeans_high_impl, cfg);
+}
+StampResult run_kmeans_low(const StampConfig& cfg) {
+  SIHLE_STAMP_DISPATCH(kmeans_low_impl, cfg);
+}
+
+}  // namespace sihle::stamp

@@ -1,0 +1,233 @@
+// labyrinth — Lee-algorithm path routing, with STAMP's structure: each
+// routing operation is ONE critical section that snapshots the grid,
+// computes a breadth-first shortest path around obstacles and previously
+// claimed cells (private work on the snapshot), and claims the path's
+// cells.  Under the global lock the entire plan+claim serializes; under
+// elision the snapshot+BFS phases of different paths overlap, but every
+// committed claim dooms the concurrent snapshotters — labyrinth's
+// transactions are the suite's largest, which is exactly why it stresses
+// HTM capacity and conflict handling.
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "stamp/env.h"
+
+namespace sihle::stamp {
+
+namespace {
+
+struct Point {
+  int x, y;
+};
+
+struct LabyrinthData {
+  SharedArray<std::int64_t> grid;  // 0 free, -1 obstacle, >0 path id
+  int width, height;
+  std::vector<std::pair<Point, Point>> jobs;
+  LineHandle cursor_line;
+  mem::Shared<std::uint64_t> cursor;  // next job index
+
+  LabyrinthData(Machine& m, int w, int h, int paths, sim::Rng& rng)
+      : grid(m, static_cast<std::size_t>(w) * h, 0),
+        width(w),
+        height(h),
+        cursor_line(m),
+        cursor(cursor_line.line(), 0) {
+    // Scatter obstacles, then pick endpoints on free cells.
+    for (int i = 0; i < w * h / 12; ++i) {
+      const auto cell = rng.below(static_cast<std::uint64_t>(w) * h);
+      grid[cell].set_raw(mem::Shared<std::int64_t>::pack(-1));
+    }
+    auto free_point = [&] {
+      for (;;) {
+        Point p{static_cast<int>(rng.below(w)), static_cast<int>(rng.below(h))};
+        if (grid[cell_of(p, w)].debug_value() == 0) return p;
+      }
+    };
+    for (int i = 0; i < paths; ++i) {
+      jobs.emplace_back(free_point(), free_point());
+    }
+  }
+
+  static std::size_t cell_of(Point p, int w) {
+    return static_cast<std::size_t>(p.y) * w + p.x;
+  }
+  std::size_t cell(int x, int y) const {
+    return static_cast<std::size_t>(y) * width + x;
+  }
+};
+
+// One routing transaction: snapshot the grid, BFS on the snapshot, claim
+// the path.  *claimed reports success; out-params are reassigned on every
+// attempt so aborted attempts leave no residue.
+sim::Task<void> route_and_claim(Ctx& c, LabyrinthData& d, Point src, Point dst,
+                                std::int64_t path_id, bool* claimed) {
+  *claimed = false;
+  const int w = d.width;
+  const int h = d.height;
+
+  // Phase 1: snapshot the grid (the transaction's read set = the grid).
+  std::vector<std::int64_t> snap(static_cast<std::size_t>(w) * h);
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    snap[i] = co_await c.load(d.grid[i]);
+  }
+
+  // Phase 2: BFS on the private snapshot (Lee's expansion), charged as
+  // private work proportional to the cells expanded.  Both endpoints must
+  // still be free — another path may have routed through them.
+  const std::size_t dst_cell = d.cell_of(dst, w);
+  if (snap[d.cell_of(src, w)] != 0 || snap[dst_cell] != 0) co_return;
+  std::vector<std::int32_t> dist(snap.size(), -1);
+  std::queue<Point> frontier;
+  dist[d.cell_of(src, w)] = 0;
+  frontier.push(src);
+  std::size_t expanded = 0;
+  while (!frontier.empty() && dist[dst_cell] < 0) {
+    const Point p = frontier.front();
+    frontier.pop();
+    ++expanded;
+    const Point neighbours[4] = {
+        {p.x + 1, p.y}, {p.x - 1, p.y}, {p.x, p.y + 1}, {p.x, p.y - 1}};
+    for (const Point n : neighbours) {
+      if (n.x < 0 || n.x >= w || n.y < 0 || n.y >= h) continue;
+      const std::size_t nc = d.cell_of(n, w);
+      if (dist[nc] >= 0) continue;
+      if (snap[nc] != 0) continue;  // obstacle or claimed
+      dist[nc] = dist[d.cell_of(p, w)] + 1;
+      frontier.push(n);
+    }
+  }
+  co_await c.work(4 * expanded);
+
+  if (dist[dst_cell] < 0) co_return;  // unroutable in this snapshot
+
+  // Phase 3: trace back and claim.  The snapshot reads are in the read set,
+  // so a concurrent commit that invalidated the route has already doomed
+  // this transaction; writes here are safe against the snapshot.
+  Point p = dst;
+  while (!(p.x == src.x && p.y == src.y)) {
+    co_await c.store(d.grid[d.cell_of(p, w)], path_id);
+    const Point neighbours[4] = {
+        {p.x + 1, p.y}, {p.x - 1, p.y}, {p.x, p.y + 1}, {p.x, p.y - 1}};
+    for (const Point n : neighbours) {
+      if (n.x < 0 || n.x >= w || n.y < 0 || n.y >= h) continue;
+      if (dist[d.cell_of(n, w)] == dist[d.cell_of(p, w)] - 1) {
+        p = n;
+        break;
+      }
+    }
+  }
+  co_await c.store(d.grid[d.cell_of(src, w)], path_id);
+  *claimed = true;
+}
+
+sim::Task<void> pop_job(Ctx& c, LabyrinthData& d, std::uint64_t* out) {
+  const std::uint64_t idx = co_await c.load(d.cursor);
+  if (idx < d.jobs.size()) co_await c.store(d.cursor, idx + 1);
+  *out = idx;
+}
+
+template <class Lock>
+sim::Task<void> labyrinth_worker(Ctx& c, const StampConfig cfg, Env<Lock>& env,
+                                 LabyrinthData& d, stats::OpStats& st,
+                                 std::vector<std::int8_t>& routed) {
+  for (;;) {
+    std::uint64_t idx = 0;
+    co_await elision::run_op(
+        cfg.scheme, c, env.lock, env.aux,
+        [&d, &idx](Ctx& cc) { return pop_job(cc, d, &idx); }, st);
+    if (idx >= d.jobs.size()) co_return;
+    const auto [src, dst] = d.jobs[idx];
+    const std::int64_t path_id = static_cast<std::int64_t>(idx) + 1;
+    bool claimed = false;
+    co_await elision::run_op(
+        cfg.scheme, c, env.lock, env.aux,
+        [&d, src, dst, path_id, &claimed](Ctx& cc) {
+          return route_and_claim(cc, d, src, dst, path_id, &claimed);
+        },
+        st);
+    routed[idx] = claimed ? 1 : 0;
+  }
+}
+
+template <class Lock>
+StampResult labyrinth_impl(const StampConfig& cfg) {
+  Env<Lock> env(cfg);
+  const int w = 48;
+  const int h = 48;
+  const int paths = static_cast<int>(64 * cfg.scale);
+  sim::Rng input_rng(cfg.seed ^ 0x1ABULL);
+  LabyrinthData data(env.m, w, h, paths, input_rng);
+
+  std::vector<stats::OpStats> st(cfg.threads);
+  std::vector<std::int8_t> routed(paths, 0);
+  for (int t = 0; t < cfg.threads; ++t) {
+    env.m.spawn([&, t](Ctx& c) {
+      return labyrinth_worker<Lock>(c, cfg, env, data, st[t], routed);
+    });
+  }
+  env.m.run();
+
+  // Validation: every claimed path's cells form a connected route between
+  // its endpoints (checked by BFS over the final grid restricted to the
+  // path id); unclaimed ids appear nowhere; obstacles intact.
+  std::vector<std::int64_t> cells_of(paths + 1, 0);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const std::int64_t v = data.grid[data.cell(x, y)].debug_value();
+      if (v > paths) return env.finish(st, false);
+      if (v > 0) cells_of[static_cast<std::size_t>(v)]++;
+    }
+  }
+  bool ok = data.cursor.debug_value() >= data.jobs.size();
+  int routed_count = 0;
+  for (int i = 0; i < paths; ++i) {
+    const auto id = static_cast<std::size_t>(i) + 1;
+    if (routed[i] == 1) {
+      ++routed_count;
+      ok = ok && cells_of[id] > 0;
+      // Connectivity: walk the claimed cells from src to dst.
+      const auto [src, dst] = data.jobs[static_cast<std::size_t>(i)];
+      std::vector<char> seen(static_cast<std::size_t>(w) * h, 0);
+      std::queue<Point> q;
+      q.push(src);
+      seen[data.cell_of(src, w)] = 1;
+      bool reached = false;
+      while (!q.empty() && !reached) {
+        const Point p = q.front();
+        q.pop();
+        if (p.x == dst.x && p.y == dst.y) {
+          reached = true;
+          break;
+        }
+        const Point neighbours[4] = {
+            {p.x + 1, p.y}, {p.x - 1, p.y}, {p.x, p.y + 1}, {p.x, p.y - 1}};
+        for (const Point n : neighbours) {
+          if (n.x < 0 || n.x >= w || n.y < 0 || n.y >= h) continue;
+          const std::size_t nc = data.cell_of(n, w);
+          if (seen[nc] != 0) continue;
+          if (data.grid[nc].debug_value() !=
+              static_cast<std::int64_t>(id)) {
+            continue;
+          }
+          seen[nc] = 1;
+          q.push(n);
+        }
+      }
+      ok = ok && reached;
+    } else {
+      ok = ok && cells_of[id] == 0;
+    }
+  }
+  ok = ok && routed_count > 0;
+  return env.finish(st, ok);
+}
+
+}  // namespace
+
+StampResult run_labyrinth(const StampConfig& cfg) {
+  SIHLE_STAMP_DISPATCH(labyrinth_impl, cfg);
+}
+
+}  // namespace sihle::stamp

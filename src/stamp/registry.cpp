@@ -1,0 +1,20 @@
+#include "stamp/app.h"
+
+namespace sihle::stamp {
+
+const std::vector<StampApp>& stamp_apps() {
+  static const std::vector<StampApp> apps = {
+      {"genome", run_genome},
+      {"intruder", run_intruder},
+      {"kmeans_high", run_kmeans_high},
+      {"kmeans_low", run_kmeans_low},
+      {"labyrinth", run_labyrinth},
+      {"yada", run_yada},
+      {"ssca2", run_ssca2},
+      {"vacation_high", run_vacation_high},
+      {"vacation_low", run_vacation_low},
+  };
+  return apps;
+}
+
+}  // namespace sihle::stamp

@@ -1,0 +1,88 @@
+// ssca2 — kernel 1 of the SSCA#2 graph benchmark: parallel construction of
+// an adjacency structure.  Transactions are tiny (bump a vertex's degree,
+// write one adjacency slot) and conflicts are rare (random endpoints), so
+// almost everything should elide; the lock itself is the only bottleneck.
+#include <algorithm>
+#include <vector>
+
+#include "stamp/env.h"
+
+namespace sihle::stamp {
+
+namespace {
+
+constexpr int kMaxDegree = 32;
+
+struct Graph {
+  SharedArray<std::int64_t> degree;
+  SharedArray<std::int64_t> adjacency;  // vertex-major, kMaxDegree slots each
+  int vertices;
+  Graph(Machine& m, int vertices)
+      : degree(m, static_cast<std::size_t>(vertices), 0),
+        adjacency(m, static_cast<std::size_t>(vertices) * kMaxDegree, -1),
+        vertices(vertices) {}
+};
+
+sim::Task<void> add_edge(Ctx& c, Graph& g, int u, int v) {
+  const std::int64_t deg = co_await c.load(g.degree[static_cast<std::size_t>(u)]);
+  if (deg < kMaxDegree) {
+    co_await c.store(g.adjacency[static_cast<std::size_t>(u) * kMaxDegree +
+                                 static_cast<std::size_t>(deg)],
+                     static_cast<std::int64_t>(v));
+    co_await c.store(g.degree[static_cast<std::size_t>(u)], deg + 1);
+  }
+}
+
+template <class Lock>
+sim::Task<void> ssca2_worker(Ctx& c, const StampConfig cfg, Env<Lock>& env,
+                             Graph& g, int edges, stats::OpStats& st) {
+  for (int e = 0; e < edges; ++e) {
+    const int u = static_cast<int>(c.rng().below(static_cast<std::uint64_t>(g.vertices)));
+    const int v = static_cast<int>(c.rng().below(static_cast<std::uint64_t>(g.vertices)));
+    co_await c.work(15);  // edge-list generation
+    co_await elision::run_op(
+        cfg.scheme, c, env.lock, env.aux,
+        [&g, u, v](Ctx& cc) { return add_edge(cc, g, u, v); }, st);
+  }
+}
+
+template <class Lock>
+StampResult ssca2_impl(const StampConfig& cfg) {
+  Env<Lock> env(cfg);
+  const int vertices = static_cast<int>(1024 * cfg.scale);
+  const int edges_per_thread = static_cast<int>(1500 * cfg.scale);
+  Graph g(env.m, vertices);
+
+  std::vector<stats::OpStats> st(cfg.threads);
+  for (int t = 0; t < cfg.threads; ++t) {
+    env.m.spawn([&, t](Ctx& c) {
+      return ssca2_worker<Lock>(c, cfg, env, g, edges_per_thread, st[t]);
+    });
+  }
+  env.m.run();
+
+  // Validation: every recorded adjacency slot below the degree is a real
+  // vertex, and total degree equals total successful insertions (edges may
+  // be dropped only by the kMaxDegree cap).
+  std::int64_t total_degree = 0;
+  bool ok = true;
+  for (int u = 0; u < vertices; ++u) {
+    const std::int64_t deg = g.degree[static_cast<std::size_t>(u)].debug_value();
+    ok = ok && deg >= 0 && deg <= kMaxDegree;
+    total_degree += deg;
+    for (std::int64_t i = 0; i < deg; ++i) {
+      const std::int64_t v =
+          g.adjacency[static_cast<std::size_t>(u) * kMaxDegree + i].debug_value();
+      ok = ok && v >= 0 && v < vertices;
+    }
+  }
+  ok = ok && total_degree <= static_cast<std::int64_t>(edges_per_thread) * cfg.threads;
+  ok = ok && total_degree > 0;
+  return env.finish(st, ok);
+}
+
+}  // namespace
+
+StampResult run_ssca2(const StampConfig& cfg) { SIHLE_STAMP_DISPATCH(ssca2_impl, cfg); }
+
+}  // namespace sihle::stamp

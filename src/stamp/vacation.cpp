@@ -1,0 +1,241 @@
+// vacation — travel-reservation system.  Three relations (cars, flights,
+// rooms) are red-black trees of item ids with per-item stock counters;
+// customers hold reservation lists (up to kMaxHold entries).  Client
+// transactions, as in STAMP:
+//   * make_reservation — for each relation, query `span` candidate items
+//     (tree lookups + stock reads) and reserve the best available one, all
+//     in a single transaction that also updates the customer's list;
+//   * delete_customer  — return every reservation the customer holds;
+//   * update_tables    — add/remove items from a relation.
+// The high-contention configuration queries wider ranges and updates more;
+// low narrows both (STAMP's -q/-u parameters).
+#include <algorithm>
+#include <vector>
+
+#include "ds/rbtree.h"
+#include "stamp/env.h"
+
+namespace sihle::stamp {
+
+namespace {
+
+constexpr int kRelations = 3;
+constexpr int kMaxHold = 4;       // reservation slots per customer
+constexpr std::int64_t kNone = -1;
+
+struct VacationData {
+  std::vector<std::unique_ptr<ds::RBTree>> tables;  // item-id sets
+  SharedArray<std::int64_t> stock;     // free units per (relation, id)
+  SharedArray<std::int64_t> reserved;  // outstanding units per (relation, id)
+  SharedArray<std::int64_t> holds;     // customer slots: relation*items+id
+  int items;
+  int customers;
+
+  VacationData(Machine& m, int items, int customers)
+      : stock(m, static_cast<std::size_t>(kRelations) * items, 0),
+        reserved(m, static_cast<std::size_t>(kRelations) * items, 0),
+        holds(m, static_cast<std::size_t>(customers) * kMaxHold, kNone),
+        items(items),
+        customers(customers) {
+    for (int r = 0; r < kRelations; ++r) {
+      tables.push_back(std::make_unique<ds::RBTree>(m));
+    }
+  }
+
+  std::size_t slot(int relation, std::int64_t id) const {
+    return static_cast<std::size_t>(relation) * items + static_cast<std::size_t>(id);
+  }
+  std::size_t hold_slot(int customer, int i) const {
+    return static_cast<std::size_t>(customer) * kMaxHold + static_cast<std::size_t>(i);
+  }
+};
+
+// One reservation transaction: for every relation, scan `span` candidate
+// ids, pick the available one with the most stock, and reserve it into a
+// free slot of the customer's list.
+sim::Task<void> make_reservation(Ctx& c, VacationData& d, std::int64_t base,
+                                 int span, int customer) {
+  for (int relation = 0; relation < kRelations; ++relation) {
+    std::int64_t best = kNone;
+    std::int64_t best_stock = 0;
+    for (int q = 0; q < span; ++q) {
+      const std::int64_t id = (base + q * (relation + 1)) % d.items;
+      const bool exists = co_await d.tables[relation]->contains(c, id);
+      if (!exists) continue;
+      const std::int64_t free_units = co_await c.load(d.stock[d.slot(relation, id)]);
+      if (free_units > best_stock) {
+        best = id;
+        best_stock = free_units;
+      }
+    }
+    if (best == kNone) continue;
+    // Find a free hold slot; give up on this relation if the list is full.
+    int free_slot = -1;
+    for (int i = 0; i < kMaxHold; ++i) {
+      const std::int64_t h = co_await c.load(d.holds[d.hold_slot(customer, i)]);
+      if (h == kNone) {
+        free_slot = i;
+        break;
+      }
+    }
+    if (free_slot < 0) co_return;
+    const std::size_t s = d.slot(relation, best);
+    const std::int64_t free_units = co_await c.load(d.stock[s]);
+    if (free_units <= 0) continue;
+    co_await c.store(d.stock[s], free_units - 1);
+    const std::int64_t res = co_await c.load(d.reserved[s]);
+    co_await c.store(d.reserved[s], res + 1);
+    co_await c.store(d.holds[d.hold_slot(customer, free_slot)],
+                     static_cast<std::int64_t>(relation) * d.items + best);
+  }
+}
+
+// Return every reservation the customer holds.
+sim::Task<void> delete_customer(Ctx& c, VacationData& d, int customer) {
+  for (int i = 0; i < kMaxHold; ++i) {
+    const std::int64_t packed = co_await c.load(d.holds[d.hold_slot(customer, i)]);
+    if (packed == kNone) continue;
+    const int relation = static_cast<int>(packed / d.items);
+    const std::int64_t id = packed % d.items;
+    const std::size_t s = d.slot(relation, id);
+    const std::int64_t res = co_await c.load(d.reserved[s]);
+    co_await c.store(d.reserved[s], res - 1);
+    const std::int64_t free_units = co_await c.load(d.stock[s]);
+    co_await c.store(d.stock[s], free_units + 1);
+    co_await c.store(d.holds[d.hold_slot(customer, i)], kNone);
+  }
+}
+
+// Grow or shrink a relation.  Items are only retired while no unit is
+// outstanding, and retiring zeroes the remaining stock.
+sim::Task<void> update_tables(Ctx& c, VacationData& d, int relation,
+                              std::int64_t id, bool add) {
+  const std::size_t s = d.slot(relation, id);
+  if (add) {
+    const bool inserted = co_await d.tables[relation]->insert(c, id);
+    if (inserted) {
+      const std::int64_t res = co_await c.load(d.reserved[s]);
+      if (res == 0) co_await c.store(d.stock[s], std::int64_t{3});
+    }
+  } else {
+    const std::int64_t res = co_await c.load(d.reserved[s]);
+    if (res == 0) {
+      const bool removed = co_await d.tables[relation]->erase(c, id);
+      if (removed) co_await c.store(d.stock[s], std::int64_t{0});
+    }
+  }
+}
+
+struct VacationParams {
+  int query_span;  // items examined per relation per reservation (-q)
+  int update_pct;  // share of update_tables transactions (-u)
+};
+
+template <class Lock>
+sim::Task<void> vacation_worker(Ctx& c, const StampConfig cfg, Env<Lock>& env,
+                                VacationData& d, VacationParams p, int ops,
+                                stats::OpStats& st) {
+  for (int i = 0; i < ops; ++i) {
+    const int dice = static_cast<int>(c.rng().below(100));
+    co_await c.work(40);  // client-side request parsing
+    if (dice < p.update_pct) {
+      const int relation = static_cast<int>(c.rng().below(kRelations));
+      const auto id = static_cast<std::int64_t>(c.rng().below(d.items));
+      const bool add = c.rng().chance(0.5);
+      co_await elision::run_op(
+          cfg.scheme, c, env.lock, env.aux,
+          [&d, relation, id, add](Ctx& cc) {
+            return update_tables(cc, d, relation, id, add);
+          },
+          st);
+    } else if (dice < p.update_pct + 10) {
+      const int cust = static_cast<int>(c.rng().below(d.customers));
+      co_await elision::run_op(
+          cfg.scheme, c, env.lock, env.aux,
+          [&d, cust](Ctx& cc) { return delete_customer(cc, d, cust); }, st);
+    } else {
+      const auto base = static_cast<std::int64_t>(c.rng().below(d.items));
+      const int cust = static_cast<int>(c.rng().below(d.customers));
+      co_await elision::run_op(
+          cfg.scheme, c, env.lock, env.aux,
+          [&d, base, p, cust](Ctx& cc) {
+            return make_reservation(cc, d, base, p.query_span, cust);
+          },
+          st);
+    }
+  }
+}
+
+template <class Lock>
+StampResult vacation_impl(const StampConfig& cfg, VacationParams p) {
+  Env<Lock> env(cfg);
+  const int items = static_cast<int>(512 * cfg.scale);
+  const int customers = static_cast<int>(256 * cfg.scale);
+  const int ops_per_thread = static_cast<int>(400 * cfg.scale);
+  VacationData data(env.m, items, customers);
+
+  sim::Rng fill_rng(cfg.seed ^ 0xFACA7104ULL);
+  for (int r = 0; r < kRelations; ++r) {
+    for (int i = 0; i < items; ++i) {
+      if (fill_rng.chance(0.8)) {
+        data.tables[r]->debug_insert(i);
+        data.stock[data.slot(r, i)].set_raw(mem::Shared<std::int64_t>::pack(3));
+      }
+    }
+  }
+
+  std::vector<stats::OpStats> st(cfg.threads);
+  for (int t = 0; t < cfg.threads; ++t) {
+    env.m.spawn([&, t](Ctx& c) {
+      return vacation_worker<Lock>(c, cfg, env, data, p, ops_per_thread, st[t]);
+    });
+  }
+  env.m.run();
+
+  // Validation: tables are valid trees, no negative stock, and — the strong
+  // accounting check — reserved[(r,id)] equals exactly the number of
+  // customer hold slots referencing (r,id).
+  bool ok = true;
+  std::vector<std::int64_t> held(static_cast<std::size_t>(kRelations) * items, 0);
+  for (int cust = 0; cust < customers; ++cust) {
+    for (int i = 0; i < kMaxHold; ++i) {
+      const std::int64_t packed = data.holds[data.hold_slot(cust, i)].debug_value();
+      if (packed == kNone) continue;
+      if (packed < 0 || packed >= static_cast<std::int64_t>(kRelations) * items) {
+        ok = false;
+        continue;
+      }
+      held[static_cast<std::size_t>(packed)]++;
+    }
+  }
+  for (int r = 0; r < kRelations && ok; ++r) {
+    ok = data.tables[r]->debug_validate();
+    for (int i = 0; i < items; ++i) {
+      const std::size_t s = data.slot(r, i);
+      const std::int64_t stock_v = data.stock[s].debug_value();
+      const std::int64_t res_v = data.reserved[s].debug_value();
+      ok = ok && stock_v >= 0 && res_v >= 0 && res_v == held[s];
+    }
+  }
+  return env.finish(st, ok);
+}
+
+template <class Lock>
+StampResult vacation_high_impl(const StampConfig& cfg) {
+  return vacation_impl<Lock>(cfg, {8, 20});
+}
+template <class Lock>
+StampResult vacation_low_impl(const StampConfig& cfg) {
+  return vacation_impl<Lock>(cfg, {3, 5});
+}
+
+}  // namespace
+
+StampResult run_vacation_high(const StampConfig& cfg) {
+  SIHLE_STAMP_DISPATCH(vacation_high_impl, cfg);
+}
+StampResult run_vacation_low(const StampConfig& cfg) {
+  SIHLE_STAMP_DISPATCH(vacation_low_impl, cfg);
+}
+
+}  // namespace sihle::stamp

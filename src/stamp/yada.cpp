@@ -1,0 +1,132 @@
+// yada — Ruppert's Delaunay mesh refinement.  Threads pull "bad" triangles
+// from a shared worklist, retriangulate the surrounding cavity (a
+// medium-sized transaction reading a neighborhood and rewriting its
+// centre), and push any new bad triangles.  Pop and push are short, hot
+// worklist transactions; the cavity retriangulation is the dominant,
+// mostly-parallel transaction.
+#include <algorithm>
+#include <vector>
+
+#include "stamp/env.h"
+
+namespace sihle::stamp {
+
+namespace {
+
+constexpr int kCavity = 6;     // cells read on each side of the target
+constexpr int kRewrite = 3;    // cells rewritten on each side
+constexpr int kMaxDepth = 2;   // refinement recursion bound
+
+struct YadaData {
+  SharedArray<std::int64_t> mesh;   // per-element quality; <0 means "bad"
+  SharedArray<std::int64_t> work;   // worklist stack: element | depth<<32
+  LineHandle top_line;
+  mem::Shared<std::uint64_t> top;   // stack pointer (hot)
+  std::size_t mesh_size;
+
+  YadaData(Machine& m, std::size_t mesh_size, std::size_t work_cap)
+      : mesh(m, mesh_size, 1),
+        work(m, work_cap, 0),
+        top_line(m),
+        top(top_line.line(), 0),
+        mesh_size(mesh_size) {}
+};
+
+// Pop one work item; *item = -1 when the worklist is empty.
+// Out-parameters are (re)assigned on every attempt, so aborted speculative
+// attempts leave no residue.
+sim::Task<void> pop_work(Ctx& c, YadaData& d, std::int64_t* item) {
+  const std::uint64_t t = co_await c.load(d.top);
+  if (t == 0) {
+    *item = -1;
+    co_return;
+  }
+  *item = co_await c.load(d.work[t - 1]);
+  co_await c.store(d.top, t - 1);
+}
+
+// Retriangulate the cavity around `elem`.
+sim::Task<void> refine_cavity(Ctx& c, YadaData& d, std::size_t elem) {
+  std::int64_t acc = 0;
+  for (int i = -kCavity; i <= kCavity; ++i) {
+    const std::size_t n = (elem + d.mesh_size + static_cast<std::size_t>(i)) % d.mesh_size;
+    acc += co_await c.load(d.mesh[n]);
+  }
+  for (int i = -kRewrite; i <= kRewrite; ++i) {
+    const std::size_t n = (elem + d.mesh_size + static_cast<std::size_t>(i)) % d.mesh_size;
+    co_await c.store(d.mesh[n], (acc % 97) + 1 + i + kRewrite + 1);
+  }
+}
+
+sim::Task<void> push_work(Ctx& c, YadaData& d, std::int64_t item) {
+  const std::uint64_t t = co_await c.load(d.top);
+  if (t < d.work.size()) {
+    co_await c.store(d.work[t], item);
+    co_await c.store(d.top, t + 1);
+  }
+}
+
+template <class Lock>
+sim::Task<void> yada_worker(Ctx& c, const StampConfig cfg, Env<Lock>& env,
+                            YadaData& d, stats::OpStats& st, std::uint64_t& processed) {
+  for (;;) {
+    std::int64_t item = -1;
+    co_await elision::run_op(
+        cfg.scheme, c, env.lock, env.aux,
+        [&d, &item](Ctx& cc) { return pop_work(cc, d, &item); }, st);
+    if (item < 0) co_return;
+    const auto elem = static_cast<std::size_t>(item & 0xFFFFFFFF);
+    const auto depth = static_cast<int>(item >> 32);
+    co_await c.work(120);  // geometric predicates for the cavity
+    co_await elision::run_op(
+        cfg.scheme, c, env.lock, env.aux,
+        [&d, elem](Ctx& cc) { return refine_cavity(cc, d, elem); }, st);
+    ++processed;
+    if (depth < kMaxDepth && c.rng().chance(0.25)) {
+      const std::size_t fresh = (elem + 1 + c.rng().below(d.mesh_size - 1)) % d.mesh_size;
+      const std::int64_t next_item = static_cast<std::int64_t>(fresh) |
+                                     (static_cast<std::int64_t>(depth + 1) << 32);
+      co_await elision::run_op(
+          cfg.scheme, c, env.lock, env.aux,
+          [&d, next_item](Ctx& cc) { return push_work(cc, d, next_item); }, st);
+    }
+  }
+}
+
+template <class Lock>
+StampResult yada_impl(const StampConfig& cfg) {
+  Env<Lock> env(cfg);
+  const auto mesh_size = static_cast<std::size_t>(4096 * cfg.scale);
+  const auto initial_bad = static_cast<std::size_t>(900 * cfg.scale);
+  YadaData data(env.m, mesh_size, initial_bad * 4);
+
+  sim::Rng input_rng(cfg.seed ^ 0x9ADAULL);
+  for (std::size_t i = 0; i < initial_bad; ++i) {
+    data.work[i].set_raw(mem::Shared<std::int64_t>::pack(
+        static_cast<std::int64_t>(input_rng.below(mesh_size))));
+  }
+  data.top.set_raw(mem::Shared<std::uint64_t>::pack(initial_bad));
+
+  std::vector<stats::OpStats> st(cfg.threads);
+  std::vector<std::uint64_t> processed(cfg.threads, 0);
+  for (int t = 0; t < cfg.threads; ++t) {
+    env.m.spawn([&, t](Ctx& c) {
+      return yada_worker<Lock>(c, cfg, env, data, st[t], processed[t]);
+    });
+  }
+  env.m.run();
+
+  std::uint64_t total = 0;
+  for (auto p : processed) total += p;
+  bool ok = total >= initial_bad && data.top.debug_value() == 0;
+  for (std::size_t i = 0; i < mesh_size && ok; ++i) {
+    ok = data.mesh[i].debug_value() >= 1;  // every element has valid quality
+  }
+  return env.finish(st, ok);
+}
+
+}  // namespace
+
+StampResult run_yada(const StampConfig& cfg) { SIHLE_STAMP_DISPATCH(yada_impl, cfg); }
+
+}  // namespace sihle::stamp

@@ -1,0 +1,129 @@
+// Per-thread operation statistics, matching the paper's measurements (§4):
+//   S = spec_commits   — operations completed speculatively
+//   A = aborts         — aborted speculative attempts
+//   N = nonspec        — operations completed non-speculatively
+// Total operations = S + N; attempts per operation = (A + N + S) / (N + S);
+// non-speculative fraction = N / (N + S).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "htm/abort.h"
+#include "sim/cost_model.h"
+
+namespace sihle::stats {
+
+struct OpStats {
+  std::uint64_t spec_commits = 0;  // S
+  std::uint64_t aborts = 0;        // A
+  std::uint64_t nonspec = 0;       // N
+  std::uint64_t arrivals = 0;
+  std::uint64_t arrivals_lock_held = 0;
+  std::uint64_t aux_acquisitions = 0;  // SCM serializing-path entries
+  std::array<std::uint64_t, htm::kNumAbortCauses> abort_causes{};
+
+  std::uint64_t ops() const { return spec_commits + nonspec; }
+  double attempts_per_op() const {
+    const auto o = ops();
+    return o == 0 ? 0.0 : static_cast<double>(aborts + o) / static_cast<double>(o);
+  }
+  double nonspec_fraction() const {
+    const auto o = ops();
+    return o == 0 ? 0.0 : static_cast<double>(nonspec) / static_cast<double>(o);
+  }
+  double arrival_lock_held_fraction() const {
+    return arrivals == 0 ? 0.0
+                         : static_cast<double>(arrivals_lock_held) /
+                               static_cast<double>(arrivals);
+  }
+
+  void record_abort(htm::AbortStatus s) {
+    aborts++;
+    abort_causes[static_cast<std::size_t>(s.cause)]++;
+  }
+
+  OpStats& operator+=(const OpStats& o) {
+    spec_commits += o.spec_commits;
+    aborts += o.aborts;
+    nonspec += o.nonspec;
+    arrivals += o.arrivals;
+    arrivals_lock_held += o.arrivals_lock_held;
+    aux_acquisitions += o.aux_acquisitions;
+    for (std::size_t i = 0; i < abort_causes.size(); ++i) abort_causes[i] += o.abort_causes[i];
+    return *this;
+  }
+};
+
+// Log-scale histogram of per-operation latencies (virtual cycles from
+// arrival to completion).  Used to quantify fairness: fair locks bound the
+// tail, unfair ones let it stretch — and SCM is what lets an elided fair
+// lock keep that property (§6 "starvation freedom").
+class LatencyHistogram {
+ public:
+  void record(sim::Cycles latency) {
+    int b = 0;
+    while (latency > 1 && b < kBuckets - 1) {
+      latency >>= 1;
+      ++b;
+    }
+    buckets_[static_cast<std::size_t>(b)]++;
+    ++count_;
+  }
+
+  std::uint64_t count() const { return count_; }
+
+  // Upper bound (2^bucket) of the bucket containing the p-quantile.
+  sim::Cycles percentile(double p) const {
+    if (count_ == 0) return 0;
+    const auto target = static_cast<std::uint64_t>(p * static_cast<double>(count_));
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += buckets_[static_cast<std::size_t>(b)];
+      if (seen > target) return sim::Cycles{1} << b;
+    }
+    return sim::Cycles{1} << (kBuckets - 1);
+  }
+
+  LatencyHistogram& operator+=(const LatencyHistogram& o) {
+    for (std::size_t b = 0; b < buckets_.size(); ++b) buckets_[b] += o.buckets_[b];
+    count_ += o.count_;
+    return *this;
+  }
+
+ private:
+  static constexpr int kBuckets = 40;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+};
+
+// Virtual-time-sliced counters for the Figure 3 dynamics plots: operations
+// completed and non-speculative completions per slice (1 simulated ms by
+// default).
+class SliceRecorder {
+ public:
+  explicit SliceRecorder(sim::Cycles slice_cycles) : slice_(slice_cycles) {}
+
+  void record_op(sim::Cycles at, bool nonspec) {
+    const std::size_t slot = static_cast<std::size_t>(at / slice_);
+    if (slot >= ops_.size()) {
+      ops_.resize(slot + 1, 0);
+      nonspec_.resize(slot + 1, 0);
+    }
+    ops_[slot]++;
+    if (nonspec) nonspec_[slot]++;
+  }
+
+  std::size_t slices() const { return ops_.size(); }
+  std::uint64_t ops_in(std::size_t s) const { return ops_[s]; }
+  std::uint64_t nonspec_in(std::size_t s) const { return nonspec_[s]; }
+  sim::Cycles slice_cycles() const { return slice_; }
+
+ private:
+  sim::Cycles slice_;
+  std::vector<std::uint64_t> ops_;
+  std::vector<std::uint64_t> nonspec_;
+};
+
+}  // namespace sihle::stats

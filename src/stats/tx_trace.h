@@ -1,0 +1,74 @@
+// Transaction-level tracing: one record per transactional attempt (begin
+// time, end time, outcome), collected machine-wide.  Used for debugging
+// scheme dynamics, for the trace-based tests, and for CSV export from the
+// rbtree_explorer example.  Enable with Machine-level set_tx_trace; the
+// overhead is one append per attempt.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "htm/abort.h"
+#include "sim/cost_model.h"
+
+namespace sihle::stats {
+
+struct TxRecord {
+  std::uint32_t thread = 0;
+  sim::Cycles begin = 0;
+  sim::Cycles end = 0;
+  htm::AbortCause outcome = htm::AbortCause::kNone;  // kNone == committed
+};
+
+class TxTrace {
+ public:
+  void on_begin(std::uint32_t tid, sim::Cycles now) {
+    if (open_.size() <= tid) open_.resize(tid + 1, 0);
+    open_[tid] = now;
+  }
+  void on_end(std::uint32_t tid, sim::Cycles now, htm::AbortCause outcome) {
+    TxRecord r;
+    r.thread = tid;
+    r.begin = open_.size() > tid ? open_[tid] : 0;
+    r.end = now;
+    r.outcome = outcome;
+    records_.push_back(r);
+  }
+
+  const std::vector<TxRecord>& records() const { return records_; }
+
+  std::uint64_t commits() const { return count(htm::AbortCause::kNone); }
+  std::uint64_t aborts() const {
+    return static_cast<std::uint64_t>(records_.size()) - commits();
+  }
+  std::uint64_t count(htm::AbortCause cause) const {
+    std::uint64_t n = 0;
+    for (const auto& r : records_) n += r.outcome == cause ? 1 : 0;
+    return n;
+  }
+
+  // Attempts whose [begin, end] interval overlaps the given one — e.g. "how
+  // many transactions were in flight when this one aborted".
+  std::uint64_t overlapping(sim::Cycles lo, sim::Cycles hi) const {
+    std::uint64_t n = 0;
+    for (const auto& r : records_) n += (r.begin <= hi && r.end >= lo) ? 1 : 0;
+    return n;
+  }
+
+  void dump_csv(std::FILE* out) const {
+    std::fprintf(out, "thread,begin,end,outcome\n");
+    for (const auto& r : records_) {
+      std::fprintf(out, "%u,%llu,%llu,%s\n", r.thread,
+                   static_cast<unsigned long long>(r.begin),
+                   static_cast<unsigned long long>(r.end),
+                   std::string(htm::to_string(r.outcome)).c_str());
+    }
+  }
+
+ private:
+  std::vector<sim::Cycles> open_;
+  std::vector<TxRecord> records_;
+};
+
+}  // namespace sihle::stats

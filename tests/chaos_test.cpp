@@ -1,0 +1,98 @@
+// Chaos suite: hammer every scheme with hostile abort-injection settings —
+// extreme spurious rates, always-latching persistent aborts, tiny capacity
+// bounds, tiny access caps — and require that correctness (invariants,
+// structural validity, op accounting) never depends on transactions
+// succeeding at all.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/rbtree_workload.h"
+
+namespace sihle {
+namespace {
+
+using elision::Scheme;
+using harness::WorkloadConfig;
+
+struct ChaosSetting {
+  const char* name;
+  double spurious;
+  double persistent;
+  std::uint32_t max_read_lines;  // 0 = default
+};
+
+const ChaosSetting kSettings[] = {
+    {"spurious_storm", 5e-2, 0.0, 0},
+    {"always_persistent", 0.0, 1.0, 0},
+    {"tiny_read_capacity", 0.0, 0.0, 4},
+    {"everything_hostile", 2e-2, 0.2, 8},
+};
+
+struct ChaosParam {
+  Scheme scheme;
+  locks::LockKind lock;
+  int setting;
+};
+
+class Chaos : public ::testing::TestWithParam<ChaosParam> {};
+
+TEST_P(Chaos, StructureSurvivesHostileAborts) {
+  const ChaosParam p = GetParam();
+  const ChaosSetting& s = kSettings[p.setting];
+  WorkloadConfig cfg;
+  cfg.scheme = p.scheme;
+  cfg.lock = p.lock;
+  cfg.tree_size = 64;
+  cfg.threads = 8;
+  cfg.update_pct = 50;
+  cfg.duration = 400'000;
+  cfg.seed = 1234;
+  cfg.spurious = s.spurious;
+  cfg.persistent = s.persistent;
+  cfg.max_read_lines = s.max_read_lines;
+
+  const auto r = harness::run_rbtree_workload(cfg);
+  EXPECT_TRUE(r.tree_valid) << s.name;
+  EXPECT_GT(r.stats.ops(), 0u) << s.name;
+  // Under "always persistent", literally no transaction can ever commit:
+  // every operation must have completed via the lock, at standard-lock
+  // throughput, with zero speculative commits.
+  if (s.persistent == 1.0) {
+    EXPECT_EQ(r.stats.spec_commits, 0u);
+    EXPECT_EQ(r.stats.nonspec, r.stats.ops());
+  }
+  // With a 4-line read set, no tree operation fits either.
+  if (s.max_read_lines != 0 && s.max_read_lines <= 4 &&
+      p.scheme != Scheme::kStandard) {
+    EXPECT_GT(r.stats.abort_causes[static_cast<std::size_t>(
+                  htm::AbortCause::kCapacity)],
+              0u)
+        << s.name;
+  }
+}
+
+std::vector<ChaosParam> chaos_params() {
+  std::vector<ChaosParam> out;
+  for (Scheme s : elision::kAllSchemesExtended) {
+    for (locks::LockKind l : {locks::LockKind::kTtas, locks::LockKind::kMcs}) {
+      for (int setting = 0; setting < 4; ++setting) out.push_back({s, l, setting});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, Chaos, ::testing::ValuesIn(chaos_params()),
+    [](const ::testing::TestParamInfo<ChaosParam>& info) {
+      std::string n = std::string(elision::to_string(info.param.scheme)) + "_" +
+                      locks::to_string(info.param.lock) + "_" +
+                      kSettings[info.param.setting].name;
+      for (char& ch : n) {
+        if (ch == '-' || ch == ' ') ch = '_';
+      }
+      return n;
+    });
+
+}  // namespace
+}  // namespace sihle

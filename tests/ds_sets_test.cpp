@@ -1,0 +1,147 @@
+// Linked-list-set and skiplist correctness: sequential oracle comparisons,
+// structural validation after concurrent runs under every scheme, and the
+// capacity-abort behaviour the linked list exists to exercise.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "ds/linkedlist.h"
+#include "ds/skiplist.h"
+#include "elision/schemes.h"
+#include "harness/rbtree_workload.h"
+#include "locks/locks.h"
+#include "runtime/ctx.h"
+
+namespace sihle {
+namespace {
+
+using elision::Scheme;
+using runtime::Ctx;
+using runtime::Machine;
+
+template <class DS>
+sim::Task<void> oracle_driver(Ctx& c, DS& set, std::set<std::int64_t>& oracle,
+                              int ops, int* mismatches) {
+  for (int i = 0; i < ops; ++i) {
+    const std::int64_t key = static_cast<std::int64_t>(c.rng().below(120));
+    const int action = static_cast<int>(c.rng().below(3));
+    if (action == 0) {
+      const bool r = co_await set.insert(c, key);
+      if (r != oracle.insert(key).second) ++*mismatches;
+    } else if (action == 1) {
+      const bool r = co_await set.erase(c, key);
+      if (r != (oracle.erase(key) > 0)) ++*mismatches;
+    } else {
+      const bool r = co_await set.contains(c, key);
+      if (r != (oracle.count(key) > 0)) ++*mismatches;
+    }
+  }
+}
+
+template <class DS>
+void run_oracle(std::uint64_t seed) {
+  Machine::Config cfg;
+  cfg.seed = seed;
+  Machine m(cfg);
+  DS set(m);
+  std::set<std::int64_t> oracle;
+  int mismatches = 0;
+  m.spawn([&](Ctx& c) { return oracle_driver(c, set, oracle, 3000, &mismatches); });
+  m.run();
+  EXPECT_EQ(mismatches, 0) << "seed " << seed;
+  EXPECT_TRUE(set.debug_validate());
+  EXPECT_EQ(set.debug_size(), oracle.size());
+}
+
+TEST(LinkedListSequential, MatchesSetOracle) {
+  for (std::uint64_t s : {1u, 2u, 3u}) run_oracle<ds::LinkedListSet>(s);
+}
+TEST(SkipListSequential, MatchesSetOracle) {
+  for (std::uint64_t s : {1u, 2u, 3u}) run_oracle<ds::SkipList>(s);
+}
+
+TEST(SkipListStructure, DebugInsertBuildsValidLevels) {
+  Machine m;
+  ds::SkipList set(m);
+  for (int i = 0; i < 500; ++i) set.debug_insert(i * 7 % 501);
+  EXPECT_TRUE(set.debug_validate());
+  EXPECT_EQ(set.debug_size(), 500u);  // i*7 mod 501 is injective for i<501
+}
+
+TEST(SkipListStructure, SizeMatchesDistinctKeys) {
+  Machine m;
+  ds::SkipList set(m);
+  std::set<std::int64_t> oracle;
+  sim::Rng rng(9);
+  for (int i = 0; i < 800; ++i) {
+    const auto k = static_cast<std::int64_t>(rng.below(300));
+    set.debug_insert(k);
+    oracle.insert(k);
+  }
+  EXPECT_EQ(set.debug_size(), oracle.size());
+  EXPECT_TRUE(set.debug_validate());
+}
+
+// Concurrent validation through the workload driver (which also checks
+// structural validity and op accounting).
+class SetsConcurrent : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(SetsConcurrent, LinkedListValidUnderScheme) {
+  harness::WorkloadConfig cfg;
+  cfg.ds = harness::DsKind::kLinkedList;
+  cfg.tree_size = 64;
+  cfg.scheme = GetParam();
+  cfg.lock = locks::LockKind::kTtas;
+  cfg.duration = 400'000;
+  const auto r = harness::run_rbtree_workload(cfg);
+  EXPECT_TRUE(r.tree_valid);
+  EXPECT_GT(r.stats.ops(), 0u);
+}
+
+TEST_P(SetsConcurrent, SkipListValidUnderScheme) {
+  harness::WorkloadConfig cfg;
+  cfg.ds = harness::DsKind::kSkipList;
+  cfg.tree_size = 256;
+  cfg.scheme = GetParam();
+  cfg.lock = locks::LockKind::kMcs;
+  cfg.duration = 400'000;
+  const auto r = harness::run_rbtree_workload(cfg);
+  EXPECT_TRUE(r.tree_valid);
+  EXPECT_GT(r.stats.ops(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SetsConcurrent,
+                         ::testing::ValuesIn(elision::kAllSchemesExtended),
+                         [](const ::testing::TestParamInfo<Scheme>& info) {
+                           std::string n = elision::to_string(info.param);
+                           for (char& ch : n) {
+                             if (ch == '-' || ch == ' ') ch = '_';
+                           }
+                           return n;
+                         });
+
+// Capacity wall: with the read-set bound tightened, linked-list traversals
+// longer than the bound abort with kCapacity and the scheme must fall back
+// — correctly, every time.
+TEST(LinkedListCapacity, LongTraversalsHitTheReadSetWall) {
+  harness::WorkloadConfig cfg;
+  cfg.ds = harness::DsKind::kLinkedList;
+  cfg.tree_size = 512;
+  cfg.max_read_lines = 128;  // wall well inside the list
+  cfg.scheme = Scheme::kHle;
+  cfg.lock = locks::LockKind::kTtas;
+  cfg.update_pct = 20;
+  cfg.duration = 600'000;
+  cfg.spurious = 0.0;
+  cfg.persistent = 0.0;
+  const auto r = harness::run_rbtree_workload(cfg);
+  EXPECT_TRUE(r.tree_valid);
+  const auto capacity_aborts =
+      r.stats.abort_causes[static_cast<std::size_t>(htm::AbortCause::kCapacity)];
+  EXPECT_GT(capacity_aborts, r.stats.ops() / 4);  // most deep ops hit it
+  EXPECT_GT(r.stats.nonspec_fraction(), 0.3);     // and complete via the lock
+}
+
+}  // namespace
+}  // namespace sihle

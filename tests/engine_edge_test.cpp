@@ -1,0 +1,179 @@
+// Edge cases of the simulation engine: coroutine-frame cleanup on early
+// destruction, two-line watches, wake ordering, thread-count limits, the
+// version-based missed-wakeup guard, and directory bookkeeping.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "runtime/ctx.h"
+
+namespace sihle {
+namespace {
+
+using runtime::Ctx;
+using runtime::LineHandle;
+using runtime::Machine;
+
+struct Cell {
+  LineHandle line;
+  mem::Shared<std::uint64_t> v;
+  explicit Cell(Machine& m) : line(m), v(line.line(), 0) {}
+};
+
+// --- frame cleanup -----------------------------------------------------------
+
+struct DtorProbe {
+  static int live;
+  DtorProbe() { ++live; }
+  ~DtorProbe() { --live; }
+};
+int DtorProbe::live = 0;
+
+sim::Task<void> deep_wait(Ctx& c, Cell& cell, int depth) {
+  DtorProbe probe;
+  if (depth > 0) {
+    co_await deep_wait(c, cell, depth - 1);
+  } else {
+    // Block forever: the machine will be destroyed with this chain
+    // suspended; every frame (and its locals) must still be destroyed.
+    co_await runtime::spin_until(c, cell.v,
+                                 [](std::uint64_t v) { return v == 42; });
+  }
+}
+
+TEST(FrameCleanup, SuspendedChainsAreDestroyedWithTheMachine) {
+  {
+    Machine m;
+    auto cell = std::make_unique<Cell>(m);
+    m.spawn([&](Ctx& c) { return deep_wait(c, *cell, 5); });
+    m.spawn([&](Ctx& c) -> sim::Task<void> {
+      return [](Ctx& cc) -> sim::Task<void> { co_await cc.work(10); }(c);
+    });
+    EXPECT_THROW(m.run(), std::runtime_error);  // deadlock reported
+    EXPECT_EQ(DtorProbe::live, 6);              // frames still suspended
+  }
+  EXPECT_EQ(DtorProbe::live, 0);  // destroyed with the executor
+}
+
+// --- two-line watch ----------------------------------------------------------
+
+sim::Task<void> watch_two(Ctx& c, Cell& a, Cell& b, int* woken_by) {
+  const std::uint32_t va = c.line_version(a.v);
+  const std::uint32_t vb = c.line_version(b.v);
+  co_await c.watch_lines(a.v, va, b.v, vb);
+  const std::uint64_t av = co_await c.load(a.v);
+  *woken_by = av != 0 ? 1 : 2;
+}
+
+sim::Task<void> store_later(Ctx& c, Cell& cell, sim::Cycles delay) {
+  co_await c.work(delay);
+  co_await c.store(cell.v, std::uint64_t{1});
+}
+
+TEST(TwoLineWatch, WakesOnEitherLine) {
+  for (int which = 1; which <= 2; ++which) {
+    Machine m;
+    Cell a(m);
+    Cell b(m);
+    int woken_by = 0;
+    m.spawn([&](Ctx& c) { return watch_two(c, a, b, &woken_by); });
+    m.spawn([&](Ctx& c) { return store_later(c, which == 1 ? a : b, 500); });
+    m.run();
+    EXPECT_EQ(woken_by, which);
+  }
+}
+
+// --- missed-wakeup guard -----------------------------------------------------
+
+sim::Task<void> racy_waiter(Ctx& c, Cell& cell) {
+  // Sample the version, then deliberately let the publisher run (work)
+  // before blocking: watch_line must not block on a stale version.
+  const std::uint32_t ver = c.line_version(cell.v);
+  co_await c.work(2000);  // publisher stores during this window
+  co_await c.watch_line(cell.v, ver);
+}
+
+TEST(WatchLine, StaleVersionDoesNotBlock) {
+  Machine m;
+  Cell cell(m);
+  m.spawn([&](Ctx& c) { return racy_waiter(c, cell); });
+  m.spawn([&](Ctx& c) { return store_later(c, cell, 100); });
+  m.run();  // would deadlock if the wakeup were missed
+}
+
+// --- spawn limits --------------------------------------------------------------
+
+sim::Task<void> nop(Ctx& c) { co_await c.work(1); }
+
+TEST(Executor, RejectsTooManyThreads) {
+  Machine m;
+  for (std::uint32_t i = 0; i < sim::kMaxThreads; ++i) {
+    m.spawn([](Ctx& c) { return nop(c); });
+  }
+  EXPECT_THROW(m.spawn([](Ctx& c) { return nop(c); }), std::runtime_error);
+}
+
+// --- wake ordering -------------------------------------------------------------
+
+sim::Task<void> sleeper(Ctx& c, Cell& cell, std::vector<std::uint32_t>* order) {
+  co_await runtime::spin_until(c, cell.v, [](std::uint64_t v) { return v != 0; });
+  order->push_back(c.id());
+}
+
+TEST(WakeOrdering, AllWatchersWakeAfterOnePublish) {
+  Machine m;
+  Cell cell(m);
+  std::vector<std::uint32_t> order;
+  for (int t = 0; t < 5; ++t) {
+    m.spawn([&](Ctx& c) { return sleeper(c, cell, &order); });
+  }
+  m.spawn([&](Ctx& c) { return store_later(c, cell, 1000); });
+  m.run();
+  ASSERT_EQ(order.size(), 5u);
+  // All watchers resumed at publisher_clock + latency; ties broken by id.
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+}
+
+// --- directory bookkeeping ------------------------------------------------------
+
+TEST(Directory, FootprintClearedAfterEveryOutcome) {
+  Machine m;
+  auto cell = std::make_unique<Cell>(m);
+  sim::Rng rng(1);
+  // Commit path.
+  m.htm().begin(0, rng);
+  (void)m.htm().tx_store(0, cell->v, 1, rng);
+  std::vector<mem::Line> pub;
+  ASSERT_TRUE(m.htm().commit(0, pub).ok());
+  EXPECT_TRUE(m.dir()[cell->v.line()].clean());
+  // Rollback path.
+  m.htm().begin(0, rng);
+  (void)m.htm().tx_load(0, cell->v, rng);
+  m.htm().rollback(0);
+  EXPECT_TRUE(m.dir()[cell->v.line()].clean());
+  // Doomed path.
+  m.htm().begin(0, rng);
+  (void)m.htm().tx_load(0, cell->v, rng);
+  m.htm().doom(0, htm::AbortCause::kConflict);
+  EXPECT_TRUE(m.dir()[cell->v.line()].clean());  // cleared eagerly at doom
+  m.htm().rollback(0);
+}
+
+TEST(Directory, VersionAdvancesOnEveryPublish) {
+  Machine m;
+  Cell cell(m);
+  const std::uint32_t v0 = m.dir()[cell.v.line()].version;
+  sim::Rng rng(1);
+  m.htm().nontx_store(0, cell.v, 1);
+  EXPECT_EQ(m.dir()[cell.v.line()].version, v0 + 1);
+  m.htm().begin(0, rng);
+  (void)m.htm().tx_store(0, cell.v, 2, rng);
+  EXPECT_EQ(m.dir()[cell.v.line()].version, v0 + 1);  // buffered: no publish
+  std::vector<mem::Line> pub;
+  ASSERT_TRUE(m.htm().commit(0, pub).ok());
+  EXPECT_EQ(m.dir()[cell.v.line()].version, v0 + 2);
+}
+
+}  // namespace
+}  // namespace sihle

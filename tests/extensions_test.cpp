@@ -1,0 +1,82 @@
+// Regression tests pinning the extension results (EXPERIMENTS.md,
+// "Additional reproductions and extensions"): glibc-adaptive behaviour,
+// latency-tail fairness, and the capacity wall.
+#include <gtest/gtest.h>
+
+#include "harness/rbtree_workload.h"
+
+namespace sihle {
+namespace {
+
+using elision::Scheme;
+using harness::WorkloadConfig;
+using locks::LockKind;
+
+TEST(Extensions, AdaptiveElisionConvergesToNoElisionUnderLoad) {
+  WorkloadConfig cfg;
+  cfg.tree_size = 128;
+  cfg.update_pct = 20;
+  cfg.duration = 1'500'000;
+  cfg.seed = 3;
+  cfg.lock = LockKind::kTtas;
+
+  cfg.scheme = Scheme::kStandard;
+  const double base = harness::run_rbtree_workload(cfg).ops_per_mcycle;
+  cfg.scheme = Scheme::kAdaptive;
+  const auto adaptive = harness::run_rbtree_workload(cfg);
+  cfg.scheme = Scheme::kHle;
+  const double hle = harness::run_rbtree_workload(cfg).ops_per_mcycle;
+
+  // Adaptation collapses to the plain lock (within 20%), far below HLE.
+  EXPECT_LT(adaptive.ops_per_mcycle / base, 1.25);
+  EXPECT_GT(hle / adaptive.ops_per_mcycle, 2.0);
+  // And it is the skip path doing it: most ops complete non-speculatively.
+  EXPECT_GT(adaptive.stats.nonspec_fraction(), 0.7);
+}
+
+TEST(Extensions, FairnessTailOrdering) {
+  WorkloadConfig cfg;
+  cfg.tree_size = 64;
+  cfg.update_pct = 100;
+  cfg.duration = 2'000'000;
+  cfg.seed = 5;
+
+  auto tail_ratio = [&](Scheme s, LockKind l) {
+    cfg.scheme = s;
+    cfg.lock = l;
+    const auto r = harness::run_rbtree_workload(cfg);
+    return static_cast<double>(r.latency.percentile(0.999)) /
+           static_cast<double>(r.latency.percentile(0.50));
+  };
+
+  const double ttas = tail_ratio(Scheme::kStandard, LockKind::kTtas);
+  const double mcs = tail_ratio(Scheme::kStandard, LockKind::kMcs);
+  const double scm_mcs = tail_ratio(Scheme::kHleScm, LockKind::kMcs);
+
+  EXPECT_GT(ttas / mcs, 50.0);     // unfair lock: tail explodes
+  EXPECT_LT(scm_mcs, ttas / 10);   // elided fair lock keeps a bounded tail
+}
+
+TEST(Extensions, CapacityWallDefeatsEveryScheme) {
+  WorkloadConfig cfg;
+  cfg.ds = harness::DsKind::kLinkedList;
+  cfg.tree_size = 1024;
+  cfg.max_read_lines = 64;  // far inside every traversal
+  cfg.update_pct = 20;
+  cfg.duration = 500'000;
+  cfg.spurious = 0.0;
+  cfg.persistent = 0.0;
+  cfg.lock = LockKind::kTtas;
+
+  cfg.scheme = Scheme::kStandard;
+  const double base = harness::run_rbtree_workload(cfg).ops_per_mcycle;
+  for (Scheme s : {Scheme::kHle, Scheme::kOptSlr}) {
+    cfg.scheme = s;
+    const auto r = harness::run_rbtree_workload(cfg);
+    EXPECT_LT(r.ops_per_mcycle / base, 1.3) << elision::to_string(s);
+    EXPECT_GT(r.stats.nonspec_fraction(), 0.8) << elision::to_string(s);
+  }
+}
+
+}  // namespace
+}  // namespace sihle

@@ -1,0 +1,195 @@
+// Harness unit tests: CLI parsing, table formatting, OpStats arithmetic,
+// the slice recorder, and workload-driver invariants (determinism,
+// op accounting, structure validity).
+#include <gtest/gtest.h>
+
+#include "harness/cli.h"
+#include "harness/rbtree_workload.h"
+#include "harness/table.h"
+#include "stats/op_stats.h"
+
+namespace sihle {
+namespace {
+
+using harness::Args;
+
+Args make_args(std::vector<const char*> argv) {
+  static std::vector<std::string> storage;
+  storage.assign(argv.begin(), argv.end());
+  static std::vector<char*> ptrs;
+  ptrs.clear();
+  ptrs.push_back(const_cast<char*>("prog"));
+  for (auto& s : storage) ptrs.push_back(s.data());
+  return Args(static_cast<int>(ptrs.size()), ptrs.data());
+}
+
+TEST(Cli, ParsesFlags) {
+  Args args = make_args({"--threads=4", "--duration-ms=2.5", "--verbose",
+                         "--sizes=2,8,32"});
+  EXPECT_EQ(args.get_int("threads", 8), 4);
+  EXPECT_DOUBLE_EQ(args.get_double("duration-ms", 1.0), 2.5);
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_FALSE(args.has("quiet"));
+  EXPECT_EQ(args.get_int("missing", 77), 77);
+  const auto sizes = args.get_list("sizes", {});
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], "2");
+  EXPECT_EQ(sizes[2], "32");
+  const auto def = args.get_list("locks", {"ttas", "mcs"});
+  EXPECT_EQ(def.size(), 2u);
+}
+
+TEST(Cli, ParsesSchemesAndLocks) {
+  EXPECT_EQ(harness::parse_scheme("hle"), elision::Scheme::kHle);
+  EXPECT_EQ(harness::parse_scheme("slr"), elision::Scheme::kOptSlr);
+  EXPECT_EQ(harness::parse_scheme("hle-scm"), elision::Scheme::kHleScm);
+  EXPECT_EQ(harness::parse_scheme("adaptive"), elision::Scheme::kAdaptive);
+  EXPECT_EQ(harness::parse_lock("mcs"), locks::LockKind::kMcs);
+  EXPECT_EQ(harness::parse_lock("eticket"), locks::LockKind::kElidableTicket);
+}
+
+TEST(TableTest, AlignsColumns) {
+  harness::Table t({"a", "long-header"});
+  t.row({"x", "1"});
+  t.row({"longer-cell", "2"});
+  // Just exercise printing to a memstream-less FILE: use tmpfile.
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  t.print(f);
+  std::rewind(f);
+  char buf[256];
+  ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+  const std::string header(buf);
+  EXPECT_NE(header.find("a"), std::string::npos);
+  EXPECT_NE(header.find("long-header"), std::string::npos);
+  std::fclose(f);
+  EXPECT_EQ(harness::Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(harness::Table::num(2.0, 0), "2");
+}
+
+TEST(OpStatsTest, DerivedMetrics) {
+  stats::OpStats st;
+  st.spec_commits = 60;  // S
+  st.nonspec = 40;       // N
+  st.aborts = 100;       // A
+  st.arrivals = 100;
+  st.arrivals_lock_held = 25;
+  EXPECT_EQ(st.ops(), 100u);
+  EXPECT_DOUBLE_EQ(st.attempts_per_op(), 2.0);  // (A+N+S)/(N+S)
+  EXPECT_DOUBLE_EQ(st.nonspec_fraction(), 0.4);
+  EXPECT_DOUBLE_EQ(st.arrival_lock_held_fraction(), 0.25);
+
+  stats::OpStats sum;
+  sum += st;
+  sum += st;
+  EXPECT_EQ(sum.ops(), 200u);
+  EXPECT_DOUBLE_EQ(sum.attempts_per_op(), 2.0);
+}
+
+TEST(OpStatsTest, AbortCauseHistogram) {
+  stats::OpStats st;
+  st.record_abort({htm::AbortCause::kConflict, 0, true});
+  st.record_abort({htm::AbortCause::kConflict, 0, true});
+  st.record_abort({htm::AbortCause::kCapacity, 0, false});
+  EXPECT_EQ(st.aborts, 3u);
+  EXPECT_EQ(st.abort_causes[static_cast<std::size_t>(htm::AbortCause::kConflict)], 2u);
+  EXPECT_EQ(st.abort_causes[static_cast<std::size_t>(htm::AbortCause::kCapacity)], 1u);
+}
+
+TEST(LatencyHistogramTest, PercentilesAndMerge) {
+  stats::LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.record(100);    // bucket ~2^7
+  for (int i = 0; i < 9; ++i) h.record(1000);    // bucket ~2^10
+  h.record(100000);                              // bucket ~2^17
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_LE(h.percentile(0.50), 256u);
+  EXPECT_GE(h.percentile(0.95), 512u);
+  EXPECT_LE(h.percentile(0.95), 2048u);
+  EXPECT_GE(h.percentile(0.999), 65536u);
+
+  stats::LatencyHistogram other;
+  other.record(100);
+  h += other;
+  EXPECT_EQ(h.count(), 101u);
+}
+
+TEST(LatencyHistogramTest, EmptyAndExtremes) {
+  stats::LatencyHistogram h;
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  h.record(0);
+  h.record(~sim::Cycles{0});
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GE(h.percentile(0.99), 1u);
+}
+
+TEST(SliceRecorderTest, BucketsByVirtualTime) {
+  stats::SliceRecorder rec(1000);
+  rec.record_op(10, false);
+  rec.record_op(999, true);
+  rec.record_op(1000, false);
+  rec.record_op(5500, true);
+  ASSERT_EQ(rec.slices(), 6u);
+  EXPECT_EQ(rec.ops_in(0), 2u);
+  EXPECT_EQ(rec.nonspec_in(0), 1u);
+  EXPECT_EQ(rec.ops_in(1), 1u);
+  EXPECT_EQ(rec.ops_in(5), 1u);
+  EXPECT_EQ(rec.nonspec_in(5), 1u);
+}
+
+// --- Workload driver ----------------------------------------------------------
+
+TEST(WorkloadDriver, DeterministicForASeed) {
+  harness::WorkloadConfig cfg;
+  cfg.tree_size = 64;
+  cfg.duration = 300'000;
+  cfg.scheme = elision::Scheme::kOptSlr;
+  cfg.seed = 99;
+  const auto a = harness::run_rbtree_workload(cfg);
+  const auto b = harness::run_rbtree_workload(cfg);
+  EXPECT_EQ(a.stats.ops(), b.stats.ops());
+  EXPECT_EQ(a.stats.aborts, b.stats.aborts);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.final_size, b.final_size);
+}
+
+TEST(WorkloadDriver, PrefillsExactly) {
+  harness::WorkloadConfig cfg;
+  cfg.tree_size = 300;
+  cfg.threads = 1;
+  cfg.update_pct = 0;  // lookups do not change the size
+  cfg.duration = 100'000;
+  const auto r = harness::run_rbtree_workload(cfg);
+  EXPECT_EQ(r.final_size, 300u);
+  EXPECT_TRUE(r.tree_valid);
+}
+
+TEST(WorkloadDriver, EveryDataStructureRuns) {
+  for (auto ds : {harness::DsKind::kRbTree, harness::DsKind::kHashTable,
+                  harness::DsKind::kLinkedList, harness::DsKind::kSkipList}) {
+    harness::WorkloadConfig cfg;
+    cfg.ds = ds;
+    cfg.tree_size = 64;
+    cfg.duration = 200'000;
+    cfg.scheme = elision::Scheme::kHleScm;
+    const auto r = harness::run_rbtree_workload(cfg);
+    EXPECT_TRUE(r.tree_valid) << harness::to_string(ds);
+    EXPECT_GT(r.stats.ops(), 0u) << harness::to_string(ds);
+  }
+}
+
+TEST(WorkloadDriver, SlicesCoverTheRun) {
+  harness::WorkloadConfig cfg;
+  cfg.tree_size = 64;
+  cfg.record_slices = true;
+  cfg.slice_cycles = 100'000;
+  cfg.duration = 500'000;
+  const auto r = harness::run_rbtree_workload(cfg);
+  ASSERT_NE(r.slices, nullptr);
+  EXPECT_GE(r.slices->slices(), 5u);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < r.slices->slices(); ++i) total += r.slices->ops_in(i);
+  EXPECT_EQ(total, r.stats.ops());
+}
+
+}  // namespace
+}  // namespace sihle

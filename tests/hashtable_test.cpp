@@ -1,0 +1,125 @@
+// Hash-table correctness: sequential oracle comparison and concurrent runs
+// under every scheme.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "ds/hashtable.h"
+#include "elision/schemes.h"
+#include "locks/locks.h"
+#include "runtime/ctx.h"
+
+namespace sihle {
+namespace {
+
+using ds::HashTable;
+using elision::Scheme;
+using runtime::Ctx;
+using runtime::Machine;
+
+sim::Task<void> sequential_driver(Ctx& c, HashTable& table,
+                                  std::set<std::int64_t>& oracle, int ops,
+                                  int* mismatches) {
+  for (int i = 0; i < ops; ++i) {
+    const std::int64_t key = static_cast<std::int64_t>(c.rng().below(300));
+    const int action = static_cast<int>(c.rng().below(3));
+    if (action == 0) {
+      const bool added = co_await table.insert(c, key);
+      if (added != oracle.insert(key).second) ++*mismatches;
+    } else if (action == 1) {
+      const bool removed = co_await table.erase(c, key);
+      if (removed != (oracle.erase(key) > 0)) ++*mismatches;
+    } else {
+      const bool found = co_await table.contains(c, key);
+      if (found != (oracle.count(key) > 0)) ++*mismatches;
+    }
+  }
+}
+
+TEST(HashTableSequential, MatchesSetOracle) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Machine::Config cfg;
+    cfg.seed = seed;
+    Machine m(cfg);
+    HashTable table(m, 64);  // intentionally small: long chains get exercised
+    std::set<std::int64_t> oracle;
+    int mismatches = 0;
+    m.spawn([&](Ctx& c) {
+      return sequential_driver(c, table, oracle, 5000, &mismatches);
+    });
+    m.run();
+    EXPECT_EQ(mismatches, 0) << "seed " << seed;
+    EXPECT_TRUE(table.debug_validate());
+    EXPECT_EQ(table.debug_size(), oracle.size());
+    for (auto k : oracle) EXPECT_TRUE(table.debug_contains(k));
+  }
+}
+
+sim::Task<void> op_body(Ctx& c, HashTable& t, int action, std::int64_t key) {
+  if (action == 0) {
+    const bool r = co_await t.insert(c, key);
+    (void)r;
+  } else if (action == 1) {
+    const bool r = co_await t.erase(c, key);
+    (void)r;
+  } else {
+    const bool r = co_await t.contains(c, key);
+    (void)r;
+  }
+}
+
+template <class Lock>
+sim::Task<void> concurrent_worker(Ctx& c, Scheme s, Lock& lock, locks::MCSLock& aux,
+                                  HashTable& table, int ops, stats::OpStats& st) {
+  for (int i = 0; i < ops; ++i) {
+    const std::int64_t key = static_cast<std::int64_t>(c.rng().below(256));
+    const int action = static_cast<int>(c.rng().below(4));
+    co_await elision::run_op(
+        s, c, lock, aux,
+        [&table, action, key](Ctx& cc) {
+          return op_body(cc, table, action > 2 ? 2 : action, key);
+        },
+        st);
+  }
+}
+
+class HashTableConcurrent : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(HashTableConcurrent, ValidUnderAllSchemes) {
+  const Scheme scheme = GetParam();
+  Machine::Config cfg;
+  cfg.seed = 31;
+  cfg.htm.spurious_abort_per_access = 1e-4;
+  Machine m(cfg);
+  locks::TTASLock lock(m);
+  locks::MCSLock aux(m);
+  HashTable table(m, 64);
+  for (int k = 0; k < 128; k += 3) table.debug_insert(k);
+  std::vector<stats::OpStats> st(8);
+  for (int t = 0; t < 8; ++t) {
+    m.spawn([&, t](Ctx& c) {
+      return concurrent_worker<locks::TTASLock>(c, scheme, lock, aux, table, 300,
+                                                st[t]);
+    });
+  }
+  m.run();
+  EXPECT_TRUE(table.debug_validate());
+  stats::OpStats total;
+  for (auto& s : st) total += s;
+  EXPECT_EQ(total.ops(), 8u * 300u);
+  EXPECT_EQ(m.limbo_size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, HashTableConcurrent,
+                         ::testing::ValuesIn(elision::kAllSchemes),
+                         [](const ::testing::TestParamInfo<Scheme>& info) {
+                           std::string n = elision::to_string(info.param);
+                           for (char& ch : n) {
+                             if (ch == '-' || ch == ' ') ch = '_';
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace sihle

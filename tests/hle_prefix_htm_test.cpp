@@ -1,0 +1,146 @@
+// Unit-level tests of the XACQUIRE/XRELEASE model and the conflict-location
+// reporting inside the Htm class (the lock-level behaviour is covered by
+// hle_prefix_test.cpp).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "htm/htm.h"
+#include "mem/directory.h"
+#include "mem/shared.h"
+
+namespace sihle {
+namespace {
+
+using htm::AbortCause;
+using htm::Htm;
+using htm::HtmConfig;
+using mem::Directory;
+using mem::Shared;
+
+struct Fixture {
+  Directory dir;
+  Htm htm;
+  sim::Rng rng{1};
+  std::vector<std::unique_ptr<Shared<std::uint64_t>>> owned;
+  explicit Fixture(HtmConfig cfg = {}) : htm(dir, cfg) {}
+  Shared<std::uint64_t>& cell(std::uint64_t init = 0) {
+    owned.push_back(std::make_unique<Shared<std::uint64_t>>(dir.alloc(), init));
+    return *owned.back();
+  }
+};
+
+TEST(XAcquire, ElidesStoreIntoReadSetOnly) {
+  Fixture f;
+  auto& lock = f.cell(0);
+  f.htm.begin(0, f.rng);
+  const auto r = f.htm.xacquire_store(0, lock, 1, f.rng);
+  EXPECT_TRUE(r.abort.ok());
+  EXPECT_EQ(r.value, 0u);                       // pre-store value
+  EXPECT_EQ(lock.debug_value(), 0u);            // memory unchanged
+  EXPECT_EQ(f.dir[lock.line()].tx_writer, -1);  // read set only
+  EXPECT_NE(f.dir[lock.line()].tx_readers & 1u, 0u);
+  // Illusion: transactional reads see the elided value.
+  EXPECT_EQ(f.htm.tx_load(0, lock, f.rng).value, 1u);
+  // ...but another transaction sees the real value and coexists (readers).
+  f.htm.begin(1, f.rng);
+  EXPECT_EQ(f.htm.tx_load(1, lock, f.rng).value, 0u);
+  EXPECT_FALSE(f.htm.tx(0).doomed);
+  EXPECT_FALSE(f.htm.tx(1).doomed);
+  f.htm.rollback(0);
+  f.htm.rollback(1);
+}
+
+TEST(XRelease, RestoringStoreBalancesElision) {
+  Fixture f;
+  auto& lock = f.cell(0);
+  f.htm.begin(0, f.rng);
+  (void)f.htm.xacquire_store(0, lock, 1, f.rng);
+  EXPECT_TRUE(f.htm.xrelease_store(0, lock, 0, f.rng).abort.ok());
+  std::vector<mem::Line> published;
+  EXPECT_TRUE(f.htm.commit(0, published).ok());
+  EXPECT_EQ(lock.debug_value(), 0u);
+  EXPECT_TRUE(f.dir[lock.line()].clean());
+}
+
+TEST(XRelease, NonRestoringStoreAborts) {
+  Fixture f;
+  auto& lock = f.cell(0);
+  f.htm.begin(0, f.rng);
+  (void)f.htm.xacquire_store(0, lock, 1, f.rng);
+  const auto r = f.htm.xrelease_store(0, lock, 2, f.rng);  // wrong value
+  EXPECT_EQ(r.abort.cause, AbortCause::kExplicit);
+  EXPECT_EQ(r.abort.code, Htm::kAbortCodeHleMismatch);
+  EXPECT_FALSE(r.abort.retry);
+  f.htm.rollback(0);
+}
+
+TEST(XRelease, UnbalancedElisionCannotCommit) {
+  Fixture f;
+  auto& lock = f.cell(0);
+  f.htm.begin(0, f.rng);
+  (void)f.htm.xacquire_store(0, lock, 1, f.rng);
+  std::vector<mem::Line> published;
+  const auto st = f.htm.commit(0, published);
+  EXPECT_EQ(st.cause, AbortCause::kExplicit);
+  EXPECT_EQ(st.code, Htm::kAbortCodeHleMismatch);
+  f.htm.rollback(0);
+}
+
+TEST(XAcquire, ElidedLockStillCouplesViaReadSet) {
+  // The whole point of the paper: the elided lock's line is in the read
+  // set, so a real (non-transactional) acquisition dooms the transaction.
+  Fixture f;
+  auto& lock = f.cell(0);
+  f.htm.begin(0, f.rng);
+  (void)f.htm.xacquire_store(0, lock, 1, f.rng);
+  f.htm.nontx_store(1, lock, 1);  // another thread takes the lock for real
+  EXPECT_TRUE(f.htm.tx(0).doomed);
+  EXPECT_EQ(f.htm.tx(0).doom_status.conflict_line, lock.line());
+  f.htm.rollback(0);
+}
+
+TEST(ConflictLocation, ReportedOnDataConflicts) {
+  Fixture f;
+  auto& x = f.cell(0);
+  auto& y = f.cell(0);
+  f.htm.begin(0, f.rng);
+  (void)f.htm.tx_load(0, x, f.rng);
+  (void)f.htm.tx_load(0, y, f.rng);
+  f.htm.begin(1, f.rng);
+  (void)f.htm.tx_store(1, y, 1, f.rng);  // conflicts on y's line
+  EXPECT_TRUE(f.htm.tx(0).doomed);
+  EXPECT_EQ(f.htm.tx(0).doom_status.conflict_line, y.line());
+  f.htm.rollback(0);
+  f.htm.rollback(1);
+}
+
+TEST(ConflictLocation, HeatmapCountsPerLine) {
+  HtmConfig cfg;
+  cfg.track_conflict_lines = true;
+  Fixture f(cfg);
+  auto& hot = f.cell(0);
+  auto& cold = f.cell(0);
+  for (int i = 0; i < 5; ++i) {
+    f.htm.begin(0, f.rng);
+    (void)f.htm.tx_load(0, hot, f.rng);
+    f.htm.nontx_store(1, hot, 1);
+    f.htm.rollback(0);
+  }
+  f.htm.begin(0, f.rng);
+  (void)f.htm.tx_load(0, cold, f.rng);
+  f.htm.nontx_store(1, cold, 1);
+  f.htm.rollback(0);
+
+  const auto heat = f.htm.conflict_heatmap(10);
+  ASSERT_EQ(heat.size(), 2u);
+  EXPECT_EQ(heat[0].first, hot.line());
+  EXPECT_EQ(heat[0].second, 5u);
+  EXPECT_EQ(heat[1].first, cold.line());
+  EXPECT_EQ(heat[1].second, 1u);
+  EXPECT_EQ(f.htm.located_conflicts(), 6u);
+}
+
+}  // namespace
+}  // namespace sihle

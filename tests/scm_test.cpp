@@ -1,0 +1,225 @@
+// SCM (software-assisted conflict management) progress and isolation tests:
+// livelock freedom for adversarial conflict patterns, starvation freedom
+// with the fair auxiliary lock, and the headline property that conflicting
+// threads serialize on the auxiliary lock without disturbing the other
+// speculating threads (the main lock stays free).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "elision/schemes.h"
+#include "elision/scm_grouped.h"
+#include "locks/locks.h"
+#include "runtime/ctx.h"
+
+namespace sihle {
+namespace {
+
+using elision::Scheme;
+using runtime::Ctx;
+using runtime::LineHandle;
+using runtime::Machine;
+
+struct Cells {
+  LineHandle la, lb;
+  mem::Shared<std::uint64_t> a, b;
+  explicit Cells(Machine& m) : la(m), lb(m), a(la.line(), 0), b(lb.line(), 0) {}
+};
+
+// Adversarial body pair: one order writes A then B with a gap, the other
+// writes B then A.  Under naive optimistic retry, two such transactions can
+// doom each other forever (the livelock §6 opens with); SCM's serializing
+// path must guarantee progress.
+sim::Task<void> cross_writer_body(Ctx& c, Cells& cells, bool a_first) {
+  if (a_first) {
+    const std::uint64_t va = co_await c.load(cells.a);
+    co_await c.store(cells.a, va + 1);
+    co_await c.work(400);
+    const std::uint64_t vb = co_await c.load(cells.b);
+    co_await c.store(cells.b, vb + 1);
+  } else {
+    const std::uint64_t vb = co_await c.load(cells.b);
+    co_await c.store(cells.b, vb + 1);
+    co_await c.work(400);
+    const std::uint64_t va = co_await c.load(cells.a);
+    co_await c.store(cells.a, va + 1);
+  }
+}
+
+template <class Lock>
+sim::Task<void> adversary(Ctx& c, Scheme s, Lock& lock, locks::MCSLock& aux,
+                          Cells& cells, bool a_first, int ops, stats::OpStats& st) {
+  for (int i = 0; i < ops; ++i) {
+    co_await elision::run_op(
+        s, c, lock, aux,
+        [&cells, a_first](Ctx& cc) { return cross_writer_body(cc, cells, a_first); },
+        st);
+  }
+}
+
+struct ScmParam {
+  Scheme scheme;
+  std::uint64_t seed;
+};
+
+class ScmProgress : public ::testing::TestWithParam<ScmParam> {};
+
+TEST_P(ScmProgress, AdversarialWritersComplete) {
+  const auto p = GetParam();
+  Machine::Config cfg;
+  cfg.seed = p.seed;
+  Machine m(cfg);
+  locks::MCSLock lock(m);
+  locks::MCSLock aux(m);
+  Cells cells(m);
+  const int threads = 6;
+  const int ops = 100;
+  std::vector<stats::OpStats> st(threads);
+  for (int t = 0; t < threads; ++t) {
+    m.spawn([&, t](Ctx& c) {
+      return adversary<locks::MCSLock>(c, p.scheme, lock, aux, cells, t % 2 == 0,
+                                       ops, st[t]);
+    });
+  }
+  m.run();  // termination itself is the livelock-freedom check
+  EXPECT_EQ(cells.a.debug_value(), static_cast<std::uint64_t>(threads) * ops);
+  EXPECT_EQ(cells.b.debug_value(), static_cast<std::uint64_t>(threads) * ops);
+  stats::OpStats total;
+  for (auto& s : st) total += s;
+  EXPECT_EQ(total.ops(), static_cast<std::uint64_t>(threads) * ops);
+  // Bounded wasted work: with SCM, conflictors serialize instead of
+  // retry-storming, so attempts per op stay small even in this worst case.
+  EXPECT_LT(total.attempts_per_op(), 6.0);
+  if (p.scheme == Scheme::kHleScm || p.scheme == Scheme::kSlrScm) {
+    EXPECT_GT(total.aux_acquisitions, 0u);
+  }
+  // Starvation freedom: every thread finished its full quota (implied by
+  // termination + per-thread loop), and everyone got commits.
+  for (int t = 0; t < threads; ++t) {
+    EXPECT_EQ(st[t].ops(), static_cast<std::uint64_t>(ops));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, ScmProgress,
+    ::testing::Values(ScmParam{Scheme::kHleScm, 1}, ScmParam{Scheme::kHleScm, 2},
+                      ScmParam{Scheme::kSlrScm, 1}, ScmParam{Scheme::kSlrScm, 2}),
+    [](const ::testing::TestParamInfo<ScmParam>& info) {
+      return std::string(info.param.scheme == Scheme::kHleScm ? "HleScm" : "SlrScm") +
+             "_s" + std::to_string(info.param.seed);
+    });
+
+// The SCM headline: conflicting threads are serialized among themselves and
+// do not interfere with the other threads.  Two "fighters" conflict
+// constantly on one pair of cells; six "bystanders" work on disjoint cells.
+// Under HLE-SCM the bystanders must stay essentially fully speculative
+// (the main lock is never taken by the fighters' serializing path).
+TEST(ScmIsolation, ConflictorsDoNotDisturbBystanders) {
+  Machine::Config cfg;
+  cfg.seed = 5;
+  Machine m(cfg);
+  locks::MCSLock lock(m);
+  locks::MCSLock aux(m);
+  Cells fight(m);
+  const int bystanders = 6;
+  std::vector<std::unique_ptr<Cells>> mine;
+  for (int i = 0; i < bystanders; ++i) mine.push_back(std::make_unique<Cells>(m));
+
+  std::vector<stats::OpStats> st(2 + bystanders);
+  for (int t = 0; t < 2; ++t) {
+    m.spawn([&, t](Ctx& c) {
+      return adversary<locks::MCSLock>(c, Scheme::kHleScm, lock, aux, fight,
+                                       t == 0, 120, st[t]);
+    });
+  }
+  for (int t = 0; t < bystanders; ++t) {
+    m.spawn([&, t](Ctx& c) {
+      return adversary<locks::MCSLock>(c, Scheme::kHleScm, lock, aux, *mine[t],
+                                       true, 120, st[2 + t]);
+    });
+  }
+  m.run();
+
+  stats::OpStats bystander_total;
+  for (int t = 0; t < bystanders; ++t) bystander_total += st[2 + t];
+  // Bystanders complete speculatively: no lemming effect leaks to them.
+  EXPECT_EQ(bystander_total.nonspec, 0u);
+  EXPECT_LT(bystander_total.attempts_per_op(), 1.2);
+  // The fighters really did conflict and serialize.
+  EXPECT_GT((st[0].aux_acquisitions + st[1].aux_acquisitions), 10u);
+}
+
+// With a fair auxiliary lock, SCM inherits its fairness: under constant
+// conflict the two fighters' completion counts advance together (neither
+// starves behind the other).
+TEST(ScmFairness, FightersAlternateViaAuxQueue) {
+  Machine::Config cfg;
+  cfg.seed = 9;
+  Machine m(cfg);
+  locks::MCSLock lock(m);
+  locks::MCSLock aux(m);
+  Cells fight(m);
+  std::vector<stats::OpStats> st(4);
+  for (int t = 0; t < 4; ++t) {
+    m.spawn([&, t](Ctx& c) {
+      return adversary<locks::MCSLock>(c, Scheme::kHleScm, lock, aux, fight,
+                                       t % 2 == 0, 150, st[t]);
+    });
+  }
+  m.run();
+  // All four threads completed their quota — enough to rule out starvation,
+  // since an unfair serializing path would let one pair finish while the
+  // other spun.  (Completion of m.run() already implies progress; the check
+  // below additionally confirms everyone used the serializing path.)
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(st[t].ops(), 150u);
+    EXPECT_GT(st[t].aux_acquisitions, 0u);
+  }
+}
+
+// The grouped-SCM extension (the paper's future work) must preserve all the
+// correctness properties of classic SCM: mutual exclusion, livelock
+// freedom, and termination — even when conflicting threads land in
+// different groups (the hash of the conflict line does not always match the
+// logical group, which must only cost performance, never correctness).
+template <class Lock>
+sim::Task<void> grouped_adversary(Ctx& c, Lock& lock, elision::GroupedAux& aux,
+                                  Cells& cells, bool a_first, int ops,
+                                  stats::OpStats& st) {
+  for (int i = 0; i < ops; ++i) {
+    co_await elision::run_scm_grouped(
+        c, lock, aux,
+        [&cells, a_first](Ctx& cc) { return cross_writer_body(cc, cells, a_first); },
+        st, elision::ScmFlavor::kHle);
+  }
+}
+
+TEST(ScmGrouped, AdversarialWritersCompleteWithGroups) {
+  for (int groups : {1, 2, 4}) {
+    Machine::Config cfg;
+    cfg.seed = 21;
+    Machine m(cfg);
+    locks::MCSLock lock(m);
+    elision::GroupedAux aux(m, groups);
+    Cells cells(m);
+    const int threads = 6;
+    const int ops = 80;
+    std::vector<stats::OpStats> st(threads);
+    for (int t = 0; t < threads; ++t) {
+      m.spawn([&, t](Ctx& c) {
+        return grouped_adversary<locks::MCSLock>(c, lock, aux, cells, t % 2 == 0,
+                                                 ops, st[t]);
+      });
+    }
+    m.run();
+    EXPECT_EQ(cells.a.debug_value(), static_cast<std::uint64_t>(threads) * ops)
+        << groups << " groups";
+    EXPECT_EQ(cells.b.debug_value(), static_cast<std::uint64_t>(threads) * ops);
+    for (int t = 0; t < threads; ++t) {
+      EXPECT_EQ(st[t].ops(), static_cast<std::uint64_t>(ops));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sihle

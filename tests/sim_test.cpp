@@ -1,0 +1,205 @@
+// Unit tests for the discrete-event core: task plumbing, min-clock
+// scheduling, deterministic replay, blocking/wakeup, RNG quality basics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/ctx.h"
+#include "sim/executor.h"
+#include "sim/rng.h"
+#include "sim/task.h"
+
+namespace sihle {
+namespace {
+
+using runtime::Ctx;
+using runtime::LineHandle;
+using runtime::Machine;
+
+// --- Task basics ------------------------------------------------------------
+
+sim::Task<int> answer() { co_return 42; }
+sim::Task<int> add(int a, int b) {
+  const int x = co_await answer();
+  co_return a + b + x - 42;
+}
+sim::Task<int> thrower() {
+  co_await answer();
+  throw std::runtime_error("boom");
+}
+
+sim::RootTask drive(sim::Task<int> t, int* out, bool* threw) {
+  try {
+    *out = co_await std::move(t);
+  } catch (const std::runtime_error&) {
+    *threw = true;
+  }
+}
+
+TEST(Task, ReturnsValueThroughNesting) {
+  int out = 0;
+  bool threw = false;
+  auto root = drive(add(20, 22), &out, &threw);
+  root.handle.resume();
+  EXPECT_TRUE(root.handle.done());
+  EXPECT_EQ(out, 42);
+  EXPECT_FALSE(threw);
+  root.handle.destroy();
+}
+
+TEST(Task, PropagatesExceptions) {
+  int out = 0;
+  bool threw = false;
+  auto root = drive(thrower(), &out, &threw);
+  root.handle.resume();
+  EXPECT_TRUE(root.handle.done());
+  EXPECT_TRUE(threw);
+  root.handle.destroy();
+}
+
+// --- Executor scheduling -----------------------------------------------------
+
+struct Cell {
+  LineHandle line;
+  mem::Shared<std::uint64_t> v;
+  explicit Cell(Machine& m) : line(m), v(line.line(), 0) {}
+};
+
+sim::Task<void> append_id(Ctx& c, Cell& cell, std::vector<std::uint32_t>& order,
+                          std::uint64_t work_per_step, int steps) {
+  for (int i = 0; i < steps; ++i) {
+    order.push_back(c.id());
+    co_await c.work(work_per_step);
+  }
+  (void)cell;
+}
+
+TEST(Executor, MinClockInterleavesFairly) {
+  Machine m;
+  Cell cell(m);
+  std::vector<std::uint32_t> order;
+  for (int t = 0; t < 3; ++t) {
+    m.spawn([&](Ctx& c) { return append_id(c, cell, order, 100, 4); });
+  }
+  m.run();
+  // Equal costs => strict round-robin by thread id.
+  const std::vector<std::uint32_t> expected = {0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Executor, FasterThreadRunsMoreOften) {
+  Machine m;
+  Cell cell(m);
+  std::vector<std::uint32_t> order;
+  m.spawn([&](Ctx& c) { return append_id(c, cell, order, 50, 8); });   // fast
+  m.spawn([&](Ctx& c) { return append_id(c, cell, order, 200, 2); });  // slow
+  m.run();
+  int fast_first_half = 0;
+  for (std::size_t i = 0; i < order.size() / 2; ++i) {
+    fast_first_half += order[i] == 0 ? 1 : 0;
+  }
+  EXPECT_GE(fast_first_half, 3);
+}
+
+sim::Task<void> waiter(Ctx& c, Cell& cell, sim::Cycles* woken_at) {
+  co_await runtime::spin_until(c, cell.v, [](std::uint64_t v) { return v == 7; });
+  *woken_at = c.now();
+}
+sim::Task<void> publisher(Ctx& c, Cell& cell) {
+  co_await c.work(5000);
+  co_await c.store(cell.v, std::uint64_t{7});
+}
+
+TEST(Executor, BlockedThreadWakesOnPublish) {
+  Machine m;
+  Cell cell(m);
+  sim::Cycles woken_at = 0;
+  m.spawn([&](Ctx& c) { return waiter(c, cell, &woken_at); });
+  m.spawn([&](Ctx& c) { return publisher(c, cell); });
+  m.run();
+  // Waker publishes at ~5000 + store cost; waiter wakes just after.
+  EXPECT_GT(woken_at, 5000u);
+  EXPECT_LT(woken_at, 5600u);
+}
+
+sim::Task<void> never_satisfied(Ctx& c, Cell& cell) {
+  co_await runtime::spin_until(c, cell.v, [](std::uint64_t v) { return v == 99; });
+}
+
+TEST(Executor, DeadlockIsDetected) {
+  Machine m;
+  Cell cell(m);
+  m.spawn([&](Ctx& c) { return never_satisfied(c, cell); });
+  EXPECT_THROW(m.run(), std::runtime_error);
+}
+
+// --- Determinism -------------------------------------------------------------
+
+sim::Task<void> chaos_worker(Ctx& c, Cell& cell, std::uint64_t* trace) {
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t v = co_await c.load(cell.v);
+    co_await c.store(cell.v, v + c.rng().below(10));
+    co_await c.work(c.rng().below(100));
+    *trace = *trace * 31 + c.now() + v;
+  }
+}
+
+std::uint64_t run_chaos(std::uint64_t seed) {
+  Machine::Config cfg;
+  cfg.seed = seed;
+  Machine m(cfg);
+  Cell cell(m);
+  std::uint64_t traces[4] = {0, 0, 0, 0};
+  for (int t = 0; t < 4; ++t) {
+    m.spawn([&, t](Ctx& c) { return chaos_worker(c, cell, &traces[t]); });
+  }
+  m.run();
+  std::uint64_t h = cell.v.debug_value();
+  for (auto t : traces) h = h * 1099511628211ULL + t;
+  return h;
+}
+
+TEST(Determinism, IdenticalSeedIdenticalTrace) {
+  EXPECT_EQ(run_chaos(123), run_chaos(123));
+  EXPECT_EQ(run_chaos(7), run_chaos(7));
+  EXPECT_NE(run_chaos(123), run_chaos(124));
+}
+
+// --- RNG ---------------------------------------------------------------------
+
+TEST(Rng, UniformBitsRoughlyBalanced) {
+  sim::Rng rng(42);
+  int ones = 0;
+  for (int i = 0; i < 10000; ++i) ones += rng.next() & 1 ? 1 : 0;
+  EXPECT_GT(ones, 4700);
+  EXPECT_LT(ones, 5300);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  sim::Rng rng(43);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(7), 7u);
+    const auto r = rng.range(5, 9);
+    EXPECT_GE(r, 5u);
+    EXPECT_LE(r, 9u);
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  sim::Rng rng(44);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.chance(0.1) ? 1 : 0;
+  EXPECT_GT(hits, 9000);
+  EXPECT_LT(hits, 11000);
+}
+
+TEST(Rng, DistinctSeedsDiverge) {
+  sim::Rng a(1);
+  sim::Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace sihle

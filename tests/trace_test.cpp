@@ -1,0 +1,140 @@
+// Transaction-trace tests: every attempt is recorded with a consistent
+// interval and outcome; commits plus aborts reconcile with the schemes'
+// statistics; and the trace exposes the lemming effect's signature
+// (overlapping doomed transactions around a lock acquisition).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "elision/schemes.h"
+#include "locks/locks.h"
+#include "runtime/ctx.h"
+#include "stats/tx_trace.h"
+
+namespace sihle {
+namespace {
+
+using elision::Scheme;
+using runtime::Ctx;
+using runtime::LineHandle;
+using runtime::Machine;
+
+struct Counter {
+  LineHandle line;
+  mem::Shared<std::uint64_t> value;
+  explicit Counter(Machine& m) : line(m), value(line.line(), 0) {}
+};
+
+sim::Task<void> incr(Ctx& c, Counter& cnt) {
+  const std::uint64_t v = co_await c.load(cnt.value);
+  co_await c.work(40);
+  co_await c.store(cnt.value, v + 1);
+}
+
+template <class Lock>
+sim::Task<void> worker(Ctx& c, Scheme s, Lock& lock, locks::MCSLock& aux,
+                       Counter& cnt, int ops, stats::OpStats& st) {
+  for (int i = 0; i < ops; ++i) {
+    co_await elision::run_op(s, c, lock, aux,
+                             [&cnt](Ctx& cc) { return incr(cc, cnt); }, st);
+  }
+}
+
+TEST(TxTraceTest, RecordsReconcileWithStats) {
+  Machine::Config cfg;
+  cfg.seed = 8;
+  cfg.htm.spurious_abort_per_access = 1e-3;
+  Machine m(cfg);
+  stats::TxTrace trace;
+  m.set_tx_trace(&trace);
+  locks::TTASLock lock(m);
+  locks::MCSLock aux(m);
+  Counter cnt(m);
+  std::vector<stats::OpStats> st(4);
+  for (int t = 0; t < 4; ++t) {
+    m.spawn([&, t](Ctx& c) {
+      return worker<locks::TTASLock>(c, Scheme::kHleRetries, lock, aux, cnt, 200,
+                                     st[t]);
+    });
+  }
+  m.run();
+
+  stats::OpStats total;
+  for (auto& s : st) total += s;
+  EXPECT_EQ(trace.commits(), total.spec_commits);
+  // Every scheme-counted abort is a traced transactional attempt; the trace
+  // may also contain lock-busy attempts that the scheme did not count.
+  EXPECT_GE(trace.aborts(), total.aborts);
+  EXPECT_EQ(trace.records().size(), trace.commits() + trace.aborts());
+  for (const auto& r : trace.records()) {
+    EXPECT_LE(r.begin, r.end);
+    EXPECT_LT(r.thread, 4u);
+  }
+}
+
+TEST(TxTraceTest, CommitOnlyRunHasNoAborts) {
+  Machine m;  // no spurious aborts, single thread: every attempt commits
+  stats::TxTrace trace;
+  m.set_tx_trace(&trace);
+  locks::TTASLock lock(m);
+  locks::MCSLock aux(m);
+  Counter cnt(m);
+  stats::OpStats st;
+  m.spawn([&](Ctx& c) {
+    return worker<locks::TTASLock>(c, Scheme::kHle, lock, aux, cnt, 50, st);
+  });
+  m.run();
+  EXPECT_EQ(trace.commits(), 50u);
+  EXPECT_EQ(trace.aborts(), 0u);
+}
+
+TEST(TxTraceTest, LemmingSignatureVisibleInTrace) {
+  // Under plain HLE on MCS with spurious aborts, the trace shows clustered
+  // conflict aborts (the chain reaction) and very few commits.
+  Machine::Config cfg;
+  cfg.seed = 12;
+  cfg.htm.spurious_abort_per_access = 1e-3;
+  Machine m(cfg);
+  stats::TxTrace trace;
+  m.set_tx_trace(&trace);
+  locks::MCSLock lock(m);
+  locks::MCSLock aux(m);
+  Counter cnt(m);
+  std::vector<stats::OpStats> st(6);
+  for (int t = 0; t < 6; ++t) {
+    m.spawn([&, t](Ctx& c) {
+      return worker<locks::MCSLock>(c, Scheme::kHle, lock, aux, cnt, 150, st[t]);
+    });
+  }
+  m.run();
+  EXPECT_EQ(cnt.value.debug_value(), 6u * 150u);
+  // Virtually everything that tried to speculate aborted.
+  EXPECT_GT(trace.aborts(), trace.commits() * 3);
+  EXPECT_GT(trace.count(htm::AbortCause::kConflict), 0u);
+}
+
+TEST(TxTraceTest, CsvDumpIsWellFormed) {
+  Machine m;
+  stats::TxTrace trace;
+  m.set_tx_trace(&trace);
+  locks::TTASLock lock(m);
+  locks::MCSLock aux(m);
+  Counter cnt(m);
+  stats::OpStats st;
+  m.spawn([&](Ctx& c) {
+    return worker<locks::TTASLock>(c, Scheme::kHle, lock, aux, cnt, 5, st);
+  });
+  m.run();
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  trace.dump_csv(f);
+  std::rewind(f);
+  char buf[128];
+  int lines = 0;
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) ++lines;
+  std::fclose(f);
+  EXPECT_EQ(lines, 1 + static_cast<int>(trace.records().size()));
+}
+
+}  // namespace
+}  // namespace sihle
