@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_grouped_scm.dir/ablation_grouped_scm.cpp.o"
+  "CMakeFiles/ablation_grouped_scm.dir/ablation_grouped_scm.cpp.o.d"
+  "ablation_grouped_scm"
+  "ablation_grouped_scm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_grouped_scm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

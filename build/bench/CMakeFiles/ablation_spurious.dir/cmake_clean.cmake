@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spurious.dir/ablation_spurious.cpp.o"
+  "CMakeFiles/ablation_spurious.dir/ablation_spurious.cpp.o.d"
+  "ablation_spurious"
+  "ablation_spurious.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spurious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conflict_heatmap.dir/conflict_heatmap.cpp.o"
+  "CMakeFiles/conflict_heatmap.dir/conflict_heatmap.cpp.o.d"
+  "conflict_heatmap"
+  "conflict_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conflict_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_hashtable.dir/ds_hashtable.cpp.o"
+  "CMakeFiles/ds_hashtable.dir/ds_hashtable.cpp.o.d"
+  "ds_hashtable"
+  "ds_hashtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_hashtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairlocks_scaling.dir/fairlocks_scaling.cpp.o"
+  "CMakeFiles/fairlocks_scaling.dir/fairlocks_scaling.cpp.o.d"
+  "fairlocks_scaling"
+  "fairlocks_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairlocks_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairness_tails.dir/fairness_tails.cpp.o"
+  "CMakeFiles/fairness_tails.dir/fairness_tails.cpp.o.d"
+  "fairness_tails"
+  "fairness_tails.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness_tails.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

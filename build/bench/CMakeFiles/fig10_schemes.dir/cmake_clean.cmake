@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_schemes.dir/fig10_schemes.cpp.o"
+  "CMakeFiles/fig10_schemes.dir/fig10_schemes.cpp.o.d"
+  "fig10_schemes"
+  "fig10_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

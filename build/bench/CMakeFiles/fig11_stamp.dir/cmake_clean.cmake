@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_stamp.dir/fig11_stamp.cpp.o"
+  "CMakeFiles/fig11_stamp.dir/fig11_stamp.cpp.o.d"
+  "fig11_stamp"
+  "fig11_stamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_stamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_lemming.dir/fig2_lemming.cpp.o"
+  "CMakeFiles/fig2_lemming.dir/fig2_lemming.cpp.o.d"
+  "fig2_lemming"
+  "fig2_lemming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_lemming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

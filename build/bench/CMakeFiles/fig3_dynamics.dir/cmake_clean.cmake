@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_dynamics.dir/fig3_dynamics.cpp.o"
+  "CMakeFiles/fig3_dynamics.dir/fig3_dynamics.cpp.o.d"
+  "fig3_dynamics"
+  "fig3_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

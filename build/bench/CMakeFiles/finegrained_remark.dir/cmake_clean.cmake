@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finegrained_remark.dir/finegrained_remark.cpp.o"
+  "CMakeFiles/finegrained_remark.dir/finegrained_remark.cpp.o.d"
+  "finegrained_remark"
+  "finegrained_remark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finegrained_remark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

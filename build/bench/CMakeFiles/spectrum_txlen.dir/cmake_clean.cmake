@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectrum_txlen.dir/spectrum_txlen.cpp.o"
+  "CMakeFiles/spectrum_txlen.dir/spectrum_txlen.cpp.o.d"
+  "spectrum_txlen"
+  "spectrum_txlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectrum_txlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tr_analysis.dir/tr_analysis.cpp.o"
+  "CMakeFiles/tr_analysis.dir/tr_analysis.cpp.o.d"
+  "tr_analysis"
+  "tr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_transfers.dir/bank_transfers.cpp.o"
+  "CMakeFiles/bank_transfers.dir/bank_transfers.cpp.o.d"
+  "bank_transfers"
+  "bank_transfers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_transfers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemming_demo.dir/lemming_demo.cpp.o"
+  "CMakeFiles/lemming_demo.dir/lemming_demo.cpp.o.d"
+  "lemming_demo"
+  "lemming_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemming_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

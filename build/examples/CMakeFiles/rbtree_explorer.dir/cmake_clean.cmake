@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbtree_explorer.dir/rbtree_explorer.cpp.o"
+  "CMakeFiles/rbtree_explorer.dir/rbtree_explorer.cpp.o.d"
+  "rbtree_explorer"
+  "rbtree_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbtree_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ds/hashtable.cpp" "src/CMakeFiles/sihle.dir/ds/hashtable.cpp.o" "gcc" "src/CMakeFiles/sihle.dir/ds/hashtable.cpp.o.d"
+  "/root/repo/src/ds/linkedlist.cpp" "src/CMakeFiles/sihle.dir/ds/linkedlist.cpp.o" "gcc" "src/CMakeFiles/sihle.dir/ds/linkedlist.cpp.o.d"
+  "/root/repo/src/ds/rbtree.cpp" "src/CMakeFiles/sihle.dir/ds/rbtree.cpp.o" "gcc" "src/CMakeFiles/sihle.dir/ds/rbtree.cpp.o.d"
+  "/root/repo/src/ds/skiplist.cpp" "src/CMakeFiles/sihle.dir/ds/skiplist.cpp.o" "gcc" "src/CMakeFiles/sihle.dir/ds/skiplist.cpp.o.d"
+  "/root/repo/src/harness/rbtree_workload.cpp" "src/CMakeFiles/sihle.dir/harness/rbtree_workload.cpp.o" "gcc" "src/CMakeFiles/sihle.dir/harness/rbtree_workload.cpp.o.d"
+  "/root/repo/src/htm/htm.cpp" "src/CMakeFiles/sihle.dir/htm/htm.cpp.o" "gcc" "src/CMakeFiles/sihle.dir/htm/htm.cpp.o.d"
+  "/root/repo/src/runtime/machine.cpp" "src/CMakeFiles/sihle.dir/runtime/machine.cpp.o" "gcc" "src/CMakeFiles/sihle.dir/runtime/machine.cpp.o.d"
+  "/root/repo/src/sim/executor.cpp" "src/CMakeFiles/sihle.dir/sim/executor.cpp.o" "gcc" "src/CMakeFiles/sihle.dir/sim/executor.cpp.o.d"
+  "/root/repo/src/stamp/genome.cpp" "src/CMakeFiles/sihle.dir/stamp/genome.cpp.o" "gcc" "src/CMakeFiles/sihle.dir/stamp/genome.cpp.o.d"
+  "/root/repo/src/stamp/intruder.cpp" "src/CMakeFiles/sihle.dir/stamp/intruder.cpp.o" "gcc" "src/CMakeFiles/sihle.dir/stamp/intruder.cpp.o.d"
+  "/root/repo/src/stamp/kmeans.cpp" "src/CMakeFiles/sihle.dir/stamp/kmeans.cpp.o" "gcc" "src/CMakeFiles/sihle.dir/stamp/kmeans.cpp.o.d"
+  "/root/repo/src/stamp/labyrinth.cpp" "src/CMakeFiles/sihle.dir/stamp/labyrinth.cpp.o" "gcc" "src/CMakeFiles/sihle.dir/stamp/labyrinth.cpp.o.d"
+  "/root/repo/src/stamp/registry.cpp" "src/CMakeFiles/sihle.dir/stamp/registry.cpp.o" "gcc" "src/CMakeFiles/sihle.dir/stamp/registry.cpp.o.d"
+  "/root/repo/src/stamp/ssca2.cpp" "src/CMakeFiles/sihle.dir/stamp/ssca2.cpp.o" "gcc" "src/CMakeFiles/sihle.dir/stamp/ssca2.cpp.o.d"
+  "/root/repo/src/stamp/vacation.cpp" "src/CMakeFiles/sihle.dir/stamp/vacation.cpp.o" "gcc" "src/CMakeFiles/sihle.dir/stamp/vacation.cpp.o.d"
+  "/root/repo/src/stamp/yada.cpp" "src/CMakeFiles/sihle.dir/stamp/yada.cpp.o" "gcc" "src/CMakeFiles/sihle.dir/stamp/yada.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

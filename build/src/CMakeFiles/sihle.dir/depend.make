@@ -1,0 +1,2 @@
+# Empty dependencies file for sihle.
+# This may be replaced when dependencies are built.

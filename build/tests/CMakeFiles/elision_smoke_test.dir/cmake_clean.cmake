@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elision_smoke_test.dir/elision_smoke_test.cpp.o"
+  "CMakeFiles/elision_smoke_test.dir/elision_smoke_test.cpp.o.d"
+  "elision_smoke_test"
+  "elision_smoke_test.pdb"
+  "elision_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elision_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

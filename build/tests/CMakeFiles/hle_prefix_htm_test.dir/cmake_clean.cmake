@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hle_prefix_htm_test.dir/hle_prefix_htm_test.cpp.o"
+  "CMakeFiles/hle_prefix_htm_test.dir/hle_prefix_htm_test.cpp.o.d"
+  "hle_prefix_htm_test"
+  "hle_prefix_htm_test.pdb"
+  "hle_prefix_htm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hle_prefix_htm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hle_prefix_htm_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilock_test.dir/multilock_test.cpp.o"
+  "CMakeFiles/multilock_test.dir/multilock_test.cpp.o.d"
+  "multilock_test"
+  "multilock_test.pdb"
+  "multilock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slr_test.dir/slr_test.cpp.o"
+  "CMakeFiles/slr_test.dir/slr_test.cpp.o.d"
+  "slr_test"
+  "slr_test.pdb"
+  "slr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/chaos_test[1]_include.cmake")
+include("/root/repo/build/tests/ds_sets_test[1]_include.cmake")
+include("/root/repo/build/tests/elision_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/hashtable_test[1]_include.cmake")
+include("/root/repo/build/tests/hle_prefix_htm_test[1]_include.cmake")
+include("/root/repo/build/tests/hle_prefix_test[1]_include.cmake")
+include("/root/repo/build/tests/htm_test[1]_include.cmake")
+include("/root/repo/build/tests/linearizability_test[1]_include.cmake")
+include("/root/repo/build/tests/locks_test[1]_include.cmake")
+include("/root/repo/build/tests/multilock_test[1]_include.cmake")
+include("/root/repo/build/tests/opacity_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_shapes_test[1]_include.cmake")
+include("/root/repo/build/tests/rbtree_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/scm_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/slr_test[1]_include.cmake")
+include("/root/repo/build/tests/stamp_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
