@@ -88,6 +88,7 @@ sim::Cycles run(Mode mode, int threads, int groups, int ops, int write_pct,
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
+  harness::apply_analysis_flag(args);
   const int threads = static_cast<int>(args.get_int("threads", 8));
   const int ops = static_cast<int>(args.get_int("ops", 1200));
   const int seeds = static_cast<int>(args.get_int("seeds", 3));

@@ -68,6 +68,7 @@ sim::Task<void> tree_worker(Ctx& c, locks::TTASLock& lock, locks::MCSLock& aux,
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
+  harness::apply_analysis_flag(args);
   const int threads = static_cast<int>(args.get_int("threads", 8));
   const int updates = static_cast<int>(args.get_int("updates", 20));
   const double duration_ms = args.get_double("duration-ms", 1.0);

@@ -18,6 +18,7 @@ using harness::WorkloadConfig;
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
+  harness::apply_analysis_flag(args);
   const auto size = static_cast<std::size_t>(args.get_int("size", 128));
   const int updates = static_cast<int>(args.get_int("updates", 20));
   const int seeds = static_cast<int>(args.get_int("seeds", 2));

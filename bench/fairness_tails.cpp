@@ -25,6 +25,7 @@ using harness::WorkloadConfig;
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
+  harness::apply_analysis_flag(args);
   const int threads = static_cast<int>(args.get_int("threads", 8));
   const auto size = static_cast<std::size_t>(args.get_int("size", 64));
   const int updates = static_cast<int>(args.get_int("updates", 100));

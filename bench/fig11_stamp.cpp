@@ -17,6 +17,7 @@ using harness::Table;
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
+  harness::apply_analysis_flag(args);
   const int threads = static_cast<int>(args.get_int("threads", 8));
   const int seeds = static_cast<int>(args.get_int("seeds", 3));
   const double scale = args.get_double("scale", 1.0);

@@ -17,6 +17,7 @@ using harness::WorkloadConfig;
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
+  harness::apply_analysis_flag(args);
   const int slots = static_cast<int>(args.get_int("slots", 40));
   const int threads = static_cast<int>(args.get_int("threads", 8));
   const std::size_t size = static_cast<std::size_t>(args.get_int("size", 64));

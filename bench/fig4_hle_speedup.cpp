@@ -17,6 +17,7 @@ using harness::WorkloadConfig;
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
+  harness::apply_analysis_flag(args);
   const int threads = static_cast<int>(args.get_int("threads", 8));
   const int seeds = static_cast<int>(args.get_int("seeds", 3));
   const double duration_ms = args.get_double("duration-ms", 1.2);

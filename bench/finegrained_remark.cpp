@@ -104,6 +104,7 @@ sim::Cycles run(Granularity g, elision::Scheme scheme, int threads,
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
+  harness::apply_analysis_flag(args);
   const int threads = static_cast<int>(args.get_int("threads", 8));
   const auto size = static_cast<std::size_t>(args.get_int("size", 1024));
   const int updates = static_cast<int>(args.get_int("updates", 20));

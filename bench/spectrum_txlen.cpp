@@ -21,6 +21,7 @@ using harness::WorkloadConfig;
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
+  harness::apply_analysis_flag(args);
   const int threads = static_cast<int>(args.get_int("threads", 8));
   const int updates = static_cast<int>(args.get_int("updates", 20));
   const int seeds = static_cast<int>(args.get_int("seeds", 2));

@@ -16,6 +16,7 @@ using harness::Args;
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
+  harness::apply_analysis_flag(args);
   harness::WorkloadConfig cfg;
   cfg.scheme = harness::parse_scheme(args.get("scheme", "hle"));
   cfg.lock = harness::parse_lock(args.get("lock", "ttas"));

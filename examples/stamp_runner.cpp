@@ -17,6 +17,7 @@ using harness::Args;
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
+  harness::apply_analysis_flag(args);
   if (args.has("list")) {
     std::printf("available kernels:\n");
     for (const auto& app : stamp::stamp_apps()) std::printf("  %s\n", app.name);

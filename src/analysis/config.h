@@ -1,0 +1,50 @@
+// Configuration of the correctness-analysis layer (see docs/ANALYSIS.md).
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+
+namespace sihle::analysis {
+
+struct AnalysisConfig {
+  // Master switch.  When false the Machine installs no observer and the
+  // simulation pays nothing.
+  bool enabled = false;
+  // Print the finding and abort() the process as soon as one is recorded.
+  // Used by `SIHLE_ANALYSIS=fatal ctest` to turn any protocol violation in
+  // any test into a hard failure.
+  bool fatal = false;
+
+  // Eraser-style lockset checking: report any shared line whose candidate
+  // protection set (locks held ∪ transaction context) becomes empty while
+  // the line is write-shared between threads.
+  bool check_lockset = true;
+  // Requestor-wins completeness: a non-transactional access must have
+  // doomed every overlapping transaction by the time it completes.
+  bool check_dooming = true;
+  // Commit-time read-set audit: a committing transaction's observed values
+  // must still be current (generalizes HtmConfig::verify_opacity).
+  bool check_commit_reads = true;
+
+  // Findings beyond this many are counted but not stored verbatim.
+  std::size_t max_recorded = 64;
+};
+
+// Reads SIHLE_ANALYSIS from the environment: unset/"", "0", "off" disable;
+// "1", "on" enable; "fatal" enables with fatal = true.  Machine::Config and
+// harness::WorkloadConfig default their analysis field from this, so the
+// whole test suite and every bench can be run under the checker without
+// touching any call site:
+//
+//   SIHLE_ANALYSIS=fatal ctest --test-dir build
+inline AnalysisConfig config_from_env() {
+  AnalysisConfig cfg;
+  const char* v = std::getenv("SIHLE_ANALYSIS");
+  if (v == nullptr || *v == '\0') return cfg;
+  if (std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0) return cfg;
+  cfg.enabled = true;
+  cfg.fatal = std::strcmp(v, "fatal") == 0;
+  return cfg;
+}
+
+}  // namespace sihle::analysis

@@ -1,0 +1,77 @@
+// Access-observation hooks for the correctness-analysis layer.
+//
+// The HTM model and the runtime publish every simulation-visible event —
+// transactional and non-transactional accesses, transaction lifecycle,
+// lock acquisitions, line lifecycle — to an optional AccessObserver.  The
+// production observer is analysis::LocksetChecker; the indirection keeps
+// src/htm free of any dependency on the checker itself and costs one
+// predictable branch per event when no observer is installed.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/shared.h"
+
+namespace sihle::analysis {
+
+class AccessObserver {
+ public:
+  virtual ~AccessObserver() = default;
+
+  // --- Transaction lifecycle (from htm::Htm) -------------------------------
+  virtual void on_tx_begin(std::uint32_t tid) { (void)tid; }
+  // A transactional read that reached the directory (store-to-load forwarded
+  // and elision-illusion reads are invisible to conflict detection and are
+  // not reported).
+  virtual void on_tx_read(std::uint32_t tid, const mem::RawCell& cell) {
+    (void)tid;
+    (void)cell;
+  }
+  virtual void on_tx_write(std::uint32_t tid, const mem::RawCell& cell) {
+    (void)tid;
+    (void)cell;
+  }
+  // Called when a transaction passed every hardware commit check, before its
+  // staged writes are published: the last point at which the read set can be
+  // audited against memory.
+  virtual void on_pre_commit(std::uint32_t tid) { (void)tid; }
+  virtual void on_rollback(std::uint32_t tid) { (void)tid; }
+
+  // --- Non-transactional accesses (from htm::Htm) --------------------------
+  // Called after requestor-wins dooming for the access has run, so the
+  // observer can verify the dooming was complete.  `rmw` marks the access as
+  // half of an atomic read-modify-write (a locked bus operation).
+  virtual void on_nontx_read(std::uint32_t tid, const mem::RawCell& cell,
+                             bool rmw) {
+    (void)tid;
+    (void)cell;
+    (void)rmw;
+  }
+  virtual void on_nontx_write(std::uint32_t tid, const mem::RawCell& cell,
+                              bool rmw) {
+    (void)tid;
+    (void)cell;
+    (void)rmw;
+  }
+
+  // --- Line lifecycle (from htm::Htm / runtime::Machine) -------------------
+  // The line is about to be returned to the directory pool; any per-line
+  // analysis state must be discarded (the id will be reused).
+  virtual void on_line_freed(mem::Line line) { (void)line; }
+  // The line belongs to a synchronization object (lock word, queue node,
+  // barrier); its accesses implement synchronization rather than being
+  // protected by it and are exempt from lockset checking.
+  virtual void on_sync_line(mem::Line line) { (void)line; }
+
+  // --- Lock attribution (from runtime::Ctx, called by the lock classes) ----
+  virtual void on_lock_acquired(std::uint32_t tid, const void* lock) {
+    (void)tid;
+    (void)lock;
+  }
+  virtual void on_lock_released(std::uint32_t tid, const void* lock) {
+    (void)tid;
+    (void)lock;
+  }
+};
+
+}  // namespace sihle::analysis

@@ -1,0 +1,189 @@
+#include "analysis/lockset.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace sihle::analysis {
+
+namespace {
+
+bool holds(const std::vector<const void*>& held, const void* lock) {
+  return std::find(held.begin(), held.end(), lock) != held.end();
+}
+
+}  // namespace
+
+void LocksetChecker::record(stats::Finding f) {
+  if (cfg_.fatal) {
+    std::fprintf(stderr, "SIHLE-ANALYSIS fatal finding: [%s] line %u thread %u: %s\n",
+                 stats::to_string(f.kind), f.line, f.thread, f.detail.c_str());
+    std::abort();
+  }
+  report_.add(std::move(f));
+}
+
+// --- Lock attribution ------------------------------------------------------
+
+void LocksetChecker::on_lock_acquired(std::uint32_t tid, const void* lock) {
+  thread_info(tid).held.push_back(lock);
+}
+
+void LocksetChecker::on_lock_released(std::uint32_t tid, const void* lock) {
+  auto& held = thread_info(tid).held;
+  // Erase the most recent acquisition (locks may be released out of order:
+  // SCM releases the aux lock after the main lock's critical section).
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (*it == lock) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void LocksetChecker::on_sync_line(mem::Line line) { line_info(line).sync = true; }
+
+void LocksetChecker::on_line_freed(mem::Line line) {
+  // The id is about to be recycled for an unrelated object.
+  if (line < lines_.size()) lines_[line] = LineInfo{};
+}
+
+// --- Transaction lifecycle -------------------------------------------------
+
+void LocksetChecker::on_tx_begin(std::uint32_t tid) {
+  ThreadInfo& t = thread_info(tid);
+  t.tx_reads.clear();
+  t.tx_writes.clear();
+}
+
+void LocksetChecker::on_tx_read(std::uint32_t tid, const mem::RawCell& cell) {
+  if (!cfg_.check_commit_reads) return;
+  thread_info(tid).tx_reads.push_back({&cell, cell.raw()});
+}
+
+void LocksetChecker::on_tx_write(std::uint32_t tid, const mem::RawCell& cell) {
+  if (!cfg_.check_commit_reads) return;
+  thread_info(tid).tx_writes.push_back(&cell);
+}
+
+void LocksetChecker::on_pre_commit(std::uint32_t tid) {
+  ThreadInfo& t = thread_info(tid);
+  if (cfg_.check_commit_reads) {
+    for (const auto& ob : t.tx_reads) {
+      const bool self_written =
+          std::find(t.tx_writes.begin(), t.tx_writes.end(), ob.cell) !=
+          t.tx_writes.end();
+      if (self_written || ob.cell->raw() == ob.value) continue;
+      LineInfo& li = line_info(ob.cell->line());
+      if (li.reported_commit) continue;
+      li.reported_commit = true;
+      record({stats::FindingKind::kInvalidatedCommitRead, ob.cell->line(), tid,
+              "committing transaction read value " + std::to_string(ob.value) +
+                  " but memory now holds " + std::to_string(ob.cell->raw()) +
+                  " (overwrite did not doom the reader)"});
+    }
+  }
+  t.tx_reads.clear();
+  t.tx_writes.clear();
+}
+
+void LocksetChecker::on_rollback(std::uint32_t tid) {
+  ThreadInfo& t = thread_info(tid);
+  t.tx_reads.clear();
+  t.tx_writes.clear();
+}
+
+// --- Non-transactional accesses --------------------------------------------
+
+void LocksetChecker::on_nontx_read(std::uint32_t tid, const mem::RawCell& cell,
+                                   bool rmw) {
+  if (cfg_.check_dooming) {
+    check_doom_complete(tid, cell.line(), /*need_readers=*/false);
+  }
+  if (cfg_.check_lockset) nontx_access(tid, cell, /*is_write=*/false, rmw);
+}
+
+void LocksetChecker::on_nontx_write(std::uint32_t tid, const mem::RawCell& cell,
+                                    bool rmw) {
+  if (cfg_.check_dooming) {
+    check_doom_complete(tid, cell.line(), /*need_readers=*/true);
+  }
+  if (cfg_.check_lockset) nontx_access(tid, cell, /*is_write=*/true, rmw);
+}
+
+void LocksetChecker::check_doom_complete(std::uint32_t tid, mem::Line line,
+                                         bool need_readers) {
+  const mem::LineState& st = dir_[line];
+  LineInfo& li = line_info(line);
+  if (li.reported_doom) return;
+
+  // Requestor wins: dooming clears the victim's footprint on the spot, so
+  // any residual footprint of another thread belongs to a transaction the
+  // access failed to doom (or to a footprint-tracking leak).
+  if (st.tx_writer != -1 && st.tx_writer != static_cast<std::int16_t>(tid)) {
+    const auto w = static_cast<std::uint32_t>(st.tx_writer);
+    li.reported_doom = true;
+    record({stats::FindingKind::kMissedDoom, line, tid,
+            "non-transactional access left thread " + std::to_string(w) +
+                "'s transactional write of the line undoomed"});
+    return;
+  }
+  if (!need_readers) return;
+  std::uint64_t readers = st.tx_readers & ~(1ULL << tid);
+  while (readers != 0) {
+    const auto r = static_cast<std::uint32_t>(__builtin_ctzll(readers));
+    readers &= readers - 1;
+    const htm::TxContext& tx = htm_.tx(r);
+    li.reported_doom = true;
+    record({stats::FindingKind::kMissedDoom, line, tid,
+            std::string("non-transactional store left thread ") +
+                std::to_string(r) + "'s transactional read of the line " +
+                (tx.active && !tx.doomed ? "undoomed" : "as a stale footprint")});
+    return;
+  }
+}
+
+void LocksetChecker::nontx_access(std::uint32_t tid, const mem::RawCell& cell,
+                                  bool is_write, bool rmw) {
+  LineInfo& li = line_info(cell.line());
+  if (li.sync || li.reported_race) return;
+  // Atomic RMWs are the building blocks of synchronization (Eraser exempts
+  // them the same way); they cannot themselves be torn.
+  if (rmw) return;
+
+  const ThreadInfo& t = thread_info(tid);
+  switch (li.st) {
+    case LineSt::kVirgin:
+      li.st = LineSt::kExclusive;
+      li.owner = tid;
+      return;
+    case LineSt::kExclusive:
+      if (li.owner == tid) return;  // thread-local so far: no constraint yet
+      li.st = is_write ? LineSt::kSharedModified : LineSt::kShared;
+      // The candidate protection set starts at the second thread's holdings
+      // (the first thread's set was not tracked retroactively — Eraser's
+      // standard initialization).
+      li.lockset = t.held;
+      li.lockset_valid = true;
+      break;
+    case LineSt::kShared:
+    case LineSt::kSharedModified: {
+      std::vector<const void*> refined;
+      for (const void* l : li.lockset) {
+        if (holds(t.held, l)) refined.push_back(l);
+      }
+      li.lockset = std::move(refined);
+      if (is_write) li.st = LineSt::kSharedModified;
+      break;
+    }
+  }
+  if (li.st == LineSt::kSharedModified && li.lockset.empty()) {
+    li.reported_race = true;
+    record({stats::FindingKind::kEmptyLockset, cell.line(), tid,
+            "write-shared line reachable with an empty protection set (no "
+            "lock held, outside any transaction)"});
+  }
+}
+
+}  // namespace sihle::analysis

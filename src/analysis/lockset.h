@@ -1,0 +1,124 @@
+// Eraser-style lockset race checker over the simulation, piggybacking on
+// mem::Directory / htm::Htm state (see docs/ANALYSIS.md for the algorithm).
+//
+// The checker attributes every simulated access to the protection the
+// accessing thread holds at that moment — the set of locks it has acquired
+// (reported by the lock implementations through Ctx::note_lock_acquired)
+// and/or the transaction context it runs in — and mechanically checks the
+// three invariants the paper's correctness argument rests on:
+//
+//  1. Empty protection set (check_lockset): a line that is write-shared
+//     between threads must never be reached by a plain non-transactional
+//     access with no lock held.  Classic Eraser state machine per line
+//     (Virgin → Exclusive → Shared → SharedModified) with the candidate
+//     lockset intersected on every unprotected-capable access; atomic RMWs
+//     and registered synchronization lines (lock words, queue nodes,
+//     barriers) are exempt, exactly as Eraser exempts sync primitives.
+//  2. Requestor-wins completeness (check_dooming): when a non-transactional
+//     access completes, no other thread's live (active, undoomed)
+//     transaction may still hold the line in its footprint — otherwise a
+//     zombie sandbox has been breached and could commit.
+//  3. Commit read-set currency (check_commit_reads): every value a
+//     committing transaction read must still be in memory at commit time.
+//     Generalizes and subsumes HtmConfig::verify_opacity, but reports
+//     structured findings instead of bumping a counter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/config.h"
+#include "analysis/hooks.h"
+#include "htm/htm.h"
+#include "mem/directory.h"
+#include "stats/findings.h"
+
+namespace sihle::analysis {
+
+class LocksetChecker : public AccessObserver {
+ public:
+  LocksetChecker(htm::Htm& htm, mem::Directory& dir, const AnalysisConfig& cfg)
+      : htm_(htm), dir_(dir), cfg_(cfg) {
+    report_.set_max_recorded(cfg.max_recorded);
+  }
+
+  const AnalysisConfig& config() const { return cfg_; }
+  const stats::AnalysisReport& report() const { return report_; }
+  stats::AnalysisReport& report() { return report_; }
+
+  // --- AccessObserver ------------------------------------------------------
+
+  void on_tx_begin(std::uint32_t tid) override;
+  void on_tx_read(std::uint32_t tid, const mem::RawCell& cell) override;
+  void on_tx_write(std::uint32_t tid, const mem::RawCell& cell) override;
+  void on_pre_commit(std::uint32_t tid) override;
+  void on_rollback(std::uint32_t tid) override;
+  void on_nontx_read(std::uint32_t tid, const mem::RawCell& cell,
+                     bool rmw) override;
+  void on_nontx_write(std::uint32_t tid, const mem::RawCell& cell,
+                      bool rmw) override;
+  void on_line_freed(mem::Line line) override;
+  void on_sync_line(mem::Line line) override;
+  void on_lock_acquired(std::uint32_t tid, const void* lock) override;
+  void on_lock_released(std::uint32_t tid, const void* lock) override;
+
+ private:
+  // Eraser per-line state machine.
+  enum class LineSt : std::uint8_t {
+    kVirgin,          // never accessed non-transactionally
+    kExclusive,       // accessed by a single thread only
+    kShared,          // read-shared between threads
+    kSharedModified,  // write-shared between threads: lockset enforced
+  };
+
+  struct LineInfo {
+    LineSt st = LineSt::kVirgin;
+    bool sync = false;           // registered synchronization line: exempt
+    bool lockset_valid = false;  // candidate set initialized
+    bool reported_race = false;
+    bool reported_doom = false;
+    bool reported_commit = false;
+    std::uint32_t owner = 0;  // Exclusive-state owner thread
+    std::vector<const void*> lockset;  // candidate protection set C(line)
+  };
+
+  struct ReadObservation {
+    const mem::RawCell* cell;
+    std::uint64_t value;
+  };
+
+  struct ThreadInfo {
+    std::vector<const void*> held;  // lock acquisition stack
+    // Per-transaction records, reset at begin/rollback/commit.
+    std::vector<ReadObservation> tx_reads;
+    std::vector<const mem::RawCell*> tx_writes;
+  };
+
+  LineInfo& line_info(mem::Line l) {
+    if (l >= lines_.size()) lines_.resize(l + 1);
+    return lines_[l];
+  }
+  ThreadInfo& thread_info(std::uint32_t tid) {
+    if (tid >= threads_.size()) threads_.resize(tid + 1);
+    return threads_[tid];
+  }
+
+  void record(stats::Finding f);
+  void nontx_access(std::uint32_t tid, const mem::RawCell& cell, bool is_write,
+                    bool rmw);
+  // Audits the directory after a non-transactional access: any other
+  // thread's live transaction still holding the line means its doom was
+  // missed.  `need_readers` is true for writes (which must doom readers and
+  // the writer) and false for reads (which must doom only the writer).
+  void check_doom_complete(std::uint32_t tid, mem::Line line,
+                           bool need_readers);
+
+  htm::Htm& htm_;
+  mem::Directory& dir_;
+  AnalysisConfig cfg_;
+  stats::AnalysisReport report_;
+  std::vector<LineInfo> lines_;
+  std::vector<ThreadInfo> threads_;
+};
+
+}  // namespace sihle::analysis

@@ -34,7 +34,7 @@ sim::Task<bool> HashTable::insert(Ctx& c, Key key) {
     n = co_await c.load(n->next);
   }
   Node* fresh = c.tx_new<Node>(m_, key);
-  fresh->next.set_raw(mem::Shared<Node*>::pack(first));  // private until linked
+  fresh->next.set_raw(mem::Shared<Node*>::pack(first));  // sihle-lint: disable=R002 (private until linked)
   co_await c.store(head, fresh);
   co_return true;
 }

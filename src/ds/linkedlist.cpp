@@ -35,7 +35,7 @@ sim::Task<bool> LinkedListSet::insert(Ctx& c, Key key) {
     cur = co_await c.load(cur->next);
   }
   Node* fresh = c.tx_new<Node>(m_, key);
-  fresh->next.set_raw(mem::Shared<Node*>::pack(cur));  // private until linked
+  fresh->next.set_raw(mem::Shared<Node*>::pack(cur));  // sihle-lint: disable=R002 (private until linked)
   co_await c.store(prev->next, fresh);
   co_return true;
 }

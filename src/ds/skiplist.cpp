@@ -48,7 +48,7 @@ sim::Task<bool> SkipList::insert(Ctx& c, Key key) {
   Node* fresh = c.tx_new<Node>(m_, key);
   for (int l = 0; l < level; ++l) {
     Node* succ = co_await c.load(*preds[static_cast<std::size_t>(l)]->next[l]);
-    fresh->next[l]->set_raw(mem::Shared<Node*>::pack(succ));  // private
+    fresh->next[l]->set_raw(mem::Shared<Node*>::pack(succ));  // sihle-lint: disable=R002 (private until linked)
     co_await c.store(*preds[static_cast<std::size_t>(l)]->next[l], fresh);
   }
   co_return true;

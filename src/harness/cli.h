@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/config.h"
 #include "elision/schemes.h"
 #include "locks/locks.h"
 
@@ -93,6 +94,32 @@ inline locks::LockKind parse_lock(const std::string& s) {
   if (s == "eanderson") return locks::LockKind::kElidableAnderson;
   std::fprintf(stderr, "unknown lock '%s'\n", s.c_str());
   std::exit(2);
+}
+
+// Applies --analysis=off|on|fatal process-wide by exporting SIHLE_ANALYSIS,
+// which every WorkloadConfig / Machine::Config default reads — benches build
+// configs deep inside sweep loops, so a single flag at startup covers all of
+// them.
+inline void apply_analysis_flag(const Args& args) {
+  const std::string v = args.get("analysis", "");
+  if (!v.empty()) ::setenv("SIHLE_ANALYSIS", v.c_str(), 1);
+}
+
+// --analysis=off|on|fatal; defaults to the SIHLE_ANALYSIS environment
+// variable so a bench invocation can enable the lockset checker either way.
+inline analysis::AnalysisConfig parse_analysis(const Args& args) {
+  analysis::AnalysisConfig cfg = analysis::config_from_env();
+  const std::string v = args.get("analysis", "");
+  if (v.empty()) return cfg;
+  if (v == "off" || v == "0") {
+    cfg.enabled = false;
+  } else if (v == "fatal") {
+    cfg.enabled = true;
+    cfg.fatal = true;
+  } else {
+    cfg.enabled = true;
+  }
+  return cfg;
 }
 
 inline elision::Scheme parse_scheme(const std::string& s) {

@@ -108,6 +108,7 @@ WorkloadResult run_impl(const WorkloadConfig& cfg) {
   if (cfg.max_read_lines != 0) mc.htm.max_read_lines = cfg.max_read_lines;
   mc.random_tie_break = cfg.random_tie_break;
   mc.costs = cfg.costs;
+  mc.analysis = cfg.analysis;
   Machine m(mc);
   if (cfg.trace != nullptr) m.set_tx_trace(cfg.trace);
 
@@ -156,6 +157,7 @@ WorkloadResult run_impl(const WorkloadConfig& cfg) {
                                  static_cast<double>(out.elapsed);
   out.tree_valid = validate(*ds);
   out.final_size = ds->debug_size();
+  if (m.analysis() != nullptr) out.analysis = m.analysis()->report();
   return out;
 }
 

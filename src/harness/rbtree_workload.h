@@ -9,8 +9,10 @@
 #include <cstdint>
 #include <memory>
 
+#include "analysis/config.h"
 #include "elision/schemes.h"
 #include "locks/locks.h"
+#include "stats/findings.h"
 #include "stats/op_stats.h"
 #include "stats/tx_trace.h"
 
@@ -56,6 +58,9 @@ struct WorkloadConfig {
   sim::CostModel costs{};        // overridable for the cost-model ablation
   stats::TxTrace* trace = nullptr;  // optional per-transaction timeline
   bool random_tie_break = false;    // schedule fuzzing (see Machine::Config)
+  // Defaults from SIHLE_ANALYSIS so existing tests/benches pick up the
+  // lockset checker without call-site changes.
+  analysis::AnalysisConfig analysis = analysis::config_from_env();
 };
 
 struct WorkloadResult {
@@ -66,6 +71,7 @@ struct WorkloadResult {
   bool tree_valid = false;
   std::size_t final_size = 0;
   std::shared_ptr<stats::SliceRecorder> slices;  // set iff record_slices
+  stats::AnalysisReport analysis;  // populated iff cfg.analysis.enabled
 };
 
 WorkloadResult run_rbtree_workload(const WorkloadConfig& cfg);

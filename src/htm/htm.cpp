@@ -25,6 +25,7 @@ void Htm::begin(std::uint32_t tid, sim::Rng& rng) {
   t.elided.clear();
   t.observations.clear();
   ++active_count_;
+  if (observer_) observer_->on_tx_begin(tid);
 }
 
 void Htm::doom(std::uint32_t victim, AbortCause cause, std::uint32_t line) {
@@ -105,6 +106,7 @@ TxResult Htm::tx_load(std::uint32_t tid, const mem::RawCell& cell, sim::Rng& rng
     t.read_lines.push_back(cell.line());
   }
   if (cfg_.verify_opacity) t.observations.push_back({&cell, cell.raw()});
+  if (observer_) observer_->on_tx_read(tid, cell);
   return {cell.raw(), {}};
 }
 
@@ -135,6 +137,8 @@ TxResult Htm::tx_store(std::uint32_t tid, mem::RawCell& cell, std::uint64_t valu
     t.write_lines.push_back(cell.line());
   }
 
+  if (observer_) observer_->on_tx_write(tid, cell);
+
   // Update staged value in place if the cell was written before.
   for (auto& w : t.writes) {
     if (w.cell == &cell) {
@@ -157,6 +161,7 @@ AbortStatus Htm::commit(std::uint32_t tid, std::vector<mem::Line>& published) {
     return AbortStatus{AbortCause::kExplicit, kAbortCodeHleMismatch,
                        /*retry=*/false};
   }
+  if (observer_) observer_->on_pre_commit(tid);
   if (cfg_.verify_opacity) {
     // Every value this transaction read must still be current: an
     // intervening overwrite would have doomed it (requestor wins).  Skip
@@ -188,6 +193,7 @@ AbortStatus Htm::commit(std::uint32_t tid, std::vector<mem::Line>& published) {
 void Htm::rollback(std::uint32_t tid) {
   TxContext& t = tx(tid);
   assert(t.active);
+  if (observer_) observer_->on_rollback(tid);
   clear_footprint(tid);
   t.writes.clear();
   t.retire_on_commit.clear();
@@ -199,7 +205,8 @@ void Htm::rollback(std::uint32_t tid) {
   --active_count_;
 }
 
-std::uint64_t Htm::nontx_load(std::uint32_t tid, const mem::RawCell& cell) {
+std::uint64_t Htm::nontx_load(std::uint32_t tid, const mem::RawCell& cell,
+                              bool rmw) {
   mem::LineState& st = dir_[cell.line()];
   // A coherence read request for a line in another transaction's write set
   // aborts that transaction (its speculatively-modified line is requested).
@@ -207,20 +214,33 @@ std::uint64_t Htm::nontx_load(std::uint32_t tid, const mem::RawCell& cell) {
     doom(static_cast<std::uint32_t>(st.tx_writer), AbortCause::kConflict,
          cell.line());
   }
+  if (observer_) observer_->on_nontx_read(tid, cell, rmw);
   return cell.raw();
 }
 
-void Htm::nontx_store(std::uint32_t tid, mem::RawCell& cell, std::uint64_t value) {
+void Htm::nontx_store(std::uint32_t tid, mem::RawCell& cell, std::uint64_t value,
+                      bool rmw) {
   // Non-speculative progress by the thread resolves any latched persistent
   // abort condition (the fault is serviced on the fallback path).
   tx(tid).persistent = false;
   mem::LineState& st = dir_[cell.line()];
-  doom_conflictors(tid, st, /*is_write=*/true, cell.line());
+  if (cfg_.test_omit_reader_doom) {
+    // TEST HOOK (see HtmConfig): doom only the writer, leaving transactional
+    // readers of the line live — the planted bug the analysis tests detect.
+    if (st.tx_writer != -1 && st.tx_writer != static_cast<std::int16_t>(tid)) {
+      doom(static_cast<std::uint32_t>(st.tx_writer), AbortCause::kConflict,
+           cell.line());
+    }
+  } else {
+    doom_conflictors(tid, st, /*is_write=*/true, cell.line());
+  }
   st.version++;
   cell.set_raw(value);
+  if (observer_) observer_->on_nontx_write(tid, cell, rmw);
 }
 
 void Htm::on_line_freed(mem::Line line) {
+  if (observer_) observer_->on_line_freed(line);
   mem::LineState& st = dir_[line];
   if (st.tx_writer != -1) doom(static_cast<std::uint32_t>(st.tx_writer), AbortCause::kConflict);
   std::uint64_t readers = st.tx_readers;

@@ -21,6 +21,7 @@
 #include <functional>
 #include <vector>
 
+#include "analysis/hooks.h"
 #include "htm/abort.h"
 #include "mem/directory.h"
 #include "mem/shared.h"
@@ -56,7 +57,15 @@ struct HtmConfig {
   // tracking, a committing transaction's reads are always still current
   // (any overwrite would have doomed it first), so a validation failure
   // indicates a conflict-detection bug, never a legal execution.
+  // (Subsumed by the analysis layer's check_commit_reads, which reports
+  // structured findings; kept for the historical counter interface.)
   bool verify_opacity = false;
+  // TEST HOOK — deliberately plants a dooming omission: non-transactional
+  // stores doom only the line's transactional writer and leave its readers
+  // live, breaking requestor-wins completeness.  Exists solely so the
+  // analysis tests can assert the lockset checker detects the breakage
+  // (no false negatives).  Never set outside tests.
+  bool test_omit_reader_doom = false;
 };
 
 // Outcome of a single transactional access.
@@ -121,6 +130,12 @@ class Htm {
     doom_listener_ = std::move(f);
   }
 
+  // Optional correctness-analysis observer (see analysis::LocksetChecker).
+  // Must outlive this Htm or be reset to null first; costs one branch per
+  // event when unset.
+  void set_observer(analysis::AccessObserver* obs) { observer_ = obs; }
+  analysis::AccessObserver* observer() const { return observer_; }
+
   const HtmConfig& config() const { return cfg_; }
   void set_config(const HtmConfig& cfg) { cfg_ = cfg; }
 
@@ -169,8 +184,12 @@ class Htm {
 
   // --- Non-transactional accesses that interact with transactions ---------
 
-  std::uint64_t nontx_load(std::uint32_t tid, const mem::RawCell& cell);
-  void nontx_store(std::uint32_t tid, mem::RawCell& cell, std::uint64_t value);
+  // `rmw` marks the access as half of an atomic read-modify-write; it only
+  // affects how the analysis observer classifies the access.
+  std::uint64_t nontx_load(std::uint32_t tid, const mem::RawCell& cell,
+                           bool rmw = false);
+  void nontx_store(std::uint32_t tid, mem::RawCell& cell, std::uint64_t value,
+                   bool rmw = false);
 
   // Abort `victim`'s transaction with the given cause (requestor wins).
   // Clears the victim's directory footprint immediately; the victim unwinds
@@ -206,6 +225,7 @@ class Htm {
   HtmConfig cfg_;
   std::vector<TxContext> txs_;
   std::function<void(std::uint32_t)> doom_listener_;
+  analysis::AccessObserver* observer_ = nullptr;
   std::vector<std::uint64_t> conflict_counts_;  // by line, when tracking
   std::uint32_t active_count_ = 0;
   std::uint64_t total_dooms_ = 0;

@@ -32,6 +32,7 @@ class AndersonLock {
 
   explicit AndersonLock(Machine& m)
       : tail_line_(m), tail_(tail_line_.line(), 0), tickets_(sim::kMaxThreads, 0) {
+    m.note_sync_line(tail_line_.line());
     slots_.reserve(kSlots);
     for (std::size_t i = 0; i < kSlots; ++i) {
       slots_.push_back(std::make_unique<Slot>(m, i == 0 ? 1 : 0));
@@ -49,12 +50,14 @@ class AndersonLock {
     tickets_[c.id()] = t;
     co_await runtime::spin_until(c, slots_[t % kSlots]->flag,
                                  [](std::uint64_t v) { return v != 0; });
+    c.note_lock_acquired(this);
   }
 
   sim::Task<void> release(Ctx& c) {
     const std::uint64_t t = tickets_[c.id()];
     co_await c.store(slots_[t % kSlots]->flag, std::uint64_t{0});
     co_await c.store(slots_[(t + 1) % kSlots]->flag, std::uint64_t{1});
+    c.note_lock_released(this);
   }
 
   sim::Task<bool> try_acquire_once(Ctx& c) {
@@ -115,7 +118,9 @@ class AndersonLock {
   struct Slot {
     LineHandle line;
     mem::Shared<std::uint64_t> flag;
-    Slot(Machine& m, std::uint64_t init) : line(m), flag(line.line(), init) {}
+    Slot(Machine& m, std::uint64_t init) : line(m), flag(line.line(), init) {
+      m.note_sync_line(line.line());
+    }
   };
 
   LineHandle tail_line_;
@@ -140,6 +145,7 @@ class ElidableAndersonLock : public AndersonLock {
       co_await c.store(slots_[t % kSlots]->flag, std::uint64_t{0});
       co_await c.store(slots_[(t + 1) % kSlots]->flag, std::uint64_t{1});
     }
+    c.note_lock_released(this);
   }
 
   sim::Task<void> hle_release(Ctx& c) {

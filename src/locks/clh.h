@@ -26,11 +26,14 @@ class CLHLock {
   struct QNode {
     LineHandle line;
     mem::Shared<std::uint64_t> locked;
-    explicit QNode(Machine& m) : line(m), locked(line.line(), 0) {}
+    explicit QNode(Machine& m) : line(m), locked(line.line(), 0) {
+      m.note_sync_line(line.line());
+    }
   };
 
  public:
   explicit CLHLock(Machine& m) : m_(m), tail_line_(m), slots_(sim::kMaxThreads) {
+    m.note_sync_line(tail_line_.line());
     nodes_.push_back(std::make_unique<QNode>(m));  // initial unlocked dummy
     tail_ = std::make_unique<mem::Shared<QNode*>>(tail_line_.line(), nodes_.back().get());
   }
@@ -46,12 +49,14 @@ class CLHLock {
     s.pred = co_await c.exchange(*tail_, s.mine);
     co_await runtime::spin_until(c, s.pred->locked,
                                  [](std::uint64_t v) { return v == 0; });
+    c.note_lock_acquired(this);
   }
 
   sim::Task<void> release(Ctx& c) {
     Slot& s = slot(c);
     co_await c.store(s.mine->locked, std::uint64_t{0});
     s.mine = s.pred;  // recycle the predecessor's node
+    c.note_lock_released(this);
   }
 
   sim::Task<bool> try_acquire_once(Ctx& c) {
@@ -151,6 +156,7 @@ class ElidableCLHLock : public CLHLock {
       co_await c.store(s.mine->locked, std::uint64_t{0});
       s.mine = s.pred;
     }
+    c.note_lock_released(this);
   }
 
   // Figure 15's release with the XRELEASE prefix on the restoring CAS.

@@ -22,11 +22,15 @@ class MCSLock {
     mem::Shared<std::uint64_t> locked;  // 1 = wait for predecessor
     mem::Shared<QNode*> next;
     explicit QNode(Machine& m)
-        : line(m), locked(line.line(), 0), next(line.line(), nullptr) {}
+        : line(m), locked(line.line(), 0), next(line.line(), nullptr) {
+      m.note_sync_line(line.line());
+    }
   };
 
  public:
-  explicit MCSLock(Machine& m) : m_(m), tail_line_(m), tail_(tail_line_.line(), nullptr) {}
+  explicit MCSLock(Machine& m) : m_(m), tail_line_(m), tail_(tail_line_.line(), nullptr) {
+    m.note_sync_line(tail_line_.line());
+  }
 
   static constexpr const char* kName = "MCS";
   static constexpr bool kFair = true;
@@ -44,6 +48,7 @@ class MCSLock {
       co_await c.store(pred->next, &me);
       co_await runtime::spin_until(c, me.locked, [](std::uint64_t v) { return v == 0; });
     }
+    c.note_lock_acquired(this);
     co_return;
   }
 
@@ -52,6 +57,7 @@ class MCSLock {
     QNode* succ = co_await c.load(me.next);
     if (succ == nullptr) {
       if (co_await c.compare_exchange(tail_, &me, static_cast<QNode*>(nullptr))) {
+        c.note_lock_released(this);
         co_return;
       }
       // A successor is linking itself; wait for the link to appear.
@@ -59,6 +65,7 @@ class MCSLock {
                                           [](QNode* n) { return n != nullptr; });
     }
     co_await c.store(succ->locked, std::uint64_t{0});
+    c.note_lock_released(this);
   }
 
   // HLE's re-executed XACQUIRE after an abort is the SWAP on the tail: it

@@ -25,7 +25,9 @@ using runtime::Machine;
 class TicketLock {
  public:
   explicit TicketLock(Machine& m)
-      : line_(m), next_(line_.line(), 0), owner_(line_.line(), 0) {}
+      : line_(m), next_(line_.line(), 0), owner_(line_.line(), 0) {
+    m.note_sync_line(line_.line());
+  }
 
   static constexpr const char* kName = "Ticket";
   static constexpr bool kFair = true;
@@ -36,11 +38,13 @@ class TicketLock {
   sim::Task<void> acquire(Ctx& c) {
     const std::uint64_t my = co_await c.fetch_add(next_, std::uint64_t{1});
     co_await wait_for_turn(c, my);
+    c.note_lock_acquired(this);
   }
 
   sim::Task<void> release(Ctx& c) {
     const std::uint64_t own = co_await c.load(owner_);
     co_await c.store(owner_, own + 1);
+    c.note_lock_released(this);
   }
 
   sim::Task<bool> try_acquire_once(Ctx& c) {
@@ -122,6 +126,7 @@ class ElidableTicketLock : public TicketLock {
     if (!(co_await c.compare_exchange(next_, own + 1, own))) {
       co_await c.store(owner_, own + 1);
     }
+    c.note_lock_released(this);
   }
 
   // Figure 13's release with the XRELEASE prefix on the restoring CAS: in

@@ -14,7 +14,9 @@ using runtime::Machine;
 
 class TTASLock {
  public:
-  explicit TTASLock(Machine& m) : line_(m), locked_(line_.line(), 0) {}
+  explicit TTASLock(Machine& m) : line_(m), locked_(line_.line(), 0) {
+    m.note_sync_line(line_.line());
+  }
 
   static constexpr const char* kName = "TTAS";
   static constexpr bool kFair = false;
@@ -25,16 +27,24 @@ class TTASLock {
   sim::Task<void> acquire(Ctx& c) {
     for (;;) {
       co_await runtime::spin_until(c, locked_, [](std::uint64_t v) { return v == 0; });
-      if (co_await c.exchange(locked_, std::uint64_t{1}) == 0) co_return;
+      if (co_await c.exchange(locked_, std::uint64_t{1}) == 0) {
+        c.note_lock_acquired(this);
+        co_return;
+      }
     }
   }
 
-  sim::Task<void> release(Ctx& c) { co_await c.store(locked_, std::uint64_t{0}); }
+  sim::Task<void> release(Ctx& c) {
+    co_await c.store(locked_, std::uint64_t{0});
+    c.note_lock_released(this);
+  }
 
   // One test-and-set, as HLE's re-executed XACQUIRE store performs after an
   // abort.  Returns true if the lock was acquired.
   sim::Task<bool> try_acquire_once(Ctx& c) {
-    co_return (co_await c.exchange(locked_, std::uint64_t{1})) == 0;
+    const bool got = (co_await c.exchange(locked_, std::uint64_t{1})) == 0;
+    if (got) c.note_lock_acquired(this);
+    co_return got;
   }
 
   // Lock-state read; transactional inside a transaction (this is the read

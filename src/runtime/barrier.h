@@ -12,7 +12,9 @@ namespace sihle::runtime {
 class Barrier {
  public:
   Barrier(Machine& m, std::uint32_t threads)
-      : line_(m), count_(line_.line(), 0), gen_(line_.line(), 0), threads_(threads) {}
+      : line_(m), count_(line_.line(), 0), gen_(line_.line(), 0), threads_(threads) {
+    m.note_sync_line(line_.line());
+  }
 
   sim::Task<void> arrive(Ctx& c) {
     const std::uint64_t g = co_await c.load(gen_);

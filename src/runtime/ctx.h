@@ -140,11 +140,11 @@ class Ctx {
         abort = w.abort;
         finish(h, m.costs().rmw);
       } else {
-        value = m.htm().nontx_load(c.tid_, cell);
+        value = m.htm().nontx_load(c.tid_, cell, /*rmw=*/true);
         const std::uint64_t nv = apply(value);
         // The RFO write request dooms conflicting transactions regardless of
         // whether the value changes.
-        m.htm().nontx_store(c.tid_, cell, nv);
+        m.htm().nontx_store(c.tid_, cell, nv, /*rmw=*/true);
         finish(h, m.costs().rmw);
         m.exec().wake_watchers(cell.line(), c.ts().clock, m.costs());
       }
@@ -467,6 +467,19 @@ class Ctx {
     assert(in_tx());
     throw htm::TxAbortException(
         htm::AbortStatus{htm::AbortCause::kExplicit, code, /*retry=*/true});
+  }
+
+  // --- Lock attribution for the analysis layer ----------------------------
+  //
+  // The lock implementations report their ownership transitions here so the
+  // lockset checker can attribute subsequent accesses to the held locks.
+  // `lock` is any stable identity for the lock object (its address).
+  // No-ops (one branch) when analysis is disabled.
+  void note_lock_acquired(const void* lock) {
+    if (auto* o = m_.htm().observer()) o->on_lock_acquired(tid_, lock);
+  }
+  void note_lock_released(const void* lock) {
+    if (auto* o = m_.htm().observer()) o->on_lock_released(tid_, lock);
   }
 
   // --- Speculation-safe allocation ----------------------------------------

@@ -1,10 +1,21 @@
 #include "runtime/machine.h"
 
+#include <cstdio>
+
 #include "runtime/ctx.h"
 
 namespace sihle::runtime {
 
-Machine::~Machine() = default;
+Machine::~Machine() {
+  // Surface analysis findings even when no one inspected the report (e.g. a
+  // bench run with --analysis=on); non-fatal mode otherwise stays silent.
+  if (checker_ && !checker_->report().clean()) {
+    checker_->report().print(stderr);
+  }
+  // checker_ is destroyed before htm_ (reverse declaration order): drop the
+  // observer pointer so htm_ never dangles mid-destruction.
+  htm_.set_observer(nullptr);
+}
 
 void Machine::run() {
   exec_.run();

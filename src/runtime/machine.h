@@ -12,6 +12,8 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/config.h"
+#include "analysis/lockset.h"
 #include "htm/htm.h"
 #include "mem/directory.h"
 #include "sim/cost_model.h"
@@ -31,11 +33,21 @@ class Machine {
     // Schedule fuzzing: break equal-virtual-clock ties randomly (still
     // deterministic per seed) instead of by lowest thread id.
     bool random_tie_break = false;
+    // Correctness-analysis layer (lockset race checker, dooming audit,
+    // commit read-set audit).  Defaults from the SIHLE_ANALYSIS environment
+    // variable so existing tests and benches can be run under the checker
+    // without touching any call site.
+    analysis::AnalysisConfig analysis = analysis::config_from_env();
   };
 
   Machine() : Machine(Config{}) {}
   explicit Machine(Config cfg)
       : cfg_(cfg), exec_(cfg.seed, cfg.random_tie_break), htm_(dir_, cfg.htm) {
+    if (cfg_.analysis.enabled) {
+      checker_ = std::make_unique<analysis::LocksetChecker>(htm_, dir_,
+                                                            cfg_.analysis);
+      htm_.set_observer(checker_.get());
+    }
     // Aborts are asynchronous on real hardware: a doomed transaction whose
     // thread is blocked (sleeping in-transaction) must be woken so it can
     // observe the abort.
@@ -80,6 +92,17 @@ class Machine {
   void set_tx_trace(stats::TxTrace* t) { tx_trace_ = t; }
   stats::TxTrace* tx_trace() { return tx_trace_; }
 
+  // --- Correctness analysis ------------------------------------------------
+  // Null unless Config::analysis.enabled.
+  analysis::LocksetChecker* analysis() { return checker_.get(); }
+  const analysis::LocksetChecker* analysis() const { return checker_.get(); }
+  // Registers a line as belonging to a synchronization object (lock word,
+  // queue node, barrier): its accesses implement synchronization and are
+  // exempt from lockset checking.  No-op when analysis is disabled.
+  void note_sync_line(mem::Line l) {
+    if (checker_) checker_->on_sync_line(l);
+  }
+
   // --- Line lifecycle ------------------------------------------------------
   mem::Line alloc_line() { return dir_.alloc(); }
   void free_line(mem::Line l) { htm_.on_line_freed(l); }
@@ -105,6 +128,7 @@ class Machine {
   sim::Executor exec_;
   mem::Directory dir_;
   htm::Htm htm_;
+  std::unique_ptr<analysis::LocksetChecker> checker_;
   std::vector<std::unique_ptr<Ctx>> ctxs_;
   std::vector<std::function<void()>> limbo_;
   stats::TxTrace* tx_trace_ = nullptr;

@@ -5,6 +5,9 @@
 // link slots, with moderate conflicts).  Phase 3 walks the linked chains to
 // emit the reconstructed sequence (read-only transactions of medium
 // length).
+// Setup and post-run validation access simulated memory directly,
+// before the machine starts / after it stops running.
+// sihle-lint: disable-file=R002
 #include <algorithm>
 #include <vector>
 

@@ -3,6 +3,9 @@
 // per-flow reassembly map (short transaction, moderate conflicts), and run
 // detection locally once a flow completes.  The hot queue head is what
 // limits intruder's speculation on real hardware.
+// Setup and post-run validation access simulated memory directly,
+// before the machine starts / after it stops running.
+// sihle-lint: disable-file=R002
 #include <algorithm>
 #include <vector>
 

@@ -2,6 +2,9 @@
 // computation, then a tiny transaction folds the point's coordinates into
 // its cluster's accumulator.  The high-contention configuration uses few
 // clusters (hot accumulators); the low-contention one uses many.
+// Setup and post-run validation access simulated memory directly,
+// before the machine starts / after it stops running.
+// sihle-lint: disable-file=R002
 #include <algorithm>
 #include <array>
 

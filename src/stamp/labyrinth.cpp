@@ -7,6 +7,9 @@
 // committed claim dooms the concurrent snapshotters — labyrinth's
 // transactions are the suite's largest, which is exactly why it stresses
 // HTM capacity and conflict handling.
+// Setup and post-run validation access simulated memory directly,
+// before the machine starts / after it stops running.
+// sihle-lint: disable-file=R002
 #include <algorithm>
 #include <queue>
 #include <vector>

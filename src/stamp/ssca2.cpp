@@ -2,6 +2,9 @@
 // an adjacency structure.  Transactions are tiny (bump a vertex's degree,
 // write one adjacency slot) and conflicts are rare (random endpoints), so
 // almost everything should elide; the lock itself is the only bottleneck.
+// Setup and post-run validation access simulated memory directly,
+// before the machine starts / after it stops running.
+// sihle-lint: disable-file=R002
 #include <algorithm>
 #include <vector>
 

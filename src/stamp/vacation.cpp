@@ -9,6 +9,9 @@
 //   * update_tables    — add/remove items from a relation.
 // The high-contention configuration queries wider ranges and updates more;
 // low narrows both (STAMP's -q/-u parameters).
+// Setup and post-run validation access simulated memory directly,
+// before the machine starts / after it stops running.
+// sihle-lint: disable-file=R002
 #include <algorithm>
 #include <vector>
 

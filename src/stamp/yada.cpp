@@ -4,6 +4,9 @@
 // centre), and push any new bad triangles.  Pop and push are short, hot
 // worklist transactions; the cavity retriangulation is the dominant,
 // mostly-parallel transaction.
+// Setup and post-run validation access simulated memory directly,
+// before the machine starts / after it stops running.
+// sihle-lint: disable-file=R002
 #include <algorithm>
 #include <vector>
 

@@ -1,0 +1,101 @@
+// Structured findings report of the correctness-analysis layer.
+//
+// Each finding is one detected violation of a protocol invariant the
+// paper's correctness argument rests on; the report aggregates them per
+// kind so tests can assert exact expectations ("one missed doom, nothing
+// else") and benches can print a one-line summary.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sihle::stats {
+
+enum class FindingKind : std::uint8_t {
+  // A write-shared line was accessed non-transactionally with no lock held:
+  // the access is protected by nothing (Eraser's empty-lockset condition).
+  kEmptyLockset = 0,
+  // A non-transactional access completed while another thread's live
+  // transaction still had the line in its footprint: requestor-wins dooming
+  // was incomplete, so a zombie could commit stale state.
+  kMissedDoom,
+  // A transaction passed the hardware commit checks although a value it
+  // read was no longer current: its read set was invalidated without the
+  // conflict being detected.
+  kInvalidatedCommitRead,
+  kNumKinds,
+};
+
+inline constexpr std::size_t kNumFindingKinds =
+    static_cast<std::size_t>(FindingKind::kNumKinds);
+
+constexpr const char* to_string(FindingKind k) {
+  switch (k) {
+    case FindingKind::kEmptyLockset: return "empty-lockset";
+    case FindingKind::kMissedDoom: return "missed-doom";
+    case FindingKind::kInvalidatedCommitRead: return "invalidated-commit-read";
+    default: return "?";
+  }
+}
+
+struct Finding {
+  FindingKind kind = FindingKind::kEmptyLockset;
+  std::uint32_t line = 0;    // simulated cache line the violation is on
+  std::uint32_t thread = 0;  // thread whose access exposed it
+  std::string detail;        // human-readable specifics
+};
+
+class AnalysisReport {
+ public:
+  void add(Finding f) {
+    counts_[static_cast<std::size_t>(f.kind)]++;
+    ++total_;
+    if (findings_.size() < max_recorded_) findings_.push_back(std::move(f));
+  }
+
+  void set_max_recorded(std::size_t n) { max_recorded_ = n; }
+
+  std::uint64_t total() const { return total_; }
+  bool clean() const { return total_ == 0; }
+  std::uint64_t count(FindingKind k) const {
+    return counts_[static_cast<std::size_t>(k)];
+  }
+  const std::vector<Finding>& findings() const { return findings_; }
+
+  void clear() {
+    findings_.clear();
+    counts_.fill(0);
+    total_ = 0;
+  }
+
+  void print(std::FILE* out) const {
+    std::fprintf(out, "analysis: %llu finding(s)",
+                 static_cast<unsigned long long>(total_));
+    for (std::size_t k = 0; k < kNumFindingKinds; ++k) {
+      if (counts_[k] != 0) {
+        std::fprintf(out, "  %s=%llu", to_string(static_cast<FindingKind>(k)),
+                     static_cast<unsigned long long>(counts_[k]));
+      }
+    }
+    std::fprintf(out, "\n");
+    for (const auto& f : findings_) {
+      std::fprintf(out, "  [%s] line %u thread %u: %s\n", to_string(f.kind),
+                   f.line, f.thread, f.detail.c_str());
+    }
+    if (total_ > findings_.size()) {
+      std::fprintf(out, "  ... %llu more not recorded\n",
+                   static_cast<unsigned long long>(total_ - findings_.size()));
+    }
+  }
+
+ private:
+  std::vector<Finding> findings_;
+  std::array<std::uint64_t, kNumFindingKinds> counts_{};
+  std::uint64_t total_ = 0;
+  std::size_t max_recorded_ = 64;
+};
+
+}  // namespace sihle::stats

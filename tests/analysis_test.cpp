@@ -1,0 +1,228 @@
+// Tests of the lockset/dooming/commit-read analysis layer (src/analysis).
+//
+// The checker's job is to stay silent on correct executions and to catch
+// planted bugs.  Both directions are exercised: Htm-level fixtures drive the
+// state machines directly (including the test_omit_reader_doom seeded bug),
+// and a full rb-tree workload run asserts the production schemes are clean.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "analysis/lockset.h"
+#include "harness/rbtree_workload.h"
+#include "htm/htm.h"
+#include "mem/directory.h"
+#include "mem/shared.h"
+#include "stats/findings.h"
+
+namespace sihle {
+namespace {
+
+using analysis::AnalysisConfig;
+using analysis::LocksetChecker;
+using htm::Htm;
+using htm::HtmConfig;
+using mem::Directory;
+using mem::Shared;
+using stats::FindingKind;
+
+AnalysisConfig enabled_config() {
+  AnalysisConfig cfg;
+  cfg.enabled = true;
+  cfg.fatal = false;
+  return cfg;
+}
+
+struct Fixture {
+  Directory dir;
+  Htm htm;
+  LocksetChecker checker;
+  sim::Rng rng{1};
+  std::vector<std::unique_ptr<Shared<std::uint64_t>>> owned;
+  explicit Fixture(HtmConfig cfg = {})
+      : htm(dir, cfg), checker(htm, dir, enabled_config()) {
+    htm.set_observer(&checker);
+  }
+  Shared<std::uint64_t>& cell(std::uint64_t init = 0) {
+    owned.push_back(std::make_unique<Shared<std::uint64_t>>(dir.alloc(), init));
+    return *owned.back();
+  }
+};
+
+// --- Seeded bug: dooming omission --------------------------------------------
+
+// With test_omit_reader_doom, a non-transactional store dooms the line's
+// transactional writer but leaves its readers live — a requestor-wins
+// violation.  The checker must catch it twice: at the store (the reader's
+// footprint survives) and at the zombie's commit (its read is stale).
+TEST(AnalysisSeededBug, OmittedReaderDoomIsDetected) {
+  HtmConfig hc;
+  hc.test_omit_reader_doom = true;
+  Fixture f(hc);
+  auto& x = f.cell(3);
+
+  f.htm.begin(0, f.rng);
+  EXPECT_EQ(f.htm.tx_load(0, x, f.rng).value, 3u);
+  f.htm.nontx_store(1, x, 42);  // planted bug: reader 0 is not doomed
+
+  EXPECT_EQ(f.checker.report().count(FindingKind::kMissedDoom), 1u);
+
+  // The breach is real: the zombie commits having read a value that is no
+  // longer in memory.
+  std::vector<mem::Line> published;
+  EXPECT_TRUE(f.htm.commit(0, published).ok());
+  EXPECT_EQ(f.checker.report().count(FindingKind::kInvalidatedCommitRead), 1u);
+}
+
+// Identical scenario without the planted bug: requestor wins dooms the
+// reader, the commit fails, and the checker stays silent.
+TEST(AnalysisSeededBug, NormalDoomingIsClean) {
+  Fixture f;
+  auto& x = f.cell(3);
+
+  f.htm.begin(0, f.rng);
+  EXPECT_EQ(f.htm.tx_load(0, x, f.rng).value, 3u);
+  f.htm.nontx_store(1, x, 42);
+
+  EXPECT_TRUE(f.htm.tx(0).doomed);
+  std::vector<mem::Line> published;
+  EXPECT_FALSE(f.htm.commit(0, published).ok());
+  EXPECT_TRUE(f.checker.report().clean()) << "unexpected findings:\n";
+}
+
+// --- Eraser lockset state machine --------------------------------------------
+
+TEST(AnalysisLockset, UnprotectedWriteSharingIsReported) {
+  Fixture f;
+  auto& x = f.cell();
+  f.htm.nontx_store(0, x, 1);  // Virgin -> Exclusive(0)
+  EXPECT_TRUE(f.checker.report().clean());
+  f.htm.nontx_store(1, x, 2);  // write-shared, no protection at all
+  EXPECT_EQ(f.checker.report().count(FindingKind::kEmptyLockset), 1u);
+  // Reported once per line, not per access.
+  f.htm.nontx_store(0, x, 3);
+  EXPECT_EQ(f.checker.report().count(FindingKind::kEmptyLockset), 1u);
+}
+
+TEST(AnalysisLockset, ExclusiveUseIsClean) {
+  Fixture f;
+  auto& x = f.cell();
+  for (int i = 0; i < 8; ++i) f.htm.nontx_store(0, x, i);
+  EXPECT_TRUE(f.checker.report().clean());
+}
+
+TEST(AnalysisLockset, ReadSharingIsClean) {
+  Fixture f;
+  auto& x = f.cell(7);
+  f.htm.nontx_store(0, x, 9);  // Exclusive writer...
+  (void)f.htm.nontx_load(1, x);
+  (void)f.htm.nontx_load(2, x);  // ...then read-shared: no lockset enforced
+  EXPECT_TRUE(f.checker.report().clean());
+}
+
+TEST(AnalysisLockset, ConsistentLockProtectionIsClean) {
+  Fixture f;
+  auto& x = f.cell();
+  int lock_word = 0;  // any stable address works as a lock identity
+  for (std::uint32_t tid = 0; tid < 3; ++tid) {
+    f.checker.on_lock_acquired(tid, &lock_word);
+    f.htm.nontx_store(tid, x, tid);
+    f.checker.on_lock_released(tid, &lock_word);
+  }
+  EXPECT_TRUE(f.checker.report().clean());
+}
+
+TEST(AnalysisLockset, DroppingTheProtectingLockIsReported) {
+  Fixture f;
+  auto& x = f.cell();
+  int lock_word = 0;
+  f.checker.on_lock_acquired(0, &lock_word);
+  f.htm.nontx_store(0, x, 1);
+  f.checker.on_lock_released(0, &lock_word);
+  f.checker.on_lock_acquired(1, &lock_word);
+  f.htm.nontx_store(1, x, 2);  // candidate set = {lock_word}
+  f.checker.on_lock_released(1, &lock_word);
+  EXPECT_TRUE(f.checker.report().clean());
+  f.htm.nontx_store(2, x, 3);  // no lock: candidate set drops to empty
+  EXPECT_EQ(f.checker.report().count(FindingKind::kEmptyLockset), 1u);
+}
+
+TEST(AnalysisLockset, AtomicRmwIsExempt) {
+  Fixture f;
+  auto& x = f.cell();
+  f.htm.nontx_store(0, x, 1, /*rmw=*/true);
+  f.htm.nontx_store(1, x, 2, /*rmw=*/true);  // e.g. contended fetch_add
+  EXPECT_TRUE(f.checker.report().clean());
+}
+
+TEST(AnalysisLockset, SyncLinesAreExempt) {
+  Fixture f;
+  auto& x = f.cell();
+  f.checker.on_sync_line(x.line());
+  f.htm.nontx_store(0, x, 1);
+  f.htm.nontx_store(1, x, 2);  // lock-word-style traffic: expected to race
+  EXPECT_TRUE(f.checker.report().clean());
+}
+
+TEST(AnalysisLockset, FreedLineStateIsRecycled) {
+  Fixture f;
+  auto& x = f.cell();
+  f.htm.nontx_store(0, x, 1);
+  f.htm.nontx_store(1, x, 2);
+  EXPECT_EQ(f.checker.report().count(FindingKind::kEmptyLockset), 1u);
+  // Free the line and reuse the id for a fresh thread-local cell: the old
+  // Shared-Modified state must not follow the recycled id.
+  const mem::Line reused = x.line();
+  f.htm.on_line_freed(reused);
+  f.dir.free(reused);
+  Shared<std::uint64_t> y(f.dir.alloc(), 0);
+  ASSERT_EQ(y.line(), reused);
+  f.htm.nontx_store(2, y, 5);
+  f.htm.nontx_store(2, y, 6);
+  EXPECT_EQ(f.checker.report().total(), 1u);  // no new findings
+}
+
+// --- Report plumbing ----------------------------------------------------------
+
+TEST(AnalysisReport, CountsAndCapsRecordedFindings) {
+  stats::AnalysisReport r;
+  r.set_max_recorded(2);
+  EXPECT_TRUE(r.clean());
+  for (int i = 0; i < 5; ++i) {
+    r.add({FindingKind::kEmptyLockset, static_cast<mem::Line>(i), 0, "x"});
+  }
+  EXPECT_FALSE(r.clean());
+  EXPECT_EQ(r.total(), 5u);
+  EXPECT_EQ(r.count(FindingKind::kEmptyLockset), 5u);
+  EXPECT_EQ(r.findings().size(), 2u);  // recording capped, counting exact
+}
+
+// --- Full workload under the checker ------------------------------------------
+
+// The production schemes must be clean: every shared access is protected by
+// the elided lock's transaction or by holding the lock in the fallback path.
+TEST(AnalysisWorkload, RbTreeWorkloadIsClean) {
+  for (const auto scheme :
+       {elision::Scheme::kStandard, elision::Scheme::kHle,
+        elision::Scheme::kOptSlr, elision::Scheme::kSlrScm}) {
+    for (const auto lock : {locks::LockKind::kTtas, locks::LockKind::kMcs}) {
+      harness::WorkloadConfig cfg;
+      cfg.threads = 4;
+      cfg.tree_size = 64;
+      cfg.update_pct = 40;
+      cfg.duration = 300'000;
+      cfg.scheme = scheme;
+      cfg.lock = lock;
+      cfg.analysis = enabled_config();
+      const auto res = harness::run_rbtree_workload(cfg);
+      EXPECT_TRUE(res.tree_valid);
+      EXPECT_TRUE(res.analysis.clean())
+          << "scheme=" << static_cast<int>(scheme)
+          << " lock=" << static_cast<int>(lock) << " findings=" << res.analysis.total();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sihle

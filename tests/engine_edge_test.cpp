@@ -124,6 +124,9 @@ sim::Task<void> sleeper(Ctx& c, Cell& cell, std::vector<std::uint32_t>* order) {
 TEST(WakeOrdering, AllWatchersWakeAfterOnePublish) {
   Machine m;
   Cell cell(m);
+  // The cell is a wake flag (publish/spin_until), i.e. a synchronization
+  // primitive — exempt it from lockset checking like a lock word.
+  m.note_sync_line(cell.line.line());
   std::vector<std::uint32_t> order;
   for (int t = 0; t < 5; ++t) {
     m.spawn([&](Ctx& c) { return sleeper(c, cell, &order); });

@@ -1,0 +1,362 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter for the SIHLE codebase.
+
+Checks C++ sources for hazards that the compiler accepts but that violate
+repo rules (documented in src/elision/schemes.h and docs/ANALYSIS.md):
+
+  R001  gcc12-coawait        A co_await whose operand is a Task-valued call
+                             must be its own statement or the initializer of
+                             a declaration/assignment.  GCC 12 miscompiles
+                             Task-valued awaits nested in conditions or in
+                             `co_return co_await ...` (the temporary task's
+                             coroutine frame is destroyed at the wrong point).
+  R002  raw-shared-access    Raw access to simulated memory (.raw(),
+                             .set_raw(), .debug_value()) bypasses the
+                             simulation's cost and conflict accounting; it is
+                             only allowed inside debug_* functions and inside
+                             the simulation engine itself (allowlisted dirs).
+  R003  discarded-status     The AbortStatus returned by a transaction
+                             attempt was discarded (`co_await attempt(...);`
+                             as a bare statement).  Retry loops must inspect
+                             the abort status to honour dooming/lemming
+                             policy; dropping it retries blindly.
+
+Suppressions:
+  // sihle-lint: disable=R001[,R002...]       this line or the next line
+  // sihle-lint: disable-file=R002[,R003...]  whole file
+
+Usage:
+  sihle_lint.py [--rules=R001,R002,R003] [--allow-dir=PATH ...] PATH...
+
+PATH arguments may be files or directories (searched recursively for
+.h/.cpp/.cc/.hpp).  Exit status is 1 if any finding is emitted, else 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+ALL_RULES = ("R001", "R002", "R003")
+
+# Directories whose files implement the simulated memory itself and may touch
+# raw cell state freely (relative to the repo root or any scanned root).
+DEFAULT_ALLOW_DIRS = ("src/mem", "src/htm", "src/sim", "src/analysis")
+
+CPP_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+
+RAW_ACCESS_RE = re.compile(r"(?:\.|->)(raw|set_raw|debug_value)\s*\(")
+TASK_DECL_RE = re.compile(r"\bTask<([^<>]*(?:<[^<>]*>)?[^<>]*)>\s+(\w+)\s*\(")
+CO_AWAIT_CALL_RE = re.compile(
+    r"\bco_await\s+(?:[\w:]+(?:\.|->))*(\w+)\s*\(")
+SUPPRESS_LINE_RE = re.compile(r"//\s*sihle-lint:\s*disable=([\w,\s]+)")
+SUPPRESS_FILE_RE = re.compile(r"//\s*sihle-lint:\s*disable-file=([\w,\s]+)")
+# A function definition: identifier (with optional ~ for destructors),
+# argument list, optional qualifiers, then an opening brace.  Control-flow
+# keywords are filtered out afterwards.
+FUNC_DEF_RE = re.compile(
+    r"(?<!\w)(~?\w+)\s*\((?:[^()]|\([^()]*\))*\)\s*"
+    r"(?:const\s*)?(?:noexcept\s*)?(?:override\s*)?(?:->\s*[^{;]+?)?\s*\{")
+NOT_FUNCTIONS = {"if", "for", "while", "switch", "catch", "return", "sizeof",
+                 "alignof", "decltype", "static_assert", "defined", "co_await",
+                 "co_return", "co_yield", "new", "delete"}
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments, string and char literals, preserving offsets."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif ch == "/" and nxt == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = out[i + 1] = " "
+                i += 2
+        elif ch in "\"'":
+            quote = ch
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out[i] = " "
+                    i += 1
+                if i < n and text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def collect_suppressions(text: str):
+    """Returns (file_disabled_rules, {line_number: {rules}}).
+
+    A line suppression applies to its own line and to the following line, so
+    it can sit either trailing the offending statement or just above it.
+    """
+    file_rules: set[str] = set()
+    line_rules: dict[int, set[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = SUPPRESS_FILE_RE.search(line)
+        if m:
+            file_rules.update(r.strip() for r in m.group(1).split(","))
+        m = SUPPRESS_LINE_RE.search(line)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",")}
+            line_rules.setdefault(lineno, set()).update(rules)
+            line_rules.setdefault(lineno + 1, set()).update(rules)
+    return file_rules, line_rules
+
+
+def build_registry(stripped_texts) -> dict:
+    """Maps every Task-returning function name to 'status' (Task<AbortStatus>)
+    or 'task' (any other Task<...>), across all scanned files."""
+    registry: dict[str, str] = {}
+    for text in stripped_texts:
+        for m in TASK_DECL_RE.finditer(text):
+            inner, name = m.group(1).strip(), m.group(2)
+            kind = "status" if inner.endswith("AbortStatus") else "task"
+            # 'status' wins: discarding an AbortStatus is the sharper signal.
+            if registry.get(name) != "status":
+                registry[name] = kind
+    return registry
+
+
+def iter_statements(stripped: str):
+    """Yields (start_offset, statement_text) chunks delimited by ; { }."""
+    start = 0
+    for i, ch in enumerate(stripped):
+        if ch in ";{}":
+            yield start, stripped[start:i]
+            start = i + 1
+    if start < len(stripped):
+        yield start, stripped[start:]
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def normalize_prefix(prefix: str) -> str:
+    """Strips complete statement guards — labels, `else`, balanced
+    `if/while/for (...)` — so that a co_await forming the guarded statement's
+    entire body is recognized as its own statement."""
+    prev = None
+    while prev != prefix:
+        prev = prefix
+        prefix = re.sub(r"^(?:case\b(?:::|[^:])*:(?!:)|default\s*:|\w+\s*:(?!:))",
+                        "", prefix).strip()
+        prefix = re.sub(r"^(?:else|do)\b", "", prefix).strip()
+        m = re.match(r"^(?:if|while|for|switch)\s*\(", prefix)
+        if m:
+            depth = 0
+            for j in range(m.end() - 1, len(prefix)):
+                if prefix[j] == "(":
+                    depth += 1
+                elif prefix[j] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        prefix = prefix[j + 1:].strip()
+                        break
+            else:
+                break  # guard parens not closed before the co_await: nested
+    return prefix
+
+
+def check_coawait_rules(path, stripped, registry, findings):
+    """R001 and R003 over statement chunks."""
+    for start, stmt in iter_statements(stripped):
+        for m in CO_AWAIT_CALL_RE.finditer(stmt):
+            name = m.group(1)
+            kind = registry.get(name)
+            if kind is None:
+                continue  # plain awaiter (Ctx op) or unknown: not a Task
+            lineno = line_of(stripped, start + m.start())
+            prefix = normalize_prefix(stmt[: m.start()].strip())
+            nested = prefix.count("(") > prefix.count(")")
+            if nested:
+                findings.append(Finding(
+                    path, lineno, "R001",
+                    f"Task-valued 'co_await {name}(...)' nested inside "
+                    "parentheses; GCC 12 destroys the temporary task's frame "
+                    "at the wrong point — await into a named local first"))
+                continue
+            if re.search(r"\b(?:co_return|return)$", prefix):
+                findings.append(Finding(
+                    path, lineno, "R001",
+                    f"'co_return co_await {name}(...)' — GCC 12 releases the "
+                    "temporary task's frame before the await completes; "
+                    "await into a named local, then co_return it"))
+                continue
+            if prefix and not prefix.endswith("="):
+                findings.append(Finding(
+                    path, lineno, "R001",
+                    f"Task-valued 'co_await {name}(...)' embedded in an "
+                    "expression; make it its own statement or a "
+                    "declaration's initializer"))
+                continue
+            # The await must also END the statement: a trailing operator
+            # (`co_await f() && flag`) embeds the task in a larger
+            # expression just the same.
+            depth, close = 0, None
+            for j in range(m.end() - 1, len(stmt)):
+                if stmt[j] == "(":
+                    depth += 1
+                elif stmt[j] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        close = j
+                        break
+            if close is not None and stmt[close + 1:].strip():
+                findings.append(Finding(
+                    path, lineno, "R001",
+                    f"Task-valued 'co_await {name}(...)' is a subexpression "
+                    "of a larger expression; await into a named local "
+                    "first"))
+                continue
+            if not prefix and kind == "status":
+                findings.append(Finding(
+                    path, lineno, "R003",
+                    f"AbortStatus returned by '{name}' is discarded; retry "
+                    "logic must inspect the abort status (doomed, capacity, "
+                    "lock-busy) before re-attempting"))
+
+
+def function_spans(stripped: str):
+    """Returns [(open_brace_offset, close_brace_offset, name)] for every
+    function-looking definition, innermost resolvable by smallest span."""
+    # Pre-match braces.
+    stack, match = [], {}
+    for i, ch in enumerate(stripped):
+        if ch == "{":
+            stack.append(i)
+        elif ch == "}" and stack:
+            match[stack.pop()] = i
+    spans = []
+    for m in FUNC_DEF_RE.finditer(stripped):
+        name = m.group(1)
+        if name in NOT_FUNCTIONS:
+            continue
+        open_brace = m.end() - 1
+        close = match.get(open_brace)
+        if close is not None:
+            spans.append((open_brace, close, name))
+    return spans
+
+
+def check_raw_access(path, stripped, findings):
+    """R002: raw Shared<T> access outside debug_* functions."""
+    spans = function_spans(stripped)
+    for m in RAW_ACCESS_RE.finditer(stripped):
+        pos = m.start()
+        enclosing = [s for s in spans if s[0] < pos < s[1]]
+        # debug_* functions are the sanctioned raw-access surface;
+        # destructors tear down raw state after the simulation by nature.
+        if any(name.startswith(("debug_", "~")) for _, _, name in enclosing):
+            continue
+        lineno = line_of(stripped, pos)
+        findings.append(Finding(
+            path, lineno, "R002",
+            f"raw simulated-memory access '.{m.group(1)}()' outside a "
+            "debug_* function bypasses cost/conflict accounting; use Ctx "
+            "load/store ops (or rename the enclosing function debug_*)"))
+
+
+def lint_source(path, text, registry, rules=ALL_RULES, allowed=False):
+    """Lints one file's contents; returns the surviving findings."""
+    stripped = strip_comments_and_strings(text)
+    file_disabled, line_disabled = collect_suppressions(text)
+    findings: list[Finding] = []
+    if "R001" in rules or "R003" in rules:
+        check_coawait_rules(path, stripped, registry, findings)
+    if "R002" in rules and not allowed:
+        check_raw_access(path, stripped, findings)
+    return [
+        f for f in findings
+        if f.rule in rules
+        and f.rule not in file_disabled
+        and f.rule not in line_disabled.get(f.line, set())
+    ]
+
+
+def gather_files(paths):
+    files = []
+    for p in paths:
+        if os.path.isdir(p):
+            for root, _dirs, names in os.walk(p):
+                for n in sorted(names):
+                    if n.endswith(CPP_EXTENSIONS):
+                        files.append(os.path.join(root, n))
+        else:
+            files.append(p)
+    return files
+
+
+def is_allowlisted(path: str, allow_dirs) -> bool:
+    norm = os.path.normpath(path).replace(os.sep, "/")
+    return any(f"/{d}/" in f"/{norm}" for d in allow_dirs)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="+", help="files or directories to lint")
+    ap.add_argument("--rules", default=",".join(ALL_RULES),
+                    help="comma-separated rule ids to enable")
+    ap.add_argument("--allow-dir", action="append", default=[],
+                    help="extra directory (relative) exempt from R002")
+    args = ap.parse_args(argv)
+    rules = tuple(r.strip() for r in args.rules.split(",") if r.strip())
+    allow_dirs = tuple(DEFAULT_ALLOW_DIRS) + tuple(args.allow_dir)
+
+    files = gather_files(args.paths)
+    texts = {}
+    for f in files:
+        try:
+            with open(f, "r", encoding="utf-8", errors="replace") as fh:
+                texts[f] = fh.read()
+        except OSError as e:
+            print(f"sihle_lint: cannot read {f}: {e}", file=sys.stderr)
+            return 2
+
+    registry = build_registry(strip_comments_and_strings(t)
+                              for t in texts.values())
+    findings = []
+    for f, text in texts.items():
+        findings.extend(lint_source(f, text, registry, rules,
+                                    allowed=is_allowlisted(f, allow_dirs)))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"sihle_lint: {len(findings)} finding(s) in "
+              f"{len({f.path for f in findings})} file(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,174 @@
+"""Unit tests for the sihle_lint rule engine (run with python3 -m unittest)."""
+
+import unittest
+
+import sihle_lint as lint
+
+
+def run_lint(source, registry_sources=(), rules=lint.ALL_RULES, allowed=False):
+    stripped = [lint.strip_comments_and_strings(s)
+                for s in (source,) + tuple(registry_sources)]
+    registry = lint.build_registry(stripped)
+    return lint.lint_source("test.cpp", source, registry, rules, allowed)
+
+
+TASK_DECLS = """
+sim::Task<void> body(Ctx& c);
+sim::Task<AbortStatus> hle_attempt(Ctx& c);
+sim::Task<bool> insert(Ctx& c, Key k);
+"""
+
+
+class StripTest(unittest.TestCase):
+    def test_strips_comments_preserving_lines(self):
+        src = "int a; // co_await body(c)\n/* co_await body(c) */ int b;\n"
+        out = lint.strip_comments_and_strings(src)
+        self.assertNotIn("co_await", out)
+        self.assertEqual(out.count("\n"), src.count("\n"))
+
+    def test_strips_string_literals(self):
+        out = lint.strip_comments_and_strings('f("co_await body(c)");')
+        self.assertNotIn("co_await", out)
+
+
+class RegistryTest(unittest.TestCase):
+    def test_classifies_status_and_task(self):
+        reg = lint.build_registry([lint.strip_comments_and_strings(TASK_DECLS)])
+        self.assertEqual(reg["hle_attempt"], "status")
+        self.assertEqual(reg["body"], "task")
+        self.assertEqual(reg["insert"], "task")
+
+
+class R001Test(unittest.TestCase):
+    def assert_rules(self, source, expected):
+        found = [f.rule for f in run_lint(source, (TASK_DECLS,))]
+        self.assertEqual(found, expected, msg=source)
+
+    def test_flags_await_in_if_condition(self):
+        self.assert_rules("sim::Task<void> f(Ctx& c) {\n"
+                          "  if (co_await insert(c, k)) { x(); }\n}\n",
+                          ["R001"])
+
+    def test_flags_negated_await_in_condition(self):
+        self.assert_rules("sim::Task<void> f(Ctx& c) {\n"
+                          "  if (!(co_await insert(c, k))) { x(); }\n}\n",
+                          ["R001"])
+
+    def test_flags_co_return_co_await(self):
+        self.assert_rules("sim::Task<bool> f(Ctx& c) {\n"
+                          "  co_return co_await insert(c, k);\n}\n",
+                          ["R001"])
+
+    def test_flags_await_in_binary_expression(self):
+        self.assert_rules("sim::Task<void> f(Ctx& c) {\n"
+                          "  const bool both = co_await insert(c, a) "
+                          "&& flag;\n}\n",
+                          ["R001"])
+
+    def test_flags_await_as_call_argument(self):
+        self.assert_rules("sim::Task<void> f(Ctx& c) {\n"
+                          "  g(co_await insert(c, k));\n}\n",
+                          ["R001"])
+
+    def test_allows_await_into_named_local(self):
+        self.assert_rules("sim::Task<void> f(Ctx& c) {\n"
+                          "  const bool r = co_await insert(c, k);\n}\n",
+                          [])
+
+    def test_allows_bare_statement_await(self):
+        self.assert_rules("sim::Task<void> f(Ctx& c) {\n"
+                          "  co_await body(c);\n}\n",
+                          [])
+
+    def test_allows_await_as_if_body(self):
+        self.assert_rules("sim::Task<void> f(Ctx& c) {\n"
+                          "  if (flag) co_await body(c);\n}\n",
+                          [])
+
+    def test_allows_await_as_case_body(self):
+        self.assert_rules("sim::Task<void> f(Ctx& c) {\n"
+                          "  switch (s) {\n"
+                          "    case Scheme::kStandard:\n"
+                          "      co_await body(c);\n"
+                          "      break;\n"
+                          "  }\n}\n",
+                          [])
+
+    def test_ignores_non_task_awaitables(self):
+        # Ctx ops return plain awaiters, not Tasks: conditions are fine.
+        self.assert_rules("sim::Task<void> f(Ctx& c) {\n"
+                          "  if (co_await c.load(x) == 0) { y(); }\n}\n",
+                          [])
+
+
+class R002Test(unittest.TestCase):
+    def test_flags_raw_access_in_plain_function(self):
+        src = "bool peek() { return cell.debug_value() != 0; }\n"
+        self.assertEqual([f.rule for f in run_lint(src)], ["R002"])
+
+    def test_flags_set_raw(self):
+        src = "void put() { cell.set_raw(1); }\n"
+        self.assertEqual([f.rule for f in run_lint(src)], ["R002"])
+
+    def test_allows_debug_functions(self):
+        src = "bool debug_peek() { return cell.debug_value() != 0; }\n"
+        self.assertEqual(run_lint(src), [])
+
+    def test_allows_destructors(self):
+        src = "Table::~Table() { delete head_.debug_value(); }\n"
+        self.assertEqual(run_lint(src), [])
+
+    def test_allowlisted_file_is_exempt(self):
+        src = "bool peek() { return cell.debug_value() != 0; }\n"
+        self.assertEqual(run_lint(src, allowed=True), [])
+
+
+class R003Test(unittest.TestCase):
+    def test_flags_discarded_abort_status(self):
+        src = ("sim::Task<void> f(Ctx& c) {\n"
+               "  for (;;) {\n"
+               "    co_await hle_attempt(c);\n"
+               "  }\n}\n")
+        self.assertEqual([f.rule for f in run_lint(src, (TASK_DECLS,))],
+                         ["R003"])
+
+    def test_allows_consumed_abort_status(self):
+        src = ("sim::Task<void> f(Ctx& c) {\n"
+               "  const AbortStatus s = co_await hle_attempt(c);\n"
+               "  if (s.ok()) co_return;\n}\n")
+        self.assertEqual(run_lint(src, (TASK_DECLS,)), [])
+
+
+class SuppressionTest(unittest.TestCase):
+    def test_trailing_line_suppression(self):
+        src = ("bool peek() {\n"
+               "  return cell.debug_value() != 0;  "
+               "// sihle-lint: disable=R002 (reason)\n}\n")
+        self.assertEqual(run_lint(src), [])
+
+    def test_preceding_line_suppression(self):
+        src = ("bool peek() {\n"
+               "  // sihle-lint: disable=R002\n"
+               "  return cell.debug_value() != 0;\n}\n")
+        self.assertEqual(run_lint(src), [])
+
+    def test_file_suppression(self):
+        src = ("// sihle-lint: disable-file=R002\n"
+               "bool peek() { return cell.debug_value() != 0; }\n"
+               "bool poke() { return other.debug_value() != 0; }\n")
+        self.assertEqual(run_lint(src), [])
+
+    def test_suppression_is_rule_specific(self):
+        src = ("// sihle-lint: disable-file=R001\n"
+               "bool peek() { return cell.debug_value() != 0; }\n")
+        self.assertEqual([f.rule for f in run_lint(src)], ["R002"])
+
+
+class CliTest(unittest.TestCase):
+    def test_rules_filter(self):
+        src = "bool peek() { return cell.debug_value() != 0; }\n"
+        self.assertEqual(run_lint(src, rules=("R001", "R003")), [])
+
+
+if __name__ == "__main__":
+    unittest.main()
