@@ -4,11 +4,18 @@
 // same lock (1.0 = plain HLE).
 //
 // Flags: --sizes=... --threads=N --seeds=N --duration-ms=F
+//
+// Observability: --trace-out=FILE (or SIHLE_TRACE=FILE) exports one
+// first-seed timeline per lock × mix × scheme (plain HLE included), the
+// scheme-contrast companion to the figure's end-of-run averages; see
+// docs/OBSERVABILITY.md.
 #include <cstdio>
 
 #include "harness/cli.h"
 #include "harness/rbtree_workload.h"
 #include "harness/table.h"
+#include "stats/export.h"
+#include "stats/timeline.h"
 
 using namespace sihle;
 using harness::Args;
@@ -25,6 +32,26 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> sizes;
   for (const auto& s : args.get_list("sizes", {})) sizes.push_back(std::stoul(s));
   if (sizes.empty()) sizes = harness::paper_sizes();
+
+  const harness::TraceOptions trace_opts = harness::parse_trace(args);
+  stats::TraceWriter trace_writer;
+  // Scheme-contrast timelines: one traced first-seed run per lock × mix ×
+  // scheme at the sweep's first size (the figure itself averages over seeds).
+  auto run_traced = [&](WorkloadConfig cfg, const char* mix_name) {
+    cfg.seed = 1;
+    stats::EventTrace events;
+    cfg.events = &events;
+    (void)harness::run_rbtree_workload(cfg);
+    stats::TraceRunMeta meta;
+    meta.scheme = elision::to_string(cfg.scheme);
+    meta.lock = locks::to_string(cfg.lock);
+    meta.label = std::string(meta.scheme) + "/" + meta.lock + "/" + mix_name +
+                 "/size=" + harness::size_label(cfg.tree_size);
+    meta.threads = cfg.threads;
+    meta.seed = cfg.seed;
+    trace_writer.add_run(meta, events, trace_opts.window_cycles(cfg.costs), {},
+                         trace_opts.include_events);
+  };
 
   const elision::Scheme schemes[] = {
       elision::Scheme::kHleRetries, elision::Scheme::kHleScm,
@@ -56,11 +83,13 @@ int main(int argc, char** argv) {
             static_cast<sim::Cycles>(duration_ms * cfg.costs.cycles_per_ms);
         cfg.scheme = elision::Scheme::kHle;
         const double hle = harness::average_throughput(cfg, seeds);
+        if (trace_opts.enabled() && size == sizes.front()) run_traced(cfg, mix.name);
 
         std::vector<std::string> row{harness::size_label(size)};
         for (elision::Scheme scheme : schemes) {
           cfg.scheme = scheme;
           row.push_back(Table::num(harness::average_throughput(cfg, seeds) / hle));
+          if (trace_opts.enabled() && size == sizes.front()) run_traced(cfg, mix.name);
         }
         table.row(std::move(row));
       }
@@ -75,5 +104,6 @@ int main(int argc, char** argv) {
       "transactions.  MCS — 2-10x gains for SCM/SLR at every mix (spurious "
       "aborts alone lemming plain HLE), while HLE-retries fails to help "
       "under load.\n");
+  harness::finish_trace(trace_opts, trace_writer);
   return 0;
 }

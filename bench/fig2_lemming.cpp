@@ -6,11 +6,19 @@
 //
 // Flags: --sizes=2,8,... --threads=N --updates=PCT --seeds=N
 //        --duration-ms=F --locks=ttas,mcs,eticket,eclh
+//
+// Observability: --trace-out=FILE (or SIHLE_TRACE=FILE) exports a
+// time-sliced JSON timeline of every first-seed HLE run (one labelled run
+// per lock × size), including the lemming-effect detector's verdict;
+// --trace-window-ms= sets the window width and --trace-events embeds the
+// raw event stream for tools/trace/trace_report replay.
 #include <cstdio>
 
 #include "harness/cli.h"
 #include "harness/rbtree_workload.h"
 #include "harness/table.h"
+#include "stats/export.h"
+#include "stats/timeline.h"
 
 using namespace sihle;
 using harness::Args;
@@ -24,6 +32,8 @@ int main(int argc, char** argv) {
   const int updates = static_cast<int>(args.get_int("updates", 20));
   const int seeds = static_cast<int>(args.get_int("seeds", 3));
   const double duration_ms = args.get_double("duration-ms", 1.2);
+  const harness::TraceOptions trace_opts = harness::parse_trace(args);
+  stats::TraceWriter trace_writer;
 
   std::vector<std::size_t> sizes;
   for (const auto& s : args.get_list("sizes", {})) sizes.push_back(std::stoul(s));
@@ -52,7 +62,23 @@ int main(int argc, char** argv) {
       for (int s = 0; s < seeds; ++s) {
         cfg.seed = 1 + s;
         cfg.scheme = elision::Scheme::kHle;
+        // Trace the first-seed HLE run of each lock × size configuration.
+        stats::EventTrace events;
+        cfg.events = trace_opts.enabled() && s == 0 ? &events : nullptr;
         auto hle = harness::run_rbtree_workload(cfg);
+        if (cfg.events != nullptr) {
+          stats::TraceRunMeta meta;
+          meta.label = std::string("hle/") + locks::to_string(lock) +
+                       "/size=" + harness::size_label(size);
+          meta.scheme = elision::to_string(cfg.scheme);
+          meta.lock = locks::to_string(lock);
+          meta.threads = threads;
+          meta.seed = cfg.seed;
+          trace_writer.add_run(meta, events,
+                               trace_opts.window_cycles(cfg.costs), {},
+                               trace_opts.include_events);
+        }
+        cfg.events = nullptr;
         hle_thr += hle.ops_per_mcycle;
         hle_stats += hle.stats;
         cfg.scheme = elision::Scheme::kStandard;
@@ -74,5 +100,6 @@ int main(int argc, char** argv) {
       "non-speculatively at every size (speedup ~1); HLE-TTAS recovers, "
       "needing 2-3.5 attempts/op at small sizes with a 30-70%% speculative "
       "fraction, and approaches full speculation on large trees.\n");
+  harness::finish_trace(trace_opts, trace_writer);
   return 0;
 }

@@ -4,11 +4,18 @@
 // operations that completed non-speculatively.
 //
 // Flags: --slots=N --threads=N --size=N --updates=PCT --seed=N
+//
+// Observability: --trace-out=FILE (or SIHLE_TRACE=FILE) exports the same
+// dynamics as a structured JSON timeline (one run per lock), with the
+// lemming detector's verdict; --trace-window-ms= / --trace-events as in
+// fig2_lemming.
 #include <cstdio>
 
 #include "harness/cli.h"
 #include "harness/rbtree_workload.h"
 #include "harness/table.h"
+#include "stats/export.h"
+#include "stats/timeline.h"
 
 using namespace sihle;
 using harness::Args;
@@ -22,6 +29,10 @@ int main(int argc, char** argv) {
   const int threads = static_cast<int>(args.get_int("threads", 8));
   const std::size_t size = static_cast<std::size_t>(args.get_int("size", 64));
   const int updates = static_cast<int>(args.get_int("updates", 20));
+  harness::TraceOptions trace_opts = harness::parse_trace(args);
+  // Default the trace window to this figure's 1 ms slot width.
+  if (!args.has("trace-window-ms")) trace_opts.window_ms = 1.0;
+  stats::TraceWriter trace_writer;
 
   std::printf(
       "Figure 3: HLE serialization dynamics over time (%d threads, tree size "
@@ -39,7 +50,19 @@ int main(int argc, char** argv) {
     cfg.record_slices = true;
     cfg.duration = static_cast<sim::Cycles>(slots) * cfg.costs.cycles_per_ms;
 
+    stats::EventTrace events;
+    cfg.events = trace_opts.enabled() ? &events : nullptr;
     auto r = harness::run_rbtree_workload(cfg);
+    if (cfg.events != nullptr) {
+      stats::TraceRunMeta meta;
+      meta.label = std::string("hle/") + locks::to_string(cfg.lock);
+      meta.scheme = elision::to_string(cfg.scheme);
+      meta.lock = locks::to_string(cfg.lock);
+      meta.threads = threads;
+      meta.seed = cfg.seed;
+      trace_writer.add_run(meta, events, trace_opts.window_cycles(cfg.costs),
+                           {}, trace_opts.include_events);
+    }
     const auto& sl = *r.slices;
     double mean_ops = 0.0;
     std::size_t full_slots = std::min<std::size_t>(sl.slices(), slots);
@@ -67,5 +90,6 @@ int main(int argc, char** argv) {
       "serialized).  With TTAS most slots are speculative, but serialization "
       "bursts appear as slots with elevated nonspec fraction and throughput "
       "dips of up to ~2.5x.\n");
+  harness::finish_trace(trace_opts, trace_writer);
   return 0;
 }

@@ -25,6 +25,7 @@
 #include "htm/abort.h"
 #include "locks/mcs.h"
 #include "runtime/ctx.h"
+#include "stats/event_ring.h"
 #include "stats/op_stats.h"
 
 namespace sihle::elision {
@@ -129,8 +130,10 @@ sim::Task<AbortStatus> slr_attempt(Ctx& c, Lock& lock, Body& body) {
 template <class Lock, class Body>
 sim::Task<void> run_nonspec(Ctx& c, Lock& lock, Body& body, stats::OpStats& st) {
   co_await lock.acquire(c);
+  c.trace_event(stats::EventKind::kLockAcquire);
   co_await body(c);
   co_await lock.release(c);
+  c.trace_event(stats::EventKind::kLockRelease);
   st.nonspec++;
 }
 
@@ -141,6 +144,9 @@ template <class Body>
 sim::Task<void> run_nolock(Ctx& c, Body body, stats::OpStats& st) {
   st.arrivals++;
   co_await body(c);
+  // Traced as a (trivially acquired) non-speculative completion so the
+  // timeline's ops-per-window series covers the no-lock baseline too.
+  c.trace_event(stats::EventKind::kLockRelease);
   st.nonspec++;
 }
 
@@ -211,8 +217,10 @@ sim::Task<void> run_hle(Ctx& c, Lock& lock, Body body, stats::OpStats& st,
     // completes a full non-speculative acquisition.
     const bool got_lock = co_await lock.try_acquire_once(c);
     if (got_lock) {
+      c.trace_event(stats::EventKind::kLockAcquire);
       co_await body(c);
       co_await lock.release(c);
+      c.trace_event(stats::EventKind::kLockRelease);
       st.nonspec++;
       co_return;
     }
@@ -291,6 +299,7 @@ sim::Task<void> run_scm(Ctx& c, Lock& main, AuxLock& aux, Body body,
       // Serializing path: wait behind the other conflicting threads.
       co_await aux.acquire(c);
       aux_owner = true;
+      c.trace_event(stats::EventKind::kAuxAcquire);
       st.aux_acquisitions++;
       retries = 0;
       continue;
@@ -304,7 +313,10 @@ sim::Task<void> run_scm(Ctx& c, Lock& main, AuxLock& aux, Body body,
       break;
     }
   }
-  if (aux_owner) co_await aux.release(c);
+  if (aux_owner) {
+    co_await aux.release(c);
+    c.trace_event(stats::EventKind::kAuxRelease);
+  }
 }
 
 // glibc-style adaptation state, one per elided lock.  Mirrors the racily

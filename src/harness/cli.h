@@ -11,6 +11,8 @@
 #include "analysis/config.h"
 #include "elision/schemes.h"
 #include "locks/locks.h"
+#include "sim/cost_model.h"
+#include "stats/export.h"
 
 namespace sihle::harness {
 
@@ -120,6 +122,48 @@ inline analysis::AnalysisConfig parse_analysis(const Args& args) {
     cfg.enabled = true;
   }
   return cfg;
+}
+
+// --- Trace export (docs/OBSERVABILITY.md) ----------------------------------
+//
+// Destination for the structured-trace JSON: --trace-out=PATH, falling back
+// to the SIHLE_TRACE environment variable; empty means tracing stays off.
+// Benches that support it attach a stats::EventTrace to the runs they
+// designate, aggregate with stats::Timeline, and write one document via
+// stats::TraceWriter (tools/trace/trace_report reads it back).
+struct TraceOptions {
+  std::string out_path;              // empty = disabled
+  double window_ms = 0.05;           // aggregation window, simulated ms
+  bool include_events = false;       // embed raw event stream (--trace-events)
+  bool enabled() const { return !out_path.empty(); }
+  sim::Cycles window_cycles(const sim::CostModel& costs) const {
+    const auto w = static_cast<sim::Cycles>(
+        window_ms * static_cast<double>(costs.cycles_per_ms));
+    return w == 0 ? 1 : w;
+  }
+};
+
+inline TraceOptions parse_trace(const Args& args) {
+  TraceOptions t;
+  t.out_path = args.get("trace-out", "");
+  if (t.out_path.empty()) {
+    const char* env = std::getenv("SIHLE_TRACE");
+    if (env != nullptr) t.out_path = env;
+  }
+  t.window_ms = args.get_double("trace-window-ms", t.window_ms);
+  t.include_events = args.has("trace-events");
+  return t;
+}
+
+// Writes the collected runs (if tracing was requested and anything was
+// recorded) and prints a one-line pointer so the artifact is discoverable.
+// An export the user asked for that cannot be written is a failed run, not
+// a warning: the process exits nonzero so CI pipelines catch it.
+inline void finish_trace(const TraceOptions& opts, const stats::TraceWriter& w) {
+  if (!opts.enabled() || w.runs() == 0) return;
+  if (!w.write_json_file(opts.out_path)) std::exit(2);
+  std::fprintf(stderr, "trace: wrote %zu run(s) to %s\n", w.runs(),
+               opts.out_path.c_str());
 }
 
 inline elision::Scheme parse_scheme(const std::string& s) {

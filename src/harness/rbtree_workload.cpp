@@ -111,6 +111,7 @@ WorkloadResult run_impl(const WorkloadConfig& cfg) {
   mc.analysis = cfg.analysis;
   Machine m(mc);
   if (cfg.trace != nullptr) m.set_tx_trace(cfg.trace);
+  if (cfg.events != nullptr) m.set_event_trace(cfg.events);
 
   Lock lock(m);
   locks::MCSLock aux(m);

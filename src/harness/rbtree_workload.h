@@ -12,6 +12,7 @@
 #include "analysis/config.h"
 #include "elision/schemes.h"
 #include "locks/locks.h"
+#include "stats/event_ring.h"
 #include "stats/findings.h"
 #include "stats/op_stats.h"
 #include "stats/tx_trace.h"
@@ -56,7 +57,10 @@ struct WorkloadConfig {
   bool record_slices = false;
   sim::Cycles slice_cycles = 0;  // 0 = one simulated millisecond
   sim::CostModel costs{};        // overridable for the cost-model ablation
-  stats::TxTrace* trace = nullptr;  // optional per-transaction timeline
+  stats::TxTrace* trace = nullptr;  // optional legacy per-transaction timeline
+  // Optional structured event tracing (begin/commit/abort/aux/lock events
+  // into per-thread rings; see stats/event_ring.h and docs/OBSERVABILITY.md).
+  stats::EventTrace* events = nullptr;
   bool random_tie_break = false;    // schedule fuzzing (see Machine::Config)
   // Defaults from SIHLE_ANALYSIS so existing tests/benches pick up the
   // lockset checker without call-site changes.

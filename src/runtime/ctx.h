@@ -263,7 +263,7 @@ class Ctx {
     void await_suspend(std::coroutine_handle<> h) {
       c.m_.htm().begin(c.tid_, c.rng());
       c.ts().clock += c.m_.costs().tx_begin;
-      if (auto* tr = c.m_.tx_trace()) tr->on_begin(c.tid_, c.ts().clock);
+      c.m_.trace().on_tx_begin(c.tid_, c.ts().clock);
       c.m_.exec().suspend_current(h);
     }
     void await_resume() const noexcept {}
@@ -277,9 +277,7 @@ class Ctx {
       abort = m.htm().commit(c.tid_, published);
       if (abort.ok()) {
         finish(h, m.costs().tx_commit);
-        if (auto* tr = m.tx_trace()) {
-          tr->on_end(c.tid_, c.ts().clock, htm::AbortCause::kNone);
-        }
+        m.trace().on_tx_commit(c.tid_, c.ts().clock);
         for (mem::Line l : published) {
           m.exec().wake_watchers(l, c.ts().clock, m.costs());
         }
@@ -301,7 +299,7 @@ class Ctx {
     void await_suspend(std::coroutine_handle<> h) {
       c.m_.htm().rollback(c.tid_);
       c.ts().clock += c.m_.costs().tx_abort;
-      if (auto* tr = c.m_.tx_trace()) tr->on_end(c.tid_, c.ts().clock, status.cause);
+      c.m_.trace().on_tx_abort(c.tid_, c.ts().clock, status);
       c.m_.exec().suspend_current(h);
       c.m_.maybe_drain();
     }
@@ -467,6 +465,15 @@ class Ctx {
     assert(in_tx());
     throw htm::TxAbortException(
         htm::AbortStatus{htm::AbortCause::kExplicit, code, /*retry=*/true});
+  }
+
+  // --- Scheme-level trace events -------------------------------------------
+  //
+  // The elision schemes report their serialization transitions (auxiliary
+  // lock, non-speculative main-lock path) here; one branch when no event
+  // trace is attached.
+  void trace_event(stats::EventKind k) {
+    m_.trace().on_scheme_event(tid_, now(), k);
   }
 
   // --- Lock attribution for the analysis layer ----------------------------

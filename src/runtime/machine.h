@@ -18,11 +18,52 @@
 #include "mem/directory.h"
 #include "sim/cost_model.h"
 #include "sim/executor.h"
+#include "stats/event_ring.h"
 #include "stats/tx_trace.h"
 
 namespace sihle::runtime {
 
 class Ctx;
+
+// Hot-path trace dispatch: every instrumentation point funnels through one
+// of these inline methods, which cost a null test per attached sink when
+// tracing is off.  The structured per-thread event rings
+// (stats::EventTrace) are the primary sink; the legacy machine-wide
+// stats::TxTrace record vector is kept for its interval queries.
+struct TraceHub {
+  stats::EventTrace* events = nullptr;
+  stats::TxTrace* legacy = nullptr;
+
+  bool enabled() const { return events != nullptr || legacy != nullptr; }
+
+  void on_tx_begin(std::uint32_t tid, sim::Cycles now) {
+    if (events != nullptr) {
+      events->record(tid, {now, stats::EventKind::kTxBegin,
+                           htm::AbortCause::kNone, 0});
+    }
+    if (legacy != nullptr) legacy->on_begin(tid, now);
+  }
+  void on_tx_commit(std::uint32_t tid, sim::Cycles now) {
+    if (events != nullptr) {
+      events->record(tid, {now, stats::EventKind::kTxCommit,
+                           htm::AbortCause::kNone, 0});
+    }
+    if (legacy != nullptr) legacy->on_end(tid, now, htm::AbortCause::kNone);
+  }
+  void on_tx_abort(std::uint32_t tid, sim::Cycles now, htm::AbortStatus s) {
+    if (events != nullptr) {
+      events->record(tid, {now, stats::EventKind::kTxAbort, s.cause, s.code});
+    }
+    if (legacy != nullptr) legacy->on_end(tid, now, s.cause);
+  }
+  // Scheme-level events (aux-lock and non-speculative main-lock
+  // transitions); only the event rings carry these.
+  void on_scheme_event(std::uint32_t tid, sim::Cycles now, stats::EventKind k) {
+    if (events != nullptr) {
+      events->record(tid, {now, k, htm::AbortCause::kNone, 0});
+    }
+  }
+};
 
 class Machine {
  public:
@@ -87,10 +128,16 @@ class Machine {
 
   Ctx& ctx(std::uint32_t tid) { return *ctxs_[tid]; }
 
-  // Optional transaction-level tracing (see stats::TxTrace).  The trace
-  // object must outlive the run; pass nullptr to disable.
-  void set_tx_trace(stats::TxTrace* t) { tx_trace_ = t; }
-  stats::TxTrace* tx_trace() { return tx_trace_; }
+  // Optional tracing; any attached sink must outlive the run, and passing
+  // nullptr detaches it.  set_event_trace attaches the structured
+  // per-thread event rings (the observability layer's hot-path collector);
+  // set_tx_trace attaches the legacy machine-wide record vector.  Both may
+  // be active at once.
+  void set_event_trace(stats::EventTrace* t) { trace_.events = t; }
+  stats::EventTrace* event_trace() { return trace_.events; }
+  void set_tx_trace(stats::TxTrace* t) { trace_.legacy = t; }
+  stats::TxTrace* tx_trace() { return trace_.legacy; }
+  TraceHub& trace() { return trace_; }
 
   // --- Correctness analysis ------------------------------------------------
   // Null unless Config::analysis.enabled.
@@ -131,7 +178,7 @@ class Machine {
   std::unique_ptr<analysis::LocksetChecker> checker_;
   std::vector<std::unique_ptr<Ctx>> ctxs_;
   std::vector<std::function<void()>> limbo_;
-  stats::TxTrace* tx_trace_ = nullptr;
+  TraceHub trace_{};
 };
 
 // RAII ownership of one simulated cache line.  Objects holding Shared<T>

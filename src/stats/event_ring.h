@@ -1,0 +1,188 @@
+// Structured transaction-event tracing: the hot-path half of the
+// observability layer (docs/OBSERVABILITY.md).
+//
+// Each logical thread appends fixed-size Event records to its own ring
+// buffer — no shared append point, no allocation after construction — so
+// tracing perturbs the simulated schedule as little as the legacy global
+// TxTrace vector perturbed it a lot.  The rings record the five event kinds
+// the paper's dynamics figures need (begin / commit / abort / aux-acquire /
+// lock-acquire, plus the matching releases), each with a virtual-cycle
+// timestamp and, for aborts, the abort cause and XABORT code.
+//
+// Consumers (stats/timeline.h aggregation, stats/export.h serialization,
+// tools/trace reporting) iterate the rings after the run; the ring bounds
+// memory by dropping the *oldest* events when full and counting the drops,
+// so a long run degrades into a suffix trace rather than OOM or silent
+// truncation of the interesting tail.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "htm/abort.h"
+#include "sim/cost_model.h"
+
+namespace sihle::stats {
+
+enum class EventKind : std::uint8_t {
+  kTxBegin = 0,   // XBEGIN retired (timestamp after tx_begin cost)
+  kTxCommit,      // XEND succeeded; speculative completion of an attempt
+  kTxAbort,       // rollback completed; `cause`/`code` carry the status
+  kAuxAcquire,    // SCM serializing path entered (auxiliary lock acquired)
+  kAuxRelease,    // SCM serializing path left
+  kLockAcquire,   // main lock acquired non-speculatively (fallback entry)
+  kLockRelease,   // main lock released; non-speculative completion
+  kNumKinds,
+};
+
+inline constexpr std::size_t kNumEventKinds =
+    static_cast<std::size_t>(EventKind::kNumKinds);
+
+constexpr const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kTxBegin: return "tx-begin";
+    case EventKind::kTxCommit: return "tx-commit";
+    case EventKind::kTxAbort: return "tx-abort";
+    case EventKind::kAuxAcquire: return "aux-acquire";
+    case EventKind::kAuxRelease: return "aux-release";
+    case EventKind::kLockAcquire: return "lock-acquire";
+    case EventKind::kLockRelease: return "lock-release";
+    default: return "?";
+  }
+}
+
+// Parse counterpart of to_string; returns kNumKinds for unknown names.
+inline EventKind event_kind_from_string(std::string_view s) {
+  for (std::size_t k = 0; k < kNumEventKinds; ++k) {
+    if (s == to_string(static_cast<EventKind>(k))) {
+      return static_cast<EventKind>(k);
+    }
+  }
+  return EventKind::kNumKinds;
+}
+
+inline htm::AbortCause abort_cause_from_string(std::string_view s) {
+  for (std::size_t c = 0; c < htm::kNumAbortCauses; ++c) {
+    if (s == htm::to_string(static_cast<htm::AbortCause>(c))) {
+      return static_cast<htm::AbortCause>(c);
+    }
+  }
+  return htm::AbortCause::kNumCauses;
+}
+
+// One structured trace event; 16 bytes, trivially copyable.
+struct Event {
+  sim::Cycles at = 0;  // thread-local virtual clock when the event retired
+  EventKind kind = EventKind::kTxBegin;
+  htm::AbortCause cause = htm::AbortCause::kNone;  // kTxAbort only
+  std::uint8_t code = 0;  // XABORT imm8, for explicit aborts
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+// Fixed-capacity single-writer ring of events.  Appending when full
+// overwrites the oldest event and bumps dropped(); iteration yields the
+// surviving events oldest-first.
+class EventRing {
+ public:
+  explicit EventRing(std::size_t capacity) : buf_(capacity) {
+    assert(capacity > 0);
+  }
+
+  void push(Event e) {
+    if (size_ < buf_.size()) {
+      buf_[(head_ + size_) % buf_.size()] = e;
+      ++size_;
+    } else {
+      buf_[head_] = e;
+      head_ = (head_ + 1) % buf_.size();
+      ++dropped_;
+    }
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buf_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+
+  // i-th surviving event, oldest first (0 <= i < size()).
+  const Event& operator[](std::size_t i) const {
+    assert(i < size_);
+    return buf_[(head_ + i) % buf_.size()];
+  }
+
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < size_; ++i) fn((*this)[i]);
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  std::vector<Event> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+// Machine-wide event trace: one ring per logical thread, grown lazily on
+// first use by each thread.  Attach with Machine::set_event_trace; must
+// outlive the run.
+class EventTrace {
+ public:
+  static constexpr std::size_t kDefaultCapacityPerThread = std::size_t{1} << 16;
+
+  explicit EventTrace(std::size_t capacity_per_thread = kDefaultCapacityPerThread)
+      : capacity_(capacity_per_thread) {}
+
+  void record(std::uint32_t tid, Event e) {
+    if (tid >= rings_.size()) rings_.resize(tid + 1, EventRing(capacity_));
+    rings_[tid].push(e);
+  }
+
+  std::size_t threads() const { return rings_.size(); }
+  const EventRing& ring(std::uint32_t tid) const { return rings_[tid]; }
+
+  std::uint64_t total_events() const {
+    std::uint64_t n = 0;
+    for (const auto& r : rings_) n += r.size();
+    return n;
+  }
+  std::uint64_t total_dropped() const {
+    std::uint64_t n = 0;
+    for (const auto& r : rings_) n += r.dropped();
+    return n;
+  }
+
+  std::uint64_t count(EventKind k) const {
+    std::uint64_t n = 0;
+    for (const auto& r : rings_) {
+      r.for_each([&](const Event& e) { n += e.kind == k ? 1 : 0; });
+    }
+    return n;
+  }
+
+  // Latest timestamp across all rings (0 for an empty trace).
+  sim::Cycles max_time() const {
+    sim::Cycles t = 0;
+    for (const auto& r : rings_) {
+      r.for_each([&](const Event& e) { t = e.at > t ? e.at : t; });
+    }
+    return t;
+  }
+
+  void clear() {
+    for (auto& r : rings_) r.clear();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<EventRing> rings_;
+};
+
+}  // namespace sihle::stats

@@ -1,0 +1,557 @@
+#include "stats/export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdlib>
+#include <utility>
+
+namespace sihle::stats {
+
+namespace {
+
+// --- JSON writing ----------------------------------------------------------
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+// Doubles round-trip exactly with %.17g; the only double in the schema is
+// peak_nonspec, but exactness keeps parse(export(x)) == x testable.
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_window(std::string& out, const Window& w) {
+  out += "{\"start\":";
+  append_u64(out, w.start);
+  out += ",\"begins\":";
+  append_u64(out, w.begins);
+  out += ",\"commits\":";
+  append_u64(out, w.commits);
+  out += ",\"aborts\":";
+  append_u64(out, w.aborts);
+  out += ",\"nonspec\":";
+  append_u64(out, w.nonspec);
+  out += ",\"aux_acquires\":";
+  append_u64(out, w.aux_acquires);
+  out += ",\"lock_acquires\":";
+  append_u64(out, w.lock_acquires);
+  out += ",\"causes\":{";
+  bool first = true;
+  for (std::size_t c = 0; c < w.abort_causes.size(); ++c) {
+    if (w.abort_causes[c] == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    append_escaped(out, htm::to_string(static_cast<htm::AbortCause>(c)));
+    out += ':';
+    append_u64(out, w.abort_causes[c]);
+  }
+  out += "}}";
+}
+
+void append_run(std::string& out, const TraceRun& run) {
+  out += "{\"label\":";
+  append_escaped(out, run.meta.label);
+  out += ",\"scheme\":";
+  append_escaped(out, run.meta.scheme);
+  out += ",\"lock\":";
+  append_escaped(out, run.meta.lock);
+  out += ",\"threads\":";
+  append_u64(out, static_cast<std::uint64_t>(run.meta.threads));
+  out += ",\"seed\":";
+  append_u64(out, run.meta.seed);
+  out += ",\"window_cycles\":";
+  append_u64(out, run.window_cycles);
+  out += ",\"dropped_events\":";
+  append_u64(out, run.dropped_events);
+  out += ",\"lemming\":{\"fired\":";
+  out += run.lemming.fired ? "true" : "false";
+  out += ",\"trigger_window\":";
+  append_u64(out, run.lemming.trigger_window);
+  out += ",\"first_window\":";
+  append_u64(out, run.lemming.first_window);
+  out += ",\"run_length\":";
+  append_u64(out, run.lemming.run_length);
+  out += ",\"peak_nonspec\":";
+  append_double(out, run.lemming.peak_nonspec);
+  out += "},\"windows\":[";
+  for (std::size_t i = 0; i < run.windows.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "\n    ";
+    append_window(out, run.windows[i]);
+  }
+  out += ']';
+  if (run.has_events) {
+    out += ",\"events\":[";
+    for (std::size_t i = 0; i < run.events.size(); ++i) {
+      const auto& te = run.events[i];
+      if (i != 0) out += ',';
+      if (i % 8 == 0) out += "\n    ";
+      out += '[';
+      append_u64(out, te.event.at);
+      out += ',';
+      append_u64(out, te.tid);
+      out += ',';
+      append_escaped(out, to_string(te.event.kind));
+      out += ',';
+      append_escaped(out, htm::to_string(te.event.cause));
+      out += ',';
+      append_u64(out, te.event.code);
+      out += ']';
+    }
+    out += ']';
+  }
+  out += '}';
+}
+
+// --- JSON parsing ----------------------------------------------------------
+//
+// Minimal recursive-descent parser for the subset the writer emits (no
+// unicode escapes beyond \uXXXX pass-through, no nesting past what the
+// schema needs).  Self-contained: the repo bakes in no JSON dependency.
+
+struct JValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::uint64_t integer = 0;  // valid when the token had no '.', 'e', '-'
+  bool is_integer = false;
+  std::string string;
+  std::vector<JValue> array;
+  std::vector<std::pair<std::string, JValue>> object;
+
+  const JValue* find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  std::uint64_t u64_or(std::uint64_t def) const {
+    return kind == Kind::kNumber && is_integer ? integer : def;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : s_(text) {}
+
+  bool parse(JValue& out, std::string* error) {
+    skip_ws();
+    if (!value(out)) {
+      if (error != nullptr) {
+        *error = "trace JSON parse error at offset " + std::to_string(pos_) +
+                 ": " + err_;
+      }
+      return false;
+    }
+    skip_ws();
+    if (pos_ != s_.size()) {
+      if (error != nullptr) *error = "trailing characters after JSON document";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool fail(const char* msg) {
+    if (err_.empty()) err_ = msg;
+    return false;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool value(JValue& out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    const char c = s_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out.kind = JValue::Kind::kString;
+      return string(out.string);
+    }
+    if (literal("true")) {
+      out.kind = JValue::Kind::kBool;
+      out.boolean = true;
+      return true;
+    }
+    if (literal("false")) {
+      out.kind = JValue::Kind::kBool;
+      out.boolean = false;
+      return true;
+    }
+    if (literal("null")) {
+      out.kind = JValue::Kind::kNull;
+      return true;
+    }
+    return number(out);
+  }
+
+  bool string(std::string& out) {
+    if (!consume('"')) return fail("expected string");
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return fail("bad escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return fail("bad \\u escape");
+            const unsigned long cp =
+                std::strtoul(std::string(s_.substr(pos_, 4)).c_str(), nullptr, 16);
+            pos_ += 4;
+            // Writer only emits \u00XX control escapes; keep it byte-wide.
+            out += static_cast<char>(cp & 0xFF);
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(JValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    bool integral = true;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return fail("expected value");
+    const std::string tok(s_.substr(start, pos_ - start));
+    out.kind = JValue::Kind::kNumber;
+    out.number = std::strtod(tok.c_str(), nullptr);
+    out.is_integer = integral && tok[0] != '-';
+    if (out.is_integer) out.integer = std::strtoull(tok.c_str(), nullptr, 10);
+    return true;
+  }
+
+  bool array(JValue& out) {
+    if (!consume('[')) return fail("expected array");
+    out.kind = JValue::Kind::kArray;
+    skip_ws();
+    if (consume(']')) return true;
+    for (;;) {
+      JValue v;
+      if (!value(v)) return false;
+      out.array.push_back(std::move(v));
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool object(JValue& out) {
+    if (!consume('{')) return fail("expected object");
+    out.kind = JValue::Kind::kObject;
+    skip_ws();
+    if (consume('}')) return true;
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!string(key)) return false;
+      if (!consume(':')) return fail("expected ':' in object");
+      JValue v;
+      if (!value(v)) return false;
+      out.object.emplace_back(std::move(key), std::move(v));
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  std::string err_;
+};
+
+bool parse_window(const JValue& jw, Window& w, std::string* error) {
+  if (jw.kind != JValue::Kind::kObject) {
+    if (error != nullptr) *error = "window is not an object";
+    return false;
+  }
+  auto get = [&](std::string_view key) -> std::uint64_t {
+    const JValue* v = jw.find(key);
+    return v != nullptr ? v->u64_or(0) : 0;
+  };
+  w.start = get("start");
+  w.begins = get("begins");
+  w.commits = get("commits");
+  w.aborts = get("aborts");
+  w.nonspec = get("nonspec");
+  w.aux_acquires = get("aux_acquires");
+  w.lock_acquires = get("lock_acquires");
+  if (const JValue* causes = jw.find("causes");
+      causes != nullptr && causes->kind == JValue::Kind::kObject) {
+    for (const auto& [name, count] : causes->object) {
+      const htm::AbortCause c = abort_cause_from_string(name);
+      if (c == htm::AbortCause::kNumCauses) {
+        if (error != nullptr) *error = "unknown abort cause '" + name + "'";
+        return false;
+      }
+      w.abort_causes[static_cast<std::size_t>(c)] = count.u64_or(0);
+    }
+  }
+  return true;
+}
+
+bool parse_run(const JValue& jr, TraceRun& run, std::string* error) {
+  if (jr.kind != JValue::Kind::kObject) {
+    if (error != nullptr) *error = "run is not an object";
+    return false;
+  }
+  auto str = [&](std::string_view key) -> std::string {
+    const JValue* v = jr.find(key);
+    return v != nullptr && v->kind == JValue::Kind::kString ? v->string : "";
+  };
+  run.meta.label = str("label");
+  run.meta.scheme = str("scheme");
+  run.meta.lock = str("lock");
+  const JValue* threads = jr.find("threads");
+  run.meta.threads = threads != nullptr ? static_cast<int>(threads->u64_or(0)) : 0;
+  const JValue* seed = jr.find("seed");
+  run.meta.seed = seed != nullptr ? seed->u64_or(0) : 0;
+  const JValue* wc = jr.find("window_cycles");
+  run.window_cycles = wc != nullptr ? wc->u64_or(1) : 1;
+  const JValue* dropped = jr.find("dropped_events");
+  run.dropped_events = dropped != nullptr ? dropped->u64_or(0) : 0;
+
+  if (const JValue* lem = jr.find("lemming");
+      lem != nullptr && lem->kind == JValue::Kind::kObject) {
+    const JValue* fired = lem->find("fired");
+    run.lemming.fired = fired != nullptr && fired->boolean;
+    auto lget = [&](std::string_view key) -> std::uint64_t {
+      const JValue* v = lem->find(key);
+      return v != nullptr ? v->u64_or(0) : 0;
+    };
+    run.lemming.trigger_window = static_cast<std::size_t>(lget("trigger_window"));
+    run.lemming.first_window = static_cast<std::size_t>(lget("first_window"));
+    run.lemming.run_length = static_cast<std::size_t>(lget("run_length"));
+    const JValue* peak = lem->find("peak_nonspec");
+    run.lemming.peak_nonspec = peak != nullptr ? peak->number : 0.0;
+  }
+
+  const JValue* windows = jr.find("windows");
+  if (windows == nullptr || windows->kind != JValue::Kind::kArray) {
+    if (error != nullptr) *error = "run has no windows array";
+    return false;
+  }
+  run.windows.resize(windows->array.size());
+  for (std::size_t i = 0; i < windows->array.size(); ++i) {
+    if (!parse_window(windows->array[i], run.windows[i], error)) return false;
+  }
+
+  if (const JValue* events = jr.find("events");
+      events != nullptr && events->kind == JValue::Kind::kArray) {
+    run.has_events = true;
+    run.events.reserve(events->array.size());
+    for (const JValue& je : events->array) {
+      if (je.kind != JValue::Kind::kArray || je.array.size() != 5) {
+        if (error != nullptr) *error = "event is not a 5-tuple";
+        return false;
+      }
+      TraceRun::TaggedEvent te;
+      te.event.at = je.array[0].u64_or(0);
+      te.tid = static_cast<std::uint32_t>(je.array[1].u64_or(0));
+      te.event.kind = event_kind_from_string(je.array[2].string);
+      te.event.cause = abort_cause_from_string(je.array[3].string);
+      te.event.code = static_cast<std::uint8_t>(je.array[4].u64_or(0));
+      if (te.event.kind == EventKind::kNumKinds ||
+          te.event.cause == htm::AbortCause::kNumCauses) {
+        if (error != nullptr) *error = "event with unknown kind or cause";
+        return false;
+      }
+      run.events.push_back(te);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+EventTrace rebuild_events(const TraceRun& run) {
+  std::size_t max_per_thread = 1;
+  {
+    std::vector<std::size_t> counts;
+    for (const auto& te : run.events) {
+      if (te.tid >= counts.size()) counts.resize(te.tid + 1, 0);
+      counts[te.tid]++;
+    }
+    for (std::size_t n : counts) max_per_thread = std::max(max_per_thread, n);
+  }
+  EventTrace trace(max_per_thread);
+  for (const auto& te : run.events) trace.record(te.tid, te.event);
+  return trace;
+}
+
+void TraceWriter::add_run(const TraceRunMeta& meta, const EventTrace& trace,
+                          sim::Cycles window_cycles, const LemmingConfig& lemming,
+                          bool include_events) {
+  TraceRun run;
+  run.meta = meta;
+  run.window_cycles = window_cycles == 0 ? 1 : window_cycles;
+  run.dropped_events = trace.total_dropped();
+  const Timeline tl = Timeline::aggregate(trace, run.window_cycles);
+  run.windows = tl.windows();
+  run.lemming = detect_lemming(tl, lemming);
+  run.has_events = include_events;
+  if (include_events) {
+    run.events.reserve(static_cast<std::size_t>(trace.total_events()));
+    for (std::uint32_t t = 0; t < trace.threads(); ++t) {
+      trace.ring(t).for_each([&](const Event& e) {
+        run.events.push_back({t, e});
+      });
+    }
+  }
+  runs_.push_back(std::move(run));
+}
+
+std::string TraceWriter::json() const {
+  std::string out = "{\"version\":1,\"runs\":[";
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "\n  ";
+    append_run(out, runs_[i]);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void TraceWriter::write_json(std::FILE* out) const {
+  const std::string doc = json();
+  std::fwrite(doc.data(), 1, doc.size(), out);
+}
+
+bool TraceWriter::write_json_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace export: cannot open '%s' for writing\n",
+                 path.c_str());
+    return false;
+  }
+  write_json(f);
+  std::fclose(f);
+  return true;
+}
+
+bool parse_trace_json(std::string_view text, ParsedTrace& out,
+                      std::string* error) {
+  JValue root;
+  JsonParser parser(text);
+  if (!parser.parse(root, error)) return false;
+  if (root.kind != JValue::Kind::kObject) {
+    if (error != nullptr) *error = "top level is not an object";
+    return false;
+  }
+  const JValue* version = root.find("version");
+  out.version = version != nullptr ? static_cast<int>(version->u64_or(0)) : 0;
+  if (out.version != 1) {
+    if (error != nullptr) {
+      *error = "unsupported trace version " + std::to_string(out.version);
+    }
+    return false;
+  }
+  const JValue* runs = root.find("runs");
+  if (runs == nullptr || runs->kind != JValue::Kind::kArray) {
+    if (error != nullptr) *error = "document has no runs array";
+    return false;
+  }
+  out.runs.resize(runs->array.size());
+  for (std::size_t i = 0; i < runs->array.size(); ++i) {
+    if (!parse_run(runs->array[i], out.runs[i], error)) return false;
+  }
+  return true;
+}
+
+void export_events_csv(std::FILE* out, const EventTrace& trace) {
+  std::fprintf(out, "at,thread,kind,cause,code\n");
+  for (std::uint32_t t = 0; t < trace.threads(); ++t) {
+    trace.ring(t).for_each([&](const Event& e) {
+      std::fprintf(out, "%" PRIu64 ",%u,%s,%s,%u\n", e.at, t,
+                   to_string(e.kind),
+                   std::string(htm::to_string(e.cause)).c_str(), e.code);
+    });
+  }
+}
+
+void export_timeline_csv(std::FILE* out, const Timeline& tl) {
+  std::fprintf(out,
+               "start,begins,commits,aborts,nonspec,aux_acquires,"
+               "lock_acquires,ops,nonspec_fraction,abort_rate\n");
+  for (const Window& w : tl.windows()) {
+    std::fprintf(out,
+                 "%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%.6f,%.6f\n",
+                 w.start, w.begins, w.commits, w.aborts, w.nonspec,
+                 w.aux_acquires, w.lock_acquires, w.ops(), w.nonspec_fraction(),
+                 w.abort_rate());
+  }
+}
+
+}  // namespace sihle::stats

@@ -1,0 +1,109 @@
+// Machine-readable export of trace timelines and raw event streams, plus
+// the matching parser — the interchange half of the observability layer.
+//
+// One JSON document (schema below, "version": 1) carries any number of
+// labelled runs; each run has its aggregated window series, the lemming
+// detector's verdict, and optionally the raw per-thread event stream, so
+// the tools/trace reporter can re-bucket the run at a different window
+// width ("replay").  The parser reads exactly what the writer emits; the
+// round-trip (export → parse → re-aggregate) is fuzz-tested to equal direct
+// aggregation in tests/fuzz_test.cpp.
+//
+//   {
+//     "version": 1,
+//     "runs": [
+//       { "label": "...", "scheme": "HLE", "lock": "MCS",
+//         "threads": 8, "seed": 1, "window_cycles": 34000,
+//         "dropped_events": 0,
+//         "lemming": { "fired": true, "trigger_window": 2,
+//                      "first_window": 2, "run_length": 9,
+//                      "peak_nonspec": 1.0 },
+//         "windows": [
+//           { "start": 0, "begins": 12, "commits": 10, "aborts": 3,
+//             "nonspec": 1, "aux_acquires": 0, "lock_acquires": 1,
+//             "causes": { "conflict": 2, "spurious": 1 } }, ... ],
+//         "events": [ [ at, tid, "tx-begin", "none", 0 ], ... ] } ] }
+//
+// Benches reach this through --trace-out= / SIHLE_TRACE (harness/cli.h).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/event_ring.h"
+#include "stats/timeline.h"
+
+namespace sihle::stats {
+
+struct TraceRunMeta {
+  std::string label;
+  std::string scheme;
+  std::string lock;
+  int threads = 0;
+  std::uint64_t seed = 0;
+};
+
+// One run of a trace document, as written or as parsed back.
+struct TraceRun {
+  TraceRunMeta meta;
+  sim::Cycles window_cycles = 1;
+  std::uint64_t dropped_events = 0;
+  std::vector<Window> windows;
+  LemmingReport lemming;
+  bool has_events = false;
+  struct TaggedEvent {
+    std::uint32_t tid = 0;
+    Event event;
+    friend bool operator==(const TaggedEvent&, const TaggedEvent&) = default;
+  };
+  std::vector<TaggedEvent> events;  // thread-major, oldest-first per thread
+
+  Timeline timeline() const { return Timeline::from_windows(window_cycles, windows); }
+};
+
+// Rebuilds a per-thread EventTrace from a parsed run's embedded events
+// (capacity sized to fit: nothing is dropped on rebuild).
+EventTrace rebuild_events(const TraceRun& run);
+
+// Collects labelled runs and serializes them as one JSON document.
+class TraceWriter {
+ public:
+  // Aggregates `trace` at `window_cycles`, runs the lemming detector, and
+  // appends the bundle.  `include_events` embeds the raw event stream
+  // (larger file, enables re-bucketing in tools/trace).
+  void add_run(const TraceRunMeta& meta, const EventTrace& trace,
+               sim::Cycles window_cycles, const LemmingConfig& lemming = {},
+               bool include_events = false);
+
+  std::size_t runs() const { return runs_.size(); }
+  const std::vector<TraceRun>& run_list() const { return runs_; }
+
+  std::string json() const;
+  void write_json(std::FILE* out) const;
+  // Returns false (and prints to stderr) if the file cannot be opened.
+  bool write_json_file(const std::string& path) const;
+
+ private:
+  std::vector<TraceRun> runs_;
+};
+
+struct ParsedTrace {
+  int version = 0;
+  std::vector<TraceRun> runs;
+};
+
+// Parses a version-1 trace document.  Returns false and fills `error`
+// (when non-null) on malformed input; unknown keys are ignored so the
+// format can grow compatibly.
+bool parse_trace_json(std::string_view text, ParsedTrace& out,
+                      std::string* error = nullptr);
+
+// Raw-event CSV: "at,thread,kind,cause,code", one row per event.
+void export_events_csv(std::FILE* out, const EventTrace& trace);
+
+// Window-series CSV: one row per window with derived rates included.
+void export_timeline_csv(std::FILE* out, const Timeline& tl);
+
+}  // namespace sihle::stats

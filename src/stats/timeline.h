@@ -1,0 +1,198 @@
+// Time-sliced aggregation of structured trace events (stats/event_ring.h)
+// into the per-window series the paper's dynamics figures plot, plus the
+// lemming-effect detector that makes Figure 2/3's visual signature an
+// executable predicate.
+//
+// A Timeline partitions virtual time into fixed-width windows and counts,
+// per window: transaction begins, speculative commits, aborts (by cause),
+// non-speculative completions, auxiliary-lock acquisitions (SCM serializing
+// path entries) and non-speculative main-lock acquisitions (fallback
+// entries).  From these it derives the three series of Figures 2/3:
+// throughput (ops per window), abort rate, and non-speculative fraction.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "htm/abort.h"
+#include "stats/event_ring.h"
+
+namespace sihle::stats {
+
+struct Window {
+  sim::Cycles start = 0;  // window covers [start, start + window_cycles)
+  std::uint64_t begins = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t nonspec = 0;        // non-speculative completions
+  std::uint64_t aux_acquires = 0;   // SCM serializing-path entries
+  std::uint64_t lock_acquires = 0;  // non-speculative main-lock acquisitions
+  std::array<std::uint64_t, htm::kNumAbortCauses> abort_causes{};
+
+  std::uint64_t ops() const { return commits + nonspec; }
+  double nonspec_fraction() const {
+    const auto o = ops();
+    return o == 0 ? 0.0 : static_cast<double>(nonspec) / static_cast<double>(o);
+  }
+  // Aborted attempts over all attempts that ended in this window.
+  double abort_rate() const {
+    const auto att = aborts + commits;
+    return att == 0 ? 0.0 : static_cast<double>(aborts) / static_cast<double>(att);
+  }
+
+  friend bool operator==(const Window&, const Window&) = default;
+};
+
+class Timeline {
+ public:
+  // Buckets every recorded event into windows of `window_cycles`.  The
+  // window grid is anchored at cycle 0 so identical runs aggregate to
+  // identical timelines regardless of when tracing was attached.
+  static Timeline aggregate(const EventTrace& trace, sim::Cycles window_cycles) {
+    Timeline tl;
+    tl.window_cycles_ = window_cycles == 0 ? 1 : window_cycles;
+    const sim::Cycles horizon = trace.max_time();
+    const std::size_t n_windows =
+        trace.total_events() == 0
+            ? 0
+            : static_cast<std::size_t>(horizon / tl.window_cycles_) + 1;
+    tl.windows_.resize(n_windows);
+    for (std::size_t w = 0; w < n_windows; ++w) {
+      tl.windows_[w].start = static_cast<sim::Cycles>(w) * tl.window_cycles_;
+    }
+    for (std::uint32_t t = 0; t < trace.threads(); ++t) {
+      trace.ring(t).for_each([&](const Event& e) {
+        auto& w = tl.windows_[static_cast<std::size_t>(e.at / tl.window_cycles_)];
+        switch (e.kind) {
+          case EventKind::kTxBegin: w.begins++; break;
+          case EventKind::kTxCommit: w.commits++; break;
+          case EventKind::kTxAbort:
+            w.aborts++;
+            w.abort_causes[static_cast<std::size_t>(e.cause)]++;
+            break;
+          case EventKind::kAuxAcquire: w.aux_acquires++; break;
+          case EventKind::kAuxRelease: break;
+          case EventKind::kLockAcquire: w.lock_acquires++; break;
+          case EventKind::kLockRelease: w.nonspec++; break;
+          case EventKind::kNumKinds: break;
+        }
+      });
+    }
+    return tl;
+  }
+
+  sim::Cycles window_cycles() const { return window_cycles_; }
+  const std::vector<Window>& windows() const { return windows_; }
+  std::size_t size() const { return windows_.size(); }
+  const Window& operator[](std::size_t w) const { return windows_[w]; }
+
+  // Whole-run totals (sum over windows).
+  Window totals() const {
+    Window t;
+    for (const auto& w : windows_) {
+      t.begins += w.begins;
+      t.commits += w.commits;
+      t.aborts += w.aborts;
+      t.nonspec += w.nonspec;
+      t.aux_acquires += w.aux_acquires;
+      t.lock_acquires += w.lock_acquires;
+      for (std::size_t c = 0; c < t.abort_causes.size(); ++c) {
+        t.abort_causes[c] += w.abort_causes[c];
+      }
+    }
+    return t;
+  }
+
+  // Mean ops per window over the non-empty prefix, for normalized
+  // throughput plots (Figure 3's y-axis).
+  double mean_ops_per_window() const {
+    if (windows_.empty()) return 0.0;
+    std::uint64_t ops = 0;
+    for (const auto& w : windows_) ops += w.ops();
+    return static_cast<double>(ops) / static_cast<double>(windows_.size());
+  }
+
+  // Direct construction from precomputed windows (the export round-trip
+  // path: a parsed trace re-materializes its Timeline).
+  static Timeline from_windows(sim::Cycles window_cycles, std::vector<Window> ws) {
+    Timeline tl;
+    tl.window_cycles_ = window_cycles == 0 ? 1 : window_cycles;
+    tl.windows_ = std::move(ws);
+    return tl;
+  }
+
+  friend bool operator==(const Timeline&, const Timeline&) = default;
+
+ private:
+  sim::Cycles window_cycles_ = 1;
+  std::vector<Window> windows_;
+};
+
+// --- Lemming-effect detector -----------------------------------------------
+//
+// The lemming effect (paper §4): a single abort makes one thread acquire
+// the lock for real, which aborts every eliding transaction; with a fair
+// lock the re-executed XACQUIREs enqueue everyone behind it and the system
+// stays serialized — a *sustained* run of windows executing almost entirely
+// non-speculatively, entered right after one conflict.  End-of-run averages
+// hide this; the window series exposes it.
+
+struct LemmingConfig {
+  // A window is "serialized" when its non-speculative fraction is at least
+  // this threshold ...
+  double nonspec_threshold = 0.9;
+  // ... and it completed at least this many operations (guards against
+  // declaring an idle window serialized).
+  std::uint64_t min_ops_per_window = 1;
+  // The detector fires on a run of at least this many consecutive
+  // serialized windows starting at or directly after an aborting window.
+  std::size_t min_windows = 3;
+};
+
+struct LemmingReport {
+  bool fired = false;
+  std::size_t trigger_window = 0;  // window of the abort that precedes the run
+  std::size_t first_window = 0;    // first serialized window of the run
+  std::size_t run_length = 0;      // longest qualifying run, in windows
+  double peak_nonspec = 0.0;       // max per-window nonspec fraction seen
+};
+
+inline LemmingReport detect_lemming(const Timeline& tl,
+                                    const LemmingConfig& cfg = {}) {
+  LemmingReport rep;
+  const auto& ws = tl.windows();
+  auto serialized = [&](const Window& w) {
+    return w.ops() >= cfg.min_ops_per_window &&
+           w.nonspec_fraction() >= cfg.nonspec_threshold;
+  };
+  for (const auto& w : ws) {
+    if (w.ops() > 0) rep.peak_nonspec = std::max(rep.peak_nonspec, w.nonspec_fraction());
+  }
+  // Scan for runs of serialized windows whose start is anchored to an abort:
+  // the triggering conflict lies in the run's first window or the one before
+  // it (the abort and the pile-up can straddle a window boundary).
+  std::size_t i = 0;
+  while (i < ws.size()) {
+    if (!serialized(ws[i])) {
+      ++i;
+      continue;
+    }
+    const bool anchored =
+        ws[i].aborts > 0 || (i > 0 && ws[i - 1].aborts > 0);
+    std::size_t j = i;
+    while (j < ws.size() && serialized(ws[j])) ++j;
+    const std::size_t len = j - i;
+    if (anchored && len > rep.run_length) {
+      rep.run_length = len;
+      rep.first_window = i;
+      rep.trigger_window = ws[i].aborts > 0 ? i : i - 1;
+    }
+    i = j;
+  }
+  rep.fired = rep.run_length >= cfg.min_windows;
+  return rep;
+}
+
+}  // namespace sihle::stats

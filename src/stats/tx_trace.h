@@ -1,8 +1,9 @@
-// Transaction-level tracing: one record per transactional attempt (begin
-// time, end time, outcome), collected machine-wide.  Used for debugging
-// scheme dynamics, for the trace-based tests, and for CSV export from the
-// rbtree_explorer example.  Enable with Machine-level set_tx_trace; the
-// overhead is one append per attempt.
+// Legacy transaction-level tracing: one record per transactional attempt
+// (begin time, end time, outcome), collected machine-wide in a single
+// vector.  Kept for the interval-overlap queries and CSV export that the
+// trace tests and the rbtree_explorer example use; new consumers should
+// prefer the structured per-thread event rings (stats/event_ring.h), which
+// this machine-wide vector predates.  Enable with Machine::set_tx_trace.
 #pragma once
 
 #include <cstdint>
@@ -19,24 +20,47 @@ struct TxRecord {
   sim::Cycles begin = 0;
   sim::Cycles end = 0;
   htm::AbortCause outcome = htm::AbortCause::kNone;  // kNone == committed
+  // False when no on_begin preceded this record's on_end (the begin
+  // timestamp is then synthesized as the end timestamp, not a stale or zero
+  // value from an earlier attempt).
+  bool paired = true;
 };
 
 class TxTrace {
  public:
   void on_begin(std::uint32_t tid, sim::Cycles now) {
-    if (open_.size() <= tid) open_.resize(tid + 1, 0);
+    if (open_.size() <= tid) open_.resize(tid + 1, kNoOpenTx);
     open_[tid] = now;
   }
+
+  // Pairing is explicit: each on_end consumes the thread's open begin, so a
+  // second on_end without an intervening on_begin — or an on_end for a
+  // thread never seen — is recorded as unpaired (begin = end, zero-length)
+  // and counted, instead of silently reusing a stale or zero begin.
   void on_end(std::uint32_t tid, sim::Cycles now, htm::AbortCause outcome) {
     TxRecord r;
     r.thread = tid;
-    r.begin = open_.size() > tid ? open_[tid] : 0;
     r.end = now;
     r.outcome = outcome;
+    if (tid < open_.size() && open_[tid] != kNoOpenTx) {
+      r.begin = open_[tid];
+      open_[tid] = kNoOpenTx;
+    } else {
+      r.begin = now;
+      r.paired = false;
+      ++unpaired_ends_;
+    }
     records_.push_back(r);
   }
 
   const std::vector<TxRecord>& records() const { return records_; }
+
+  // Ends that had no matching begin (0 in a correctly instrumented run).
+  std::uint64_t unpaired_ends() const { return unpaired_ends_; }
+  // Whether thread `tid` currently has a begun-but-unended attempt.
+  bool open(std::uint32_t tid) const {
+    return tid < open_.size() && open_[tid] != kNoOpenTx;
+  }
 
   std::uint64_t commits() const { return count(htm::AbortCause::kNone); }
   std::uint64_t aborts() const {
@@ -67,8 +91,11 @@ class TxTrace {
   }
 
  private:
+  static constexpr sim::Cycles kNoOpenTx = ~sim::Cycles{0};
+
   std::vector<sim::Cycles> open_;
   std::vector<TxRecord> records_;
+  std::uint64_t unpaired_ends_ = 0;
 };
 
 }  // namespace sihle::stats

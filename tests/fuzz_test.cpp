@@ -5,12 +5,15 @@
 // mutual-exclusion, structure-validity and accounting checks.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "elision/schemes.h"
 #include "harness/rbtree_workload.h"
 #include "locks/locks.h"
 #include "runtime/ctx.h"
+#include "stats/export.h"
+#include "stats/timeline.h"
 
 namespace sihle {
 namespace {
@@ -88,6 +91,75 @@ TEST_P(FuzzTree, StructureValidUnderRandomSchedules) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTree,
                          ::testing::Range<std::uint64_t>(200, 230));
+
+// Observability round trip under fuzzed schedules: whatever event stream a
+// randomized (but per-seed deterministic) schedule produces, exporting it to
+// JSON, parsing the JSON back, and re-aggregating the embedded events must
+// reproduce the directly aggregated timeline and the lemming verdict.
+class FuzzTraceRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzTraceRoundTrip, ExportParseReaggregateIsLossless) {
+  const std::uint64_t seed = GetParam();
+  const Scheme scheme = seed % 2 == 0 ? Scheme::kHle : Scheme::kSlrScm;
+  Machine::Config cfg;
+  cfg.seed = seed;
+  cfg.random_tie_break = true;
+  cfg.htm.spurious_abort_per_access = 5e-4;
+  Machine m(cfg);
+  stats::EventTrace events;
+  m.set_event_trace(&events);
+  locks::MCSLock lock(m);
+  locks::MCSLock aux(m);
+  Counter cnt(m);
+  std::vector<stats::OpStats> st(6);
+  for (int t = 0; t < 6; ++t) {
+    m.spawn([&, t](Ctx& c) {
+      return worker<locks::MCSLock>(c, scheme, lock, aux, cnt, 80, st[t]);
+    });
+  }
+  m.run();
+  ASSERT_EQ(cnt.value.debug_value(), 6u * 80u);
+  ASSERT_EQ(events.total_dropped(), 0u);
+
+  // Vary the window width with the seed so bucketing edges get fuzzed too.
+  const sim::Cycles window = 10'000 + 1'000 * (seed % 7);
+  stats::TraceRunMeta meta;
+  meta.label = "fuzz/" + std::to_string(seed);
+  meta.scheme = elision::to_string(scheme);
+  meta.lock = "MCS";
+  meta.threads = 6;
+  meta.seed = seed;
+  stats::TraceWriter writer;
+  writer.add_run(meta, events, window, {}, /*include_events=*/true);
+
+  stats::ParsedTrace parsed;
+  std::string error;
+  ASSERT_TRUE(stats::parse_trace_json(writer.json(), parsed, &error))
+      << "seed " << seed << ": " << error;
+  ASSERT_EQ(parsed.runs.size(), 1u);
+  const stats::TraceRun& run = parsed.runs[0];
+  ASSERT_TRUE(run.has_events);
+  EXPECT_EQ(run.events.size(), events.total_events());
+
+  const stats::Timeline direct = stats::Timeline::aggregate(events, window);
+  EXPECT_EQ(run.timeline(), direct) << "seed " << seed;
+  const stats::EventTrace rebuilt = stats::rebuild_events(run);
+  EXPECT_EQ(stats::Timeline::aggregate(rebuilt, window), direct)
+      << "seed " << seed;
+  const stats::LemmingReport want = stats::detect_lemming(direct);
+  EXPECT_EQ(run.lemming.fired, want.fired) << "seed " << seed;
+  EXPECT_EQ(run.lemming.run_length, want.run_length) << "seed " << seed;
+
+  // Serializing the parsed document again is byte-identical (the writer is
+  // canonical, so export ∘ parse is idempotent).
+  stats::TraceWriter rewriter;
+  rewriter.add_run(run.meta, rebuilt, run.window_cycles, {},
+                   /*include_events=*/true);
+  EXPECT_EQ(rewriter.json(), writer.json()) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTraceRoundTrip,
+                         ::testing::Range<std::uint64_t>(300, 315));
 
 // The fuzzing mode is itself deterministic per seed, and distinct from the
 // strict ordering.

@@ -1,0 +1,372 @@
+// Deterministic trace tests for the observability layer: event-ring
+// mechanics, per-thread stream invariants across all six schemes of the
+// paper's methodology, window aggregation, the lemming-effect detector
+// (including the paper-core scheme-contrast claim), and the JSON
+// export/parse round trip.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "elision/schemes.h"
+#include "locks/locks.h"
+#include "runtime/ctx.h"
+#include "stats/event_ring.h"
+#include "stats/export.h"
+#include "stats/timeline.h"
+
+namespace sihle {
+namespace {
+
+using elision::Scheme;
+using runtime::Ctx;
+using runtime::LineHandle;
+using runtime::Machine;
+using stats::Event;
+using stats::EventKind;
+using stats::EventTrace;
+using stats::Timeline;
+
+struct Counter {
+  LineHandle line;
+  mem::Shared<std::uint64_t> value;
+  explicit Counter(Machine& m) : line(m), value(line.line(), 0) {}
+};
+
+sim::Task<void> incr(Ctx& c, Counter& cnt) {
+  const std::uint64_t v = co_await c.load(cnt.value);
+  co_await c.work(40);
+  co_await c.store(cnt.value, v + 1);
+}
+
+template <class Lock>
+sim::Task<void> worker(Ctx& c, Scheme s, Lock& lock, locks::MCSLock& aux,
+                       Counter& cnt, int ops, stats::OpStats& st) {
+  for (int i = 0; i < ops; ++i) {
+    co_await elision::run_op(s, c, lock, aux,
+                             [&cnt](Ctx& cc) { return incr(cc, cnt); }, st);
+  }
+}
+
+struct SchemeRun {
+  EventTrace events;
+  stats::OpStats stats;
+  sim::Cycles elapsed = 0;
+};
+
+// Runs the contended counter workload under one scheme with event tracing.
+template <class Lock>
+SchemeRun run_counter(Scheme s, int threads, int ops, std::uint64_t seed,
+                      double spurious) {
+  SchemeRun out;
+  Machine::Config cfg;
+  cfg.seed = seed;
+  cfg.htm.spurious_abort_per_access = spurious;
+  Machine m(cfg);
+  m.set_event_trace(&out.events);
+  Lock lock(m);
+  locks::MCSLock aux(m);
+  Counter cnt(m);
+  std::vector<stats::OpStats> st(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    m.spawn([&, t](Ctx& c) {
+      return worker<Lock>(c, s, lock, aux, cnt, ops, st[static_cast<std::size_t>(t)]);
+    });
+  }
+  m.run();
+  for (const auto& x : st) out.stats += x;
+  out.elapsed = m.exec().max_clock();
+  EXPECT_EQ(cnt.value.debug_value(),
+            static_cast<std::uint64_t>(threads) * static_cast<std::uint64_t>(ops));
+  return out;
+}
+
+// --- Event-ring mechanics ---------------------------------------------------
+
+TEST(EventRingTest, PreservesOrderAndDropsOldestWhenFull) {
+  stats::EventRing ring(4);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    ring.push({i, EventKind::kTxBegin, htm::AbortCause::kNone, 0});
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 2u);
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(ring[i].at, i + 2);  // events 0 and 1 were overwritten
+  }
+}
+
+TEST(EventRingTest, TraceGrowsPerThreadRingsLazily) {
+  EventTrace trace(8);
+  trace.record(3, {10, EventKind::kTxCommit, htm::AbortCause::kNone, 0});
+  ASSERT_EQ(trace.threads(), 4u);
+  EXPECT_EQ(trace.ring(0).size(), 0u);
+  EXPECT_EQ(trace.ring(3).size(), 1u);
+  EXPECT_EQ(trace.total_events(), 1u);
+  EXPECT_EQ(trace.count(EventKind::kTxCommit), 1u);
+  EXPECT_EQ(trace.max_time(), 10u);
+}
+
+// --- Stream invariants across the six schemes -------------------------------
+
+class SchemeStreamInvariants : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(SchemeStreamInvariants, EventStreamIsWellFormed) {
+  const Scheme s = GetParam();
+  const int threads = 4;
+  const auto run = run_counter<locks::TTASLock>(s, threads, 120, 21, 1e-3);
+  const EventTrace& tr = run.events;
+  ASSERT_LE(tr.threads(), static_cast<std::size_t>(threads));
+  EXPECT_EQ(tr.total_dropped(), 0u);
+
+  for (std::uint32_t t = 0; t < tr.threads(); ++t) {
+    const auto& ring = tr.ring(t);
+    sim::Cycles prev = 0;
+    bool in_tx = false;
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      const Event& e = ring[i];
+      // Per-thread timestamps never run backwards.
+      EXPECT_GE(e.at, prev) << "thread " << t << " event " << i;
+      prev = e.at;
+      switch (e.kind) {
+        case EventKind::kTxBegin:
+          // Begin/end pairing: no nested or dangling begins...
+          EXPECT_FALSE(in_tx) << "thread " << t << " event " << i;
+          in_tx = true;
+          break;
+        case EventKind::kTxCommit:
+          EXPECT_TRUE(in_tx) << "thread " << t << " event " << i;
+          EXPECT_EQ(e.cause, htm::AbortCause::kNone);
+          in_tx = false;
+          break;
+        case EventKind::kTxAbort:
+          EXPECT_TRUE(in_tx) << "thread " << t << " event " << i;
+          // ... and every abort carries a cause.
+          EXPECT_NE(e.cause, htm::AbortCause::kNone)
+              << "thread " << t << " event " << i;
+          in_tx = false;
+          break;
+        default:
+          // Scheme-level events only occur outside transactions.
+          EXPECT_FALSE(in_tx) << "thread " << t << " event " << i;
+          break;
+      }
+    }
+    EXPECT_FALSE(in_tx) << "thread " << t << " ends inside a transaction";
+  }
+
+  // The event stream reconciles with the schemes' own accounting.
+  EXPECT_EQ(tr.count(EventKind::kTxCommit), run.stats.spec_commits);
+  EXPECT_EQ(tr.count(EventKind::kLockRelease), run.stats.nonspec);
+  EXPECT_EQ(tr.count(EventKind::kAuxAcquire), run.stats.aux_acquisitions);
+  EXPECT_EQ(tr.count(EventKind::kAuxAcquire), tr.count(EventKind::kAuxRelease));
+  // The trace may additionally contain lock-busy attempts the scheme did
+  // not count as aborts (plain HLE + TTAS re-spins).
+  EXPECT_GE(tr.count(EventKind::kTxAbort), run.stats.aborts);
+  EXPECT_EQ(tr.count(EventKind::kTxBegin),
+            tr.count(EventKind::kTxCommit) + tr.count(EventKind::kTxAbort));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeStreamInvariants,
+                         ::testing::ValuesIn(elision::kAllSchemes),
+                         [](const auto& info) {
+                           std::string n = elision::to_string(info.param);
+                           for (auto& ch : n) {
+                             if (ch == '-' || ch == ' ') ch = '_';
+                           }
+                           return n;
+                         });
+
+// --- Window aggregation -----------------------------------------------------
+
+TEST(TimelineTest, WindowsPartitionTheEventStream) {
+  const auto run = run_counter<locks::MCSLock>(Scheme::kHleScm, 4, 100, 5, 1e-3);
+  const sim::Cycles window = run.elapsed / 16 + 1;
+  const Timeline tl = Timeline::aggregate(run.events, window);
+  ASSERT_GT(tl.size(), 4u);
+  for (std::size_t w = 0; w < tl.size(); ++w) {
+    EXPECT_EQ(tl[w].start, static_cast<sim::Cycles>(w) * window);
+  }
+  const stats::Window totals = tl.totals();
+  EXPECT_EQ(totals.begins, run.events.count(EventKind::kTxBegin));
+  EXPECT_EQ(totals.commits, run.events.count(EventKind::kTxCommit));
+  EXPECT_EQ(totals.aborts, run.events.count(EventKind::kTxAbort));
+  EXPECT_EQ(totals.nonspec, run.events.count(EventKind::kLockRelease));
+  EXPECT_EQ(totals.aux_acquires, run.events.count(EventKind::kAuxAcquire));
+  EXPECT_EQ(totals.lock_acquires, run.events.count(EventKind::kLockAcquire));
+  std::uint64_t cause_sum = 0;
+  for (std::size_t c = 0; c < totals.abort_causes.size(); ++c) {
+    cause_sum += totals.abort_causes[c];
+  }
+  EXPECT_EQ(cause_sum, totals.aborts);
+  EXPECT_EQ(totals.commits, run.stats.spec_commits);
+  EXPECT_EQ(totals.nonspec, run.stats.nonspec);
+}
+
+TEST(TimelineTest, AggregationIsWindowAnchoredAndDeterministic) {
+  const auto a = run_counter<locks::TTASLock>(Scheme::kOptSlr, 4, 80, 9, 1e-3);
+  const auto b = run_counter<locks::TTASLock>(Scheme::kOptSlr, 4, 80, 9, 1e-3);
+  const Timeline ta = Timeline::aggregate(a.events, 20000);
+  const Timeline tb = Timeline::aggregate(b.events, 20000);
+  EXPECT_EQ(ta, tb);
+}
+
+// --- Lemming detector -------------------------------------------------------
+
+EventTrace synthetic_trace(bool with_trigger_abort, std::size_t serialized_windows) {
+  // Window width 100: window 0 holds a commit (and optionally the
+  // triggering abort); windows 1..N hold one non-speculative completion
+  // each and nothing speculative.
+  EventTrace tr;
+  tr.record(0, {10, EventKind::kTxBegin, htm::AbortCause::kNone, 0});
+  tr.record(0, {20, EventKind::kTxCommit, htm::AbortCause::kNone, 0});
+  if (with_trigger_abort) {
+    tr.record(1, {30, EventKind::kTxBegin, htm::AbortCause::kNone, 0});
+    tr.record(1, {40, EventKind::kTxAbort, htm::AbortCause::kConflict, 0});
+  }
+  for (std::size_t w = 1; w <= serialized_windows; ++w) {
+    const sim::Cycles base = static_cast<sim::Cycles>(w) * 100;
+    tr.record(1, {base + 10, EventKind::kLockAcquire, htm::AbortCause::kNone, 0});
+    tr.record(1, {base + 50, EventKind::kLockRelease, htm::AbortCause::kNone, 0});
+  }
+  return tr;
+}
+
+TEST(LemmingDetectorTest, FiresOnSustainedSerializationAfterAbort) {
+  const Timeline tl = Timeline::aggregate(synthetic_trace(true, 5), 100);
+  const stats::LemmingReport rep = stats::detect_lemming(tl);
+  EXPECT_TRUE(rep.fired);
+  EXPECT_EQ(rep.trigger_window, 0u);
+  EXPECT_EQ(rep.first_window, 1u);
+  EXPECT_EQ(rep.run_length, 5u);
+  EXPECT_DOUBLE_EQ(rep.peak_nonspec, 1.0);
+}
+
+TEST(LemmingDetectorTest, NeedsAnAbortAnchor) {
+  // Same serialized tail, but no abort anywhere: sustained non-speculative
+  // execution alone (e.g. the Standard scheme) is not the lemming effect.
+  const Timeline tl = Timeline::aggregate(synthetic_trace(false, 5), 100);
+  EXPECT_FALSE(stats::detect_lemming(tl).fired);
+}
+
+TEST(LemmingDetectorTest, NeedsASustainedRun) {
+  const Timeline tl = Timeline::aggregate(synthetic_trace(true, 2), 100);
+  stats::LemmingConfig cfg;
+  cfg.min_windows = 3;
+  const stats::LemmingReport rep = stats::detect_lemming(tl, cfg);
+  EXPECT_FALSE(rep.fired);
+  EXPECT_EQ(rep.run_length, 2u);
+}
+
+// The paper's core claim, executable (§4 vs §5-6): with a fair lock and an
+// injected conflict, plain HLE collapses into sustained non-speculative
+// execution (the lemming effect) — while SCM conflict management over the
+// same lock, workload, and seed keeps speculation alive, under both the
+// HLE and SLR flavors.
+TEST(LemmingDetectorTest, FiresUnderHleButNotUnderScmWithIdenticalSeeds) {
+  constexpr std::uint64_t kSeed = 12;
+  constexpr int kThreads = 6;
+  constexpr int kOps = 150;
+  constexpr double kSpurious = 1e-3;
+  stats::LemmingConfig cfg;
+  cfg.nonspec_threshold = 0.9;
+  cfg.min_windows = 3;
+  cfg.min_ops_per_window = 2;
+
+  const auto hle =
+      run_counter<locks::MCSLock>(Scheme::kHle, kThreads, kOps, kSeed, kSpurious);
+  const Timeline hle_tl = Timeline::aggregate(hle.events, hle.elapsed / 24 + 1);
+  const stats::LemmingReport hle_rep = stats::detect_lemming(hle_tl, cfg);
+  EXPECT_TRUE(hle_rep.fired)
+      << "plain HLE on MCS should serialize: longest run " << hle_rep.run_length;
+  EXPECT_GT(hle.stats.nonspec_fraction(), 0.9);
+
+  for (Scheme s : {Scheme::kHleScm, Scheme::kSlrScm}) {
+    const auto scm =
+        run_counter<locks::MCSLock>(s, kThreads, kOps, kSeed, kSpurious);
+    const Timeline scm_tl = Timeline::aggregate(scm.events, scm.elapsed / 24 + 1);
+    const stats::LemmingReport scm_rep = stats::detect_lemming(scm_tl, cfg);
+    EXPECT_FALSE(scm_rep.fired)
+        << elision::to_string(s) << " serialized for " << scm_rep.run_length
+        << " windows (peak nonspec " << scm_rep.peak_nonspec << ")";
+    EXPECT_LT(scm.stats.nonspec_fraction(), 0.5) << elision::to_string(s);
+  }
+}
+
+// --- Export / parse round trip ---------------------------------------------
+
+TEST(TraceExportTest, JsonRoundTripReproducesWindowsAndEvents) {
+  const auto run = run_counter<locks::TTASLock>(Scheme::kHleScm, 4, 60, 3, 1e-3);
+  stats::TraceWriter writer;
+  stats::TraceRunMeta meta;
+  meta.label = "unit/hle-scm";
+  meta.scheme = "HLE-SCM";
+  meta.lock = "TTAS";
+  meta.threads = 4;
+  meta.seed = 3;
+  writer.add_run(meta, run.events, 25000, {}, /*include_events=*/true);
+
+  stats::ParsedTrace parsed;
+  std::string error;
+  ASSERT_TRUE(stats::parse_trace_json(writer.json(), parsed, &error)) << error;
+  EXPECT_EQ(parsed.version, 1);
+  ASSERT_EQ(parsed.runs.size(), 1u);
+  const stats::TraceRun& pr = parsed.runs[0];
+  EXPECT_EQ(pr.meta.label, meta.label);
+  EXPECT_EQ(pr.meta.scheme, meta.scheme);
+  EXPECT_EQ(pr.meta.lock, meta.lock);
+  EXPECT_EQ(pr.meta.threads, meta.threads);
+  EXPECT_EQ(pr.meta.seed, meta.seed);
+  EXPECT_EQ(pr.window_cycles, 25000u);
+
+  // Stored windows equal direct aggregation ...
+  const Timeline direct = Timeline::aggregate(run.events, 25000);
+  EXPECT_EQ(pr.timeline(), direct);
+  // ... and re-aggregating the embedded events reproduces them too.
+  ASSERT_TRUE(pr.has_events);
+  const EventTrace rebuilt = stats::rebuild_events(pr);
+  EXPECT_EQ(rebuilt.total_events(), run.events.total_events());
+  EXPECT_EQ(Timeline::aggregate(rebuilt, 25000), direct);
+  // The lemming verdict survives the trip.
+  const stats::LemmingReport direct_rep = stats::detect_lemming(direct);
+  EXPECT_EQ(pr.lemming.fired, direct_rep.fired);
+  EXPECT_EQ(pr.lemming.run_length, direct_rep.run_length);
+  EXPECT_DOUBLE_EQ(pr.lemming.peak_nonspec, direct_rep.peak_nonspec);
+}
+
+TEST(TraceExportTest, ParserRejectsMalformedDocuments) {
+  stats::ParsedTrace parsed;
+  std::string error;
+  EXPECT_FALSE(stats::parse_trace_json("", parsed, &error));
+  EXPECT_FALSE(stats::parse_trace_json("{\"version\":1", parsed, &error));
+  EXPECT_FALSE(stats::parse_trace_json("{\"version\":2,\"runs\":[]}", parsed, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(stats::parse_trace_json(
+      "{\"version\":1,\"runs\":[{\"label\":\"x\"}]}", parsed, &error));
+  EXPECT_TRUE(stats::parse_trace_json("{\"version\":1,\"runs\":[]}", parsed, &error));
+}
+
+TEST(TraceExportTest, CsvExportsAreWellFormed) {
+  const auto run = run_counter<locks::TTASLock>(Scheme::kHle, 2, 20, 7, 0.0);
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  stats::export_events_csv(f, run.events);
+  std::rewind(f);
+  char buf[256];
+  int lines = 0;
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) ++lines;
+  std::fclose(f);
+  EXPECT_EQ(static_cast<std::uint64_t>(lines), 1 + run.events.total_events());
+
+  const Timeline tl = Timeline::aggregate(run.events, run.elapsed / 8 + 1);
+  f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  stats::export_timeline_csv(f, tl);
+  std::rewind(f);
+  lines = 0;
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) ++lines;
+  std::fclose(f);
+  EXPECT_EQ(static_cast<std::size_t>(lines), 1 + tl.size());
+}
+
+}  // namespace
+}  // namespace sihle

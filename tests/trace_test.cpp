@@ -113,6 +113,67 @@ TEST(TxTraceTest, LemmingSignatureVisibleInTrace) {
   EXPECT_GT(trace.count(htm::AbortCause::kConflict), 0u);
 }
 
+// Regression: on_end without a preceding on_begin used to read a stale (or
+// zero) open-begin slot and fabricate an interval.  Pairing is now explicit:
+// the record is flagged unpaired with a zero-length interval, and a normal
+// begin/end afterwards still pairs correctly.
+TEST(TxTraceTest, UnpairedEndIsFlaggedNotFabricated) {
+  stats::TxTrace trace;
+
+  // An end for a thread never seen: no stale slot to read.
+  trace.on_end(0, 500, htm::AbortCause::kConflict);
+  ASSERT_EQ(trace.records().size(), 1u);
+  EXPECT_FALSE(trace.records()[0].paired);
+  EXPECT_EQ(trace.records()[0].begin, 500u);
+  EXPECT_EQ(trace.records()[0].end, 500u);
+  EXPECT_EQ(trace.unpaired_ends(), 1u);
+
+  // A paired attempt consumes its begin ...
+  trace.on_begin(0, 600);
+  EXPECT_TRUE(trace.open(0));
+  trace.on_end(0, 650, htm::AbortCause::kNone);
+  EXPECT_FALSE(trace.open(0));
+  ASSERT_EQ(trace.records().size(), 2u);
+  EXPECT_TRUE(trace.records()[1].paired);
+  EXPECT_EQ(trace.records()[1].begin, 600u);
+
+  // ... so a double end cannot reuse the stale begin from that attempt.
+  trace.on_end(0, 700, htm::AbortCause::kExplicit);
+  ASSERT_EQ(trace.records().size(), 3u);
+  EXPECT_FALSE(trace.records()[2].paired);
+  EXPECT_EQ(trace.records()[2].begin, 700u);
+  EXPECT_EQ(trace.unpaired_ends(), 2u);
+
+  // Other threads' slots are independent.
+  trace.on_begin(3, 800);
+  trace.on_end(3, 900, htm::AbortCause::kCapacity);
+  EXPECT_TRUE(trace.records()[3].paired);
+  EXPECT_EQ(trace.unpaired_ends(), 2u);
+}
+
+TEST(TxTraceTest, InstrumentedRunHasNoUnpairedEnds) {
+  Machine::Config cfg;
+  cfg.seed = 5;
+  cfg.htm.spurious_abort_per_access = 1e-3;
+  Machine m(cfg);
+  stats::TxTrace trace;
+  m.set_tx_trace(&trace);
+  locks::MCSLock lock(m);
+  locks::MCSLock aux(m);
+  Counter cnt(m);
+  std::vector<stats::OpStats> st(4);
+  for (int t = 0; t < 4; ++t) {
+    m.spawn([&, t](Ctx& c) {
+      return worker<locks::MCSLock>(c, Scheme::kSlrScm, lock, aux, cnt, 100,
+                                    st[t]);
+    });
+  }
+  m.run();
+  EXPECT_EQ(trace.unpaired_ends(), 0u);
+  for (std::uint32_t t = 0; t < 4; ++t) EXPECT_FALSE(trace.open(t));
+  for (const auto& r : trace.records()) EXPECT_TRUE(r.paired);
+}
+
 TEST(TxTraceTest, CsvDumpIsWellFormed) {
   Machine m;
   stats::TxTrace trace;

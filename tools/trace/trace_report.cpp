@@ -1,0 +1,190 @@
+// trace_report — reads a trace document exported by the benches
+// (--trace-out=, stats/export.h schema) and prints Figure-2/3-style
+// dynamics summaries per run: the per-window throughput / abort-rate /
+// non-speculative-fraction series, whole-run totals, and the
+// lemming-effect detector's verdict.
+//
+// When the document embeds raw events (--trace-events at export time) the
+// tool can *replay* them: re-bucket at a different window width
+// (--window-cycles=) and cross-check that re-aggregation at the stored
+// width reproduces the stored window series exactly.
+//
+// Usage:
+//   trace_report FILE [--run=SUBSTR] [--window-cycles=N] [--csv]
+//                [--threshold=F] [--min-windows=N] [--min-ops=N]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/cli.h"
+#include "harness/table.h"
+#include "stats/export.h"
+#include "stats/timeline.h"
+
+using namespace sihle;
+using harness::Table;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace_report: cannot open '%s'\n", path.c_str());
+    std::exit(2);
+  }
+  std::string out;
+  char buf[65536];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+void print_run(const stats::TraceRun& run, const stats::Timeline& tl,
+               const stats::LemmingConfig& lemming_cfg, bool replayed) {
+  std::printf("run: %s  (scheme=%s lock=%s threads=%d seed=%llu)\n",
+              run.meta.label.c_str(), run.meta.scheme.c_str(),
+              run.meta.lock.c_str(), run.meta.threads,
+              static_cast<unsigned long long>(run.meta.seed));
+  std::printf("  window: %llu cycles%s",
+              static_cast<unsigned long long>(tl.window_cycles()),
+              replayed ? " (re-bucketed from embedded events)" : "");
+  if (run.dropped_events != 0) {
+    std::printf("  [ring dropped %llu oldest events]",
+                static_cast<unsigned long long>(run.dropped_events));
+  }
+  std::printf("\n");
+
+  const double mean_ops = tl.mean_ops_per_window();
+  Table table({"w", "ops", "norm-thr", "abort-rate", "nonspec-frac", "aux",
+               "lockacq", "bar"});
+  for (std::size_t i = 0; i < tl.size(); ++i) {
+    const stats::Window& w = tl[i];
+    const double norm =
+        mean_ops > 0 ? static_cast<double>(w.ops()) / mean_ops : 0.0;
+    table.row({std::to_string(i), std::to_string(w.ops()), Table::num(norm),
+               Table::num(w.abort_rate(), 3), Table::num(w.nonspec_fraction(), 3),
+               std::to_string(w.aux_acquires), std::to_string(w.lock_acquires),
+               std::string(static_cast<std::size_t>(
+                               w.nonspec_fraction() * 20.0 + 0.5), '#')});
+  }
+  table.print();
+
+  const stats::Window totals = tl.totals();
+  std::printf(
+      "  totals: begins=%llu commits=%llu aborts=%llu nonspec=%llu "
+      "aux=%llu lockacq=%llu  nonspec-frac=%.3f abort-rate=%.3f\n",
+      static_cast<unsigned long long>(totals.begins),
+      static_cast<unsigned long long>(totals.commits),
+      static_cast<unsigned long long>(totals.aborts),
+      static_cast<unsigned long long>(totals.nonspec),
+      static_cast<unsigned long long>(totals.aux_acquires),
+      static_cast<unsigned long long>(totals.lock_acquires),
+      totals.nonspec_fraction(), totals.abort_rate());
+  bool any_cause = false;
+  for (std::size_t c = 0; c < totals.abort_causes.size(); ++c) {
+    if (totals.abort_causes[c] == 0) continue;
+    std::printf("%s%s=%llu", any_cause ? " " : "  abort causes: ",
+                std::string(htm::to_string(static_cast<htm::AbortCause>(c))).c_str(),
+                static_cast<unsigned long long>(totals.abort_causes[c]));
+    any_cause = true;
+  }
+  if (any_cause) std::printf("\n");
+
+  const stats::LemmingReport lem = detect_lemming(tl, lemming_cfg);
+  if (lem.fired) {
+    std::printf(
+        "  LEMMING: fired — %zu consecutive windows >= %.0f%% non-speculative "
+        "starting at window %zu (trigger abort in window %zu, peak %.3f)\n",
+        lem.run_length, lemming_cfg.nonspec_threshold * 100.0, lem.first_window,
+        lem.trigger_window, lem.peak_nonspec);
+  } else {
+    std::printf("  lemming: not fired (longest serialized run %zu window(s), "
+                "peak nonspec %.3f)\n",
+                lem.run_length, lem.peak_nonspec);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::Args args(argc, argv);
+  std::string path = args.get("in", "");
+  for (int i = 1; i < argc && path.empty(); ++i) {
+    if (argv[i][0] != '-') path = argv[i];
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: trace_report FILE [--run=SUBSTR] [--window-cycles=N] "
+                 "[--csv] [--threshold=F] [--min-windows=N] [--min-ops=N]\n");
+    return 2;
+  }
+
+  stats::ParsedTrace doc;
+  std::string error;
+  if (!stats::parse_trace_json(read_file(path), doc, &error)) {
+    std::fprintf(stderr, "trace_report: %s\n", error.c_str());
+    return 2;
+  }
+
+  const std::string run_filter = args.get("run", "");
+  const auto window_override =
+      static_cast<sim::Cycles>(args.get_int("window-cycles", 0));
+  const bool csv = args.has("csv");
+  stats::LemmingConfig lemming_cfg;
+  lemming_cfg.nonspec_threshold =
+      args.get_double("threshold", lemming_cfg.nonspec_threshold);
+  lemming_cfg.min_windows = static_cast<std::size_t>(
+      args.get_int("min-windows", static_cast<long>(lemming_cfg.min_windows)));
+  lemming_cfg.min_ops_per_window = static_cast<std::uint64_t>(
+      args.get_int("min-ops", static_cast<long>(lemming_cfg.min_ops_per_window)));
+
+  int shown = 0;
+  for (const stats::TraceRun& run : doc.runs) {
+    if (!run_filter.empty() &&
+        run.meta.label.find(run_filter) == std::string::npos) {
+      continue;
+    }
+    ++shown;
+    stats::Timeline tl = run.timeline();
+    bool replayed = false;
+    if (run.has_events) {
+      // Replay path: re-aggregate the raw events, verifying the stored
+      // series (at the stored width) before any re-bucketing.
+      const stats::EventTrace events = stats::rebuild_events(run);
+      const stats::Timeline check =
+          stats::Timeline::aggregate(events, run.window_cycles);
+      if (run.dropped_events == 0 && !(check == tl)) {
+        std::fprintf(stderr,
+                     "trace_report: run '%s': stored windows disagree with "
+                     "re-aggregated events\n",
+                     run.meta.label.c_str());
+        return 1;
+      }
+      if (window_override != 0) {
+        tl = stats::Timeline::aggregate(events, window_override);
+        replayed = true;
+      }
+    } else if (window_override != 0) {
+      std::fprintf(stderr,
+                   "trace_report: run '%s' has no embedded events; "
+                   "--window-cycles needs an export made with --trace-events\n",
+                   run.meta.label.c_str());
+      return 1;
+    }
+    if (csv) {
+      std::printf("# %s\n", run.meta.label.c_str());
+      stats::export_timeline_csv(stdout, tl);
+    } else {
+      print_run(run, tl, lemming_cfg, replayed);
+    }
+  }
+  if (shown == 0) {
+    std::fprintf(stderr, "trace_report: no runs matched '%s' (of %zu)\n",
+                 run_filter.c_str(), doc.runs.size());
+    return 1;
+  }
+  return 0;
+}
