@@ -7,12 +7,18 @@
 // schemes' performance."  This bench re-verifies that on the red-black
 // tree, including retry-budget variations.
 //
-// Flags: --threads=N --size=N --updates=PCT --seeds=N --ops=N
+// Runs on the parallel experiment engine (docs/EXPERIMENTS.md) with a
+// custom per-cell run function (each run builds its own Machine); the
+// regression-gate metric is run_cycles, where lower is better.
+//
+// Flags: --threads=N --size=N --updates=PCT --ops=N
+//        --jobs=N --replicates=K --seed=S --out=FILE --baseline=FILE --noise=F
 #include <cstdio>
 #include <vector>
 
 #include "ds/rbtree.h"
 #include "elision/schemes.h"
+#include "exp/harness.h"
 #include "harness/cli.h"
 #include "harness/table.h"
 #include "runtime/ctx.h"
@@ -27,6 +33,7 @@ namespace {
 
 struct Tuning {
   const char* name;
+  const char* key;            // short axis value for cell ids
   elision::ScmFlavor flavor;  // for SCM rows
   bool is_slr;                // SLR rows use run_slr
   int max_retries;
@@ -66,38 +73,35 @@ sim::Task<void> tuned_worker(Ctx& c, const Tuning tuning, Lock& lock,
   }
 }
 
-double run_tuning(const Tuning& tuning, int threads, std::size_t size, int updates,
-                  int ops, int seeds) {
-  double total_time = 0.0;
-  for (int s = 0; s < seeds; ++s) {
-    Machine::Config cfg;
-    cfg.seed = 1 + s;
-    cfg.htm.spurious_abort_per_access = 1e-4;
-    cfg.htm.persistent_abort_per_tx = 2e-3;
-    Machine m(cfg);
-    locks::MCSLock lock(m);
-    locks::MCSLock aux(m);
-    ds::RBTree tree(m);
-    sim::Rng fill(cfg.seed ^ 0xF1F1);
-    std::size_t filled = 0;
-    while (filled < size) {
-      const auto k = static_cast<std::int64_t>(fill.below(2 * size));
-      if (!tree.debug_contains(k)) {
-        tree.debug_insert(k);
-        ++filled;
-      }
+// One full simulated run under one seed; returns the virtual makespan.
+double run_tuning_once(const Tuning& tuning, int threads, std::size_t size,
+                       int updates, int ops, std::uint64_t seed) {
+  Machine::Config cfg;
+  cfg.seed = seed;
+  cfg.htm.spurious_abort_per_access = 1e-4;
+  cfg.htm.persistent_abort_per_tx = 2e-3;
+  Machine m(cfg);
+  locks::MCSLock lock(m);
+  locks::MCSLock aux(m);
+  ds::RBTree tree(m);
+  sim::Rng fill(cfg.seed ^ 0xF1F1);
+  std::size_t filled = 0;
+  while (filled < size) {
+    const auto k = static_cast<std::int64_t>(fill.below(2 * size));
+    if (!tree.debug_contains(k)) {
+      tree.debug_insert(k);
+      ++filled;
     }
-    std::vector<stats::OpStats> st(threads);
-    for (int t = 0; t < threads; ++t) {
-      m.spawn([&, t](Ctx& c) {
-        return tuned_worker<locks::MCSLock>(c, tuning, lock, aux, tree, 2 * size,
-                                            updates, ops, st[t]);
-      });
-    }
-    m.run();
-    total_time += static_cast<double>(m.exec().max_clock());
   }
-  return total_time / seeds;
+  std::vector<stats::OpStats> st(threads);
+  for (int t = 0; t < threads; ++t) {
+    m.spawn([&, t](Ctx& c) {
+      return tuned_worker<locks::MCSLock>(c, tuning, lock, aux, tree, 2 * size,
+                                          updates, ops, st[t]);
+    });
+  }
+  m.run();
+  return static_cast<double>(m.exec().max_clock());
 }
 
 }  // namespace
@@ -105,41 +109,70 @@ double run_tuning(const Tuning& tuning, int threads, std::size_t size, int updat
 int main(int argc, char** argv) {
   Args args(argc, argv);
   harness::apply_analysis_flag(args);
+  exp::RegressOptions regress_defaults;
+  regress_defaults.metric = "run_cycles";
+  regress_defaults.higher_is_better = false;
+  const exp::CliOptions cli = exp::parse_cli(args, 3, regress_defaults);
   const int threads = static_cast<int>(args.get_int("threads", 8));
   const auto size = static_cast<std::size_t>(args.get_int("size", 128));
   const int updates = static_cast<int>(args.get_int("updates", 100));
   const int ops = static_cast<int>(args.get_int("ops", 1200));
-  const int seeds = static_cast<int>(args.get_int("seeds", 3));
+
+  const Tuning scm_tunings[] = {
+      {"HLE-SCM tuned (10 retries, ignore status)", "tuned",
+       elision::ScmFlavor::kHle, false, 10, false},
+      {"HLE-SCM, give up on no-retry status", "honor-status",
+       elision::ScmFlavor::kHle, false, 10, true},
+      {"HLE-SCM, 1 retry", "retries-1", elision::ScmFlavor::kHle, false, 1,
+       false},
+      {"HLE-SCM, 40 retries", "retries-40", elision::ScmFlavor::kHle, false, 40,
+       false},
+  };
+  const Tuning slr_tunings[] = {
+      {"opt SLR tuned (10 retries, honor status)", "tuned",
+       elision::ScmFlavor::kSlr, true, 10, true},
+      {"opt SLR, ignore status (always 10)", "ignore-status",
+       elision::ScmFlavor::kSlr, true, 10, false},
+      {"opt SLR, 1 retry", "retries-1", elision::ScmFlavor::kSlr, true, 1, true},
+      {"opt SLR, 40 retries", "retries-40", elision::ScmFlavor::kSlr, true, 40,
+       true},
+  };
+
+  exp::ExperimentSpec spec;
+  spec.name = "ablation_tuning";
+  spec.replicates = cli.replicates;
+  spec.base_seed = cli.base_seed;
+  auto add_cell = [&](const char* family, const Tuning& t) {
+    exp::Cell cell;
+    cell.axes = {{"family", family}, {"tuning", t.key}};
+    cell.id = exp::axes_id(cell.axes);
+    cell.run = [t, threads, size, updates, ops](std::uint64_t seed) {
+      const double cycles = run_tuning_once(t, threads, size, updates, ops, seed);
+      return exp::MetricList{{"run_cycles", cycles}};
+    };
+    spec.cells.push_back(std::move(cell));
+  };
+  for (const Tuning& t : scm_tunings) add_cell("hle-scm", t);
+  for (const Tuning& t : slr_tunings) add_cell("opt-slr", t);
+
+  const std::vector<exp::CellResult> results =
+      exp::run_experiment(spec, {cli.jobs});
 
   std::printf(
       "Conflict-management tuning ablation (§7): %zu-node tree, %d threads, "
       "%d%% updates, MCS lock; run time relative to each technique's "
-      "paper-tuned configuration (1.00 = tuned, >1 = slower)\n\n",
-      size, threads, updates);
+      "paper-tuned configuration (1.00 = tuned, >1 = slower; %d "
+      "replicate(s)/cell)\n\n",
+      size, threads, updates, spec.replicates);
 
-  const Tuning scm_tunings[] = {
-      {"HLE-SCM tuned (10 retries, ignore status)", elision::ScmFlavor::kHle, false,
-       10, false},
-      {"HLE-SCM, give up on no-retry status", elision::ScmFlavor::kHle, false, 10,
-       true},
-      {"HLE-SCM, 1 retry", elision::ScmFlavor::kHle, false, 1, false},
-      {"HLE-SCM, 40 retries", elision::ScmFlavor::kHle, false, 40, false},
-  };
-  const Tuning slr_tunings[] = {
-      {"opt SLR tuned (10 retries, honor status)", elision::ScmFlavor::kSlr, true,
-       10, true},
-      {"opt SLR, ignore status (always 10)", elision::ScmFlavor::kSlr, true, 10,
-       false},
-      {"opt SLR, 1 retry", elision::ScmFlavor::kSlr, true, 1, true},
-      {"opt SLR, 40 retries", elision::ScmFlavor::kSlr, true, 40, true},
-  };
-
+  std::size_t next = 0;
   for (const auto* family : {&scm_tunings, &slr_tunings}) {
     Table table({"tuning", "relative run time"});
-    const double tuned = run_tuning((*family)[0], threads, size, updates, ops, seeds);
+    const double tuned = results[next].metric_mean("run_cycles");
     for (const Tuning& t : *family) {
-      const double v = run_tuning(t, threads, size, updates, ops, seeds);
-      table.row({t.name, Table::num(v / tuned)});
+      table.row({t.name,
+                 Table::num(results[next].metric_mean("run_cycles") / tuned)});
+      ++next;
     }
     table.print();
     std::printf("\n");
@@ -148,5 +181,5 @@ int main(int argc, char** argv) {
       "Expected: the paper-tuned rows are at or near the minimum of their "
       "family — other options degrade (or at best match) performance, as §7 "
       "reports.\n");
-  return 0;
+  return exp::finish_cli(spec, results, cli);
 }

@@ -3,14 +3,20 @@
 // software scheme's throughput normalized to the plain-HLE version of the
 // same lock (1.0 = plain HLE).
 //
-// Flags: --sizes=... --threads=N --seeds=N --duration-ms=F
+// Runs on the parallel experiment engine (docs/EXPERIMENTS.md): the full
+// (lock × mix × size × scheme) grid is replicated over consecutive seeds
+// and fanned out across host threads, so wall-clock shrinks ~jobs×.
+//
+// Flags: --sizes=... --threads=N --duration-ms=F
+//        --jobs=N --replicates=K --seed=S --out=FILE --baseline=FILE --noise=F
 //
 // Observability: --trace-out=FILE (or SIHLE_TRACE=FILE) exports one
 // first-seed timeline per lock × mix × scheme (plain HLE included), the
-// scheme-contrast companion to the figure's end-of-run averages; see
-// docs/OBSERVABILITY.md.
+// scheme-contrast companion to the figure's end-of-run averages; traced
+// runs execute sequentially on the main thread, after the engine pass.
 #include <cstdio>
 
+#include "exp/harness.h"
 #include "harness/cli.h"
 #include "harness/rbtree_workload.h"
 #include "harness/table.h"
@@ -22,74 +28,92 @@ using harness::Args;
 using harness::Table;
 using harness::WorkloadConfig;
 
+namespace {
+
+struct Mix {
+  const char* name;   // paper's label, used in printed table headings
+  const char* key;    // short axis value, used in cell ids
+  int update_pct;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   Args args(argc, argv);
   harness::apply_analysis_flag(args);
+  const exp::CliOptions cli = exp::parse_cli(args);
   const int threads = static_cast<int>(args.get_int("threads", 8));
-  const int seeds = static_cast<int>(args.get_int("seeds", 3));
   const double duration_ms = args.get_double("duration-ms", 1.2);
 
   std::vector<std::size_t> sizes;
   for (const auto& s : args.get_list("sizes", {})) sizes.push_back(std::stoul(s));
   if (sizes.empty()) sizes = harness::paper_sizes();
 
-  const harness::TraceOptions trace_opts = harness::parse_trace(args);
-  stats::TraceWriter trace_writer;
-  // Scheme-contrast timelines: one traced first-seed run per lock × mix ×
-  // scheme at the sweep's first size (the figure itself averages over seeds).
-  auto run_traced = [&](WorkloadConfig cfg, const char* mix_name) {
-    cfg.seed = 1;
-    stats::EventTrace events;
-    cfg.events = &events;
-    (void)harness::run_rbtree_workload(cfg);
-    stats::TraceRunMeta meta;
-    meta.scheme = elision::to_string(cfg.scheme);
-    meta.lock = locks::to_string(cfg.lock);
-    meta.label = std::string(meta.scheme) + "/" + meta.lock + "/" + mix_name +
-                 "/size=" + harness::size_label(cfg.tree_size);
-    meta.threads = cfg.threads;
-    meta.seed = cfg.seed;
-    trace_writer.add_run(meta, events, trace_opts.window_cycles(cfg.costs), {},
-                         trace_opts.include_events);
-  };
-
-  const elision::Scheme schemes[] = {
+  const elision::Scheme soft_schemes[] = {
       elision::Scheme::kHleRetries, elision::Scheme::kHleScm,
       elision::Scheme::kOptSlr, elision::Scheme::kSlrScm};
+  const Mix mixes[] = {{"Lookups-Only", "0", 0},
+                       {"10% insertion 10% deletion 80% lookups", "20", 20},
+                       {"50% insertion 50% deletion", "100", 100}};
+  const locks::LockKind lock_kinds[] = {locks::LockKind::kTtas,
+                                        locks::LockKind::kMcs};
 
-  struct Mix {
-    const char* name;
-    int update_pct;
+  auto cell_config = [&](locks::LockKind lock, const Mix& mix, std::size_t size,
+                         elision::Scheme scheme) {
+    WorkloadConfig cfg;
+    cfg.threads = threads;
+    cfg.tree_size = size;
+    cfg.update_pct = mix.update_pct;
+    cfg.lock = lock;
+    cfg.scheme = scheme;
+    cfg.duration =
+        static_cast<sim::Cycles>(duration_ms * cfg.costs.cycles_per_ms);
+    return cfg;
   };
-  const Mix mixes[] = {{"Lookups-Only", 0},
-                       {"10% insertion 10% deletion 80% lookups", 20},
-                       {"50% insertion 50% deletion", 100}};
+
+  // Grid order (lock-major, then mix, size, scheme-with-HLE-first) is the
+  // presentation order below and the cell order in the results file.
+  exp::ExperimentSpec spec;
+  spec.name = "fig10";
+  spec.replicates = cli.replicates;
+  spec.base_seed = cli.base_seed;
+  for (locks::LockKind lock : lock_kinds) {
+    for (const Mix& mix : mixes) {
+      for (std::size_t size : sizes) {
+        auto add = [&](elision::Scheme scheme) {
+          exp::add_workload_cell(spec,
+                                 {{"lock", locks::to_string(lock)},
+                                  {"mix", mix.key},
+                                  {"size", harness::size_label(size)},
+                                  {"scheme", elision::to_string(scheme)}},
+                                 cell_config(lock, mix, size, scheme));
+        };
+        add(elision::Scheme::kHle);
+        for (elision::Scheme scheme : soft_schemes) add(scheme);
+      }
+    }
+  }
+
+  const std::vector<exp::CellResult> results =
+      exp::run_experiment(spec, {cli.jobs});
 
   std::printf(
       "Figure 10: software schemes normalized to the plain-HLE version of "
-      "the same lock (%d threads; 1.0 = plain HLE)\n\n",
-      threads);
+      "the same lock (%d threads; 1.0 = plain HLE; %d replicate(s)/cell)\n\n",
+      threads, spec.replicates);
 
-  for (locks::LockKind lock : {locks::LockKind::kTtas, locks::LockKind::kMcs}) {
+  std::size_t next = 0;
+  for (locks::LockKind lock : lock_kinds) {
     for (const Mix& mix : mixes) {
       Table table({"size", "HLE-retries", "HLE-SCM", "opt SLR", "SLR-SCM"});
       for (std::size_t size : sizes) {
-        WorkloadConfig cfg;
-        cfg.threads = threads;
-        cfg.tree_size = size;
-        cfg.update_pct = mix.update_pct;
-        cfg.lock = lock;
-        cfg.duration =
-            static_cast<sim::Cycles>(duration_ms * cfg.costs.cycles_per_ms);
-        cfg.scheme = elision::Scheme::kHle;
-        const double hle = harness::average_throughput(cfg, seeds);
-        if (trace_opts.enabled() && size == sizes.front()) run_traced(cfg, mix.name);
-
+        const double hle = results[next].metric_mean("ops_per_mcycle");
+        ++next;
         std::vector<std::string> row{harness::size_label(size)};
-        for (elision::Scheme scheme : schemes) {
-          cfg.scheme = scheme;
-          row.push_back(Table::num(harness::average_throughput(cfg, seeds) / hle));
-          if (trace_opts.enabled() && size == sizes.front()) run_traced(cfg, mix.name);
+        for (std::size_t s = 0; s < std::size(soft_schemes); ++s) {
+          row.push_back(
+              Table::num(results[next].metric_mean("ops_per_mcycle") / hle));
+          ++next;
         }
         table.row(std::move(row));
       }
@@ -98,6 +122,37 @@ int main(int argc, char** argv) {
       std::printf("\n");
     }
   }
+
+  // Scheme-contrast timelines: one traced first-seed run per lock × mix ×
+  // scheme at the sweep's first size, sequential and main-thread only (the
+  // engine pass above never attaches trace sinks).
+  const harness::TraceOptions trace_opts = harness::parse_trace(args);
+  stats::TraceWriter trace_writer;
+  if (trace_opts.enabled()) {
+    for (locks::LockKind lock : lock_kinds) {
+      for (const Mix& mix : mixes) {
+        auto run_traced = [&](elision::Scheme scheme) {
+          WorkloadConfig cfg = cell_config(lock, mix, sizes.front(), scheme);
+          cfg.seed = 1;
+          stats::EventTrace events;
+          cfg.events = &events;
+          (void)harness::run_rbtree_workload(cfg);
+          stats::TraceRunMeta meta;
+          meta.scheme = elision::to_string(cfg.scheme);
+          meta.lock = locks::to_string(cfg.lock);
+          meta.label = std::string(meta.scheme) + "/" + meta.lock + "/" +
+                       mix.name + "/size=" + harness::size_label(cfg.tree_size);
+          meta.threads = cfg.threads;
+          meta.seed = cfg.seed;
+          trace_writer.add_run(meta, events, trace_opts.window_cycles(cfg.costs),
+                               {}, trace_opts.include_events);
+        };
+        run_traced(elision::Scheme::kHle);
+        for (elision::Scheme scheme : soft_schemes) run_traced(scheme);
+      }
+    }
+  }
+
   std::printf(
       "Paper shape: TTAS lookups-only — no scheme improves on plain HLE.  "
       "TTAS with updates — up to ~3.5x gains, HLE-SCM strongest on short "
@@ -105,5 +160,5 @@ int main(int argc, char** argv) {
       "aborts alone lemming plain HLE), while HLE-retries fails to help "
       "under load.\n");
   harness::finish_trace(trace_opts, trace_writer);
-  return 0;
+  return exp::finish_cli(spec, results, cli);
 }

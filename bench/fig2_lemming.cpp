@@ -4,16 +4,23 @@
 // of operations completing non-speculatively, and (for TTAS) the fraction
 // of arrivals that found the lock held.
 //
-// Flags: --sizes=2,8,... --threads=N --updates=PCT --seeds=N
-//        --duration-ms=F --locks=ttas,mcs,eticket,eclh
+// Runs on the parallel experiment engine (docs/EXPERIMENTS.md): each
+// (lock × size × {HLE, Standard}) cell is replicated over consecutive
+// seeds and fanned out across host threads.
+//
+// Flags: --sizes=2,8,... --threads=N --updates=PCT --duration-ms=F
+//        --locks=ttas,mcs,eticket,eclh
+//        --jobs=N --replicates=K --seed=S --out=FILE --baseline=FILE --noise=F
 //
 // Observability: --trace-out=FILE (or SIHLE_TRACE=FILE) exports a
-// time-sliced JSON timeline of every first-seed HLE run (one labelled run
-// per lock × size), including the lemming-effect detector's verdict;
-// --trace-window-ms= sets the window width and --trace-events embeds the
-// raw event stream for tools/trace/trace_report replay.
+// time-sliced JSON timeline of one first-seed HLE run per lock × size,
+// including the lemming-effect detector's verdict; --trace-window-ms= sets
+// the window width and --trace-events embeds the raw event stream for
+// tools/trace/trace_report replay.  Traced runs execute sequentially on the
+// main thread, after the engine pass.
 #include <cstdio>
 
+#include "exp/harness.h"
 #include "harness/cli.h"
 #include "harness/rbtree_workload.h"
 #include "harness/table.h"
@@ -28,78 +35,111 @@ using harness::WorkloadConfig;
 int main(int argc, char** argv) {
   Args args(argc, argv);
   harness::apply_analysis_flag(args);
+  const exp::CliOptions cli = exp::parse_cli(args);
   const int threads = static_cast<int>(args.get_int("threads", 8));
   const int updates = static_cast<int>(args.get_int("updates", 20));
-  const int seeds = static_cast<int>(args.get_int("seeds", 3));
   const double duration_ms = args.get_double("duration-ms", 1.2);
-  const harness::TraceOptions trace_opts = harness::parse_trace(args);
-  stats::TraceWriter trace_writer;
 
   std::vector<std::size_t> sizes;
   for (const auto& s : args.get_list("sizes", {})) sizes.push_back(std::stoul(s));
   if (sizes.empty()) sizes = harness::paper_sizes();
+  const std::vector<std::string> lock_names =
+      args.get_list("locks", {"ttas", "mcs"});
+
+  auto cell_config = [&](locks::LockKind lock, std::size_t size,
+                         elision::Scheme scheme) {
+    WorkloadConfig cfg;
+    cfg.threads = threads;
+    cfg.tree_size = size;
+    cfg.update_pct = updates;
+    cfg.lock = lock;
+    cfg.scheme = scheme;
+    cfg.duration =
+        static_cast<sim::Cycles>(duration_ms * cfg.costs.cycles_per_ms);
+    return cfg;
+  };
+
+  exp::ExperimentSpec spec;
+  spec.name = "fig2";
+  spec.replicates = cli.replicates;
+  spec.base_seed = cli.base_seed;
+  for (const auto& lock_name : lock_names) {
+    const locks::LockKind lock = harness::parse_lock(lock_name);
+    for (std::size_t size : sizes) {
+      for (elision::Scheme scheme :
+           {elision::Scheme::kHle, elision::Scheme::kStandard}) {
+        exp::add_workload_cell(spec,
+                               {{"lock", locks::to_string(lock)},
+                                {"size", harness::size_label(size)},
+                                {"scheme", elision::to_string(scheme)}},
+                               cell_config(lock, size, scheme));
+      }
+    }
+  }
+
+  const std::vector<exp::CellResult> results =
+      exp::run_experiment(spec, {cli.jobs});
 
   std::printf(
       "Figure 2: lemming effect under HLE (%d threads, %d%%/%d%%/%d%% "
-      "insert/delete/lookup)\n\n",
-      threads, updates / 2, updates / 2, 100 - updates);
+      "insert/delete/lookup; %d replicate(s)/cell)\n\n",
+      threads, updates / 2, updates / 2, 100 - updates, spec.replicates);
 
-  for (const auto& lock_name : args.get_list("locks", {"ttas", "mcs"})) {
+  std::size_t next = 0;
+  for (const auto& lock_name : lock_names) {
     const locks::LockKind lock = harness::parse_lock(lock_name);
     Table table({"size", "speedup(HLE/std)", "attempts/op", "nonspec-frac",
                  "arrive-lock-held"});
     for (std::size_t size : sizes) {
-      WorkloadConfig cfg;
-      cfg.threads = threads;
-      cfg.tree_size = size;
-      cfg.update_pct = updates;
-      cfg.lock = lock;
-      cfg.duration = static_cast<sim::Cycles>(duration_ms * cfg.costs.cycles_per_ms);
-
-      double hle_thr = 0.0;
-      double std_thr = 0.0;
-      stats::OpStats hle_stats;
-      for (int s = 0; s < seeds; ++s) {
-        cfg.seed = 1 + s;
-        cfg.scheme = elision::Scheme::kHle;
-        // Trace the first-seed HLE run of each lock × size configuration.
-        stats::EventTrace events;
-        cfg.events = trace_opts.enabled() && s == 0 ? &events : nullptr;
-        auto hle = harness::run_rbtree_workload(cfg);
-        if (cfg.events != nullptr) {
-          stats::TraceRunMeta meta;
-          meta.label = std::string("hle/") + locks::to_string(lock) +
-                       "/size=" + harness::size_label(size);
-          meta.scheme = elision::to_string(cfg.scheme);
-          meta.lock = locks::to_string(lock);
-          meta.threads = threads;
-          meta.seed = cfg.seed;
-          trace_writer.add_run(meta, events,
-                               trace_opts.window_cycles(cfg.costs), {},
-                               trace_opts.include_events);
-        }
-        cfg.events = nullptr;
-        hle_thr += hle.ops_per_mcycle;
-        hle_stats += hle.stats;
-        cfg.scheme = elision::Scheme::kStandard;
-        std_thr += harness::run_rbtree_workload(cfg).ops_per_mcycle;
-      }
-      table.row({harness::size_label(size), Table::num(hle_thr / std_thr),
-                 Table::num(hle_stats.attempts_per_op()),
-                 Table::num(hle_stats.nonspec_fraction(), 3),
+      const exp::CellResult& hle = results[next];
+      const exp::CellResult& std_lock = results[next + 1];
+      next += 2;
+      const double speedup = hle.metric_mean("ops_per_mcycle") /
+                             std_lock.metric_mean("ops_per_mcycle");
+      table.row({harness::size_label(size), Table::num(speedup),
+                 Table::num(hle.metric_mean("attempts_per_op")),
+                 Table::num(hle.metric_mean("nonspec_fraction"), 3),
                  lock == locks::LockKind::kTtas
-                     ? Table::num(hle_stats.arrival_lock_held_fraction(), 3)
+                     ? Table::num(
+                           hle.metric_mean("arrival_lock_held_fraction"), 3)
                      : std::string("-")});
     }
     std::printf("HLE %s lock:\n", locks::to_string(lock));
     table.print();
     std::printf("\n");
   }
+
+  // Lemming timelines: one traced first-seed HLE run per lock × size,
+  // sequential and main-thread only (engine runs never attach trace sinks).
+  const harness::TraceOptions trace_opts = harness::parse_trace(args);
+  stats::TraceWriter trace_writer;
+  if (trace_opts.enabled()) {
+    for (const auto& lock_name : lock_names) {
+      const locks::LockKind lock = harness::parse_lock(lock_name);
+      for (std::size_t size : sizes) {
+        WorkloadConfig cfg = cell_config(lock, size, elision::Scheme::kHle);
+        cfg.seed = cli.base_seed;
+        stats::EventTrace events;
+        cfg.events = &events;
+        (void)harness::run_rbtree_workload(cfg);
+        stats::TraceRunMeta meta;
+        meta.label = std::string("hle/") + locks::to_string(lock) +
+                     "/size=" + harness::size_label(size);
+        meta.scheme = elision::to_string(cfg.scheme);
+        meta.lock = locks::to_string(lock);
+        meta.threads = threads;
+        meta.seed = cfg.seed;
+        trace_writer.add_run(meta, events, trace_opts.window_cycles(cfg.costs),
+                             {}, trace_opts.include_events);
+      }
+    }
+  }
+
   std::printf(
       "Paper shape: HLE-MCS completes virtually all operations "
       "non-speculatively at every size (speedup ~1); HLE-TTAS recovers, "
       "needing 2-3.5 attempts/op at small sizes with a 30-70%% speculative "
       "fraction, and approaches full speculation on large trees.\n");
   harness::finish_trace(trace_opts, trace_writer);
-  return 0;
+  return exp::finish_cli(spec, results, cli);
 }

@@ -2,11 +2,16 @@
 // contention": speedup of all six schemes at 1, 2, 4 and 8 threads,
 // normalized to a single thread with no locking.
 //
-// Flags: --size=N --updates=PCT --seeds=N --duration-ms=F
+// Runs on the parallel experiment engine (docs/EXPERIMENTS.md): every
+// (scheme × lock × threads) cell is replicated over consecutive seeds and
+// fanned out across host threads.
+//
+// Flags: --size=N --updates=PCT --duration-ms=F
+//        --jobs=N --replicates=K --seed=S --out=FILE --baseline=FILE --noise=F
 #include <cstdio>
 
+#include "exp/harness.h"
 #include "harness/cli.h"
-#include "harness/rbtree_workload.h"
 #include "harness/table.h"
 
 using namespace sihle;
@@ -17,40 +22,65 @@ using harness::WorkloadConfig;
 int main(int argc, char** argv) {
   Args args(argc, argv);
   harness::apply_analysis_flag(args);
+  const exp::CliOptions cli = exp::parse_cli(args);
   const std::size_t size = static_cast<std::size_t>(args.get_int("size", 128));
   const int updates = static_cast<int>(args.get_int("updates", 20));
-  const int seeds = static_cast<int>(args.get_int("seeds", 3));
   const double duration_ms = args.get_double("duration-ms", 1.2);
-
-  std::printf(
-      "Figure 9: scheme scaling on a %zu-node tree, %d%% updates; speedup "
-      "normalized to 1 thread with no locking\n\n",
-      size, updates);
 
   WorkloadConfig base;
   base.tree_size = size;
   base.update_pct = updates;
   base.duration = static_cast<sim::Cycles>(duration_ms * base.costs.cycles_per_ms);
 
-  // Baseline: single thread, no locking.
-  double nolock = 0.0;
+  exp::ExperimentSpec spec;
+  spec.name = "fig9";
+  spec.replicates = cli.replicates;
+  spec.base_seed = cli.base_seed;
+
+  // Normalization baseline: single thread, no locking.
   {
     WorkloadConfig cfg = base;
     cfg.threads = 1;
     cfg.scheme = elision::Scheme::kNoLock;
-    nolock = harness::average_throughput(cfg, seeds);
+    exp::add_workload_cell(spec, {{"scheme", "NoLock"}, {"threads", "1"}}, cfg);
   }
-
-  for (locks::LockKind lock : {locks::LockKind::kTtas, locks::LockKind::kMcs}) {
-    Table table({"scheme", "1", "2", "4", "8"});
+  const locks::LockKind lock_kinds[] = {locks::LockKind::kTtas,
+                                        locks::LockKind::kMcs};
+  for (locks::LockKind lock : lock_kinds) {
     for (elision::Scheme scheme : elision::kAllSchemes) {
-      std::vector<std::string> row{elision::to_string(scheme)};
       for (int threads : {1, 2, 4, 8}) {
         WorkloadConfig cfg = base;
         cfg.lock = lock;
         cfg.scheme = scheme;
         cfg.threads = threads;
-        row.push_back(Table::num(harness::average_throughput(cfg, seeds) / nolock));
+        exp::add_workload_cell(spec,
+                               {{"scheme", elision::to_string(scheme)},
+                                {"lock", locks::to_string(lock)},
+                                {"threads", std::to_string(threads)}},
+                               cfg);
+      }
+    }
+  }
+
+  const std::vector<exp::CellResult> results =
+      exp::run_experiment(spec, {cli.jobs});
+
+  std::printf(
+      "Figure 9: scheme scaling on a %zu-node tree, %d%% updates; speedup "
+      "normalized to 1 thread with no locking (%d replicate(s)/cell)\n\n",
+      size, updates, spec.replicates);
+
+  const double nolock = results[0].metric_mean("ops_per_mcycle");
+  std::size_t next = 1;  // cells were appended in table order
+  for (locks::LockKind lock : lock_kinds) {
+    Table table({"scheme", "1", "2", "4", "8"});
+    for (elision::Scheme scheme : elision::kAllSchemes) {
+      std::vector<std::string> row{elision::to_string(scheme)};
+      for (int threads : {1, 2, 4, 8}) {
+        (void)threads;
+        row.push_back(
+            Table::num(results[next].metric_mean("ops_per_mcycle") / nolock));
+        ++next;
       }
       table.row(std::move(row));
     }
@@ -63,5 +93,5 @@ int main(int argc, char** argv) {
       "threads; HLE-retries rescues TTAS but not MCS at 8 threads; the "
       "software-assisted schemes (HLE-SCM, opt SLR, SLR-SCM) scale with the "
       "thread count on both locks, closing the MCS/TTAS gap.\n");
-  return 0;
+  return exp::finish_cli(spec, results, cli);
 }

@@ -1,0 +1,133 @@
+#include "exp/engine.h"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace sihle::exp {
+
+namespace {
+
+struct RunSlot {
+  std::size_t cell = 0;
+  int replicate = 0;
+};
+
+// Per-worker deque: the owner pops from the front, thieves steal from the
+// back.  No task ever spawns another task, so a worker may exit as soon as
+// one full scan over every queue comes up empty.
+class StealQueue {
+ public:
+  void push(RunSlot t) {
+    std::lock_guard<std::mutex> g(mu_);
+    q_.push_back(t);
+  }
+  bool pop_front(RunSlot& t) {
+    std::lock_guard<std::mutex> g(mu_);
+    if (q_.empty()) return false;
+    t = q_.front();
+    q_.pop_front();
+    return true;
+  }
+  bool steal_back(RunSlot& t) {
+    std::lock_guard<std::mutex> g(mu_);
+    if (q_.empty()) return false;
+    t = q_.back();
+    q_.pop_back();
+    return true;
+  }
+
+ private:
+  std::mutex mu_;
+  std::deque<RunSlot> q_;
+};
+
+}  // namespace
+
+int resolve_jobs(int jobs) {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+Replicates CellResult::metric(std::string_view name) const {
+  Replicates out;
+  for (const MetricList& sample : samples) {
+    for (const auto& [k, v] : sample) {
+      if (k == name) {
+        out.add(v);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<CellResult> run_experiment(const ExperimentSpec& spec,
+                                       const EngineOptions& opt) {
+  std::vector<CellResult> out(spec.cells.size());
+  const int reps = std::max(spec.replicates, 1);
+  for (std::size_t i = 0; i < spec.cells.size(); ++i) {
+    out[i].id = spec.cells[i].id;
+    out[i].axes = spec.cells[i].axes;
+    out[i].samples.resize(static_cast<std::size_t>(reps));
+  }
+
+  const auto execute = [&](const RunSlot& t) {
+    const std::uint64_t seed =
+        spec.base_seed + static_cast<std::uint64_t>(t.replicate);
+    out[t.cell].samples[static_cast<std::size_t>(t.replicate)] =
+        spec.cells[t.cell].run(seed);
+  };
+
+  const int jobs = resolve_jobs(opt.jobs);
+  if (jobs <= 1) {
+    for (std::size_t c = 0; c < spec.cells.size(); ++c) {
+      for (int r = 0; r < reps; ++r) execute({c, r});
+    }
+    return out;
+  }
+
+  // Deal runs round-robin across the worker queues, replicate-major so one
+  // cell's replicates land on different workers (cells within a grid can
+  // differ in cost by orders of magnitude; spreading replicates narrows the
+  // tail).
+  std::vector<StealQueue> queues(static_cast<std::size_t>(jobs));
+  std::size_t next = 0;
+  for (int r = 0; r < reps; ++r) {
+    for (std::size_t c = 0; c < spec.cells.size(); ++c) {
+      queues[next % queues.size()].push({c, r});
+      ++next;
+    }
+  }
+
+  auto worker = [&](std::size_t me) {
+    RunSlot t;
+    for (;;) {
+      if (queues[me].pop_front(t)) {
+        execute(t);
+        continue;
+      }
+      bool stole = false;
+      for (std::size_t i = 1; i < queues.size(); ++i) {
+        if (queues[(me + i) % queues.size()].steal_back(t)) {
+          stole = true;
+          break;
+        }
+      }
+      if (!stole) return;  // every queue empty and no producer exists
+      execute(t);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) {
+    pool.emplace_back(worker, static_cast<std::size_t>(w));
+  }
+  for (auto& th : pool) th.join();
+  return out;
+}
+
+}  // namespace sihle::exp

@@ -1,0 +1,42 @@
+// Parallel experiment engine: fans the independent (cell, replicate) runs
+// of an ExperimentSpec out across a work-stealing pool of host threads.
+//
+// Determinism contract: the result of run_experiment() is a pure function
+// of the spec — every run writes into its pre-assigned (cell, replicate)
+// slot, so the output is byte-for-byte independent of the job count and of
+// host-thread interleaving (tests/exp_engine_test.cpp locks this in).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "exp/replicates.h"
+#include "exp/spec.h"
+
+namespace sihle::exp {
+
+struct EngineOptions {
+  // Host threads to fan runs across; 0 = one per hardware thread, 1 = run
+  // inline on the calling thread (no pool).
+  int jobs = 0;
+};
+
+// 0 → std::thread::hardware_concurrency() (at least 1).
+int resolve_jobs(int jobs);
+
+struct CellResult {
+  std::string id;
+  AxisList axes;
+  std::vector<MetricList> samples;  // [replicate] → ordered (name, value)
+
+  // All replicate values of one named metric, in replicate order.
+  Replicates metric(std::string_view name) const;
+  double metric_mean(std::string_view name) const { return metric(name).mean(); }
+};
+
+// Executes every (cell, replicate) pair; replicate r runs with seed
+// base_seed + r.  Results are ordered exactly like spec.cells.
+std::vector<CellResult> run_experiment(const ExperimentSpec& spec,
+                                       const EngineOptions& opt = {});
+
+}  // namespace sihle::exp

@@ -1,0 +1,86 @@
+// Shared CLI surface for engine-backed benches (docs/EXPERIMENTS.md):
+//
+//   --jobs=N          host threads for the run fan-out (0 = one per core)
+//   --replicates=K    seeds per cell (alias: --seeds, the pre-engine flag)
+//   --seed=S          base seed (replicate r runs with seed S + r)
+//   --out=FILE        write the versioned results JSON
+//   --baseline=FILE   diff this run against a committed BENCH_*.json and
+//                     exit nonzero on regression (exp/regress.h)
+//   --noise=F         relative noise threshold for the regression gate
+//
+// Typical bench main():
+//
+//   exp::CliOptions cli = exp::parse_cli(args);
+//   exp::ExperimentSpec spec = build_spec(...);
+//   spec.replicates = cli.replicates;
+//   spec.base_seed = cli.base_seed;
+//   auto results = exp::run_experiment(spec, {cli.jobs});
+//   ... print tables from `results` ...
+//   return exp::finish_cli(spec, results, cli);
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exp/engine.h"
+#include "exp/regress.h"
+#include "exp/results.h"
+#include "harness/cli.h"
+
+namespace sihle::exp {
+
+struct CliOptions {
+  int jobs = 0;  // 0 = auto (hardware concurrency)
+  int replicates = 3;
+  std::uint64_t base_seed = 1;
+  std::string out_path;       // empty = no results export
+  std::string baseline_path;  // empty = no regression gate
+  RegressOptions regress;     // metric/direction defaults set per bench
+};
+
+inline CliOptions parse_cli(const harness::Args& args,
+                            int default_replicates = 3,
+                            const RegressOptions& regress_defaults = {}) {
+  CliOptions cli;
+  cli.regress = regress_defaults;
+  cli.jobs = static_cast<int>(args.get_int("jobs", 0));
+  // --seeds is the historical spelling of the replication count; keep it
+  // working so existing invocations keep their meaning.
+  cli.replicates = static_cast<int>(
+      args.get_int("replicates", args.get_int("seeds", default_replicates)));
+  if (cli.replicates < 1) cli.replicates = 1;
+  cli.base_seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  cli.out_path = args.get("out", "");
+  cli.baseline_path = args.get("baseline", "");
+  cli.regress.noise_rel = args.get_double("noise", cli.regress.noise_rel);
+  return cli;
+}
+
+// Post-run bookkeeping: exports --out and runs the --baseline gate.
+// Returns the process exit code: 0 on success (including gate warnings),
+// 1 on regression, 2 when a requested file cannot be written or read.
+inline int finish_cli(const ExperimentSpec& spec,
+                      const std::vector<CellResult>& results,
+                      const CliOptions& cli) {
+  const ExperimentDoc doc = make_doc(spec, results);
+  if (!cli.out_path.empty()) {
+    if (!write_results_file(doc, cli.out_path)) return 2;
+    std::fprintf(stderr, "results: wrote %zu cell(s) to %s\n", doc.cells.size(),
+                 cli.out_path.c_str());
+  }
+  if (!cli.baseline_path.empty()) {
+    ExperimentDoc baseline;
+    std::string error;
+    if (!load_results_file(cli.baseline_path, baseline, &error)) {
+      std::fprintf(stderr, "baseline: %s\n", error.c_str());
+      return 2;
+    }
+    const RegressReport report = compare_results(baseline, doc, cli.regress);
+    print_report(stderr, report, cli.regress);
+    if (!report.ok()) return 1;
+  }
+  return 0;
+}
+
+}  // namespace sihle::exp

@@ -1,0 +1,109 @@
+#include "exp/regress.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sihle::exp {
+
+namespace {
+
+bool intervals_overlap(const SummaryStats& a, const SummaryStats& b) {
+  return a.ci_lo <= b.ci_hi && b.ci_lo <= a.ci_hi;
+}
+
+CellComparison compare_cell(const CellRecord& base, const CellRecord* cand,
+                            const RegressOptions& opt) {
+  CellComparison out;
+  out.id = base.id;
+  if (cand == nullptr) {
+    out.verdict = Verdict::kWarnMissingCell;
+    out.note = "cell missing from candidate";
+    return out;
+  }
+  const MetricRecord* bm = base.find_metric(opt.metric);
+  if (bm == nullptr) {
+    // The baseline itself lacks the gated metric; nothing to compare.
+    out.verdict = Verdict::kWarnMissingMetric;
+    out.note = "metric '" + opt.metric + "' missing from baseline cell";
+    return out;
+  }
+  const MetricRecord* cm = cand->find_metric(opt.metric);
+  if (cm == nullptr) {
+    out.verdict = Verdict::kWarnMissingMetric;
+    out.note = "metric '" + opt.metric + "' missing from candidate cell";
+    return out;
+  }
+
+  out.baseline_mean = bm->stats.mean;
+  out.candidate_mean = cm->stats.mean;
+  out.ratio = bm->stats.mean != 0.0 ? cm->stats.mean / bm->stats.mean : 1.0;
+
+  const double scale = std::max(std::abs(bm->stats.mean), std::abs(cm->stats.mean));
+  const double delta = cm->stats.mean - bm->stats.mean;
+  const double rel = scale != 0.0 ? std::abs(delta) / scale : 0.0;
+  const bool worse = opt.higher_is_better ? delta < 0.0 : delta > 0.0;
+  const bool separated = !intervals_overlap(bm->stats, cm->stats);
+  const bool beyond_noise = rel > opt.noise_rel;
+
+  if (worse && separated && beyond_noise) {
+    out.verdict = Verdict::kRegressed;
+    return out;
+  }
+  if (!worse && separated && beyond_noise) {
+    out.verdict = Verdict::kImproved;
+    return out;
+  }
+  const double widen_floor = opt.noise_rel * std::abs(cm->stats.mean);
+  if (cm->stats.ci_width() >
+          opt.ci_widen_factor * std::max(bm->stats.ci_width(), 1e-300) &&
+      cm->stats.ci_width() > widen_floor) {
+    out.verdict = Verdict::kWarnWidenedCi;
+    out.note = "candidate CI much wider than baseline";
+    return out;
+  }
+  out.verdict = Verdict::kPass;
+  return out;
+}
+
+}  // namespace
+
+RegressReport compare_results(const ExperimentDoc& baseline,
+                              const ExperimentDoc& candidate,
+                              const RegressOptions& opt) {
+  RegressReport report;
+  report.cells.reserve(baseline.cells.size());
+  for (const CellRecord& base : baseline.cells) {
+    CellComparison c = compare_cell(base, candidate.find_cell(base.id), opt);
+    switch (c.verdict) {
+      case Verdict::kPass: report.passes++; break;
+      case Verdict::kImproved: report.improvements++; break;
+      case Verdict::kRegressed: report.regressions++; break;
+      default: report.warnings++; break;
+    }
+    report.cells.push_back(std::move(c));
+  }
+  return report;
+}
+
+void print_report(std::FILE* out, const RegressReport& report,
+                  const RegressOptions& opt, bool verbose) {
+  for (const CellComparison& c : report.cells) {
+    if (!verbose && c.verdict == Verdict::kPass) continue;
+    if (c.note.empty()) {
+      std::fprintf(out, "%-18s %s  %.4g -> %.4g (x%.3f)\n",
+                   to_string(c.verdict), c.id.c_str(), c.baseline_mean,
+                   c.candidate_mean, c.ratio);
+    } else {
+      std::fprintf(out, "%-18s %s  %s\n", to_string(c.verdict), c.id.c_str(),
+                   c.note.c_str());
+    }
+  }
+  std::fprintf(out,
+               "bench_regress: metric=%s cells=%zu pass=%zu improved=%zu "
+               "warn=%zu regressed=%zu => %s\n",
+               opt.metric.c_str(), report.cells.size(), report.passes,
+               report.improvements, report.warnings, report.regressions,
+               report.ok() ? "OK" : "REGRESSION");
+}
+
+}  // namespace sihle::exp

@@ -1,0 +1,87 @@
+// Benchmark-regression gate logic: compares a candidate results document
+// against a committed baseline, cell by cell, with CI-overlap reasoning.
+//
+// A cell regresses only when all three hold for the gated metric:
+//   1. the candidate mean is on the *worse* side of the baseline mean,
+//   2. the 95% confidence intervals do not overlap, and
+//   3. the relative delta exceeds the noise threshold.
+// A worse mean with overlapping CIs (or within noise) is measurement
+// jitter, not a regression.  Structural mismatches — a baseline cell or
+// metric the candidate lacks — and a candidate CI much wider than the
+// baseline's are *warnings*: they don't fail the gate but are printed so a
+// grid change or a noisy host can't silently pass as "no regression".
+//
+// tools/bench/bench_regress is the CLI wrapper; the logic lives here so
+// tests/bench_regress_test.cpp can unit-test it on crafted documents.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exp/results.h"
+
+namespace sihle::exp {
+
+struct RegressOptions {
+  std::string metric = "ops_per_mcycle";
+  bool higher_is_better = true;
+  // Relative mean delta below this is noise regardless of CI separation.
+  double noise_rel = 0.05;
+  // Candidate CI wider than this multiple of the baseline CI (and wider
+  // than noise_rel × |mean|) draws a widened-CI warning.
+  double ci_widen_factor = 4.0;
+};
+
+enum class Verdict {
+  kPass,           // within noise or CIs overlap
+  kImproved,       // significantly better — passes, reported for visibility
+  kWarnWidenedCi,  // candidate much noisier than baseline
+  kWarnMissingCell,
+  kWarnMissingMetric,
+  kRegressed,
+};
+
+constexpr const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kPass: return "pass";
+    case Verdict::kImproved: return "improved";
+    case Verdict::kWarnWidenedCi: return "warn-widened-ci";
+    case Verdict::kWarnMissingCell: return "warn-missing-cell";
+    case Verdict::kWarnMissingMetric: return "warn-missing-metric";
+    case Verdict::kRegressed: return "REGRESSED";
+  }
+  return "?";
+}
+
+struct CellComparison {
+  std::string id;
+  Verdict verdict = Verdict::kPass;
+  double baseline_mean = 0.0;
+  double candidate_mean = 0.0;
+  double ratio = 1.0;  // candidate / baseline (1.0 when baseline is 0)
+  std::string note;
+};
+
+struct RegressReport {
+  std::vector<CellComparison> cells;
+  std::size_t passes = 0;
+  std::size_t improvements = 0;
+  std::size_t warnings = 0;
+  std::size_t regressions = 0;
+
+  bool ok() const { return regressions == 0; }
+};
+
+// Walks every baseline cell (baseline is the contract; candidate-only cells
+// are ignored) and classifies the gated metric.
+RegressReport compare_results(const ExperimentDoc& baseline,
+                              const ExperimentDoc& candidate,
+                              const RegressOptions& opt = {});
+
+// Human-readable report: one line per non-pass cell plus a summary line.
+// `verbose` prints every cell.
+void print_report(std::FILE* out, const RegressReport& report,
+                  const RegressOptions& opt, bool verbose = false);
+
+}  // namespace sihle::exp

@@ -1,0 +1,134 @@
+// Replicate statistics for the experiment engine (docs/EXPERIMENTS.md).
+//
+// Every cell of an experiment grid is run K times with consecutive seeds;
+// this module turns the K per-seed samples into the summary the results
+// schema stores: mean, median, sample stddev, min/max, and a bootstrap 95%
+// confidence interval of the mean.  The bootstrap uses the repo's own
+// deterministic Rng with a fixed seed, so identical samples always produce
+// identical intervals — a requirement for byte-reproducible results files.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace sihle::exp {
+
+// Fixed bootstrap seed: the interval is a pure function of the samples.
+inline constexpr std::uint64_t kBootstrapSeed = 0x51BE5EEDULL;
+inline constexpr int kBootstrapResamples = 2000;
+
+struct SummaryStats {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;  // sample (n-1) standard deviation; 0 when n < 2
+  double min = 0.0;
+  double max = 0.0;
+  double ci_lo = 0.0;  // bootstrap 95% CI of the mean
+  double ci_hi = 0.0;
+
+  double ci_width() const { return ci_hi - ci_lo; }
+};
+
+class Replicates {
+ public:
+  Replicates() = default;
+  explicit Replicates(std::vector<double> samples) : samples_(std::move(samples)) {}
+
+  void add(double v) { samples_.push_back(v); }
+  // Ref-qualified so `cell.metric("x").samples()` (a temporary) can't hand
+  // out a dangling reference — the rvalue overload returns by value.
+  const std::vector<double>& samples() const& { return samples_; }
+  std::vector<double> samples() && { return std::move(samples_); }
+  std::size_t size() const { return samples_.size(); }
+
+  double mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double v : samples_) s += v;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  double median() const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t n = sorted.size();
+    return n % 2 == 1 ? sorted[n / 2] : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  }
+
+  double stddev() const {
+    const std::size_t n = samples_.size();
+    if (n < 2) return 0.0;
+    const double m = mean();
+    double ss = 0.0;
+    for (double v : samples_) ss += (v - m) * (v - m);
+    return std::sqrt(ss / static_cast<double>(n - 1));
+  }
+
+  // Minimum over the first k samples (all samples when k >= n); the
+  // "min-of-k" estimator is monotone non-increasing in k by construction.
+  double min_of(std::size_t k) const {
+    if (samples_.empty() || k == 0) return 0.0;
+    k = std::min(k, samples_.size());
+    double m = samples_[0];
+    for (std::size_t i = 1; i < k; ++i) m = std::min(m, samples_[i]);
+    return m;
+  }
+
+  // Percentile-bootstrap 95% CI of the mean.  Deterministic: resampling
+  // uses sim::Rng(seed), so the same samples give the same interval.
+  // Degenerate inputs collapse cleanly: n <= 1 or constant samples give a
+  // zero-width interval at the mean.
+  void bootstrap_ci(double& lo, double& hi, int resamples = kBootstrapResamples,
+                    std::uint64_t seed = kBootstrapSeed) const {
+    const std::size_t n = samples_.size();
+    if (n == 0) {
+      lo = hi = 0.0;
+      return;
+    }
+    if (n == 1) {
+      lo = hi = samples_[0];
+      return;
+    }
+    sim::Rng rng(seed);
+    std::vector<double> means;
+    means.reserve(static_cast<std::size_t>(resamples));
+    for (int r = 0; r < resamples; ++r) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        s += samples_[rng.below(n)];
+      }
+      means.push_back(s / static_cast<double>(n));
+    }
+    std::sort(means.begin(), means.end());
+    const auto idx = [&](double q) {
+      const auto i = static_cast<std::size_t>(q * static_cast<double>(means.size() - 1));
+      return means[i];
+    };
+    lo = idx(0.025);
+    hi = idx(0.975);
+  }
+
+  SummaryStats summarize() const {
+    SummaryStats s;
+    s.n = samples_.size();
+    if (s.n == 0) return s;
+    s.mean = mean();
+    s.median = median();
+    s.stddev = stddev();
+    s.min = *std::min_element(samples_.begin(), samples_.end());
+    s.max = *std::max_element(samples_.begin(), samples_.end());
+    bootstrap_ci(s.ci_lo, s.ci_hi);
+    return s;
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace sihle::exp

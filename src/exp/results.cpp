@@ -1,0 +1,250 @@
+#include "exp/results.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "stats/json.h"
+
+namespace sihle::exp {
+
+using stats::json::append_double;
+using stats::json::append_escaped;
+using stats::json::append_u64;
+using stats::json::JsonParser;
+using stats::json::JValue;
+
+const MetricRecord* CellRecord::find_metric(std::string_view name) const {
+  for (const auto& [k, v] : metrics) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+const CellRecord* ExperimentDoc::find_cell(std::string_view id) const {
+  for (const CellRecord& c : cells) {
+    if (c.id == id) return &c;
+  }
+  return nullptr;
+}
+
+ExperimentDoc make_doc(const ExperimentSpec& spec,
+                       const std::vector<CellResult>& results) {
+  ExperimentDoc doc;
+  doc.experiment = spec.name;
+  doc.replicates = spec.replicates;
+  doc.base_seed = spec.base_seed;
+  doc.cells.reserve(results.size());
+  for (const CellResult& r : results) {
+    CellRecord cell;
+    cell.id = r.id;
+    cell.axes = r.axes;
+    // Metric order follows the first replicate's MetricList; every
+    // replicate of a cell runs the same code, so the lists agree.
+    if (!r.samples.empty()) {
+      for (const auto& [name, unused] : r.samples.front()) {
+        (void)unused;
+        MetricRecord rec;
+        const Replicates reps = r.metric(name);
+        rec.samples = reps.samples();
+        rec.stats = reps.summarize();
+        cell.metrics.emplace_back(name, std::move(rec));
+      }
+    }
+    doc.cells.push_back(std::move(cell));
+  }
+  return doc;
+}
+
+namespace {
+
+void append_metric(std::string& out, const MetricRecord& m) {
+  out += "{\"samples\":[";
+  for (std::size_t i = 0; i < m.samples.size(); ++i) {
+    if (i != 0) out += ',';
+    append_double(out, m.samples[i]);
+  }
+  out += "],\"mean\":";
+  append_double(out, m.stats.mean);
+  out += ",\"median\":";
+  append_double(out, m.stats.median);
+  out += ",\"stddev\":";
+  append_double(out, m.stats.stddev);
+  out += ",\"min\":";
+  append_double(out, m.stats.min);
+  out += ",\"max\":";
+  append_double(out, m.stats.max);
+  out += ",\"ci95\":[";
+  append_double(out, m.stats.ci_lo);
+  out += ',';
+  append_double(out, m.stats.ci_hi);
+  out += "]}";
+}
+
+void append_cell(std::string& out, const CellRecord& cell) {
+  out += "{\"id\":";
+  append_escaped(out, cell.id);
+  out += ",\"axes\":{";
+  for (std::size_t i = 0; i < cell.axes.size(); ++i) {
+    if (i != 0) out += ',';
+    append_escaped(out, cell.axes[i].first);
+    out += ':';
+    append_escaped(out, cell.axes[i].second);
+  }
+  out += "},\"metrics\":{";
+  for (std::size_t i = 0; i < cell.metrics.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "\n      ";
+    append_escaped(out, cell.metrics[i].first);
+    out += ':';
+    append_metric(out, cell.metrics[i].second);
+  }
+  out += "}}";
+}
+
+bool parse_metric(const JValue& jm, MetricRecord& m, std::string* error) {
+  if (jm.kind != JValue::Kind::kObject) {
+    if (error != nullptr) *error = "metric is not an object";
+    return false;
+  }
+  const JValue* samples = jm.find("samples");
+  if (samples == nullptr || samples->kind != JValue::Kind::kArray) {
+    if (error != nullptr) *error = "metric has no samples array";
+    return false;
+  }
+  for (const JValue& v : samples->array) m.samples.push_back(v.number);
+  m.stats.n = m.samples.size();
+  auto num = [&](std::string_view key) {
+    const JValue* v = jm.find(key);
+    return v != nullptr ? v->number : 0.0;
+  };
+  m.stats.mean = num("mean");
+  m.stats.median = num("median");
+  m.stats.stddev = num("stddev");
+  m.stats.min = num("min");
+  m.stats.max = num("max");
+  if (const JValue* ci = jm.find("ci95");
+      ci != nullptr && ci->kind == JValue::Kind::kArray && ci->array.size() == 2) {
+    m.stats.ci_lo = ci->array[0].number;
+    m.stats.ci_hi = ci->array[1].number;
+  }
+  return true;
+}
+
+bool parse_cell(const JValue& jc, CellRecord& cell, std::string* error) {
+  if (jc.kind != JValue::Kind::kObject) {
+    if (error != nullptr) *error = "cell is not an object";
+    return false;
+  }
+  const JValue* id = jc.find("id");
+  if (id == nullptr || id->kind != JValue::Kind::kString) {
+    if (error != nullptr) *error = "cell has no id";
+    return false;
+  }
+  cell.id = id->string;
+  if (const JValue* axes = jc.find("axes");
+      axes != nullptr && axes->kind == JValue::Kind::kObject) {
+    for (const auto& [k, v] : axes->object) {
+      if (v.kind == JValue::Kind::kString) cell.axes.emplace_back(k, v.string);
+    }
+  }
+  if (const JValue* metrics = jc.find("metrics");
+      metrics != nullptr && metrics->kind == JValue::Kind::kObject) {
+    for (const auto& [name, jm] : metrics->object) {
+      MetricRecord rec;
+      if (!parse_metric(jm, rec, error)) return false;
+      cell.metrics.emplace_back(name, std::move(rec));
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string results_json(const ExperimentDoc& doc) {
+  std::string out = "{\"version\":1,\"kind\":\"sihle-results\",\"experiment\":";
+  append_escaped(out, doc.experiment);
+  out += ",\"replicates\":";
+  append_u64(out, static_cast<std::uint64_t>(doc.replicates));
+  out += ",\"base_seed\":";
+  append_u64(out, doc.base_seed);
+  out += ",\"cells\":[";
+  for (std::size_t i = 0; i < doc.cells.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "\n  ";
+    append_cell(out, doc.cells[i]);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_results_file(const ExperimentDoc& doc, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "results export: cannot open '%s' for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const std::string text = results_json(doc);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+bool parse_results_json(std::string_view text, ExperimentDoc& out,
+                        std::string* error) {
+  JValue root;
+  JsonParser parser(text);
+  if (!parser.parse(root, error)) return false;
+  if (root.kind != JValue::Kind::kObject) {
+    if (error != nullptr) *error = "top level is not an object";
+    return false;
+  }
+  const JValue* version = root.find("version");
+  out.version = version != nullptr ? static_cast<int>(version->u64_or(0)) : 0;
+  if (out.version != 1) {
+    if (error != nullptr) {
+      *error = "unsupported results version " + std::to_string(out.version);
+    }
+    return false;
+  }
+  const JValue* kind = root.find("kind");
+  if (kind == nullptr || kind->string != "sihle-results") {
+    if (error != nullptr) *error = "document kind is not sihle-results";
+    return false;
+  }
+  const JValue* experiment = root.find("experiment");
+  if (experiment != nullptr) out.experiment = experiment->string;
+  const JValue* replicates = root.find("replicates");
+  if (replicates != nullptr) {
+    out.replicates = static_cast<int>(replicates->u64_or(0));
+  }
+  const JValue* base_seed = root.find("base_seed");
+  if (base_seed != nullptr) out.base_seed = base_seed->u64_or(1);
+  const JValue* cells = root.find("cells");
+  if (cells == nullptr || cells->kind != JValue::Kind::kArray) {
+    if (error != nullptr) *error = "document has no cells array";
+    return false;
+  }
+  out.cells.resize(cells->array.size());
+  for (std::size_t i = 0; i < cells->array.size(); ++i) {
+    if (!parse_cell(cells->array[i], out.cells[i], error)) return false;
+  }
+  return true;
+}
+
+bool load_results_file(const std::string& path, ExperimentDoc& out,
+                       std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return parse_results_json(text, out, error);
+}
+
+}  // namespace sihle::exp

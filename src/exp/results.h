@@ -1,0 +1,78 @@
+// Versioned experiment-results interchange: the JSON document produced by
+// every engine-backed bench (--out=FILE), committed as the BENCH_*.json
+// perf baselines, and diffed by tools/bench/bench_regress.
+//
+// Schema ("version": 1, "kind": "sihle-results"):
+//
+//   {
+//     "version": 1,
+//     "kind": "sihle-results",
+//     "experiment": "fig9",
+//     "replicates": 3,
+//     "base_seed": 1,
+//     "cells": [
+//       { "id": "scheme=HLE/lock=MCS/threads=8",
+//         "axes": { "scheme": "HLE", "lock": "MCS", "threads": "8" },
+//         "metrics": {
+//           "ops_per_mcycle": {
+//             "samples": [ 12.1, 12.3, 12.0 ],
+//             "mean": 12.13, "median": 12.1, "stddev": 0.15,
+//             "min": 12.0, "max": 12.3, "ci95": [ 12.0, 12.3 ] } } } ] }
+//
+// Doubles are emitted with %.17g so parse(serialize(doc)) round-trips
+// exactly and a re-run of a deterministic grid reproduces the file byte for
+// byte.  Unknown keys are ignored on parse so the schema can grow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exp/engine.h"
+#include "exp/replicates.h"
+
+namespace sihle::exp {
+
+struct MetricRecord {
+  std::vector<double> samples;
+  SummaryStats stats;
+};
+
+struct CellRecord {
+  std::string id;
+  AxisList axes;
+  std::vector<std::pair<std::string, MetricRecord>> metrics;
+
+  const MetricRecord* find_metric(std::string_view name) const;
+};
+
+struct ExperimentDoc {
+  int version = 1;
+  std::string experiment;
+  int replicates = 0;
+  std::uint64_t base_seed = 1;
+  std::vector<CellRecord> cells;
+
+  const CellRecord* find_cell(std::string_view id) const;
+};
+
+// Summarizes engine output into a document (stats recomputed from the
+// per-replicate samples; deterministic — see exp/replicates.h).
+ExperimentDoc make_doc(const ExperimentSpec& spec,
+                       const std::vector<CellResult>& results);
+
+std::string results_json(const ExperimentDoc& doc);
+// Returns false (and prints to stderr) if the file cannot be opened.
+bool write_results_file(const ExperimentDoc& doc, const std::string& path);
+
+// Parses a version-1 results document; returns false and fills `error`
+// (when non-null) on malformed input.
+bool parse_results_json(std::string_view text, ExperimentDoc& out,
+                        std::string* error = nullptr);
+// Reads and parses `path`; returns false and fills `error` on IO or parse
+// failure.
+bool load_results_file(const std::string& path, ExperimentDoc& out,
+                       std::string* error = nullptr);
+
+}  // namespace sihle::exp

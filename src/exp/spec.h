@@ -1,0 +1,94 @@
+// ExperimentSpec: a declarative grid of independent simulation runs.
+//
+// A spec is a list of cells; each cell is one point of a (scheme × lock ×
+// threads × workload-knob) grid plus a run function mapping a 64-bit seed
+// to a list of named metric values.  The engine (exp/engine.h) executes
+// every (cell, replicate) pair — replicate r uses seed base_seed + r —
+// across a pool of host threads; because each run builds its own Machine,
+// Rng, and trace sinks, runs share no mutable state and the grid is
+// embarrassingly parallel.
+//
+// Cells are identified by a stable id string derived from their axes; the
+// id is the join key for baseline comparison (exp/regress.h), so axis names
+// and value spellings are part of the results-schema contract.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/rbtree_workload.h"
+
+namespace sihle::exp {
+
+// Ordered (name, value) pairs — insertion order is presentation order.
+using MetricList = std::vector<std::pair<std::string, double>>;
+using AxisList = std::vector<std::pair<std::string, std::string>>;
+
+// Must be a pure function of the seed (no shared mutable state): the
+// engine calls it from arbitrary host threads in arbitrary order.
+using RunFn = std::function<MetricList(std::uint64_t seed)>;
+
+struct Cell {
+  std::string id;  // unique within the spec; derived from axes by axes_id()
+  AxisList axes;
+  RunFn run;
+};
+
+struct ExperimentSpec {
+  std::string name;  // e.g. "fig9", "fig10", "ablation_tuning"
+  int replicates = 3;
+  std::uint64_t base_seed = 1;
+  std::vector<Cell> cells;
+};
+
+// "scheme=HLE/lock=MCS/threads=8" — stable, readable, order-preserving.
+inline std::string axes_id(const AxisList& axes) {
+  std::string id;
+  for (const auto& [k, v] : axes) {
+    if (!id.empty()) id += '/';
+    id += k;
+    id += '=';
+    id += v;
+  }
+  return id;
+}
+
+// The standard metric set exported for data-structure workload cells.
+inline MetricList workload_metrics(const harness::WorkloadResult& r) {
+  return {
+      {"ops_per_mcycle", r.ops_per_mcycle},
+      {"nonspec_fraction", r.stats.nonspec_fraction()},
+      {"attempts_per_op", r.stats.attempts_per_op()},
+      {"arrival_lock_held_fraction", r.stats.arrival_lock_held_fraction()},
+      {"valid", r.tree_valid ? 1.0 : 0.0},
+  };
+}
+
+// RunFn over the shared data-structure workload driver.  Captures the
+// config by value; the per-replicate seed overrides cfg.seed, and any
+// caller-attached trace sinks are detached (engine runs are measurement
+// runs — tracing designated runs stays a sequential, main-thread affair).
+inline RunFn workload_run(harness::WorkloadConfig cfg) {
+  cfg.trace = nullptr;
+  cfg.events = nullptr;
+  return [cfg](std::uint64_t seed) {
+    harness::WorkloadConfig c = cfg;
+    c.seed = seed;
+    return workload_metrics(harness::run_rbtree_workload(c));
+  };
+}
+
+// Convenience: append a workload cell with the given axes.
+inline void add_workload_cell(ExperimentSpec& spec, AxisList axes,
+                              const harness::WorkloadConfig& cfg) {
+  Cell cell;
+  cell.id = axes_id(axes);
+  cell.axes = std::move(axes);
+  cell.run = workload_run(cfg);
+  spec.cells.push_back(std::move(cell));
+}
+
+}  // namespace sihle::exp

@@ -75,8 +75,11 @@ inline std::vector<std::size_t> paper_sizes() {
   return {2, 8, 32, 128, 512, 2048, 8192, 32768, 131072, 524288};
 }
 
-inline const char* size_label(std::size_t s) {
-  static thread_local char buf[16];
+// Returns by value: bench code may label cells from several experiment-engine
+// worker threads at once, so there must be no shared (or even thread-local
+// pointer-returning) buffer here.
+inline std::string size_label(std::size_t s) {
+  char buf[24];
   if (s >= 1024 && s % 1024 == 0) {
     std::snprintf(buf, sizeof(buf), "%zuK", s / 1024);
   } else {
@@ -101,7 +104,9 @@ inline locks::LockKind parse_lock(const std::string& s) {
 // Applies --analysis=off|on|fatal process-wide by exporting SIHLE_ANALYSIS,
 // which every WorkloadConfig / Machine::Config default reads — benches build
 // configs deep inside sweep loops, so a single flag at startup covers all of
-// them.
+// them.  Must run before any experiment-engine worker threads start:
+// setenv() concurrent with the getenv() in analysis::config_from_env() is a
+// data race, so the environment is frozen before the fan-out begins.
 inline void apply_analysis_flag(const Args& args) {
   const std::string v = args.get("analysis", "");
   if (!v.empty()) ::setenv("SIHLE_ANALYSIS", v.c_str(), 1);

@@ -5,46 +5,18 @@
 #include <cstdlib>
 #include <utility>
 
+#include "stats/json.h"
+
 namespace sihle::stats {
 
 namespace {
 
-// --- JSON writing ----------------------------------------------------------
-
-void append_escaped(std::string& out, std::string_view s) {
-  out += '"';
-  for (char ch : s) {
-    switch (ch) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
-          out += buf;
-        } else {
-          out += ch;
-        }
-    }
-  }
-  out += '"';
-}
-
-void append_u64(std::string& out, std::uint64_t v) {
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
-  out += buf;
-}
-
-// Doubles round-trip exactly with %.17g; the only double in the schema is
-// peak_nonspec, but exactness keeps parse(export(x)) == x testable.
-void append_double(std::string& out, double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  out += buf;
-}
+// JSON primitives shared with the experiment-results format (exp/results.cpp).
+using json::append_double;
+using json::append_escaped;
+using json::append_u64;
+using json::JsonParser;
+using json::JValue;
 
 void append_window(std::string& out, const Window& w) {
   out += "{\"start\":";
@@ -128,208 +100,6 @@ void append_run(std::string& out, const TraceRun& run) {
   }
   out += '}';
 }
-
-// --- JSON parsing ----------------------------------------------------------
-//
-// Minimal recursive-descent parser for the subset the writer emits (no
-// unicode escapes beyond \uXXXX pass-through, no nesting past what the
-// schema needs).  Self-contained: the repo bakes in no JSON dependency.
-
-struct JValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::uint64_t integer = 0;  // valid when the token had no '.', 'e', '-'
-  bool is_integer = false;
-  std::string string;
-  std::vector<JValue> array;
-  std::vector<std::pair<std::string, JValue>> object;
-
-  const JValue* find(std::string_view key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-  std::uint64_t u64_or(std::uint64_t def) const {
-    return kind == Kind::kNumber && is_integer ? integer : def;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : s_(text) {}
-
-  bool parse(JValue& out, std::string* error) {
-    skip_ws();
-    if (!value(out)) {
-      if (error != nullptr) {
-        *error = "trace JSON parse error at offset " + std::to_string(pos_) +
-                 ": " + err_;
-      }
-      return false;
-    }
-    skip_ws();
-    if (pos_ != s_.size()) {
-      if (error != nullptr) *error = "trailing characters after JSON document";
-      return false;
-    }
-    return true;
-  }
-
- private:
-  bool fail(const char* msg) {
-    if (err_.empty()) err_ = msg;
-    return false;
-  }
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-  bool consume(char c) {
-    skip_ws();
-    if (pos_ < s_.size() && s_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-  bool literal(std::string_view lit) {
-    if (s_.substr(pos_, lit.size()) == lit) {
-      pos_ += lit.size();
-      return true;
-    }
-    return false;
-  }
-
-  bool value(JValue& out) {
-    skip_ws();
-    if (pos_ >= s_.size()) return fail("unexpected end of input");
-    const char c = s_[pos_];
-    if (c == '{') return object(out);
-    if (c == '[') return array(out);
-    if (c == '"') {
-      out.kind = JValue::Kind::kString;
-      return string(out.string);
-    }
-    if (literal("true")) {
-      out.kind = JValue::Kind::kBool;
-      out.boolean = true;
-      return true;
-    }
-    if (literal("false")) {
-      out.kind = JValue::Kind::kBool;
-      out.boolean = false;
-      return true;
-    }
-    if (literal("null")) {
-      out.kind = JValue::Kind::kNull;
-      return true;
-    }
-    return number(out);
-  }
-
-  bool string(std::string& out) {
-    if (!consume('"')) return fail("expected string");
-    out.clear();
-    while (pos_ < s_.size()) {
-      const char c = s_[pos_++];
-      if (c == '"') return true;
-      if (c == '\\') {
-        if (pos_ >= s_.size()) return fail("bad escape");
-        const char e = s_[pos_++];
-        switch (e) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'r': out += '\r'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'u': {
-            if (pos_ + 4 > s_.size()) return fail("bad \\u escape");
-            const unsigned long cp =
-                std::strtoul(std::string(s_.substr(pos_, 4)).c_str(), nullptr, 16);
-            pos_ += 4;
-            // Writer only emits \u00XX control escapes; keep it byte-wide.
-            out += static_cast<char>(cp & 0xFF);
-            break;
-          }
-          default: return fail("unknown escape");
-        }
-      } else {
-        out += c;
-      }
-    }
-    return fail("unterminated string");
-  }
-
-  bool number(JValue& out) {
-    const std::size_t start = pos_;
-    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
-    bool integral = true;
-    while (pos_ < s_.size()) {
-      const char c = s_[pos_];
-      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
-        ++pos_;
-      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
-        integral = false;
-        ++pos_;
-      } else {
-        break;
-      }
-    }
-    if (pos_ == start) return fail("expected value");
-    const std::string tok(s_.substr(start, pos_ - start));
-    out.kind = JValue::Kind::kNumber;
-    out.number = std::strtod(tok.c_str(), nullptr);
-    out.is_integer = integral && tok[0] != '-';
-    if (out.is_integer) out.integer = std::strtoull(tok.c_str(), nullptr, 10);
-    return true;
-  }
-
-  bool array(JValue& out) {
-    if (!consume('[')) return fail("expected array");
-    out.kind = JValue::Kind::kArray;
-    skip_ws();
-    if (consume(']')) return true;
-    for (;;) {
-      JValue v;
-      if (!value(v)) return false;
-      out.array.push_back(std::move(v));
-      if (consume(',')) continue;
-      if (consume(']')) return true;
-      return fail("expected ',' or ']' in array");
-    }
-  }
-
-  bool object(JValue& out) {
-    if (!consume('{')) return fail("expected object");
-    out.kind = JValue::Kind::kObject;
-    skip_ws();
-    if (consume('}')) return true;
-    for (;;) {
-      skip_ws();
-      std::string key;
-      if (!string(key)) return false;
-      if (!consume(':')) return fail("expected ':' in object");
-      JValue v;
-      if (!value(v)) return false;
-      out.object.emplace_back(std::move(key), std::move(v));
-      if (consume(',')) continue;
-      if (consume('}')) return true;
-      return fail("expected ',' or '}' in object");
-    }
-  }
-
-  std::string_view s_;
-  std::size_t pos_ = 0;
-  std::string err_;
-};
 
 bool parse_window(const JValue& jw, Window& w, std::string* error) {
   if (jw.kind != JValue::Kind::kObject) {

@@ -1,0 +1,171 @@
+// Unit tests for the benchmark-regression gate logic (src/exp/regress.h):
+// crafted baseline/candidate pairs that must pass (CI overlap / within
+// noise), must fail (clear regression), and must warn (widened CI, missing
+// cell or metric).  Runs under the `regress` ctest label.
+#include <gtest/gtest.h>
+
+#include "exp/regress.h"
+#include "exp/results.h"
+
+namespace sihle {
+namespace {
+
+exp::CellRecord make_cell(const std::string& id, const std::string& metric,
+                          double mean, double half_width) {
+  exp::CellRecord cell;
+  cell.id = id;
+  exp::MetricRecord m;
+  m.samples = {mean - half_width, mean, mean + half_width};
+  m.stats.n = 3;
+  m.stats.mean = mean;
+  m.stats.median = mean;
+  m.stats.min = mean - half_width;
+  m.stats.max = mean + half_width;
+  m.stats.ci_lo = mean - half_width;
+  m.stats.ci_hi = mean + half_width;
+  cell.metrics.emplace_back(metric, std::move(m));
+  return cell;
+}
+
+exp::ExperimentDoc doc_with(std::vector<exp::CellRecord> cells) {
+  exp::ExperimentDoc doc;
+  doc.experiment = "test";
+  doc.replicates = 3;
+  doc.cells = std::move(cells);
+  return doc;
+}
+
+TEST(BenchRegress, IdenticalDocumentsPass) {
+  const auto doc = doc_with({make_cell("a", "ops_per_mcycle", 100.0, 1.0),
+                             make_cell("b", "ops_per_mcycle", 50.0, 0.5)});
+  const exp::RegressReport report = exp::compare_results(doc, doc);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.passes, 2u);
+  EXPECT_EQ(report.regressions, 0u);
+  EXPECT_EQ(report.cells[0].verdict, exp::Verdict::kPass);
+  EXPECT_DOUBLE_EQ(report.cells[0].ratio, 1.0);
+}
+
+TEST(BenchRegress, ClearRegressionFails) {
+  const auto base = doc_with({make_cell("a", "ops_per_mcycle", 100.0, 1.0)});
+  const auto cand = doc_with({make_cell("a", "ops_per_mcycle", 70.0, 1.0)});
+  const exp::RegressReport report = exp::compare_results(base, cand);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.regressions, 1u);
+  EXPECT_EQ(report.cells[0].verdict, exp::Verdict::kRegressed);
+  EXPECT_NEAR(report.cells[0].ratio, 0.7, 1e-12);
+}
+
+TEST(BenchRegress, WorseMeanWithCiOverlapPasses) {
+  // Candidate mean is 10% lower but its CI reaches back into the
+  // baseline's: measurement jitter, not a regression.
+  const auto base = doc_with({make_cell("a", "ops_per_mcycle", 100.0, 5.0)});
+  const auto cand = doc_with({make_cell("a", "ops_per_mcycle", 90.0, 6.0)});
+  const exp::RegressReport report = exp::compare_results(base, cand);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.cells[0].verdict, exp::Verdict::kPass);
+}
+
+TEST(BenchRegress, SmallSeparatedDeltaWithinNoisePasses) {
+  // CIs are disjoint but the relative delta (3%) is below the 5% noise
+  // threshold — deterministic runs produce razor-thin CIs, so the noise
+  // floor is what keeps tiny shifts from failing the gate.
+  const auto base = doc_with({make_cell("a", "ops_per_mcycle", 100.0, 0.1)});
+  const auto cand = doc_with({make_cell("a", "ops_per_mcycle", 97.0, 0.1)});
+  const exp::RegressReport report = exp::compare_results(base, cand);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.cells[0].verdict, exp::Verdict::kPass);
+}
+
+TEST(BenchRegress, SignificantImprovementPassesAndIsReported) {
+  const auto base = doc_with({make_cell("a", "ops_per_mcycle", 100.0, 1.0)});
+  const auto cand = doc_with({make_cell("a", "ops_per_mcycle", 130.0, 1.0)});
+  const exp::RegressReport report = exp::compare_results(base, cand);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.improvements, 1u);
+  EXPECT_EQ(report.cells[0].verdict, exp::Verdict::kImproved);
+}
+
+TEST(BenchRegress, MissingCellWarnsButPasses) {
+  const auto base = doc_with({make_cell("a", "ops_per_mcycle", 100.0, 1.0),
+                              make_cell("gone", "ops_per_mcycle", 10.0, 0.1)});
+  const auto cand = doc_with({make_cell("a", "ops_per_mcycle", 100.0, 1.0)});
+  const exp::RegressReport report = exp::compare_results(base, cand);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.warnings, 1u);
+  EXPECT_EQ(report.cells[1].verdict, exp::Verdict::kWarnMissingCell);
+}
+
+TEST(BenchRegress, MissingMetricWarnsButPasses) {
+  const auto base = doc_with({make_cell("a", "ops_per_mcycle", 100.0, 1.0)});
+  const auto cand = doc_with({make_cell("a", "other_metric", 100.0, 1.0)});
+  const exp::RegressReport report = exp::compare_results(base, cand);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.warnings, 1u);
+  EXPECT_EQ(report.cells[0].verdict, exp::Verdict::kWarnMissingMetric);
+}
+
+TEST(BenchRegress, WidenedCandidateCiWarnsButPasses) {
+  // Same mean, but the candidate interval ballooned: the host got noisy.
+  const auto base = doc_with({make_cell("a", "ops_per_mcycle", 100.0, 0.5)});
+  const auto cand = doc_with({make_cell("a", "ops_per_mcycle", 100.0, 20.0)});
+  const exp::RegressReport report = exp::compare_results(base, cand);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.warnings, 1u);
+  EXPECT_EQ(report.cells[0].verdict, exp::Verdict::kWarnWidenedCi);
+}
+
+TEST(BenchRegress, LowerIsBetterFlipsTheDirection) {
+  exp::RegressOptions opt;
+  opt.metric = "run_cycles";
+  opt.higher_is_better = false;
+  const auto base = doc_with({make_cell("a", "run_cycles", 1000.0, 10.0)});
+  const auto slower = doc_with({make_cell("a", "run_cycles", 1400.0, 10.0)});
+  const auto faster = doc_with({make_cell("a", "run_cycles", 700.0, 10.0)});
+  EXPECT_FALSE(exp::compare_results(base, slower, opt).ok());
+  const exp::RegressReport improved = exp::compare_results(base, faster, opt);
+  EXPECT_TRUE(improved.ok());
+  EXPECT_EQ(improved.cells[0].verdict, exp::Verdict::kImproved);
+}
+
+TEST(BenchRegress, NoiseThresholdIsConfigurable) {
+  const auto base = doc_with({make_cell("a", "ops_per_mcycle", 100.0, 0.1)});
+  const auto cand = doc_with({make_cell("a", "ops_per_mcycle", 97.0, 0.1)});
+  exp::RegressOptions strict;
+  strict.noise_rel = 0.01;
+  EXPECT_FALSE(exp::compare_results(base, cand, strict).ok());
+  exp::RegressOptions lax;
+  lax.noise_rel = 0.10;
+  EXPECT_TRUE(exp::compare_results(base, cand, lax).ok());
+}
+
+TEST(BenchRegress, ZeroBaselineMeanDoesNotDivide) {
+  const auto base = doc_with({make_cell("a", "ops_per_mcycle", 0.0, 0.0)});
+  const auto cand = doc_with({make_cell("a", "ops_per_mcycle", 0.0, 0.0)});
+  const exp::RegressReport report = exp::compare_results(base, cand);
+  EXPECT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report.cells[0].ratio, 1.0);
+}
+
+// End-to-end through the serialized schema: what bench_regress (the CLI)
+// actually does — parse two documents, compare, report.
+TEST(BenchRegress, RoundTripThroughJsonPreservesVerdicts) {
+  const auto base = doc_with({make_cell("a", "ops_per_mcycle", 100.0, 1.0),
+                              make_cell("b", "ops_per_mcycle", 50.0, 0.5)});
+  auto cand = doc_with({make_cell("a", "ops_per_mcycle", 60.0, 1.0),
+                        make_cell("b", "ops_per_mcycle", 50.0, 0.5)});
+  exp::ExperimentDoc base_parsed;
+  exp::ExperimentDoc cand_parsed;
+  std::string error;
+  ASSERT_TRUE(exp::parse_results_json(exp::results_json(base), base_parsed, &error))
+      << error;
+  ASSERT_TRUE(exp::parse_results_json(exp::results_json(cand), cand_parsed, &error))
+      << error;
+  const exp::RegressReport report = exp::compare_results(base_parsed, cand_parsed);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.regressions, 1u);
+  EXPECT_EQ(report.passes, 1u);
+}
+
+}  // namespace
+}  // namespace sihle

@@ -1,0 +1,163 @@
+// Determinism and concurrency-safety suite for the parallel experiment
+// engine (src/exp/engine.h).
+//
+// The engine's contract is that results — and therefore the exported
+// results JSON — are a pure function of the spec: byte-identical whether
+// the grid runs on 1 host thread or 8, and regardless of host-thread
+// interleaving.  The concurrent-engines test doubles as the ThreadSanitizer
+// target proving two engine jobs can run at once (CI builds this test with
+// SIHLE_SANITIZE=thread; see .github/workflows/ci.yml).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "exp/engine.h"
+#include "exp/harness.h"
+#include "exp/results.h"
+#include "exp/spec.h"
+
+namespace sihle {
+namespace {
+
+// Small but real workload grid: all six paper schemes on both paper locks.
+exp::ExperimentSpec six_scheme_spec(int replicates) {
+  exp::ExperimentSpec spec;
+  spec.name = "engine-test";
+  spec.replicates = replicates;
+  spec.base_seed = 1;
+  for (locks::LockKind lock : {locks::LockKind::kTtas, locks::LockKind::kMcs}) {
+    for (elision::Scheme scheme : elision::kAllSchemes) {
+      harness::WorkloadConfig cfg;
+      cfg.threads = 4;
+      cfg.tree_size = 32;
+      cfg.update_pct = 20;
+      cfg.lock = lock;
+      cfg.scheme = scheme;
+      cfg.duration = static_cast<sim::Cycles>(0.2 * cfg.costs.cycles_per_ms);
+      exp::add_workload_cell(spec,
+                             {{"scheme", elision::to_string(scheme)},
+                              {"lock", locks::to_string(lock)}},
+                             cfg);
+    }
+  }
+  return spec;
+}
+
+std::string run_to_json(const exp::ExperimentSpec& spec, int jobs) {
+  return exp::results_json(
+      exp::make_doc(spec, exp::run_experiment(spec, {jobs})));
+}
+
+TEST(ExpEngine, SameSeedByteIdenticalAcrossJobCounts) {
+  const exp::ExperimentSpec spec = six_scheme_spec(2);
+  const std::string sequential = run_to_json(spec, 1);
+  const std::string parallel8 = run_to_json(spec, 8);
+  EXPECT_EQ(sequential, parallel8);
+  // And regardless of interleaving: a second parallel run matches too.
+  EXPECT_EQ(parallel8, run_to_json(spec, 8));
+  // Odd job counts exercise uneven round-robin dealing.
+  EXPECT_EQ(sequential, run_to_json(spec, 3));
+}
+
+TEST(ExpEngine, DifferentSeedsProduceDifferentResults) {
+  exp::ExperimentSpec spec = six_scheme_spec(1);
+  const std::string a = run_to_json(spec, 2);
+  spec.base_seed = 99;
+  EXPECT_NE(a, run_to_json(spec, 2));
+}
+
+TEST(ExpEngine, ResultsOrderedLikeSpecWithAllReplicatesFilled) {
+  const exp::ExperimentSpec spec = six_scheme_spec(3);
+  const auto results = exp::run_experiment(spec, {4});
+  ASSERT_EQ(results.size(), spec.cells.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].id, spec.cells[i].id);
+    ASSERT_EQ(results[i].samples.size(), 3u);
+    for (const auto& sample : results[i].samples) {
+      EXPECT_FALSE(sample.empty());
+    }
+    // Every workload run must have left a valid tree behind.
+    const exp::Replicates valid = results[i].metric("valid");
+    for (double v : valid.samples()) {
+      EXPECT_EQ(v, 1.0);
+    }
+  }
+}
+
+// Two engines running concurrently (each itself multi-threaded) must not
+// interfere: Machines, Rngs, and trace sinks are all run-local.  Under
+// SIHLE_SANITIZE=thread this is the proof that concurrent Machine
+// instantiation races on no shared state.
+TEST(ExpEngine, ConcurrentEnginesProduceIndependentIdenticalResults) {
+  const exp::ExperimentSpec spec = six_scheme_spec(2);
+  const std::string reference = run_to_json(spec, 1);
+  std::string a;
+  std::string b;
+  std::thread ta([&] { a = run_to_json(spec, 2); });
+  std::thread tb([&] { b = run_to_json(spec, 2); });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(a, reference);
+  EXPECT_EQ(b, reference);
+}
+
+TEST(ExpEngine, MoreJobsThanRunsAndAutoJobs) {
+  exp::ExperimentSpec spec;
+  spec.name = "tiny";
+  spec.replicates = 2;
+  std::atomic<int> calls{0};
+  for (int i = 0; i < 3; ++i) {
+    exp::Cell cell;
+    cell.id = "cell-" + std::to_string(i);
+    cell.axes = {{"i", std::to_string(i)}};
+    cell.run = [&calls, i](std::uint64_t seed) {
+      calls.fetch_add(1, std::memory_order_relaxed);
+      return exp::MetricList{{"value", static_cast<double>(seed * 10 + i)}};
+    };
+    spec.cells.push_back(std::move(cell));
+  }
+  const auto results = exp::run_experiment(spec, {64});
+  EXPECT_EQ(calls.load(), 6);
+  ASSERT_EQ(results.size(), 3u);
+  // seed = base_seed + replicate: replicate 0 → 1, replicate 1 → 2.
+  EXPECT_EQ(results[1].metric("value").samples(),
+            (std::vector<double>{11.0, 21.0}));
+  EXPECT_GE(exp::resolve_jobs(0), 1);
+  const auto auto_results = exp::run_experiment(spec, {0});
+  EXPECT_EQ(auto_results[2].metric("value").samples(),
+            (std::vector<double>{12.0, 22.0}));
+}
+
+TEST(ExpEngine, CliParsingDefaultsAndAliases) {
+  {
+    const char* argv[] = {"bench", "--jobs=4", "--replicates=5", "--seed=7",
+                          "--out=o.json", "--baseline=b.json", "--noise=0.1"};
+    harness::Args args(7, const_cast<char**>(argv));
+    const exp::CliOptions cli = exp::parse_cli(args);
+    EXPECT_EQ(cli.jobs, 4);
+    EXPECT_EQ(cli.replicates, 5);
+    EXPECT_EQ(cli.base_seed, 7u);
+    EXPECT_EQ(cli.out_path, "o.json");
+    EXPECT_EQ(cli.baseline_path, "b.json");
+    EXPECT_DOUBLE_EQ(cli.regress.noise_rel, 0.1);
+  }
+  {
+    // --seeds is the historical spelling of --replicates.
+    const char* argv[] = {"bench", "--seeds=4"};
+    harness::Args args(2, const_cast<char**>(argv));
+    EXPECT_EQ(exp::parse_cli(args).replicates, 4);
+  }
+  {
+    const char* argv[] = {"bench"};
+    harness::Args args(1, const_cast<char**>(argv));
+    const exp::CliOptions cli = exp::parse_cli(args);
+    EXPECT_EQ(cli.jobs, 0);  // auto
+    EXPECT_EQ(cli.replicates, 3);
+    EXPECT_TRUE(cli.out_path.empty());
+    EXPECT_TRUE(cli.baseline_path.empty());
+  }
+}
+
+}  // namespace
+}  // namespace sihle

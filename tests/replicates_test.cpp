@@ -1,0 +1,202 @@
+// Property tests for the Replicates statistics module (src/exp/replicates.h)
+// and golden-file round-trip of the versioned results JSON schema
+// (src/exp/results.h).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "exp/replicates.h"
+#include "exp/results.h"
+#include "sim/rng.h"
+
+namespace sihle {
+namespace {
+
+TEST(Replicates, ConstantSamplesHaveZeroSpreadAndCollapsedCi) {
+  exp::Replicates r;
+  for (int i = 0; i < 7; ++i) r.add(42.5);
+  const exp::SummaryStats s = r.summarize();
+  EXPECT_EQ(s.n, 7u);
+  EXPECT_DOUBLE_EQ(s.mean, 42.5);
+  EXPECT_DOUBLE_EQ(s.median, 42.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci_lo, 42.5);
+  EXPECT_DOUBLE_EQ(s.ci_hi, 42.5);
+  EXPECT_DOUBLE_EQ(s.ci_width(), 0.0);
+}
+
+TEST(Replicates, EmptyAndSingleSampleDegenerateCleanly) {
+  exp::Replicates empty;
+  const exp::SummaryStats se = empty.summarize();
+  EXPECT_EQ(se.n, 0u);
+  EXPECT_DOUBLE_EQ(se.mean, 0.0);
+
+  exp::Replicates one;
+  one.add(3.25);
+  const exp::SummaryStats s1 = one.summarize();
+  EXPECT_EQ(s1.n, 1u);
+  EXPECT_DOUBLE_EQ(s1.mean, 3.25);
+  EXPECT_DOUBLE_EQ(s1.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s1.ci_lo, 3.25);
+  EXPECT_DOUBLE_EQ(s1.ci_hi, 3.25);
+}
+
+TEST(Replicates, MedianOddAndEven) {
+  exp::Replicates odd({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(odd.median(), 3.0);
+  exp::Replicates even({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(even.median(), 2.5);
+}
+
+TEST(Replicates, MinOfKIsMonotoneNonIncreasingInK) {
+  sim::Rng rng(7);
+  exp::Replicates r;
+  for (int i = 0; i < 50; ++i) r.add(rng.uniform() * 100.0);
+  for (std::size_t k = 1; k < r.size(); ++k) {
+    EXPECT_LE(r.min_of(k + 1), r.min_of(k)) << "k=" << k;
+  }
+  // Saturates at the full-sample minimum.
+  EXPECT_DOUBLE_EQ(r.min_of(1000), r.min_of(r.size()));
+  EXPECT_DOUBLE_EQ(r.min_of(r.size()), r.summarize().min);
+}
+
+TEST(Replicates, BootstrapCiIsDeterministic) {
+  sim::Rng rng(11);
+  exp::Replicates r;
+  for (int i = 0; i < 20; ++i) r.add(rng.uniform());
+  double lo1 = 0.0;
+  double hi1 = 0.0;
+  double lo2 = 0.0;
+  double hi2 = 0.0;
+  r.bootstrap_ci(lo1, hi1);
+  r.bootstrap_ci(lo2, hi2);
+  EXPECT_DOUBLE_EQ(lo1, lo2);
+  EXPECT_DOUBLE_EQ(hi1, hi2);
+  EXPECT_LT(lo1, hi1);
+  EXPECT_LE(lo1, r.mean());
+  EXPECT_GE(hi1, r.mean());
+}
+
+// Coverage property: across many synthetic draws, the bootstrap 95% CI
+// should contain the true mean in roughly 95% of trials.  n=20 percentile
+// bootstrap under-covers slightly, so assert a conservative floor; the run
+// is fully deterministic, so this cannot flake.
+TEST(Replicates, BootstrapCiCoversTrueMeanOnSyntheticDistributions) {
+  // Uniform[0, 1): true mean 0.5.
+  {
+    int covered = 0;
+    const int trials = 60;
+    for (int t = 0; t < trials; ++t) {
+      sim::Rng rng(1000 + static_cast<std::uint64_t>(t));
+      exp::Replicates r;
+      for (int i = 0; i < 20; ++i) r.add(rng.uniform());
+      double lo = 0.0;
+      double hi = 0.0;
+      r.bootstrap_ci(lo, hi);
+      if (lo <= 0.5 && 0.5 <= hi) ++covered;
+    }
+    EXPECT_GE(covered, trials * 80 / 100) << "uniform coverage " << covered;
+  }
+  // Skewed (exponential, rate 1): true mean 1.0.
+  {
+    int covered = 0;
+    const int trials = 60;
+    for (int t = 0; t < trials; ++t) {
+      sim::Rng rng(5000 + static_cast<std::uint64_t>(t));
+      exp::Replicates r;
+      for (int i = 0; i < 30; ++i) r.add(-std::log(1.0 - rng.uniform()));
+      double lo = 0.0;
+      double hi = 0.0;
+      r.bootstrap_ci(lo, hi);
+      if (lo <= 1.0 && 1.0 <= hi) ++covered;
+    }
+    EXPECT_GE(covered, trials * 75 / 100) << "exponential coverage " << covered;
+  }
+}
+
+// --- Results schema ---------------------------------------------------------
+
+exp::ExperimentDoc synthetic_doc() {
+  // Built through the same path the benches use (spec + engine results →
+  // make_doc) so the golden file pins the real production schema.
+  exp::ExperimentSpec spec;
+  spec.name = "golden";
+  spec.replicates = 3;
+  spec.base_seed = 1;
+  for (int i = 0; i < 2; ++i) {
+    exp::Cell cell;
+    cell.axes = {{"scheme", i == 0 ? "HLE" : "SLR-SCM"}, {"threads", "8"}};
+    cell.id = exp::axes_id(cell.axes);
+    cell.run = [i](std::uint64_t seed) {
+      const double base = i == 0 ? 10.0 : 30.0;
+      return exp::MetricList{
+          {"ops_per_mcycle", base + 0.25 * static_cast<double>(seed)},
+          {"nonspec_fraction", 0.5 / static_cast<double>(seed + 1)},
+      };
+    };
+    spec.cells.push_back(std::move(cell));
+  }
+  return exp::make_doc(spec, exp::run_experiment(spec, {1}));
+}
+
+TEST(ResultsSchema, SerializeParseRoundTripIsExact) {
+  const exp::ExperimentDoc doc = synthetic_doc();
+  const std::string text = exp::results_json(doc);
+  exp::ExperimentDoc parsed;
+  std::string error;
+  ASSERT_TRUE(exp::parse_results_json(text, parsed, &error)) << error;
+  EXPECT_EQ(parsed.experiment, "golden");
+  EXPECT_EQ(parsed.replicates, 3);
+  EXPECT_EQ(parsed.base_seed, 1u);
+  ASSERT_EQ(parsed.cells.size(), 2u);
+  EXPECT_EQ(parsed.cells[0].id, "scheme=HLE/threads=8");
+  const exp::MetricRecord* m = parsed.cells[0].find_metric("ops_per_mcycle");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->samples, (std::vector<double>{10.25, 10.5, 10.75}));
+  EXPECT_DOUBLE_EQ(m->stats.mean, 10.5);
+  // Byte-exact fixed point: re-serializing the parse reproduces the text.
+  EXPECT_EQ(exp::results_json(parsed), text);
+}
+
+TEST(ResultsSchema, GoldenFileRoundTrip) {
+  const std::string path =
+      std::string(SIHLE_TEST_DATA_DIR) + "/results_v1_golden.json";
+  const std::string expected = exp::results_json(synthetic_doc());
+  if (std::getenv("SIHLE_REGEN_GOLDEN") != nullptr) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr) << "cannot regenerate " << path;
+    std::fwrite(expected.data(), 1, expected.size(), f);
+    std::fclose(f);
+  }
+  exp::ExperimentDoc parsed;
+  std::string error;
+  ASSERT_TRUE(exp::load_results_file(path, parsed, &error)) << error;
+  // The committed golden must byte-match today's writer, and parsing it
+  // must reproduce the exact document (schema is stable in both directions).
+  EXPECT_EQ(exp::results_json(parsed), expected);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string on_disk;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) on_disk.append(buf, n);
+  std::fclose(f);
+  EXPECT_EQ(on_disk, expected)
+      << "golden drift: rerun with SIHLE_REGEN_GOLDEN=1 and review the diff";
+}
+
+TEST(ResultsSchema, RejectsMalformedDocuments) {
+  exp::ExperimentDoc doc;
+  std::string error;
+  EXPECT_FALSE(exp::parse_results_json("not json", doc, &error));
+  EXPECT_FALSE(exp::parse_results_json("{\"version\":2,\"kind\":\"sihle-results\",\"cells\":[]}", doc, &error));
+  EXPECT_NE(error.find("version"), std::string::npos);
+  EXPECT_FALSE(exp::parse_results_json("{\"version\":1,\"kind\":\"other\",\"cells\":[]}", doc, &error));
+  EXPECT_FALSE(exp::parse_results_json("{\"version\":1,\"kind\":\"sihle-results\"}", doc, &error));
+  EXPECT_FALSE(exp::load_results_file("/nonexistent/x.json", doc, &error));
+}
+
+}  // namespace
+}  // namespace sihle

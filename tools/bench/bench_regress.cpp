@@ -1,0 +1,77 @@
+// bench_regress — the benchmark-regression gate (docs/EXPERIMENTS.md).
+//
+// Diffs a fresh engine results file against a committed BENCH_*.json
+// baseline using the CI-overlap logic in exp/regress.h:
+//
+//   bench_regress BASELINE CANDIDATE [--metric=ops_per_mcycle]
+//                 [--noise=0.05] [--lower-is-better] [--verbose]
+//   bench_regress --baseline=FILE --candidate=FILE [...]
+//
+// Exit codes: 0 = no regression (warnings allowed), 1 = regression beyond
+// the noise threshold, 2 = usage or IO/parse error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "exp/regress.h"
+#include "exp/results.h"
+#include "harness/cli.h"
+
+using namespace sihle;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_regress BASELINE CANDIDATE [--metric=NAME] "
+               "[--noise=F] [--lower-is-better] [--verbose]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::Args args(argc, argv);
+  std::string baseline_path = args.get("baseline", "");
+  std::string candidate_path = args.get("candidate", "");
+
+  // Positional form: the first two non-flag arguments.
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) positional.emplace_back(argv[i]);
+  }
+  if (baseline_path.empty() && !positional.empty()) baseline_path = positional[0];
+  if (candidate_path.empty() && positional.size() > 1) candidate_path = positional[1];
+  if (baseline_path.empty() || candidate_path.empty()) return usage();
+
+  exp::RegressOptions opt;
+  opt.metric = args.get("metric", opt.metric);
+  opt.noise_rel = args.get_double("noise", opt.noise_rel);
+  if (args.has("lower-is-better")) opt.higher_is_better = false;
+
+  exp::ExperimentDoc baseline;
+  exp::ExperimentDoc candidate;
+  std::string error;
+  if (!exp::load_results_file(baseline_path, baseline, &error)) {
+    std::fprintf(stderr, "bench_regress: baseline: %s\n", error.c_str());
+    return 2;
+  }
+  if (!exp::load_results_file(candidate_path, candidate, &error)) {
+    std::fprintf(stderr, "bench_regress: candidate: %s\n", error.c_str());
+    return 2;
+  }
+  if (!baseline.experiment.empty() && !candidate.experiment.empty() &&
+      baseline.experiment != candidate.experiment) {
+    std::fprintf(stderr,
+                 "bench_regress: experiment mismatch: baseline '%s' vs "
+                 "candidate '%s'\n",
+                 baseline.experiment.c_str(), candidate.experiment.c_str());
+    return 2;
+  }
+
+  const exp::RegressReport report =
+      exp::compare_results(baseline, candidate, opt);
+  exp::print_report(stdout, report, opt, args.has("verbose"));
+  return report.ok() ? 0 : 1;
+}
