@@ -1,0 +1,236 @@
+// Wall-clock throughput of the simulator engine itself: how many simulation
+// events (and committed transactions) per *host* second the discrete-event
+// core sustains.  This is the perf gate for the hot-path work
+// (docs/PERFORMANCE.md): unlike every figure bench, the metric here is real
+// time, not virtual cycles, so it catches regressions — an accidental
+// allocation or linear scan on the per-event path — that are invisible in
+// simulated results.
+//
+// Scenarios mirror bench/micro_sim.cpp so the two suites cross-check:
+//   scenario=nontx_load                1 thread, 10k plain loads
+//   scenario=committed_tx              1 thread, 5k two-access transactions
+//   scenario=contended_tree/scheme=X   8 threads × 500 rbtree ops under X
+//
+// Each measurement repeats its scenario until at least --min-time host
+// seconds have elapsed and reports the aggregate rate, so short scenarios
+// are not quantization noise.  Replicates vary the simulation seed (which
+// perturbs the simulated schedule, i.e. the work mix) — host-time jitter
+// across replicates is what the regression gate's CI logic consumes.
+//
+// Flags: --min-time=SEC (default 0.2)
+//        --jobs=N (default 1: wall-clock fidelity wants an unloaded host)
+//        --replicates=K --seed=S --out=FILE --baseline=FILE --noise=F
+//
+// Exports sihle-results v1 (--out); the committed baseline lives at
+// results/BENCH_sim_wallclock.json and is gated warn-not-fail in CI.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ds/rbtree.h"
+#include "elision/schemes.h"
+#include "exp/harness.h"
+#include "harness/cli.h"
+#include "harness/table.h"
+#include "locks/locks.h"
+#include "runtime/ctx.h"
+
+using namespace sihle;
+using runtime::Ctx;
+using runtime::LineHandle;
+using runtime::Machine;
+
+namespace {
+
+struct Counter {
+  LineHandle line;
+  mem::Shared<std::uint64_t> value;
+  explicit Counter(Machine& m) : line(m), value(line.line(), 0) {}
+};
+
+// Work done by one simulated pass of a scenario.
+struct PassCounts {
+  std::uint64_t events = 0;  // simulation events (executor resumes)
+  std::uint64_t txs = 0;     // committed hardware transactions
+};
+
+std::uint64_t total_events(Machine& m) {
+  std::uint64_t events = 0;
+  for (std::uint32_t t = 0; t < m.exec().thread_count(); ++t) {
+    events += m.exec().thread(t).events;
+  }
+  return events;
+}
+
+sim::Task<void> load_loop(Ctx& c, Counter& cnt, std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t v = co_await c.load(cnt.value);
+    (void)v;
+  }
+}
+
+PassCounts run_nontx_load(std::uint64_t seed) {
+  Machine::Config mc;
+  mc.seed = seed;
+  Machine m(mc);
+  Counter cnt(m);
+  m.spawn([&](Ctx& c) { return load_loop(c, cnt, 10000); });
+  m.run();
+  return {total_events(m), 0};
+}
+
+sim::Task<void> tx_loop(Ctx& c, Counter& cnt, std::uint64_t n,
+                        std::uint64_t& commits) {
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto s = co_await c.with_tx([&c, &cnt] {
+      return [](Ctx& cc, Counter& k) -> sim::Task<void> {
+        const std::uint64_t v = co_await cc.load(k.value);
+        co_await cc.store(k.value, v + 1);
+      }(c, cnt);
+    });
+    if (s.ok()) ++commits;
+  }
+}
+
+PassCounts run_committed_tx(std::uint64_t seed) {
+  Machine::Config mc;
+  mc.seed = seed;
+  Machine m(mc);
+  Counter cnt(m);
+  std::uint64_t commits = 0;
+  m.spawn([&](Ctx& c) { return tx_loop(c, cnt, 5000, commits); });
+  m.run();
+  return {total_events(m), commits};
+}
+
+sim::Task<void> contended_worker(Ctx& c, elision::Scheme s,
+                                 locks::TTASLock& lock, locks::MCSLock& aux,
+                                 ds::RBTree& tree, int ops,
+                                 stats::OpStats& st) {
+  for (int i = 0; i < ops; ++i) {
+    const std::int64_t key = static_cast<std::int64_t>(c.rng().below(256));
+    co_await elision::run_op(
+        s, c, lock, aux,
+        [&tree, key](Ctx& cc) -> sim::Task<void> {
+          return [](Ctx& c2, ds::RBTree& t, std::int64_t k) -> sim::Task<void> {
+            const bool r = co_await t.insert(c2, k);
+            if (!r) co_await t.erase(c2, k);
+          }(cc, tree, key);
+        },
+        st);
+  }
+}
+
+PassCounts run_contended_tree(elision::Scheme scheme, std::uint64_t seed) {
+  Machine::Config mc;
+  mc.seed = seed;
+  mc.htm.spurious_abort_per_access = 1e-4;
+  Machine m(mc);
+  locks::TTASLock lock(m);
+  locks::MCSLock aux(m);
+  ds::RBTree tree(m);
+  for (int k = 0; k < 256; k += 2) tree.debug_insert(k);
+  std::vector<stats::OpStats> st(8);
+  for (int t = 0; t < 8; ++t) {
+    m.spawn([&, t](Ctx& c) {
+      return contended_worker(c, scheme, lock, aux, tree, 500, st[t]);
+    });
+  }
+  m.run();
+  PassCounts counts{total_events(m), 0};
+  for (const auto& s : st) counts.txs += s.spec_commits;
+  return counts;
+}
+
+// Wraps a single-pass scenario into a RunFn that repeats it until at least
+// `min_time_s` host seconds have elapsed (seed advances per pass so repeats
+// are not identical simulations) and reports the aggregate rates.
+template <class Pass>
+exp::RunFn timed_run(Pass pass, double min_time_s) {
+  return [pass, min_time_s](std::uint64_t seed) {
+    using clock = std::chrono::steady_clock;
+    PassCounts total;
+    double passes = 0.0;
+    const clock::time_point start = clock::now();
+    clock::time_point now = start;
+    do {
+      const PassCounts p = pass(seed + static_cast<std::uint64_t>(passes));
+      total.events += p.events;
+      total.txs += p.txs;
+      passes += 1.0;
+      now = clock::now();
+    } while (std::chrono::duration<double>(now - start).count() < min_time_s);
+    const double elapsed = std::chrono::duration<double>(now - start).count();
+    return exp::MetricList{
+        {"events_per_sec", static_cast<double>(total.events) / elapsed},
+        {"txs_per_sec", static_cast<double>(total.txs) / elapsed},
+        {"passes", passes},
+    };
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::Args args(argc, argv);
+  exp::RegressOptions regress;
+  regress.metric = "events_per_sec";
+  regress.higher_is_better = true;
+  // Wall-clock rates are far noisier than simulated-cycle metrics; the
+  // committed baseline comes from a different (likely faster) host than CI
+  // runners, so the gate is advisory there (warn-not-fail in ci.yml).
+  regress.noise_rel = 0.25;
+  exp::CliOptions cli = exp::parse_cli(args, /*default_replicates=*/3, regress);
+  // parse_cli's 0 means "one job per core"; wall-clock measurement wants a
+  // quiet host, so unlike the figure benches the default here is serial.
+  if (args.get("jobs", "").empty()) cli.jobs = 1;
+  const double min_time_s = args.get_double("min-time", 0.2);
+
+  exp::ExperimentSpec spec;
+  spec.name = "sim_wallclock";
+  spec.replicates = cli.replicates;
+  spec.base_seed = cli.base_seed;
+
+  {
+    exp::Cell cell;
+    cell.axes = {{"scenario", "nontx_load"}};
+    cell.id = exp::axes_id(cell.axes);
+    cell.run = timed_run(run_nontx_load, min_time_s);
+    spec.cells.push_back(std::move(cell));
+  }
+  {
+    exp::Cell cell;
+    cell.axes = {{"scenario", "committed_tx"}};
+    cell.id = exp::axes_id(cell.axes);
+    cell.run = timed_run(run_committed_tx, min_time_s);
+    spec.cells.push_back(std::move(cell));
+  }
+  for (const elision::Scheme s :
+       {elision::Scheme::kStandard, elision::Scheme::kHle,
+        elision::Scheme::kHleScm, elision::Scheme::kOptSlr}) {
+    exp::Cell cell;
+    cell.axes = {{"scenario", "contended_tree"},
+                 {"scheme", elision::to_string(s)}};
+    cell.id = exp::axes_id(cell.axes);
+    cell.run = timed_run(
+        [s](std::uint64_t seed) { return run_contended_tree(s, seed); },
+        min_time_s);
+    spec.cells.push_back(std::move(cell));
+  }
+
+  const auto results = exp::run_experiment(spec, {cli.jobs});
+
+  harness::Table table({"cell", "events/sec", "txs/sec", "passes"});
+  for (const auto& cell : results) {
+    const auto ev = cell.metric("events_per_sec");
+    const auto tx = cell.metric("txs_per_sec");
+    const auto ps = cell.metric("passes");
+    table.row({cell.id, harness::Table::num(ev.mean(), 0),
+               harness::Table::num(tx.mean(), 0),
+               harness::Table::num(ps.mean(), 1)});
+  }
+  table.print(stdout);
+
+  return exp::finish_cli(spec, results, cli);
+}

@@ -36,7 +36,15 @@ void Htm::doom(std::uint32_t victim, AbortCause cause, std::uint32_t line) {
   clear_footprint(victim);
   ++total_dooms_;
   if (cfg_.track_conflict_lines && line != kNoConflictLine) {
-    if (line >= conflict_counts_.size()) conflict_counts_.resize(line + 1, 0);
+    if (line >= conflict_counts_.size()) {
+      // Size from the directory's allocated-line high-water mark and grow
+      // geometrically, so a run dooming on successively higher lines does
+      // O(log n) resizes rather than one per new line.
+      std::size_t want = std::max<std::size_t>(
+          static_cast<std::size_t>(line) + 1, conflict_counts_.size() * 2);
+      want = std::max(want, dir_.line_capacity());
+      conflict_counts_.resize(want, 0);
+    }
     conflict_counts_[line]++;
     ++located_conflicts_;
   }
@@ -84,10 +92,10 @@ TxResult Htm::tx_load(std::uint32_t tid, const mem::RawCell& cell, sim::Rng& rng
     return {0, AbortStatus{AbortCause::kSpurious, 0, /*retry=*/true}};
   }
 
-  // Read own staged store if present (store-to-load forwarding).
-  for (auto it = t.writes.rbegin(); it != t.writes.rend(); ++it) {
-    if (it->cell == &cell) return {it->staged, {}};
-  }
+  // Read own staged store if present (store-to-load forwarding).  O(1):
+  // repeated stores update the staged slot in place, so the slot always
+  // holds the latest (last-wins) value.
+  if (const WriteBuffer::Entry* w = t.writes.find(&cell)) return {w->staged, {}};
   // An elided XACQUIRE maintains the local illusion that the lock was
   // acquired: reads of the lock see the value "stored".
   for (const auto& e : t.elided) {
@@ -140,13 +148,11 @@ TxResult Htm::tx_store(std::uint32_t tid, mem::RawCell& cell, std::uint64_t valu
   if (observer_) observer_->on_tx_write(tid, cell);
 
   // Update staged value in place if the cell was written before.
-  for (auto& w : t.writes) {
-    if (w.cell == &cell) {
-      w.staged = value;
-      return {value, {}};
-    }
+  if (WriteBuffer::Entry* w = t.writes.find(&cell)) {
+    w->staged = value;
+    return {value, {}};
   }
-  t.writes.push_back({&cell, value});
+  t.writes.insert(&cell, value);
   return {value, {}};
 }
 
@@ -168,8 +174,8 @@ AbortStatus Htm::commit(std::uint32_t tid, std::vector<mem::Line>& published) {
     // cells the transaction itself staged (their memory value is published
     // below).
     for (const auto& ob : t.observations) {
-      bool self_written = false;
-      for (const auto& w : t.writes) self_written = self_written || w.cell == ob.cell;
+      const bool self_written =
+          t.writes.find(ob.cell) != nullptr;
       if (!self_written && ob.cell->raw() != ob.value) ++opacity_violations_;
     }
   }

@@ -26,8 +26,15 @@
 #include "mem/directory.h"
 #include "mem/shared.h"
 #include "sim/rng.h"
+#include "util/inplace_fn.h"
+#include "util/small_vec.h"
 
 namespace sihle::htm {
+
+// Compensation / reclamation action attached to a transaction (tx_new,
+// retire).  Inline-stored: queuing one costs no allocation
+// (docs/PERFORMANCE.md).
+using TxAction = util::InplaceFn<void()>;
 
 struct HtmConfig {
   // Haswell's write set is bounded by the 32 KB L1d: 512 lines.
@@ -74,27 +81,125 @@ struct TxResult {
   AbortStatus abort{};  // abort.ok() == true means the access succeeded
 };
 
-// Per-thread transaction context.
+// Staged write buffer with O(1) per-cell lookup (store-to-load forwarding).
+//
+// Entries are kept in insertion (first-store) order — commit publishes them
+// in exactly the order the old linear buffer did.  Lookups scan the inline
+// array while the footprint is small (the typical case: a handful of cells,
+// one cache line of entries) and switch to an open-addressed index once the
+// buffer spills past the inline capacity.  The index is cleared in O(1) by
+// bumping a generation stamp, and both the entry array's heap spill and the
+// index table are retained across transactions, so a long-lived TxContext
+// reaches a steady state where begin/access/commit never allocate.
+class WriteBuffer {
+ public:
+  struct Entry {
+    mem::RawCell* cell;
+    std::uint64_t staged;
+  };
+  static constexpr std::size_t kInlineEntries = 8;
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  const Entry* begin() const { return entries_.begin(); }
+  const Entry* end() const { return entries_.end(); }
+
+  // The staged entry for `cell`, or null.  O(1): inline scan below the
+  // spill threshold, hash probe above it.
+  Entry* find(const mem::RawCell* cell) {
+    if (entries_.size() <= kInlineEntries) {
+      for (Entry& e : entries_) {
+        if (e.cell == cell) return &e;
+      }
+      return nullptr;
+    }
+    const std::size_t mask = table_.size() - 1;
+    for (std::size_t i = hash(cell) & mask;; i = (i + 1) & mask) {
+      const Slot& s = table_[i];
+      if (s.gen != gen_ || s.key == nullptr) return nullptr;
+      if (s.key == cell) return &entries_[s.idx];
+    }
+  }
+
+  // Appends a fresh entry.  Precondition: find(cell) == nullptr (repeated
+  // stores update the staged value in place via find()).
+  void insert(mem::RawCell* cell, std::uint64_t staged) {
+    entries_.push_back({cell, staged});
+    const std::size_t n = entries_.size();
+    if (n <= kInlineEntries) return;
+    if (n == kInlineEntries + 1 || table_.size() < 2 * n) {
+      rebuild_index();
+    } else {
+      place(cell, static_cast<std::uint32_t>(n - 1));
+    }
+  }
+
+  // O(1): drops the entries and invalidates the index by generation bump;
+  // all storage is retained for the next transaction.
+  void clear() {
+    entries_.clear();
+    if (++gen_ == 0) {  // stamp wrapped: physically reset the table once
+      for (Slot& s : table_) s = Slot{};
+      gen_ = 1;
+    }
+  }
+
+ private:
+  struct Slot {
+    const mem::RawCell* key = nullptr;
+    std::uint32_t idx = 0;
+    std::uint32_t gen = 0;
+  };
+
+  static std::size_t hash(const mem::RawCell* p) {
+    return static_cast<std::size_t>(
+        (reinterpret_cast<std::uintptr_t>(p) >> 3) * 0x9E3779B97F4A7C15ULL >> 17);
+  }
+
+  void place(const mem::RawCell* key, std::uint32_t idx) {
+    const std::size_t mask = table_.size() - 1;
+    std::size_t i = hash(key) & mask;
+    while (table_[i].gen == gen_ && table_[i].key != nullptr) i = (i + 1) & mask;
+    table_[i] = Slot{key, idx, gen_};
+  }
+
+  void rebuild_index() {
+    std::size_t cap = 32;
+    while (cap < 4 * entries_.size()) cap *= 2;  // load factor <= 1/2
+    if (table_.size() < cap) table_.assign(cap, Slot{});
+    if (++gen_ == 0) {
+      for (Slot& s : table_) s = Slot{};
+      gen_ = 1;
+    }
+    for (std::uint32_t i = 0; i < entries_.size(); ++i) place(entries_[i].cell, i);
+  }
+
+  util::SmallVec<Entry, kInlineEntries> entries_;  // insertion order
+  std::vector<Slot> table_;                        // pow2 open-addressed index
+  std::uint32_t gen_ = 1;
+};
+
+// Per-thread transaction context.  The containers all have inline
+// small-buffer storage sized for short transactions, and every clear()
+// retains capacity: at steady state a transaction's bookkeeping performs no
+// heap allocation (docs/PERFORMANCE.md).
 struct TxContext {
   bool active = false;
   bool doomed = false;
   AbortStatus doom_status{};
 
-  std::vector<mem::Line> read_lines;   // distinct lines in read set
-  std::vector<mem::Line> write_lines;  // distinct lines in write set
-  struct WriteEntry {
-    mem::RawCell* cell;
-    std::uint64_t staged;
-  };
-  std::vector<WriteEntry> writes;  // staged stores, program order (last wins)
+  util::SmallVec<mem::Line, 16> read_lines;  // distinct lines in read set
+  util::SmallVec<mem::Line, 8> write_lines;  // distinct lines in write set
+  // Staged stores, first-store order (repeated stores update in place).
+  WriteBuffer writes;
   std::uint64_t accesses = 0;
 
   // Compensation for speculative allocation: run on abort, dropped on
   // commit (e.g. delete a node allocated inside the transaction).
-  std::vector<std::function<void()>> undo_on_abort;
+  util::SmallVec<TxAction, 4> undo_on_abort;
   // Deferred reclamation: moved to the machine's limbo list on commit,
   // dropped on abort (e.g. a node unlinked by the transaction).
-  std::vector<std::function<void()>> retire_on_commit;
+  util::SmallVec<TxAction, 4> retire_on_commit;
 
   // Latched persistent-abort condition (see
   // HtmConfig::persistent_abort_per_tx).
@@ -105,17 +210,19 @@ struct TxContext {
     const mem::RawCell* cell;
     std::uint64_t value;
   };
-  std::vector<ReadObservation> observations;
+  util::SmallVec<ReadObservation, 8> observations;
 
   // True-HLE elided lock acquisitions (§3): the XACQUIRE-prefixed store was
   // elided — the line is only in the read set — but the transaction sees
   // the "acquired" value locally.  XRELEASE must restore `original`.
+  // At most a handful of locks are ever elided at once; kept as a linear
+  // inline array.
   struct ElidedEntry {
     const mem::RawCell* cell;
     std::uint64_t original;
     std::uint64_t illusion;
   };
-  std::vector<ElidedEntry> elided;
+  util::SmallVec<ElidedEntry, 2> elided;
 };
 
 class Htm {

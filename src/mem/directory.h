@@ -48,6 +48,11 @@ class Directory {
 
   std::size_t allocated_lines() const { return states_.size() - freelist_.size(); }
 
+  // High-water mark of line ids ever allocated (free lines included): every
+  // valid Line is < line_capacity().  Lets per-line side tables size
+  // themselves once instead of growing incrementally.
+  std::size_t line_capacity() const { return states_.size(); }
+
  private:
   std::vector<LineState> states_;
   std::vector<Line> freelist_;

@@ -273,7 +273,10 @@ class Ctx {
     explicit CommitOp(Ctx& c) : OpBase{c} {}
     void await_suspend(std::coroutine_handle<> h) {
       auto& m = c.m_;
-      std::vector<mem::Line> published;
+      // Machine-owned scratch: commit publishes through a capacity-retaining
+      // buffer instead of a fresh vector per commit.
+      std::vector<mem::Line>& published = m.publish_scratch();
+      published.clear();
       abort = m.htm().commit(c.tid_, published);
       if (abort.ok()) {
         finish(h, m.costs().tx_commit);
@@ -535,6 +538,10 @@ sim::Task<T> spin_until(Ctx& ctx, const Shared<T>& cell, Pred pred) {
 
 template <class F>
 std::uint32_t Machine::spawn(F&& make_body) {
+  // Root and body frames allocated while materializing the thread go to
+  // this machine's pool (calling a coroutine function allocates its frame
+  // eagerly, before the initial suspend).
+  sim::ActiveFramePool scope(&frame_pool_);
   const auto tid = static_cast<std::uint32_t>(ctxs_.size());
   ctxs_.push_back(std::make_unique<Ctx>(*this, tid));
   const std::uint32_t got = exec_.spawn(make_body(*ctxs_.back()));

@@ -18,6 +18,9 @@ Machine::~Machine() {
 }
 
 void Machine::run() {
+  // Coroutine frames created while the simulation executes (every workload
+  // coroutine call) are served from this machine's recycling pool.
+  sim::ActiveFramePool scope(&frame_pool_);
   exec_.run();
   maybe_drain();
 }

@@ -18,6 +18,7 @@
 #include "mem/directory.h"
 #include "sim/cost_model.h"
 #include "sim/executor.h"
+#include "sim/frame_pool.h"
 #include "stats/event_ring.h"
 #include "stats/tx_trace.h"
 
@@ -95,13 +96,7 @@ class Machine {
     htm_.set_doom_listener([this](std::uint32_t victim) {
       // Direct HTM use (tests) may run without simulated threads.
       if (victim >= exec_.thread_count()) return;
-      auto& t = exec_.thread(victim);
-      if (t.state == sim::RunState::kBlocked) {
-        t.state = sim::RunState::kRunnable;
-        t.watch_line = sim::kInvalidLine;
-        t.watch_line2 = sim::kInvalidLine;
-        t.clock = std::max(t.clock, exec_.current().clock + cfg_.costs.wake_latency);
-      }
+      exec_.wake_blocked(victim, exec_.current().clock + cfg_.costs.wake_latency);
     });
   }
 
@@ -157,27 +152,45 @@ class Machine {
   // --- Deferred reclamation ------------------------------------------------
   // Queue a reclamation action; it runs once no transaction is active, so a
   // zombie transaction can still safely read the dead object's lines.
-  void add_limbo(std::function<void()> f) {
+  // Actions are inline-stored (htm::TxAction) — queuing one allocates at
+  // most amortized vector growth, never per action.
+  void add_limbo(htm::TxAction f) {
     limbo_.push_back(std::move(f));
     maybe_drain();
   }
   void maybe_drain() {
     if (htm_.active_count() != 0 || limbo_.empty()) return;
     // Reclaimers may retire further objects; swap first.
-    std::vector<std::function<void()>> batch;
+    std::vector<htm::TxAction> batch;
     batch.swap(limbo_);
     for (auto& f : batch) f();
   }
   std::size_t limbo_size() const { return limbo_.size(); }
 
+  // --- Hot-path scratch ----------------------------------------------------
+  // Reusable buffer for the lines published by a commit (capacity is
+  // retained, so steady-state commits don't allocate).  Owned by the single
+  // in-flight CommitOp; commit processing never nests.
+  std::vector<mem::Line>& publish_scratch() { return publish_scratch_; }
+
+  // The machine's coroutine-frame pool (sim/frame_pool.h); activated around
+  // spawn() and run(), exposed for the hot-path tests.
+  sim::FramePool& frame_pool() { return frame_pool_; }
+
  private:
+  // Declared first: frames served by this pool are freed by members
+  // destroyed after it would be (notably exec_'s root frames), so the pool
+  // must be destroyed last.  (Frame headers keep late frees safe even so;
+  // this ordering just keeps them on the recycling fast path.)
+  sim::FramePool frame_pool_;
   Config cfg_;
   sim::Executor exec_;
   mem::Directory dir_;
   htm::Htm htm_;
   std::unique_ptr<analysis::LocksetChecker> checker_;
   std::vector<std::unique_ptr<Ctx>> ctxs_;
-  std::vector<std::function<void()>> limbo_;
+  std::vector<htm::TxAction> limbo_;
+  std::vector<mem::Line> publish_scratch_;
   TraceHub trace_{};
 };
 

@@ -1,6 +1,7 @@
 #include "sim/executor.h"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 #include <utility>
 
@@ -28,6 +29,7 @@ std::uint32_t Executor::spawn(Task<void> root) {
   std::uint64_t sm = seed_ + 0x100 + id;
   ts.rng = Rng(splitmix64(sm));
   threads_.push_back(ts);
+  runnable_mask_ |= 1ULL << id;
 
   RootTask wrapper = make_root(std::move(root));
   wrapper.handle.promise().ts = nullptr;  // fixed up below (vector may move)
@@ -36,13 +38,20 @@ std::uint32_t Executor::spawn(Task<void> root) {
 }
 
 std::uint32_t Executor::pick_next() {
-  std::uint32_t best = kInvalidLine;
+  // Iterating the runnable mask via countr_zero visits candidates in
+  // ascending thread id — the same order as the historical scan over all
+  // threads — so the comparisons and reservoir-sampling RNG draws below are
+  // reproduced exactly (tests/rng_draworder_test.cpp locks this in).
+  std::uint32_t best = kInvalidThread;
   Cycles best_clock = std::numeric_limits<Cycles>::max();
   std::uint32_t ties = 0;
-  for (const auto& t : threads_) {
-    if (t.state != RunState::kRunnable) continue;
+  std::uint64_t mask = runnable_mask_;
+  while (mask != 0) {
+    const auto tid = static_cast<std::uint32_t>(std::countr_zero(mask));
+    mask &= mask - 1;
+    const ThreadState& t = threads_[tid];
     if (t.clock < best_clock) {
-      best = t.id;
+      best = tid;
       best_clock = t.clock;
       ties = 1;
     } else if (random_tie_break_ && t.clock == best_clock) {
@@ -50,10 +59,15 @@ std::uint32_t Executor::pick_next() {
       // a given seed, but explores different interleavings than strict
       // lowest-id order (schedule fuzzing for the concurrency tests).
       ++ties;
-      if (sched_rng_.below(ties) == 0) best = t.id;
+      if (sched_rng_.below(ties) == 0) best = tid;
     }
   }
   return best;
+}
+
+void Executor::finish(ThreadState& t) {
+  t.state = RunState::kFinished;
+  runnable_mask_ &= ~(1ULL << t.id);
 }
 
 void Executor::run() {
@@ -66,11 +80,8 @@ void Executor::run() {
 
   while (true) {
     const std::uint32_t next = pick_next();
-    if (next == kInvalidLine) {
-      const bool all_done = std::all_of(
-          threads_.begin(), threads_.end(),
-          [](const ThreadState& t) { return t.state == RunState::kFinished; });
-      if (all_done) return;
+    if (next == kInvalidThread) {
+      if (blocked_mask_ == 0) return;  // every thread finished
       throw std::runtime_error("Executor: deadlock — all live threads blocked");
     }
     current_ = next;
@@ -78,10 +89,10 @@ void Executor::run() {
     t.events++;
     t.resume_point.resume();
     if (t.failure) {
-      t.state = RunState::kFinished;
+      finish(t);
       std::rethrow_exception(std::exchange(t.failure, nullptr));
     }
-    if (roots_[next].handle.done()) t.state = RunState::kFinished;
+    if (roots_[next].handle.done()) finish(t);
   }
 }
 
@@ -91,6 +102,21 @@ Cycles Executor::max_clock() const {
   return m;
 }
 
+void Executor::watch(std::uint32_t line, std::uint32_t tid) {
+  if (line >= line_watchers_.size()) {
+    line_watchers_.resize(std::max<std::size_t>(static_cast<std::size_t>(line) + 1,
+                                                line_watchers_.size() * 2),
+                          0);
+  }
+  line_watchers_[line] |= 1ULL << tid;
+}
+
+void Executor::unwatch(std::uint32_t line, std::uint32_t tid) {
+  if (line != kInvalidLine && line < line_watchers_.size()) {
+    line_watchers_[line] &= ~(1ULL << tid);
+  }
+}
+
 void Executor::block_current_on_line(std::uint32_t line, std::coroutine_handle<> h,
                                      std::uint32_t line2) {
   ThreadState& t = threads_[current_];
@@ -98,19 +124,43 @@ void Executor::block_current_on_line(std::uint32_t line, std::coroutine_handle<>
   t.watch_line2 = line2;
   t.state = RunState::kBlocked;
   t.resume_point = h;
+  const std::uint64_t bit = 1ULL << t.id;
+  runnable_mask_ &= ~bit;
+  blocked_mask_ |= bit;
+  watch(line, t.id);
+  if (line2 != kInvalidLine) watch(line2, t.id);
+}
+
+void Executor::unblock(ThreadState& t) {
+  unwatch(t.watch_line, t.id);
+  unwatch(t.watch_line2, t.id);
+  t.watch_line = kInvalidLine;
+  t.watch_line2 = kInvalidLine;
+  t.state = RunState::kRunnable;
+  const std::uint64_t bit = 1ULL << t.id;
+  blocked_mask_ &= ~bit;
+  runnable_mask_ |= bit;
 }
 
 void Executor::wake_watchers(std::uint32_t line, Cycles publisher_clock,
                              const CostModel& costs) {
-  for (auto& t : threads_) {
-    if (t.state == RunState::kBlocked &&
-        (t.watch_line == line || t.watch_line2 == line)) {
-      t.watch_line = kInvalidLine;
-      t.watch_line2 = kInvalidLine;
-      t.state = RunState::kRunnable;
-      t.clock = std::max(t.clock, publisher_clock + costs.wake_latency) + costs.wake_reload;
-    }
+  if (line >= line_watchers_.size()) return;
+  // Ascending thread id, the historical wake order.
+  std::uint64_t waiters = line_watchers_[line];
+  while (waiters != 0) {
+    const auto tid = static_cast<std::uint32_t>(std::countr_zero(waiters));
+    waiters &= waiters - 1;
+    ThreadState& t = threads_[tid];
+    unblock(t);
+    t.clock = std::max(t.clock, publisher_clock + costs.wake_latency) + costs.wake_reload;
   }
+}
+
+void Executor::wake_blocked(std::uint32_t tid, Cycles min_clock) {
+  ThreadState& t = threads_[tid];
+  if (t.state != RunState::kBlocked) return;
+  unblock(t);
+  t.clock = std::max(t.clock, min_clock);
 }
 
 }  // namespace sihle::sim

@@ -23,6 +23,10 @@ namespace sihle::sim {
 
 inline constexpr std::uint32_t kMaxThreads = 64;
 inline constexpr std::uint32_t kInvalidLine = std::numeric_limits<std::uint32_t>::max();
+// Thread-id sentinel, distinct from the line sentinel above even though the
+// two share a representation: pick_next() and friends deal in thread ids,
+// never lines.
+inline constexpr std::uint32_t kInvalidThread = std::numeric_limits<std::uint32_t>::max();
 
 enum class RunState : std::uint8_t { kRunnable, kBlocked, kFinished };
 
@@ -46,6 +50,11 @@ struct ThreadState {
 struct RootTask {
   struct promise_type {
     ThreadState* ts = nullptr;
+    static void* operator new(std::size_t n) { return FramePool::allocate(n); }
+    static void operator delete(void* p) noexcept { FramePool::deallocate(p); }
+    static void operator delete(void* p, std::size_t) noexcept {
+      FramePool::deallocate(p);
+    }
     RootTask get_return_object() {
       return RootTask{std::coroutine_handle<promise_type>::from_promise(*this)};
     }
@@ -101,13 +110,27 @@ class Executor {
                              std::uint32_t line2 = kInvalidLine);
 
   // Wake every thread blocked on `line`; the waiter's clock jumps to the
-  // publisher's clock plus coherence latency.
+  // publisher's clock plus coherence latency.  O(#woken): watchers are kept
+  // in a per-line wake list (bitmask over thread ids), not found by
+  // scanning all threads.
   void wake_watchers(std::uint32_t line, Cycles publisher_clock, const CostModel& costs);
+
+  // Make a blocked thread runnable again without a publish (asynchronous
+  // abort delivery: the HTM doom listener wakes blocked victims).  Advances
+  // the thread's clock to at least `min_clock`.  No-op unless blocked.
+  void wake_blocked(std::uint32_t tid, Cycles min_clock);
 
   std::uint64_t seed() const { return seed_; }
 
  private:
-  std::uint32_t pick_next();  // kInvalidLine if none runnable
+  std::uint32_t pick_next();  // kInvalidThread if none runnable
+
+  // Registers/clears tid in a line's wake list.
+  void watch(std::uint32_t line, std::uint32_t tid);
+  void unwatch(std::uint32_t line, std::uint32_t tid);
+  // Clears watch state and moves a blocked thread to the runnable set.
+  void unblock(ThreadState& t);
+  void finish(ThreadState& t);
 
   std::uint64_t seed_;
   bool random_tie_break_;
@@ -115,6 +138,17 @@ class Executor {
   std::vector<ThreadState> threads_;
   std::vector<RootTask> roots_;
   std::uint32_t current_ = 0;
+  // Maintained scheduling sets (invariant: bit tid set exactly when
+  // threads_[tid].state matches).  kMaxThreads == 64 makes a word-sized
+  // mask an exact, ordered representation: iteration via countr_zero visits
+  // threads in ascending id, matching the historical full-scan order, so
+  // the reservoir tie-break consumes RNG draws in the identical sequence.
+  std::uint64_t runnable_mask_ = 0;
+  std::uint64_t blocked_mask_ = 0;
+  // Per-line wake lists: line_watchers_[line] is the set of blocked threads
+  // watching that line (primary or secondary watch slot).  Grown on demand;
+  // entries are cleared as threads are woken.
+  std::vector<std::uint64_t> line_watchers_;
 };
 
 }  // namespace sihle::sim

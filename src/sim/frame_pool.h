@@ -1,0 +1,194 @@
+// Size-bucketed recycling pool for coroutine frames.
+//
+// Every simulated memory access suspends through at least one Task frame,
+// and workload code (tree operations, retry loops, with_tx bodies) calls a
+// fresh coroutine per operation — so the default malloc-per-frame is the
+// simulator's single largest steady-state allocation source.  The pool
+// recycles frames in 64-byte size buckets: after the first few operations
+// warm the buckets, frame allocation is a pop from a free list and frame
+// destruction a push, and the measurement loop stops exercising the host
+// allocator entirely (cf. the malloc-placement sensitivity of real TSX
+// measurements, PAPERS.md "Malloc placement study").
+//
+// Wiring: sim::Task and sim::RootTask promises route their frame
+// new/delete here.  A pool is installed per host thread with the RAII
+// ActiveFramePool guard (runtime::Machine activates its own pool around
+// spawn() and run()); frames allocated with no active pool fall through to
+// plain operator new.  Each allocation carries a header naming its origin,
+// so a frame may safely outlive the pool that served it and be freed while
+// a different pool (or none) is active — the header, not the active
+// pointer, decides where the memory goes back to.
+//
+// Not thread-safe: a pool must be used from one host thread at a time
+// (each engine worker owns its Machines, hence its pools).
+//
+// Under AddressSanitizer the pool serves every request from the host
+// allocator and never recycles, so ASan retains byte-exact use-after-free
+// detection on coroutine frames (the abort-path unwind tests rely on it).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+// SIHLE_NO_FRAME_POOL=1 in the environment forces every coroutine frame
+// through the host allocator at runtime (diagnostics: bisecting a crash
+// between frame-recycling effects and everything else without a rebuild).
+
+namespace sihle::sim {
+
+#if defined(__SANITIZE_ADDRESS__)
+inline constexpr bool kFramePoolRecycles = false;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+inline constexpr bool kFramePoolRecycles = false;
+#else
+inline constexpr bool kFramePoolRecycles = true;
+#endif
+#else
+inline constexpr bool kFramePoolRecycles = true;
+#endif
+
+class FramePool {
+ public:
+  // Frames above this size are rare (deep inlined workload frames); they
+  // bypass the pool rather than pin large blocks in free lists.
+  static constexpr std::size_t kGranularity = 64;
+  static constexpr std::size_t kMaxPooledBytes = 8192;
+
+  FramePool() : ctrl_(new Control{this, 0}) {}
+
+  FramePool(const FramePool&) = delete;
+  FramePool& operator=(const FramePool&) = delete;
+
+  ~FramePool() {
+    assert(active() != this && "destroying the active frame pool");
+    for (auto& bucket : free_) {
+      for (void* block : bucket) std::free(block);
+    }
+    if (ctrl_->live == 0) {
+      delete ctrl_;
+    } else {
+      // Outstanding frames: orphan them.  Their headers still point at the
+      // control block; each late free returns to the host allocator and the
+      // last one deletes the control block.
+      ctrl_->pool = nullptr;
+    }
+  }
+
+  // The pool new Task frames on this host thread are served from (null =
+  // plain operator new).  Installed via ActiveFramePool.
+  static FramePool*& active() {
+    thread_local FramePool* pool = nullptr;
+    return pool;
+  }
+
+  static bool recycling_enabled() {
+    static const bool on =
+        kFramePoolRecycles && std::getenv("SIHLE_NO_FRAME_POOL") == nullptr;
+    return on;
+  }
+
+  static void* allocate(std::size_t n) {
+    const std::size_t total = round_up(n + sizeof(Header));
+    FramePool* pool = recycling_enabled() ? active() : nullptr;
+    if (pool == nullptr || total > kMaxPooledBytes) {
+      auto* h = static_cast<Header*>(std::malloc(total));
+      if (h == nullptr) throw std::bad_alloc();
+      h->ctrl = nullptr;
+      h->bucket = 0;
+      return h + 1;
+    }
+    return pool->pooled_allocate(total);
+  }
+
+  static void deallocate(void* p) noexcept {
+    if (p == nullptr) return;
+    Header* h = static_cast<Header*>(p) - 1;
+    Control* ctrl = h->ctrl;
+    if (ctrl == nullptr) {
+      std::free(h);
+      return;
+    }
+    --ctrl->live;
+    if (ctrl->pool != nullptr) {
+      ctrl->pool->free_[h->bucket].push_back(h);
+    } else {
+      std::free(h);
+      if (ctrl->live == 0) delete ctrl;
+    }
+  }
+
+  // --- Introspection (tests, docs/PERFORMANCE.md) --------------------------
+  std::uint64_t served() const { return served_; }        // pooled requests
+  std::uint64_t recycled() const { return recycled_; }    // served from a free list
+  std::uint64_t fresh() const { return served_ - recycled_; }
+  std::uint64_t outstanding() const { return ctrl_->live; }
+
+ private:
+  struct Control {
+    FramePool* pool;    // null once the pool is destroyed (orphaned frames)
+    std::uint64_t live; // frames allocated from the pool and not yet freed
+  };
+  // Prefixed to every allocation; 16 bytes keeps malloc's 16-byte alignment
+  // for the frame payload.
+  struct Header {
+    Control* ctrl;       // null: plain malloc block, free with std::free
+    std::uint32_t bucket;
+    std::uint32_t reserved = 0;
+  };
+  static_assert(sizeof(Header) == 16);
+  static_assert(alignof(std::max_align_t) <= 16);
+
+  static constexpr std::size_t round_up(std::size_t n) {
+    return (n + kGranularity - 1) & ~(kGranularity - 1);
+  }
+
+  void* pooled_allocate(std::size_t total) {
+    const std::uint32_t bucket = static_cast<std::uint32_t>(total / kGranularity - 1);
+    ++served_;
+    ++ctrl_->live;
+    auto& list = free_[bucket];
+    Header* h;
+    if (!list.empty()) {
+      ++recycled_;
+      h = static_cast<Header*>(list.back());
+      list.pop_back();
+    } else {
+      h = static_cast<Header*>(std::malloc(total));
+      if (h == nullptr) {
+        --ctrl_->live;
+        throw std::bad_alloc();
+      }
+    }
+    h->ctrl = ctrl_;
+    h->bucket = bucket;
+    return h + 1;
+  }
+
+  static constexpr std::size_t kBuckets = kMaxPooledBytes / kGranularity;
+
+  Control* ctrl_;
+  std::vector<void*> free_[kBuckets];
+  std::uint64_t served_ = 0;
+  std::uint64_t recycled_ = 0;
+};
+
+// Installs `pool` as the thread's active frame pool for the current scope.
+class ActiveFramePool {
+ public:
+  explicit ActiveFramePool(FramePool* pool) : prev_(FramePool::active()) {
+    FramePool::active() = pool;
+  }
+  ActiveFramePool(const ActiveFramePool&) = delete;
+  ActiveFramePool& operator=(const ActiveFramePool&) = delete;
+  ~ActiveFramePool() { FramePool::active() = prev_; }
+
+ private:
+  FramePool* prev_;
+};
+
+}  // namespace sihle::sim

@@ -8,8 +8,11 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <utility>
+
+#include "sim/frame_pool.h"
 
 namespace sihle::sim {
 
@@ -21,9 +24,21 @@ namespace detail {
 // Shared behaviour of Task promises: continuation chaining and exception
 // capture.  The awaiting coroutine's handle is stored as `continuation` and
 // resumed (via symmetric transfer) when the task finishes.
+//
+// Frame allocation routes through the thread's active FramePool (see
+// sim/frame_pool.h): with a pool installed — runtime::Machine installs its
+// own around spawn()/run() — frames are recycled instead of malloc'd per
+// coroutine call.  The frame's header records its origin, so destruction
+// order against the pool is unconstrained.
 struct PromiseBase {
   std::coroutine_handle<> continuation;
   std::exception_ptr error;
+
+  static void* operator new(std::size_t n) { return FramePool::allocate(n); }
+  static void operator delete(void* p) noexcept { FramePool::deallocate(p); }
+  static void operator delete(void* p, std::size_t) noexcept {
+    FramePool::deallocate(p);
+  }
 
   struct FinalAwaiter {
     bool await_ready() noexcept { return false; }

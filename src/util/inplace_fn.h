@@ -1,0 +1,94 @@
+// InplaceFn<Sig, Cap>: a type-erased callable that never heap-allocates.
+//
+// std::function heap-allocates when a capture exceeds its small-buffer
+// optimisation and, on libstdc++, costs an indirect manager call per copy.
+// The transaction hot path queues one compensation/reclamation action per
+// instrumented allocation (Ctx::tx_new / Ctx::retire), so those queues use
+// this fixed-capacity callable instead: the capture is stored inline (a
+// static_assert rejects anything over Cap bytes) and move/destroy go
+// through a single manager function pointer.
+//
+// Move-only.  Invoking an empty InplaceFn is undefined (asserts in debug).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace sihle::util {
+
+template <typename Sig, std::size_t Cap = 32>
+class InplaceFn;
+
+template <typename R, typename... Args, std::size_t Cap>
+class InplaceFn<R(Args...), Cap> {
+ public:
+  InplaceFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InplaceFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InplaceFn(F&& f) {  // NOLINT(google-explicit-constructor) — mirrors std::function
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Cap, "capture too large for InplaceFn inline storage");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t));
+    static_assert(std::is_nothrow_move_constructible_v<Fn>);
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* s, Args... args) -> R {
+      return (*static_cast<Fn*>(s))(std::forward<Args>(args)...);
+    };
+    manage_ = [](void* dst, void* src) {
+      if (dst != nullptr) {  // move-construct dst from src, destroy src
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+      }
+      static_cast<Fn*>(src)->~Fn();
+    };
+  }
+
+  InplaceFn(InplaceFn&& other) noexcept { move_from(std::move(other)); }
+  InplaceFn& operator=(InplaceFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  InplaceFn(const InplaceFn&) = delete;
+  InplaceFn& operator=(const InplaceFn&) = delete;
+
+  ~InplaceFn() { reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    assert(invoke_ != nullptr);
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
+
+  void reset() {
+    if (manage_ != nullptr) manage_(nullptr, storage_);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+ private:
+  void move_from(InplaceFn&& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (manage_ != nullptr) manage_(storage_, other.storage_);
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Cap];
+  R (*invoke_)(void*, Args...) = nullptr;
+  // manage(dst, src): dst != null → move src into dst then destroy src;
+  // dst == null → destroy src.
+  void (*manage_)(void*, void*) = nullptr;
+};
+
+}  // namespace sihle::util

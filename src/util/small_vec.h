@@ -1,0 +1,175 @@
+// SmallVec<T, N>: a vector with N elements of inline storage.
+//
+// The simulator's steady-state path (one simulation event) must not touch
+// the heap (docs/PERFORMANCE.md).  Per-transaction bookkeeping — read/write
+// line sets, the staged write buffer, undo/retire action lists — lives in
+// SmallVecs sized for typical transaction footprints: short transactions
+// stay entirely inline, and clear() keeps whatever heap capacity a large
+// transaction did force, so a long-lived TxContext allocates at most a few
+// times over a whole run.
+//
+// Supported operations are the subset the hot paths need (push/emplace,
+// indexed access, iteration, erase, clear-retaining-capacity).  Move-only
+// element types are supported; moved-from SmallVecs are empty.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace sihle::util {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(N > 0, "inline capacity must be nonzero");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() = default;
+
+  SmallVec(SmallVec&& other) noexcept { move_from(std::move(other)); }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      destroy_all();
+      release_heap();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  SmallVec(const SmallVec&) = delete;
+  SmallVec& operator=(const SmallVec&) = delete;
+
+  ~SmallVec() {
+    destroy_all();
+    release_heap();
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  std::reverse_iterator<iterator> rbegin() { return std::reverse_iterator<iterator>(end()); }
+  std::reverse_iterator<iterator> rend() { return std::reverse_iterator<iterator>(begin()); }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  T& back() {
+    assert(size_ > 0);
+    return data_[size_ - 1];
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <class... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow(capacity_ * 2);
+    T* slot = ::new (static_cast<void*>(data_ + size_)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    --size_;
+    data_[size_].~T();
+  }
+
+  // Erases the element at `pos`, preserving the order of the remainder.
+  iterator erase(iterator pos) {
+    assert(pos >= begin() && pos < end());
+    for (iterator it = pos; it + 1 != end(); ++it) *it = std::move(*(it + 1));
+    pop_back();
+    return pos;
+  }
+
+  // Destroys elements but keeps the current storage (inline or heap), so a
+  // hot loop that clears and refills never reallocates at steady state.
+  void clear() {
+    destroy_all();
+    size_ = 0;
+  }
+
+  void reserve(std::size_t cap) {
+    if (cap > capacity_) grow(cap);
+  }
+
+ private:
+  void grow(std::size_t new_cap) {
+    if (new_cap < capacity_ * 2) new_cap = capacity_ * 2;
+    T* fresh = static_cast<T*>(::operator new(new_cap * sizeof(T), std::align_val_t(alignof(T))));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    release_heap();
+    data_ = fresh;
+    capacity_ = new_cap;
+  }
+
+  void destroy_all() {
+    for (std::size_t i = 0; i < size_; ++i) data_[i].~T();
+  }
+
+  void release_heap() {
+    if (data_ != inline_data()) {
+      ::operator delete(data_, std::align_val_t(alignof(T)));
+    }
+    data_ = inline_data();
+    capacity_ = N;
+  }
+
+  void move_from(SmallVec&& other) noexcept {
+    if (other.data_ != other.inline_data()) {
+      // Steal the heap buffer.
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_data();
+      other.capacity_ = N;
+      other.size_ = 0;
+    } else {
+      data_ = inline_data();
+      capacity_ = N;
+      size_ = other.size_;
+      for (std::size_t i = 0; i < size_; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T(std::move(other.data_[i]));
+        other.data_[i].~T();
+      }
+      other.size_ = 0;
+    }
+  }
+
+  T* inline_data() { return reinterpret_cast<T*>(inline_storage_); }
+
+  alignas(alignof(T)) unsigned char inline_storage_[N * sizeof(T)];
+  T* data_ = inline_data();
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace sihle::util

@@ -1,0 +1,264 @@
+// Tests of the simulator hot-path machinery (docs/PERFORMANCE.md): the
+// staged-write buffer's O(1) store-to-load forwarding across its
+// inline→overflow boundary, capacity aborts at the same boundary, and the
+// coroutine-frame pool's recycling across commit and abort unwinds.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "htm/htm.h"
+#include "mem/directory.h"
+#include "mem/shared.h"
+#include "runtime/ctx.h"
+#include "sim/frame_pool.h"
+#include "sim/task.h"
+
+namespace sihle {
+namespace {
+
+using htm::AbortCause;
+using htm::Htm;
+using htm::HtmConfig;
+using mem::Directory;
+using mem::Shared;
+using runtime::Ctx;
+using runtime::LineHandle;
+using runtime::Machine;
+
+struct Fixture {
+  Directory dir;
+  Htm htm;
+  sim::Rng rng{1};
+  std::vector<std::unique_ptr<Shared<std::uint64_t>>> owned;
+  explicit Fixture(HtmConfig cfg = {}) : htm(dir, cfg) {}
+  Shared<std::uint64_t>& cell(std::uint64_t init = 0) {
+    owned.push_back(std::make_unique<Shared<std::uint64_t>>(dir.alloc(), init));
+    return *owned.back();
+  }
+};
+
+// --- Store-to-load forwarding across the write buffer ---------------------
+
+TEST(WriteBufferForwarding, LastStoreWinsOnRepeatedStores) {
+  Fixture f;
+  auto& x = f.cell(7);
+  f.htm.begin(0, f.rng);
+  for (std::uint64_t v = 1; v <= 5; ++v) {
+    EXPECT_TRUE(f.htm.tx_store(0, x, v, f.rng).abort.ok());
+    const auto r = f.htm.tx_load(0, x, f.rng);
+    EXPECT_TRUE(r.abort.ok());
+    EXPECT_EQ(r.value, v);  // forwarded, not memory's 7
+  }
+  std::vector<mem::Line> published;
+  EXPECT_TRUE(f.htm.commit(0, published).ok());
+  EXPECT_EQ(f.htm.nontx_load(1, x), 5u);
+}
+
+// Writes spill past the buffer's inline capacity (8 entries) into the
+// hashed index; forwarding must stay exact for every staged cell through
+// the crossover, and repeated stores must keep updating in place.
+TEST(WriteBufferForwarding, ForwardingAcrossInlineOverflowBoundary) {
+  HtmConfig cfg;
+  cfg.max_write_lines = 64;
+  Fixture f(cfg);
+  constexpr int kCells = 12;  // inline capacity is 8 — crosses the boundary
+  std::vector<Shared<std::uint64_t>*> cells;
+  for (int i = 0; i < kCells; ++i) cells.push_back(&f.cell(1000 + i));
+
+  f.htm.begin(0, f.rng);
+  for (int i = 0; i < kCells; ++i) {
+    EXPECT_TRUE(f.htm.tx_store(0, *cells[i], 100 + i, f.rng).abort.ok());
+    // After every insertion — including the one that triggers the index
+    // rebuild — every staged cell must forward its own value.
+    for (int j = 0; j <= i; ++j) {
+      const auto r = f.htm.tx_load(0, *cells[j], f.rng);
+      ASSERT_TRUE(r.abort.ok());
+      EXPECT_EQ(r.value, 100u + j) << "cell " << j << " after " << i + 1
+                                   << " staged writes";
+    }
+  }
+  // Overwrite each cell now that the buffer is in overflow mode: updates
+  // must hit the existing entry, not append duplicates.
+  for (int i = 0; i < kCells; ++i) {
+    EXPECT_TRUE(f.htm.tx_store(0, *cells[i], 200 + i, f.rng).abort.ok());
+  }
+  for (int i = 0; i < kCells; ++i) {
+    const auto r = f.htm.tx_load(0, *cells[i], f.rng);
+    ASSERT_TRUE(r.abort.ok());
+    EXPECT_EQ(r.value, 200u + i);
+  }
+
+  std::vector<mem::Line> published;
+  EXPECT_TRUE(f.htm.commit(0, published).ok());
+  // One published line per distinct cell (no duplicate entries), in
+  // first-store order — the contract the old linear buffer established.
+  ASSERT_EQ(published.size(), static_cast<std::size_t>(kCells));
+  for (int i = 0; i < kCells; ++i) {
+    EXPECT_EQ(published[i], cells[i]->line());
+    EXPECT_EQ(f.htm.nontx_load(1, *cells[i]), 200u + i);
+  }
+}
+
+TEST(WriteBufferForwarding, CapacityAbortAtInlineOverflowBoundary) {
+  // max_write_lines one past the inline capacity: the buffer must overflow
+  // into its index and then hit the capacity wall, in that order.
+  HtmConfig cfg;
+  cfg.max_write_lines = 9;
+  Fixture f(cfg);
+  std::vector<Shared<std::uint64_t>*> cells;
+  for (int i = 0; i < 10; ++i) cells.push_back(&f.cell(50 + i));
+
+  f.htm.begin(0, f.rng);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_TRUE(f.htm.tx_store(0, *cells[i], i, f.rng).abort.ok());
+  }
+  const auto r = f.htm.tx_store(0, *cells[9], 9, f.rng);
+  EXPECT_EQ(r.abort.cause, AbortCause::kCapacity);
+  EXPECT_FALSE(r.abort.retry);  // capacity aborts are not transient
+  f.htm.rollback(0);
+  // Nothing leaked to memory, and the buffer is clean for the next tx.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(f.htm.nontx_load(1, *cells[i]), 50u + i);
+  }
+  f.htm.begin(0, f.rng);
+  const auto reread = f.htm.tx_load(0, *cells[0], f.rng);
+  EXPECT_TRUE(reread.abort.ok());
+  EXPECT_EQ(reread.value, 50u);  // no stale forwarding from the aborted tx
+  f.htm.rollback(0);
+}
+
+// An abort with the buffer in overflow mode must discard all staged writes
+// (the O(1) generation-bump clear) and run undo actions as before.
+TEST(WriteBufferForwarding, AbortDiscardsOverflowedBuffer) {
+  HtmConfig cfg;
+  cfg.max_write_lines = 64;
+  Fixture f(cfg);
+  std::vector<Shared<std::uint64_t>*> cells;
+  for (int i = 0; i < 12; ++i) cells.push_back(&f.cell(9000 + i));
+
+  int undone = 0;
+  f.htm.begin(0, f.rng);
+  f.htm.tx(0).undo_on_abort.push_back([&] { undone++; });
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_TRUE(f.htm.tx_store(0, *cells[i], i, f.rng).abort.ok());
+  }
+  // A non-transactional store from another thread dooms the writer.
+  f.htm.nontx_store(1, *cells[3], 1234);
+  EXPECT_TRUE(f.htm.tx(0).doomed);
+  f.htm.rollback(0);
+  EXPECT_EQ(undone, 1);
+  EXPECT_EQ(f.htm.nontx_load(1, *cells[3]), 1234u);
+  for (int i = 0; i < 12; ++i) {
+    if (i == 3) continue;
+    EXPECT_EQ(f.htm.nontx_load(1, *cells[i]), 9000u + i);
+  }
+}
+
+// --- Coroutine-frame pool -------------------------------------------------
+
+struct Counter {
+  LineHandle line;
+  Shared<std::uint64_t> value;
+  explicit Counter(Machine& m) : line(m), value(line.line(), 0) {}
+};
+
+sim::Task<void> incr_once(Ctx& c, Counter& cnt) {
+  const std::uint64_t v = co_await c.load(cnt.value);
+  co_await c.store(cnt.value, v + 1);
+}
+
+sim::Task<void> committed_tx_loop(Ctx& c, Counter& cnt, int n) {
+  for (int i = 0; i < n; ++i) {
+    const auto s = co_await c.with_tx([&c, &cnt] { return incr_once(c, cnt); });
+    (void)s;
+  }
+}
+
+TEST(FramePool, ReusesFramesAcrossManyTransactions) {
+  Machine m;
+  Counter cnt(m);
+  constexpr int kTxs = 10000;
+  m.spawn([&](Ctx& c) { return committed_tx_loop(c, cnt, kTxs); });
+  m.run();
+  EXPECT_EQ(m.htm().nontx_load(0, cnt.value), static_cast<std::uint64_t>(kTxs));
+
+  const sim::FramePool& pool = m.frame_pool();
+  if (!sim::kFramePoolRecycles) {
+    // Under ASan the pool deliberately serves nothing (frames come from the
+    // host allocator so use-after-free stays byte-exact).
+    EXPECT_EQ(pool.served(), 0u);
+    return;
+  }
+  // Every transaction allocates at least a with_tx frame and a body frame.
+  EXPECT_GT(pool.served(), static_cast<std::uint64_t>(2 * kTxs));
+  // Steady state: after the first few operations warm the buckets, frames
+  // come from the free lists.  Fresh allocations are bounded by the warmup,
+  // not by the transaction count.
+  EXPECT_LT(pool.fresh(), 64u);
+  EXPECT_GT(pool.recycled(), pool.served() - 64);
+  // Only the root wrapper and the thread-body frame it owns are still live
+  // after the run (both are freed in ~Executor).
+  EXPECT_LE(pool.outstanding(), 2u);
+}
+
+sim::Task<void> contended_tx_loop(Ctx& c, Counter& cnt, int n) {
+  for (int i = 0; i < n; ++i) {
+    while (true) {
+      const auto s = co_await c.with_tx([&c, &cnt] { return incr_once(c, cnt); });
+      if (s.ok()) break;
+      co_await c.work(5 + c.rng().below(16));  // randomized backoff
+    }
+  }
+}
+
+// Aborts unwind the workload coroutine chain via TxAbortException; every
+// frame destroyed during the unwind must return to the pool (and under
+// ASan, where recycling is off, the unwind must stay allocator-clean).
+TEST(FramePool, AbortUnwindRecyclesFrames) {
+  Machine::Config mc;
+  mc.seed = 11;
+  mc.htm.spurious_abort_per_access = 0.01;
+  Machine m(mc);
+  Counter cnt(m);
+  constexpr int kThreads = 2;
+  constexpr int kTxs = 300;
+  for (int t = 0; t < kThreads; ++t) {
+    m.spawn([&](Ctx& c) { return contended_tx_loop(c, cnt, kTxs); });
+  }
+  m.run();
+  EXPECT_EQ(m.htm().nontx_load(0, cnt.value),
+            static_cast<std::uint64_t>(kThreads * kTxs));
+
+  const sim::FramePool& pool = m.frame_pool();
+  if (!sim::kFramePoolRecycles) return;
+  // All frames allocated during the run — including those destroyed by
+  // abort unwinds — are back in the free lists except the root wrapper and
+  // the thread-body frame it owns (two per thread, freed in ~Executor).
+  EXPECT_LE(pool.outstanding(), static_cast<std::uint64_t>(2 * kThreads));
+  EXPECT_LT(pool.fresh(), 96u);
+}
+
+sim::Task<void> trivial_task() { co_return; }
+
+// A frame may outlive the pool that served it: the allocation header keeps
+// a control block alive, and late frees fall back to the host allocator.
+TEST(FramePool, FramesMayOutliveTheirPool) {
+  std::optional<sim::Task<void>> survivor;
+  {
+    sim::FramePool pool;
+    sim::ActiveFramePool scope(&pool);
+    survivor.emplace(trivial_task());
+    if (sim::kFramePoolRecycles) {
+      EXPECT_EQ(pool.outstanding(), 1u);
+    }
+    // scope restores the previous active pool, then pool dies with the
+    // frame still live — orphaning it rather than freeing it.
+  }
+  survivor.reset();  // must not crash or touch freed pool memory
+}
+
+}  // namespace
+}  // namespace sihle
