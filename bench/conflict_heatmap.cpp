@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "ds/rbtree.h"
-#include "elision/schemes.h"
+#include "elision/elided_lock.h"
 #include "harness/cli.h"
 #include "harness/table.h"
 #include "runtime/ctx.h"
@@ -23,16 +23,17 @@ using runtime::Machine;
 
 namespace {
 
-sim::Task<void> tree_worker(Ctx& c, locks::TTASLock& lock, locks::MCSLock& aux,
-                            ds::RBTree& tree, std::uint64_t domain, int updates,
+sim::Task<void> tree_worker(Ctx& c, elision::ElidedLock& lock, ds::RBTree& tree,
+                            std::uint64_t domain, int updates,
                             sim::Cycles duration, stats::OpStats& st) {
+  const elision::Policy policy = elision::Scheme::kHle;
   const sim::Cycles t0 = c.now();
   while (c.now() - t0 < duration) {
     const auto key = static_cast<std::int64_t>(c.rng().below(domain));
     const int dice = static_cast<int>(c.rng().below(100));
     if (dice < updates / 2) {
-      co_await elision::run_op(
-          elision::Scheme::kHle, c, lock, aux,
+      co_await elision::run_cs(
+          policy, c, lock,
           [&tree, key](Ctx& cc) -> sim::Task<void> {
             return [](Ctx& c2, ds::RBTree& t, std::int64_t k) -> sim::Task<void> {
               const bool r = co_await t.insert(c2, k);
@@ -41,8 +42,8 @@ sim::Task<void> tree_worker(Ctx& c, locks::TTASLock& lock, locks::MCSLock& aux,
           },
           st);
     } else if (dice < updates) {
-      co_await elision::run_op(
-          elision::Scheme::kHle, c, lock, aux,
+      co_await elision::run_cs(
+          policy, c, lock,
           [&tree, key](Ctx& cc) -> sim::Task<void> {
             return [](Ctx& c2, ds::RBTree& t, std::int64_t k) -> sim::Task<void> {
               const bool r = co_await t.erase(c2, k);
@@ -51,8 +52,8 @@ sim::Task<void> tree_worker(Ctx& c, locks::TTASLock& lock, locks::MCSLock& aux,
           },
           st);
     } else {
-      co_await elision::run_op(
-          elision::Scheme::kHle, c, lock, aux,
+      co_await elision::run_cs(
+          policy, c, lock,
           [&tree, key](Ctx& cc) -> sim::Task<void> {
             return [](Ctx& c2, ds::RBTree& t, std::int64_t k) -> sim::Task<void> {
               const bool r = co_await t.contains(c2, k);
@@ -88,8 +89,9 @@ int main(int argc, char** argv) {
     cfg.htm.persistent_abort_per_tx = 0.0;
     cfg.htm.track_conflict_lines = true;
     Machine m(cfg);
-    locks::TTASLock lock(m);
-    locks::MCSLock aux(m);
+    // Same sync-line allocation order as before the ElidedLock port: main
+    // TTAS lock, MCS aux, then the tree.
+    elision::ElidedLock lock(m, locks::LockKind::kTtas);
     ds::RBTree tree(m);
     {
       sim::Rng fill(7);
@@ -104,7 +106,7 @@ int main(int argc, char** argv) {
         static_cast<sim::Cycles>(duration_ms * cfg.costs.cycles_per_ms);
     for (int t = 0; t < threads; ++t) {
       m.spawn([&, t](Ctx& c) {
-        return tree_worker(c, lock, aux, tree, 2 * size, updates, duration, st[t]);
+        return tree_worker(c, lock, tree, 2 * size, updates, duration, st[t]);
       });
     }
     m.run();

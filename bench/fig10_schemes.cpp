@@ -138,9 +138,9 @@ int main(int argc, char** argv) {
           cfg.events = &events;
           (void)harness::run_rbtree_workload(cfg);
           stats::TraceRunMeta meta;
-          meta.scheme = elision::to_string(cfg.scheme);
+          meta.scheme = elision::policy_label(cfg.scheme);
           meta.lock = locks::to_string(cfg.lock);
-          meta.label = std::string(meta.scheme) + "/" + meta.lock + "/" +
+          meta.label = meta.scheme + "/" + meta.lock + "/" +
                        mix.name + "/size=" + harness::size_label(cfg.tree_size);
           meta.threads = cfg.threads;
           meta.seed = cfg.seed;

@@ -125,7 +125,7 @@ int main(int argc, char** argv) {
         stats::TraceRunMeta meta;
         meta.label = std::string("hle/") + locks::to_string(lock) +
                      "/size=" + harness::size_label(size);
-        meta.scheme = elision::to_string(cfg.scheme);
+        meta.scheme = elision::policy_label(cfg.scheme);
         meta.lock = locks::to_string(lock);
         meta.threads = threads;
         meta.seed = cfg.seed;

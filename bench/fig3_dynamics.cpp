@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
     if (cfg.events != nullptr) {
       stats::TraceRunMeta meta;
       meta.label = std::string("hle/") + locks::to_string(cfg.lock);
-      meta.scheme = elision::to_string(cfg.scheme);
+      meta.scheme = elision::policy_label(cfg.scheme);
       meta.lock = locks::to_string(cfg.lock);
       meta.threads = threads;
       meta.seed = cfg.seed;

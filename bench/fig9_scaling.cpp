@@ -7,9 +7,17 @@
 // fanned out across host threads.
 //
 // Flags: --size=N --updates=PCT --duration-ms=F
+//        --schemes=SPEC[;SPEC...]  registry policy specs, e.g.
+//                            "hle-scm:aux=ticket,retries=5;slr:backoff=exp"
+//                            (semicolon-separated — specs themselves contain
+//                            commas; default: the six paper schemes)
 //        --jobs=N --replicates=K --seed=S --out=FILE --baseline=FILE --noise=F
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "elision/registry.h"
 #include "exp/harness.h"
 #include "harness/cli.h"
 #include "harness/table.h"
@@ -44,17 +52,36 @@ int main(int argc, char** argv) {
     cfg.scheme = elision::Scheme::kNoLock;
     exp::add_workload_cell(spec, {{"scheme", "NoLock"}, {"threads", "1"}}, cfg);
   }
+  // The scheme axis: the six paper schemes by default, or any registry
+  // policy specs via --schemes= (axis value = elision::policy_label, which
+  // is the canonical display name for paper schemes, so the default cell
+  // ids — and the committed baseline — are unchanged).
+  // Semicolon-separated: the spec grammar uses commas for parameters.
+  std::vector<elision::Policy> policies;
+  const std::string scheme_list = args.get("schemes", "");
+  for (std::size_t pos = 0; pos < scheme_list.size();) {
+    std::size_t semi = scheme_list.find(';', pos);
+    if (semi == std::string::npos) semi = scheme_list.size();
+    if (semi > pos) {
+      policies.push_back(harness::parse_scheme(scheme_list.substr(pos, semi - pos)));
+    }
+    pos = semi + 1;
+  }
+  if (policies.empty()) {
+    policies.assign(elision::kAllSchemes.begin(), elision::kAllSchemes.end());
+  }
+
   const locks::LockKind lock_kinds[] = {locks::LockKind::kTtas,
                                         locks::LockKind::kMcs};
   for (locks::LockKind lock : lock_kinds) {
-    for (elision::Scheme scheme : elision::kAllSchemes) {
+    for (const elision::Policy& policy : policies) {
       for (int threads : {1, 2, 4, 8}) {
         WorkloadConfig cfg = base;
         cfg.lock = lock;
-        cfg.scheme = scheme;
+        cfg.scheme = policy;
         cfg.threads = threads;
         exp::add_workload_cell(spec,
-                               {{"scheme", elision::to_string(scheme)},
+                               {{"scheme", elision::policy_label(policy)},
                                 {"lock", locks::to_string(lock)},
                                 {"threads", std::to_string(threads)}},
                                cfg);
@@ -74,8 +101,8 @@ int main(int argc, char** argv) {
   std::size_t next = 1;  // cells were appended in table order
   for (locks::LockKind lock : lock_kinds) {
     Table table({"scheme", "1", "2", "4", "8"});
-    for (elision::Scheme scheme : elision::kAllSchemes) {
-      std::vector<std::string> row{elision::to_string(scheme)};
+    for (const elision::Policy& policy : policies) {
+      std::vector<std::string> row{elision::policy_label(policy)};
       for (int threads : {1, 2, 4, 8}) {
         (void)threads;
         row.push_back(

@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "ds/hashtable.h"
-#include "elision/schemes.h"
+#include "elision/elided_lock.h"
 #include "harness/cli.h"
 #include "harness/table.h"
 #include "runtime/ctx.h"
@@ -65,20 +65,20 @@ sim::Cycles run(Granularity g, elision::Scheme scheme, int threads,
   }
   // Coarse: one lock.  Fine: one lock per key stripe (a fine-grained
   // program still takes a lock per operation, just a rarely-contended one).
-  std::vector<std::unique_ptr<locks::TTASLock>> locks_;
-  std::vector<std::unique_ptr<locks::MCSLock>> auxes;
+  // Each ElidedLock allocates its main lock's sync line then its MCS aux
+  // line, matching the historical TTAS/MCS interleaving.
+  std::vector<std::unique_ptr<elision::ElidedLock>> locks_;
   const int nlocks = g == Granularity::kCoarse ? 1 : kStripes;
   for (int i = 0; i < nlocks; ++i) {
-    locks_.push_back(std::make_unique<locks::TTASLock>(m));
-    auxes.push_back(std::make_unique<locks::MCSLock>(m));
+    locks_.push_back(
+        std::make_unique<elision::ElidedLock>(m, locks::LockKind::kTtas));
   }
 
   std::vector<stats::OpStats> st(threads);
   for (int t = 0; t < threads; ++t) {
     m.spawn([&, t](Ctx& c) -> sim::Task<void> {
-      return [](Ctx& cc, Granularity gg, elision::Scheme s, ds::HashTable& tb,
-                std::vector<std::unique_ptr<locks::TTASLock>>& ls,
-                std::vector<std::unique_ptr<locks::MCSLock>>& as,
+      return [](Ctx& cc, Granularity gg, elision::Policy s, ds::HashTable& tb,
+                std::vector<std::unique_ptr<elision::ElidedLock>>& ls,
                 std::uint64_t domain, int upd, int n,
                 stats::OpStats& stats_out) -> sim::Task<void> {
         for (int i = 0; i < n; ++i) {
@@ -87,12 +87,12 @@ sim::Cycles run(Granularity g, elision::Scheme scheme, int threads,
           const int action = dice < upd / 2 ? 0 : (dice < upd ? 1 : 2);
           const std::size_t li =
               gg == Granularity::kCoarse ? 0 : stripe_of(key) % ls.size();
-          co_await elision::run_op(
-              s, cc, *ls[li], *as[li],
+          co_await elision::run_cs(
+              s, cc, *ls[li],
               [&tb, key, action](Ctx& c2) { return table_op(c2, tb, key, action); },
               stats_out);
         }
-      }(c, g, scheme, table, locks_, auxes, 2 * size, updates, ops, st[t]);
+      }(c, g, scheme, table, locks_, 2 * size, updates, ops, st[t]);
     });
   }
   m.run();

@@ -4,7 +4,7 @@
 // per handoff.  These track the harness's own performance.
 #include <benchmark/benchmark.h>
 
-#include "elision/schemes.h"
+#include "elision/elided_lock.h"
 #include "locks/locks.h"
 #include "runtime/ctx.h"
 
@@ -69,12 +69,12 @@ struct Cell {
   explicit Cell(Machine& m) : line(m), v(line.line(), 0) {}
 };
 
-template <class Lock>
-sim::Task<void> elided_loop(Ctx& c, Lock& lock, locks::MCSLock& aux, Cell& cell,
+sim::Task<void> elided_loop(Ctx& c, elision::ElidedLock& lock, Cell& cell,
                             int n, stats::OpStats& st) {
+  const elision::Policy policy = elision::Scheme::kHle;
   for (int i = 0; i < n; ++i) {
-    co_await elision::run_op(
-        elision::Scheme::kHle, c, lock, aux,
+    co_await elision::run_cs(
+        policy, c, lock,
         [&cell](Ctx& cc) -> sim::Task<void> {
           return [](Ctx& c2, Cell& k) -> sim::Task<void> {
             const std::uint64_t v = co_await c2.load(k.v);
@@ -85,22 +85,23 @@ sim::Task<void> elided_loop(Ctx& c, Lock& lock, locks::MCSLock& aux, Cell& cell,
   }
 }
 
-template <class Lock>
+template <locks::LockKind K>
 void BM_ElidedCriticalSection(benchmark::State& state) {
   std::uint64_t iters = 0;
   for (auto _ : state) {
     Machine m;
-    Lock lock(m);
-    locks::MCSLock aux(m);
+    elision::ElidedLock lock(m, K);
     Cell cell(m);
     stats::OpStats st;
-    m.spawn([&](Ctx& c) { return elided_loop(c, lock, aux, cell, 1500, st); });
+    m.spawn([&](Ctx& c) { return elided_loop(c, lock, cell, 1500, st); });
     m.run();
     iters += 1500;
   }
   state.SetItemsProcessed(static_cast<int64_t>(iters));
 }
-BENCHMARK(BM_ElidedCriticalSection<locks::TTASLock>)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_ElidedCriticalSection<locks::MCSLock>)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ElidedCriticalSection<locks::LockKind::kTtas>)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ElidedCriticalSection<locks::LockKind::kMcs>)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace

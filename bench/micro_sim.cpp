@@ -5,7 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "ds/rbtree.h"
-#include "elision/schemes.h"
+#include "elision/elided_lock.h"
 #include "locks/locks.h"
 #include "runtime/ctx.h"
 
@@ -63,14 +63,13 @@ void BM_CommittedTransaction(benchmark::State& state) {
 }
 BENCHMARK(BM_CommittedTransaction)->Unit(benchmark::kMillisecond);
 
-template <class Lock>
-sim::Task<void> contended_worker(Ctx& c, elision::Scheme s, Lock& lock,
-                                 locks::MCSLock& aux, ds::RBTree& tree, int ops,
-                                 stats::OpStats& st) {
+sim::Task<void> contended_worker(Ctx& c, elision::Policy policy,
+                                 elision::ElidedLock& lock, ds::RBTree& tree,
+                                 int ops, stats::OpStats& st) {
   for (int i = 0; i < ops; ++i) {
     const std::int64_t key = static_cast<std::int64_t>(c.rng().below(256));
-    co_await elision::run_op(
-        s, c, lock, aux,
+    co_await elision::run_cs(
+        policy, c, lock,
         [&tree, key](Ctx& cc) -> sim::Task<void> {
           return [](Ctx& c2, ds::RBTree& t, std::int64_t k) -> sim::Task<void> {
             const bool r = co_await t.insert(c2, k);
@@ -88,15 +87,13 @@ void BM_ContendedTreeRun(benchmark::State& state) {
     Machine::Config mc;
     mc.htm.spurious_abort_per_access = 1e-4;
     Machine m(mc);
-    locks::TTASLock lock(m);
-    locks::MCSLock aux(m);
+    elision::ElidedLock lock(m, locks::LockKind::kTtas);
     ds::RBTree tree(m);
     for (int k = 0; k < 256; k += 2) tree.debug_insert(k);
     std::vector<stats::OpStats> st(8);
     for (int t = 0; t < 8; ++t) {
       m.spawn([&, t](Ctx& c) {
-        return contended_worker<locks::TTASLock>(c, scheme, lock, aux, tree, 500,
-                                                 st[t]);
+        return contended_worker(c, scheme, lock, tree, 500, st[t]);
       });
     }
     m.run();

@@ -29,7 +29,7 @@
 #include <vector>
 
 #include "ds/rbtree.h"
-#include "elision/schemes.h"
+#include "elision/elided_lock.h"
 #include "exp/harness.h"
 #include "harness/cli.h"
 #include "harness/table.h"
@@ -104,14 +104,13 @@ PassCounts run_committed_tx(std::uint64_t seed) {
   return {total_events(m), commits};
 }
 
-sim::Task<void> contended_worker(Ctx& c, elision::Scheme s,
-                                 locks::TTASLock& lock, locks::MCSLock& aux,
-                                 ds::RBTree& tree, int ops,
-                                 stats::OpStats& st) {
+sim::Task<void> contended_worker(Ctx& c, elision::Policy policy,
+                                 elision::ElidedLock& lock, ds::RBTree& tree,
+                                 int ops, stats::OpStats& st) {
   for (int i = 0; i < ops; ++i) {
     const std::int64_t key = static_cast<std::int64_t>(c.rng().below(256));
-    co_await elision::run_op(
-        s, c, lock, aux,
+    co_await elision::run_cs(
+        policy, c, lock,
         [&tree, key](Ctx& cc) -> sim::Task<void> {
           return [](Ctx& c2, ds::RBTree& t, std::int64_t k) -> sim::Task<void> {
             const bool r = co_await t.insert(c2, k);
@@ -127,14 +126,15 @@ PassCounts run_contended_tree(elision::Scheme scheme, std::uint64_t seed) {
   mc.seed = seed;
   mc.htm.spurious_abort_per_access = 1e-4;
   Machine m(mc);
-  locks::TTASLock lock(m);
-  locks::MCSLock aux(m);
+  // Same sync-line allocation order as the pre-ElidedLock version: TTAS
+  // main lock, MCS aux, then the tree.
+  elision::ElidedLock lock(m, locks::LockKind::kTtas);
   ds::RBTree tree(m);
   for (int k = 0; k < 256; k += 2) tree.debug_insert(k);
   std::vector<stats::OpStats> st(8);
   for (int t = 0; t < 8; ++t) {
     m.spawn([&, t](Ctx& c) {
-      return contended_worker(c, scheme, lock, aux, tree, 500, st[t]);
+      return contended_worker(c, scheme, lock, tree, 500, st[t]);
     });
   }
   m.run();

@@ -14,7 +14,7 @@
 #include <memory>
 #include <vector>
 
-#include "elision/schemes.h"
+#include "elision/elided_lock.h"
 #include "locks/locks.h"
 #include "runtime/ctx.h"
 #include "runtime/shared_array.h"
@@ -45,17 +45,16 @@ sim::Task<void> audit(Ctx& c, SharedArray<std::int64_t>& accounts,
   *observed_total = total;
 }
 
-template <class Lock>
-sim::Task<void> teller(Ctx& c, elision::Scheme scheme, Lock& lock,
-                       locks::MCSLock& aux, SharedArray<std::int64_t>& accounts,
-                       int ops, stats::OpStats& st, std::uint64_t* audit_failures) {
+sim::Task<void> teller(Ctx& c, elision::Policy scheme, elision::ElidedLock& lock,
+                       SharedArray<std::int64_t>& accounts, int ops,
+                       stats::OpStats& st, std::uint64_t* audit_failures) {
   const auto n = static_cast<std::uint64_t>(accounts.size());
   for (int i = 0; i < ops; ++i) {
     if (c.rng().chance(0.02)) {
       // Occasional full audit: a long read-only critical section.
       std::int64_t total = 0;
-      co_await elision::run_op(
-          scheme, c, lock, aux,
+      co_await elision::run_cs(
+          scheme, c, lock,
           [&accounts, &total](Ctx& cc) { return audit(cc, accounts, &total); }, st);
       if (total != static_cast<std::int64_t>(n) * kInitialBalance) {
         ++*audit_failures;
@@ -65,8 +64,8 @@ sim::Task<void> teller(Ctx& c, elision::Scheme scheme, Lock& lock,
       int to = static_cast<int>(c.rng().below(n));
       if (to == from) to = (to + 1) % static_cast<int>(n);
       const std::int64_t amount = 1 + static_cast<std::int64_t>(c.rng().below(50));
-      co_await elision::run_op(
-          scheme, c, lock, aux,
+      co_await elision::run_cs(
+          scheme, c, lock,
           [&accounts, from, to, amount](Ctx& cc) {
             return transfer(cc, accounts, from, to, amount);
           },
@@ -93,20 +92,15 @@ int main(int argc, char** argv) {
       Machine m(cfg);
       SharedArray<std::int64_t> accounts(m, static_cast<std::size_t>(accounts_n),
                                          kInitialBalance);
-      locks::TTASLock ttas(m);
-      locks::MCSLock mcs(m);
-      locks::MCSLock aux(m);
+      // The global lock under test, with its SCM aux lock and adaptation
+      // state bundled; the LockKind product lives inside ElidedLock.
+      elision::ElidedLock lock(m, lk);
 
       std::vector<stats::OpStats> st(threads);
       std::uint64_t audit_failures = 0;
       for (int t = 0; t < threads; ++t) {
         m.spawn([&, t](Ctx& c) -> sim::Task<void> {
-          if (lk == locks::LockKind::kTtas) {
-            return teller<locks::TTASLock>(c, scheme, ttas, aux, accounts, ops,
-                                           st[t], &audit_failures);
-          }
-          return teller<locks::MCSLock>(c, scheme, mcs, aux, accounts, ops, st[t],
-                                        &audit_failures);
+          return teller(c, scheme, lock, accounts, ops, st[t], &audit_failures);
         });
       }
       m.run();

@@ -6,7 +6,7 @@
 //               ./build/examples/quickstart
 #include <cstdio>
 
-#include "elision/schemes.h"
+#include "elision/elided_lock.h"
 #include "locks/locks.h"
 #include "runtime/ctx.h"
 
@@ -31,15 +31,16 @@ sim::Task<void> deposit(Ctx& ctx, Account& acct, std::int64_t amount) {
   co_await ctx.store(acct.balance, cur + amount);
 }
 
-sim::Task<void> worker(Ctx& ctx, elision::Scheme scheme, locks::TTASLock& lock,
-                       locks::MCSLock& aux, Account& acct, int ops,
+sim::Task<void> worker(Ctx& ctx, elision::Policy policy,
+                       elision::ElidedLock& lock, Account& acct, int ops,
                        stats::OpStats& st) {
   for (int i = 0; i < ops; ++i) {
-    // run_op executes `deposit` as one critical section of `lock` under the
-    // chosen scheme: plain locking, HLE, HLE with retries, HLE+SCM,
-    // optimistic SLR, or SLR+SCM.
-    co_await elision::run_op(
-        scheme, ctx, lock, aux,
+    // run_cs executes `deposit` as one critical section of `lock` under the
+    // chosen policy: plain locking, HLE, HLE with retries, HLE+SCM,
+    // optimistic SLR, or SLR+SCM — any canonical scheme or parameterized
+    // composition (see elision/registry.h for the spec grammar).
+    co_await elision::run_cs(
+        policy, ctx, lock,
         [&acct](Ctx& c) { return deposit(c, acct, 1); }, st);
   }
 }
@@ -56,14 +57,15 @@ int main() {
     cfg.htm.spurious_abort_per_access = 1e-4;
     Machine m(cfg);
 
-    locks::TTASLock lock(m);
-    locks::MCSLock aux(m);  // SCM's auxiliary lock (fair)
+    // One elidable lock: a TTAS main lock plus SCM's fair MCS auxiliary
+    // lock, bundled with the per-lock adaptation state.
+    elision::ElidedLock lock(m, locks::LockKind::kTtas);
     Account acct(m);
 
     std::vector<stats::OpStats> st(kThreads);
     for (int t = 0; t < kThreads; ++t) {
       m.spawn([&, t](Ctx& c) {
-        return worker(c, scheme, lock, aux, acct, kOps, st[t]);
+        return worker(c, scheme, lock, acct, kOps, st[t]);
       });
     }
     m.run();  // deterministic: same seed => same run

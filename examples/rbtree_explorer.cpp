@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
               harness::to_string(cfg.ds), cfg.tree_size, cfg.threads,
               cfg.update_pct);
   std::printf("scheme:     %s on %s lock (seed %llu)\n",
-              elision::to_string(cfg.scheme), locks::to_string(cfg.lock),
+              elision::policy_label(cfg.scheme).c_str(), locks::to_string(cfg.lock),
               static_cast<unsigned long long>(cfg.seed));
   std::printf("\n");
   std::printf("virtual time:        %llu cycles (%.3f simulated ms)\n",

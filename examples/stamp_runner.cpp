@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
   const auto base = app->run(base_cfg);
 
   std::printf("%s under %s on %s lock, %d threads (scale %.2f, seed %llu)\n\n",
-              app->name, elision::to_string(cfg.scheme), locks::to_string(cfg.lock),
+              app->name, elision::policy_label(cfg.scheme).c_str(), locks::to_string(cfg.lock),
               cfg.threads, cfg.scale, static_cast<unsigned long long>(cfg.seed));
   std::printf("virtual run time:    %llu cycles (%.2fx vs standard lock)\n",
               static_cast<unsigned long long>(r.time),

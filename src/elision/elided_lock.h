@@ -1,0 +1,140 @@
+// The one scheme × LockKind dispatch point.
+//
+// Historically every workload driver owned a private LockKind switch (to
+// instantiate its worker template per lock type) plus aux-lock and
+// AdaptState plumbing.  ElidedLock centralizes all of it: it owns a
+// type-erased main lock, the SCM auxiliary lock, and the glibc-style
+// adaptation state, and `run_cs(policy, ctx, lock, body, stats)` executes
+// one critical section under any Policy.
+//
+// Type erasure is behavior-preserving by construction: LockModel's methods
+// return the wrapped lock's Task directly (they are not coroutines, so no
+// frame is added), and Task awaits use symmetric transfer (sim/task.h) so
+// the executor never observes the extra call layer.  The committed
+// BENCH_*.json baselines and the rng draw-order golden pin this.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "elision/policy.h"
+#include "locks/locks.h"
+#include "runtime/ctx.h"
+
+namespace sihle::elision {
+
+// Virtual interface over the duck-typed lock concept (locks/locks.h).
+// Methods return the wrapped lock's Task directly; the constexpr per-type
+// flags (kHleArrivalWaits, kFair, kName) become runtime queries.
+class LockAdapter {
+ public:
+  virtual ~LockAdapter() = default;
+  virtual sim::Task<void> acquire(Ctx& c) = 0;
+  virtual sim::Task<void> release(Ctx& c) = 0;
+  virtual sim::Task<bool> try_acquire_once(Ctx& c) = 0;
+  virtual sim::Task<bool> is_locked(Ctx& c) = 0;
+  virtual sim::Task<void> elided_acquire(Ctx& c, bool sleep_when_busy = true) = 0;
+  virtual sim::Task<bool> wait_until_free(Ctx& c) = 0;
+  virtual bool hle_arrival_waits() const = 0;
+  virtual bool fair() const = 0;
+  virtual const char* name() const = 0;
+  virtual bool debug_locked() const = 0;
+};
+
+template <class Lock>
+class LockModel final : public LockAdapter {
+ public:
+  explicit LockModel(runtime::Machine& m) : impl_(m) {}
+  sim::Task<void> acquire(Ctx& c) override { return impl_.acquire(c); }
+  sim::Task<void> release(Ctx& c) override { return impl_.release(c); }
+  sim::Task<bool> try_acquire_once(Ctx& c) override {
+    return impl_.try_acquire_once(c);
+  }
+  sim::Task<bool> is_locked(Ctx& c) override { return impl_.is_locked(c); }
+  sim::Task<void> elided_acquire(Ctx& c, bool sleep_when_busy = true) override {
+    return impl_.elided_acquire(c, sleep_when_busy);
+  }
+  sim::Task<bool> wait_until_free(Ctx& c) override {
+    return impl_.wait_until_free(c);
+  }
+  bool hle_arrival_waits() const override { return Lock::kHleArrivalWaits; }
+  bool fair() const override { return Lock::kFair; }
+  const char* name() const override { return Lock::kName; }
+  bool debug_locked() const override { return impl_.debug_locked(); }
+  Lock& impl() { return impl_; }
+
+ private:
+  Lock impl_;
+};
+
+// The single LockKind → lock-type mapping in the repo.  Constructing the
+// adapter constructs the lock, which registers its sync lines with the
+// machine — so adapter creation order is line-allocation order.
+inline std::unique_ptr<LockAdapter> make_lock_adapter(runtime::Machine& m,
+                                                      locks::LockKind kind) {
+  switch (kind) {
+    case locks::LockKind::kTtas:
+      return std::make_unique<LockModel<locks::TTASLock>>(m);
+    case locks::LockKind::kMcs:
+      return std::make_unique<LockModel<locks::MCSLock>>(m);
+    case locks::LockKind::kTicket:
+      return std::make_unique<LockModel<locks::TicketLock>>(m);
+    case locks::LockKind::kClh:
+      return std::make_unique<LockModel<locks::CLHLock>>(m);
+    case locks::LockKind::kAnderson:
+      return std::make_unique<LockModel<locks::AndersonLock>>(m);
+    case locks::LockKind::kElidableTicket:
+      return std::make_unique<LockModel<locks::ElidableTicketLock>>(m);
+    case locks::LockKind::kElidableClh:
+      return std::make_unique<LockModel<locks::ElidableCLHLock>>(m);
+    case locks::LockKind::kElidableAnderson:
+      return std::make_unique<LockModel<locks::ElidableAndersonLock>>(m);
+  }
+  return nullptr;
+}
+
+// One elidable critical-section lock: the main lock, the SCM auxiliary
+// lock (constructed unconditionally, like the historical drivers did, so
+// sync-line allocation order is unchanged for non-SCM policies too), and
+// the shared adaptation state for the adaptive flavor.
+class ElidedLock {
+ public:
+  ElidedLock(runtime::Machine& m, locks::LockKind kind,
+             locks::LockKind aux_kind = locks::LockKind::kMcs)
+      : kind_(kind),
+        aux_kind_(aux_kind),
+        main_(make_lock_adapter(m, kind)),
+        aux_(make_lock_adapter(m, aux_kind)) {}
+
+  LockAdapter& main() { return *main_; }
+  LockAdapter& aux() { return *aux_; }
+  AdaptState& adapt() { return adapt_; }
+  locks::LockKind kind() const { return kind_; }
+  locks::LockKind aux_kind() const { return aux_kind_; }
+
+ private:
+  locks::LockKind kind_;
+  locks::LockKind aux_kind_;
+  std::unique_ptr<LockAdapter> main_;  // constructed (lines allocated) first
+  std::unique_ptr<LockAdapter> aux_;
+  AdaptState adapt_;
+};
+
+// Convenience: an ElidedLock whose aux kind comes from the policy's
+// conflict spec (kMcs for policies without conflict management, matching
+// the historical unconditional MCS aux).
+inline ElidedLock make_elided_lock(runtime::Machine& m, locks::LockKind kind,
+                                   const Policy& p) {
+  return ElidedLock(m, kind, p.conflict.aux);
+}
+
+// Executes `body` as one critical section of `lock` under `policy`.  Not a
+// coroutine: forwards to the run_policy interpreter, so no frame is added.
+template <class Body>
+sim::Task<void> run_cs(const Policy& policy, Ctx& c, ElidedLock& lock,
+                       Body body, stats::OpStats& st) {
+  return run_policy(policy, c, lock.main(), lock.aux(), std::move(body), st,
+                    &lock.adapt());
+}
+
+}  // namespace sihle::elision

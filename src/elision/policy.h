@@ -1,0 +1,662 @@
+// Composable elision policies.
+//
+// The paper's schemes are compositions of four independent choices:
+//
+//   * attempt flavor — how a speculative attempt relates to the lock:
+//     HLE-style (lock read and checked free at the start, Figure 7's
+//     substrate) vs. SLR (lock read only at commit, Figure 5), plus the
+//     degenerate no-lock / lock-only flavors and glibc's adaptive policy;
+//   * retry budget — how many attempts before giving up, whether the
+//     hardware's no-retry hint is honored, optional backoff between
+//     attempts;
+//   * conflict management — nothing, or the paper's software-assisted
+//     serialization on an auxiliary lock (SCM, Figure 7);
+//   * fallback — what "giving up" means: re-execute the XACQUIRE store
+//     non-transactionally (true HLE) or acquire the lock for real.
+//
+// A `Policy` value names one point in that product.  The six schemes of the
+// paper's evaluation (§7) plus the glibc comparison point remain available
+// as canonical named compositions via `policy_for(Scheme)` — see the table
+// below — and `Scheme` converts implicitly to `Policy`, so existing
+// scheme-valued configuration keeps working.  Everything the runners do is
+// bit-for-bit identical to the historical per-scheme entry points when
+// given the canonical parameters: the committed BENCH_*.json baselines and
+// the rng draw-order golden pin that equivalence.
+//
+//   kStandard   — plain non-speculative locking
+//   kHle        — Haswell HLE as-is: elide; on the first abort the XACQUIRE
+//                 store is re-executed non-transactionally (single TAS for
+//                 TTAS, unconditional enqueue for fair locks)
+//   kHleRetries — Intel's recommendation: retry the transaction up to 10
+//                 times before acquiring the lock for real
+//   kHleScm     — HLE + software-assisted conflict management (Figure 7):
+//                 aborted threads serialize on an auxiliary lock before
+//                 rejoining speculation; opacity preserved
+//   kOptSlr     — software-assisted lock removal (Figure 5): run without the
+//                 lock, read it only at commit; XABORT if held; after 10
+//                 failures (or a no-retry abort) fall back to locking
+//   kSlrScm     — SLR with SCM conflict management layered on
+//
+// Elision is implemented the way the paper's own evaluation implements it
+// (§6, "Implementation and HLE compatibility"): Haswell cannot nest HLE
+// inside RTM, so an RTM transaction reads the lock and self-aborts with
+// XABORT if the lock is taken.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "htm/abort.h"
+#include "locks/locks.h"
+#include "runtime/ctx.h"
+#include "stats/event_ring.h"
+#include "stats/op_stats.h"
+
+namespace sihle::elision {
+
+using htm::AbortCause;
+using htm::AbortStatus;
+using runtime::Ctx;
+
+// MAX_RETRIES in the paper's pseudo-code; §7 uses 10 throughout.
+inline constexpr int kMaxRetries = 10;
+
+enum class Scheme : std::uint8_t {
+  kNoLock,  // baseline for Figure 9's normalization (1 thread only)
+  kStandard,
+  kHle,
+  kHleRetries,
+  kHleScm,
+  kOptSlr,
+  kSlrScm,
+  // Not evaluated in the paper: glibc's production elision policy
+  // (__lll_lock_elision), included as a real-world comparison point.
+  kAdaptive,
+};
+
+// One row per scheme: the single name table behind to_string, the registry
+// parse keys (elision/registry.h), and the derived scheme lists below.
+struct SchemeRow {
+  Scheme scheme;
+  const char* display;  // axis/table label ("HLE-SCM", "opt SLR", ...)
+  const char* key;      // registry / CLI parse key ("hle-scm", "slr", ...)
+  const char* alias;    // optional second parse key, or nullptr
+  bool paper;           // one of the six schemes of the paper's methodology
+  bool extended;        // member of the extended evaluation list
+};
+
+inline constexpr SchemeRow kSchemeRows[] = {
+    {Scheme::kNoLock, "NoLock", "nolock", nullptr, false, false},
+    {Scheme::kStandard, "Standard", "standard", nullptr, true, true},
+    {Scheme::kHle, "HLE", "hle", nullptr, true, true},
+    {Scheme::kHleRetries, "HLE-retries", "hle-retries", "retries", true, true},
+    {Scheme::kHleScm, "HLE-SCM", "hle-scm", "scm", true, true},
+    {Scheme::kOptSlr, "opt SLR", "slr", nullptr, true, true},
+    {Scheme::kSlrScm, "SLR-SCM", "slr-scm", nullptr, true, true},
+    {Scheme::kAdaptive, "adaptive", "adaptive", nullptr, false, true},
+};
+
+constexpr const SchemeRow& scheme_row(Scheme s) {
+  for (const SchemeRow& r : kSchemeRows) {
+    if (r.scheme == s) return r;
+  }
+  return kSchemeRows[0];  // unreachable for valid enumerators
+}
+
+constexpr const char* to_string(Scheme s) { return scheme_row(s).display; }
+
+namespace detail {
+template <bool SchemeRow::* Flag>
+constexpr std::size_t count_schemes() {
+  std::size_t n = 0;
+  for (const SchemeRow& r : kSchemeRows) {
+    if (r.*Flag) ++n;
+  }
+  return n;
+}
+template <bool SchemeRow::* Flag>
+constexpr auto schemes_where() {
+  std::array<Scheme, count_schemes<Flag>()> out{};
+  std::size_t i = 0;
+  for (const SchemeRow& r : kSchemeRows) {
+    if (r.*Flag) out[i++] = r.scheme;
+  }
+  return out;
+}
+}  // namespace detail
+
+// The six schemes of the paper's methodology (§7), in evaluation order.
+inline constexpr auto kAllSchemes = detail::schemes_where<&SchemeRow::paper>();
+
+// The paper's six plus the adaptive extension.  Note this is *not*
+// everything run_policy dispatches: kNoLock is dispatchable but excluded
+// here (it is a single-thread normalization baseline, not a scheme any
+// multi-threaded sweep should iterate).  Both lists derive from
+// kSchemeRows, so membership cannot drift from the name table.
+inline constexpr auto kAllSchemesExtended =
+    detail::schemes_where<&SchemeRow::extended>();
+
+enum class ScmFlavor : std::uint8_t { kHle, kSlr };
+
+// --- Policy pieces ---------------------------------------------------------
+
+// How a speculative attempt relates to the lock.
+enum class AttemptFlavor : std::uint8_t {
+  kNoLock,       // no synchronization at all (single-thread baseline)
+  kLockOnly,     // never speculate; plain lock acquire
+  kHle,          // lock read + checked free at transaction start
+  kSlr,          // lock read only at commit (Figure 5)
+  kAdaptiveHle,  // glibc __lll_lock_elision: HLE attempts + skip window
+};
+
+// What exhausting the retry budget means for a (non-SCM) HLE policy.
+enum class FallbackKind : std::uint8_t {
+  kReacquire,    // re-execute the XACQUIRE store non-transactionally
+  kFullAcquire,  // acquire the lock for real (Intel's retry recipe)
+};
+
+enum class BackoffKind : std::uint8_t { kNone, kExp };
+
+// Optional delay between speculative retries.  kNone (the canonical
+// schemes' setting) executes no delay at all — not even a zero-cycle wait —
+// so canonical behavior is untouched.
+struct BackoffSpec {
+  BackoffKind kind = BackoffKind::kNone;
+  int base_cycles = 64;    // first delay
+  int cap_cycles = 4096;   // doubling stops here
+  friend constexpr bool operator==(const BackoffSpec&,
+                                   const BackoffSpec&) = default;
+};
+
+struct RetryBudget {
+  int max_attempts = 1;         // aborts consumed before falling back
+  bool honor_retry_bit = false; // give up early when the hardware says
+                                // a retry cannot succeed
+  BackoffSpec backoff{};
+  friend constexpr bool operator==(const RetryBudget&,
+                                   const RetryBudget&) = default;
+};
+
+enum class ConflictKind : std::uint8_t { kNone, kScmAux };
+
+// Software-assisted conflict management (Figure 7): aborted threads
+// serialize on an auxiliary lock before rejoining speculation.  The aux
+// lock should be fair (§6 "Preventing starvation"); MCS is the paper's
+// choice and the default.
+struct ConflictSpec {
+  ConflictKind kind = ConflictKind::kNone;
+  locks::LockKind aux = locks::LockKind::kMcs;
+  // Tuning knob for the HLE flavor only: give up on no-retry aborts
+  // immediately (the paper's tuned behaviour is 10 retries regardless for
+  // HLE, status-based for SLR — SLR-SCM always honors the bit).
+  bool honor_retry_bit_hle = false;
+  friend constexpr bool operator==(const ConflictSpec&,
+                                   const ConflictSpec&) = default;
+};
+
+// glibc __lll_lock_elision tuning (kAdaptiveHle only).
+struct AdaptiveSpec {
+  int tries = 3;  // elision attempts per acquisition while not skipping
+  int skip = 3;   // acquisitions to skip elision after the lock misbehaves
+  friend constexpr bool operator==(const AdaptiveSpec&,
+                                   const AdaptiveSpec&) = default;
+};
+
+// One point in the (flavor × retry budget × conflict management × fallback)
+// product.  Implicitly constructible from a canonical Scheme, so
+// scheme-valued configuration (WorkloadConfig::scheme = Scheme::kHle)
+// keeps working unchanged.
+struct Policy {
+  AttemptFlavor flavor = AttemptFlavor::kLockOnly;
+  FallbackKind fallback = FallbackKind::kFullAcquire;
+  RetryBudget retry{};
+  ConflictSpec conflict{};
+  AdaptiveSpec adaptive{};
+
+  constexpr Policy() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit
+  // conversion — a Scheme names a canonical Policy.
+  constexpr Policy(Scheme s);
+
+  friend constexpr bool operator==(const Policy&, const Policy&) = default;
+};
+
+// The canonical composition behind each named scheme.  Parameter values are
+// exactly what the historical per-scheme run_op dispatch used.
+constexpr Policy policy_for(Scheme s) {
+  Policy p;
+  switch (s) {
+    case Scheme::kNoLock:
+      p.flavor = AttemptFlavor::kNoLock;
+      break;
+    case Scheme::kStandard:
+      p.flavor = AttemptFlavor::kLockOnly;
+      break;
+    case Scheme::kHle:
+      p.flavor = AttemptFlavor::kHle;
+      p.fallback = FallbackKind::kReacquire;
+      p.retry.max_attempts = 1;
+      break;
+    case Scheme::kHleRetries:
+      p.flavor = AttemptFlavor::kHle;
+      p.fallback = FallbackKind::kFullAcquire;
+      p.retry.max_attempts = kMaxRetries;
+      p.retry.honor_retry_bit = true;
+      break;
+    case Scheme::kHleScm:
+      p.flavor = AttemptFlavor::kHle;
+      p.retry.max_attempts = kMaxRetries;
+      p.conflict.kind = ConflictKind::kScmAux;
+      break;
+    case Scheme::kOptSlr:
+      p.flavor = AttemptFlavor::kSlr;
+      p.retry.max_attempts = kMaxRetries;
+      p.retry.honor_retry_bit = true;
+      break;
+    case Scheme::kSlrScm:
+      p.flavor = AttemptFlavor::kSlr;
+      p.retry.max_attempts = kMaxRetries;
+      p.retry.honor_retry_bit = true;  // SLR always honors the bit
+      p.conflict.kind = ConflictKind::kScmAux;
+      break;
+    case Scheme::kAdaptive:
+      p.flavor = AttemptFlavor::kAdaptiveHle;
+      break;
+  }
+  return p;
+}
+
+constexpr Policy::Policy(Scheme s) : Policy(policy_for(s)) {}
+
+// The named scheme a policy is exactly equal to, if any.
+constexpr std::optional<Scheme> canonical_scheme(const Policy& p) {
+  for (const SchemeRow& r : kSchemeRows) {
+    if (policy_for(r.scheme) == p) return r.scheme;
+  }
+  return std::nullopt;
+}
+
+// --- Attempt / fallback helpers --------------------------------------------
+
+namespace detail {
+
+inline bool is_lock_busy(AbortStatus s) {
+  return s.cause == AbortCause::kExplicit && s.code == runtime::kAbortCodeLockBusy;
+}
+
+// Arrival-while-held behaviour is a property of the lock: for concrete lock
+// types it is the constexpr kHleArrivalWaits flag; for the type-erased
+// elision::LockAdapter it is a virtual query.
+template <class Lock>
+bool hle_arrival_waits(const Lock& lock) {
+  if constexpr (requires { Lock::kHleArrivalWaits; }) {
+    (void)lock;
+    return Lock::kHleArrivalWaits;
+  } else {
+    return lock.hle_arrival_waits();
+  }
+}
+
+// HLE-style transaction body: the lock is read (joining the read set) and
+// checked free at the start, then the critical section runs.
+// Style note, repo-wide: a co_await whose operand is a Task (rather than a
+// plain awaiter) must be its own statement or a declaration's initializer.
+// GCC 12 miscompiles Task-valued awaits nested in conditions (the temporary
+// task's destructor — which destroys the coroutine frame — runs at the
+// wrong point).
+template <class Lock, class Body>
+sim::Task<void> hle_tx_body(Ctx& c, Lock& lock, Body& body, bool sleep_when_busy) {
+  // The elided acquire reads the lock into the read set; for queue locks
+  // found busy it either spins in-transaction as a phantom queue entry
+  // until disturbed (true HLE) or aborts at once (the RTM retry policy).
+  co_await lock.elided_acquire(c, sleep_when_busy);
+  co_await body(c);
+}
+
+// SLR transaction body (Figure 5): the critical section runs without any
+// reference to the lock; the lock is read only at the end, just before
+// commit, and the transaction self-aborts if it is taken.
+template <class Lock, class Body>
+sim::Task<void> slr_tx_body(Ctx& c, Lock& lock, Body& body) {
+  co_await body(c);
+  const bool locked = co_await lock.is_locked(c);
+  if (locked) c.xabort(runtime::kAbortCodeLockBusy);
+}
+
+// Note: these deliberately await into a named local rather than using
+// `co_return co_await ...` — GCC 12 miscompiles the latter (the temporary
+// task's frame is released before the await completes).
+template <class Lock, class Body>
+sim::Task<AbortStatus> hle_attempt(Ctx& c, Lock& lock, Body& body,
+                                   bool sleep_when_busy = true) {
+  const AbortStatus s = co_await c.with_tx(
+      [&c, &lock, &body, sleep_when_busy] { return hle_tx_body(c, lock, body, sleep_when_busy); });
+  co_return s;
+}
+
+template <class Lock, class Body>
+sim::Task<AbortStatus> slr_attempt(Ctx& c, Lock& lock, Body& body) {
+  const AbortStatus s = co_await c.with_tx([&] { return slr_tx_body(c, lock, body); });
+  co_return s;
+}
+
+template <class Lock, class Body>
+sim::Task<void> run_nonspec(Ctx& c, Lock& lock, Body& body, stats::OpStats& st) {
+  co_await lock.acquire(c);
+  c.trace_event(stats::EventKind::kLockAcquire);
+  co_await body(c);
+  co_await lock.release(c);
+  c.trace_event(stats::EventKind::kLockRelease);
+  st.nonspec++;
+}
+
+// Tracks the exponential-backoff delay for one critical-section execution.
+// With BackoffKind::kNone, next() is never called and no wait is issued.
+struct BackoffState {
+  int delay;
+  explicit BackoffState(const BackoffSpec& spec) : delay(spec.base_cycles) {}
+  sim::Cycles next(const BackoffSpec& spec) {
+    const int d = delay;
+    delay = std::min(delay * 2, spec.cap_cycles);
+    return static_cast<sim::Cycles>(d);
+  }
+};
+
+}  // namespace detail
+
+// --- Runners ---------------------------------------------------------------
+
+// Baseline: no synchronization at all.  Valid only single-threaded.
+template <class Body>
+sim::Task<void> run_nolock(Ctx& c, Body body, stats::OpStats& st) {
+  st.arrivals++;
+  co_await body(c);
+  // Traced as a (trivially acquired) non-speculative completion so the
+  // timeline's ops-per-window series covers the no-lock baseline too.
+  c.trace_event(stats::EventKind::kLockRelease);
+  st.nonspec++;
+}
+
+template <class Lock, class Body>
+sim::Task<void> run_standard(Ctx& c, Lock& lock, Body body, stats::OpStats& st) {
+  st.arrivals++;
+  co_await detail::run_nonspec(c, lock, body, st);
+}
+
+// Plain HLE (`max_aborts` = 1, `full_acquire_fallback` = false) and
+// HLE-retries (`max_aborts` = kMaxRetries, `full_acquire_fallback` = true).
+//
+// `honor_retry_bit` defaults to following `full_acquire_fallback`, which is
+// the historical coupling: Intel's retry recipe (the full-acquire policy)
+// honors the abort status, plain HLE cannot see it at all.  Policies may
+// decouple them.
+//
+// Arrival-while-held semantics differ by mechanism (§4):
+//  * True HLE + TTAS (kHleArrivalWaits): no transaction even starts — the
+//    thread spins until the lock looks free and re-issues the XACQUIRE.
+//    Not an abort.
+//  * True HLE + queue locks: the elided SWAP/F&A leaves the thread spinning
+//    in-transaction on its predecessor; the transaction aborts and the
+//    re-executed XACQUIRE unconditionally joins the queue.  This is why one
+//    abort serializes every MCS thread until a quiescent period.
+//  * HLE-retries (an RTM-based software policy): a busy observation is an
+//    explicitly aborted transaction and consumes one retry; the thread
+//    waits for the lock to look free between retries, and acquires the lock
+//    for real once the budget is exhausted.
+template <class Lock, class Body>
+sim::Task<void> run_hle(Ctx& c, Lock& lock, Body body, stats::OpStats& st,
+                        int max_aborts, bool full_acquire_fallback,
+                        std::optional<bool> honor_retry_bit = std::nullopt,
+                        BackoffSpec backoff = {}) {
+  const bool honor = honor_retry_bit.value_or(full_acquire_fallback);
+  st.arrivals++;
+  bool arrival_counted = false;
+  int aborts = 0;
+  detail::BackoffState delay(backoff);
+  for (;;) {
+    if (detail::hle_arrival_waits(lock)) {
+      // TTAS's own test-and-test loop spins (outside any transaction) until
+      // the lock looks free before issuing the XACQUIRE TAS.  Queue locks
+      // have no such pre-spin: every attempt re-executes the elided
+      // acquire, whose phantom in-transaction spin ends in an abort that —
+      // under the retry policy — consumes budget.  This asymmetry is why
+      // retries rescue TTAS but not MCS under load (§7.1).
+      const bool waited = co_await lock.wait_until_free(c);
+      if (waited && !arrival_counted) {
+        st.arrivals_lock_held++;
+        arrival_counted = true;
+      }
+    }
+    const AbortStatus s =
+        co_await detail::hle_attempt(c, lock, body,
+                                     /*sleep_when_busy=*/!full_acquire_fallback);
+    if (s.ok()) {
+      st.spec_commits++;
+      co_return;
+    }
+    if (detail::is_lock_busy(s) && !full_acquire_fallback &&
+        detail::hle_arrival_waits(lock)) {
+      continue;  // plain HLE + TTAS: lost the race to a lock writer, re-spin
+    }
+    st.record_abort(s);
+    // Intel's retry recipe honors the abort status: when the hardware says a
+    // retry cannot succeed (capacity, page fault), fall back immediately.
+    const bool exhausted = ++aborts >= max_aborts || (honor && !s.retry);
+    if (!exhausted) {
+      if (backoff.kind != BackoffKind::kNone) {
+        co_await c.work(delay.next(backoff));
+      }
+      continue;
+    }
+    if (full_acquire_fallback) {
+      co_await detail::run_nonspec(c, lock, body, st);
+      co_return;
+    }
+    // Plain HLE: the hardware re-executes the XACQUIRE store
+    // non-transactionally.  For TTAS that is one TAS, which fails if
+    // another aborted thread holds the lock — the thread then goes back to
+    // spinning and re-eliding.  For fair queue locks try_acquire_once
+    // completes a full non-speculative acquisition.
+    const bool got_lock = co_await lock.try_acquire_once(c);
+    if (got_lock) {
+      c.trace_event(stats::EventKind::kLockAcquire);
+      co_await body(c);
+      co_await lock.release(c);
+      c.trace_event(stats::EventKind::kLockRelease);
+      st.nonspec++;
+      co_return;
+    }
+    aborts = 0;
+  }
+}
+
+// Optimistic SLR (Figure 5 + §7 tuning): retry on transient aborts up to
+// `max_retries` times; give up immediately when the abort status says a
+// retry is unlikely to succeed (capacity/interrupt).  `honor_retry_bit`
+// exists for the tuning ablation — the paper "verified that using other
+// tuning options only degrade the schemes' performance".
+template <class Lock, class Body>
+sim::Task<void> run_slr(Ctx& c, Lock& lock, Body body, stats::OpStats& st,
+                        int max_retries = kMaxRetries, bool honor_retry_bit = true,
+                        BackoffSpec backoff = {}) {
+  st.arrivals++;
+  int attempts = 0;
+  detail::BackoffState delay(backoff);
+  for (;;) {
+    const AbortStatus s = co_await detail::slr_attempt(c, lock, body);
+    if (s.ok()) {
+      st.spec_commits++;
+      co_return;
+    }
+    st.record_abort(s);
+    ++attempts;
+    if ((honor_retry_bit && !s.retry) || attempts >= max_retries) break;
+    if (backoff.kind != BackoffKind::kNone) {
+      co_await c.work(delay.next(backoff));
+    }
+  }
+  co_await detail::run_nonspec(c, lock, body, st);
+}
+
+// Software-assisted conflict management (Figure 7), generic over the
+// speculative flavor.  On an abort the thread enters the serializing path:
+// it acquires the auxiliary lock (standard, never elided) and rejoins
+// speculation.  Only the auxiliary-lock holder ever gives up and acquires
+// the main lock non-speculatively, after `max_retries` failed attempts —
+// with a fair auxiliary lock this makes the scheme starvation-free.
+//
+// (Figure 7's pseudo-code has the aux_lock_owner test inverted relative to
+// the prose; we implement the semantics §6 describes.)
+// `honor_retry_bit_hle` lets the tuning ablation make the HLE flavor give
+// up on no-retry aborts immediately (the paper's tuned behaviour is 10
+// retries regardless for HLE, status-based for SLR).
+template <class Lock, class AuxLock, class Body>
+sim::Task<void> run_scm(Ctx& c, Lock& main, AuxLock& aux, Body body,
+                        stats::OpStats& st, ScmFlavor flavor,
+                        int max_retries = kMaxRetries,
+                        bool honor_retry_bit_hle = false,
+                        BackoffSpec backoff = {}) {
+  st.arrivals++;
+  bool arrival_counted = false;
+  bool aux_owner = false;
+  int retries = 0;
+  detail::BackoffState delay(backoff);
+  for (;;) {
+    if (flavor == ScmFlavor::kHle && detail::hle_arrival_waits(main)) {
+      const bool waited = co_await main.wait_until_free(c);
+      if (waited && !arrival_counted) {
+        st.arrivals_lock_held++;
+        arrival_counted = true;
+      }
+    }
+    AbortStatus s;
+    if (flavor == ScmFlavor::kHle) {
+      s = co_await detail::hle_attempt(c, main, body);
+    } else {
+      s = co_await detail::slr_attempt(c, main, body);
+    }
+    if (s.ok()) {
+      st.spec_commits++;
+      break;
+    }
+    if (flavor == ScmFlavor::kHle && detail::hle_arrival_waits(main) &&
+        detail::is_lock_busy(s)) {
+      continue;
+    }
+    st.record_abort(s);
+    if (!aux_owner) {
+      // Serializing path: wait behind the other conflicting threads.
+      co_await aux.acquire(c);
+      aux_owner = true;
+      c.trace_event(stats::EventKind::kAuxAcquire);
+      st.aux_acquisitions++;
+      retries = 0;
+      continue;
+    }
+    ++retries;
+    const bool give_up =
+        retries >= max_retries || (flavor == ScmFlavor::kSlr && !s.retry) ||
+        (honor_retry_bit_hle && !s.retry);
+    if (give_up) {
+      co_await detail::run_nonspec(c, main, body, st);
+      break;
+    }
+    if (backoff.kind != BackoffKind::kNone) {
+      co_await c.work(delay.next(backoff));
+    }
+  }
+  if (aux_owner) {
+    co_await aux.release(c);
+    c.trace_event(stats::EventKind::kAuxRelease);
+  }
+}
+
+// glibc-style adaptation state, one per elided lock.  Mirrors the racily
+// updated `adapt_count` field of glibc's elision-aware mutex.
+struct AdaptState {
+  int skip_count = 0;
+};
+
+// glibc's __lll_lock_elision policy: if the lock recently misbehaved, skip
+// elision for `skip` acquisitions; otherwise try up to `tries`
+// transactions, retrying only aborts with the retry bit set — a busy lock
+// or a persistent abort immediately penalizes the lock and falls back.
+template <class Lock, class Body>
+sim::Task<void> run_adaptive(Ctx& c, Lock& lock, Body body, stats::OpStats& st,
+                             AdaptState& adapt, int tries = 3, int skip = 3) {
+  st.arrivals++;
+  if (adapt.skip_count > 0) {
+    adapt.skip_count--;
+    co_await detail::run_nonspec(c, lock, body, st);
+    co_return;
+  }
+  for (int t = 0; t < tries; ++t) {
+    const AbortStatus s =
+        co_await detail::hle_attempt(c, lock, body, /*sleep_when_busy=*/false);
+    if (s.ok()) {
+      st.spec_commits++;
+      co_return;
+    }
+    st.record_abort(s);
+    if (!s.retry || detail::is_lock_busy(s)) {
+      adapt.skip_count = skip;
+      break;
+    }
+  }
+  co_await detail::run_nonspec(c, lock, body, st);
+}
+
+// --- Policy interpreter ----------------------------------------------------
+
+// Executes `body` as one critical section of `lock` under `policy`.  `aux`
+// is the SCM auxiliary lock; unused by policies without conflict
+// management.  `adapt` carries the per-lock adaptation state for the
+// adaptive flavor; when omitted a per-call throwaway is used (adaptation
+// disabled).  This is the one place the policy product is interpreted —
+// call sites should reach it through elision::run_cs (elided_lock.h),
+// which owns the lock-kind product too.
+template <class Lock, class AuxLock, class Body>
+sim::Task<void> run_policy(Policy p, Ctx& c, Lock& lock, AuxLock& aux,
+                           Body body, stats::OpStats& st,
+                           AdaptState* adapt = nullptr) {
+  switch (p.flavor) {
+    case AttemptFlavor::kNoLock:
+      co_await run_nolock(c, std::move(body), st);
+      break;
+    case AttemptFlavor::kLockOnly:
+      co_await run_standard(c, lock, std::move(body), st);
+      break;
+    case AttemptFlavor::kHle:
+      if (p.conflict.kind == ConflictKind::kScmAux) {
+        co_await run_scm(c, lock, aux, std::move(body), st, ScmFlavor::kHle,
+                         p.retry.max_attempts, p.conflict.honor_retry_bit_hle,
+                         p.retry.backoff);
+      } else {
+        co_await run_hle(c, lock, std::move(body), st, p.retry.max_attempts,
+                         p.fallback == FallbackKind::kFullAcquire,
+                         p.retry.honor_retry_bit, p.retry.backoff);
+      }
+      break;
+    case AttemptFlavor::kSlr:
+      if (p.conflict.kind == ConflictKind::kScmAux) {
+        co_await run_scm(c, lock, aux, std::move(body), st, ScmFlavor::kSlr,
+                         p.retry.max_attempts, p.conflict.honor_retry_bit_hle,
+                         p.retry.backoff);
+      } else {
+        co_await run_slr(c, lock, std::move(body), st, p.retry.max_attempts,
+                         p.retry.honor_retry_bit, p.retry.backoff);
+      }
+      break;
+    case AttemptFlavor::kAdaptiveHle: {
+      AdaptState throwaway;
+      co_await run_adaptive(c, lock, std::move(body), st,
+                            adapt != nullptr ? *adapt : throwaway,
+                            p.adaptive.tries, p.adaptive.skip);
+      break;
+    }
+  }
+}
+
+}  // namespace sihle::elision

@@ -1,0 +1,351 @@
+#include "elision/registry.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace sihle::elision {
+
+namespace {
+
+// Parameter ranges.  The retry budget cap is generous (the paper sweeps
+// 1..10) but finite so a typo'd "retries=100000" fails loudly instead of
+// running a pathological configuration for hours.
+constexpr long kRetriesMin = 1, kRetriesMax = 1000;
+constexpr long kTriesMin = 1, kTriesMax = 100;
+constexpr long kSkipMin = 0, kSkipMax = 1000;
+
+struct LockRow {
+  locks::LockKind kind;
+  const char* key;  // parse key = display name lowercased
+};
+
+constexpr LockRow kLockRows[] = {
+    {locks::LockKind::kTtas, "ttas"},
+    {locks::LockKind::kMcs, "mcs"},
+    {locks::LockKind::kTicket, "ticket"},
+    {locks::LockKind::kClh, "clh"},
+    {locks::LockKind::kAnderson, "anderson"},
+    {locks::LockKind::kElidableTicket, "eticket"},
+    {locks::LockKind::kElidableClh, "eclh"},
+    {locks::LockKind::kElidableAnderson, "eanderson"},
+};
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool parse_long(std::string_view v, long& out) {
+  if (v.empty()) return false;
+  const std::string s(v);
+  char* end = nullptr;
+  out = std::strtol(s.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+void set_error(std::string* error, std::string msg) {
+  if (error != nullptr) *error = std::move(msg);
+}
+
+// Whether the retry-budget keys (retries, backoff) apply to this policy.
+bool has_retry_budget(const Policy& p) {
+  return p.flavor == AttemptFlavor::kHle || p.flavor == AttemptFlavor::kSlr;
+}
+
+std::string scheme_key_list() {
+  std::string out;
+  for (const SchemeRow& r : kSchemeRows) {
+    if (!out.empty()) out += ", ";
+    out += r.key;
+    if (r.alias != nullptr) {
+      out += " (alias: ";
+      out += r.alias;
+      out += ")";
+    }
+  }
+  return out;
+}
+
+std::string lock_key_list() {
+  std::string out;
+  for (const LockRow& r : kLockRows) {
+    if (!out.empty()) out += ", ";
+    out += r.key;
+  }
+  return out;
+}
+
+// The keys valid for a given base scheme, for unknown-key errors.
+std::string valid_keys_for(const Policy& p) {
+  if (p.flavor == AttemptFlavor::kAdaptiveHle) return "tries, skip";
+  if (p.conflict.kind == ConflictKind::kScmAux) {
+    return p.flavor == AttemptFlavor::kHle ? "retries, backoff, aux, retry-bit"
+                                           : "retries, backoff, aux";
+  }
+  if (has_retry_budget(p)) return "retries, backoff, retry-bit";
+  return "(none)";
+}
+
+}  // namespace
+
+std::optional<Scheme> parse_scheme_name(std::string_view name) {
+  for (const SchemeRow& r : kSchemeRows) {
+    if (iequals(name, r.key) || iequals(name, r.display) ||
+        (r.alias != nullptr && iequals(name, r.alias))) {
+      return r.scheme;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<locks::LockKind> parse_lock_kind(std::string_view name,
+                                               std::string* error) {
+  for (const LockRow& r : kLockRows) {
+    if (iequals(name, r.key)) return r.kind;
+  }
+  set_error(error,
+            "unknown lock '" + std::string(name) + "'; " + lock_help());
+  return std::nullopt;
+}
+
+const char* lock_key(locks::LockKind k) {
+  for (const LockRow& r : kLockRows) {
+    if (r.kind == k) return r.key;
+  }
+  return "?";
+}
+
+std::optional<Policy> parse_policy(std::string_view spec, std::string* error) {
+  const std::size_t colon = spec.find(':');
+  const std::string_view name =
+      colon == std::string_view::npos ? spec : spec.substr(0, colon);
+  const auto scheme = parse_scheme_name(name);
+  if (!scheme) {
+    set_error(error, "unknown scheme '" + std::string(name) + "'\n" +
+                         scheme_help());
+    return std::nullopt;
+  }
+  Policy p = policy_for(*scheme);
+  const SchemeRow& row = scheme_row(*scheme);
+  if (colon == std::string_view::npos) return p;
+
+  std::string_view params = spec.substr(colon + 1);
+  if (params.empty()) {
+    set_error(error, "empty parameter list after ':' in '" +
+                         std::string(spec) +
+                         "' (expected name:key=value[,key=value...])");
+    return std::nullopt;
+  }
+
+  std::string seen;  // comma-joined keys already consumed, for duplicates
+  while (!params.empty()) {
+    const std::size_t comma = params.find(',');
+    const std::string_view tok =
+        comma == std::string_view::npos ? params : params.substr(0, comma);
+    params = comma == std::string_view::npos ? std::string_view{}
+                                             : params.substr(comma + 1);
+
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      set_error(error, "malformed parameter '" + std::string(tok) + "' in '" +
+                           std::string(spec) + "' (expected key=value)");
+      return std::nullopt;
+    }
+    const std::string key(tok.substr(0, eq));
+    const std::string_view value = tok.substr(eq + 1);
+    if (value.empty()) {
+      set_error(error, "empty value for '" + key + "' in '" +
+                           std::string(spec) + "' (expected " + key +
+                           "=<value>)");
+      return std::nullopt;
+    }
+    if (("," + seen + ",").find("," + key + ",") != std::string::npos) {
+      set_error(error, "duplicate key '" + key + "' in '" + std::string(spec) +
+                           "'");
+      return std::nullopt;
+    }
+    seen += (seen.empty() ? "" : ",") + key;
+
+    if (key == "retries") {
+      if (!has_retry_budget(p)) {
+        set_error(error, "'retries' does not apply to scheme '" +
+                             std::string(row.key) + "'; valid keys: " +
+                             valid_keys_for(p));
+        return std::nullopt;
+      }
+      long v = 0;
+      if (!parse_long(value, v) || v < kRetriesMin || v > kRetriesMax) {
+        set_error(error, "retries=" + std::string(value) +
+                             " out of range [" + std::to_string(kRetriesMin) +
+                             ", " + std::to_string(kRetriesMax) + "]");
+        return std::nullopt;
+      }
+      p.retry.max_attempts = static_cast<int>(v);
+    } else if (key == "backoff") {
+      if (!has_retry_budget(p)) {
+        set_error(error, "'backoff' does not apply to scheme '" +
+                             std::string(row.key) + "'; valid keys: " +
+                             valid_keys_for(p));
+        return std::nullopt;
+      }
+      if (value == "none") {
+        p.retry.backoff.kind = BackoffKind::kNone;
+      } else if (value == "exp") {
+        p.retry.backoff.kind = BackoffKind::kExp;
+      } else {
+        set_error(error, "backoff=" + std::string(value) +
+                             " is not a backoff kind (expected none|exp)");
+        return std::nullopt;
+      }
+    } else if (key == "aux") {
+      if (p.conflict.kind != ConflictKind::kScmAux) {
+        set_error(error, "'aux' only applies to the SCM schemes (hle-scm, "
+                         "slr-scm), not '" +
+                             std::string(row.key) + "'");
+        return std::nullopt;
+      }
+      std::string lock_err;
+      const auto kind = parse_lock_kind(value, &lock_err);
+      if (!kind) {
+        set_error(error, "aux=" + std::string(value) + ": " + lock_err);
+        return std::nullopt;
+      }
+      p.conflict.aux = *kind;
+    } else if (key == "retry-bit") {
+      bool on = false;
+      if (value == "on") {
+        on = true;
+      } else if (value != "off") {
+        set_error(error, "retry-bit=" + std::string(value) +
+                             " (expected on|off)");
+        return std::nullopt;
+      }
+      if (p.flavor == AttemptFlavor::kHle &&
+          p.conflict.kind == ConflictKind::kScmAux) {
+        p.conflict.honor_retry_bit_hle = on;
+      } else if (p.flavor == AttemptFlavor::kSlr &&
+                 p.conflict.kind == ConflictKind::kScmAux) {
+        set_error(error, "'retry-bit' is fixed for slr-scm (the SLR flavor "
+                         "always honors the no-retry hint)");
+        return std::nullopt;
+      } else if (has_retry_budget(p)) {
+        p.retry.honor_retry_bit = on;
+      } else {
+        set_error(error, "'retry-bit' does not apply to scheme '" +
+                             std::string(row.key) + "'; valid keys: " +
+                             valid_keys_for(p));
+        return std::nullopt;
+      }
+    } else if (key == "tries" || key == "skip") {
+      if (p.flavor != AttemptFlavor::kAdaptiveHle) {
+        set_error(error, "'" + key + "' only applies to scheme 'adaptive', "
+                         "not '" +
+                             std::string(row.key) + "'");
+        return std::nullopt;
+      }
+      long v = 0;
+      const long lo = key == "tries" ? kTriesMin : kSkipMin;
+      const long hi = key == "tries" ? kTriesMax : kSkipMax;
+      if (!parse_long(value, v) || v < lo || v > hi) {
+        set_error(error, key + "=" + std::string(value) + " out of range [" +
+                             std::to_string(lo) + ", " + std::to_string(hi) +
+                             "]");
+        return std::nullopt;
+      }
+      (key == "tries" ? p.adaptive.tries : p.adaptive.skip) =
+          static_cast<int>(v);
+    } else {
+      set_error(error, "unknown key '" + key + "' for scheme '" +
+                           std::string(row.key) + "'; valid keys: " +
+                           valid_keys_for(p) + "\n" + scheme_help());
+      return std::nullopt;
+    }
+  }
+  return p;
+}
+
+std::string policy_spec(const Policy& p) {
+  if (const auto s = canonical_scheme(p)) return scheme_row(*s).key;
+
+  // Nearest canonical base: same flavor and conflict kind; for non-SCM HLE
+  // also the same fallback (that is what distinguishes hle from
+  // hle-retries).  Row order makes the match deterministic.
+  const SchemeRow* base = nullptr;
+  for (const SchemeRow& r : kSchemeRows) {
+    const Policy bp = policy_for(r.scheme);
+    if (bp.flavor != p.flavor || bp.conflict.kind != p.conflict.kind) continue;
+    if (p.flavor == AttemptFlavor::kHle &&
+        p.conflict.kind == ConflictKind::kNone && bp.fallback != p.fallback) {
+      continue;
+    }
+    base = &r;
+    break;
+  }
+  if (base == nullptr) return "?";  // not reachable via parse_policy
+  const Policy bp = policy_for(base->scheme);
+
+  std::string out = base->key;
+  char sep = ':';
+  const auto emit = [&out, &sep](const std::string& kv) {
+    out += sep;
+    out += kv;
+    sep = ',';
+  };
+  if (p.retry.max_attempts != bp.retry.max_attempts) {
+    emit("retries=" + std::to_string(p.retry.max_attempts));
+  }
+  if (p.retry.backoff.kind != bp.retry.backoff.kind) {
+    emit(p.retry.backoff.kind == BackoffKind::kExp ? "backoff=exp"
+                                                   : "backoff=none");
+  }
+  if (p.conflict.aux != bp.conflict.aux) {
+    emit(std::string("aux=") + lock_key(p.conflict.aux));
+  }
+  if (p.retry.honor_retry_bit != bp.retry.honor_retry_bit) {
+    emit(p.retry.honor_retry_bit ? "retry-bit=on" : "retry-bit=off");
+  }
+  if (p.conflict.honor_retry_bit_hle != bp.conflict.honor_retry_bit_hle) {
+    emit(p.conflict.honor_retry_bit_hle ? "retry-bit=on" : "retry-bit=off");
+  }
+  if (p.adaptive.tries != bp.adaptive.tries) {
+    emit("tries=" + std::to_string(p.adaptive.tries));
+  }
+  if (p.adaptive.skip != bp.adaptive.skip) {
+    emit("skip=" + std::to_string(p.adaptive.skip));
+  }
+  return out;
+}
+
+std::string policy_label(const Policy& p) {
+  if (const auto s = canonical_scheme(p)) return scheme_row(*s).display;
+  return policy_spec(p);
+}
+
+std::string scheme_help() {
+  return "valid schemes: " + scheme_key_list() +
+         "\n"
+         "parameterized specs: name:key=value[,key=value...]\n"
+         "  retries=<1..1000>  attempt budget before fallback (hle, "
+         "hle-retries, hle-scm, slr, slr-scm)\n"
+         "  backoff=none|exp   delay between speculative retries (same "
+         "schemes)\n"
+         "  aux=<lock>         SCM auxiliary lock (hle-scm, slr-scm): " +
+         lock_key_list() +
+         "\n"
+         "  retry-bit=on|off   honor the hardware no-retry hint (hle, "
+         "hle-retries, slr, hle-scm)\n"
+         "  tries=<1..100>, skip=<0..1000>  adaptive tuning\n"
+         "examples: hle-scm:aux=ticket,retries=5  slr:retries=20,backoff=exp";
+}
+
+std::string lock_help() {
+  return "valid locks: " + lock_key_list();
+}
+
+}  // namespace sihle::elision

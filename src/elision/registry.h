@@ -1,0 +1,67 @@
+// String-keyed policy registry: the shared name table for schemes and lock
+// kinds, plus a parser for parameterized policy specs.
+//
+// Spec grammar (docs/SCHEMES.md has the full reference):
+//
+//   spec    := name [ ":" param ("," param)* ]
+//   param   := key "=" value
+//   name    := nolock | standard | hle | hle-retries (alias: retries)
+//            | hle-scm (alias: scm) | slr | slr-scm | adaptive
+//            (canonical display names like "HLE-SCM" are accepted too)
+//   keys    := retries=<1..1000>     attempt budget before fallback
+//              backoff=none|exp      delay between speculative retries
+//              aux=<lock name>       SCM auxiliary lock (SCM schemes only)
+//              retry-bit=on|off      honor the hardware no-retry hint
+//              tries=<1..100>        adaptive: elision attempts
+//              skip=<0..1000>        adaptive: skip window after misbehavior
+//
+// Examples: "hle-scm:aux=ticket,retries=5", "slr:retries=20,backoff=exp".
+//
+// Canonical names parse to exactly policy_for(scheme), so the canonical
+// axis labels, table headers, and result schemas are unchanged.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "elision/policy.h"
+#include "locks/locks.h"
+
+namespace sihle::elision {
+
+// Parses a policy spec.  On failure returns nullopt and, when `error` is
+// non-null, an actionable message listing the valid names / key syntax.
+std::optional<Policy> parse_policy(std::string_view spec,
+                                   std::string* error = nullptr);
+
+// Parses a bare scheme name (no parameters).  Canonical names only.
+std::optional<Scheme> parse_scheme_name(std::string_view name);
+
+// Parses a lock-kind name ("ttas", "MCS", "eticket", ...; the match is
+// case-insensitive).  On failure returns nullopt and fills `error` like
+// parse_policy does.
+std::optional<locks::LockKind> parse_lock_kind(std::string_view name,
+                                               std::string* error = nullptr);
+
+// The registry parse key for a lock kind ("ttas", "mcs", "ticket", ...).
+const char* lock_key(locks::LockKind k);
+
+// Canonical spec string: parse_policy(policy_spec(p)) == p.  Canonical
+// policies yield their bare scheme key; parameterized ones append only the
+// keys that differ from the nearest canonical base.
+std::string policy_spec(const Policy& p);
+
+// Human/axis label: the canonical display name ("HLE-SCM", "opt SLR") for
+// canonical policies — matching the historical to_string(Scheme) labels —
+// and the spec string for parameterized ones.
+std::string policy_label(const Policy& p);
+
+// One-paragraph help text listing registered scheme names and the
+// parameter grammar; appended to unknown-name errors.
+std::string scheme_help();
+
+// One-line help text listing registered lock names.
+std::string lock_help();
+
+}  // namespace sihle::elision

@@ -1,396 +1,34 @@
-// The six lock-elision execution schemes evaluated in the paper (§7):
+// Compatibility shim over the composable policy architecture.
 //
-//   kStandard   — plain non-speculative locking
-//   kHle        — Haswell HLE as-is: elide; on the first abort the XACQUIRE
-//                 store is re-executed non-transactionally (single TAS for
-//                 TTAS, unconditional enqueue for fair locks)
-//   kHleRetries — Intel's recommendation: retry the transaction up to 10
-//                 times before acquiring the lock for real
-//   kHleScm     — HLE + software-assisted conflict management (Figure 7):
-//                 aborted threads serialize on an auxiliary lock before
-//                 rejoining speculation; opacity preserved
-//   kOptSlr     — software-assisted lock removal (Figure 5): run without the
-//                 lock, read it only at commit; XABORT if held; after 10
-//                 failures (or a no-retry abort) fall back to locking
-//   kSlrScm     — SLR with SCM conflict management layered on
+// The scheme definitions, the policy pieces, and the runners live in
+// elision/policy.h; the string-keyed registry for parameterized specs is
+// elision/registry.h; the type-erased dispatch point (ElidedLock +
+// run_cs) is elision/elided_lock.h.  This header remains for the
+// historical scheme-enum entry point:
 //
-// Elision is implemented the way the paper's own evaluation implements it
-// (§6, "Implementation and HLE compatibility"): Haswell cannot nest HLE
-// inside RTM, so an RTM transaction reads the lock and self-aborts with
-// XABORT if the lock is taken.
+//   run_op(scheme, ctx, lock, aux, body, stats [, adapt])
+//
+// which is now a thin forward to the policy interpreter with the scheme's
+// canonical composition.  New call sites should use elision::run_cs on an
+// elision::ElidedLock instead of dispatching locks and schemes themselves.
 #pragma once
 
-#include <cstdint>
-
-#include "htm/abort.h"
+#include "elision/policy.h"
 #include "locks/mcs.h"
-#include "runtime/ctx.h"
-#include "stats/event_ring.h"
-#include "stats/op_stats.h"
 
 namespace sihle::elision {
-
-using htm::AbortCause;
-using htm::AbortStatus;
-using runtime::Ctx;
-
-// MAX_RETRIES in the paper's pseudo-code; §7 uses 10 throughout.
-inline constexpr int kMaxRetries = 10;
-
-enum class Scheme : std::uint8_t {
-  kNoLock,  // baseline for Figure 9's normalization (1 thread only)
-  kStandard,
-  kHle,
-  kHleRetries,
-  kHleScm,
-  kOptSlr,
-  kSlrScm,
-  // Not evaluated in the paper: glibc's production elision policy
-  // (__lll_lock_elision), included as a real-world comparison point.
-  kAdaptive,
-};
-
-constexpr const char* to_string(Scheme s) {
-  switch (s) {
-    case Scheme::kNoLock: return "NoLock";
-    case Scheme::kStandard: return "Standard";
-    case Scheme::kHle: return "HLE";
-    case Scheme::kHleRetries: return "HLE-retries";
-    case Scheme::kHleScm: return "HLE-SCM";
-    case Scheme::kOptSlr: return "opt SLR";
-    case Scheme::kSlrScm: return "SLR-SCM";
-    case Scheme::kAdaptive: return "adaptive";
-  }
-  return "?";
-}
-
-// The six schemes of the paper's methodology (§7), in evaluation order.
-inline constexpr Scheme kAllSchemes[] = {
-    Scheme::kStandard, Scheme::kHle,    Scheme::kHleRetries,
-    Scheme::kHleScm,   Scheme::kOptSlr, Scheme::kSlrScm,
-};
-
-// Everything run_op dispatches, including the extensions.
-inline constexpr Scheme kAllSchemesExtended[] = {
-    Scheme::kStandard, Scheme::kHle,    Scheme::kHleRetries, Scheme::kHleScm,
-    Scheme::kOptSlr,   Scheme::kSlrScm, Scheme::kAdaptive,
-};
-
-enum class ScmFlavor : std::uint8_t { kHle, kSlr };
-
-namespace detail {
-
-inline bool is_lock_busy(AbortStatus s) {
-  return s.cause == AbortCause::kExplicit && s.code == runtime::kAbortCodeLockBusy;
-}
-
-// HLE-style transaction body: the lock is read (joining the read set) and
-// checked free at the start, then the critical section runs.
-// Style note, repo-wide: a co_await whose operand is a Task (rather than a
-// plain awaiter) must be its own statement or a declaration's initializer.
-// GCC 12 miscompiles Task-valued awaits nested in conditions (the temporary
-// task's destructor — which destroys the coroutine frame — runs at the
-// wrong point).
-template <class Lock, class Body>
-sim::Task<void> hle_tx_body(Ctx& c, Lock& lock, Body& body, bool sleep_when_busy) {
-  // The elided acquire reads the lock into the read set; for queue locks
-  // found busy it either spins in-transaction as a phantom queue entry
-  // until disturbed (true HLE) or aborts at once (the RTM retry policy).
-  co_await lock.elided_acquire(c, sleep_when_busy);
-  co_await body(c);
-}
-
-// SLR transaction body (Figure 5): the critical section runs without any
-// reference to the lock; the lock is read only at the end, just before
-// commit, and the transaction self-aborts if it is taken.
-template <class Lock, class Body>
-sim::Task<void> slr_tx_body(Ctx& c, Lock& lock, Body& body) {
-  co_await body(c);
-  const bool locked = co_await lock.is_locked(c);
-  if (locked) c.xabort(runtime::kAbortCodeLockBusy);
-}
-
-// Note: these deliberately await into a named local rather than using
-// `co_return co_await ...` — GCC 12 miscompiles the latter (the temporary
-// task's frame is released before the await completes).
-template <class Lock, class Body>
-sim::Task<AbortStatus> hle_attempt(Ctx& c, Lock& lock, Body& body,
-                                   bool sleep_when_busy = true) {
-  const AbortStatus s = co_await c.with_tx(
-      [&c, &lock, &body, sleep_when_busy] { return hle_tx_body(c, lock, body, sleep_when_busy); });
-  co_return s;
-}
-
-template <class Lock, class Body>
-sim::Task<AbortStatus> slr_attempt(Ctx& c, Lock& lock, Body& body) {
-  const AbortStatus s = co_await c.with_tx([&] { return slr_tx_body(c, lock, body); });
-  co_return s;
-}
-
-template <class Lock, class Body>
-sim::Task<void> run_nonspec(Ctx& c, Lock& lock, Body& body, stats::OpStats& st) {
-  co_await lock.acquire(c);
-  c.trace_event(stats::EventKind::kLockAcquire);
-  co_await body(c);
-  co_await lock.release(c);
-  c.trace_event(stats::EventKind::kLockRelease);
-  st.nonspec++;
-}
-
-}  // namespace detail
-
-// Baseline: no synchronization at all.  Valid only single-threaded.
-template <class Body>
-sim::Task<void> run_nolock(Ctx& c, Body body, stats::OpStats& st) {
-  st.arrivals++;
-  co_await body(c);
-  // Traced as a (trivially acquired) non-speculative completion so the
-  // timeline's ops-per-window series covers the no-lock baseline too.
-  c.trace_event(stats::EventKind::kLockRelease);
-  st.nonspec++;
-}
-
-template <class Lock, class Body>
-sim::Task<void> run_standard(Ctx& c, Lock& lock, Body body, stats::OpStats& st) {
-  st.arrivals++;
-  co_await detail::run_nonspec(c, lock, body, st);
-}
-
-// Plain HLE (`max_aborts` = 1, `full_acquire_fallback` = false) and
-// HLE-retries (`max_aborts` = kMaxRetries, `full_acquire_fallback` = true).
-//
-// Arrival-while-held semantics differ by mechanism (§4):
-//  * True HLE + TTAS (kHleArrivalWaits): no transaction even starts — the
-//    thread spins until the lock looks free and re-issues the XACQUIRE.
-//    Not an abort.
-//  * True HLE + queue locks: the elided SWAP/F&A leaves the thread spinning
-//    in-transaction on its predecessor; the transaction aborts and the
-//    re-executed XACQUIRE unconditionally joins the queue.  This is why one
-//    abort serializes every MCS thread until a quiescent period.
-//  * HLE-retries (an RTM-based software policy): a busy observation is an
-//    explicitly aborted transaction and consumes one retry; the thread
-//    waits for the lock to look free between retries, and acquires the lock
-//    for real once the budget is exhausted.
-template <class Lock, class Body>
-sim::Task<void> run_hle(Ctx& c, Lock& lock, Body body, stats::OpStats& st,
-                        int max_aborts, bool full_acquire_fallback) {
-  st.arrivals++;
-  bool arrival_counted = false;
-  int aborts = 0;
-  for (;;) {
-    if (Lock::kHleArrivalWaits) {
-      // TTAS's own test-and-test loop spins (outside any transaction) until
-      // the lock looks free before issuing the XACQUIRE TAS.  Queue locks
-      // have no such pre-spin: every attempt re-executes the elided
-      // acquire, whose phantom in-transaction spin ends in an abort that —
-      // under the retry policy — consumes budget.  This asymmetry is why
-      // retries rescue TTAS but not MCS under load (§7.1).
-      const bool waited = co_await lock.wait_until_free(c);
-      if (waited && !arrival_counted) {
-        st.arrivals_lock_held++;
-        arrival_counted = true;
-      }
-    }
-    const AbortStatus s =
-        co_await detail::hle_attempt(c, lock, body,
-                                     /*sleep_when_busy=*/!full_acquire_fallback);
-    if (s.ok()) {
-      st.spec_commits++;
-      co_return;
-    }
-    if (detail::is_lock_busy(s) && !full_acquire_fallback && Lock::kHleArrivalWaits) {
-      continue;  // plain HLE + TTAS: lost the race to a lock writer, re-spin
-    }
-    st.record_abort(s);
-    // Intel's retry recipe honors the abort status: when the hardware says a
-    // retry cannot succeed (capacity, page fault), fall back immediately.
-    const bool exhausted = ++aborts >= max_aborts || (full_acquire_fallback && !s.retry);
-    if (!exhausted) continue;
-    if (full_acquire_fallback) {
-      co_await detail::run_nonspec(c, lock, body, st);
-      co_return;
-    }
-    // Plain HLE: the hardware re-executes the XACQUIRE store
-    // non-transactionally.  For TTAS that is one TAS, which fails if
-    // another aborted thread holds the lock — the thread then goes back to
-    // spinning and re-eliding.  For fair queue locks try_acquire_once
-    // completes a full non-speculative acquisition.
-    const bool got_lock = co_await lock.try_acquire_once(c);
-    if (got_lock) {
-      c.trace_event(stats::EventKind::kLockAcquire);
-      co_await body(c);
-      co_await lock.release(c);
-      c.trace_event(stats::EventKind::kLockRelease);
-      st.nonspec++;
-      co_return;
-    }
-    aborts = 0;
-  }
-}
-
-// Optimistic SLR (Figure 5 + §7 tuning): retry on transient aborts up to
-// `max_retries` times; give up immediately when the abort status says a
-// retry is unlikely to succeed (capacity/interrupt).  `honor_retry_bit`
-// exists for the tuning ablation — the paper "verified that using other
-// tuning options only degrade the schemes' performance".
-template <class Lock, class Body>
-sim::Task<void> run_slr(Ctx& c, Lock& lock, Body body, stats::OpStats& st,
-                        int max_retries = kMaxRetries, bool honor_retry_bit = true) {
-  st.arrivals++;
-  int attempts = 0;
-  for (;;) {
-    const AbortStatus s = co_await detail::slr_attempt(c, lock, body);
-    if (s.ok()) {
-      st.spec_commits++;
-      co_return;
-    }
-    st.record_abort(s);
-    ++attempts;
-    if ((honor_retry_bit && !s.retry) || attempts >= max_retries) break;
-  }
-  co_await detail::run_nonspec(c, lock, body, st);
-}
-
-// Software-assisted conflict management (Figure 7), generic over the
-// speculative flavor.  On an abort the thread enters the serializing path:
-// it acquires the auxiliary lock (standard, never elided) and rejoins
-// speculation.  Only the auxiliary-lock holder ever gives up and acquires
-// the main lock non-speculatively, after `max_retries` failed attempts —
-// with a fair auxiliary lock this makes the scheme starvation-free.
-//
-// (Figure 7's pseudo-code has the aux_lock_owner test inverted relative to
-// the prose; we implement the semantics §6 describes.)
-// `honor_retry_bit_hle` lets the tuning ablation make the HLE flavor give
-// up on no-retry aborts immediately (the paper's tuned behaviour is 10
-// retries regardless for HLE, status-based for SLR).
-template <class Lock, class AuxLock, class Body>
-sim::Task<void> run_scm(Ctx& c, Lock& main, AuxLock& aux, Body body,
-                        stats::OpStats& st, ScmFlavor flavor,
-                        int max_retries = kMaxRetries,
-                        bool honor_retry_bit_hle = false) {
-  st.arrivals++;
-  bool arrival_counted = false;
-  bool aux_owner = false;
-  int retries = 0;
-  for (;;) {
-    if (flavor == ScmFlavor::kHle && Lock::kHleArrivalWaits) {
-      const bool waited = co_await main.wait_until_free(c);
-      if (waited && !arrival_counted) {
-        st.arrivals_lock_held++;
-        arrival_counted = true;
-      }
-    }
-    AbortStatus s;
-    if (flavor == ScmFlavor::kHle) {
-      s = co_await detail::hle_attempt(c, main, body);
-    } else {
-      s = co_await detail::slr_attempt(c, main, body);
-    }
-    if (s.ok()) {
-      st.spec_commits++;
-      break;
-    }
-    if (flavor == ScmFlavor::kHle && Lock::kHleArrivalWaits &&
-        detail::is_lock_busy(s)) {
-      continue;
-    }
-    st.record_abort(s);
-    if (!aux_owner) {
-      // Serializing path: wait behind the other conflicting threads.
-      co_await aux.acquire(c);
-      aux_owner = true;
-      c.trace_event(stats::EventKind::kAuxAcquire);
-      st.aux_acquisitions++;
-      retries = 0;
-      continue;
-    }
-    ++retries;
-    const bool give_up =
-        retries >= max_retries || (flavor == ScmFlavor::kSlr && !s.retry) ||
-        (honor_retry_bit_hle && !s.retry);
-    if (give_up) {
-      co_await detail::run_nonspec(c, main, body, st);
-      break;
-    }
-  }
-  if (aux_owner) {
-    co_await aux.release(c);
-    c.trace_event(stats::EventKind::kAuxRelease);
-  }
-}
-
-// glibc-style adaptation state, one per elided lock.  Mirrors the racily
-// updated `adapt_count` field of glibc's elision-aware mutex.
-struct AdaptState {
-  int skip_count = 0;
-};
-
-// glibc's __lll_lock_elision policy: if the lock recently misbehaved, skip
-// elision for `skip` acquisitions; otherwise try up to `tries`
-// transactions, retrying only aborts with the retry bit set — a busy lock
-// or a persistent abort immediately penalizes the lock and falls back.
-template <class Lock, class Body>
-sim::Task<void> run_adaptive(Ctx& c, Lock& lock, Body body, stats::OpStats& st,
-                             AdaptState& adapt, int tries = 3, int skip = 3) {
-  st.arrivals++;
-  if (adapt.skip_count > 0) {
-    adapt.skip_count--;
-    co_await detail::run_nonspec(c, lock, body, st);
-    co_return;
-  }
-  for (int t = 0; t < tries; ++t) {
-    const AbortStatus s =
-        co_await detail::hle_attempt(c, lock, body, /*sleep_when_busy=*/false);
-    if (s.ok()) {
-      st.spec_commits++;
-      co_return;
-    }
-    st.record_abort(s);
-    if (!s.retry || detail::is_lock_busy(s)) {
-      adapt.skip_count = skip;
-      break;
-    }
-  }
-  co_await detail::run_nonspec(c, lock, body, st);
-}
 
 // Runtime-dispatched entry point: executes `body` as one critical section of
 // `lock` under the given scheme.  `aux` is the SCM auxiliary lock (a fair
 // MCS lock, per §6 "Preventing starvation"); unused by non-SCM schemes.
 // `adapt` carries the glibc-style adaptation state for kAdaptive; when
 // omitted a per-call throwaway is used (adaptation disabled).
+// Not a coroutine: forwards to run_policy, so no frame is added relative to
+// the historical per-scheme switch.
 template <class Lock, class Body>
 sim::Task<void> run_op(Scheme s, Ctx& c, Lock& lock, locks::MCSLock& aux,
                        Body body, stats::OpStats& st, AdaptState* adapt = nullptr) {
-  switch (s) {
-    case Scheme::kNoLock:
-      co_await run_nolock(c, body, st);
-      break;
-    case Scheme::kStandard:
-      co_await run_standard(c, lock, body, st);
-      break;
-    case Scheme::kHle:
-      co_await run_hle(c, lock, body, st, 1, /*full_acquire_fallback=*/false);
-      break;
-    case Scheme::kHleRetries:
-      co_await run_hle(c, lock, body, st, kMaxRetries, /*full_acquire_fallback=*/true);
-      break;
-    case Scheme::kHleScm:
-      co_await run_scm(c, lock, aux, body, st, ScmFlavor::kHle);
-      break;
-    case Scheme::kOptSlr:
-      co_await run_slr(c, lock, body, st);
-      break;
-    case Scheme::kSlrScm:
-      co_await run_scm(c, lock, aux, body, st, ScmFlavor::kSlr);
-      break;
-    case Scheme::kAdaptive: {
-      AdaptState throwaway;
-      co_await run_adaptive(c, lock, body, st,
-                            adapt != nullptr ? *adapt : throwaway);
-      break;
-    }
-  }
+  return run_policy(policy_for(s), c, lock, aux, std::move(body), st, adapt);
 }
 
 }  // namespace sihle::elision

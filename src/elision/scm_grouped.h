@@ -49,7 +49,7 @@ sim::Task<void> run_scm_grouped(Ctx& c, Lock& main, GroupedAux& aux, Body body,
   locks::MCSLock* held_aux = nullptr;
   int retries = 0;
   for (;;) {
-    if (flavor == ScmFlavor::kHle && Lock::kHleArrivalWaits) {
+    if (flavor == ScmFlavor::kHle && detail::hle_arrival_waits(main)) {
       const bool waited = co_await main.wait_until_free(c);
       if (waited && !arrival_counted) {
         st.arrivals_lock_held++;
@@ -66,7 +66,7 @@ sim::Task<void> run_scm_grouped(Ctx& c, Lock& main, GroupedAux& aux, Body body,
       st.spec_commits++;
       break;
     }
-    if (flavor == ScmFlavor::kHle && Lock::kHleArrivalWaits &&
+    if (flavor == ScmFlavor::kHle && detail::hle_arrival_waits(main) &&
         detail::is_lock_busy(s)) {
       continue;
     }

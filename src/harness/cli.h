@@ -9,7 +9,8 @@
 #include <vector>
 
 #include "analysis/config.h"
-#include "elision/schemes.h"
+#include "elision/policy.h"
+#include "elision/registry.h"
 #include "locks/locks.h"
 #include "sim/cost_model.h"
 #include "stats/export.h"
@@ -88,17 +89,16 @@ inline std::string size_label(std::size_t s) {
   return buf;
 }
 
+// Registry-backed (elision/registry.h): unknown names exit with the list of
+// valid lock names instead of a bare error.
 inline locks::LockKind parse_lock(const std::string& s) {
-  if (s == "ttas" || s == "TTAS") return locks::LockKind::kTtas;
-  if (s == "mcs" || s == "MCS") return locks::LockKind::kMcs;
-  if (s == "ticket") return locks::LockKind::kTicket;
-  if (s == "clh") return locks::LockKind::kClh;
-  if (s == "anderson") return locks::LockKind::kAnderson;
-  if (s == "eticket") return locks::LockKind::kElidableTicket;
-  if (s == "eclh") return locks::LockKind::kElidableClh;
-  if (s == "eanderson") return locks::LockKind::kElidableAnderson;
-  std::fprintf(stderr, "unknown lock '%s'\n", s.c_str());
-  std::exit(2);
+  std::string err;
+  const auto kind = elision::parse_lock_kind(s, &err);
+  if (!kind) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    std::exit(2);
+  }
+  return *kind;
 }
 
 // Applies --analysis=off|on|fatal process-wide by exporting SIHLE_ANALYSIS,
@@ -171,17 +171,18 @@ inline void finish_trace(const TraceOptions& opts, const stats::TraceWriter& w) 
                opts.out_path.c_str());
 }
 
-inline elision::Scheme parse_scheme(const std::string& s) {
-  if (s == "nolock") return elision::Scheme::kNoLock;
-  if (s == "standard") return elision::Scheme::kStandard;
-  if (s == "hle") return elision::Scheme::kHle;
-  if (s == "hle-retries" || s == "retries") return elision::Scheme::kHleRetries;
-  if (s == "hle-scm" || s == "scm") return elision::Scheme::kHleScm;
-  if (s == "slr") return elision::Scheme::kOptSlr;
-  if (s == "slr-scm") return elision::Scheme::kSlrScm;
-  if (s == "adaptive") return elision::Scheme::kAdaptive;
-  std::fprintf(stderr, "unknown scheme '%s'\n", s.c_str());
-  std::exit(2);
+// Registry-backed policy-spec parsing: accepts the canonical scheme names
+// plus parameterized specs like "hle-scm:aux=ticket,retries=5" (see
+// elision/registry.h for the grammar).  Unknown names and malformed specs
+// exit with the registry's guidance instead of a bare error.
+inline elision::Policy parse_scheme(const std::string& s) {
+  std::string err;
+  const auto p = elision::parse_policy(s, &err);
+  if (!p) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    std::exit(2);
+  }
+  return *p;
 }
 
 }  // namespace sihle::harness

@@ -8,13 +8,13 @@
 #include "ds/linkedlist.h"
 #include "ds/rbtree.h"
 #include "ds/skiplist.h"
+#include "elision/elided_lock.h"
 #include "runtime/ctx.h"
 
 namespace sihle::harness {
 
 namespace {
 
-using elision::Scheme;
 using runtime::Ctx;
 using runtime::Machine;
 
@@ -22,9 +22,8 @@ struct SharedState {
   std::uint64_t key_domain;
   int update_pct;
   sim::Cycles duration;
-  Scheme scheme;
-  stats::SliceRecorder* slices;       // may be null
-  elision::AdaptState* adapt;         // glibc-style per-lock adaptation state
+  elision::Policy policy;
+  stats::SliceRecorder* slices;  // may be null
 };
 
 template <class DS>
@@ -43,8 +42,8 @@ sim::Task<void> op_lookup(Ctx& c, DS& t, std::int64_t k) {
   (void)r;
 }
 
-template <class DS, class Lock>
-sim::Task<void> worker(Ctx& c, DS& ds, Lock& lock, locks::MCSLock& aux,
+template <class DS>
+sim::Task<void> worker(Ctx& c, DS& ds, elision::ElidedLock& lock,
                        SharedState& ss, stats::OpStats& st,
                        stats::LatencyHistogram& lat) {
   const sim::Cycles t0 = c.now();
@@ -54,17 +53,17 @@ sim::Task<void> worker(Ctx& c, DS& ds, Lock& lock, locks::MCSLock& aux,
     const std::uint64_t nonspec_before = st.nonspec;
     const sim::Cycles op_start = c.now();
     if (dice < ss.update_pct / 2) {
-      co_await elision::run_op(
-          ss.scheme, c, lock, aux,
-          [&ds, key](Ctx& cc) { return op_insert(cc, ds, key); }, st, ss.adapt);
+      co_await elision::run_cs(
+          ss.policy, c, lock,
+          [&ds, key](Ctx& cc) { return op_insert(cc, ds, key); }, st);
     } else if (dice < ss.update_pct) {
-      co_await elision::run_op(
-          ss.scheme, c, lock, aux,
-          [&ds, key](Ctx& cc) { return op_erase(cc, ds, key); }, st, ss.adapt);
+      co_await elision::run_cs(
+          ss.policy, c, lock,
+          [&ds, key](Ctx& cc) { return op_erase(cc, ds, key); }, st);
     } else {
-      co_await elision::run_op(
-          ss.scheme, c, lock, aux,
-          [&ds, key](Ctx& cc) { return op_lookup(cc, ds, key); }, st, ss.adapt);
+      co_await elision::run_cs(
+          ss.policy, c, lock,
+          [&ds, key](Ctx& cc) { return op_lookup(cc, ds, key); }, st);
     }
     lat.record(c.now() - op_start);
     if (ss.slices != nullptr) {
@@ -99,7 +98,7 @@ bool validate(const ds::HashTable& t) { return t.debug_validate(); }
 bool validate(const ds::LinkedListSet& t) { return t.debug_validate(); }
 bool validate(const ds::SkipList& t) { return t.debug_validate(); }
 
-template <class DS, class Lock>
+template <class DS>
 WorkloadResult run_impl(const WorkloadConfig& cfg) {
   Machine::Config mc;
   mc.seed = cfg.seed;
@@ -113,8 +112,9 @@ WorkloadResult run_impl(const WorkloadConfig& cfg) {
   if (cfg.trace != nullptr) m.set_tx_trace(cfg.trace);
   if (cfg.events != nullptr) m.set_event_trace(cfg.events);
 
-  Lock lock(m);
-  locks::MCSLock aux(m);
+  // Main lock then aux lock, before the data structure — the historical
+  // sync-line allocation order, which the committed baselines depend on.
+  elision::ElidedLock lock(m, cfg.lock, cfg.scheme.conflict.aux);
   std::unique_ptr<DS> ds(construct<DS>(m, cfg));
 
   // Pre-fill to exactly `tree_size` distinct keys from [0, 2*tree_size).
@@ -135,16 +135,14 @@ WorkloadResult run_impl(const WorkloadConfig& cfg) {
     out.slices = std::make_shared<stats::SliceRecorder>(slice);
   }
 
-  elision::AdaptState adapt;
   SharedState ss{domain, cfg.update_pct, cfg.duration, cfg.scheme,
-                 out.slices.get(), &adapt};
+                 out.slices.get()};
 
   std::vector<stats::OpStats> per_thread(cfg.threads);
   std::vector<stats::LatencyHistogram> per_thread_lat(cfg.threads);
   for (int t = 0; t < cfg.threads; ++t) {
     m.spawn([&, t](Ctx& c) {
-      return worker<DS, Lock>(c, *ds, lock, aux, ss, per_thread[t],
-                              per_thread_lat[t]);
+      return worker<DS>(c, *ds, lock, ss, per_thread[t], per_thread_lat[t]);
     });
   }
   m.run();
@@ -162,37 +160,14 @@ WorkloadResult run_impl(const WorkloadConfig& cfg) {
   return out;
 }
 
-template <class DS>
-WorkloadResult run_with_ds(const WorkloadConfig& cfg) {
-  switch (cfg.lock) {
-    case locks::LockKind::kTtas:
-      return run_impl<DS, locks::TTASLock>(cfg);
-    case locks::LockKind::kMcs:
-      return run_impl<DS, locks::MCSLock>(cfg);
-    case locks::LockKind::kTicket:
-      return run_impl<DS, locks::TicketLock>(cfg);
-    case locks::LockKind::kClh:
-      return run_impl<DS, locks::CLHLock>(cfg);
-    case locks::LockKind::kAnderson:
-      return run_impl<DS, locks::AndersonLock>(cfg);
-    case locks::LockKind::kElidableTicket:
-      return run_impl<DS, locks::ElidableTicketLock>(cfg);
-    case locks::LockKind::kElidableClh:
-      return run_impl<DS, locks::ElidableCLHLock>(cfg);
-    case locks::LockKind::kElidableAnderson:
-      return run_impl<DS, locks::ElidableAndersonLock>(cfg);
-  }
-  return {};
-}
-
 }  // namespace
 
 WorkloadResult run_rbtree_workload(const WorkloadConfig& cfg) {
   switch (cfg.ds) {
-    case DsKind::kRbTree: return run_with_ds<ds::RBTree>(cfg);
-    case DsKind::kHashTable: return run_with_ds<ds::HashTable>(cfg);
-    case DsKind::kLinkedList: return run_with_ds<ds::LinkedListSet>(cfg);
-    case DsKind::kSkipList: return run_with_ds<ds::SkipList>(cfg);
+    case DsKind::kRbTree: return run_impl<ds::RBTree>(cfg);
+    case DsKind::kHashTable: return run_impl<ds::HashTable>(cfg);
+    case DsKind::kLinkedList: return run_impl<ds::LinkedListSet>(cfg);
+    case DsKind::kSkipList: return run_impl<ds::SkipList>(cfg);
   }
   return {};
 }

@@ -10,7 +10,7 @@
 #include <memory>
 
 #include "analysis/config.h"
-#include "elision/schemes.h"
+#include "elision/policy.h"
 #include "locks/locks.h"
 #include "stats/event_ring.h"
 #include "stats/findings.h"
@@ -49,7 +49,9 @@ struct WorkloadConfig {
   int update_pct = 20;  // mutating fraction of ops, split evenly insert/erase
   sim::Cycles duration = 5'000'000;
   std::uint64_t seed = 1;
-  elision::Scheme scheme = elision::Scheme::kStandard;
+  // Any elision policy; canonical Schemes convert implicitly.  The SCM
+  // auxiliary lock kind rides along in scheme.conflict.aux.
+  elision::Policy scheme = elision::Scheme::kStandard;
   locks::LockKind lock = locks::LockKind::kTtas;
   DsKind ds = DsKind::kRbTree;
   double spurious = kDefaultSpurious;

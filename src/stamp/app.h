@@ -27,7 +27,7 @@
 #include <string>
 #include <vector>
 
-#include "elision/schemes.h"
+#include "elision/policy.h"
 #include "locks/locks.h"
 #include "sim/cost_model.h"
 #include "stats/op_stats.h"
@@ -35,7 +35,8 @@
 namespace sihle::stamp {
 
 struct StampConfig {
-  elision::Scheme scheme = elision::Scheme::kStandard;
+  // Any elision policy; canonical Schemes convert implicitly.
+  elision::Policy scheme = elision::Scheme::kStandard;
   locks::LockKind lock = locks::LockKind::kTtas;
   int threads = 8;
   std::uint64_t seed = 1;

@@ -1,9 +1,12 @@
-// Shared plumbing for the STAMP kernels: a machine + one global lock (the
-// paper's methodology replaces every STAMP transaction with a critical
-// section on a single global lock) + the SCM auxiliary lock, and the
-// lock-kind dispatch macro each kernel uses.
+// Shared plumbing for the STAMP kernels: a machine + one global elidable
+// lock (the paper's methodology replaces every STAMP transaction with a
+// critical section on a single global lock).  The lock-kind product, the
+// SCM auxiliary lock, and the adaptation state all live inside
+// elision::ElidedLock — kernels call elision::run_cs and never dispatch on
+// LockKind themselves.
 #pragma once
 
+#include "elision/elided_lock.h"
 #include "runtime/ctx.h"
 #include "runtime/shared_array.h"
 #include "stamp/app.h"
@@ -15,13 +18,11 @@ using runtime::LineHandle;
 using runtime::Machine;
 using runtime::SharedArray;
 
-template <class Lock>
 struct Env {
   Machine m;
-  Lock lock;
-  locks::MCSLock aux;
+  elision::ElidedLock lock;
   explicit Env(const StampConfig& cfg)
-      : m(machine_config(cfg)), lock(m), aux(m) {}
+      : m(machine_config(cfg)), lock(m, cfg.lock, cfg.scheme.conflict.aux) {}
 
   static Machine::Config machine_config(const StampConfig& cfg) {
     Machine::Config mc;
@@ -40,23 +41,5 @@ struct Env {
     return out;
   }
 };
-
-// Expands to the lock-kind dispatch body for a kernel implemented as
-// `template <class Lock> StampResult name_impl(const StampConfig&)`.
-#define SIHLE_STAMP_DISPATCH(impl, cfg)                                   \
-  switch ((cfg).lock) {                                                   \
-    case locks::LockKind::kTtas: return impl<locks::TTASLock>(cfg);       \
-    case locks::LockKind::kMcs: return impl<locks::MCSLock>(cfg);         \
-    case locks::LockKind::kTicket: return impl<locks::TicketLock>(cfg);   \
-    case locks::LockKind::kClh: return impl<locks::CLHLock>(cfg);         \
-    case locks::LockKind::kAnderson: return impl<locks::AndersonLock>(cfg); \
-    case locks::LockKind::kElidableTicket:                                \
-      return impl<locks::ElidableTicketLock>(cfg);                        \
-    case locks::LockKind::kElidableClh:                                   \
-      return impl<locks::ElidableCLHLock>(cfg);                           \
-    case locks::LockKind::kElidableAnderson:                              \
-      return impl<locks::ElidableAndersonLock>(cfg);                      \
-  }                                                                       \
-  return {}
 
 }  // namespace sihle::stamp

@@ -76,8 +76,7 @@ sim::Task<void> link_segment(Ctx& c, GenomeData& d, std::int64_t seg) {
   }
 }
 
-template <class Lock>
-sim::Task<void> genome_worker(Ctx& c, const StampConfig cfg, Env<Lock>& env,
+sim::Task<void> genome_worker(Ctx& c, const StampConfig cfg, Env& env,
                               GenomeData& d, runtime::Barrier& bar, int lo, int hi,
                               int unique, stats::OpStats& st,
                               std::int64_t* chain_total) {
@@ -85,8 +84,8 @@ sim::Task<void> genome_worker(Ctx& c, const StampConfig cfg, Env<Lock>& env,
   for (int i = lo; i < hi; ++i) {
     const std::int64_t seg = d.input[static_cast<std::size_t>(i)];
     co_await c.work(25);  // hash the segment string
-    co_await elision::run_op(
-        cfg.scheme, c, env.lock, env.aux,
+    co_await elision::run_cs(
+        cfg.scheme, c, env.lock,
         [&d, seg](Ctx& cc) { return dedup_insert(cc, d, seg); }, st);
   }
   co_await bar.arrive(c);
@@ -96,16 +95,16 @@ sim::Task<void> genome_worker(Ctx& c, const StampConfig cfg, Env<Lock>& env,
   const int thi = std::min(unique, tlo + chunk);
   for (int seg = tlo; seg < thi; ++seg) {
     co_await c.work(40);  // overlap matching
-    co_await elision::run_op(
-        cfg.scheme, c, env.lock, env.aux,
+    co_await elision::run_cs(
+        cfg.scheme, c, env.lock,
         [&d, seg](Ctx& cc) { return link_segment(cc, d, seg); }, st);
   }
   co_await bar.arrive(c);
   // Phase 3: walk chains to emit the sequence (read-only, medium length).
   for (int seg = tlo; seg < thi; seg += 8) {
     std::int64_t length = 0;
-    co_await elision::run_op(
-        cfg.scheme, c, env.lock, env.aux,
+    co_await elision::run_cs(
+        cfg.scheme, c, env.lock,
         [&d, seg, &length](Ctx& cc) { return walk_chain(cc, d, seg, 16, &length); },
         st);
     *chain_total += length;
@@ -113,9 +112,8 @@ sim::Task<void> genome_worker(Ctx& c, const StampConfig cfg, Env<Lock>& env,
   }
 }
 
-template <class Lock>
 StampResult genome_impl(const StampConfig& cfg) {
-  Env<Lock> env(cfg);
+  Env env(cfg);
   const int unique = static_cast<int>(1024 * cfg.scale);
   const int dups = static_cast<int>(3072 * cfg.scale);
   sim::Rng input_rng(cfg.seed ^ 0x6E0EULL);
@@ -130,7 +128,7 @@ StampResult genome_impl(const StampConfig& cfg) {
     const int lo = t * chunk;
     const int hi = std::min(n, lo + chunk);
     env.m.spawn([&, lo, hi, t](Ctx& c) {
-      return genome_worker<Lock>(c, cfg, env, data, bar, lo, hi, unique, st[t],
+      return genome_worker(c, cfg, env, data, bar, lo, hi, unique, st[t],
                                  &chain_totals[t]);
     });
   }
@@ -161,6 +159,6 @@ StampResult genome_impl(const StampConfig& cfg) {
 
 }  // namespace
 
-StampResult run_genome(const StampConfig& cfg) { SIHLE_STAMP_DISPATCH(genome_impl, cfg); }
+StampResult run_genome(const StampConfig& cfg) { return genome_impl(cfg); }
 
 }  // namespace sihle::stamp

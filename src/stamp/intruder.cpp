@@ -78,20 +78,19 @@ sim::Task<void> record_fragment(Ctx& c, IntruderData& d, Packet p, bool* complet
   }
 }
 
-template <class Lock>
-sim::Task<void> intruder_worker(Ctx& c, const StampConfig cfg, Env<Lock>& env,
+sim::Task<void> intruder_worker(Ctx& c, const StampConfig cfg, Env& env,
                                 IntruderData& d, stats::OpStats& st,
                                 std::uint64_t& detected) {
   for (;;) {
     std::uint64_t idx = 0;
-    co_await elision::run_op(
-        cfg.scheme, c, env.lock, env.aux,
+    co_await elision::run_cs(
+        cfg.scheme, c, env.lock,
         [&d, &idx](Ctx& cc) { return pop_packet(cc, d, &idx); }, st);
     if (idx >= d.packets.size()) co_return;
     const Packet p = d.packets[idx];
     bool completed = false;
-    co_await elision::run_op(
-        cfg.scheme, c, env.lock, env.aux,
+    co_await elision::run_cs(
+        cfg.scheme, c, env.lock,
         [&d, p, &completed](Ctx& cc) { return record_fragment(cc, d, p, &completed); },
         st);
     if (completed) {
@@ -102,9 +101,8 @@ sim::Task<void> intruder_worker(Ctx& c, const StampConfig cfg, Env<Lock>& env,
   }
 }
 
-template <class Lock>
 StampResult intruder_impl(const StampConfig& cfg) {
-  Env<Lock> env(cfg);
+  Env env(cfg);
   const int flows = static_cast<int>(1200 * cfg.scale);
   sim::Rng input_rng(cfg.seed ^ 0x1257ULL);
   IntruderData data(env.m, flows, input_rng);
@@ -113,7 +111,7 @@ StampResult intruder_impl(const StampConfig& cfg) {
   std::vector<std::uint64_t> detected(cfg.threads, 0);
   for (int t = 0; t < cfg.threads; ++t) {
     env.m.spawn([&, t](Ctx& c) {
-      return intruder_worker<Lock>(c, cfg, env, data, st[t], detected[t]);
+      return intruder_worker(c, cfg, env, data, st[t], detected[t]);
     });
   }
   env.m.run();
@@ -135,7 +133,7 @@ StampResult intruder_impl(const StampConfig& cfg) {
 }  // namespace
 
 StampResult run_intruder(const StampConfig& cfg) {
-  SIHLE_STAMP_DISPATCH(intruder_impl, cfg);
+  return intruder_impl(cfg);
 }
 
 }  // namespace sihle::stamp

@@ -38,8 +38,7 @@ sim::Task<void> add_point(Ctx& c, KmeansData& d, int cluster,
   co_await c.store(d.acc[base + kDims], cnt + 1);
 }
 
-template <class Lock>
-sim::Task<void> kmeans_worker(Ctx& c, const StampConfig cfg, Env<Lock>& env,
+sim::Task<void> kmeans_worker(Ctx& c, const StampConfig cfg, Env& env,
                               KmeansData& d, int lo, int hi, stats::OpStats& st) {
   for (int iter = 0; iter < kIters; ++iter) {
     for (int p = lo; p < hi; ++p) {
@@ -52,17 +51,16 @@ sim::Task<void> kmeans_worker(Ctx& c, const StampConfig cfg, Env<Lock>& env,
         coords[i] = static_cast<std::int64_t>(h >> 56);
       }
       const int cluster = static_cast<int>(h % static_cast<std::uint64_t>(d.clusters));
-      co_await elision::run_op(
-          cfg.scheme, c, env.lock, env.aux,
+      co_await elision::run_cs(
+          cfg.scheme, c, env.lock,
           [&d, cluster, coords](Ctx& cc) { return add_point(cc, d, cluster, coords); },
           st);
     }
   }
 }
 
-template <class Lock>
 StampResult kmeans_impl(const StampConfig& cfg, int clusters) {
-  Env<Lock> env(cfg);
+  Env env(cfg);
   const int points = static_cast<int>(2000 * cfg.scale);
   KmeansData data(env.m, clusters, points);
 
@@ -72,7 +70,7 @@ StampResult kmeans_impl(const StampConfig& cfg, int clusters) {
     const int lo = t * chunk;
     const int hi = std::min(points, lo + chunk);
     env.m.spawn([&, lo, hi, t](Ctx& c) {
-      return kmeans_worker<Lock>(c, cfg, env, data, lo, hi, st[t]);
+      return kmeans_worker(c, cfg, env, data, lo, hi, st[t]);
     });
   }
   env.m.run();
@@ -86,22 +84,20 @@ StampResult kmeans_impl(const StampConfig& cfg, int clusters) {
 
 // STAMP's high-contention kmeans uses ~15 clusters, the low-contention one
 // ~40; we keep the same ratio.
-template <class Lock>
 StampResult kmeans_high_impl(const StampConfig& cfg) {
-  return kmeans_impl<Lock>(cfg, 15);
+  return kmeans_impl(cfg, 15);
 }
-template <class Lock>
 StampResult kmeans_low_impl(const StampConfig& cfg) {
-  return kmeans_impl<Lock>(cfg, 60);
+  return kmeans_impl(cfg, 60);
 }
 
 }  // namespace
 
 StampResult run_kmeans_high(const StampConfig& cfg) {
-  SIHLE_STAMP_DISPATCH(kmeans_high_impl, cfg);
+  return kmeans_high_impl(cfg);
 }
 StampResult run_kmeans_low(const StampConfig& cfg) {
-  SIHLE_STAMP_DISPATCH(kmeans_low_impl, cfg);
+  return kmeans_low_impl(cfg);
 }
 
 }  // namespace sihle::stamp

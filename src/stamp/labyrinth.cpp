@@ -131,21 +131,20 @@ sim::Task<void> pop_job(Ctx& c, LabyrinthData& d, std::uint64_t* out) {
   *out = idx;
 }
 
-template <class Lock>
-sim::Task<void> labyrinth_worker(Ctx& c, const StampConfig cfg, Env<Lock>& env,
+sim::Task<void> labyrinth_worker(Ctx& c, const StampConfig cfg, Env& env,
                                  LabyrinthData& d, stats::OpStats& st,
                                  std::vector<std::int8_t>& routed) {
   for (;;) {
     std::uint64_t idx = 0;
-    co_await elision::run_op(
-        cfg.scheme, c, env.lock, env.aux,
+    co_await elision::run_cs(
+        cfg.scheme, c, env.lock,
         [&d, &idx](Ctx& cc) { return pop_job(cc, d, &idx); }, st);
     if (idx >= d.jobs.size()) co_return;
     const auto [src, dst] = d.jobs[idx];
     const std::int64_t path_id = static_cast<std::int64_t>(idx) + 1;
     bool claimed = false;
-    co_await elision::run_op(
-        cfg.scheme, c, env.lock, env.aux,
+    co_await elision::run_cs(
+        cfg.scheme, c, env.lock,
         [&d, src, dst, path_id, &claimed](Ctx& cc) {
           return route_and_claim(cc, d, src, dst, path_id, &claimed);
         },
@@ -154,9 +153,8 @@ sim::Task<void> labyrinth_worker(Ctx& c, const StampConfig cfg, Env<Lock>& env,
   }
 }
 
-template <class Lock>
 StampResult labyrinth_impl(const StampConfig& cfg) {
-  Env<Lock> env(cfg);
+  Env env(cfg);
   const int w = 48;
   const int h = 48;
   const int paths = static_cast<int>(64 * cfg.scale);
@@ -167,7 +165,7 @@ StampResult labyrinth_impl(const StampConfig& cfg) {
   std::vector<std::int8_t> routed(paths, 0);
   for (int t = 0; t < cfg.threads; ++t) {
     env.m.spawn([&, t](Ctx& c) {
-      return labyrinth_worker<Lock>(c, cfg, env, data, st[t], routed);
+      return labyrinth_worker(c, cfg, env, data, st[t], routed);
     });
   }
   env.m.run();
@@ -230,7 +228,7 @@ StampResult labyrinth_impl(const StampConfig& cfg) {
 }  // namespace
 
 StampResult run_labyrinth(const StampConfig& cfg) {
-  SIHLE_STAMP_DISPATCH(labyrinth_impl, cfg);
+  return labyrinth_impl(cfg);
 }
 
 }  // namespace sihle::stamp

@@ -36,22 +36,20 @@ sim::Task<void> add_edge(Ctx& c, Graph& g, int u, int v) {
   }
 }
 
-template <class Lock>
-sim::Task<void> ssca2_worker(Ctx& c, const StampConfig cfg, Env<Lock>& env,
+sim::Task<void> ssca2_worker(Ctx& c, const StampConfig cfg, Env& env,
                              Graph& g, int edges, stats::OpStats& st) {
   for (int e = 0; e < edges; ++e) {
     const int u = static_cast<int>(c.rng().below(static_cast<std::uint64_t>(g.vertices)));
     const int v = static_cast<int>(c.rng().below(static_cast<std::uint64_t>(g.vertices)));
     co_await c.work(15);  // edge-list generation
-    co_await elision::run_op(
-        cfg.scheme, c, env.lock, env.aux,
+    co_await elision::run_cs(
+        cfg.scheme, c, env.lock,
         [&g, u, v](Ctx& cc) { return add_edge(cc, g, u, v); }, st);
   }
 }
 
-template <class Lock>
 StampResult ssca2_impl(const StampConfig& cfg) {
-  Env<Lock> env(cfg);
+  Env env(cfg);
   const int vertices = static_cast<int>(1024 * cfg.scale);
   const int edges_per_thread = static_cast<int>(1500 * cfg.scale);
   Graph g(env.m, vertices);
@@ -59,7 +57,7 @@ StampResult ssca2_impl(const StampConfig& cfg) {
   std::vector<stats::OpStats> st(cfg.threads);
   for (int t = 0; t < cfg.threads; ++t) {
     env.m.spawn([&, t](Ctx& c) {
-      return ssca2_worker<Lock>(c, cfg, env, g, edges_per_thread, st[t]);
+      return ssca2_worker(c, cfg, env, g, edges_per_thread, st[t]);
     });
   }
   env.m.run();
@@ -86,6 +84,6 @@ StampResult ssca2_impl(const StampConfig& cfg) {
 
 }  // namespace
 
-StampResult run_ssca2(const StampConfig& cfg) { SIHLE_STAMP_DISPATCH(ssca2_impl, cfg); }
+StampResult run_ssca2(const StampConfig& cfg) { return ssca2_impl(cfg); }
 
 }  // namespace sihle::stamp

@@ -134,8 +134,7 @@ struct VacationParams {
   int update_pct;  // share of update_tables transactions (-u)
 };
 
-template <class Lock>
-sim::Task<void> vacation_worker(Ctx& c, const StampConfig cfg, Env<Lock>& env,
+sim::Task<void> vacation_worker(Ctx& c, const StampConfig cfg, Env& env,
                                 VacationData& d, VacationParams p, int ops,
                                 stats::OpStats& st) {
   for (int i = 0; i < ops; ++i) {
@@ -145,22 +144,22 @@ sim::Task<void> vacation_worker(Ctx& c, const StampConfig cfg, Env<Lock>& env,
       const int relation = static_cast<int>(c.rng().below(kRelations));
       const auto id = static_cast<std::int64_t>(c.rng().below(d.items));
       const bool add = c.rng().chance(0.5);
-      co_await elision::run_op(
-          cfg.scheme, c, env.lock, env.aux,
+      co_await elision::run_cs(
+          cfg.scheme, c, env.lock,
           [&d, relation, id, add](Ctx& cc) {
             return update_tables(cc, d, relation, id, add);
           },
           st);
     } else if (dice < p.update_pct + 10) {
       const int cust = static_cast<int>(c.rng().below(d.customers));
-      co_await elision::run_op(
-          cfg.scheme, c, env.lock, env.aux,
+      co_await elision::run_cs(
+          cfg.scheme, c, env.lock,
           [&d, cust](Ctx& cc) { return delete_customer(cc, d, cust); }, st);
     } else {
       const auto base = static_cast<std::int64_t>(c.rng().below(d.items));
       const int cust = static_cast<int>(c.rng().below(d.customers));
-      co_await elision::run_op(
-          cfg.scheme, c, env.lock, env.aux,
+      co_await elision::run_cs(
+          cfg.scheme, c, env.lock,
           [&d, base, p, cust](Ctx& cc) {
             return make_reservation(cc, d, base, p.query_span, cust);
           },
@@ -169,9 +168,8 @@ sim::Task<void> vacation_worker(Ctx& c, const StampConfig cfg, Env<Lock>& env,
   }
 }
 
-template <class Lock>
 StampResult vacation_impl(const StampConfig& cfg, VacationParams p) {
-  Env<Lock> env(cfg);
+  Env env(cfg);
   const int items = static_cast<int>(512 * cfg.scale);
   const int customers = static_cast<int>(256 * cfg.scale);
   const int ops_per_thread = static_cast<int>(400 * cfg.scale);
@@ -190,7 +188,7 @@ StampResult vacation_impl(const StampConfig& cfg, VacationParams p) {
   std::vector<stats::OpStats> st(cfg.threads);
   for (int t = 0; t < cfg.threads; ++t) {
     env.m.spawn([&, t](Ctx& c) {
-      return vacation_worker<Lock>(c, cfg, env, data, p, ops_per_thread, st[t]);
+      return vacation_worker(c, cfg, env, data, p, ops_per_thread, st[t]);
     });
   }
   env.m.run();
@@ -223,22 +221,20 @@ StampResult vacation_impl(const StampConfig& cfg, VacationParams p) {
   return env.finish(st, ok);
 }
 
-template <class Lock>
 StampResult vacation_high_impl(const StampConfig& cfg) {
-  return vacation_impl<Lock>(cfg, {8, 20});
+  return vacation_impl(cfg, {8, 20});
 }
-template <class Lock>
 StampResult vacation_low_impl(const StampConfig& cfg) {
-  return vacation_impl<Lock>(cfg, {3, 5});
+  return vacation_impl(cfg, {3, 5});
 }
 
 }  // namespace
 
 StampResult run_vacation_high(const StampConfig& cfg) {
-  SIHLE_STAMP_DISPATCH(vacation_high_impl, cfg);
+  return vacation_high_impl(cfg);
 }
 StampResult run_vacation_low(const StampConfig& cfg) {
-  SIHLE_STAMP_DISPATCH(vacation_low_impl, cfg);
+  return vacation_low_impl(cfg);
 }
 
 }  // namespace sihle::stamp

@@ -69,36 +69,34 @@ sim::Task<void> push_work(Ctx& c, YadaData& d, std::int64_t item) {
   }
 }
 
-template <class Lock>
-sim::Task<void> yada_worker(Ctx& c, const StampConfig cfg, Env<Lock>& env,
+sim::Task<void> yada_worker(Ctx& c, const StampConfig cfg, Env& env,
                             YadaData& d, stats::OpStats& st, std::uint64_t& processed) {
   for (;;) {
     std::int64_t item = -1;
-    co_await elision::run_op(
-        cfg.scheme, c, env.lock, env.aux,
+    co_await elision::run_cs(
+        cfg.scheme, c, env.lock,
         [&d, &item](Ctx& cc) { return pop_work(cc, d, &item); }, st);
     if (item < 0) co_return;
     const auto elem = static_cast<std::size_t>(item & 0xFFFFFFFF);
     const auto depth = static_cast<int>(item >> 32);
     co_await c.work(120);  // geometric predicates for the cavity
-    co_await elision::run_op(
-        cfg.scheme, c, env.lock, env.aux,
+    co_await elision::run_cs(
+        cfg.scheme, c, env.lock,
         [&d, elem](Ctx& cc) { return refine_cavity(cc, d, elem); }, st);
     ++processed;
     if (depth < kMaxDepth && c.rng().chance(0.25)) {
       const std::size_t fresh = (elem + 1 + c.rng().below(d.mesh_size - 1)) % d.mesh_size;
       const std::int64_t next_item = static_cast<std::int64_t>(fresh) |
                                      (static_cast<std::int64_t>(depth + 1) << 32);
-      co_await elision::run_op(
-          cfg.scheme, c, env.lock, env.aux,
+      co_await elision::run_cs(
+          cfg.scheme, c, env.lock,
           [&d, next_item](Ctx& cc) { return push_work(cc, d, next_item); }, st);
     }
   }
 }
 
-template <class Lock>
 StampResult yada_impl(const StampConfig& cfg) {
-  Env<Lock> env(cfg);
+  Env env(cfg);
   const auto mesh_size = static_cast<std::size_t>(4096 * cfg.scale);
   const auto initial_bad = static_cast<std::size_t>(900 * cfg.scale);
   YadaData data(env.m, mesh_size, initial_bad * 4);
@@ -114,7 +112,7 @@ StampResult yada_impl(const StampConfig& cfg) {
   std::vector<std::uint64_t> processed(cfg.threads, 0);
   for (int t = 0; t < cfg.threads; ++t) {
     env.m.spawn([&, t](Ctx& c) {
-      return yada_worker<Lock>(c, cfg, env, data, st[t], processed[t]);
+      return yada_worker(c, cfg, env, data, st[t], processed[t]);
     });
   }
   env.m.run();
@@ -130,6 +128,6 @@ StampResult yada_impl(const StampConfig& cfg) {
 
 }  // namespace
 
-StampResult run_yada(const StampConfig& cfg) { SIHLE_STAMP_DISPATCH(yada_impl, cfg); }
+StampResult run_yada(const StampConfig& cfg) { return yada_impl(cfg); }
 
 }  // namespace sihle::stamp

@@ -1,6 +1,10 @@
 // End-to-end mutual-exclusion property test: a shared counter incremented
 // through every scheme × lock combination must equal threads × ops — under
 // any interleaving, any abort pattern, and with spurious aborts injected.
+//
+// Runs through elision::run_cs / ElidedLock — the scheme × LockKind product
+// lives in one place (elision/elided_lock.h), so there is no per-lock
+// template switch here.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -8,7 +12,8 @@
 #include <tuple>
 #include <vector>
 
-#include "elision/schemes.h"
+#include "elision/elided_lock.h"
+#include "elision/registry.h"
 #include "locks/locks.h"
 #include "runtime/ctx.h"
 
@@ -33,35 +38,32 @@ sim::Task<void> incr_body(Ctx& c, Counter& cnt, std::uint64_t work) {
   co_await c.store(cnt.value, v + 1);
 }
 
-template <class Lock>
-sim::Task<void> worker(Ctx& c, Scheme s, Lock& lock, locks::MCSLock& aux,
+sim::Task<void> worker(Ctx& c, elision::Policy policy, elision::ElidedLock& lock,
                        Counter& cnt, int ops, stats::OpStats& st) {
   for (int i = 0; i < ops; ++i) {
-    co_await elision::run_op(
-        s, c, lock, aux, [&cnt](Ctx& cc) { return incr_body(cc, cnt, 30); }, st);
+    co_await elision::run_cs(
+        policy, c, lock, [&cnt](Ctx& cc) { return incr_body(cc, cnt, 30); }, st);
   }
 }
 
-template <class Lock>
-stats::OpStats run_counter(Scheme s, int threads, int ops, std::uint64_t seed,
-                           double spurious = 0.0) {
+stats::OpStats run_counter(elision::Policy policy, LockKind kind, int threads,
+                           int ops, std::uint64_t seed, double spurious = 0.0) {
   Machine::Config cfg;
   cfg.seed = seed;
   cfg.htm.spurious_abort_per_access = spurious;
   Machine m(cfg);
-  Lock lock(m);
-  locks::MCSLock aux(m);
+  elision::ElidedLock lock(m, kind, policy.conflict.aux);
   Counter cnt(m);
   std::vector<stats::OpStats> per_thread(threads);
   for (int t = 0; t < threads; ++t) {
     m.spawn([&, t](Ctx& c) {
-      return worker<Lock>(c, s, lock, aux, cnt, ops, per_thread[t]);
+      return worker(c, policy, lock, cnt, ops, per_thread[t]);
     });
   }
   m.run();
   EXPECT_EQ(cnt.value.debug_value(),
             static_cast<std::uint64_t>(threads) * static_cast<std::uint64_t>(ops));
-  EXPECT_FALSE(lock.debug_locked());
+  EXPECT_FALSE(lock.main().debug_locked());
   stats::OpStats total;
   for (const auto& st : per_thread) total += st;
   EXPECT_EQ(total.ops(), static_cast<std::uint64_t>(threads) * ops);
@@ -80,33 +82,7 @@ class CounterInvariant : public ::testing::TestWithParam<Param> {};
 
 TEST_P(CounterInvariant, CountsExactly) {
   const Param p = GetParam();
-  const int ops = 300;
-  switch (p.lock) {
-    case LockKind::kTtas:
-      run_counter<locks::TTASLock>(p.scheme, p.threads, ops, p.seed, p.spurious);
-      break;
-    case LockKind::kMcs:
-      run_counter<locks::MCSLock>(p.scheme, p.threads, ops, p.seed, p.spurious);
-      break;
-    case LockKind::kTicket:
-      run_counter<locks::TicketLock>(p.scheme, p.threads, ops, p.seed, p.spurious);
-      break;
-    case LockKind::kClh:
-      run_counter<locks::CLHLock>(p.scheme, p.threads, ops, p.seed, p.spurious);
-      break;
-    case LockKind::kAnderson:
-      run_counter<locks::AndersonLock>(p.scheme, p.threads, ops, p.seed, p.spurious);
-      break;
-    case LockKind::kElidableTicket:
-      run_counter<locks::ElidableTicketLock>(p.scheme, p.threads, ops, p.seed, p.spurious);
-      break;
-    case LockKind::kElidableClh:
-      run_counter<locks::ElidableCLHLock>(p.scheme, p.threads, ops, p.seed, p.spurious);
-      break;
-    case LockKind::kElidableAnderson:
-      run_counter<locks::ElidableAndersonLock>(p.scheme, p.threads, ops, p.seed, p.spurious);
-      break;
-  }
+  run_counter(p.scheme, p.lock, p.threads, 300, p.seed, p.spurious);
 }
 
 std::vector<Param> all_params() {
@@ -143,15 +119,31 @@ std::string param_name(const ::testing::TestParamInfo<Param>& info) {
 INSTANTIATE_TEST_SUITE_P(AllSchemesAllLocks, CounterInvariant,
                          ::testing::ValuesIn(all_params()), param_name);
 
+// Parameterized (non-canonical) policies must uphold the same invariant:
+// a ticket-lock SCM aux, a widened SLR retry budget with backoff, and a
+// retuned adaptive policy, across a fair and an unfair main lock.
+TEST(CounterInvariant, ParameterizedPolicies) {
+  for (const char* spec :
+       {"hle-scm:aux=ticket", "hle-scm:aux=ticket,retries=5",
+        "slr:retries=20,backoff=exp", "hle:retries=4,backoff=exp",
+        "adaptive:tries=1,skip=10"}) {
+    SCOPED_TRACE(spec);
+    const auto policy = elision::parse_policy(spec);
+    ASSERT_TRUE(policy.has_value());
+    for (LockKind l : {LockKind::kTtas, LockKind::kMcs}) {
+      run_counter(*policy, l, 8, 300, 42, 1e-3);
+    }
+  }
+}
+
 // The single-thread no-lock baseline used to normalize Figure 9.
 TEST(CounterInvariant, NoLockSingleThread) {
   Machine m;
+  elision::ElidedLock lock(m, LockKind::kTtas);
   Counter cnt(m);
-  locks::TTASLock lock(m);
-  locks::MCSLock aux(m);
   stats::OpStats st;
   m.spawn([&](Ctx& c) {
-    return worker<locks::TTASLock>(c, Scheme::kNoLock, lock, aux, cnt, 500, st);
+    return worker(c, Scheme::kNoLock, lock, cnt, 500, st);
   });
   m.run();
   EXPECT_EQ(cnt.value.debug_value(), 500u);

@@ -1,0 +1,330 @@
+// Policy-registry tests (elision/registry.h): name round-trips, spec
+// grammar acceptance and rejection, canonical equivalence of registry
+// policies against the legacy per-scheme dispatch, and the parameterized
+// variants running end-to-end through the experiment engine.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ds/rbtree.h"
+#include "elision/elided_lock.h"
+#include "elision/registry.h"
+#include "elision/schemes.h"  // legacy run_op: the equivalence reference
+#include "exp/engine.h"
+#include "exp/spec.h"
+#include "locks/locks.h"
+#include "runtime/ctx.h"
+
+namespace sihle {
+namespace {
+
+using elision::Policy;
+using elision::Scheme;
+using locks::LockKind;
+using runtime::Ctx;
+using runtime::Machine;
+
+// --- Name round-trips ------------------------------------------------------
+
+TEST(Registry, RoundTripsEveryRegisteredSchemeName) {
+  for (const elision::SchemeRow& row : elision::kSchemeRows) {
+    const Policy canonical = elision::policy_for(row.scheme);
+
+    // Parse key, display name, and alias (when present) all land on the
+    // canonical policy; matching is case-insensitive.
+    for (const char* name : {row.key, row.display, row.alias}) {
+      if (name == nullptr) continue;
+      SCOPED_TRACE(name);
+      const auto parsed = elision::parse_policy(name);
+      ASSERT_TRUE(parsed.has_value());
+      EXPECT_EQ(*parsed, canonical);
+      std::string upper(name);
+      for (char& c : upper) c = static_cast<char>(std::toupper(c));
+      const auto parsed_upper = elision::parse_policy(upper);
+      ASSERT_TRUE(parsed_upper.has_value());
+      EXPECT_EQ(*parsed_upper, canonical);
+    }
+
+    // Canonical policies print as their bare key and display label.
+    EXPECT_EQ(elision::policy_spec(canonical), row.key);
+    EXPECT_EQ(elision::policy_label(canonical), row.display);
+  }
+}
+
+TEST(Registry, RoundTripsEveryRegisteredLockName) {
+  for (const LockKind k :
+       {LockKind::kTtas, LockKind::kMcs, LockKind::kTicket, LockKind::kClh,
+        LockKind::kAnderson, LockKind::kElidableTicket, LockKind::kElidableClh,
+        LockKind::kElidableAnderson}) {
+    const std::string key = elision::lock_key(k);
+    SCOPED_TRACE(key);
+    EXPECT_NE(key, "?");
+    const auto parsed = elision::parse_lock_kind(key);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, k);
+    std::string upper = key;
+    for (char& c : upper) c = static_cast<char>(std::toupper(c));
+    const auto parsed_upper = elision::parse_lock_kind(upper);
+    ASSERT_TRUE(parsed_upper.has_value());
+    EXPECT_EQ(*parsed_upper, k);
+  }
+}
+
+// Parameterized specs round-trip through policy_spec: re-parsing the
+// printed spec reproduces the policy exactly.
+TEST(Registry, ParameterizedSpecsRoundTrip) {
+  for (const char* spec :
+       {"hle-scm:aux=ticket", "hle-scm:aux=ticket,retries=5",
+        "hle-scm:retry-bit=on", "slr:retries=20,backoff=exp",
+        "slr:retry-bit=off", "hle:retries=4", "hle:backoff=exp",
+        "hle-retries:retries=3,retry-bit=off", "slr-scm:aux=clh,retries=2",
+        "adaptive:tries=1,skip=10"}) {
+    SCOPED_TRACE(spec);
+    const auto p = elision::parse_policy(spec);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_FALSE(elision::canonical_scheme(*p).has_value());
+    const std::string printed = elision::policy_spec(*p);
+    const auto reparsed = elision::parse_policy(printed);
+    ASSERT_TRUE(reparsed.has_value()) << printed;
+    EXPECT_EQ(*reparsed, *p) << printed;
+    // Non-canonical policies label as their spec.
+    EXPECT_EQ(elision::policy_label(*p), printed);
+  }
+}
+
+// Parameters explicitly set to their canonical value parse back to the
+// canonical policy (and thus the canonical label).
+TEST(Registry, CanonicalValuedParametersCollapse) {
+  const auto p = elision::parse_policy("hle-scm:aux=mcs,retries=10");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, Policy(Scheme::kHleScm));
+  EXPECT_EQ(elision::policy_label(*p), "HLE-SCM");
+}
+
+// --- Malformed specs -------------------------------------------------------
+
+struct BadSpec {
+  const char* spec;
+  const char* error_contains;  // every rejection must be actionable
+};
+
+class RegistryRejects : public ::testing::TestWithParam<BadSpec> {};
+
+TEST_P(RegistryRejects, WithActionableError) {
+  const BadSpec& bad = GetParam();
+  std::string error;
+  const auto p = elision::parse_policy(bad.spec, &error);
+  EXPECT_FALSE(p.has_value()) << bad.spec;
+  EXPECT_NE(error.find(bad.error_contains), std::string::npos)
+      << "error for '" << bad.spec << "' was:\n"
+      << error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grammar, RegistryRejects,
+    ::testing::Values(
+        // Unknown names list the valid ones.
+        BadSpec{"wibble", "valid schemes: nolock, standard, hle"},
+        BadSpec{"", "valid schemes"},
+        // Empty / malformed parameter lists.
+        BadSpec{"scm:", "empty parameter list"},
+        BadSpec{"scm:aux=", "empty value for 'aux'"},
+        BadSpec{"scm:aux", "expected key=value"},
+        BadSpec{"scm:=ticket", "expected key=value"},
+        // Unknown keys name the scheme's valid keys.
+        BadSpec{"hle:bogus=1", "valid keys: retries, backoff, retry-bit"},
+        BadSpec{"standard:retries=5", "does not apply to scheme 'standard'"},
+        // Out-of-range and non-numeric values.
+        BadSpec{"hle:retries=0", "out of range [1, 1000]"},
+        BadSpec{"hle:retries=100000", "out of range [1, 1000]"},
+        BadSpec{"hle:retries=ten", "out of range"},
+        BadSpec{"adaptive:tries=0", "out of range [1, 100]"},
+        BadSpec{"adaptive:skip=9999", "out of range [0, 1000]"},
+        // Keys that exist but do not apply to the named scheme.
+        BadSpec{"hle:aux=ticket", "only applies to the SCM schemes"},
+        BadSpec{"adaptive:retries=5", "valid keys: tries, skip"},
+        BadSpec{"hle:tries=2", "only applies to scheme 'adaptive'"},
+        BadSpec{"slr-scm:retry-bit=off", "fixed for slr-scm"},
+        // Bad enumerated values and duplicates.
+        BadSpec{"hle:backoff=cubic", "expected none|exp"},
+        BadSpec{"hle:retry-bit=maybe", "expected on|off"},
+        BadSpec{"scm:aux=spinlock", "valid locks: ttas, mcs"},
+        BadSpec{"hle:retries=2,retries=3", "duplicate key 'retries'"}));
+
+TEST(Registry, UnknownLockNameListsValidNames) {
+  std::string error;
+  const auto k = elision::parse_lock_kind("spinlock", &error);
+  EXPECT_FALSE(k.has_value());
+  EXPECT_NE(error.find("valid locks: ttas, mcs, ticket"), std::string::npos)
+      << error;
+}
+
+// --- Canonical equivalence -------------------------------------------------
+//
+// Registry-parsed canonical policies must be indistinguishable from the
+// legacy per-scheme dispatch: same OpStats, same makespan, on the same
+// seeds.  This is the scheme-level half of the byte-for-byte guarantee the
+// committed BENCH baselines pin end-to-end.
+
+struct RunOutcome {
+  stats::OpStats stats;
+  sim::Cycles makespan = 0;
+  std::size_t tree_size = 0;
+};
+
+sim::Task<void> tree_body(Ctx& c, ds::RBTree& t, std::int64_t k) {
+  const bool r = co_await t.insert(c, k);
+  if (!r) co_await t.erase(c, k);
+}
+
+template <class RunCs>
+RunOutcome run_workload(std::uint64_t seed, int threads, RunCs run_cs_factory) {
+  Machine::Config mc;
+  mc.seed = seed;
+  mc.htm.spurious_abort_per_access = 1e-3;
+  mc.htm.persistent_abort_per_tx = 2e-3;
+  Machine m(mc);
+  RunOutcome out;
+  ds::RBTree* tree = nullptr;
+  auto worker = run_cs_factory(m, tree);
+  for (int k = 0; k < 64; k += 2) tree->debug_insert(k);
+  std::vector<stats::OpStats> st(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    m.spawn([&, t](Ctx& c) { return worker(c, st[static_cast<std::size_t>(t)]); });
+  }
+  m.run();
+  for (const auto& s : st) out.stats += s;
+  out.makespan = m.exec().max_clock();
+  out.tree_size = tree->debug_size();
+  delete tree;
+  return out;
+}
+
+// kNoLock provides no mutual exclusion; everything else runs contended.
+int threads_for(Scheme s) { return s == Scheme::kNoLock ? 1 : 4; }
+
+template <class Lock>
+RunOutcome legacy_run(Scheme scheme, std::uint64_t seed) {
+  return run_workload(seed, threads_for(scheme),
+                      [scheme](Machine& m, ds::RBTree*& tree) {
+    auto lock = std::make_shared<Lock>(m);
+    auto aux = std::make_shared<locks::MCSLock>(m);
+    tree = new ds::RBTree(m);
+    ds::RBTree* tr = tree;
+    // One adaptation state shared by every thread, the historical
+    // per-workload wiring (ElidedLock owns the equivalent per-lock state).
+    auto adapt = std::make_shared<elision::AdaptState>();
+    return [scheme, lock, aux, tr, adapt](Ctx& c, stats::OpStats& st) {
+      return [](Ctx& cc, Scheme s, Lock& l, locks::MCSLock& a, ds::RBTree& t,
+                elision::AdaptState& ad,
+                stats::OpStats& so) -> sim::Task<void> {
+        for (int i = 0; i < 120; ++i) {
+          const auto key = static_cast<std::int64_t>(cc.rng().below(64));
+          co_await elision::run_op(
+              s, cc, l, a,
+              [&t, key](Ctx& c2) { return tree_body(c2, t, key); }, so, &ad);
+        }
+      }(c, scheme, *lock, *aux, *tr, *adapt, st);
+    };
+  });
+}
+
+RunOutcome registry_run(const std::string& spec, LockKind kind,
+                        std::uint64_t seed) {
+  const auto policy = elision::parse_policy(spec);
+  EXPECT_TRUE(policy.has_value()) << spec;
+  const int threads =
+      policy->flavor == elision::AttemptFlavor::kNoLock ? 1 : 4;
+  return run_workload(seed, threads,
+                      [&policy, kind](Machine& m, ds::RBTree*& tree) {
+    auto lock =
+        std::make_shared<elision::ElidedLock>(m, kind, policy->conflict.aux);
+    tree = new ds::RBTree(m);
+    ds::RBTree* tr = tree;
+    const Policy p = *policy;
+    return [p, lock, tr](Ctx& c, stats::OpStats& st) {
+      return [](Ctx& cc, Policy pp, elision::ElidedLock& l, ds::RBTree& t,
+                stats::OpStats& so) -> sim::Task<void> {
+        for (int i = 0; i < 120; ++i) {
+          const auto key = static_cast<std::int64_t>(cc.rng().below(64));
+          co_await elision::run_cs(
+              pp, cc, l, [&t, key](Ctx& c2) { return tree_body(c2, t, key); },
+              so);
+        }
+      }(c, p, *lock, *tr, st);
+    };
+  });
+}
+
+void expect_identical(const RunOutcome& a, const RunOutcome& b) {
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.tree_size, b.tree_size);
+  EXPECT_EQ(a.stats.spec_commits, b.stats.spec_commits);
+  EXPECT_EQ(a.stats.aborts, b.stats.aborts);
+  EXPECT_EQ(a.stats.nonspec, b.stats.nonspec);
+  EXPECT_EQ(a.stats.arrivals, b.stats.arrivals);
+  EXPECT_EQ(a.stats.arrivals_lock_held, b.stats.arrivals_lock_held);
+  EXPECT_EQ(a.stats.aux_acquisitions, b.stats.aux_acquisitions);
+}
+
+TEST(RegistryEquivalence, CanonicalPoliciesMatchLegacyDispatch) {
+  for (const elision::SchemeRow& row : elision::kSchemeRows) {
+    for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+      SCOPED_TRACE(std::string(row.key) + " seed=" + std::to_string(seed));
+      expect_identical(legacy_run<locks::TTASLock>(row.scheme, seed),
+                       registry_run(row.key, LockKind::kTtas, seed));
+      expect_identical(legacy_run<locks::MCSLock>(row.scheme, seed),
+                       registry_run(row.key, LockKind::kMcs, seed));
+    }
+  }
+}
+
+// --- End-to-end through the experiment engine ------------------------------
+//
+// The two acceptance variants — a non-MCS SCM auxiliary lock and a
+// configurable SLR retry budget with exponential backoff — as registry
+// strings driving real experiment-engine cells.
+
+TEST(RegistryEquivalence, ParameterizedVariantsRunThroughExpEngine) {
+  exp::ExperimentSpec spec;
+  spec.name = "registry_variants";
+  spec.replicates = 2;
+  spec.base_seed = 5;
+  for (const char* s : {"hle-scm:aux=ticket", "slr:retries=20,backoff=exp"}) {
+    const auto policy = elision::parse_policy(s);
+    ASSERT_TRUE(policy.has_value()) << s;
+    harness::WorkloadConfig cfg;
+    cfg.threads = 4;
+    cfg.tree_size = 64;
+    cfg.duration = 300'000;
+    cfg.scheme = *policy;
+    exp::add_workload_cell(spec, {{"scheme", elision::policy_label(*policy)}},
+                           cfg);
+  }
+  const auto results = exp::run_experiment(spec, {/*jobs=*/2});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].id, "scheme=hle-scm:aux=ticket");
+  EXPECT_EQ(results[1].id, "scheme=slr:retries=20,backoff=exp");
+  for (const auto& cell : results) {
+    SCOPED_TRACE(cell.id);
+    EXPECT_GT(cell.metric_mean("ops_per_mcycle"), 0.0);
+    EXPECT_EQ(cell.metric_mean("valid"), 1.0);  // DS invariants held
+  }
+}
+
+// A parameterized aux lock actually changes behavior (the ticket aux is a
+// different lock than MCS), while leaving the scheme runnable: distinct
+// simulations, same op count.
+TEST(RegistryEquivalence, AuxLockParameterIsLive) {
+  const RunOutcome mcs = registry_run("hle-scm", LockKind::kTtas, 7);
+  const RunOutcome ticket = registry_run("hle-scm:aux=ticket", LockKind::kTtas, 7);
+  EXPECT_EQ(mcs.stats.ops(), ticket.stats.ops());
+  EXPECT_NE(mcs.makespan, ticket.makespan);
+}
+
+}  // namespace
+}  // namespace sihle

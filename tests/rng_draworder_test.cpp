@@ -26,7 +26,7 @@
 #include <vector>
 
 #include "ds/rbtree.h"
-#include "elision/schemes.h"
+#include "elision/elided_lock.h"
 #include "locks/locks.h"
 #include "runtime/ctx.h"
 
@@ -133,13 +133,13 @@ TEST(RngDrawOrder, TiedThreadsPickSequence) {
 // divergence in the RNG draw sequence cascades into these within a few
 // scheduling decisions.
 
-sim::Task<void> tree_worker(Ctx& c, elision::Scheme s, locks::TTASLock& lock,
-                            locks::MCSLock& aux, ds::RBTree& tree, int ops,
+sim::Task<void> tree_worker(Ctx& c, elision::Policy policy,
+                            elision::ElidedLock& lock, ds::RBTree& tree, int ops,
                             stats::OpStats& st) {
   for (int i = 0; i < ops; ++i) {
     const std::int64_t key = static_cast<std::int64_t>(c.rng().below(64));
-    co_await elision::run_op(
-        s, c, lock, aux,
+    co_await elision::run_cs(
+        policy, c, lock,
         [&tree, key](Ctx& cc) -> sim::Task<void> {
           return [](Ctx& c2, ds::RBTree& t, std::int64_t k) -> sim::Task<void> {
             const bool r = co_await t.insert(c2, k);
@@ -157,15 +157,16 @@ TEST(RngDrawOrder, SchemeScheduleFingerprints) {
     mc.random_tie_break = true;
     mc.htm.spurious_abort_per_access = 1e-3;
     Machine m(mc);
-    locks::TTASLock lock(m);
-    locks::MCSLock aux(m);
+    // TTAS main lock then MCS aux then the tree — run_cs/ElidedLock must
+    // reproduce the exact schedules the golden file pins.
+    elision::ElidedLock lock(m, locks::LockKind::kTtas);
     ds::RBTree tree(m);
     for (int k = 0; k < 64; k += 2) tree.debug_insert(k);
     constexpr int kThreads = 4;
     std::vector<stats::OpStats> st(kThreads);
     for (int t = 0; t < kThreads; ++t) {
       m.spawn([&, t](Ctx& c) {
-        return tree_worker(c, scheme, lock, aux, tree, 100, st[t]);
+        return tree_worker(c, scheme, lock, tree, 100, st[t]);
       });
     }
     m.run();

@@ -2,7 +2,7 @@
 """Repo-invariant linter for the SIHLE codebase.
 
 Checks C++ sources for hazards that the compiler accepts but that violate
-repo rules (documented in src/elision/schemes.h and docs/ANALYSIS.md):
+repo rules (documented in src/elision/policy.h and docs/ANALYSIS.md):
 
   R001  gcc12-coawait        A co_await whose operand is a Task-valued call
                              must be its own statement or the initializer of
@@ -20,13 +20,22 @@ repo rules (documented in src/elision/schemes.h and docs/ANALYSIS.md):
                              as a bare statement).  Retry loops must inspect
                              the abort status to honour dooming/lemming
                              policy; dropping it retries blindly.
+  R004  private-dispatch     A legacy `elision::run_op(...)` call or a
+                             `case Scheme::` / `case LockKind::` switch arm
+                             re-creates the scheme x lock dispatch product
+                             privately.  That product lives in one place:
+                             elision::run_cs / ElidedLock
+                             (elision/elided_lock.h), fed by the registry
+                             name table (elision/registry.h).  The dispatch
+                             point, the compat shim, and the enums' defining
+                             modules (src/elision, src/locks) are exempt.
 
 Suppressions:
   // sihle-lint: disable=R001[,R002...]       this line or the next line
   // sihle-lint: disable-file=R002[,R003...]  whole file
 
 Usage:
-  sihle_lint.py [--rules=R001,R002,R003] [--allow-dir=PATH ...] PATH...
+  sihle_lint.py [--rules=R001,R002,R003,R004] [--allow-dir=PATH ...] PATH...
 
 PATH arguments may be files or directories (searched recursively for
 .h/.cpp/.cc/.hpp).  Exit status is 1 if any finding is emitted, else 0.
@@ -40,15 +49,23 @@ import re
 import sys
 from dataclasses import dataclass
 
-ALL_RULES = ("R001", "R002", "R003")
+ALL_RULES = ("R001", "R002", "R003", "R004")
 
 # Directories whose files implement the simulated memory itself and may touch
 # raw cell state freely (relative to the repo root or any scanned root).
 DEFAULT_ALLOW_DIRS = ("src/mem", "src/htm", "src/sim", "src/analysis")
 
+# Directories that legitimately own scheme/lock dispatch: the single dispatch
+# point plus the run_op compat shim (src/elision) and the LockKind enum's own
+# module (src/locks).  Exempt from R004.
+DISPATCH_ALLOW_DIRS = ("src/elision", "src/locks")
+
 CPP_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
 
 RAW_ACCESS_RE = re.compile(r"(?:\.|->)(raw|set_raw|debug_value)\s*\(")
+RUN_OP_RE = re.compile(r"\b(?:elision\s*::\s*)?run_op\s*\(")
+DISPATCH_SWITCH_RE = re.compile(
+    r"\bcase\s+(?:\w+\s*::\s*)*(?:Scheme|LockKind)\s*::\s*\w+")
 TASK_DECL_RE = re.compile(r"\bTask<([^<>]*(?:<[^<>]*>)?[^<>]*)>\s+(\w+)\s*\(")
 CO_AWAIT_CALL_RE = re.compile(
     r"\bco_await\s+(?:[\w:]+(?:\.|->))*(\w+)\s*\(")
@@ -287,7 +304,26 @@ def check_raw_access(path, stripped, findings):
             "load/store ops (or rename the enclosing function debug_*)"))
 
 
-def lint_source(path, text, registry, rules=ALL_RULES, allowed=False):
+def check_private_dispatch(path, stripped, findings):
+    """R004: legacy run_op calls and Scheme/LockKind switch dispatch."""
+    for m in RUN_OP_RE.finditer(stripped):
+        findings.append(Finding(
+            path, line_of(stripped, m.start()), "R004",
+            "legacy per-scheme 'elision::run_op(...)' outside src/elision/; "
+            "dispatch through elision::run_cs with an ElidedLock "
+            "(elision/elided_lock.h) or a registry policy "
+            "(elision/registry.h)"))
+    for m in DISPATCH_SWITCH_RE.finditer(stripped):
+        findings.append(Finding(
+            path, line_of(stripped, m.start()), "R004",
+            "'case Scheme::' / 'case LockKind::' outside src/elision/ "
+            "duplicates the scheme x lock dispatch product; route through "
+            "elision::run_cs / ElidedLock and the registry name table "
+            "(elision/registry.h)"))
+
+
+def lint_source(path, text, registry, rules=ALL_RULES, allowed=False,
+                dispatch_allowed=False):
     """Lints one file's contents; returns the surviving findings."""
     stripped = strip_comments_and_strings(text)
     file_disabled, line_disabled = collect_suppressions(text)
@@ -296,6 +332,8 @@ def lint_source(path, text, registry, rules=ALL_RULES, allowed=False):
         check_coawait_rules(path, stripped, registry, findings)
     if "R002" in rules and not allowed:
         check_raw_access(path, stripped, findings)
+    if "R004" in rules and not dispatch_allowed:
+        check_private_dispatch(path, stripped, findings)
     return [
         f for f in findings
         if f.rule in rules
@@ -347,8 +385,10 @@ def main(argv=None) -> int:
                               for t in texts.values())
     findings = []
     for f, text in texts.items():
-        findings.extend(lint_source(f, text, registry, rules,
-                                    allowed=is_allowlisted(f, allow_dirs)))
+        findings.extend(lint_source(
+            f, text, registry, rules,
+            allowed=is_allowlisted(f, allow_dirs),
+            dispatch_allowed=is_allowlisted(f, DISPATCH_ALLOW_DIRS)))
     for finding in findings:
         print(finding)
     if findings:

@@ -5,11 +5,13 @@ import unittest
 import sihle_lint as lint
 
 
-def run_lint(source, registry_sources=(), rules=lint.ALL_RULES, allowed=False):
+def run_lint(source, registry_sources=(), rules=lint.ALL_RULES, allowed=False,
+             dispatch_allowed=False):
     stripped = [lint.strip_comments_and_strings(s)
                 for s in (source,) + tuple(registry_sources)]
     registry = lint.build_registry(stripped)
-    return lint.lint_source("test.cpp", source, registry, rules, allowed)
+    return lint.lint_source("test.cpp", source, registry, rules, allowed,
+                            dispatch_allowed)
 
 
 TASK_DECLS = """
@@ -86,9 +88,11 @@ class R001Test(unittest.TestCase):
                           [])
 
     def test_allows_await_as_case_body(self):
+        # (A non-dispatch enum: case Scheme::/LockKind:: labels are R004's
+        # business, exercised in R004Test.)
         self.assert_rules("sim::Task<void> f(Ctx& c) {\n"
                           "  switch (s) {\n"
-                          "    case Scheme::kStandard:\n"
+                          "    case Phase::kStandard:\n"
                           "      co_await body(c);\n"
                           "      break;\n"
                           "  }\n}\n",
@@ -137,6 +141,73 @@ class R003Test(unittest.TestCase):
                "  const AbortStatus s = co_await hle_attempt(c);\n"
                "  if (s.ok()) co_return;\n}\n")
         self.assertEqual(run_lint(src, (TASK_DECLS,)), [])
+
+
+class R004Test(unittest.TestCase):
+    def test_flags_qualified_run_op_call(self):
+        src = ("sim::Task<void> f(Ctx& c) {\n"
+               "  co_await elision::run_op(s, c, lock, aux, body, st);\n}\n")
+        self.assertEqual([f.rule for f in run_lint(src)], ["R004"])
+
+    def test_flags_unqualified_run_op_call(self):
+        src = ("sim::Task<void> f(Ctx& c) {\n"
+               "  co_await run_op(s, c, lock, aux, body, st);\n}\n")
+        self.assertEqual([f.rule for f in run_lint(src)], ["R004"])
+
+    def test_flags_scheme_switch(self):
+        src = ("const char* name(elision::Scheme s) {\n"
+               "  switch (s) {\n"
+               "    case elision::Scheme::kHle: return \"HLE\";\n"
+               "    default: return \"?\";\n"
+               "  }\n}\n")
+        found = [f.rule for f in run_lint(src)]
+        self.assertEqual(found, ["R004"])
+
+    def test_flags_lock_kind_switch(self):
+        src = ("void pick(locks::LockKind k) {\n"
+               "  switch (k) {\n"
+               "    case locks::LockKind::kTtas: use_ttas(); break;\n"
+               "    case LockKind::kMcs: use_mcs(); break;\n"
+               "  }\n}\n")
+        found = [f.rule for f in run_lint(src)]
+        self.assertEqual(found, ["R004", "R004"])
+
+    def test_allows_run_cs(self):
+        src = ("sim::Task<void> f(Ctx& c) {\n"
+               "  co_await elision::run_cs(policy, c, lock, body, st);\n}\n")
+        self.assertEqual(run_lint(src), [])
+
+    def test_allows_other_enum_switches(self):
+        src = ("void pick(DsKind k) {\n"
+               "  switch (k) {\n"
+               "    case DsKind::kRbTree: use_tree(); break;\n"
+               "  }\n}\n")
+        self.assertEqual(run_lint(src), [])
+
+    def test_ignores_run_op_in_comments_and_strings(self):
+        src = ('// migrated off elision::run_op(...)\n'
+               'const char* kHint = "use run_op(scheme, ...)";\n')
+        self.assertEqual(run_lint(src), [])
+
+    def test_dispatch_allowlisted_file_is_exempt(self):
+        src = ("sim::Task<void> f(Ctx& c) {\n"
+               "  co_await elision::run_op(s, c, lock, aux, body, st);\n"
+               "  switch (s) { case Scheme::kHle: break; }\n}\n")
+        self.assertEqual(run_lint(src, dispatch_allowed=True), [])
+
+    def test_allowlist_covers_elision_and_locks_dirs(self):
+        self.assertTrue(lint.is_allowlisted("src/elision/schemes.h",
+                                            lint.DISPATCH_ALLOW_DIRS))
+        self.assertTrue(lint.is_allowlisted("src/locks/locks.h",
+                                            lint.DISPATCH_ALLOW_DIRS))
+        self.assertFalse(lint.is_allowlisted("src/harness/cli.h",
+                                             lint.DISPATCH_ALLOW_DIRS))
+
+    def test_line_suppression_applies(self):
+        src = ("sim::Task<void> f(Ctx& c) {\n"
+               "  // sihle-lint: disable=R004 (legacy comparison harness)\n"
+               "  co_await elision::run_op(s, c, lock, aux, body, st);\n}\n")
+        self.assertEqual(run_lint(src), [])
 
 
 class SuppressionTest(unittest.TestCase):
