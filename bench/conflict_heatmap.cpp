@@ -94,7 +94,10 @@ int main(int argc, char** argv) {
     elision::ElidedLock lock(m, locks::LockKind::kTtas);
     ds::RBTree tree(m);
     {
-      sim::Rng fill(7);
+      // Fixed fill seed: the heatmap compares conflict topology across
+      // schemes, so the pre-fill key set must be identical in every cell.
+      const std::uint64_t fill_seed = 7;
+      sim::Rng fill(fill_seed);
       std::set<std::int64_t> chosen;
       while (chosen.size() < size) {
         chosen.insert(static_cast<std::int64_t>(fill.below(2 * size)));

@@ -11,6 +11,10 @@
 //   scenario=committed_tx              1 thread, 5k two-access transactions
 //   scenario=contended_tree/scheme=X   8 threads × 500 rbtree ops under X
 //
+// sihle-lint: disable-file=R005 — this bench *measures* host wall-clock
+// time; the time reading never feeds a simulation decision, so it is not an
+// unlogged scheduling choice.
+//
 // Each measurement repeats its scenario until at least --min-time host
 // seconds have elapsed and reports the aggregate rate, so short scenarios
 // are not quantization noise.  Replicates vary the simulation seed (which

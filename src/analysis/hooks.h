@@ -74,4 +74,63 @@ class AccessObserver {
   }
 };
 
+// Fans every event out to two observers (e.g. the lockset checker plus the
+// model checker's history recorder — the Htm has a single observer slot).
+// Either side may be null.
+class TeeObserver final : public AccessObserver {
+ public:
+  TeeObserver(AccessObserver* a, AccessObserver* b) : a_(a), b_(b) {}
+
+  void on_tx_begin(std::uint32_t tid) override {
+    if (a_ != nullptr) a_->on_tx_begin(tid);
+    if (b_ != nullptr) b_->on_tx_begin(tid);
+  }
+  void on_tx_read(std::uint32_t tid, const mem::RawCell& cell) override {
+    if (a_ != nullptr) a_->on_tx_read(tid, cell);
+    if (b_ != nullptr) b_->on_tx_read(tid, cell);
+  }
+  void on_tx_write(std::uint32_t tid, const mem::RawCell& cell) override {
+    if (a_ != nullptr) a_->on_tx_write(tid, cell);
+    if (b_ != nullptr) b_->on_tx_write(tid, cell);
+  }
+  void on_pre_commit(std::uint32_t tid) override {
+    if (a_ != nullptr) a_->on_pre_commit(tid);
+    if (b_ != nullptr) b_->on_pre_commit(tid);
+  }
+  void on_rollback(std::uint32_t tid) override {
+    if (a_ != nullptr) a_->on_rollback(tid);
+    if (b_ != nullptr) b_->on_rollback(tid);
+  }
+  void on_nontx_read(std::uint32_t tid, const mem::RawCell& cell,
+                     bool rmw) override {
+    if (a_ != nullptr) a_->on_nontx_read(tid, cell, rmw);
+    if (b_ != nullptr) b_->on_nontx_read(tid, cell, rmw);
+  }
+  void on_nontx_write(std::uint32_t tid, const mem::RawCell& cell,
+                      bool rmw) override {
+    if (a_ != nullptr) a_->on_nontx_write(tid, cell, rmw);
+    if (b_ != nullptr) b_->on_nontx_write(tid, cell, rmw);
+  }
+  void on_line_freed(mem::Line line) override {
+    if (a_ != nullptr) a_->on_line_freed(line);
+    if (b_ != nullptr) b_->on_line_freed(line);
+  }
+  void on_sync_line(mem::Line line) override {
+    if (a_ != nullptr) a_->on_sync_line(line);
+    if (b_ != nullptr) b_->on_sync_line(line);
+  }
+  void on_lock_acquired(std::uint32_t tid, const void* lock) override {
+    if (a_ != nullptr) a_->on_lock_acquired(tid, lock);
+    if (b_ != nullptr) b_->on_lock_acquired(tid, lock);
+  }
+  void on_lock_released(std::uint32_t tid, const void* lock) override {
+    if (a_ != nullptr) a_->on_lock_released(tid, lock);
+    if (b_ != nullptr) b_->on_lock_released(tid, lock);
+  }
+
+ private:
+  AccessObserver* a_;
+  AccessObserver* b_;
+};
+
 }  // namespace sihle::analysis

@@ -35,6 +35,16 @@ class LockAdapter {
   virtual sim::Task<bool> is_locked(Ctx& c) = 0;
   virtual sim::Task<void> elided_acquire(Ctx& c, bool sleep_when_busy = true) = 0;
   virtual sim::Task<bool> wait_until_free(Ctx& c) = 0;
+  // Arms the HTM's commit-time subscription for the running transaction
+  // (slr:subscribe=commit-checked).  Not a coroutine — registration is
+  // architectural, no simulation event.  Returns false when the wrapped
+  // lock's free state is not one (cell, value) pair; callers then keep the
+  // lazy end-of-body check.
+  virtual bool commit_subscribe(Ctx& c) = 0;
+  // Stable identity of the wrapped lock object — the address the lock passes
+  // to Ctx::note_lock_acquired, so observers can match ownership events to
+  // this adapter.
+  virtual const void* lock_id() const = 0;
   virtual bool hle_arrival_waits() const = 0;
   virtual bool fair() const = 0;
   virtual const char* name() const = 0;
@@ -57,6 +67,10 @@ class LockModel final : public LockAdapter {
   sim::Task<bool> wait_until_free(Ctx& c) override {
     return impl_.wait_until_free(c);
   }
+  bool commit_subscribe(Ctx& c) override {
+    return detail::commit_subscribe(c, impl_);
+  }
+  const void* lock_id() const override { return &impl_; }
   bool hle_arrival_waits() const override { return Lock::kHleArrivalWaits; }
   bool fair() const override { return Lock::kFair; }
   const char* name() const override { return Lock::kName; }

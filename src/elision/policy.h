@@ -157,6 +157,22 @@ enum class FallbackKind : std::uint8_t {
   kFullAcquire,  // acquire the lock for real (Intel's retry recipe)
 };
 
+// How an SLR-flavored attempt subscribes to the fallback lock.
+enum class SubscribeKind : std::uint8_t {
+  // Figure 5 as written: the transaction reads the lock at the *end* of its
+  // body and XABORTs if held.  Cheap, but the check is ordinary transaction
+  // control flow, so a zombie execution can corrupt or skip it (see
+  // htm/hazard.h) — lazy subscription is unsafe without sandbox luck.
+  kLazy,
+  // Dice et al.'s hardware fix: the subscription is registered with the HTM
+  // at transaction start and enforced by the commit machinery itself,
+  // atomically with publication (Htm::set_commit_subscription).  A staged
+  // store to the lock line aborts instead of committing damage.  Falls back
+  // to the lazy check for locks whose free state is not expressible as one
+  // (cell, value) pair.
+  kCommitChecked,
+};
+
 enum class BackoffKind : std::uint8_t { kNone, kExp };
 
 // Optional delay between speculative retries.  kNone (the canonical
@@ -214,6 +230,10 @@ struct Policy {
   RetryBudget retry{};
   ConflictSpec conflict{};
   AdaptiveSpec adaptive{};
+  // SLR flavors only (kSlr, with or without SCM); ignored elsewhere.  The
+  // canonical schemes use kLazy — the paper's Figure 5 — so canonical
+  // policy equality and behavior are unchanged.
+  SubscribeKind subscribe = SubscribeKind::kLazy;
 
   constexpr Policy() = default;
   // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit
@@ -315,14 +335,40 @@ sim::Task<void> hle_tx_body(Ctx& c, Lock& lock, Body& body, bool sleep_when_busy
   co_await body(c);
 }
 
+// Commit-time subscription support is a property of the lock: concrete
+// lock types whose free state is one (cell, value) pair expose
+// commit_subscribe(c); the type-erased elision::LockAdapter has a virtual.
+// Returns false when the lock cannot express the subscription, in which
+// case the caller must keep the lazy end-of-body check.
+template <class Lock>
+bool commit_subscribe(Ctx& c, Lock& lock) {
+  if constexpr (requires { lock.commit_subscribe(c); }) {
+    return lock.commit_subscribe(c);
+  } else {
+    (void)c;
+    (void)lock;
+    return false;
+  }
+}
+
 // SLR transaction body (Figure 5): the critical section runs without any
 // reference to the lock; the lock is read only at the end, just before
-// commit, and the transaction self-aborts if it is taken.
+// commit, and the transaction self-aborts if it is taken.  Under
+// SubscribeKind::kCommitChecked the subscription is instead registered with
+// the HTM up front and enforced inside commit itself (no end-of-body read),
+// so corrupted transaction control flow cannot evade it.
 template <class Lock, class Body>
-sim::Task<void> slr_tx_body(Ctx& c, Lock& lock, Body& body) {
+sim::Task<void> slr_tx_body(Ctx& c, Lock& lock, Body& body,
+                            SubscribeKind subscribe) {
+  bool armed = false;
+  if (subscribe == SubscribeKind::kCommitChecked) {
+    armed = commit_subscribe(c, lock);
+  }
   co_await body(c);
-  const bool locked = co_await lock.is_locked(c);
-  if (locked) c.xabort(runtime::kAbortCodeLockBusy);
+  if (!armed) {
+    const bool locked = co_await lock.is_locked(c);
+    if (locked) c.xabort(runtime::kAbortCodeLockBusy);
+  }
 }
 
 // Note: these deliberately await into a named local rather than using
@@ -337,8 +383,10 @@ sim::Task<AbortStatus> hle_attempt(Ctx& c, Lock& lock, Body& body,
 }
 
 template <class Lock, class Body>
-sim::Task<AbortStatus> slr_attempt(Ctx& c, Lock& lock, Body& body) {
-  const AbortStatus s = co_await c.with_tx([&] { return slr_tx_body(c, lock, body); });
+sim::Task<AbortStatus> slr_attempt(Ctx& c, Lock& lock, Body& body,
+                                   SubscribeKind subscribe = SubscribeKind::kLazy) {
+  const AbortStatus s =
+      co_await c.with_tx([&] { return slr_tx_body(c, lock, body, subscribe); });
   co_return s;
 }
 
@@ -480,12 +528,13 @@ sim::Task<void> run_hle(Ctx& c, Lock& lock, Body body, stats::OpStats& st,
 template <class Lock, class Body>
 sim::Task<void> run_slr(Ctx& c, Lock& lock, Body body, stats::OpStats& st,
                         int max_retries = kMaxRetries, bool honor_retry_bit = true,
-                        BackoffSpec backoff = {}) {
+                        BackoffSpec backoff = {},
+                        SubscribeKind subscribe = SubscribeKind::kLazy) {
   st.arrivals++;
   int attempts = 0;
   detail::BackoffState delay(backoff);
   for (;;) {
-    const AbortStatus s = co_await detail::slr_attempt(c, lock, body);
+    const AbortStatus s = co_await detail::slr_attempt(c, lock, body, subscribe);
     if (s.ok()) {
       st.spec_commits++;
       co_return;
@@ -517,7 +566,8 @@ sim::Task<void> run_scm(Ctx& c, Lock& main, AuxLock& aux, Body body,
                         stats::OpStats& st, ScmFlavor flavor,
                         int max_retries = kMaxRetries,
                         bool honor_retry_bit_hle = false,
-                        BackoffSpec backoff = {}) {
+                        BackoffSpec backoff = {},
+                        SubscribeKind subscribe = SubscribeKind::kLazy) {
   st.arrivals++;
   bool arrival_counted = false;
   bool aux_owner = false;
@@ -535,7 +585,7 @@ sim::Task<void> run_scm(Ctx& c, Lock& main, AuxLock& aux, Body body,
     if (flavor == ScmFlavor::kHle) {
       s = co_await detail::hle_attempt(c, main, body);
     } else {
-      s = co_await detail::slr_attempt(c, main, body);
+      s = co_await detail::slr_attempt(c, main, body, subscribe);
     }
     if (s.ok()) {
       st.spec_commits++;
@@ -643,10 +693,10 @@ sim::Task<void> run_policy(Policy p, Ctx& c, Lock& lock, AuxLock& aux,
       if (p.conflict.kind == ConflictKind::kScmAux) {
         co_await run_scm(c, lock, aux, std::move(body), st, ScmFlavor::kSlr,
                          p.retry.max_attempts, p.conflict.honor_retry_bit_hle,
-                         p.retry.backoff);
+                         p.retry.backoff, p.subscribe);
       } else {
         co_await run_slr(c, lock, std::move(body), st, p.retry.max_attempts,
-                         p.retry.honor_retry_bit, p.retry.backoff);
+                         p.retry.honor_retry_bit, p.retry.backoff, p.subscribe);
       }
       break;
     case AttemptFlavor::kAdaptiveHle: {

@@ -85,8 +85,12 @@ std::string lock_key_list() {
 std::string valid_keys_for(const Policy& p) {
   if (p.flavor == AttemptFlavor::kAdaptiveHle) return "tries, skip";
   if (p.conflict.kind == ConflictKind::kScmAux) {
-    return p.flavor == AttemptFlavor::kHle ? "retries, backoff, aux, retry-bit"
-                                           : "retries, backoff, aux";
+    return p.flavor == AttemptFlavor::kHle
+               ? "retries, backoff, aux, retry-bit"
+               : "retries, backoff, aux, subscribe";
+  }
+  if (p.flavor == AttemptFlavor::kSlr) {
+    return "retries, backoff, retry-bit, subscribe";
   }
   if (has_retry_budget(p)) return "retries, backoff, retry-bit";
   return "(none)";
@@ -242,6 +246,23 @@ std::optional<Policy> parse_policy(std::string_view spec, std::string* error) {
                              valid_keys_for(p));
         return std::nullopt;
       }
+    } else if (key == "subscribe") {
+      if (p.flavor != AttemptFlavor::kSlr) {
+        set_error(error, "'subscribe' only applies to the SLR schemes (slr, "
+                         "slr-scm), not '" +
+                             std::string(row.key) + "'");
+        return std::nullopt;
+      }
+      if (value == "lazy") {
+        p.subscribe = SubscribeKind::kLazy;
+      } else if (value == "commit-checked") {
+        p.subscribe = SubscribeKind::kCommitChecked;
+      } else {
+        set_error(error, "subscribe=" + std::string(value) +
+                             " is not a subscription kind (expected "
+                             "lazy|commit-checked)");
+        return std::nullopt;
+      }
     } else if (key == "tries" || key == "skip") {
       if (p.flavor != AttemptFlavor::kAdaptiveHle) {
         set_error(error, "'" + key + "' only applies to scheme 'adaptive', "
@@ -313,6 +334,10 @@ std::string policy_spec(const Policy& p) {
   if (p.conflict.honor_retry_bit_hle != bp.conflict.honor_retry_bit_hle) {
     emit(p.conflict.honor_retry_bit_hle ? "retry-bit=on" : "retry-bit=off");
   }
+  if (p.subscribe != bp.subscribe) {
+    emit(p.subscribe == SubscribeKind::kCommitChecked ? "subscribe=commit-checked"
+                                                      : "subscribe=lazy");
+  }
   if (p.adaptive.tries != bp.adaptive.tries) {
     emit("tries=" + std::to_string(p.adaptive.tries));
   }
@@ -340,6 +365,9 @@ std::string scheme_help() {
          "\n"
          "  retry-bit=on|off   honor the hardware no-retry hint (hle, "
          "hle-retries, slr, hle-scm)\n"
+         "  subscribe=lazy|commit-checked  SLR lock subscription (slr, "
+         "slr-scm): lazy end-of-body check vs. Dice et al.'s commit-time "
+         "enforcement\n"
          "  tries=<1..100>, skip=<0..1000>  adaptive tuning\n"
          "examples: hle-scm:aux=ticket,retries=5  slr:retries=20,backoff=exp";
 }

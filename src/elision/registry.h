@@ -14,6 +14,9 @@
 //              retry-bit=on|off      honor the hardware no-retry hint
 //              tries=<1..100>        adaptive: elision attempts
 //              skip=<0..1000>        adaptive: skip window after misbehavior
+//              subscribe=lazy|commit-checked
+//                                    SLR lock subscription timing (slr,
+//                                    slr-scm only; docs/VERIFICATION.md)
 //
 // Examples: "hle-scm:aux=ticket,retries=5", "slr:retries=20,backoff=exp".
 //

@@ -1,0 +1,51 @@
+// Lazy-subscription failure modes (the hazard layer).
+//
+// SLR's lazy subscription reads the fallback lock only at the *end* of the
+// transaction body.  Until that read, the transaction can run on state that
+// a concurrent lock-holder is mutating non-transactionally — a "zombie"
+// execution.  The paper sandboxes zombies behind the HTM (inconsistent
+// reads eventually doom the transaction, and its stores are buffered), but
+// Dice, Harris, Kogan and Lev ("Hardware extensions to make lazy
+// subscription safe") show the sandbox is leaky in exactly two ways, both
+// seeded by an inconsistent read:
+//
+//  * kWildStore — the zombie's data-dependent store lands on the *lock
+//    line itself*.  The late subscription load is then satisfied by
+//    store-to-load forwarding from the transaction's own staged store: the
+//    lock appears free, the transaction commits, and publication both
+//    releases damage into shared state and corrupts the lock word.
+//
+//  * kEarlyCommit — the inconsistent read steers control flow past the
+//    subscription check entirely (a corrupted branch reaches XEND early),
+//    so the transaction commits while the lock is demonstrably held.
+//
+// These modes are modeled by adversarial transaction bodies in src/mc
+// (mc/hazard.h) so the bounded model checker can exhibit each violation as
+// a minimal counterexample schedule, and the commit-time subscription
+// machinery in this directory (TxContext::sub_armed et al., enforced inside
+// Htm::commit) is Dice et al.'s hardware fix that closes both holes:
+// registration is architectural, the check is atomic with commit, and a
+// staged store to the subscribed line aborts with
+// kAbortCodeSubscriptionWildStore.
+#pragma once
+
+#include <cstdint>
+
+namespace sihle::htm {
+
+enum class SlrHazard : std::uint8_t {
+  kNone,         // faithful SLR body: subscription check runs as written
+  kWildStore,    // inconsistent read -> store to the lock line
+  kEarlyCommit,  // inconsistent read -> branch skips the subscription check
+};
+
+inline const char* to_string(SlrHazard h) {
+  switch (h) {
+    case SlrHazard::kNone: return "none";
+    case SlrHazard::kWildStore: return "wild-store";
+    case SlrHazard::kEarlyCommit: return "early-commit";
+  }
+  return "?";
+}
+
+}  // namespace sihle::htm

@@ -24,6 +24,8 @@ void Htm::begin(std::uint32_t tid, sim::Rng& rng) {
   t.retire_on_commit.clear();
   t.elided.clear();
   t.observations.clear();
+  t.sub_armed = false;
+  t.sub_cell = nullptr;
   ++active_count_;
   if (observer_) observer_->on_tx_begin(tid);
 }
@@ -48,6 +50,7 @@ void Htm::doom(std::uint32_t victim, AbortCause cause, std::uint32_t line) {
     conflict_counts_[line]++;
     ++located_conflicts_;
   }
+  if (choice_ != nullptr) choice_->note_interaction(victim);
   if (doom_listener_) doom_listener_(victim);
 }
 
@@ -62,16 +65,27 @@ void Htm::clear_footprint(std::uint32_t tid) {
   t.write_lines.clear();
 }
 
+bool Htm::requestor_wins(std::uint32_t tid, std::uint32_t victim,
+                         std::uint32_t line) {
+  if (choice_ == nullptr || !in_tx(tid)) return true;  // hardware default
+  if (choice_->resolve_conflict(tid, victim, line)) return true;
+  doom(tid, AbortCause::kConflict, line);
+  return false;
+}
+
 void Htm::doom_conflictors(std::uint32_t tid, mem::LineState& st, bool is_write,
                            std::uint32_t line) {
   if (st.tx_writer != -1 && st.tx_writer != static_cast<std::int16_t>(tid)) {
-    doom(static_cast<std::uint32_t>(st.tx_writer), AbortCause::kConflict, line);
+    const auto victim = static_cast<std::uint32_t>(st.tx_writer);
+    if (!requestor_wins(tid, victim, line)) return;
+    doom(victim, AbortCause::kConflict, line);
   }
   if (is_write) {
     std::uint64_t readers = st.tx_readers & ~(1ULL << tid);
     while (readers != 0) {
       const int r = __builtin_ctzll(readers);
       readers &= readers - 1;
+      if (!requestor_wins(tid, static_cast<std::uint32_t>(r), line)) return;
       doom(static_cast<std::uint32_t>(r), AbortCause::kConflict, line);
     }
   }
@@ -87,8 +101,13 @@ TxResult Htm::tx_load(std::uint32_t tid, const mem::RawCell& cell, sim::Rng& rng
   if (++t.accesses > cfg_.max_tx_accesses) {
     return {0, AbortStatus{AbortCause::kInterrupt, 0, /*retry=*/false}};
   }
-  if (cfg_.spurious_abort_per_access > 0.0 &&
-      rng.chance(cfg_.spurious_abort_per_access)) {
+  if (choice_ != nullptr) {
+    // mc mode: spurious aborts are a reified choice, not an RNG draw.
+    if (choice_->inject_spurious(tid)) {
+      return {0, AbortStatus{AbortCause::kSpurious, 0, /*retry=*/true}};
+    }
+  } else if (cfg_.spurious_abort_per_access > 0.0 &&
+             rng.chance(cfg_.spurious_abort_per_access)) {
     return {0, AbortStatus{AbortCause::kSpurious, 0, /*retry=*/true}};
   }
 
@@ -103,7 +122,9 @@ TxResult Htm::tx_load(std::uint32_t tid, const mem::RawCell& cell, sim::Rng& rng
   }
 
   mem::LineState& st = dir_[cell.line()];
+  if (choice_ != nullptr) choice_->note_line(cell.line(), /*is_write=*/false);
   doom_conflictors(tid, st, /*is_write=*/false, cell.line());
+  if (t.doomed) return {0, t.doom_status};  // requestor lost the mc tie
 
   const std::uint64_t bit = 1ULL << tid;
   if ((st.tx_readers & bit) == 0) {
@@ -129,13 +150,19 @@ TxResult Htm::tx_store(std::uint32_t tid, mem::RawCell& cell, std::uint64_t valu
   if (++t.accesses > cfg_.max_tx_accesses) {
     return {0, AbortStatus{AbortCause::kInterrupt, 0, /*retry=*/false}};
   }
-  if (cfg_.spurious_abort_per_access > 0.0 &&
-      rng.chance(cfg_.spurious_abort_per_access)) {
+  if (choice_ != nullptr) {
+    if (choice_->inject_spurious(tid)) {
+      return {0, AbortStatus{AbortCause::kSpurious, 0, /*retry=*/true}};
+    }
+  } else if (cfg_.spurious_abort_per_access > 0.0 &&
+             rng.chance(cfg_.spurious_abort_per_access)) {
     return {0, AbortStatus{AbortCause::kSpurious, 0, /*retry=*/true}};
   }
 
   mem::LineState& st = dir_[cell.line()];
+  if (choice_ != nullptr) choice_->note_line(cell.line(), /*is_write=*/true);
   doom_conflictors(tid, st, /*is_write=*/true, cell.line());
+  if (t.doomed) return {0, t.doom_status};  // requestor lost the mc tie
 
   if (st.tx_writer != static_cast<std::int16_t>(tid)) {
     if (t.write_lines.size() >= cfg_.max_write_lines) {
@@ -167,6 +194,28 @@ AbortStatus Htm::commit(std::uint32_t tid, std::vector<mem::Line>& published) {
     return AbortStatus{AbortCause::kExplicit, kAbortCodeHleMismatch,
                        /*retry=*/false};
   }
+  if (t.sub_armed) {
+    // Commit-time subscription (Dice et al.): enforced by the commit
+    // machinery itself, atomically with publication, so no transaction
+    // control flow — however corrupted — can skip it.  A staged store to
+    // the subscribed lock line is the wild-store signature and must not be
+    // allowed to reach memory; the lock's committed value is read from
+    // memory, deliberately bypassing store-to-load forwarding.
+    if (t.writes.find(t.sub_cell) != nullptr) {
+      return AbortStatus{AbortCause::kExplicit, kAbortCodeSubscriptionWildStore,
+                         /*retry=*/false};
+    }
+    mem::LineState& sub_st = dir_[t.sub_cell->line()];
+    if (choice_ != nullptr) {
+      choice_->note_line(t.sub_cell->line(), /*is_write=*/false);
+    }
+    doom_conflictors(tid, sub_st, /*is_write=*/false, t.sub_cell->line());
+    if (t.doomed) return t.doom_status;
+    if (t.sub_cell->raw() != t.sub_free) {
+      return AbortStatus{AbortCause::kExplicit, kAbortCodeSubscriptionBusy,
+                         /*retry=*/true};
+    }
+  }
   if (observer_) observer_->on_pre_commit(tid);
   if (cfg_.verify_opacity) {
     // Every value this transaction read must still be current: an
@@ -184,6 +233,7 @@ AbortStatus Htm::commit(std::uint32_t tid, std::vector<mem::Line>& published) {
   for (mem::Line l : t.write_lines) {
     dir_[l].version++;
     published.push_back(l);
+    if (choice_ != nullptr) choice_->note_line(l, /*is_write=*/true);
   }
 
   clear_footprint(tid);
@@ -214,6 +264,7 @@ void Htm::rollback(std::uint32_t tid) {
 std::uint64_t Htm::nontx_load(std::uint32_t tid, const mem::RawCell& cell,
                               bool rmw) {
   mem::LineState& st = dir_[cell.line()];
+  if (choice_ != nullptr) choice_->note_line(cell.line(), /*is_write=*/false);
   // A coherence read request for a line in another transaction's write set
   // aborts that transaction (its speculatively-modified line is requested).
   if (st.tx_writer != -1 && st.tx_writer != static_cast<std::int16_t>(tid)) {
@@ -230,6 +281,7 @@ void Htm::nontx_store(std::uint32_t tid, mem::RawCell& cell, std::uint64_t value
   // abort condition (the fault is serviced on the fallback path).
   tx(tid).persistent = false;
   mem::LineState& st = dir_[cell.line()];
+  if (choice_ != nullptr) choice_->note_line(cell.line(), /*is_write=*/true);
   if (cfg_.test_omit_reader_doom) {
     // TEST HOOK (see HtmConfig): doom only the writer, leaving transactional
     // readers of the line live — the planted bug the analysis tests detect.

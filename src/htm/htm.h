@@ -25,6 +25,7 @@
 #include "htm/abort.h"
 #include "mem/directory.h"
 #include "mem/shared.h"
+#include "sim/choice.h"
 #include "sim/rng.h"
 #include "util/inplace_fn.h"
 #include "util/small_vec.h"
@@ -223,6 +224,16 @@ struct TxContext {
     std::uint64_t illusion;
   };
   util::SmallVec<ElidedEntry, 2> elided;
+
+  // Commit-time lock subscription (Dice et al., "Hardware extensions to
+  // make lazy subscription safe"; surfaced as slr:subscribe=commit-checked).
+  // When armed, commit atomically verifies that the subscribed cell holds
+  // its free value — reading *memory*, never the transaction's own staged
+  // stores — and that no store to the subscribed cell was staged (a wild
+  // store to the lock line, the classic lazy-subscription corruption).
+  bool sub_armed = false;
+  const mem::RawCell* sub_cell = nullptr;
+  std::uint64_t sub_free = 0;
 };
 
 class Htm {
@@ -242,6 +253,11 @@ class Htm {
   // event when unset.
   void set_observer(analysis::AccessObserver* obs) { observer_ = obs; }
   analysis::AccessObserver* observer() const { return observer_; }
+
+  // Model-checking hook (see sim/choice.h).  While installed it replaces the
+  // spurious-abort RNG draw and arbitrates conflict dooming; every call site
+  // guards on null, so normal runs pay one predictable branch.
+  void set_choice_point(sim::ChoicePoint* cp) { choice_ = cp; }
 
   const HtmConfig& config() const { return cfg_; }
   void set_config(const HtmConfig& cfg) { cfg_ = cfg; }
@@ -278,6 +294,30 @@ class Htm {
   static constexpr std::uint8_t kAbortCodeHleMismatch = 0xfe;
   TxResult xrelease_store(std::uint32_t tid, const mem::RawCell& cell,
                           std::uint64_t value, sim::Rng& rng);
+
+  // --- Commit-time subscription (lazy-subscription hardening) ---------------
+  //
+  // Arms the Dice et al. commit-time lock check for the current transaction:
+  // commit refuses to publish unless `cell`'s committed value equals
+  // `free_raw` (lock busy → kAbortCodeSubscriptionBusy) and the transaction
+  // never staged a store to `cell` (wild store to the lock line →
+  // kAbortCodeSubscriptionWildStore).  Registration is architectural state,
+  // not a memory access: it consumes no simulation event and adds nothing to
+  // the read set, so corrupted transaction control flow cannot skip the
+  // check — exactly the property lazy subscription lacks.
+  void set_commit_subscription(std::uint32_t tid, const mem::RawCell& cell,
+                               std::uint64_t free_raw) {
+    TxContext& t = tx(tid);
+    t.sub_armed = true;
+    t.sub_cell = &cell;
+    t.sub_free = free_raw;
+  }
+  // The transaction staged a store to the subscribed lock line.
+  static constexpr std::uint8_t kAbortCodeSubscriptionWildStore = 0xfd;
+  // The subscribed lock was held at commit.  Equals
+  // runtime::kAbortCodeLockBusy so the policy layer's retry classification
+  // applies unchanged (static_assert'd in runtime/ctx.h).
+  static constexpr std::uint8_t kAbortCodeSubscriptionBusy = 0xff;
 
   // XEND, phase 1: returns kNone status if the transaction may commit
   // (not doomed), otherwise the doom status.  On success the staged writes
@@ -324,14 +364,22 @@ class Htm {
  private:
   void clear_footprint(std::uint32_t tid);
   // Dooms every transaction conflicting with an access to `line`:
-  // writers always; readers too when `is_write`.
+  // writers always; readers too when `is_write`.  Under a choice-point hook
+  // the requestor-wins tie is delegated per victim; if the hook rules
+  // against the requestor, the requestor's own transaction is doomed
+  // instead and remaining victims survive.
   void doom_conflictors(std::uint32_t tid, mem::LineState& st, bool is_write,
                         std::uint32_t line);
+  // True iff the requestor wins arbitration against `victim` (always, unless
+  // a choice-point hook rules otherwise).  Dooms the requestor on a loss.
+  bool requestor_wins(std::uint32_t tid, std::uint32_t victim,
+                      std::uint32_t line);
 
   mem::Directory& dir_;
   HtmConfig cfg_;
   std::vector<TxContext> txs_;
   std::function<void(std::uint32_t)> doom_listener_;
+  sim::ChoicePoint* choice_ = nullptr;
   analysis::AccessObserver* observer_ = nullptr;
   std::vector<std::uint64_t> conflict_counts_;  // by line, when tracking
   std::uint32_t active_count_ = 0;

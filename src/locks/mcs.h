@@ -108,6 +108,13 @@ class MCSLock {
     }
   }
 
+  // Commit-time subscription (slr:subscribe=commit-checked): the queue is
+  // free exactly when `tail_` is null, one (cell, value) pair.
+  bool commit_subscribe(Ctx& c) {
+    c.set_commit_subscription(tail_, static_cast<QNode*>(nullptr));
+    return true;
+  }
+
   // --- True HLE prefixes; call inside a transaction ------------------------
   //
   // MCS is HLE-compatible as-is: a thread running alone leaves tail at

@@ -61,6 +61,14 @@ class TTASLock {
     if (v != 0) c.xabort(runtime::kAbortCodeLockBusy);
   }
 
+  // Commit-time subscription (slr:subscribe=commit-checked): TTAS is free
+  // exactly when `locked_` is 0, so the whole free state is one (cell,
+  // value) pair.  Registration only — no simulation event.
+  bool commit_subscribe(Ctx& c) {
+    c.set_commit_subscription(locked_, std::uint64_t{0});
+    return true;
+  }
+
   // Wait (non-transactionally) until the lock appears free.  Returns true
   // if the caller had to wait — i.e. it arrived while the lock was held.
   sim::Task<bool> wait_until_free(Ctx& c) {

@@ -1,0 +1,287 @@
+#include "mc/explore.h"
+
+#include <bit>
+#include <stdexcept>
+#include <string>
+
+namespace sihle::mc {
+
+bool choice_kind_from_string(std::string_view name, sim::ChoiceKind& out) {
+  using sim::ChoiceKind;
+  for (auto k : {ChoiceKind::kThread, ChoiceKind::kSpurious,
+                 ChoiceKind::kConflictTie}) {
+    if (name == to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Explorer::dependent(std::uint32_t tid_a, const Footprint& a,
+                         std::uint32_t tid_b, const Footprint& b) {
+  if (tid_a == tid_b) return true;
+  if ((a.writes & (b.reads | b.writes)) != 0) return true;
+  if ((a.reads & b.writes) != 0) return true;
+  if (((a.interact >> tid_b) & 1) != 0) return true;
+  if (((b.interact >> tid_a) & 1) != 0) return true;
+  return false;
+}
+
+std::uint64_t Explorer::sleep_tids(const std::vector<SleepEntry>& sleep) {
+  std::uint64_t mask = 0;
+  for (const auto& z : sleep) mask |= std::uint64_t{1} << z.tid;
+  return mask;
+}
+
+// Sleep set for the child of the step at cur_step_: entries of the parent's
+// sleep and done sets survive iff they are independent of the step the
+// parent just executed (a dependent step "wakes" the slept thread — its
+// reordering is no longer covered by the already-explored branch).
+std::vector<Explorer::SleepEntry> Explorer::child_sleep() const {
+  std::vector<SleepEntry> out;
+  if (cur_step_ == kNoStep) return out;
+  const Node& p = path_[cur_step_];
+  auto consider = [&](const SleepEntry& z) {
+    if (!dependent(z.tid, z.fp, p.chosen, p.fp)) out.push_back(z);
+  };
+  for (const auto& z : p.sleep) consider(z);
+  for (const auto& z : p.done) consider(z);
+  return out;
+}
+
+// A step whose final footprint is invisible (no shared line touched, no
+// other thread doomed or woken) commutes with every other step, so its
+// scheduling node is a valid singleton persistent set: mark all
+// alternatives as tried without running them.  Only valid when no inner
+// decision of the step still has unexplored branches (a different spurious
+// or tie resolution could make the step visible).
+void Explorer::finalize_step(std::size_t end_depth) {
+  if (cur_step_ == kNoStep || replaying_ || !opts_.use_singleton_steps) return;
+  Node& n = path_[cur_step_];
+  if (std::popcount(n.tried) != 1) return;  // already branched here
+  if (!n.fp.invisible()) return;
+  if (std::popcount(n.options) <= 1) return;  // nothing to collapse
+  for (std::size_t j = cur_step_ + 1; j < end_depth && j < path_.size(); ++j) {
+    if (std::popcount(path_[j].options) > 1) return;
+  }
+  n.tried = n.options;
+  ++stats_.singleton_commits;
+}
+
+std::uint32_t Explorer::pick_thread(std::uint64_t runnable_mask) {
+  // The previous step's footprint is complete once the next scheduling
+  // decision arrives.
+  finalize_step(depth_);
+
+  if (depth_ < path_.size()) {
+    // Replaying the committed prefix.
+    Node& n = path_[depth_];
+    if (n.kind != sim::ChoiceKind::kThread) {
+      throw std::logic_error("mc: replay diverged (expected thread choice)");
+    }
+    if (((runnable_mask >> n.chosen) & 1) == 0) {
+      throw std::logic_error("mc: replay diverged (chosen thread not runnable)");
+    }
+    cur_step_ = depth_;
+    ++depth_;
+    ++steps_;
+    ++stats_.transitions;
+    return n.chosen;
+  }
+
+  if (steps_ >= opts_.max_steps) {
+    if (!replaying_) {
+      ++stats_.step_limited;
+      stats_.complete = false;
+    }
+    throw McPrune{McPrune::Why::kStepLimit};
+  }
+  if (opts_.use_state_hash && !replaying_ && state_hash_) {
+    const std::uint64_t h = state_hash_();
+    if (!seen_hashes_.insert(h).second) {
+      ++stats_.hash_pruned;
+      throw McPrune{McPrune::Why::kStateHash};
+    }
+  }
+
+  Node n;
+  n.kind = sim::ChoiceKind::kThread;
+  n.options = runnable_mask;
+  if (opts_.use_sleep_sets && !replaying_) {
+    n.sleep = child_sleep();
+    const std::uint64_t awake = runnable_mask & ~sleep_tids(n.sleep);
+    if (awake == 0) {
+      // Every enabled thread is asleep: this schedule is a reordering of an
+      // already-explored one.
+      ++stats_.sleep_pruned;
+      throw McPrune{McPrune::Why::kSleepSet};
+    }
+    n.chosen = static_cast<std::uint32_t>(std::countr_zero(awake));
+  } else {
+    n.chosen = static_cast<std::uint32_t>(std::countr_zero(runnable_mask));
+  }
+  n.tried = std::uint64_t{1} << n.chosen;
+  path_.push_back(std::move(n));
+  cur_step_ = depth_;
+  ++depth_;
+  ++steps_;
+  ++stats_.transitions;
+  return path_.back().chosen;
+}
+
+std::uint32_t Explorer::decide(sim::ChoiceKind kind, std::uint64_t options,
+                               std::uint32_t default_choice) {
+  if (depth_ < path_.size()) {
+    Node& n = path_[depth_];
+    if (n.kind != kind) {
+      throw std::logic_error(std::string("mc: replay diverged (expected ") +
+                             to_string(kind) + " choice)");
+    }
+    ++depth_;
+    ++stats_.transitions;
+    return n.chosen;
+  }
+  Node n;
+  n.kind = kind;
+  n.options = options;
+  n.chosen = default_choice;
+  n.tried = std::uint64_t{1} << default_choice;
+  path_.push_back(std::move(n));
+  ++depth_;
+  ++stats_.transitions;
+  return default_choice;
+}
+
+bool Explorer::inject_spurious(std::uint32_t tid) {
+  (void)tid;
+  // Choice 0 = no abort (default), choice 1 = inject; branching into the
+  // injection is offered only while budget remains.
+  const std::uint64_t options = spurious_left_ > 0 ? 0b11u : 0b01u;
+  const std::uint32_t chosen = decide(sim::ChoiceKind::kSpurious, options, 0);
+  if (chosen == 1) {
+    --spurious_left_;  // also during replay: budget tracks the trace
+    return true;
+  }
+  return false;
+}
+
+bool Explorer::resolve_conflict(std::uint32_t requestor, std::uint32_t victim,
+                                std::uint32_t line) {
+  (void)requestor;
+  (void)victim;
+  (void)line;
+  // Choice 1 = requestor wins (the hardware default), choice 0 = requestor
+  // loses; the latter is explored only when configured.
+  const std::uint64_t options = opts_.explore_conflict_ties ? 0b11u : 0b10u;
+  return decide(sim::ChoiceKind::kConflictTie, options, 1) == 1;
+}
+
+void Explorer::note_line(std::uint32_t line, bool is_write) {
+  if (cur_step_ == kNoStep) return;
+  Footprint& fp = path_[cur_step_].fp;
+  const std::uint64_t bit = std::uint64_t{1} << (line % 64);
+  if (is_write) {
+    fp.writes |= bit;
+  } else {
+    fp.reads |= bit;
+  }
+}
+
+void Explorer::note_interaction(std::uint32_t tid) {
+  if (cur_step_ == kNoStep) return;
+  path_[cur_step_].fp.interact |= std::uint64_t{1} << tid;
+}
+
+void Explorer::begin_run() {
+  depth_ = 0;
+  cur_step_ = kNoStep;
+  spurious_left_ = opts_.spurious_budget;
+  steps_ = 0;
+}
+
+// Moves to the next unexplored branch: flips the deepest decision with an
+// untried option (kThread nodes skip slept threads) and truncates the path
+// below it.  A flipped kThread node archives the explored choice — with the
+// footprint its step accumulated across all inner variants — in its done
+// set, feeding descendants' sleep sets.
+bool Explorer::backtrack() {
+  while (!path_.empty()) {
+    Node& n = path_.back();
+    std::uint64_t untried = n.options & ~n.tried;
+    if (n.kind == sim::ChoiceKind::kThread && opts_.use_sleep_sets) {
+      untried &= ~sleep_tids(n.sleep);
+    }
+    if (untried != 0) {
+      if (n.kind == sim::ChoiceKind::kThread) {
+        n.done.push_back({n.chosen, n.fp});
+        n.fp = Footprint{};
+      }
+      n.chosen = static_cast<std::uint32_t>(std::countr_zero(untried));
+      n.tried |= std::uint64_t{1} << n.chosen;
+      return true;
+    }
+    path_.pop_back();
+  }
+  return false;
+}
+
+McStats Explorer::explore(const std::function<void(Explorer&)>& run_one) {
+  stats_ = McStats{};
+  path_.clear();
+  seen_hashes_.clear();
+  replaying_ = false;
+  for (;;) {
+    if (stats_.runs + stats_.sleep_pruned + stats_.hash_pruned +
+            stats_.step_limited >=
+        opts_.max_runs) {
+      stats_.complete = false;
+      break;
+    }
+    begin_run();
+    try {
+      run_one(*this);
+      finalize_step(path_.size());
+      ++stats_.runs;
+    } catch (const McPrune&) {
+      // Schedule cut mid-run; the counters were bumped at the throw site.
+    }
+    if (!backtrack()) break;
+  }
+  return stats_;
+}
+
+void Explorer::replay(const ChoiceTrace& trace,
+                      const std::function<void(Explorer&)>& run_one) {
+  path_.clear();
+  path_.reserve(trace.size());
+  for (const Choice& c : trace) {
+    Node n;
+    n.kind = c.kind;
+    n.chosen = c.chosen;
+    n.options = std::uint64_t{1} << c.chosen;
+    n.tried = n.options;
+    path_.push_back(std::move(n));
+  }
+  replaying_ = true;
+  begin_run();
+  try {
+    run_one(*this);
+  } catch (...) {
+    replaying_ = false;
+    throw;
+  }
+  replaying_ = false;
+}
+
+ChoiceTrace Explorer::trace() const {
+  ChoiceTrace t;
+  const std::size_t n = depth_ < path_.size() ? depth_ : path_.size();
+  t.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.push_back({path_[i].kind, path_[i].chosen});
+  }
+  return t;
+}
+
+}  // namespace sihle::mc

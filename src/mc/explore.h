@@ -1,0 +1,200 @@
+// Bounded model checker: exhaustive schedule exploration over the
+// deterministic simulator.
+//
+// The simulator resolves three kinds of nondeterminism — which runnable
+// thread performs the next event, whether a transactional access aborts
+// spuriously, and which side wins conflict arbitration.  With a
+// sim::ChoicePoint hook installed (sim/choice.h) every such decision is
+// delegated; the Explorer here implements the hook as a stateless
+// depth-first enumerator: each schedule is a fresh run of the scenario that
+// replays the recorded decision prefix and extends it with default
+// resolutions, and backtracking flips the deepest non-exhausted decision.
+// Determinism of the simulator makes replay exact, so no simulator state is
+// ever checkpointed.
+//
+// Partial-order reduction (docs/VERIFICATION.md):
+//  * sleep sets (Godefroid) — after a thread's step is fully explored at a
+//    node, sibling branches carry it in their sleep set until a dependent
+//    step executes; schedules whose every enabled thread is asleep are cut.
+//    Sound: at least one representative per Mazurkiewicz trace survives,
+//    and the per-schedule checks (opacity, lockset, final state) are
+//    invariant under commuting independent steps.
+//  * invisible-step commitment — a step that touched no shared line and
+//    affected no other thread is independent of everything, so its choice
+//    node is a singleton persistent set: alternatives at that node are
+//    dropped without being run.
+//  * optional, approximate state-hash pruning — see McOptions.
+//
+// Dependence between steps comes from the hook's note_line/note_interaction
+// feed: 64-bit line masks (bit = line mod 64) whose collisions
+// over-approximate dependence — the sound direction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/choice.h"
+
+namespace sihle::mc {
+
+// Thrown from inside a run to cut the remainder of a schedule (sleep-set,
+// state-hash, or step-limit pruning).  pick_thread is invoked from the
+// executor's top-level run loop — never from inside a coroutine frame — so
+// the throw unwinds cleanly out of Machine::run and is caught by
+// Explorer::explore.  Scenario code must not swallow it.
+struct McPrune {
+  enum class Why : std::uint8_t { kSleepSet, kStateHash, kStepLimit };
+  Why why;
+};
+
+// One recorded decision; a schedule is the sequence of these.
+struct Choice {
+  sim::ChoiceKind kind;
+  std::uint32_t chosen;
+  friend bool operator==(const Choice&, const Choice&) = default;
+};
+using ChoiceTrace = std::vector<Choice>;
+
+// Inverse of sim::to_string(ChoiceKind); nullopt-free: returns false on an
+// unknown name (parser use, see stats::McChoiceRec).
+bool choice_kind_from_string(std::string_view name, sim::ChoiceKind& out);
+
+struct McOptions {
+  // kThread decisions allowed per schedule before the run is cut (and the
+  // result marked incomplete): the "bounded" in bounded model checking.
+  std::uint64_t max_steps = 20000;
+  // Spurious aborts the explorer may inject per schedule.  Injection points
+  // branch only while budget remains; 0 keeps spurious aborts off entirely.
+  int spurious_budget = 0;
+  // Also explore the requestor-loses resolution of conflict arbitration
+  // (the hardware's requestor-wins policy is always the default branch).
+  bool explore_conflict_ties = false;
+  // Sleep-set partial-order reduction (sound; see header comment).
+  bool use_sleep_sets = true;
+  // Invisible-step singleton commitment (sound; see header comment).
+  bool use_singleton_steps = true;
+  // Approximate state-hash pruning: cut a schedule whenever the
+  // caller-supplied fingerprint (set_state_hash) was seen before.  OFF by
+  // default and excluded from the soundness story: fingerprint collisions —
+  // and the known unsound interaction between state caching and sleep sets —
+  // can prune behaviour that was never explored.  A scalability escape
+  // hatch for sweeps, not for proofs.
+  bool use_state_hash = false;
+  // Backstop against runaway exploration; hitting it marks the result
+  // incomplete instead of looping forever.
+  std::uint64_t max_runs = 2'000'000;
+};
+
+struct McStats {
+  std::uint64_t runs = 0;              // complete schedules executed
+  std::uint64_t transitions = 0;       // decisions taken, all kinds
+  std::uint64_t sleep_pruned = 0;      // schedules cut by sleep sets
+  std::uint64_t singleton_commits = 0; // branch points collapsed (invisible)
+  std::uint64_t hash_pruned = 0;       // schedules cut by the state hash
+  std::uint64_t step_limited = 0;      // schedules cut by max_steps
+  // False when max_runs or max_steps clipped the space: the verdict is then
+  // "no violation found within the bound", not a proof.
+  bool complete = true;
+};
+
+class Explorer final : public sim::ChoicePoint {
+ public:
+  explicit Explorer(McOptions opts = {}) : opts_(opts) {}
+
+  // Exhaustively enumerates schedules: calls run_one(*this) once per
+  // schedule until the decision tree is exhausted.  run_one must build a
+  // fresh, deterministic scenario, install this explorer on both the
+  // executor and the HTM (Executor::set_choice_point, Htm::set_choice_point),
+  // run it to completion, and perform its per-schedule checking.  McPrune
+  // must be allowed to escape run_one.
+  McStats explore(const std::function<void(Explorer&)>& run_one);
+
+  // Deterministically re-executes one recorded schedule (counterexample
+  // reproduction).  Decisions beyond the trace take default resolutions; a
+  // decision whose kind diverges from the recording throws std::logic_error.
+  void replay(const ChoiceTrace& trace,
+              const std::function<void(Explorer&)>& run_one);
+
+  // The decision sequence of the schedule just executed — the replayable
+  // counterexample trace.  Valid between run_one returning and the next run.
+  ChoiceTrace trace() const;
+
+  // Caller-supplied state fingerprint for use_state_hash; re-register from
+  // run_one each schedule (it must read the *current* scenario's state).
+  void set_state_hash(std::function<std::uint64_t()> fn) {
+    state_hash_ = std::move(fn);
+  }
+
+  const McOptions& options() const { return opts_; }
+  const McStats& stats() const { return stats_; }
+
+  // --- sim::ChoicePoint ----------------------------------------------------
+  std::uint32_t pick_thread(std::uint64_t runnable_mask) override;
+  bool inject_spurious(std::uint32_t tid) override;
+  bool resolve_conflict(std::uint32_t requestor, std::uint32_t victim,
+                        std::uint32_t line) override;
+  void note_line(std::uint32_t line, bool is_write) override;
+  void note_interaction(std::uint32_t tid) override;
+
+ private:
+  // Read/write/interaction summary of one executed step — the independence
+  // relation's input.  Line sets are 64-bit masks (bit = line mod 64);
+  // collisions over-approximate dependence, which is sound.
+  struct Footprint {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t interact = 0;  // tids doomed or woken by the step
+    bool invisible() const { return (reads | writes | interact) == 0; }
+  };
+
+  // Steps are dependent iff they belong to the same thread, their line
+  // footprints conflict (either's writes meet the other's reads or writes),
+  // or either step doomed/woke the other's thread.
+  static bool dependent(std::uint32_t tid_a, const Footprint& a,
+                        std::uint32_t tid_b, const Footprint& b);
+
+  struct SleepEntry {
+    std::uint32_t tid;
+    Footprint fp;
+  };
+
+  struct Node {
+    sim::ChoiceKind kind;
+    std::uint32_t chosen = 0;
+    std::uint64_t options = 0;  // bit per available resolution
+    std::uint64_t tried = 0;    // resolutions explored or in progress
+    // kThread bookkeeping.  fp is the executed step's footprint, unioned
+    // over inner (spurious / tie) variants of the same scheduling choice.
+    Footprint fp;
+    std::vector<SleepEntry> sleep;  // sleep set on entry to this node
+    std::vector<SleepEntry> done;   // fully explored sibling choices
+  };
+
+  void begin_run();
+  bool backtrack();  // advance to the next unexplored branch; false = done
+  std::uint32_t decide(sim::ChoiceKind kind, std::uint64_t options,
+                       std::uint32_t default_choice);
+  // Completes the step started at cur_step_ (its footprint is final once
+  // the next scheduling decision — or the run's end — arrives).
+  void finalize_step(std::size_t end_depth);
+  std::vector<SleepEntry> child_sleep() const;
+  static std::uint64_t sleep_tids(const std::vector<SleepEntry>& sleep);
+
+  static constexpr std::size_t kNoStep = static_cast<std::size_t>(-1);
+
+  McOptions opts_;
+  std::function<std::uint64_t()> state_hash_;
+  std::vector<Node> path_;
+  std::size_t depth_ = 0;         // next decision index in the current run
+  std::size_t cur_step_ = kNoStep;  // node whose step is currently executing
+  int spurious_left_ = 0;
+  std::uint64_t steps_ = 0;       // kThread decisions this run
+  std::unordered_set<std::uint64_t> seen_hashes_;
+  McStats stats_;
+  bool replaying_ = false;
+};
+
+}  // namespace sihle::mc

@@ -1,0 +1,113 @@
+#include "mc/hazard.h"
+
+#include "elision/policy.h"
+
+namespace sihle::mc {
+namespace {
+
+using elision::SubscribeKind;
+using htm::AbortStatus;
+using htm::SlrHazard;
+
+// Functor wrapper so the probe can be handed to run_slr by value without a
+// coroutine-lambda lifetime hazard (the coroutine function's parameters
+// capture; see Machine::spawn's contract).
+struct ProbeBody {
+  HazardLock* lock;
+  mem::Shared<std::uint64_t>* x;
+  mem::Shared<std::uint64_t>* y;
+  SlrHazard hazard;
+  bool* torn;
+  sim::Task<void> operator()(Ctx& c) const {
+    return hazard_probe(c, *lock, *x, *y, hazard, torn);
+  }
+};
+
+// Transaction body for the kEarlyCommit hazard: Figure 5's body, except the
+// lazy end-of-body lock check is reachable only when the snapshot was
+// consistent — a torn snapshot "jumps" straight to XEND.
+sim::Task<void> early_commit_tx_body(Ctx& c, HazardLock& lock, ProbeBody& body,
+                                     SubscribeKind subscribe, bool* torn) {
+  bool armed = false;
+  if (subscribe == SubscribeKind::kCommitChecked) {
+    armed = lock.commit_subscribe(c);
+  }
+  co_await body(c);
+  if (*torn) co_return;  // corrupted control flow: straight to XEND
+  if (!armed) {
+    const bool locked = co_await lock.is_locked(c);
+    if (locked) c.xabort(runtime::kAbortCodeLockBusy);
+  }
+}
+
+// SLR attempt loop for the kEarlyCommit hazard: identical to run_slr except
+// that the lazy end-of-body lock check is skipped when the body observed a
+// torn snapshot — modelling corrupted control flow jumping straight to
+// XEND.  Commit-checked subscription, being architectural, still applies.
+sim::Task<void> run_slr_early_commit(Ctx& c, HazardLock& lock, ProbeBody body,
+                                     stats::OpStats& st,
+                                     SubscribeKind subscribe, bool* torn) {
+  st.arrivals++;
+  int attempts = 0;
+  for (;;) {
+    const AbortStatus s = co_await c.with_tx([&]() -> sim::Task<void> {
+      return early_commit_tx_body(c, lock, body, subscribe, torn);
+    });
+    if (s.ok()) {
+      st.spec_commits++;
+      co_return;
+    }
+    st.record_abort(s);
+    ++attempts;
+    if (!s.retry || attempts >= 2) break;
+  }
+  co_await elision::detail::run_nonspec(c, lock, body, st);
+}
+
+}  // namespace
+
+sim::Task<void> hazard_updater(Ctx& c, HazardLock& lock,
+                               mem::Shared<std::uint64_t>& x,
+                               mem::Shared<std::uint64_t>& y) {
+  co_await lock.acquire(c);
+  co_await c.store(x, std::uint64_t{1});
+  co_await c.store(y, std::uint64_t{1});
+  co_await lock.release(c);
+}
+
+sim::Task<void> hazard_probe(Ctx& c, HazardLock& lock,
+                             mem::Shared<std::uint64_t>& x,
+                             mem::Shared<std::uint64_t>& y,
+                             htm::SlrHazard hazard, bool* torn) {
+  const std::uint64_t vx = co_await c.load(x);
+  const std::uint64_t vy = co_await c.load(y);
+  *torn = vx != vy;
+  if (*torn && hazard == htm::SlrHazard::kWildStore) {
+    // The zombie's corrupted continuation: a store through a garbage
+    // address that lands on the lock line, with a garbage value equal to
+    // the lock's free state.  The lazy subscription check that run_slr
+    // performs next is an ordinary transactional load of this same word, so
+    // store-to-load forwarding serves it this staged 0: lock "free",
+    // transaction commits the torn computation.
+    co_await c.store(lock.word(), std::uint64_t{0});
+  }
+}
+
+sim::Task<void> hazard_victim(Ctx& c, HazardLock& lock,
+                              mem::Shared<std::uint64_t>& x,
+                              mem::Shared<std::uint64_t>& y,
+                              htm::SlrHazard hazard,
+                              elision::SubscribeKind subscribe,
+                              stats::OpStats& st) {
+  bool torn = false;
+  ProbeBody body{&lock, &x, &y, hazard, &torn};
+  if (hazard == htm::SlrHazard::kEarlyCommit) {
+    co_await run_slr_early_commit(c, lock, body, st, subscribe, &torn);
+  } else {
+    co_await elision::run_slr(c, lock, body, st, /*max_retries=*/2,
+                              /*honor_retry_bit=*/true, /*backoff=*/{},
+                              subscribe);
+  }
+}
+
+}  // namespace sihle::mc

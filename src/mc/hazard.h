@@ -1,0 +1,119 @@
+// Lazy-subscription hazard harness: concrete scenario pieces that let the
+// model checker exhibit the SLR failure modes named in htm/hazard.h as
+// replayable counterexamples, and prove slr:subscribe=commit-checked closes
+// them.
+//
+// The scenario is the classic two-thread straddle.  T0 runs a plain locked
+// update of two words (x then y, so x==y in every lock-respecting
+// execution).  T1 runs an SLR attempt whose body reads both words; a
+// schedule that lands T1's reads between T0's two stores hands T1 the torn
+// snapshot x != y — a state no serial execution produces.  Under correct
+// eager subscription T1 would have been doomed before the straddle; under
+// lazy subscription T1 is a live zombie, and what the zombie's corrupted
+// continuation does next is the hazard:
+//
+//  * kWildStore — the garbage address it stores through happens to be the
+//    lock word, and the garbage value happens to be the lock's free value.
+//    Nothing else needs to go wrong: the lazy end-of-body check is a plain
+//    transactional load of the lock word, so it is store-to-load forwarded
+//    from the zombie's own staged store, sees "free", and the transaction
+//    commits the torn computation — T1 is never even doomed, because its
+//    read set {x} is untouched once the straddle completes before T0's y
+//    store.
+//  * kEarlyCommit — the corrupted control flow jumps past the lazy check
+//    altogether (an indirect branch through clobbered state landing on
+//    XEND).  Modelled by a runner that skips the end-of-body check exactly
+//    when the body observed torn state.
+//
+// Under SubscribeKind::kCommitChecked the subscription is architectural
+// (Htm::set_commit_subscription, armed at XBEGIN): commit itself refuses
+// the wild store (kAbortCodeSubscriptionWildStore) and re-reads the lock
+// word from memory, immune to both forwarding and control-flow corruption.
+#pragma once
+
+#include <cstdint>
+
+#include "elision/policy.h"
+#include "htm/hazard.h"
+#include "mc/history.h"
+#include "runtime/ctx.h"
+#include "runtime/machine.h"
+#include "sim/task.h"
+#include "stats/op_stats.h"
+
+namespace sihle::mc {
+
+using runtime::Ctx;
+
+// Minimal TTAS lock that exposes its word, so the hazard body can address
+// a "wild" store at the lock line (the production locks keep their words
+// private, as they should).  Satisfies the lock concept the SLR runners
+// need: acquire/release/is_locked/commit_subscribe.
+class HazardLock {
+ public:
+  explicit HazardLock(runtime::Machine& m) : line_(m), word_(line_.line(), 0) {
+    m.note_sync_line(line_.line());
+  }
+
+  static constexpr bool kHleArrivalWaits = true;
+  static constexpr bool kFair = false;
+  static constexpr const char* kName = "hazard-ttas";
+
+  mem::Shared<std::uint64_t>& word() { return word_; }
+
+  sim::Task<void> acquire(Ctx& c) {
+    for (;;) {
+      co_await runtime::spin_until(c, word_,
+                                   [](std::uint64_t v) { return v == 0; });
+      const std::uint64_t old = co_await c.exchange(word_, std::uint64_t{1});
+      if (old == 0) {
+        c.note_lock_acquired(this);
+        co_return;
+      }
+    }
+  }
+  sim::Task<void> release(Ctx& c) {
+    co_await c.store(word_, std::uint64_t{0});
+    c.note_lock_released(this);
+  }
+  sim::Task<bool> is_locked(Ctx& c) {
+    const std::uint64_t v = co_await c.load(word_);
+    co_return v != 0;
+  }
+  bool commit_subscribe(Ctx& c) {
+    c.set_commit_subscription(word_, std::uint64_t{0});
+    return true;
+  }
+  bool debug_locked() const { return word_.debug_value() != 0; }
+
+ private:
+  runtime::LineHandle line_;
+  mem::Shared<std::uint64_t> word_;
+};
+
+// T0: the lock-respecting updater.  Establishes the invariant that x and y
+// are never observably unequal.
+sim::Task<void> hazard_updater(Ctx& c, HazardLock& lock,
+                               mem::Shared<std::uint64_t>& x,
+                               mem::Shared<std::uint64_t>& y);
+
+// T1's transaction body: reads both words; on a torn snapshot, enacts the
+// kWildStore corruption (see header comment).  `torn` is set either way so
+// the kEarlyCommit runner can condition its control flow on it.
+sim::Task<void> hazard_probe(Ctx& c, HazardLock& lock,
+                             mem::Shared<std::uint64_t>& x,
+                             mem::Shared<std::uint64_t>& y,
+                             htm::SlrHazard hazard, bool* torn);
+
+// T1: the zombie-prone SLR attempt.  For kWildStore this is the stock
+// run_slr (the genuine lazy check is what gets fooled); for kEarlyCommit a
+// local SLR loop whose lazy check is skipped when the body saw torn state.
+// `subscribe` selects the protection under test.
+sim::Task<void> hazard_victim(Ctx& c, HazardLock& lock,
+                              mem::Shared<std::uint64_t>& x,
+                              mem::Shared<std::uint64_t>& y,
+                              htm::SlrHazard hazard,
+                              elision::SubscribeKind subscribe,
+                              stats::OpStats& st);
+
+}  // namespace sihle::mc

@@ -1,0 +1,195 @@
+// Transaction-history recorder for the opacity checker.
+//
+// An AccessObserver (analysis/hooks.h) that reconstructs, from the HTM's
+// event stream, the sequence of atomic units a schedule executed:
+//
+//  * kHardware — one hardware transaction (XBEGIN..XEND / abort).  Read
+//    accesses are recorded with the value observed; write accesses are
+//    snapshotted from the staged write buffer at on_pre_commit (the hook
+//    fires after every commit check passed, so pre-commit implies commit).
+//    Store-to-load-forwarded and elision-illusion reads never reach the
+//    observer, which is exactly right: they are self-consistent by
+//    construction and carry no serializability content.
+//  * kLocked — one critical section of the scenario's grouping lock
+//    (on_lock_acquired..on_lock_released with a matching lock id); the
+//    non-transactional accesses inside it form one atomic unit, since the
+//    lock is what makes them atomic.
+//  * kSingleton — a non-transactional access outside the grouping lock
+//    (an atomic RMW's read+write halves pair into one unit).
+//
+// Only cells registered with track() participate: lock words, queue nodes
+// and other synchronization cells implement atomicity rather than being
+// subject to it, and must not pollute the serializability spec.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/hooks.h"
+#include "htm/htm.h"
+#include "mem/shared.h"
+
+namespace sihle::mc {
+
+class HistoryRecorder final : public analysis::AccessObserver {
+ public:
+  struct Access {
+    bool is_write;
+    const mem::RawCell* cell;
+    std::uint64_t value;
+  };
+
+  struct TxRecord {
+    enum class Kind : std::uint8_t { kHardware, kLocked, kSingleton };
+    Kind kind;
+    std::uint32_t tid = 0;
+    bool committed = false;
+    // Global event indices bracketing the unit, for the real-time order.
+    std::uint64_t begin_idx = 0;
+    std::uint64_t end_idx = 0;
+    std::vector<Access> accesses;
+  };
+
+  // `grouping_lock` is the identity the scenario's critical-section lock
+  // passes to Ctx::note_lock_acquired (LockAdapter::lock_id(), or the lock
+  // object's address); its sections become kLocked units.  Other locks'
+  // ownership events (e.g. the SCM auxiliary lock) are ignored.
+  HistoryRecorder(htm::Htm& htm, const void* grouping_lock)
+      : htm_(&htm), lock_(grouping_lock) {}
+
+  // The recorder is usually installed (via TeeObserver) before the
+  // scenario's locks exist — lock construction already routes sync-line
+  // registration through the observer — so the grouping identity is
+  // supplied afterwards.  Must be set before Machine::run.
+  void set_grouping_lock(const void* lock) { lock_ = lock; }
+
+  // Registers a data cell under `name` and captures its current committed
+  // value as the initial state.  Call before Machine::run.
+  void track(const mem::RawCell& cell, std::string name) {
+    cells_.emplace(&cell, Info{std::move(name), cell.raw()});
+  }
+
+  const std::vector<TxRecord>& records() const { return records_; }
+  bool tracked(const mem::RawCell* cell) const { return cells_.count(cell) != 0; }
+  std::uint64_t initial(const mem::RawCell* cell) const {
+    return cells_.at(cell).initial;
+  }
+  const std::string& name(const mem::RawCell* cell) const {
+    return cells_.at(cell).name;
+  }
+  std::vector<const mem::RawCell*> tracked_cells() const {
+    std::vector<const mem::RawCell*> out;
+    out.reserve(cells_.size());
+    for (const auto& [cell, info] : cells_) out.push_back(cell);
+    return out;
+  }
+
+  // --- analysis::AccessObserver --------------------------------------------
+  void on_tx_begin(std::uint32_t tid) override {
+    ++now_;
+    open_record(tid, TxRecord::Kind::kHardware);
+  }
+  void on_tx_read(std::uint32_t tid, const mem::RawCell& cell) override {
+    ++now_;
+    if (!tracked(&cell)) return;
+    if (TxRecord* r = open(tid)) {
+      // The hook fires after the load resolved, so raw() is the value read.
+      r->accesses.push_back({false, &cell, cell.raw()});
+    }
+  }
+  void on_tx_write(std::uint32_t /*tid*/, const mem::RawCell& /*cell*/) override {
+    ++now_;  // staged values are snapshotted at pre-commit
+  }
+  void on_pre_commit(std::uint32_t tid) override {
+    ++now_;
+    TxRecord* r = open(tid);
+    if (r == nullptr) return;
+    // Every commit check has passed: the staged buffer is exactly what will
+    // be published, in publication order.
+    for (const auto& e : htm_->tx(tid).writes) {
+      if (tracked(e.cell)) r->accesses.push_back({true, e.cell, e.staged});
+    }
+    close_record(tid, /*committed=*/true);
+  }
+  void on_rollback(std::uint32_t tid) override {
+    ++now_;
+    if (open(tid) != nullptr) close_record(tid, /*committed=*/false);
+  }
+  void on_nontx_read(std::uint32_t tid, const mem::RawCell& cell,
+                     bool rmw) override {
+    ++now_;
+    if (!tracked(&cell)) return;
+    nontx_access(tid, {false, &cell, cell.raw()}, rmw);
+  }
+  void on_nontx_write(std::uint32_t tid, const mem::RawCell& cell,
+                      bool rmw) override {
+    ++now_;
+    if (!tracked(&cell)) return;
+    // Fires after the store, so raw() is the value written.
+    nontx_access(tid, {true, &cell, cell.raw()}, rmw);
+  }
+  void on_lock_acquired(std::uint32_t tid, const void* lock) override {
+    ++now_;
+    if (lock != lock_) return;
+    open_record(tid, TxRecord::Kind::kLocked);
+  }
+  void on_lock_released(std::uint32_t tid, const void* lock) override {
+    ++now_;
+    if (lock != lock_) return;
+    if (open(tid) != nullptr) close_record(tid, /*committed=*/true);
+  }
+
+ private:
+  struct Info {
+    std::string name;
+    std::uint64_t initial;
+  };
+
+  TxRecord* open(std::uint32_t tid) {
+    if (tid >= open_.size()) return nullptr;
+    const int idx = open_[tid];
+    return idx < 0 ? nullptr : &records_[static_cast<std::size_t>(idx)];
+  }
+  void open_record(std::uint32_t tid, TxRecord::Kind kind) {
+    if (tid >= open_.size()) open_.resize(tid + 1, -1);
+    TxRecord r;
+    r.kind = kind;
+    r.tid = tid;
+    r.begin_idx = now_;
+    open_[tid] = static_cast<int>(records_.size());
+    records_.push_back(std::move(r));
+  }
+  void close_record(std::uint32_t tid, bool committed) {
+    TxRecord* r = open(tid);
+    r->committed = committed;
+    r->end_idx = now_;
+    open_[tid] = -1;
+  }
+  void nontx_access(std::uint32_t tid, Access a, bool rmw) {
+    if (TxRecord* r = open(tid)) {
+      // Inside a grouped critical section (or an RMW's second half).
+      r->accesses.push_back(a);
+      if (r->kind == TxRecord::Kind::kSingleton && (!rmw || a.is_write)) {
+        close_record(tid, /*committed=*/true);
+      }
+      return;
+    }
+    // A lone access is its own atomic unit; an RMW read opens a unit that
+    // the paired write closes.
+    open_record(tid, TxRecord::Kind::kSingleton);
+    TxRecord* r = open(tid);
+    r->accesses.push_back(a);
+    if (!rmw || a.is_write) close_record(tid, /*committed=*/true);
+  }
+
+  htm::Htm* htm_;
+  const void* lock_;
+  std::unordered_map<const mem::RawCell*, Info> cells_;
+  std::vector<TxRecord> records_;
+  std::vector<int> open_;  // per-tid index of the open record, -1 if none
+  std::uint64_t now_ = 0;
+};
+
+}  // namespace sihle::mc

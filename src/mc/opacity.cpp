@@ -1,0 +1,232 @@
+#include "mc/opacity.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace sihle::mc {
+namespace {
+
+using TxRecord = HistoryRecorder::TxRecord;
+using Mem = std::unordered_map<const mem::RawCell*, std::uint64_t>;
+
+Mem initial_memory(const HistoryRecorder& hist) {
+  Mem m;
+  for (const mem::RawCell* cell : hist.tracked_cells()) {
+    m.emplace(cell, hist.initial(cell));
+  }
+  return m;
+}
+
+// Replays one unit against `m` in program order: reads must match the
+// current value, writes update it.  On a read mismatch, reports the cell
+// and leaves `m` partially updated (callers copy first).
+bool apply(const TxRecord& r, Mem& m, const mem::RawCell** bad_cell) {
+  for (const auto& a : r.accesses) {
+    auto it = m.find(a.cell);
+    if (a.is_write) {
+      it->second = a.value;
+    } else if (it->second != a.value) {
+      if (bad_cell != nullptr) *bad_cell = a.cell;
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Search {
+  const std::vector<TxRecord>* records;
+  const std::vector<std::size_t>* committed;  // indices into records
+  std::size_t expansions = 0;
+  std::size_t budget = 0;
+  bool clipped = false;
+
+  bool spend() {
+    if (++expansions > budget) {
+      clipped = true;
+      return false;
+    }
+    return true;
+  }
+
+  // `i` may be placed next only if no other unplaced unit really finished
+  // before it began (real-time order).
+  bool placeable(std::size_t i, const std::vector<bool>& placed) const {
+    const TxRecord& ri = (*records)[(*committed)[i]];
+    for (std::size_t j = 0; j < committed->size(); ++j) {
+      if (j == i || placed[j]) continue;
+      const TxRecord& rj = (*records)[(*committed)[j]];
+      if (rj.end_idx < ri.begin_idx) return false;
+    }
+    return true;
+  }
+
+  // Finds a full serial witness over the committed units.
+  bool witness_dfs(std::vector<bool>& placed, std::size_t n_placed, Mem& m,
+                   std::vector<std::size_t>& order) {
+    if (n_placed == committed->size()) return true;
+    for (std::size_t i = 0; i < committed->size(); ++i) {
+      if (placed[i] || !placeable(i, placed)) continue;
+      if (!spend()) return false;
+      Mem copy = m;
+      if (!apply((*records)[(*committed)[i]], copy, nullptr)) continue;
+      placed[i] = true;
+      order.push_back((*committed)[i]);
+      if (witness_dfs(placed, n_placed + 1, copy, order)) {
+        m = std::move(copy);
+        return true;
+      }
+      placed[i] = false;
+      order.pop_back();
+      if (clipped) return false;
+    }
+    return false;
+  }
+
+  // True iff some reachable state of a serial execution of committed units
+  // (including intermediate prefixes, downward-closed under real time)
+  // satisfies every read in `reads`.
+  bool prefix_dfs(std::vector<bool>& placed, const Mem& m,
+                  const std::vector<HistoryRecorder::Access>& reads) {
+    bool ok = true;
+    for (const auto& a : reads) {
+      if (a.is_write) continue;
+      if (m.at(a.cell) != a.value) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+    for (std::size_t i = 0; i < committed->size(); ++i) {
+      if (placed[i] || !placeable(i, placed)) continue;
+      if (!spend()) return false;
+      Mem copy = m;
+      if (!apply((*records)[(*committed)[i]], copy, nullptr)) continue;
+      placed[i] = true;
+      if (prefix_dfs(placed, copy, reads)) {
+        placed[i] = false;
+        return true;
+      }
+      placed[i] = false;
+      if (clipped) return false;
+    }
+    return false;
+  }
+};
+
+const char* kind_name(TxRecord::Kind k) {
+  switch (k) {
+    case TxRecord::Kind::kHardware:
+      return "tx";
+    case TxRecord::Kind::kLocked:
+      return "locked-cs";
+    case TxRecord::Kind::kSingleton:
+      return "singleton";
+  }
+  return "?";
+}
+
+void describe_record(std::ostringstream& os, const HistoryRecorder& hist,
+                     const TxRecord& r) {
+  os << "T" << r.tid << " " << kind_name(r.kind) << "[";
+  bool first = true;
+  for (const auto& a : r.accesses) {
+    if (!first) os << " ";
+    first = false;
+    os << (a.is_write ? "W " : "R ") << hist.name(a.cell) << "=" << a.value;
+  }
+  os << "]";
+}
+
+}  // namespace
+
+OpacityResult check_opacity(const HistoryRecorder& hist,
+                            const OpacityOptions& opts) {
+  OpacityResult res;
+  const auto& records = hist.records();
+
+  std::vector<std::size_t> committed;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].committed && !records[i].accesses.empty()) {
+      committed.push_back(i);
+    }
+  }
+  // Commit order respects real time by construction (end_idx sorted).
+  std::sort(committed.begin(), committed.end(),
+            [&](std::size_t a, std::size_t b) {
+              return records[a].end_idx < records[b].end_idx;
+            });
+
+  Search search{&records, &committed, 0, opts.max_expansions, false};
+
+  // Fast path: replay in commit order.
+  {
+    Mem m = initial_memory(hist);
+    bool ok = true;
+    for (std::size_t i : committed) {
+      const mem::RawCell* bad = nullptr;
+      Mem copy = m;
+      if (!apply(records[i], copy, &bad)) {
+        ok = false;
+        res.blamed_record = i;
+        res.blamed_cell = bad;
+        break;
+      }
+      m = std::move(copy);
+      res.witness.push_back(i);
+    }
+    if (!ok) {
+      // Commit order fails; search the full order space.
+      res.witness.clear();
+      std::vector<bool> placed(committed.size(), false);
+      Mem fresh = initial_memory(hist);
+      if (!search.witness_dfs(placed, 0, fresh, res.witness)) {
+        res.witness.clear();
+        res.serializable = false;
+      }
+    }
+  }
+
+  // Aborted hardware transactions: every read set must match a reachable
+  // serial state.  Only meaningful when the committed part has a witness.
+  if (res.serializable && !search.clipped) {
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const TxRecord& r = records[i];
+      if (r.committed || r.kind != TxRecord::Kind::kHardware) continue;
+      bool has_read = false;
+      for (const auto& a : r.accesses) has_read |= !a.is_write;
+      if (!has_read) continue;
+      std::vector<bool> placed(committed.size(), false);
+      Mem m = initial_memory(hist);
+      if (!search.prefix_dfs(placed, m, r.accesses)) {
+        if (search.clipped) break;
+        res.inconsistent_aborted.push_back(i);
+      }
+    }
+  }
+  res.search_clipped = search.clipped;
+
+  std::ostringstream os;
+  if (!res.serializable) {
+    os << "no serial witness for committed history:";
+    for (std::size_t i : committed) {
+      os << " ";
+      describe_record(os, hist, records[i]);
+    }
+  } else {
+    os << "witness:";
+    for (std::size_t i : res.witness) {
+      os << " ";
+      describe_record(os, hist, records[i]);
+    }
+    for (std::size_t i : res.inconsistent_aborted) {
+      os << " | inconsistent aborted ";
+      describe_record(os, hist, records[i]);
+    }
+  }
+  if (res.search_clipped) os << " | SEARCH CLIPPED (no verdict)";
+  res.explanation = os.str();
+  return res;
+}
+
+}  // namespace sihle::mc

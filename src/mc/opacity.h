@@ -1,0 +1,63 @@
+// Opacity checker: decides, for one recorded schedule, whether the atomic
+// units the HistoryRecorder reconstructed admit a serial explanation.
+//
+// Committed units (hardware transactions, grouped critical sections,
+// singleton accesses) must be serializable: there must exist a total order,
+// consistent with real time (a unit that finished before another began must
+// precede it), whose sequential replay from the initial memory reproduces
+// every recorded read value.  The replay applies each unit's accesses in
+// program order, so read-own-write inside a unit is handled naturally.
+//
+// Aborted hardware transactions are held to opacity's stronger standard:
+// even a transaction that never commits must only ever observe a consistent
+// snapshot — there must exist a reachable state of some serial execution of
+// committed units that matches all of its recorded reads.  A violation here
+// is a "zombie" that computed on impossible state, the hazard SLR admits by
+// sacrificing opacity (PAPER.md §4) and HLE never exhibits.
+//
+// Search strategy: the commit order (end_idx) is tried first — with
+// requestor-wins conflict detection it is almost always a witness — and
+// only on failure does the checker fall back to a bounded permutation DFS.
+// Config sizes here are tiny (2–3 threads, a handful of units), so the
+// bound exists only as a safety rail; hitting it is reported, not silently
+// treated as either verdict.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mc/history.h"
+
+namespace sihle::mc {
+
+struct OpacityResult {
+  // Committed units admit a serial witness.
+  bool serializable = true;
+  // Indices into records() in witness order (valid when serializable).
+  std::vector<std::size_t> witness;
+  // Aborted hardware transactions (indices into records()) whose read set
+  // matches no reachable serial state: opacity violations.
+  std::vector<std::size_t> inconsistent_aborted;
+  // Human-readable account: the witness order, or the reason none exists.
+  std::string explanation;
+  // The unit and cell to blame for a non-serializable verdict (diagnostics;
+  // the first read the commit-order replay cannot explain).
+  std::size_t blamed_record = 0;
+  const mem::RawCell* blamed_cell = nullptr;
+  // True if the permutation DFS hit its budget: the verdict is then
+  // unreliable and the caller must not report a violation.
+  bool search_clipped = false;
+};
+
+// DFS budget (node expansions) for both searches combined; far beyond
+// anything a 2–3 thread config can produce.
+struct OpacityOptions {
+  std::size_t max_expansions = 4'000'000;
+};
+
+OpacityResult check_opacity(const HistoryRecorder& hist,
+                            const OpacityOptions& opts = {});
+
+}  // namespace sihle::mc

@@ -1,0 +1,426 @@
+#include "mc/workloads.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/hooks.h"
+#include "analysis/lockset.h"
+#include "elision/elided_lock.h"
+#include "elision/registry.h"
+#include "elision/scm_grouped.h"
+#include "mc/hazard.h"
+#include "mc/history.h"
+#include "mc/opacity.h"
+#include "runtime/ctx.h"
+#include "runtime/machine.h"
+
+namespace sihle::mc {
+namespace {
+
+using elision::ElidedLock;
+using elision::Policy;
+using runtime::Ctx;
+using runtime::Machine;
+
+using U64Cell = mem::Shared<std::uint64_t>;
+
+// The coupled-increment critical-section body: every lock-respecting
+// serialization keeps x == y.
+sim::Task<void> coupled_increment(Ctx& c, U64Cell& x, U64Cell& y) {
+  const std::uint64_t vx = co_await c.load(x);
+  const std::uint64_t vy = co_await c.load(y);
+  co_await c.store(x, vx + 1);
+  co_await c.store(y, vy + 1);
+}
+
+struct IncBody {
+  U64Cell* x;
+  U64Cell* y;
+  sim::Task<void> operator()(Ctx& c) const {
+    return coupled_increment(c, *x, *y);
+  }
+};
+
+sim::Task<void> scheme_worker(Ctx& c, Policy p, ElidedLock& lock, U64Cell& x,
+                              U64Cell& y, int ops, stats::OpStats& st) {
+  for (int i = 0; i < ops; ++i) {
+    co_await elision::run_cs(p, c, lock, IncBody{&x, &y}, st);
+  }
+}
+
+sim::Task<void> grouped_worker(Ctx& c, locks::TTASLock& main,
+                               elision::GroupedAux& aux,
+                               elision::ScmFlavor flavor, U64Cell& x, U64Cell& y,
+                               int ops, stats::OpStats& st) {
+  for (int i = 0; i < ops; ++i) {
+    co_await elision::run_scm_grouped(c, main, aux, IncBody{&x, &y}, st, flavor,
+                                      /*max_retries=*/2);
+  }
+}
+
+// Per-schedule judging shared by all scenarios: opacity over the recorded
+// history, the lockset checker's report, final-state validation, deadlock.
+struct Judge {
+  McScenarioResult* out;
+  const ScenarioOptions* so;
+  std::string scheme;
+  std::string lock;
+  std::string workload;
+
+  void operator()(Explorer& ex, const HistoryRecorder& rec,
+                  analysis::LocksetChecker* checker, bool deadlocked,
+                  const std::string& final_err) const {
+    bool bad = false;
+    auto violation = [&](stats::Finding f, const std::string& witness) {
+      bad = true;
+      record(ex, f, witness);
+      out->findings.add(std::move(f));
+    };
+
+    if (deadlocked) {
+      violation({stats::FindingKind::kMcDeadlock, 0, 0,
+                 "no runnable thread under this schedule"},
+                "");
+    } else {
+      const OpacityResult res = check_opacity(rec);
+      if (res.search_clipped) {
+        out->findings.add({stats::FindingKind::kMcStepLimit, 0, 0,
+                           "opacity witness search clipped: no verdict"});
+      } else {
+        if (!res.serializable) {
+          stats::Finding f;
+          f.kind = stats::FindingKind::kMcNonSerializableCommit;
+          f.line = res.blamed_cell != nullptr ? res.blamed_cell->line() : 0;
+          f.thread = rec.records()[res.blamed_record].tid;
+          f.detail = "committed history admits no serial witness";
+          violation(std::move(f), res.explanation);
+        }
+        for (std::size_t i : res.inconsistent_aborted) {
+          const auto& r = rec.records()[i];
+          stats::Finding f;
+          f.kind = stats::FindingKind::kMcInconsistentAbortedRead;
+          for (const auto& a : r.accesses) {
+            if (!a.is_write) {
+              f.line = a.cell->line();
+              break;
+            }
+          }
+          f.thread = r.tid;
+          f.detail = "aborted transaction observed a torn snapshot";
+          violation(std::move(f), res.explanation);
+        }
+      }
+      if (!final_err.empty()) {
+        violation({stats::FindingKind::kMcNonSerializableCommit, 0, 0,
+                   final_err},
+                  final_err);
+      }
+    }
+    if (checker != nullptr) {
+      for (const stats::Finding& f : checker->report().findings()) {
+        violation(f, "lockset checker finding");
+      }
+    }
+    if (bad) ++out->bad_schedules;
+  }
+
+  void record(Explorer& ex, const stats::Finding& f,
+              const std::string& witness) const {
+    stats::McCounterexample cx;
+    cx.scheme = scheme;
+    cx.lock = lock;
+    cx.workload = workload;
+    cx.finding = f;
+    cx.witness = witness;
+    cx.trace = recs_from_trace(ex.trace());
+    auto& v = out->counterexamples;
+    v.push_back(std::move(cx));
+    // Keep the shortest schedules (stable: first-found wins among equals).
+    std::stable_sort(v.begin(), v.end(),
+                     [](const stats::McCounterexample& a,
+                        const stats::McCounterexample& b) {
+                       return a.trace.size() < b.trace.size();
+                     });
+    if (v.size() > so->max_counterexamples) v.resize(so->max_counterexamples);
+  }
+};
+
+Machine::Config machine_config(const ScenarioOptions& so) {
+  Machine::Config mcfg;
+  mcfg.seed = 1;
+  mcfg.htm = so.htm;
+  // The lockset checker runs under every explored schedule; findings are
+  // collected, never fatal (the explorer owns the verdict).
+  mcfg.analysis.enabled = true;
+  mcfg.analysis.fatal = false;
+  return mcfg;
+}
+
+std::string final_state_error(std::uint64_t x, std::uint64_t y,
+                              std::uint64_t expect) {
+  if (x == expect && y == expect) return {};
+  std::ostringstream os;
+  os << "final state x=" << x << " y=" << y << " != expected " << expect
+     << " (lost or torn update)";
+  return os.str();
+}
+
+// One schedule of the registry-driven two-thread scenario.
+void run_scheme_schedule(Explorer& ex, const Policy& p0, const Policy& p1,
+                         locks::LockKind kind, const ScenarioOptions& so,
+                         const Judge& judge) {
+  Machine m(machine_config(so));
+  m.exec().set_choice_point(&ex);
+  m.htm().set_choice_point(&ex);
+  HistoryRecorder rec(m.htm(), nullptr);
+  analysis::TeeObserver tee(m.analysis(), &rec);
+  m.htm().set_observer(&tee);
+
+  ElidedLock lock = elision::make_elided_lock(m, kind, p0);
+  rec.set_grouping_lock(lock.main().lock_id());
+  runtime::LineHandle lx(m);
+  U64Cell x(lx.line(), 0);
+  runtime::LineHandle ly(m);
+  U64Cell y(ly.line(), 0);
+  rec.track(x, "x");
+  rec.track(y, "y");
+
+  stats::OpStats st;
+  m.spawn([&](Ctx& c) {
+    return scheme_worker(c, p0, lock, x, y, so.ops0, st);
+  });
+  m.spawn([&](Ctx& c) {
+    return scheme_worker(c, p1, lock, x, y, so.ops1, st);
+  });
+  if (so.mc.use_state_hash) {
+    ex.set_state_hash([&] {
+      std::uint64_t h = 0;
+      auto mix = [&h](std::uint64_t v) {
+        h ^= (v + 0x9E3779B97F4A7C15ULL) + (h << 6) + (h >> 2);
+      };
+      mix(x.raw());
+      mix(y.raw());
+      mix(lock.main().debug_locked() ? 1 : 0);
+      mix(lock.aux().debug_locked() ? 1 : 0);
+      mix(m.htm().in_tx(0) ? 1 : 0);
+      mix(m.htm().in_tx(1) ? 1 : 0);
+      return h;
+    });
+  }
+
+  bool deadlocked = false;
+  try {
+    m.run();
+  } catch (const std::runtime_error&) {
+    deadlocked = true;
+  }
+  const std::string err =
+      deadlocked ? std::string{}
+                 : final_state_error(x.raw(), y.raw(),
+                                     static_cast<std::uint64_t>(so.ops0) +
+                                         static_cast<std::uint64_t>(so.ops1));
+  judge(ex, rec, m.analysis(), deadlocked, err);
+}
+
+void add_step_limit_summary(McScenarioResult& out) {
+  if (out.stats.step_limited != 0) {
+    out.findings.add({stats::FindingKind::kMcStepLimit, 0, 0,
+                      std::to_string(out.stats.step_limited) +
+                          " schedule(s) cut by the step bound"});
+  }
+}
+
+}  // namespace
+
+std::vector<stats::McChoiceRec> recs_from_trace(const ChoiceTrace& trace) {
+  std::vector<stats::McChoiceRec> out;
+  out.reserve(trace.size());
+  for (const Choice& c : trace) {
+    out.push_back({to_string(c.kind), c.chosen});
+  }
+  return out;
+}
+
+bool trace_from_recs(const std::vector<stats::McChoiceRec>& recs,
+                     ChoiceTrace& out) {
+  out.clear();
+  out.reserve(recs.size());
+  for (const auto& r : recs) {
+    sim::ChoiceKind kind;
+    if (!choice_kind_from_string(r.kind, kind)) return false;
+    out.push_back({kind, r.chosen});
+  }
+  return true;
+}
+
+McScenarioResult explore_mixed(const std::string& spec0,
+                               const std::string& spec1, locks::LockKind kind,
+                               const ScenarioOptions& opts) {
+  std::string error;
+  const auto p0 = elision::parse_policy(spec0, &error);
+  if (!p0) throw std::invalid_argument("mc: bad policy spec '" + spec0 + "': " + error);
+  const auto p1 = elision::parse_policy(spec1, &error);
+  if (!p1) throw std::invalid_argument("mc: bad policy spec '" + spec1 + "': " + error);
+
+  McScenarioResult result;
+  Judge judge{&result, &opts,
+              spec0 == spec1 ? spec0 : spec0 + "+" + spec1,
+              elision::lock_key(kind),
+              "coupled-increment " + std::to_string(opts.ops0) + "x" +
+                  std::to_string(opts.ops1)};
+  Explorer ex(opts.mc);
+  result.stats = ex.explore([&](Explorer& e) {
+    run_scheme_schedule(e, *p0, *p1, kind, opts, judge);
+  });
+  add_step_limit_summary(result);
+  return result;
+}
+
+McScenarioResult explore_scheme(const std::string& spec, locks::LockKind kind,
+                                const ScenarioOptions& opts) {
+  return explore_mixed(spec, spec, kind, opts);
+}
+
+McScenarioResult explore_scm_grouped(elision::ScmFlavor flavor,
+                                     const ScenarioOptions& opts) {
+  McScenarioResult result;
+  Judge judge{&result, &opts,
+              flavor == elision::ScmFlavor::kHle ? "scm-grouped:hle"
+                                                 : "scm-grouped:slr",
+              "ttas",
+              "coupled-increment " + std::to_string(opts.ops0) + "x" +
+                  std::to_string(opts.ops1)};
+  Explorer ex(opts.mc);
+  result.stats = ex.explore([&](Explorer& e) {
+    Machine m(machine_config(opts));
+    m.exec().set_choice_point(&e);
+    m.htm().set_choice_point(&e);
+    HistoryRecorder rec(m.htm(), nullptr);
+    analysis::TeeObserver tee(m.analysis(), &rec);
+    m.htm().set_observer(&tee);
+
+    locks::TTASLock main(m);
+    elision::GroupedAux aux(m, /*groups=*/2);
+    rec.set_grouping_lock(&main);
+    runtime::LineHandle lx(m);
+    U64Cell x(lx.line(), 0);
+    runtime::LineHandle ly(m);
+    U64Cell y(ly.line(), 0);
+    rec.track(x, "x");
+    rec.track(y, "y");
+
+    stats::OpStats st;
+    m.spawn([&](Ctx& c) {
+      return grouped_worker(c, main, aux, flavor, x, y, opts.ops0, st);
+    });
+    m.spawn([&](Ctx& c) {
+      return grouped_worker(c, main, aux, flavor, x, y, opts.ops1, st);
+    });
+
+    bool deadlocked = false;
+    try {
+      m.run();
+    } catch (const std::runtime_error&) {
+      deadlocked = true;
+    }
+    const std::string err =
+        deadlocked
+            ? std::string{}
+            : final_state_error(x.raw(), y.raw(),
+                                static_cast<std::uint64_t>(opts.ops0) +
+                                    static_cast<std::uint64_t>(opts.ops1));
+    judge(e, rec, m.analysis(), deadlocked, err);
+  });
+  add_step_limit_summary(result);
+  return result;
+}
+
+namespace {
+
+// One schedule of the lazy-subscription straddle.
+void run_hazard_schedule(Explorer& ex, htm::SlrHazard hazard,
+                         elision::SubscribeKind subscribe,
+                         const ScenarioOptions& so, const Judge& judge) {
+  Machine m(machine_config(so));
+  m.exec().set_choice_point(&ex);
+  m.htm().set_choice_point(&ex);
+  HistoryRecorder rec(m.htm(), nullptr);
+  analysis::TeeObserver tee(m.analysis(), &rec);
+  m.htm().set_observer(&tee);
+
+  HazardLock lock(m);
+  rec.set_grouping_lock(&lock);
+  runtime::LineHandle lx(m);
+  U64Cell x(lx.line(), 0);
+  runtime::LineHandle ly(m);
+  U64Cell y(ly.line(), 0);
+  rec.track(x, "x");
+  rec.track(y, "y");
+
+  stats::OpStats st;
+  m.spawn([&](Ctx& c) { return hazard_updater(c, lock, x, y); });
+  m.spawn([&](Ctx& c) {
+    return hazard_victim(c, lock, x, y, hazard, subscribe, st);
+  });
+
+  bool deadlocked = false;
+  try {
+    m.run();
+  } catch (const std::runtime_error&) {
+    deadlocked = true;
+  }
+  // No final-state invariant: T1 only reads.  The opacity checker is the
+  // whole verdict here.
+  judge(ex, rec, m.analysis(), deadlocked, {});
+}
+
+Judge hazard_judge(McScenarioResult& result, const ScenarioOptions& opts,
+                   htm::SlrHazard hazard, elision::SubscribeKind subscribe) {
+  std::string scheme = "slr:subscribe=";
+  scheme += subscribe == elision::SubscribeKind::kCommitChecked
+                ? "commit-checked"
+                : "lazy";
+  return Judge{&result, &opts, std::move(scheme), "hazard-ttas",
+               std::string("slr-hazard ") + to_string(hazard)};
+}
+
+}  // namespace
+
+McScenarioResult explore_slr_hazard(htm::SlrHazard hazard,
+                                    elision::SubscribeKind subscribe,
+                                    const ScenarioOptions& opts) {
+  McScenarioResult result;
+  const Judge judge = hazard_judge(result, opts, hazard, subscribe);
+  Explorer ex(opts.mc);
+  result.stats = ex.explore([&](Explorer& e) {
+    run_hazard_schedule(e, hazard, subscribe, opts, judge);
+  });
+  add_step_limit_summary(result);
+  return result;
+}
+
+bool replay_hazard_counterexample(const stats::McCounterexample& cx,
+                                  htm::SlrHazard hazard,
+                                  elision::SubscribeKind subscribe) {
+  ChoiceTrace trace;
+  if (!trace_from_recs(cx.trace, trace)) return false;
+  ScenarioOptions opts;
+  McScenarioResult result;
+  const Judge judge = hazard_judge(result, opts, hazard, subscribe);
+  Explorer ex(opts.mc);
+  try {
+    ex.replay(trace, [&](Explorer& e) {
+      run_hazard_schedule(e, hazard, subscribe, opts, judge);
+    });
+  } catch (const std::logic_error&) {
+    // The schedule diverged from the recording — expected when replaying a
+    // trace under a different policy (e.g. lazy's counterexample under
+    // commit-checked subscription): the violation did not reproduce.
+    return false;
+  }
+  return result.findings.count(
+             stats::FindingKind::kMcNonSerializableCommit) > 0;
+}
+
+}  // namespace sihle::mc

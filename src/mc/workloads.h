@@ -1,0 +1,94 @@
+// Model-checking scenarios: small, fixed workloads the Explorer enumerates
+// exhaustively, with per-schedule opacity checking (mc/opacity.h), lockset
+// checking (the PR-1 analysis layer runs under every explored schedule),
+// and final-state validation.
+//
+// Every scenario is two threads over two shared words x and y with the
+// coupled invariant x == y outside critical sections:
+//
+//  * explore_scheme / explore_mixed — each thread runs N critical sections
+//    incrementing both words through the policy registry (parse_policy +
+//    ElidedLock + run_cs, so any spec string × lock kind is checkable);
+//    final state must be x == y == ops0 + ops1.
+//  * explore_scm_grouped — the same workload under run_scm_grouped (which
+//    has no registry spelling).
+//  * explore_slr_hazard — the lazy-subscription straddle of mc/hazard.h.
+//
+// Violations are reported as stats::Findings aggregated across schedules,
+// and the shortest offending schedules are kept as replayable
+// counterexamples (stats::McCounterexample, exportable as sihle-mc JSON).
+#pragma once
+
+#include <string>
+
+#include "elision/policy.h"
+#include "htm/hazard.h"
+#include "htm/htm.h"
+#include "locks/locks.h"
+#include "mc/explore.h"
+#include "stats/export.h"
+#include "stats/findings.h"
+
+namespace sihle::mc {
+
+struct ScenarioOptions {
+  McOptions mc{};
+  int ops0 = 1;  // critical sections run by thread 0
+  int ops1 = 1;  // critical sections run by thread 1
+  std::size_t max_counterexamples = 4;
+  // HTM configuration for every schedule's machine (e.g. the planted
+  // test_omit_reader_doom bug for the lockset-under-mc test).
+  htm::HtmConfig htm{};
+};
+
+struct McScenarioResult {
+  McStats stats;
+  // Aggregated over all explored schedules: opacity verdicts, deadlocks,
+  // final-state mismatches, plus everything the lockset checker reported.
+  stats::AnalysisReport findings;
+  // Shortest-trace violations, at most max_counterexamples.
+  std::vector<stats::McCounterexample> counterexamples;
+  // Schedules on which at least one violation was recorded.
+  std::uint64_t bad_schedules = 0;
+
+  bool clean() const { return findings.clean(); }
+};
+
+// Both threads run `spec` (a registry policy spec) over `kind` locks.
+McScenarioResult explore_scheme(const std::string& spec, locks::LockKind kind,
+                                const ScenarioOptions& opts = {});
+
+// Thread i runs spec_i; the grouping lock (and SCM aux kind) come from
+// spec0.  This is how the detector-sensitivity scenarios mix, e.g., a
+// standard-locking writer with an SLR reader.
+McScenarioResult explore_mixed(const std::string& spec0,
+                               const std::string& spec1, locks::LockKind kind,
+                               const ScenarioOptions& opts = {});
+
+// The future-work grouped-SCM runner (TTAS main lock, 2 aux groups).
+McScenarioResult explore_scm_grouped(elision::ScmFlavor flavor,
+                                     const ScenarioOptions& opts = {});
+
+// The SLR lazy-subscription hazard scenario (see mc/hazard.h): T0 is a
+// locked two-word updater, T1 the hazard-bodied SLR victim.  With
+// subscribe == kLazy the checker exhibits the violation; with
+// kCommitChecked it must find none (zero kMcNonSerializableCommit — the
+// aborted-read concession remains, see docs/VERIFICATION.md).
+McScenarioResult explore_slr_hazard(htm::SlrHazard hazard,
+                                    elision::SubscribeKind subscribe,
+                                    const ScenarioOptions& opts = {});
+
+// Re-executes one recorded hazard-scenario schedule and reports whether the
+// committed history is non-serializable again (pinned-counterexample
+// regression).  The scenario parameters must match the recording's.
+bool replay_hazard_counterexample(const stats::McCounterexample& cx,
+                                  htm::SlrHazard hazard,
+                                  elision::SubscribeKind subscribe);
+
+// ChoiceTrace <-> export-layer trace records (stats::McChoiceRec).
+std::vector<stats::McChoiceRec> recs_from_trace(const ChoiceTrace& trace);
+// Returns false (and leaves `out` unspecified) on an unknown kind name.
+bool trace_from_recs(const std::vector<stats::McChoiceRec>& recs,
+                     ChoiceTrace& out);
+
+}  // namespace sihle::mc

@@ -30,6 +30,9 @@ using mem::SharedValue;
 
 // XABORT code used by the schemes to signal "lock was observed taken".
 inline constexpr std::uint8_t kAbortCodeLockBusy = 0xff;
+// The HTM's commit-time subscription reports a held lock with the same code
+// so the policy layer's lock-busy classification applies to both paths.
+static_assert(htm::Htm::kAbortCodeSubscriptionBusy == kAbortCodeLockBusy);
 
 class Ctx {
  public:
@@ -171,6 +174,12 @@ class Ctx {
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
       assert(!c.in_tx() && "watch_line() is a non-transactional primitive");
+      // mc dependence feed: the version probe reads the watched lines
+      // whether or not the thread ends up blocking.
+      c.m_.exec().note_choice_line(line, /*is_write=*/false);
+      if (line2 != sim::kInvalidLine) {
+        c.m_.exec().note_choice_line(line2, /*is_write=*/false);
+      }
       const bool moved =
           c.m_.dir()[line].version != seen_version ||
           (line2 != sim::kInvalidLine && c.m_.dir()[line2].version != seen_version2);
@@ -424,7 +433,10 @@ class Ctx {
 
   // Current publish-version of the cell's line.  A simulator-internal peek
   // (no event) used together with watch_line() to wait without spinning.
+  // Reported to the mc dependence feed (free when no hook is installed):
+  // the peeked version steers the caller's subsequent control flow.
   std::uint32_t line_version(const mem::RawCell& cell) {
+    m_.exec().note_choice_line(cell.line(), /*is_write=*/false);
     return m_.dir()[cell.line()].version;
   }
 
@@ -461,6 +473,17 @@ class Ctx {
     }
     if (!status.ok()) co_await RollbackOp{*this, status};
     co_return status;
+  }
+
+  // Arm the Dice et al. commit-time lock subscription for the running
+  // transaction (slr:subscribe=commit-checked): commit will atomically
+  // verify `cell` holds `free_value` in memory and refuse to publish a
+  // staged store to it.  Architectural registration — consumes no
+  // simulation event and adds nothing to the read set.
+  template <SharedValue T>
+  void set_commit_subscription(const Shared<T>& cell, T free_value) {
+    assert(in_tx());
+    m_.htm().set_commit_subscription(tid_, cell, Shared<T>::pack(free_value));
   }
 
   // XABORT: self-abort the running transaction with an 8-bit code.

@@ -140,9 +140,12 @@ class Machine {
   const analysis::LocksetChecker* analysis() const { return checker_.get(); }
   // Registers a line as belonging to a synchronization object (lock word,
   // queue node, barrier): its accesses implement synchronization and are
-  // exempt from lockset checking.  No-op when analysis is disabled.
+  // exempt from lockset checking.  Routed through the HTM's observer slot —
+  // the checker when analysis is enabled, or whatever observer (possibly a
+  // TeeObserver fanning out to several) a harness installed.  No-op when no
+  // observer is set.
   void note_sync_line(mem::Line l) {
-    if (checker_) checker_->on_sync_line(l);
+    if (auto* o = htm_.observer()) o->on_sync_line(l);
   }
 
   // --- Line lifecycle ------------------------------------------------------

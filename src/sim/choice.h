@@ -1,0 +1,66 @@
+// Choice points: reified nondeterminism for the bounded model checker.
+//
+// A normal simulation run resolves every scheduling decision internally
+// (min-clock thread pick, seeded RNG for spurious aborts and tie-breaks).
+// When a ChoicePoint hook is installed, those decisions are delegated to it
+// instead, which lets a DFS driver (src/mc) enumerate *all* resolutions and
+// replay any recorded sequence deterministically.
+//
+// The hook is null by default and every call site guards on that, so the
+// instrumentation is a single predictable branch on non-mc runs: the golden
+// RNG draw order (tests/rng_draworder_test.cpp) and the committed benchmark
+// baselines are unaffected.
+#pragma once
+
+#include <cstdint>
+
+namespace sihle::sim {
+
+// The kinds of decision a run can expose.  Each corresponds to one method
+// below; a recorded choice trace tags every entry with its kind so replays
+// can assert they stay in sync.
+enum class ChoiceKind : std::uint8_t {
+  kThread,       // which runnable thread performs the next event
+  kSpurious,     // inject a spurious abort at this transactional access?
+  kConflictTie,  // conflict arbitration: does the requestor win?
+};
+
+class ChoicePoint {
+ public:
+  virtual ~ChoicePoint() = default;
+
+  // Scheduling decision: pick the next thread from `runnable_mask`
+  // (bit tid set iff thread tid is runnable; never zero).
+  virtual std::uint32_t pick_thread(std::uint64_t runnable_mask) = 0;
+
+  // Should this transactional access abort spuriously?  Replaces the
+  // probabilistic HtmConfig::spurious_abort_per_access draw under mc.
+  virtual bool inject_spurious(std::uint32_t tid) = 0;
+
+  // Conflict arbitration between two live transactions: `requestor` is the
+  // accessing thread, `victim` the transaction it conflicts with on `line`.
+  // Return true to keep the hardware's requestor-wins resolution (victim is
+  // doomed), false to doom the requestor instead.
+  virtual bool resolve_conflict(std::uint32_t requestor, std::uint32_t victim,
+                                std::uint32_t line) = 0;
+
+  // --- Dependence feed (no decisions) --------------------------------------
+  // The simulator reports each step's footprint through these so the driver
+  // can compute independence for partial-order reduction.  Default no-ops.
+
+  // The current step touched cache line `line` (is_write: store/publish).
+  virtual void note_line(std::uint32_t /*line*/, bool /*is_write*/) {}
+  // The current step affected another thread's state (doomed or woke it).
+  virtual void note_interaction(std::uint32_t /*tid*/) {}
+};
+
+inline const char* to_string(ChoiceKind k) {
+  switch (k) {
+    case ChoiceKind::kThread: return "thread";
+    case ChoiceKind::kSpurious: return "spurious";
+    case ChoiceKind::kConflictTie: return "conflict-tie";
+  }
+  return "?";
+}
+
+}  // namespace sihle::sim

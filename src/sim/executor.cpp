@@ -38,6 +38,13 @@ std::uint32_t Executor::spawn(Task<void> root) {
 }
 
 std::uint32_t Executor::pick_next() {
+  // Model-checking mode: the installed hook owns the scheduling decision
+  // entirely.  The hook is null on normal runs, so the min-clock scan below
+  // (and its RNG draw order) is untouched.
+  if (choice_ != nullptr) {
+    return runnable_mask_ == 0 ? kInvalidThread
+                               : choice_->pick_thread(runnable_mask_);
+  }
   // Iterating the runnable mask via countr_zero visits candidates in
   // ascending thread id — the same order as the historical scan over all
   // threads — so the comparisons and reservoir-sampling RNG draws below are
@@ -129,6 +136,11 @@ void Executor::block_current_on_line(std::uint32_t line, std::coroutine_handle<>
   blocked_mask_ |= bit;
   watch(line, t.id);
   if (line2 != kInvalidLine) watch(line2, t.id);
+  if (choice_ != nullptr) {
+    // Blocking on a line is a read-dependence on publishes to it.
+    choice_->note_line(line, false);
+    if (line2 != kInvalidLine) choice_->note_line(line2, false);
+  }
 }
 
 void Executor::unblock(ThreadState& t) {
@@ -153,6 +165,7 @@ void Executor::wake_watchers(std::uint32_t line, Cycles publisher_clock,
     ThreadState& t = threads_[tid];
     unblock(t);
     t.clock = std::max(t.clock, publisher_clock + costs.wake_latency) + costs.wake_reload;
+    if (choice_ != nullptr) choice_->note_interaction(tid);
   }
 }
 
@@ -161,6 +174,7 @@ void Executor::wake_blocked(std::uint32_t tid, Cycles min_clock) {
   if (t.state != RunState::kBlocked) return;
   unblock(t);
   t.clock = std::max(t.clock, min_clock);
+  if (choice_ != nullptr) choice_->note_interaction(tid);
 }
 
 }  // namespace sihle::sim

@@ -15,6 +15,7 @@
 #include <limits>
 #include <vector>
 
+#include "sim/choice.h"
 #include "sim/cost_model.h"
 #include "sim/rng.h"
 #include "sim/task.h"
@@ -122,6 +123,21 @@ class Executor {
 
   std::uint64_t seed() const { return seed_; }
 
+  // --- Model-checking hook --------------------------------------------------
+
+  // Installs (or clears, with nullptr) the choice-point hook.  While set, the
+  // scheduling decision in pick_next() is delegated to the hook instead of
+  // the min-clock/reservoir policy.  Normal runs never set this.
+  void set_choice_point(ChoicePoint* cp) { choice_ = cp; }
+  ChoicePoint* choice_point() const { return choice_; }
+
+  // Dependence feed for the hook; no-op when no hook is installed.  Exposed
+  // so awaitables outside src/sim (e.g. the line-version peek in
+  // runtime/ctx.h) can report reads that bypass the HTM layer.
+  void note_choice_line(std::uint32_t line, bool is_write) {
+    if (choice_ != nullptr) choice_->note_line(line, is_write);
+  }
+
  private:
   std::uint32_t pick_next();  // kInvalidThread if none runnable
 
@@ -134,6 +150,7 @@ class Executor {
 
   std::uint64_t seed_;
   bool random_tie_break_;
+  ChoicePoint* choice_ = nullptr;
   Rng sched_rng_;
   std::vector<ThreadState> threads_;
   std::vector<RootTask> roots_;

@@ -299,6 +299,116 @@ bool parse_trace_json(std::string_view text, ParsedTrace& out,
   return true;
 }
 
+std::string export_mc_json(const McDocument& doc) {
+  std::string out = "{\"format\":\"sihle-mc\",\"version\":1,\"counterexamples\":[";
+  for (std::size_t i = 0; i < doc.counterexamples.size(); ++i) {
+    const McCounterexample& cx = doc.counterexamples[i];
+    if (i != 0) out += ',';
+    out += "\n  {\"scheme\":";
+    append_escaped(out, cx.scheme);
+    out += ",\"lock\":";
+    append_escaped(out, cx.lock);
+    out += ",\"workload\":";
+    append_escaped(out, cx.workload);
+    out += ",\"kind\":";
+    append_escaped(out, to_string(cx.finding.kind));
+    out += ",\"line\":";
+    append_u64(out, cx.finding.line);
+    out += ",\"thread\":";
+    append_u64(out, cx.finding.thread);
+    out += ",\"detail\":";
+    append_escaped(out, cx.finding.detail);
+    out += ",\"witness\":";
+    append_escaped(out, cx.witness);
+    out += ",\"trace\":[";
+    for (std::size_t j = 0; j < cx.trace.size(); ++j) {
+      if (j != 0) out += ',';
+      if (j % 8 == 0) out += "\n    ";
+      out += '[';
+      append_escaped(out, cx.trace[j].kind);
+      out += ',';
+      append_u64(out, cx.trace[j].chosen);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool parse_mc_json(std::string_view text, McDocument& out, std::string* error) {
+  JValue root;
+  JsonParser parser(text);
+  if (!parser.parse(root, error)) return false;
+  if (root.kind != JValue::Kind::kObject) {
+    if (error != nullptr) *error = "top level is not an object";
+    return false;
+  }
+  const JValue* format = root.find("format");
+  if (format == nullptr || format->string != "sihle-mc") {
+    if (error != nullptr) *error = "document format is not sihle-mc";
+    return false;
+  }
+  const JValue* version = root.find("version");
+  const int ver = version != nullptr ? static_cast<int>(version->u64_or(0)) : 0;
+  if (ver != 1) {
+    if (error != nullptr) {
+      *error = "unsupported sihle-mc version " + std::to_string(ver);
+    }
+    return false;
+  }
+  const JValue* cxs = root.find("counterexamples");
+  if (cxs == nullptr || cxs->kind != JValue::Kind::kArray) {
+    if (error != nullptr) *error = "document has no counterexamples array";
+    return false;
+  }
+  out.counterexamples.clear();
+  out.counterexamples.reserve(cxs->array.size());
+  for (const JValue& jc : cxs->array) {
+    if (jc.kind != JValue::Kind::kObject) {
+      if (error != nullptr) *error = "counterexample is not an object";
+      return false;
+    }
+    auto str = [&](std::string_view key) -> std::string {
+      const JValue* v = jc.find(key);
+      return v != nullptr && v->kind == JValue::Kind::kString ? v->string : "";
+    };
+    McCounterexample cx;
+    cx.scheme = str("scheme");
+    cx.lock = str("lock");
+    cx.workload = str("workload");
+    cx.finding.kind = finding_kind_from_string(str("kind"));
+    if (cx.finding.kind == FindingKind::kNumKinds) {
+      if (error != nullptr) {
+        *error = "counterexample with unknown finding kind '" + str("kind") + "'";
+      }
+      return false;
+    }
+    const JValue* line = jc.find("line");
+    cx.finding.line = line != nullptr ? static_cast<std::uint32_t>(line->u64_or(0)) : 0;
+    const JValue* thread = jc.find("thread");
+    cx.finding.thread =
+        thread != nullptr ? static_cast<std::uint32_t>(thread->u64_or(0)) : 0;
+    cx.finding.detail = str("detail");
+    cx.witness = str("witness");
+    if (const JValue* trace = jc.find("trace");
+        trace != nullptr && trace->kind == JValue::Kind::kArray) {
+      cx.trace.reserve(trace->array.size());
+      for (const JValue& jt : trace->array) {
+        if (jt.kind != JValue::Kind::kArray || jt.array.size() != 2 ||
+            jt.array[0].kind != JValue::Kind::kString) {
+          if (error != nullptr) *error = "trace entry is not a [kind, chosen] pair";
+          return false;
+        }
+        cx.trace.push_back({jt.array[0].string,
+                            static_cast<std::uint32_t>(jt.array[1].u64_or(0))});
+      }
+    }
+    out.counterexamples.push_back(std::move(cx));
+  }
+  return true;
+}
+
 void export_events_csv(std::FILE* out, const EventTrace& trace) {
   std::fprintf(out, "at,thread,kind,cause,code\n");
   for (std::uint32_t t = 0; t < trace.threads(); ++t) {

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "stats/event_ring.h"
+#include "stats/findings.h"
 #include "stats/timeline.h"
 
 namespace sihle::stats {
@@ -99,6 +100,55 @@ struct ParsedTrace {
 // format can grow compatibly.
 bool parse_trace_json(std::string_view text, ParsedTrace& out,
                       std::string* error = nullptr);
+
+// --- Model-checker counterexamples ("sihle-mc", version 1) -----------------
+//
+// One document carries the counterexamples of one model-checking sweep
+// (src/mc).  Each counterexample pairs a structured finding with the
+// replayable choice trace that reproduces it — feeding the trace back into
+// the explorer deterministically re-runs the violating schedule — plus the
+// opacity checker's witness description.
+//
+//   { "format": "sihle-mc", "version": 1,
+//     "counterexamples": [
+//       { "scheme": "slr", "lock": "TTAS", "workload": "hazard-wild-store",
+//         "kind": "mc-non-serializable-commit", "line": 3, "thread": 1,
+//         "detail": "...", "witness": "...",
+//         "trace": [ ["thread", 0], ["spurious", 1], ["conflict-tie", 0] ] } ] }
+
+// One recorded scheduling decision: `kind` is the choice-point kind name
+// ("thread" | "spurious" | "conflict-tie"), `chosen` the picked tid (thread)
+// or 0/1 (spurious injected, requestor wins).
+struct McChoiceRec {
+  std::string kind;
+  std::uint32_t chosen = 0;
+  friend bool operator==(const McChoiceRec&, const McChoiceRec&) = default;
+};
+
+struct McCounterexample {
+  std::string scheme;    // registry policy spec that was running
+  std::string lock;      // lock kind name
+  std::string workload;  // mc workload name
+  Finding finding;       // kind/line/thread/detail, as in AnalysisReport
+  std::string witness;   // serial-witness / violating-prefix description
+  std::vector<McChoiceRec> trace;  // replayable choice trace
+  friend bool operator==(const McCounterexample&,
+                         const McCounterexample&) = default;
+};
+
+struct McDocument {
+  std::vector<McCounterexample> counterexamples;
+  friend bool operator==(const McDocument&, const McDocument&) = default;
+};
+
+// Serializes `doc` as one sihle-mc version-1 JSON document (byte-stable:
+// export(parse(export(d))) == export(d)).
+std::string export_mc_json(const McDocument& doc);
+
+// Parses a sihle-mc version-1 document.  Returns false and fills `error`
+// (when non-null) on malformed input; unknown keys are ignored.
+bool parse_mc_json(std::string_view text, McDocument& out,
+                   std::string* error = nullptr);
 
 // Raw-event CSV: "at,thread,kind,cause,code", one row per event.
 void export_events_csv(std::FILE* out, const EventTrace& trace);

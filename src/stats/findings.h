@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace sihle::stats {
@@ -26,6 +27,20 @@ enum class FindingKind : std::uint8_t {
   // read was no longer current: its read set was invalidated without the
   // conflict being detected.
   kInvalidatedCommitRead,
+  // Model-checker verdicts (src/mc).  The committed transactions of an
+  // explored schedule admit no serial witness order: some transaction
+  // published state no serial execution could produce.
+  kMcNonSerializableCommit,
+  // An *aborted* transaction observed a read prefix inconsistent with every
+  // serial order — the opacity condition the SLR paper concedes lazy
+  // subscription gives up (zombies may read torn state before aborting).
+  kMcInconsistentAbortedRead,
+  // The explorer reached a schedule where no thread is runnable but work
+  // remains: a genuine deadlock under some interleaving.
+  kMcDeadlock,
+  // A schedule exceeded the step bound; the space was not fully explored
+  // down that branch (bounded-verification caveat, not a violation).
+  kMcStepLimit,
   kNumKinds,
 };
 
@@ -37,8 +52,21 @@ constexpr const char* to_string(FindingKind k) {
     case FindingKind::kEmptyLockset: return "empty-lockset";
     case FindingKind::kMissedDoom: return "missed-doom";
     case FindingKind::kInvalidatedCommitRead: return "invalidated-commit-read";
+    case FindingKind::kMcNonSerializableCommit: return "mc-non-serializable-commit";
+    case FindingKind::kMcInconsistentAbortedRead: return "mc-inconsistent-aborted-read";
+    case FindingKind::kMcDeadlock: return "mc-deadlock";
+    case FindingKind::kMcStepLimit: return "mc-step-limit";
     default: return "?";
   }
+}
+
+// Inverse of to_string; returns kNumKinds for unknown names (parser use).
+inline FindingKind finding_kind_from_string(std::string_view s) {
+  for (std::size_t k = 0; k < kNumFindingKinds; ++k) {
+    const auto kind = static_cast<FindingKind>(k);
+    if (s == to_string(kind)) return kind;
+  }
+  return FindingKind::kNumKinds;
 }
 
 struct Finding {
@@ -46,6 +74,7 @@ struct Finding {
   std::uint32_t line = 0;    // simulated cache line the violation is on
   std::uint32_t thread = 0;  // thread whose access exposed it
   std::string detail;        // human-readable specifics
+  friend bool operator==(const Finding&, const Finding&) = default;
 };
 
 class AnalysisReport {

@@ -1,0 +1,116 @@
+// sihle-mc v1 schema tests (stats/export.h): byte-exact serialize/parse
+// round trip of model-checker counterexamples, a committed golden file
+// mirroring results_v1_golden.json's drift gate, and malformed-document
+// rejection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "stats/export.h"
+#include "stats/findings.h"
+
+namespace sihle {
+namespace {
+
+stats::McDocument synthetic_doc() {
+  stats::McDocument doc;
+  stats::McCounterexample cx;
+  cx.scheme = "slr:subscribe=lazy";
+  cx.lock = "hazard-ttas";
+  cx.workload = "slr-hazard wild-store";
+  cx.finding = {stats::FindingKind::kMcNonSerializableCommit, 3, 1,
+                "committed history admits no serial witness"};
+  cx.witness = "no serial witness for committed history: "
+               "T1 tx[R x=1 R y=0] T0 locked-cs[W x=1 W y=1]";
+  cx.trace = {{"thread", 0}, {"thread", 1}, {"spurious", 1},
+              {"conflict-tie", 0}, {"thread", 1}};
+  doc.counterexamples.push_back(cx);
+
+  stats::McCounterexample cx2;
+  cx2.scheme = "hle";
+  cx2.lock = "mcs";
+  cx2.workload = "coupled-increment 2x1";
+  cx2.finding = {stats::FindingKind::kMcDeadlock, 0, 0,
+                 "no runnable thread under this schedule"};
+  cx2.witness = "";  // empty fields must survive the round trip
+  cx2.trace = {};
+  doc.counterexamples.push_back(cx2);
+  return doc;
+}
+
+TEST(McSchema, SerializeParseRoundTripIsExact) {
+  const stats::McDocument doc = synthetic_doc();
+  const std::string text = stats::export_mc_json(doc);
+  stats::McDocument parsed;
+  std::string error;
+  ASSERT_TRUE(stats::parse_mc_json(text, parsed, &error)) << error;
+  EXPECT_EQ(parsed, doc);
+  // Byte-exact fixed point: re-serializing the parse reproduces the text.
+  EXPECT_EQ(stats::export_mc_json(parsed), text);
+}
+
+TEST(McSchema, EscapesSpecialCharacters) {
+  stats::McDocument doc;
+  stats::McCounterexample cx;
+  cx.scheme = "a\"b\\c";
+  cx.witness = "line1\nline2\ttab";
+  cx.finding = {stats::FindingKind::kMcStepLimit, 0, 0, "detail \"quoted\""};
+  doc.counterexamples.push_back(cx);
+  const std::string text = stats::export_mc_json(doc);
+  stats::McDocument parsed;
+  std::string error;
+  ASSERT_TRUE(stats::parse_mc_json(text, parsed, &error)) << error;
+  EXPECT_EQ(parsed, doc);
+}
+
+TEST(McSchema, GoldenFileRoundTrip) {
+  const std::string path =
+      std::string(SIHLE_TEST_DATA_DIR) + "/mc_v1_golden.json";
+  const std::string expected = stats::export_mc_json(synthetic_doc());
+  if (std::getenv("SIHLE_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot regenerate " << path;
+    out << expected;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden " << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string on_disk = ss.str();
+  EXPECT_EQ(on_disk, expected)
+      << "golden drift: rerun with SIHLE_REGEN_GOLDEN=1 and review the diff";
+  stats::McDocument parsed;
+  std::string error;
+  ASSERT_TRUE(stats::parse_mc_json(on_disk, parsed, &error)) << error;
+  EXPECT_EQ(parsed, synthetic_doc());
+}
+
+TEST(McSchema, RejectsMalformedDocuments) {
+  stats::McDocument doc;
+  std::string error;
+  EXPECT_FALSE(stats::parse_mc_json("not json", doc, &error));
+  EXPECT_FALSE(stats::parse_mc_json(
+      R"({"format":"sihle-mc","version":2,"counterexamples":[]})", doc,
+      &error));
+  EXPECT_NE(error.find("version"), std::string::npos);
+  EXPECT_FALSE(stats::parse_mc_json(
+      R"({"format":"other","version":1,"counterexamples":[]})", doc, &error));
+  EXPECT_FALSE(stats::parse_mc_json(
+      R"({"format":"sihle-mc","version":1})", doc, &error));
+}
+
+TEST(McSchema, EmptyDocumentRoundTrips) {
+  const stats::McDocument doc;
+  const std::string text = stats::export_mc_json(doc);
+  stats::McDocument parsed;
+  std::string error;
+  ASSERT_TRUE(stats::parse_mc_json(text, parsed, &error)) << error;
+  EXPECT_EQ(parsed, doc);
+}
+
+}  // namespace
+}  // namespace sihle

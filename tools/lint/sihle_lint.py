@@ -29,13 +29,25 @@ repo rules (documented in src/elision/policy.h and docs/ANALYSIS.md):
                              name table (elision/registry.h).  The dispatch
                              point, the compat shim, and the enums' defining
                              modules (src/elision, src/locks) are exempt.
+  R005  unlogged-choice      A nondeterminism source outside the simulator —
+                             direct sim::Rng construction, C rand()/srand(),
+                             std::random_device, <random> engines, or a
+                             time-based seed — is invisible to the bounded
+                             model checker.  Every scheduling-relevant
+                             decision must flow through the simulator's RNG
+                             or the choice-point API (sim/choice.h) so
+                             src/mc can reify and enumerate it.  The
+                             simulator and checker themselves (src/sim,
+                             src/mc) are exempt; anything else (e.g. a
+                             wall-clock perf gate) must carry an explicit
+                             suppression.
 
 Suppressions:
   // sihle-lint: disable=R001[,R002...]       this line or the next line
   // sihle-lint: disable-file=R002[,R003...]  whole file
 
 Usage:
-  sihle_lint.py [--rules=R001,R002,R003,R004] [--allow-dir=PATH ...] PATH...
+  sihle_lint.py [--rules=R001,...,R005] [--allow-dir=PATH ...] PATH...
 
 PATH arguments may be files or directories (searched recursively for
 .h/.cpp/.cc/.hpp).  Exit status is 1 if any finding is emitted, else 0.
@@ -49,16 +61,24 @@ import re
 import sys
 from dataclasses import dataclass
 
-ALL_RULES = ("R001", "R002", "R003", "R004")
+ALL_RULES = ("R001", "R002", "R003", "R004", "R005")
 
 # Directories whose files implement the simulated memory itself and may touch
 # raw cell state freely (relative to the repo root or any scanned root).
-DEFAULT_ALLOW_DIRS = ("src/mem", "src/htm", "src/sim", "src/analysis")
+# src/mc is the model checker: its history recorder and state fingerprints
+# read committed cell state by design.
+DEFAULT_ALLOW_DIRS = ("src/mem", "src/htm", "src/sim", "src/analysis",
+                      "src/mc")
 
 # Directories that legitimately own scheme/lock dispatch: the single dispatch
 # point plus the run_op compat shim (src/elision) and the LockKind enum's own
 # module (src/locks).  Exempt from R004.
 DISPATCH_ALLOW_DIRS = ("src/elision", "src/locks")
+
+# Directories that own nondeterminism: the simulator (whose seeded Rng is
+# the sanctioned randomness source) and the model checker (which reifies
+# decisions as choice points).  Exempt from R005.
+CHOICE_ALLOW_DIRS = ("src/sim", "src/mc")
 
 CPP_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
 
@@ -69,6 +89,19 @@ DISPATCH_SWITCH_RE = re.compile(
 TASK_DECL_RE = re.compile(r"\bTask<([^<>]*(?:<[^<>]*>)?[^<>]*)>\s+(\w+)\s*\(")
 CO_AWAIT_CALL_RE = re.compile(
     r"\bco_await\s+(?:[\w:]+(?:\.|->))*(\w+)\s*\(")
+# R005: nondeterminism sources that bypass the simulator's seeded Rng and
+# the choice-point API.  Each pattern pairs with a human-readable label.
+UNLOGGED_CHOICE_PATTERNS = (
+    (re.compile(r"\bs?rand\s*\("), "C library rand()/srand()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\b(?:minstd_rand0?|mt19937(?:_64)?|ranlux\w+|knuth_b)\b"),
+     "<random> engine"),
+    (re.compile(r"\b(?:steady_clock|system_clock|high_resolution_clock|"
+                r"clock)\s*::\s*now\b"),
+     "wall-clock time"),
+    (re.compile(r"\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)"),
+     "time()-based seed"),
+)
 SUPPRESS_LINE_RE = re.compile(r"//\s*sihle-lint:\s*disable=([\w,\s]+)")
 SUPPRESS_FILE_RE = re.compile(r"//\s*sihle-lint:\s*disable-file=([\w,\s]+)")
 # A function definition: identifier (with optional ~ for destructors),
@@ -322,8 +355,53 @@ def check_private_dispatch(path, stripped, findings):
             "(elision/registry.h)"))
 
 
+# Rng(seed) / Rng{seed} calls and Rng declarations (`Rng g{7};`, `Rng g;`).
+# References and pointers (`Rng& r`) are uses, not constructions.
+RNG_CONSTRUCT_RE = re.compile(
+    r"\b(?:sim\s*::\s*)?Rng\s*(?:(?=[({])|\s\w+\s*(?=[({;=]))")
+SEEDED_ARG_RE = re.compile(r"seed", re.IGNORECASE)
+
+
+def check_unlogged_choice(path, stripped, findings):
+    """R005: nondeterminism sources invisible to the model checker."""
+
+    def flag(pos, label):
+        findings.append(Finding(
+            path, line_of(stripped, pos), "R005",
+            f"{label} outside src/sim and src/mc is invisible to the "
+            "bounded model checker; route the decision through the "
+            "simulator's seeded Rng or the choice-point API "
+            "(sim/choice.h), or suppress with a justification"))
+
+    for pattern, label in UNLOGGED_CHOICE_PATTERNS:
+        for m in pattern.finditer(stripped):
+            flag(m.start(), label)
+    # Constructing an Rng from a *propagated* seed expression (anything
+    # mentioning "seed": cfg.seed, the replicate seed, seed ^ salt) is the
+    # sanctioned deterministic pattern.  Inventing one — default constructor,
+    # bare literal, or any seedless expression — creates a random stream the
+    # explorer can neither see nor replay.
+    for m in RNG_CONSTRUCT_RE.finditer(stripped):
+        end = m.end()
+        if end < len(stripped) and stripped[end] in "({":
+            open_ch = stripped[end]
+            close_ch = ")" if open_ch == "(" else "}"
+            depth, j = 0, end
+            while j < len(stripped):
+                if stripped[j] == open_ch:
+                    depth += 1
+                elif stripped[j] == close_ch:
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j += 1
+            if SEEDED_ARG_RE.search(stripped[end + 1:j]):
+                continue
+        flag(m.start(), "sim::Rng construction with an invented seed")
+
+
 def lint_source(path, text, registry, rules=ALL_RULES, allowed=False,
-                dispatch_allowed=False):
+                dispatch_allowed=False, choice_allowed=False):
     """Lints one file's contents; returns the surviving findings."""
     stripped = strip_comments_and_strings(text)
     file_disabled, line_disabled = collect_suppressions(text)
@@ -334,6 +412,8 @@ def lint_source(path, text, registry, rules=ALL_RULES, allowed=False,
         check_raw_access(path, stripped, findings)
     if "R004" in rules and not dispatch_allowed:
         check_private_dispatch(path, stripped, findings)
+    if "R005" in rules and not choice_allowed:
+        check_unlogged_choice(path, stripped, findings)
     return [
         f for f in findings
         if f.rule in rules
@@ -388,7 +468,8 @@ def main(argv=None) -> int:
         findings.extend(lint_source(
             f, text, registry, rules,
             allowed=is_allowlisted(f, allow_dirs),
-            dispatch_allowed=is_allowlisted(f, DISPATCH_ALLOW_DIRS)))
+            dispatch_allowed=is_allowlisted(f, DISPATCH_ALLOW_DIRS),
+            choice_allowed=is_allowlisted(f, CHOICE_ALLOW_DIRS)))
     for finding in findings:
         print(finding)
     if findings:

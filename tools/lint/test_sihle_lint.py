@@ -6,12 +6,12 @@ import sihle_lint as lint
 
 
 def run_lint(source, registry_sources=(), rules=lint.ALL_RULES, allowed=False,
-             dispatch_allowed=False):
+             dispatch_allowed=False, choice_allowed=False):
     stripped = [lint.strip_comments_and_strings(s)
                 for s in (source,) + tuple(registry_sources)]
     registry = lint.build_registry(stripped)
     return lint.lint_source("test.cpp", source, registry, rules, allowed,
-                            dispatch_allowed)
+                            dispatch_allowed, choice_allowed)
 
 
 TASK_DECLS = """
@@ -207,6 +207,71 @@ class R004Test(unittest.TestCase):
         src = ("sim::Task<void> f(Ctx& c) {\n"
                "  // sihle-lint: disable=R004 (legacy comparison harness)\n"
                "  co_await elision::run_op(s, c, lock, aux, body, st);\n}\n")
+        self.assertEqual(run_lint(src), [])
+
+
+class R005Test(unittest.TestCase):
+    def assert_r005(self, source, count):
+        findings = run_lint(source)
+        self.assertEqual([f.rule for f in findings], ["R005"] * count)
+
+    def test_flags_invented_seed_rng_construction(self):
+        self.assert_r005("void f() { auto g = sim::Rng(42); }\n", 1)
+        self.assert_r005("void f() { Rng g{7}; }\n", 1)
+        self.assert_r005("void f() { Rng g; }\n", 1)
+
+    def test_allows_seed_propagated_rng_construction(self):
+        self.assert_r005(
+            "void f(const Cfg& cfg) { sim::Rng r(cfg.seed ^ 0xF1); }\n", 0)
+        self.assert_r005(
+            "void f(std::uint64_t seed) { sim::Rng rng(seed); }\n", 0)
+        self.assert_r005("void f() { Rng g{next_seed()}; }\n", 0)
+
+    def test_flags_c_rand(self):
+        self.assert_r005("int f() { return rand() % 4; }\n", 1)
+        self.assert_r005("void f() { srand(1); }\n", 1)
+
+    def test_flags_random_device(self):
+        self.assert_r005("std::random_device rd;\n", 1)
+
+    def test_flags_std_random_engine(self):
+        self.assert_r005("std::mt19937 gen(1);\n", 1)
+        self.assert_r005("std::mt19937_64 gen(1);\n", 1)
+
+    def test_flags_time_based_seed(self):
+        self.assert_r005(
+            "auto s = std::chrono::steady_clock::now();\n", 1)
+        self.assert_r005("auto s = clock::now();\n", 1)
+        self.assert_r005("auto s = time(nullptr);\n", 1)
+
+    def test_allows_simulator_rng_use(self):
+        # Drawing from an already-seeded simulator Rng is the sanctioned
+        # path; only *construction* (fresh seeding) is a choice source.
+        self.assert_r005("void f(sim::Rng& r) { auto v = r.next(); }\n", 0)
+
+    def test_allows_time_point_types(self):
+        self.assert_r005("clock::time_point start;\n", 0)
+
+    def test_ignores_comments_and_strings(self):
+        self.assert_r005("// seeded via sim::Rng(seed)\n"
+                         'const char* s = "rand()";\n', 0)
+
+    def test_choice_allowlisted_file_is_exempt(self):
+        src = "void f() { auto g = sim::Rng(42); }\n"
+        self.assertEqual(run_lint(src, choice_allowed=True), [])
+
+    def test_allowlist_covers_sim_and_mc_dirs(self):
+        self.assertTrue(lint.is_allowlisted("src/sim/executor.cpp",
+                                            lint.CHOICE_ALLOW_DIRS))
+        self.assertTrue(lint.is_allowlisted("src/mc/explore.cpp",
+                                            lint.CHOICE_ALLOW_DIRS))
+        self.assertFalse(lint.is_allowlisted("src/elision/policy.h",
+                                             lint.CHOICE_ALLOW_DIRS))
+
+    def test_line_suppression_applies(self):
+        src = ("void f() {\n"
+               "  auto g = sim::Rng(42);  // sihle-lint: disable=R005\n"
+               "}\n")
         self.assertEqual(run_lint(src), [])
 
 
