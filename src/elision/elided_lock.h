@@ -14,7 +14,10 @@
 // BENCH_*.json baselines and the rng draw-order golden pin this.
 #pragma once
 
+#include <cassert>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "elision/policy.h"
@@ -49,6 +52,52 @@ class LockAdapter {
   virtual bool fair() const = 0;
   virtual const char* name() const = 0;
   virtual bool debug_locked() const = 0;
+
+  // --- Mode-aware surface (reader-writer lock family) ----------------------
+  //
+  // The default implementations serve only kExclusive, forwarding to the
+  // exclusive entry points above; LockModel overrides them with the wrapped
+  // lock's mode-taking methods when it has them (locks/rw.h).  Callers must
+  // gate non-exclusive use on supports_mode — run_cs does.
+  virtual bool supports_mode(locks::LockMode m) const {
+    return m == locks::LockMode::kExclusive;
+  }
+  virtual sim::Task<void> acquire(Ctx& c, locks::LockMode m) {
+    assert(m == locks::LockMode::kExclusive);
+    (void)m;
+    return acquire(c);
+  }
+  virtual sim::Task<void> release(Ctx& c, locks::LockMode m) {
+    assert(m == locks::LockMode::kExclusive);
+    (void)m;
+    return release(c);
+  }
+  virtual sim::Task<bool> try_acquire_once(Ctx& c, locks::LockMode m) {
+    assert(m == locks::LockMode::kExclusive);
+    (void)m;
+    return try_acquire_once(c);
+  }
+  virtual sim::Task<bool> is_locked(Ctx& c, locks::LockMode m) {
+    assert(m == locks::LockMode::kExclusive);
+    (void)m;
+    return is_locked(c);
+  }
+  virtual sim::Task<void> elided_acquire(Ctx& c, locks::LockMode m,
+                                         bool sleep_when_busy) {
+    assert(m == locks::LockMode::kExclusive);
+    (void)m;
+    return elided_acquire(c, sleep_when_busy);
+  }
+  virtual sim::Task<bool> wait_until_free(Ctx& c, locks::LockMode m) {
+    assert(m == locks::LockMode::kExclusive);
+    (void)m;
+    return wait_until_free(c);
+  }
+  virtual bool commit_subscribe(Ctx& c, locks::LockMode m) {
+    assert(m == locks::LockMode::kExclusive);
+    (void)m;
+    return commit_subscribe(c);
+  }
 };
 
 template <class Lock>
@@ -77,6 +126,66 @@ class LockModel final : public LockAdapter {
   bool debug_locked() const override { return impl_.debug_locked(); }
   Lock& impl() { return impl_; }
 
+  // Mode-taking forwarding, compiled in only for locks that have the
+  // mode-taking methods (the reader-writer family); everything else keeps
+  // the exclusive-only base behaviour.
+  static constexpr bool kModeCapable =
+      requires(Lock& l, Ctx& c) { l.acquire(c, locks::LockMode::kShared); };
+
+  bool supports_mode(locks::LockMode m) const override {
+    return kModeCapable || m == locks::LockMode::kExclusive;
+  }
+  sim::Task<void> acquire(Ctx& c, locks::LockMode m) override {
+    if constexpr (kModeCapable) {
+      return impl_.acquire(c, m);
+    } else {
+      return LockAdapter::acquire(c, m);
+    }
+  }
+  sim::Task<void> release(Ctx& c, locks::LockMode m) override {
+    if constexpr (kModeCapable) {
+      return impl_.release(c, m);
+    } else {
+      return LockAdapter::release(c, m);
+    }
+  }
+  sim::Task<bool> try_acquire_once(Ctx& c, locks::LockMode m) override {
+    if constexpr (kModeCapable) {
+      return impl_.try_acquire_once(c, m);
+    } else {
+      return LockAdapter::try_acquire_once(c, m);
+    }
+  }
+  sim::Task<bool> is_locked(Ctx& c, locks::LockMode m) override {
+    if constexpr (kModeCapable) {
+      return impl_.is_locked(c, m);
+    } else {
+      return LockAdapter::is_locked(c, m);
+    }
+  }
+  sim::Task<void> elided_acquire(Ctx& c, locks::LockMode m,
+                                 bool sleep_when_busy) override {
+    if constexpr (kModeCapable) {
+      return impl_.elided_acquire(c, m, sleep_when_busy);
+    } else {
+      return LockAdapter::elided_acquire(c, m, sleep_when_busy);
+    }
+  }
+  sim::Task<bool> wait_until_free(Ctx& c, locks::LockMode m) override {
+    if constexpr (kModeCapable) {
+      return impl_.wait_until_free(c, m);
+    } else {
+      return LockAdapter::wait_until_free(c, m);
+    }
+  }
+  bool commit_subscribe(Ctx& c, locks::LockMode m) override {
+    if constexpr (kModeCapable) {
+      return impl_.commit_subscribe(c, m);
+    } else {
+      return LockAdapter::commit_subscribe(c, m);
+    }
+  }
+
  private:
   Lock impl_;
 };
@@ -103,9 +212,55 @@ inline std::unique_ptr<LockAdapter> make_lock_adapter(runtime::Machine& m,
       return std::make_unique<LockModel<locks::ElidableCLHLock>>(m);
     case locks::LockKind::kElidableAnderson:
       return std::make_unique<LockModel<locks::ElidableAndersonLock>>(m);
+    case locks::LockKind::kRw:
+      return std::make_unique<LockModel<locks::RwLock>>(m);
+    case locks::LockKind::kRwWp:
+      return std::make_unique<LockModel<locks::RwWpLock>>(m);
   }
   return nullptr;
 }
+
+// Binds an access mode to a mode-capable adapter: every exclusive-signature
+// call forwards to the inner adapter's mode-taking entry point, so the
+// policy runners (run_hle, run_slr, run_scm, ...) execute unchanged over a
+// shared- or update-mode acquisition.  Like LockModel, the forwarders are
+// not coroutines — no frame is added, schedules stay event-identical.
+class ModeBound final : public LockAdapter {
+ public:
+  ModeBound(LockAdapter& inner, locks::LockMode mode)
+      : inner_(inner), mode_(mode) {}
+
+  sim::Task<void> acquire(Ctx& c) override { return inner_.acquire(c, mode_); }
+  sim::Task<void> release(Ctx& c) override { return inner_.release(c, mode_); }
+  sim::Task<bool> try_acquire_once(Ctx& c) override {
+    return inner_.try_acquire_once(c, mode_);
+  }
+  sim::Task<bool> is_locked(Ctx& c) override {
+    return inner_.is_locked(c, mode_);
+  }
+  sim::Task<void> elided_acquire(Ctx& c, bool sleep_when_busy = true) override {
+    return inner_.elided_acquire(c, mode_, sleep_when_busy);
+  }
+  sim::Task<bool> wait_until_free(Ctx& c) override {
+    return inner_.wait_until_free(c, mode_);
+  }
+  bool commit_subscribe(Ctx& c) override {
+    return inner_.commit_subscribe(c, mode_);
+  }
+  const void* lock_id() const override { return inner_.lock_id(); }
+  bool hle_arrival_waits() const override { return inner_.hle_arrival_waits(); }
+  bool fair() const override { return inner_.fair(); }
+  const char* name() const override { return inner_.name(); }
+  bool debug_locked() const override { return inner_.debug_locked(); }
+  bool supports_mode(locks::LockMode m) const override {
+    return inner_.supports_mode(m);
+  }
+  locks::LockMode mode() const { return mode_; }
+
+ private:
+  LockAdapter& inner_;
+  locks::LockMode mode_;
+};
 
 // One elidable critical-section lock: the main lock, the SCM auxiliary
 // lock (constructed unconditionally, like the historical drivers did, so
@@ -142,13 +297,42 @@ inline ElidedLock make_elided_lock(runtime::Machine& m, locks::LockKind kind,
   return ElidedLock(m, kind, p.conflict.aux);
 }
 
-// Executes `body` as one critical section of `lock` under `policy`.  Not a
-// coroutine: forwards to the run_policy interpreter, so no frame is added.
+namespace detail {
+
+// Non-exclusive path: a coroutine so the ModeBound view lives in its frame
+// for the whole critical section.
+template <class Body>
+sim::Task<void> run_cs_mode(Policy policy, Ctx& c, ElidedLock& lock, Body body,
+                            stats::OpStats& st) {
+  ModeBound main(lock.main(), policy.mode);
+  co_await run_policy(policy, c, main, lock.aux(), std::move(body), st,
+                      &lock.adapt());
+}
+
+}  // namespace detail
+
+// Executes `body` as one critical section of `lock` under `policy`.  For
+// the exclusive mode — every canonical policy — this is not a coroutine: it
+// forwards to the run_policy interpreter, so no frame is added and the
+// committed baselines are untouched.  Non-exclusive modes bind the mode via
+// a ModeBound view; a lock without shared/update support throws (the mode
+// axis and the lock axis are configured independently, so the mismatch is
+// only detectable here).  The throw happens eagerly, before any coroutine
+// frame exists.
 template <class Body>
 sim::Task<void> run_cs(const Policy& policy, Ctx& c, ElidedLock& lock,
                        Body body, stats::OpStats& st) {
-  return run_policy(policy, c, lock.main(), lock.aux(), std::move(body), st,
-                    &lock.adapt());
+  if (policy.mode == locks::LockMode::kExclusive) {
+    return run_policy(policy, c, lock.main(), lock.aux(), std::move(body), st,
+                      &lock.adapt());
+  }
+  if (!lock.main().supports_mode(policy.mode)) {
+    throw std::invalid_argument(
+        std::string("run_cs: lock '") + lock.main().name() +
+        "' does not support mode=" + locks::to_string(policy.mode) +
+        " (reader-writer locks only: rw, rw-wp)");
+  }
+  return detail::run_cs_mode(policy, c, lock, std::move(body), st);
 }
 
 }  // namespace sihle::elision

@@ -234,6 +234,11 @@ struct Policy {
   // canonical schemes use kLazy — the paper's Figure 5 — so canonical
   // policy equality and behavior are unchanged.
   SubscribeKind subscribe = SubscribeKind::kLazy;
+  // Lock access mode (registry key `mode=`).  Non-exclusive modes require a
+  // reader-writer lock (locks::supports_mode); run_cs validates at the
+  // dispatch point.  The canonical schemes are kExclusive, so canonical
+  // policy equality — and every committed baseline — is unchanged.
+  locks::LockMode mode = locks::LockMode::kExclusive;
 
   constexpr Policy() = default;
   // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit
@@ -679,10 +684,19 @@ sim::Task<void> run_policy(Policy p, Ctx& c, Lock& lock, AuxLock& aux,
       co_await run_standard(c, lock, std::move(body), st);
       break;
     case AttemptFlavor::kHle:
-      if (p.conflict.kind == ConflictKind::kScmAux) {
+      // SCM's auxiliary lock serializes only writers: shared-mode (reader)
+      // critical sections never enter the aux path — they run the retry
+      // policy with a full shared acquire as the fallback, so a storm of
+      // aborted readers re-elides instead of convoying behind the aux.
+      if (p.conflict.kind == ConflictKind::kScmAux &&
+          p.mode != locks::LockMode::kShared) {
         co_await run_scm(c, lock, aux, std::move(body), st, ScmFlavor::kHle,
                          p.retry.max_attempts, p.conflict.honor_retry_bit_hle,
                          p.retry.backoff);
+      } else if (p.conflict.kind == ConflictKind::kScmAux) {
+        co_await run_hle(c, lock, std::move(body), st, p.retry.max_attempts,
+                         /*full_acquire_fallback=*/true,
+                         p.conflict.honor_retry_bit_hle, p.retry.backoff);
       } else {
         co_await run_hle(c, lock, std::move(body), st, p.retry.max_attempts,
                          p.fallback == FallbackKind::kFullAcquire,
@@ -690,10 +704,17 @@ sim::Task<void> run_policy(Policy p, Ctx& c, Lock& lock, AuxLock& aux,
       }
       break;
     case AttemptFlavor::kSlr:
-      if (p.conflict.kind == ConflictKind::kScmAux) {
+      if (p.conflict.kind == ConflictKind::kScmAux &&
+          p.mode != locks::LockMode::kShared) {
         co_await run_scm(c, lock, aux, std::move(body), st, ScmFlavor::kSlr,
                          p.retry.max_attempts, p.conflict.honor_retry_bit_hle,
                          p.retry.backoff, p.subscribe);
+      } else if (p.conflict.kind == ConflictKind::kScmAux) {
+        // Shared-mode SLR-SCM: readers skip the aux (writers-only), keep
+        // the SLR retry/fallback policy including the subscription kind.
+        co_await run_slr(c, lock, std::move(body), st, p.retry.max_attempts,
+                         /*honor_retry_bit=*/true, p.retry.backoff,
+                         p.subscribe);
       } else {
         co_await run_slr(c, lock, std::move(body), st, p.retry.max_attempts,
                          p.retry.honor_retry_bit, p.retry.backoff, p.subscribe);

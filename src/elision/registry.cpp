@@ -28,6 +28,8 @@ constexpr LockRow kLockRows[] = {
     {locks::LockKind::kElidableTicket, "eticket"},
     {locks::LockKind::kElidableClh, "eclh"},
     {locks::LockKind::kElidableAnderson, "eanderson"},
+    {locks::LockKind::kRw, "rw"},
+    {locks::LockKind::kRwWp, "rw-wp"},
 };
 
 bool iequals(std::string_view a, std::string_view b) {
@@ -81,19 +83,231 @@ std::string lock_key_list() {
   return out;
 }
 
-// The keys valid for a given base scheme, for unknown-key errors.
-std::string valid_keys_for(const Policy& p) {
-  if (p.flavor == AttemptFlavor::kAdaptiveHle) return "tries, skip";
-  if (p.conflict.kind == ConflictKind::kScmAux) {
-    return p.flavor == AttemptFlavor::kHle
-               ? "retries, backoff, aux, retry-bit"
-               : "retries, backoff, aux, subscribe";
+// --- The parameter registration table ---------------------------------------
+//
+// One row per grammar key.  parse_policy's applicability checks, the
+// unknown-key error's valid-keys list, and scheme_help()'s grammar section
+// all read this table, so grammar and help cannot drift apart.
+
+struct ParamRow {
+  const char* key;
+  const char* syntax;   // help syntax, e.g. "retries=<1..1000>"
+  const char* example;  // a valid fragment, e.g. "retries=5" (sync test)
+  const char* summary;
+  // Whether the key applies to policies derived from this base scheme.
+  bool (*applies)(const Policy& base);
+  // Value parser: mutates `p`, or sets `err` and returns false.
+  bool (*apply)(Policy& p, std::string_view value, std::string& err);
+  // Optional custom inapplicability message; null uses the generic
+  // "'key' does not apply to scheme 'name'; valid keys: ..." text.
+  std::string (*why_not)(const Policy& base, const char* scheme_key);
+};
+
+bool apply_retries(Policy& p, std::string_view value, std::string& err) {
+  long v = 0;
+  if (!parse_long(value, v) || v < kRetriesMin || v > kRetriesMax) {
+    err = "retries=" + std::string(value) + " out of range [" +
+          std::to_string(kRetriesMin) + ", " + std::to_string(kRetriesMax) +
+          "]";
+    return false;
   }
-  if (p.flavor == AttemptFlavor::kSlr) {
-    return "retries, backoff, retry-bit, subscribe";
+  p.retry.max_attempts = static_cast<int>(v);
+  return true;
+}
+
+bool apply_backoff(Policy& p, std::string_view value, std::string& err) {
+  if (value == "none") {
+    p.retry.backoff.kind = BackoffKind::kNone;
+  } else if (value == "exp") {
+    p.retry.backoff.kind = BackoffKind::kExp;
+  } else {
+    err = "backoff=" + std::string(value) +
+          " is not a backoff kind (expected none|exp)";
+    return false;
   }
-  if (has_retry_budget(p)) return "retries, backoff, retry-bit";
-  return "(none)";
+  return true;
+}
+
+bool apply_aux(Policy& p, std::string_view value, std::string& err) {
+  std::string lock_err;
+  const auto kind = parse_lock_kind(value, &lock_err);
+  if (!kind) {
+    err = "aux=" + std::string(value) + ": " + lock_err;
+    return false;
+  }
+  p.conflict.aux = *kind;
+  return true;
+}
+
+bool apply_retry_bit(Policy& p, std::string_view value, std::string& err) {
+  bool on = false;
+  if (value == "on") {
+    on = true;
+  } else if (value != "off") {
+    err = "retry-bit=" + std::string(value) + " (expected on|off)";
+    return false;
+  }
+  if (p.flavor == AttemptFlavor::kHle &&
+      p.conflict.kind == ConflictKind::kScmAux) {
+    p.conflict.honor_retry_bit_hle = on;
+  } else {
+    p.retry.honor_retry_bit = on;
+  }
+  return true;
+}
+
+bool apply_subscribe(Policy& p, std::string_view value, std::string& err) {
+  if (value == "lazy") {
+    p.subscribe = SubscribeKind::kLazy;
+  } else if (value == "commit-checked") {
+    p.subscribe = SubscribeKind::kCommitChecked;
+  } else {
+    err = "subscribe=" + std::string(value) +
+          " is not a subscription kind (expected lazy|commit-checked)";
+    return false;
+  }
+  return true;
+}
+
+bool apply_mode(Policy& p, std::string_view value, std::string& err) {
+  if (value == "exclusive") {
+    p.mode = locks::LockMode::kExclusive;
+  } else if (value == "shared") {
+    p.mode = locks::LockMode::kShared;
+  } else if (value == "update") {
+    p.mode = locks::LockMode::kUpdate;
+  } else {
+    err = "mode=" + std::string(value) +
+          " is not an access mode (expected exclusive|shared|update)";
+    return false;
+  }
+  return true;
+}
+
+bool apply_tries_or_skip(Policy& p, const char* key, std::string_view value,
+                         std::string& err) {
+  long v = 0;
+  const bool tries = std::string_view(key) == "tries";
+  const long lo = tries ? kTriesMin : kSkipMin;
+  const long hi = tries ? kTriesMax : kSkipMax;
+  if (!parse_long(value, v) || v < lo || v > hi) {
+    err = std::string(key) + "=" + std::string(value) + " out of range [" +
+          std::to_string(lo) + ", " + std::to_string(hi) + "]";
+    return false;
+  }
+  (tries ? p.adaptive.tries : p.adaptive.skip) = static_cast<int>(v);
+  return true;
+}
+
+bool applies_retry_budget(const Policy& base) { return has_retry_budget(base); }
+bool applies_aux(const Policy& base) {
+  return base.conflict.kind == ConflictKind::kScmAux;
+}
+bool applies_retry_bit(const Policy& base) {
+  // slr-scm is excluded: the SLR flavor under SCM always honors the bit.
+  if (base.flavor == AttemptFlavor::kSlr &&
+      base.conflict.kind == ConflictKind::kScmAux) {
+    return false;
+  }
+  return has_retry_budget(base);
+}
+bool applies_subscribe(const Policy& base) {
+  return base.flavor == AttemptFlavor::kSlr;
+}
+bool applies_mode(const Policy& base) {
+  // Every locking flavor takes a mode; nolock has no lock to mode and the
+  // adaptive flavor is kept exclusive-only (glibc's policy has no
+  // reader-writer semantics to mirror).
+  return base.flavor != AttemptFlavor::kNoLock &&
+         base.flavor != AttemptFlavor::kAdaptiveHle;
+}
+bool applies_adaptive(const Policy& base) {
+  return base.flavor == AttemptFlavor::kAdaptiveHle;
+}
+
+std::string why_not_aux(const Policy&, const char* scheme_key) {
+  return "'aux' only applies to the SCM schemes (hle-scm, slr-scm), not '" +
+         std::string(scheme_key) + "'";
+}
+std::string why_not_retry_bit(const Policy& base, const char* scheme_key) {
+  if (base.flavor == AttemptFlavor::kSlr &&
+      base.conflict.kind == ConflictKind::kScmAux) {
+    return "'retry-bit' is fixed for slr-scm (the SLR flavor always honors "
+           "the no-retry hint)";
+  }
+  (void)scheme_key;
+  return {};  // generic text
+}
+std::string why_not_subscribe(const Policy&, const char* scheme_key) {
+  return "'subscribe' only applies to the SLR schemes (slr, slr-scm), not '" +
+         std::string(scheme_key) + "'";
+}
+std::string why_not_adaptive(const Policy&, const char* scheme_key) {
+  return std::string("only applies to scheme 'adaptive', not '") + scheme_key +
+         "'";
+}
+
+const ParamRow kParamRows[] = {
+    {"retries", "retries=<1..1000>", "retries=5",
+     "attempt budget before fallback", applies_retry_budget, apply_retries,
+     nullptr},
+    {"backoff", "backoff=none|exp", "backoff=exp",
+     "delay between speculative retries", applies_retry_budget, apply_backoff,
+     nullptr},
+    {"aux", "aux=<lock>", "aux=ticket", "SCM auxiliary lock", applies_aux,
+     apply_aux, why_not_aux},
+    {"retry-bit", "retry-bit=on|off", "retry-bit=on",
+     "honor the hardware no-retry hint", applies_retry_bit, apply_retry_bit,
+     why_not_retry_bit},
+    {"subscribe", "subscribe=lazy|commit-checked", "subscribe=commit-checked",
+     "SLR lock subscription: lazy end-of-body check vs. Dice et al.'s "
+     "commit-time enforcement",
+     applies_subscribe, apply_subscribe, why_not_subscribe},
+    {"mode", "mode=exclusive|shared|update", "mode=shared",
+     "lock access mode; shared/update need a reader-writer lock (rw, rw-wp)",
+     applies_mode, apply_mode, nullptr},
+    {"tries", "tries=<1..100>", "tries=2", "adaptive: elision attempts",
+     applies_adaptive,
+     [](Policy& p, std::string_view v, std::string& e) {
+       return apply_tries_or_skip(p, "tries", v, e);
+     },
+     why_not_adaptive},
+    {"skip", "skip=<0..1000>", "skip=10",
+     "adaptive: skip window after misbehavior", applies_adaptive,
+     [](Policy& p, std::string_view v, std::string& e) {
+       return apply_tries_or_skip(p, "skip", v, e);
+     },
+     why_not_adaptive},
+};
+
+const ParamRow* find_param(std::string_view key) {
+  for (const ParamRow& r : kParamRows) {
+    if (key == r.key) return &r;
+  }
+  return nullptr;
+}
+
+// The keys valid for a given base scheme, for unknown-key errors; derived
+// from the registration table so the list tracks the grammar.
+std::string valid_keys_for(const Policy& base) {
+  std::string out;
+  for (const ParamRow& r : kParamRows) {
+    if (!r.applies(base)) continue;
+    if (!out.empty()) out += ", ";
+    out += r.key;
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+// The scheme keys a parameter applies to, for the help text.
+std::string applicable_schemes(const ParamRow& row) {
+  std::string out;
+  for (const SchemeRow& r : kSchemeRows) {
+    if (!row.applies(policy_for(r.scheme))) continue;
+    if (!out.empty()) out += ", ";
+    out += r.key;
+  }
+  return out;
 }
 
 }  // namespace
@@ -125,6 +339,25 @@ const char* lock_key(locks::LockKind k) {
   return "?";
 }
 
+std::vector<ParamInfo> registered_params() {
+  std::vector<ParamInfo> out;
+  for (const ParamRow& r : kParamRows) {
+    out.push_back({r.key, r.syntax, r.example, r.summary});
+  }
+  return out;
+}
+
+bool param_applies(std::string_view key, const Policy& base) {
+  const ParamRow* row = find_param(key);
+  return row != nullptr && row->applies(base);
+}
+
+std::vector<const char*> registered_lock_keys() {
+  std::vector<const char*> out;
+  for (const LockRow& r : kLockRows) out.push_back(r.key);
+  return out;
+}
+
 std::optional<Policy> parse_policy(std::string_view spec, std::string* error) {
   const std::size_t colon = spec.find(':');
   const std::string_view name =
@@ -136,6 +369,7 @@ std::optional<Policy> parse_policy(std::string_view spec, std::string* error) {
     return std::nullopt;
   }
   Policy p = policy_for(*scheme);
+  const Policy base = p;  // applicability is a property of the base scheme
   const SchemeRow& row = scheme_row(*scheme);
   if (colon == std::string_view::npos) return p;
 
@@ -176,115 +410,28 @@ std::optional<Policy> parse_policy(std::string_view spec, std::string* error) {
     }
     seen += (seen.empty() ? "" : ",") + key;
 
-    if (key == "retries") {
-      if (!has_retry_budget(p)) {
-        set_error(error, "'retries' does not apply to scheme '" +
-                             std::string(row.key) + "'; valid keys: " +
-                             valid_keys_for(p));
-        return std::nullopt;
-      }
-      long v = 0;
-      if (!parse_long(value, v) || v < kRetriesMin || v > kRetriesMax) {
-        set_error(error, "retries=" + std::string(value) +
-                             " out of range [" + std::to_string(kRetriesMin) +
-                             ", " + std::to_string(kRetriesMax) + "]");
-        return std::nullopt;
-      }
-      p.retry.max_attempts = static_cast<int>(v);
-    } else if (key == "backoff") {
-      if (!has_retry_budget(p)) {
-        set_error(error, "'backoff' does not apply to scheme '" +
-                             std::string(row.key) + "'; valid keys: " +
-                             valid_keys_for(p));
-        return std::nullopt;
-      }
-      if (value == "none") {
-        p.retry.backoff.kind = BackoffKind::kNone;
-      } else if (value == "exp") {
-        p.retry.backoff.kind = BackoffKind::kExp;
-      } else {
-        set_error(error, "backoff=" + std::string(value) +
-                             " is not a backoff kind (expected none|exp)");
-        return std::nullopt;
-      }
-    } else if (key == "aux") {
-      if (p.conflict.kind != ConflictKind::kScmAux) {
-        set_error(error, "'aux' only applies to the SCM schemes (hle-scm, "
-                         "slr-scm), not '" +
-                             std::string(row.key) + "'");
-        return std::nullopt;
-      }
-      std::string lock_err;
-      const auto kind = parse_lock_kind(value, &lock_err);
-      if (!kind) {
-        set_error(error, "aux=" + std::string(value) + ": " + lock_err);
-        return std::nullopt;
-      }
-      p.conflict.aux = *kind;
-    } else if (key == "retry-bit") {
-      bool on = false;
-      if (value == "on") {
-        on = true;
-      } else if (value != "off") {
-        set_error(error, "retry-bit=" + std::string(value) +
-                             " (expected on|off)");
-        return std::nullopt;
-      }
-      if (p.flavor == AttemptFlavor::kHle &&
-          p.conflict.kind == ConflictKind::kScmAux) {
-        p.conflict.honor_retry_bit_hle = on;
-      } else if (p.flavor == AttemptFlavor::kSlr &&
-                 p.conflict.kind == ConflictKind::kScmAux) {
-        set_error(error, "'retry-bit' is fixed for slr-scm (the SLR flavor "
-                         "always honors the no-retry hint)");
-        return std::nullopt;
-      } else if (has_retry_budget(p)) {
-        p.retry.honor_retry_bit = on;
-      } else {
-        set_error(error, "'retry-bit' does not apply to scheme '" +
-                             std::string(row.key) + "'; valid keys: " +
-                             valid_keys_for(p));
-        return std::nullopt;
-      }
-    } else if (key == "subscribe") {
-      if (p.flavor != AttemptFlavor::kSlr) {
-        set_error(error, "'subscribe' only applies to the SLR schemes (slr, "
-                         "slr-scm), not '" +
-                             std::string(row.key) + "'");
-        return std::nullopt;
-      }
-      if (value == "lazy") {
-        p.subscribe = SubscribeKind::kLazy;
-      } else if (value == "commit-checked") {
-        p.subscribe = SubscribeKind::kCommitChecked;
-      } else {
-        set_error(error, "subscribe=" + std::string(value) +
-                             " is not a subscription kind (expected "
-                             "lazy|commit-checked)");
-        return std::nullopt;
-      }
-    } else if (key == "tries" || key == "skip") {
-      if (p.flavor != AttemptFlavor::kAdaptiveHle) {
-        set_error(error, "'" + key + "' only applies to scheme 'adaptive', "
-                         "not '" +
-                             std::string(row.key) + "'");
-        return std::nullopt;
-      }
-      long v = 0;
-      const long lo = key == "tries" ? kTriesMin : kSkipMin;
-      const long hi = key == "tries" ? kTriesMax : kSkipMax;
-      if (!parse_long(value, v) || v < lo || v > hi) {
-        set_error(error, key + "=" + std::string(value) + " out of range [" +
-                             std::to_string(lo) + ", " + std::to_string(hi) +
-                             "]");
-        return std::nullopt;
-      }
-      (key == "tries" ? p.adaptive.tries : p.adaptive.skip) =
-          static_cast<int>(v);
-    } else {
+    const ParamRow* param = find_param(key);
+    if (param == nullptr) {
       set_error(error, "unknown key '" + key + "' for scheme '" +
                            std::string(row.key) + "'; valid keys: " +
-                           valid_keys_for(p) + "\n" + scheme_help());
+                           valid_keys_for(base) + "\n" + scheme_help());
+      return std::nullopt;
+    }
+    if (!param->applies(base)) {
+      std::string msg;
+      if (param->why_not != nullptr) msg = param->why_not(base, row.key);
+      if (msg.empty()) {
+        msg = "'" + key + "' does not apply to scheme '" +
+              std::string(row.key) + "'; valid keys: " + valid_keys_for(base);
+      } else if (msg.find(key) == std::string::npos) {
+        msg = "'" + key + "' " + msg;
+      }
+      set_error(error, std::move(msg));
+      return std::nullopt;
+    }
+    std::string err;
+    if (!param->apply(p, value, err)) {
+      set_error(error, std::move(err));
       return std::nullopt;
     }
   }
@@ -338,6 +485,9 @@ std::string policy_spec(const Policy& p) {
     emit(p.subscribe == SubscribeKind::kCommitChecked ? "subscribe=commit-checked"
                                                       : "subscribe=lazy");
   }
+  if (p.mode != bp.mode) {
+    emit(std::string("mode=") + locks::to_string(p.mode));
+  }
   if (p.adaptive.tries != bp.adaptive.tries) {
     emit("tries=" + std::to_string(p.adaptive.tries));
   }
@@ -353,23 +503,26 @@ std::string policy_label(const Policy& p) {
 }
 
 std::string scheme_help() {
-  return "valid schemes: " + scheme_key_list() +
-         "\n"
-         "parameterized specs: name:key=value[,key=value...]\n"
-         "  retries=<1..1000>  attempt budget before fallback (hle, "
-         "hle-retries, hle-scm, slr, slr-scm)\n"
-         "  backoff=none|exp   delay between speculative retries (same "
-         "schemes)\n"
-         "  aux=<lock>         SCM auxiliary lock (hle-scm, slr-scm): " +
-         lock_key_list() +
-         "\n"
-         "  retry-bit=on|off   honor the hardware no-retry hint (hle, "
-         "hle-retries, slr, hle-scm)\n"
-         "  subscribe=lazy|commit-checked  SLR lock subscription (slr, "
-         "slr-scm): lazy end-of-body check vs. Dice et al.'s commit-time "
-         "enforcement\n"
-         "  tries=<1..100>, skip=<0..1000>  adaptive tuning\n"
-         "examples: hle-scm:aux=ticket,retries=5  slr:retries=20,backoff=exp";
+  std::string out = "valid schemes: " + scheme_key_list() +
+                    "\n"
+                    "parameterized specs: name:key=value[,key=value...]\n";
+  for (const ParamRow& r : kParamRows) {
+    out += "  ";
+    out += r.syntax;
+    // Pad the syntax column for readability.
+    constexpr std::size_t kCol = 32;
+    const std::size_t w = std::string_view(r.syntax).size();
+    out.append(w < kCol ? kCol - w : 1, ' ');
+    out += r.summary;
+    if (std::string_view(r.key) == "aux") {
+      out += ": " + lock_key_list();
+    }
+    out += " (" + applicable_schemes(r) + ")\n";
+  }
+  out +=
+      "examples: hle-scm:aux=ticket,retries=5  slr:retries=20,backoff=exp  "
+      "hle:mode=shared";
+  return out;
 }
 
 std::string lock_help() {

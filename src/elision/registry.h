@@ -12,21 +12,31 @@
 //              backoff=none|exp      delay between speculative retries
 //              aux=<lock name>       SCM auxiliary lock (SCM schemes only)
 //              retry-bit=on|off      honor the hardware no-retry hint
-//              tries=<1..100>        adaptive: elision attempts
-//              skip=<0..1000>        adaptive: skip window after misbehavior
 //              subscribe=lazy|commit-checked
 //                                    SLR lock subscription timing (slr,
 //                                    slr-scm only; docs/VERIFICATION.md)
+//              mode=exclusive|shared|update
+//                                    lock access mode; shared/update
+//                                    require a reader-writer lock (rw,
+//                                    rw-wp)
+//              tries=<1..100>        adaptive: elision attempts
+//              skip=<0..1000>        adaptive: skip window after misbehavior
 //
-// Examples: "hle-scm:aux=ticket,retries=5", "slr:retries=20,backoff=exp".
+// Examples: "hle-scm:aux=ticket,retries=5", "slr:retries=20,backoff=exp",
+// "hle:mode=shared", "slr:mode=shared,subscribe=commit-checked".
 //
 // Canonical names parse to exactly policy_for(scheme), so the canonical
-// axis labels, table headers, and result schemas are unchanged.
+// axis labels, table headers, and result schemas are unchanged.  The
+// parameter grammar, the scheme_help()/lock_help() text, and the
+// unknown-key error lists are all generated from one registration table
+// (registered_params), so they cannot drift apart — pinned by
+// tests/registry_test.cpp's help-grammar sync test.
 #pragma once
 
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "elision/policy.h"
 #include "locks/locks.h"
@@ -61,10 +71,35 @@ std::string policy_spec(const Policy& p);
 std::string policy_label(const Policy& p);
 
 // One-paragraph help text listing registered scheme names and the
-// parameter grammar; appended to unknown-name errors.
+// parameter grammar; appended to unknown-name errors.  Generated from the
+// same registration table parse_policy consults, so new keys, schemes, and
+// lock names appear automatically.
 std::string scheme_help();
 
-// One-line help text listing registered lock names.
+// One-line help text listing registered lock names (from the same table
+// parse_lock_kind matches against).
 std::string lock_help();
+
+// --- Grammar introspection (help/grammar sync tests) ------------------------
+
+// One registered spec parameter, as listed in scheme_help().
+struct ParamInfo {
+  const char* key;      // parse key ("retries", "mode", ...)
+  const char* syntax;   // help syntax ("retries=<1..1000>")
+  const char* example;  // a valid fragment ("retries=5") for probe parses
+  const char* summary;  // one-line description
+};
+
+// Every registered parameter, in help order.
+std::vector<ParamInfo> registered_params();
+
+// Whether parameter `key` applies to policies derived from `base` (the
+// canonical policy of a spec's scheme name).  False for unknown keys.
+// parse_policy accepts "name:key=<valid value>" exactly when this is true
+// for policy_for(name) — the property the help-sync test pins.
+bool param_applies(std::string_view key, const Policy& base);
+
+// Every registered lock-kind parse key, in help order.
+std::vector<const char*> registered_lock_keys();
 
 }  // namespace sihle::elision

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "ds/hashtable.h"
@@ -23,6 +25,7 @@ struct SharedState {
   int update_pct;
   sim::Cycles duration;
   elision::Policy policy;
+  elision::Policy read_policy;  // lookups; == policy unless cfg.read_scheme
   stats::SliceRecorder* slices;  // may be null
 };
 
@@ -62,7 +65,7 @@ sim::Task<void> worker(Ctx& c, DS& ds, elision::ElidedLock& lock,
           [&ds, key](Ctx& cc) { return op_erase(cc, ds, key); }, st);
     } else {
       co_await elision::run_cs(
-          ss.policy, c, lock,
+          ss.read_policy, c, lock,
           [&ds, key](Ctx& cc) { return op_lookup(cc, ds, key); }, st);
     }
     lat.record(c.now() - op_start);
@@ -100,6 +103,17 @@ bool validate(const ds::SkipList& t) { return t.debug_validate(); }
 
 template <class DS>
 WorkloadResult run_impl(const WorkloadConfig& cfg) {
+  // Fail before simulating rather than from inside a worker coroutine: a
+  // shared/update-mode policy needs a reader-writer main lock.
+  for (const elision::Policy* p :
+       {&cfg.scheme, cfg.read_scheme ? &*cfg.read_scheme : &cfg.scheme}) {
+    if (!locks::supports_mode(cfg.lock, p->mode)) {
+      throw std::invalid_argument(
+          std::string("workload: lock '") + to_string(cfg.lock) +
+          "' does not support mode=" + locks::to_string(p->mode) +
+          " (reader-writer locks only: rw, rw-wp)");
+    }
+  }
   Machine::Config mc;
   mc.seed = cfg.seed;
   mc.htm.spurious_abort_per_access = cfg.spurious;
@@ -136,7 +150,7 @@ WorkloadResult run_impl(const WorkloadConfig& cfg) {
   }
 
   SharedState ss{domain, cfg.update_pct, cfg.duration, cfg.scheme,
-                 out.slices.get()};
+                 cfg.read_scheme.value_or(cfg.scheme), out.slices.get()};
 
   std::vector<stats::OpStats> per_thread(cfg.threads);
   std::vector<stats::LatencyHistogram> per_thread_lat(cfg.threads);

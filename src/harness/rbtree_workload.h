@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 
 #include "analysis/config.h"
 #include "elision/policy.h"
@@ -52,6 +53,11 @@ struct WorkloadConfig {
   // Any elision policy; canonical Schemes convert implicitly.  The SCM
   // auxiliary lock kind rides along in scheme.conflict.aux.
   elision::Policy scheme = elision::Scheme::kStandard;
+  // Read-mostly family: when set, lookup operations run under this policy
+  // instead of `scheme` (e.g. "hle:mode=shared" over an rw lock so readers
+  // elide concurrently while inserts/erases stay exclusive).  Unset keeps
+  // the historical one-policy behavior byte-identical.
+  std::optional<elision::Policy> read_scheme;
   locks::LockKind lock = locks::LockKind::kTtas;
   DsKind ds = DsKind::kRbTree;
   double spurious = kDefaultSpurious;

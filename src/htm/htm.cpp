@@ -26,6 +26,7 @@ void Htm::begin(std::uint32_t tid, sim::Rng& rng) {
   t.observations.clear();
   t.sub_armed = false;
   t.sub_cell = nullptr;
+  t.sub_mask = ~std::uint64_t{0};
   ++active_count_;
   if (observer_) observer_->on_tx_begin(tid);
 }
@@ -211,7 +212,7 @@ AbortStatus Htm::commit(std::uint32_t tid, std::vector<mem::Line>& published) {
     }
     doom_conflictors(tid, sub_st, /*is_write=*/false, t.sub_cell->line());
     if (t.doomed) return t.doom_status;
-    if (t.sub_cell->raw() != t.sub_free) {
+    if ((t.sub_cell->raw() & t.sub_mask) != (t.sub_free & t.sub_mask)) {
       return AbortStatus{AbortCause::kExplicit, kAbortCodeSubscriptionBusy,
                          /*retry=*/true};
     }

@@ -231,9 +231,15 @@ struct TxContext {
   // its free value — reading *memory*, never the transaction's own staged
   // stores — and that no store to the subscribed cell was staged (a wild
   // store to the lock line, the classic lazy-subscription corruption).
+  // `sub_mask` restricts the compare to the bits that encode "busy for this
+  // subscriber": a reader-writer lock's shared-mode subscription watches
+  // only the writer bits, so concurrently-acquired readers (a non-zero
+  // reader count in the same word) do not abort the commit.  The default
+  // all-ones mask is the historical exact-value compare.
   bool sub_armed = false;
   const mem::RawCell* sub_cell = nullptr;
   std::uint64_t sub_free = 0;
+  std::uint64_t sub_mask = ~std::uint64_t{0};
 };
 
 class Htm {
@@ -305,12 +311,16 @@ class Htm {
   // not a memory access: it consumes no simulation event and adds nothing to
   // the read set, so corrupted transaction control flow cannot skip the
   // check — exactly the property lazy subscription lacks.
+  // `mask` restricts the commit-time compare to the busy-encoding bits (see
+  // TxContext::sub_mask); the default preserves the exact-value compare.
   void set_commit_subscription(std::uint32_t tid, const mem::RawCell& cell,
-                               std::uint64_t free_raw) {
+                               std::uint64_t free_raw,
+                               std::uint64_t mask = ~std::uint64_t{0}) {
     TxContext& t = tx(tid);
     t.sub_armed = true;
     t.sub_cell = &cell;
     t.sub_free = free_raw;
+    t.sub_mask = mask;
   }
   // The transaction staged a store to the subscribed lock line.
   static constexpr std::uint8_t kAbortCodeSubscriptionWildStore = 0xfd;

@@ -18,6 +18,7 @@
 #include "locks/anderson.h"
 #include "locks/clh.h"
 #include "locks/mcs.h"
+#include "locks/rw.h"
 #include "locks/ticket.h"
 #include "locks/ttas.h"
 
@@ -32,6 +33,8 @@ enum class LockKind {
   kElidableTicket,
   kElidableClh,
   kElidableAnderson,
+  kRw,
+  kRwWp,
 };
 
 constexpr const char* to_string(LockKind k) {
@@ -44,8 +47,21 @@ constexpr const char* to_string(LockKind k) {
     case LockKind::kElidableTicket: return "ETicket";
     case LockKind::kElidableClh: return "ECLH";
     case LockKind::kElidableAnderson: return "EAnderson";
+    case LockKind::kRw: return "RW";
+    case LockKind::kRwWp: return "RW-WP";
   }
   return "?";
+}
+
+// The reader-writer family: the only kinds with shared/update acquisition.
+constexpr bool is_rw_lock(LockKind k) {
+  return k == LockKind::kRw || k == LockKind::kRwWp;
+}
+
+// Whether `k` can be acquired in mode `m`.  Every lock serves kExclusive;
+// shared and update require the reader-writer family.
+constexpr bool supports_mode(LockKind k, LockMode m) {
+  return m == LockMode::kExclusive || is_rw_lock(k);
 }
 
 }  // namespace sihle::locks

@@ -1,0 +1,258 @@
+// Reader-writer locks over sim lines: shared / update / exclusive
+// acquisition with upgrade, in the style of the TTAS lock (one state word,
+// CAS transitions, watch-line waiting).
+//
+// State word layout (single cache line, like TTAS):
+//
+//   bit 0  WRITER    exclusive holder (or an upgrader that has claimed)
+//   bit 1  UPDATE    update-mode holder (at most one; coexists with readers)
+//   bit 2  WPENDING  writer-preference variant only: an exclusive acquirer
+//                    is waiting, new shared/update arrivals must stall
+//   bits 3+          shared-holder (reader) count
+//
+// Mode semantics:
+//   kShared    — any number of concurrent holders; excluded only by WRITER
+//                (and WPENDING under writer preference).
+//   kUpdate    — "read with intent to write": excluded by WRITER and by the
+//                other UPDATE holder, coexists with readers; may upgrade()
+//                to exclusive without releasing.
+//   kExclusive — excluded by everything; word must drain to 0.
+//
+// Elision couples to the same word: an eliding acquisition only *reads* the
+// state word and self-aborts if its mode is unavailable, so concurrent
+// eliding readers share a read-set line and scale; a real writer's CAS
+// dooms them all (the writer-triggered lemming storm the figrw bench
+// measures).  Commit-time subscription (slr:subscribe=commit-checked) uses
+// a masked compare: a shared-mode subscription watches only the
+// WRITER/WPENDING bits, so concurrently *acquired* readers (a non-zero
+// count) do not abort an eliding reader at commit.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/ctx.h"
+
+namespace sihle::locks {
+
+using runtime::Ctx;
+using runtime::LineHandle;
+using runtime::Machine;
+
+enum class LockMode : std::uint8_t { kExclusive, kShared, kUpdate };
+
+constexpr const char* to_string(LockMode m) {
+  switch (m) {
+    case LockMode::kExclusive: return "exclusive";
+    case LockMode::kShared: return "shared";
+    case LockMode::kUpdate: return "update";
+  }
+  return "?";
+}
+
+namespace detail {
+
+// Common implementation; WriterPreference adds the WPENDING gate that
+// stalls new shared/update arrivals while an exclusive acquirer waits.
+template <bool WriterPreference>
+class RwLockImpl {
+ public:
+  explicit RwLockImpl(Machine& m) : line_(m), word_(line_.line(), 0) {
+    m.note_sync_line(line_.line());
+  }
+
+  static constexpr const char* kName = WriterPreference ? "RW-WP" : "RW";
+  static constexpr bool kFair = false;
+  // Like TTAS: arrivals at an unavailable lock spin outside the transaction
+  // until it looks free, then re-elide.
+  static constexpr bool kHleArrivalWaits = true;
+
+  static constexpr std::uint64_t kWriter = 1;
+  static constexpr std::uint64_t kUpdate = 2;
+  static constexpr std::uint64_t kWPending = 4;
+  static constexpr std::uint64_t kReaderInc = 8;
+
+  // Bits that make `m` unavailable.  Readers are excluded by a writer (and
+  // a pending writer under writer preference), update by writer + the other
+  // update holder, exclusive by everything except its own pending bit.
+  static constexpr std::uint64_t block_mask(LockMode m) {
+    switch (m) {
+      case LockMode::kShared:
+        return kWriter | (WriterPreference ? kWPending : 0);
+      case LockMode::kUpdate:
+        return kWriter | kUpdate | (WriterPreference ? kWPending : 0);
+      case LockMode::kExclusive:
+        return ~kWPending;  // everything but our own pending bit
+    }
+    return ~std::uint64_t{0};
+  }
+
+  static constexpr bool available(std::uint64_t v, LockMode m) {
+    return (v & block_mask(m)) == 0;
+  }
+
+  // --- Standard (non-speculative) acquisition ------------------------------
+
+  sim::Task<void> acquire(Ctx& c, LockMode m = LockMode::kExclusive) {
+    if (WriterPreference && m == LockMode::kExclusive) {
+      co_await set_pending(c);
+    }
+    for (;;) {
+      const std::uint64_t v = co_await runtime::spin_until(
+          c, word_, [m](std::uint64_t w) { return available(w, m); });
+      const bool got = co_await c.compare_exchange(word_, v, acquired(v, m));
+      if (got) {
+        // All modes report ownership: shared holders are legitimately
+        // protected readers, and the lockset checker attributes protection
+        // per thread (it does not assume the ids are mutually exclusive).
+        c.note_lock_acquired(this);
+        co_return;
+      }
+    }
+  }
+
+  sim::Task<void> release(Ctx& c, LockMode m = LockMode::kExclusive) {
+    const std::uint64_t delta = release_delta(m);
+    co_await c.fetch_add(word_, delta);
+    c.note_lock_released(this);
+  }
+
+  // One shot at the current state, as HLE's re-executed XACQUIRE performs
+  // after an abort.  Returns true if the mode was acquired.
+  sim::Task<bool> try_acquire_once(Ctx& c, LockMode m = LockMode::kExclusive) {
+    const std::uint64_t v = co_await c.load(word_);
+    if (!available(v, m) || (WriterPreference && m == LockMode::kExclusive &&
+                             (v & kWPending) != 0)) {
+      co_return false;
+    }
+    const bool got = co_await c.compare_exchange(word_, v, acquired(v, m));
+    if (got) c.note_lock_acquired(this);
+    co_return got;
+  }
+
+  // Mode-availability read; transactional inside a transaction (this is the
+  // read that puts the state word in an eliding transaction's read set).
+  sim::Task<bool> is_locked(Ctx& c, LockMode m = LockMode::kExclusive) {
+    const std::uint64_t v = co_await c.load(word_);
+    co_return !available(v, m);
+  }
+
+  // Elided acquisition: reads the word into the read set and self-aborts if
+  // the mode is unavailable.  No store — concurrent eliding readers only
+  // share the line read-to-read, so they commit past each other.
+  sim::Task<void> elided_acquire(Ctx& c, LockMode m, bool sleep_when_busy) {
+    (void)sleep_when_busy;  // like TTAS, waiters spin outside the transaction
+    const std::uint64_t v = co_await c.load(word_);
+    if (!available(v, m)) c.xabort(runtime::kAbortCodeLockBusy);
+  }
+  sim::Task<void> elided_acquire(Ctx& c, bool sleep_when_busy = true) {
+    return elided_acquire(c, LockMode::kExclusive, sleep_when_busy);
+  }
+
+  // Commit-time subscription, masked per mode: a shared-mode transaction is
+  // correct as long as no writer holds (or, under writer preference,
+  // awaits) the lock at commit — the reader count is irrelevant, so it is
+  // masked out.  Exclusive subscribes to the fully-free word.
+  bool commit_subscribe(Ctx& c, LockMode m = LockMode::kExclusive) {
+    c.set_commit_subscription(word_, std::uint64_t{0},
+                              m == LockMode::kExclusive
+                                  ? ~std::uint64_t{0}
+                                  : block_mask(m));
+    return true;
+  }
+
+  // Wait (non-transactionally) until the mode looks available.  Returns
+  // true if the caller had to wait.
+  sim::Task<bool> wait_until_free(Ctx& c, LockMode m = LockMode::kExclusive) {
+    bool waited = false;
+    for (;;) {
+      const std::uint32_t ver = c.line_version(word_);
+      const std::uint64_t v = co_await c.load(word_);
+      if (available(v, m)) co_return waited;
+      waited = true;
+      co_await c.watch_line(word_, ver);
+    }
+  }
+
+  // --- Upgrade (update -> exclusive) ---------------------------------------
+  //
+  // The update holder claims the WRITER bit (blocking new readers), then
+  // waits for the reader count to drain.  Deadlock-free: there is only one
+  // update holder, and readers can always release.  The upgraded holder
+  // releases with release_upgraded().  Ownership was already reported at
+  // the update acquire, so the upgrade itself does not re-note.
+  sim::Task<void> upgrade(Ctx& c) {
+    for (;;) {
+      const std::uint64_t v = co_await c.load(word_);
+      const bool got = co_await c.compare_exchange(word_, v, v | kWriter);
+      if (got) break;
+    }
+    co_await runtime::spin_until(c, word_, [](std::uint64_t w) {
+      return (w / kReaderInc) == 0;
+    });
+  }
+
+  sim::Task<void> release_upgraded(Ctx& c) {
+    const std::uint64_t delta = ~(kWriter | kUpdate) + 1;  // -(WRITER|UPDATE)
+    co_await c.fetch_add(word_, delta);
+    c.note_lock_released(this);
+  }
+
+  // --- Debug accessors (no simulation events) ------------------------------
+
+  bool debug_locked() const { return debug_word() != 0; }
+  std::uint64_t debug_word() const { return word_.debug_value(); }
+  std::uint64_t debug_readers() const { return debug_word() / kReaderInc; }
+  bool debug_writer() const { return (debug_word() & kWriter) != 0; }
+  bool debug_update() const { return (debug_word() & kUpdate) != 0; }
+
+  // The state word, for hazard scenarios that need to address a wild store
+  // at the lock line (mc/workloads.cpp).
+  mem::Shared<std::uint64_t>& word() { return word_; }
+
+ private:
+  static constexpr std::uint64_t acquired(std::uint64_t v, LockMode m) {
+    switch (m) {
+      case LockMode::kShared: return v + kReaderInc;
+      case LockMode::kUpdate: return v | kUpdate;
+      case LockMode::kExclusive:
+        // Claiming the word also consumes our own pending bit.
+        return (v & ~kWPending) | kWriter;
+    }
+    return v;
+  }
+
+  static constexpr std::uint64_t release_delta(LockMode m) {
+    switch (m) {
+      case LockMode::kShared: return ~kReaderInc + 1;  // -kReaderInc
+      case LockMode::kUpdate: return ~kUpdate + 1;
+      case LockMode::kExclusive: return ~kWriter + 1;
+    }
+    return 0;
+  }
+
+  // Writer preference: announce the waiting exclusive acquirer so new
+  // shared/update arrivals stall behind it.  At most one pending writer is
+  // modelled; a second exclusive acquirer waits for the bit to clear first.
+  sim::Task<void> set_pending(Ctx& c) {
+    for (;;) {
+      const std::uint64_t v = co_await runtime::spin_until(
+          c, word_,
+          [](std::uint64_t w) { return (w & (kWPending | kWriter)) == 0; });
+      const bool got = co_await c.compare_exchange(word_, v, v | kWPending);
+      if (got) co_return;
+    }
+  }
+
+  LineHandle line_;
+  mem::Shared<std::uint64_t> word_;
+};
+
+}  // namespace detail
+
+// Reader-preference (no writer gate): writers wait for a quiet word, so a
+// steady reader stream can starve them — pinned by tests/rwlock_test.cpp.
+using RwLock = detail::RwLockImpl<false>;
+// Writer-preference: a waiting writer stalls new shared/update arrivals.
+using RwWpLock = detail::RwLockImpl<true>;
+
+}  // namespace sihle::locks

@@ -49,6 +49,29 @@ sim::Task<void> scheme_worker(Ctx& c, Policy p, ElidedLock& lock, U64Cell& x,
   }
 }
 
+// Read-only body for the reader/writer scenario: every consistent snapshot
+// has x == y (the writer keeps them coupled), so a torn observation that
+// commits surfaces via the opacity checker — no in-body assertion needed.
+sim::Task<void> coupled_read(Ctx& c, U64Cell& x, U64Cell& y) {
+  const std::uint64_t vx = co_await c.load(x);
+  const std::uint64_t vy = co_await c.load(y);
+  (void)vx;
+  (void)vy;
+}
+
+struct ReadBody {
+  U64Cell* x;
+  U64Cell* y;
+  sim::Task<void> operator()(Ctx& c) const { return coupled_read(c, *x, *y); }
+};
+
+sim::Task<void> reader_worker(Ctx& c, Policy p, ElidedLock& lock, U64Cell& x,
+                              U64Cell& y, int ops, stats::OpStats& st) {
+  for (int i = 0; i < ops; ++i) {
+    co_await elision::run_cs(p, c, lock, ReadBody{&x, &y}, st);
+  }
+}
+
 sim::Task<void> grouped_worker(Ctx& c, locks::TTASLock& main,
                                elision::GroupedAux& aux,
                                elision::ScmFlavor flavor, U64Cell& x, U64Cell& y,
@@ -166,10 +189,12 @@ std::string final_state_error(std::uint64_t x, std::uint64_t y,
   return os.str();
 }
 
-// One schedule of the registry-driven two-thread scenario.
+// One schedule of the registry-driven two-thread scenario.  With
+// `read_only_t1` thread 1 runs the read-only body instead, and the expected
+// final state counts only thread 0's increments.
 void run_scheme_schedule(Explorer& ex, const Policy& p0, const Policy& p1,
                          locks::LockKind kind, const ScenarioOptions& so,
-                         const Judge& judge) {
+                         const Judge& judge, bool read_only_t1 = false) {
   Machine m(machine_config(so));
   m.exec().set_choice_point(&ex);
   m.htm().set_choice_point(&ex);
@@ -191,6 +216,7 @@ void run_scheme_schedule(Explorer& ex, const Policy& p0, const Policy& p1,
     return scheme_worker(c, p0, lock, x, y, so.ops0, st);
   });
   m.spawn([&](Ctx& c) {
+    if (read_only_t1) return reader_worker(c, p1, lock, x, y, so.ops1, st);
     return scheme_worker(c, p1, lock, x, y, so.ops1, st);
   });
   if (so.mc.use_state_hash) {
@@ -215,11 +241,12 @@ void run_scheme_schedule(Explorer& ex, const Policy& p0, const Policy& p1,
   } catch (const std::runtime_error&) {
     deadlocked = true;
   }
+  const std::uint64_t expect =
+      static_cast<std::uint64_t>(so.ops0) +
+      (read_only_t1 ? 0 : static_cast<std::uint64_t>(so.ops1));
   const std::string err =
       deadlocked ? std::string{}
-                 : final_state_error(x.raw(), y.raw(),
-                                     static_cast<std::uint64_t>(so.ops0) +
-                                         static_cast<std::uint64_t>(so.ops1));
+                 : final_state_error(x.raw(), y.raw(), expect);
   judge(ex, rec, m.analysis(), deadlocked, err);
 }
 
@@ -280,6 +307,41 @@ McScenarioResult explore_mixed(const std::string& spec0,
 McScenarioResult explore_scheme(const std::string& spec, locks::LockKind kind,
                                 const ScenarioOptions& opts) {
   return explore_mixed(spec, spec, kind, opts);
+}
+
+McScenarioResult explore_rw(const std::string& writer_spec,
+                            const std::string& reader_spec,
+                            locks::LockKind kind, const ScenarioOptions& opts) {
+  std::string error;
+  const auto pw = elision::parse_policy(writer_spec, &error);
+  if (!pw) {
+    throw std::invalid_argument("mc: bad policy spec '" + writer_spec + "': " +
+                                error);
+  }
+  const auto pr = elision::parse_policy(reader_spec, &error);
+  if (!pr) {
+    throw std::invalid_argument("mc: bad policy spec '" + reader_spec + "': " +
+                                error);
+  }
+  for (const Policy* p : {&*pw, &*pr}) {
+    if (!locks::supports_mode(kind, p->mode)) {
+      throw std::invalid_argument(
+          std::string("mc: lock '") + elision::lock_key(kind) +
+          "' does not support mode=" + locks::to_string(p->mode));
+    }
+  }
+
+  McScenarioResult result;
+  Judge judge{&result, &opts, writer_spec + "+" + reader_spec + "(ro)",
+              elision::lock_key(kind),
+              "coupled-rw " + std::to_string(opts.ops0) + "w x " +
+                  std::to_string(opts.ops1) + "r"};
+  Explorer ex(opts.mc);
+  result.stats = ex.explore([&](Explorer& e) {
+    run_scheme_schedule(e, *pw, *pr, kind, opts, judge, /*read_only_t1=*/true);
+  });
+  add_step_limit_summary(result);
+  return result;
 }
 
 McScenarioResult explore_scm_grouped(elision::ScmFlavor flavor,
@@ -385,7 +447,134 @@ Judge hazard_judge(McScenarioResult& result, const ScenarioOptions& opts,
                std::string("slr-hazard ") + to_string(hazard)};
 }
 
+// --- Shared-mode rw wild-store hazard ---------------------------------------
+
+// Shared-mode view of the rw lock, satisfying the lock concept the SLR
+// runner templates need (acquire/release/is_locked/commit_subscribe).
+struct RwSharedView {
+  locks::RwLock* l;
+  static constexpr bool kHleArrivalWaits = true;
+  static constexpr bool kFair = false;
+  static constexpr const char* kName = "rw-shared";
+  sim::Task<void> acquire(Ctx& c) {
+    return l->acquire(c, locks::LockMode::kShared);
+  }
+  sim::Task<void> release(Ctx& c) {
+    return l->release(c, locks::LockMode::kShared);
+  }
+  sim::Task<bool> is_locked(Ctx& c) {
+    return l->is_locked(c, locks::LockMode::kShared);
+  }
+  bool commit_subscribe(Ctx& c) {
+    return l->commit_subscribe(c, locks::LockMode::kShared);
+  }
+};
+
+// T1's body: reads both words; on a torn snapshot the zombie's corrupted
+// continuation stores a writer-bits-clear garbage value through the rw
+// state word.  The lazy shared-mode check that follows is an ordinary
+// transactional load of that word, so store-to-load forwarding serves it
+// the staged 0: "no writer", and the torn computation commits.
+sim::Task<void> rw_hazard_probe(Ctx& c, locks::RwLock& lock, U64Cell& x,
+                                U64Cell& y, bool* torn) {
+  const std::uint64_t vx = co_await c.load(x);
+  const std::uint64_t vy = co_await c.load(y);
+  *torn = vx != vy;
+  if (*torn) {
+    co_await c.store(lock.word(), std::uint64_t{0});
+  }
+}
+
+struct RwProbeBody {
+  locks::RwLock* lock;
+  U64Cell* x;
+  U64Cell* y;
+  bool* torn;
+  sim::Task<void> operator()(Ctx& c) const {
+    return rw_hazard_probe(c, *lock, *x, *y, torn);
+  }
+};
+
+// T0: exclusive rw-locked updater keeping x == y in every lock-respecting
+// execution.
+sim::Task<void> rw_hazard_updater(Ctx& c, locks::RwLock& lock, U64Cell& x,
+                                  U64Cell& y) {
+  co_await lock.acquire(c);
+  co_await c.store(x, std::uint64_t{1});
+  co_await c.store(y, std::uint64_t{1});
+  co_await lock.release(c);
+}
+
+// T1: the SLR reader eliding in shared mode.  Under kCommitChecked the
+// subscription is masked to the writer bits (RwLock::commit_subscribe), and
+// commit itself refuses the staged wild store to the subscribed word.
+sim::Task<void> rw_hazard_victim(Ctx& c, locks::RwLock& lock, U64Cell& x,
+                                 U64Cell& y, elision::SubscribeKind subscribe,
+                                 stats::OpStats& st) {
+  bool torn = false;
+  RwSharedView view{&lock};
+  RwProbeBody body{&lock, &x, &y, &torn};
+  co_await elision::run_slr(c, view, body, st, /*max_retries=*/2,
+                            /*honor_retry_bit=*/true, /*backoff=*/{},
+                            subscribe);
+}
+
+void run_rw_hazard_schedule(Explorer& ex, elision::SubscribeKind subscribe,
+                            const ScenarioOptions& so, const Judge& judge) {
+  Machine m(machine_config(so));
+  m.exec().set_choice_point(&ex);
+  m.htm().set_choice_point(&ex);
+  HistoryRecorder rec(m.htm(), nullptr);
+  analysis::TeeObserver tee(m.analysis(), &rec);
+  m.htm().set_observer(&tee);
+
+  locks::RwLock lock(m);
+  rec.set_grouping_lock(&lock);
+  runtime::LineHandle lx(m);
+  U64Cell x(lx.line(), 0);
+  runtime::LineHandle ly(m);
+  U64Cell y(ly.line(), 0);
+  rec.track(x, "x");
+  rec.track(y, "y");
+
+  stats::OpStats st;
+  m.spawn([&](Ctx& c) { return rw_hazard_updater(c, lock, x, y); });
+  m.spawn([&](Ctx& c) { return rw_hazard_victim(c, lock, x, y, subscribe, st); });
+
+  bool deadlocked = false;
+  try {
+    m.run();
+  } catch (const std::runtime_error&) {
+    deadlocked = true;
+  }
+  // No final-state invariant: T1 only reads (modulo the modelled wild
+  // store).  The opacity checker is the whole verdict.
+  judge(ex, rec, m.analysis(), deadlocked, {});
+}
+
+Judge rw_hazard_judge(McScenarioResult& result, const ScenarioOptions& opts,
+                      elision::SubscribeKind subscribe) {
+  std::string scheme = "slr:mode=shared,subscribe=";
+  scheme += subscribe == elision::SubscribeKind::kCommitChecked
+                ? "commit-checked"
+                : "lazy";
+  return Judge{&result, &opts, std::move(scheme), "rw",
+               "rw-hazard wild-store"};
+}
+
 }  // namespace
+
+McScenarioResult explore_rw_hazard(elision::SubscribeKind subscribe,
+                                   const ScenarioOptions& opts) {
+  McScenarioResult result;
+  const Judge judge = rw_hazard_judge(result, opts, subscribe);
+  Explorer ex(opts.mc);
+  result.stats = ex.explore([&](Explorer& e) {
+    run_rw_hazard_schedule(e, subscribe, opts, judge);
+  });
+  add_step_limit_summary(result);
+  return result;
+}
 
 McScenarioResult explore_slr_hazard(htm::SlrHazard hazard,
                                     elision::SubscribeKind subscribe,

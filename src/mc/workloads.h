@@ -69,6 +69,27 @@ McScenarioResult explore_mixed(const std::string& spec0,
 McScenarioResult explore_scm_grouped(elision::ScmFlavor flavor,
                                      const ScenarioOptions& opts = {});
 
+// Coupled reader/writer scenario: thread 0 runs `writer_spec` (coupled
+// increments, ops0 critical sections); thread 1 runs `reader_spec` —
+// typically a mode=shared policy over an rw lock — with a read-only body
+// (ops1 sections).  Final state must be x == y == ops0; a reader that
+// commits a torn x != y snapshot surfaces via the opacity checker, and the
+// lockset checker runs under every schedule as usual.
+McScenarioResult explore_rw(const std::string& writer_spec,
+                            const std::string& reader_spec,
+                            locks::LockKind kind,
+                            const ScenarioOptions& opts = {});
+
+// The shared-mode rw variant of the lazy-subscription hazard: T0 is an
+// exclusive rw-locked two-word updater; T1 an SLR *reader* eliding in
+// shared mode whose zombie continuation wild-stores the rw state word with
+// a writer-bits-clear value — exactly the value the lazy shared-mode check
+// is store-to-load forwarded.  With kLazy the checker exhibits the torn
+// commit; with kCommitChecked the masked writer-bit subscription (armed at
+// XBEGIN, wild-store-refusing at commit) must find none.
+McScenarioResult explore_rw_hazard(elision::SubscribeKind subscribe,
+                                   const ScenarioOptions& opts = {});
+
 // The SLR lazy-subscription hazard scenario (see mc/hazard.h): T0 is a
 // locked two-word updater, T1 the hazard-bodied SLR victim.  With
 // subscribe == kLazy the checker exhibits the violation; with

@@ -486,6 +486,17 @@ class Ctx {
     m_.htm().set_commit_subscription(tid_, cell, Shared<T>::pack(free_value));
   }
 
+  // Masked variant: only the bits set in `mask` participate in the
+  // commit-time compare.  A reader-writer lock's shared-mode subscription
+  // watches the writer bits and ignores the reader count sharing the word.
+  template <SharedValue T>
+  void set_commit_subscription(const Shared<T>& cell, T free_value,
+                               std::uint64_t mask) {
+    assert(in_tx());
+    m_.htm().set_commit_subscription(tid_, cell, Shared<T>::pack(free_value),
+                                     mask);
+  }
+
   // XABORT: self-abort the running transaction with an 8-bit code.
   [[noreturn]] void xabort(std::uint8_t code) {
     assert(in_tx());

@@ -59,7 +59,7 @@ TEST(Registry, RoundTripsEveryRegisteredLockName) {
   for (const LockKind k :
        {LockKind::kTtas, LockKind::kMcs, LockKind::kTicket, LockKind::kClh,
         LockKind::kAnderson, LockKind::kElidableTicket, LockKind::kElidableClh,
-        LockKind::kElidableAnderson}) {
+        LockKind::kElidableAnderson, LockKind::kRw, LockKind::kRwWp}) {
     const std::string key = elision::lock_key(k);
     SCOPED_TRACE(key);
     EXPECT_NE(key, "?");
@@ -82,7 +82,13 @@ TEST(Registry, ParameterizedSpecsRoundTrip) {
         "hle-scm:retry-bit=on", "slr:retries=20,backoff=exp",
         "slr:retry-bit=off", "hle:retries=4", "hle:backoff=exp",
         "hle-retries:retries=3,retry-bit=off", "slr-scm:aux=clh,retries=2",
-        "adaptive:tries=1,skip=10"}) {
+        "adaptive:tries=1,skip=10",
+        // The mode axis: shared/update ride through policy_spec like any
+        // other non-canonical parameter.
+        "hle:mode=shared", "standard:mode=shared", "hle:mode=update",
+        "hle-scm:mode=update,aux=ticket", "slr:mode=shared",
+        "slr:mode=shared,subscribe=commit-checked",
+        "slr-scm:mode=shared,retries=2"}) {
     SCOPED_TRACE(spec);
     const auto p = elision::parse_policy(spec);
     ASSERT_TRUE(p.has_value());
@@ -103,6 +109,25 @@ TEST(Registry, CanonicalValuedParametersCollapse) {
   ASSERT_TRUE(p.has_value());
   EXPECT_EQ(*p, Policy(Scheme::kHleScm));
   EXPECT_EQ(elision::policy_label(*p), "HLE-SCM");
+}
+
+// mode=exclusive is the canonical mode: spelling it out parses back to the
+// bare scheme, so every mode=exclusive spec is bit-equal to today's
+// baseline policies (Policy operator== is the whole state).
+TEST(Registry, ExclusiveModeCollapsesToCanonical) {
+  for (const char* base : {"standard", "hle", "hle-retries", "hle-scm", "slr",
+                           "slr-scm"}) {
+    SCOPED_TRACE(base);
+    const auto canonical = elision::parse_policy(base);
+    const auto spelled =
+        elision::parse_policy(std::string(base) + ":mode=exclusive");
+    ASSERT_TRUE(canonical.has_value());
+    ASSERT_TRUE(spelled.has_value());
+    EXPECT_EQ(*spelled, *canonical);
+    EXPECT_EQ(elision::policy_spec(*spelled), base);
+    EXPECT_EQ(elision::policy_label(*spelled),
+              elision::policy_label(*canonical));
+  }
 }
 
 // --- Malformed specs -------------------------------------------------------
@@ -153,7 +178,21 @@ INSTANTIATE_TEST_SUITE_P(
         BadSpec{"hle:backoff=cubic", "expected none|exp"},
         BadSpec{"hle:retry-bit=maybe", "expected on|off"},
         BadSpec{"scm:aux=spinlock", "valid locks: ttas, mcs"},
-        BadSpec{"hle:retries=2,retries=3", "duplicate key 'retries'"}));
+        BadSpec{"hle:retries=2,retries=3", "duplicate key 'retries'"},
+        // The mode axis: bad values, inapplicable schemes, duplicates.
+        BadSpec{"hle:mode=write", "expected exclusive|shared|update"},
+        BadSpec{"hle:mode=SHARED", "expected exclusive|shared|update"},
+        BadSpec{"standard:mode=both", "expected exclusive|shared|update"},
+        BadSpec{"hle:mode=", "empty value for 'mode'"},
+        BadSpec{"nolock:mode=shared", "does not apply to scheme 'nolock'"},
+        BadSpec{"adaptive:mode=shared", "does not apply to scheme 'adaptive'"},
+        BadSpec{"hle:mode=shared,mode=update", "duplicate key 'mode'"},
+        BadSpec{"hle:mode=exclusive,mode=exclusive", "duplicate key 'mode'"},
+        // Neighboring keys whose rejections ride the same generated lists.
+        BadSpec{"nolock:retries=2", "valid keys: (none)"},
+        BadSpec{"standard:subscribe=lazy", "only applies to the SLR schemes"},
+        BadSpec{"slr:subscribe=eager", "expected lazy|commit-checked"},
+        BadSpec{"adaptive:mode=exclusive", "valid keys: tries, skip"}));
 
 TEST(Registry, UnknownLockNameListsValidNames) {
   std::string error;
@@ -161,6 +200,57 @@ TEST(Registry, UnknownLockNameListsValidNames) {
   EXPECT_FALSE(k.has_value());
   EXPECT_NE(error.find("valid locks: ttas, mcs, ticket"), std::string::npos)
       << error;
+  // The reader-writer locks registered themselves into the same list.
+  EXPECT_NE(error.find("rw, rw-wp"), std::string::npos) << error;
+}
+
+// --- Help/grammar sync -----------------------------------------------------
+//
+// scheme_help(), lock_help(), and the accepted grammar are generated from
+// one registration table; this pins the property so a key added to the
+// parser can never be missing from the help text (or vice versa).
+
+TEST(Registry, HelpTextMatchesAcceptedGrammar) {
+  const std::string help = elision::scheme_help();
+  const auto params = elision::registered_params();
+  ASSERT_FALSE(params.empty());
+  for (const auto& info : params) {
+    SCOPED_TRACE(info.key);
+    // Syntax line present in the help verbatim.
+    EXPECT_NE(help.find(info.syntax), std::string::npos);
+    // The example fragment parses on exactly the schemes the parameter
+    // applies to.
+    for (const elision::SchemeRow& row : elision::kSchemeRows) {
+      const Policy base = elision::policy_for(row.scheme);
+      const std::string spec = std::string(row.key) + ":" + info.example;
+      std::string error;
+      const auto p = elision::parse_policy(spec, &error);
+      EXPECT_EQ(p.has_value(), elision::param_applies(info.key, base))
+          << spec << (p.has_value() ? "" : ": " + error);
+    }
+  }
+  // Unknown keys are nobody's parameter.
+  for (const elision::SchemeRow& row : elision::kSchemeRows) {
+    EXPECT_FALSE(
+        elision::param_applies("bogus", elision::policy_for(row.scheme)));
+  }
+  // Every scheme name and every lock name appears in its help text.
+  for (const elision::SchemeRow& row : elision::kSchemeRows) {
+    EXPECT_NE(help.find(row.key), std::string::npos) << row.key;
+  }
+  const std::string lhelp = elision::lock_help();
+  const auto lock_keys = elision::registered_lock_keys();
+  ASSERT_FALSE(lock_keys.empty());
+  for (const char* key : lock_keys) {
+    SCOPED_TRACE(key);
+    EXPECT_NE(lhelp.find(key), std::string::npos);
+    EXPECT_NE(help.find(key), std::string::npos)
+        << "aux lock list in scheme_help misses a registered lock";
+    EXPECT_TRUE(elision::parse_lock_kind(key).has_value());
+  }
+  // The mode grammar is in the help (the fix this suite pins: help used to
+  // be hand-maintained prose that new keys silently missed).
+  EXPECT_NE(help.find("mode=exclusive|shared|update"), std::string::npos);
 }
 
 // --- Canonical equivalence -------------------------------------------------

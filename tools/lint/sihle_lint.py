@@ -21,8 +21,9 @@ repo rules (documented in src/elision/policy.h and docs/ANALYSIS.md):
                              the abort status to honour dooming/lemming
                              policy; dropping it retries blindly.
   R004  private-dispatch     A legacy `elision::run_op(...)` call or a
-                             `case Scheme::` / `case LockKind::` switch arm
-                             re-creates the scheme x lock dispatch product
+                             `case Scheme::` / `case LockKind::` /
+                             `case LockMode::` switch arm re-creates the
+                             scheme x lock x mode dispatch product
                              privately.  That product lives in one place:
                              elision::run_cs / ElidedLock
                              (elision/elided_lock.h), fed by the registry
@@ -85,7 +86,7 @@ CPP_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
 RAW_ACCESS_RE = re.compile(r"(?:\.|->)(raw|set_raw|debug_value)\s*\(")
 RUN_OP_RE = re.compile(r"\b(?:elision\s*::\s*)?run_op\s*\(")
 DISPATCH_SWITCH_RE = re.compile(
-    r"\bcase\s+(?:\w+\s*::\s*)*(?:Scheme|LockKind)\s*::\s*\w+")
+    r"\bcase\s+(?:\w+\s*::\s*)*(?:Scheme|LockKind|LockMode)\s*::\s*\w+")
 TASK_DECL_RE = re.compile(r"\bTask<([^<>]*(?:<[^<>]*>)?[^<>]*)>\s+(\w+)\s*\(")
 CO_AWAIT_CALL_RE = re.compile(
     r"\bco_await\s+(?:[\w:]+(?:\.|->))*(\w+)\s*\(")
@@ -349,10 +350,10 @@ def check_private_dispatch(path, stripped, findings):
     for m in DISPATCH_SWITCH_RE.finditer(stripped):
         findings.append(Finding(
             path, line_of(stripped, m.start()), "R004",
-            "'case Scheme::' / 'case LockKind::' outside src/elision/ "
-            "duplicates the scheme x lock dispatch product; route through "
-            "elision::run_cs / ElidedLock and the registry name table "
-            "(elision/registry.h)"))
+            "'case Scheme::' / 'case LockKind::' / 'case LockMode::' outside "
+            "src/elision/ and src/locks/ duplicates the scheme x lock x mode "
+            "dispatch product; route through elision::run_cs / ElidedLock "
+            "and the registry name table (elision/registry.h)"))
 
 
 # Rng(seed) / Rng{seed} calls and Rng declarations (`Rng g{7};`, `Rng g;`).

@@ -172,6 +172,21 @@ class R004Test(unittest.TestCase):
         found = [f.rule for f in run_lint(src)]
         self.assertEqual(found, ["R004", "R004"])
 
+    def test_flags_lock_mode_switch(self):
+        src = ("int weight(locks::LockMode m) {\n"
+               "  switch (m) {\n"
+               "    case locks::LockMode::kShared: return 0;\n"
+               "    case LockMode::kExclusive: return 1;\n"
+               "  }\n}\n")
+        found = [f.rule for f in run_lint(src)]
+        self.assertEqual(found, ["R004", "R004"])
+
+    def test_lock_mode_switch_exempt_in_dispatch_dirs(self):
+        src = ("int weight(locks::LockMode m) {\n"
+               "  switch (m) { case locks::LockMode::kUpdate: return 2; }\n"
+               "}\n")
+        self.assertEqual(run_lint(src, dispatch_allowed=True), [])
+
     def test_allows_run_cs(self):
         src = ("sim::Task<void> f(Ctx& c) {\n"
                "  co_await elision::run_cs(policy, c, lock, body, st);\n}\n")
