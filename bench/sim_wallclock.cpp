@@ -150,9 +150,14 @@ PassCounts run_contended_tree(elision::Scheme scheme, std::uint64_t seed) {
 // Wraps a single-pass scenario into a RunFn that repeats it until at least
 // `min_time_s` host seconds have elapsed (seed advances per pass so repeats
 // are not identical simulations) and reports the aggregate rates.
+// Scenarios that cannot commit transactions (plain loads; Standard, which
+// never speculates) set has_txs=false and omit txs_per_sec entirely — an
+// exported [0,0,...] sample vector is a recording artifact, not a rate, and
+// would wedge a gate run with --metric=txs_per_sec (bench_regress also
+// skips all-zero baseline metrics defensively).
 template <class Pass>
-exp::RunFn timed_run(Pass pass, double min_time_s) {
-  return [pass, min_time_s](std::uint64_t seed) {
+exp::RunFn timed_run(Pass pass, double min_time_s, bool has_txs = true) {
+  return [pass, min_time_s, has_txs](std::uint64_t seed) {
     using clock = std::chrono::steady_clock;
     PassCounts total;
     double passes = 0.0;
@@ -166,11 +171,15 @@ exp::RunFn timed_run(Pass pass, double min_time_s) {
       now = clock::now();
     } while (std::chrono::duration<double>(now - start).count() < min_time_s);
     const double elapsed = std::chrono::duration<double>(now - start).count();
-    return exp::MetricList{
+    exp::MetricList metrics{
         {"events_per_sec", static_cast<double>(total.events) / elapsed},
-        {"txs_per_sec", static_cast<double>(total.txs) / elapsed},
-        {"passes", passes},
     };
+    if (has_txs) {
+      metrics.push_back(
+          {"txs_per_sec", static_cast<double>(total.txs) / elapsed});
+    }
+    metrics.push_back({"passes", passes});
+    return metrics;
   };
 }
 
@@ -189,6 +198,9 @@ int main(int argc, char** argv) {
   // parse_cli's 0 means "one job per core"; wall-clock measurement wants a
   // quiet host, so unlike the figure benches the default here is serial.
   if (args.get("jobs", "").empty()) cli.jobs = 1;
+  // Wall-clock rates only make sense relative to the host that produced
+  // them: record it in the exported document.
+  cli.record_host = true;
   const double min_time_s = args.get_double("min-time", 0.2);
 
   exp::ExperimentSpec spec;
@@ -200,7 +212,7 @@ int main(int argc, char** argv) {
     exp::Cell cell;
     cell.axes = {{"scenario", "nontx_load"}};
     cell.id = exp::axes_id(cell.axes);
-    cell.run = timed_run(run_nontx_load, min_time_s);
+    cell.run = timed_run(run_nontx_load, min_time_s, /*has_txs=*/false);
     spec.cells.push_back(std::move(cell));
   }
   {
@@ -217,9 +229,11 @@ int main(int argc, char** argv) {
     cell.axes = {{"scenario", "contended_tree"},
                  {"scheme", elision::to_string(s)}};
     cell.id = exp::axes_id(cell.axes);
+    // Standard never speculates, so it can never commit a transaction.
+    const bool has_txs = s != elision::Scheme::kStandard;
     cell.run = timed_run(
         [s](std::uint64_t seed) { return run_contended_tree(s, seed); },
-        min_time_s);
+        min_time_s, has_txs);
     spec.cells.push_back(std::move(cell));
   }
 
@@ -231,7 +245,7 @@ int main(int argc, char** argv) {
     const auto tx = cell.metric("txs_per_sec");
     const auto ps = cell.metric("passes");
     table.row({cell.id, harness::Table::num(ev.mean(), 0),
-               harness::Table::num(tx.mean(), 0),
+               tx.samples().empty() ? "-" : harness::Table::num(tx.mean(), 0),
                harness::Table::num(ps.mean(), 1)});
   }
   table.print(stdout);

@@ -1,7 +1,9 @@
 #include "exp/engine.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <deque>
+#include <exception>
 #include <mutex>
 #include <thread>
 
@@ -9,28 +11,23 @@ namespace sihle::exp {
 
 namespace {
 
-struct RunSlot {
-  std::size_t cell = 0;
-  int replicate = 0;
-};
-
 // Per-worker deque: the owner pops from the front, thieves steal from the
 // back.  No task ever spawns another task, so a worker may exit as soon as
 // one full scan over every queue comes up empty.
 class StealQueue {
  public:
-  void push(RunSlot t) {
+  void push(std::size_t t) {
     std::lock_guard<std::mutex> g(mu_);
     q_.push_back(t);
   }
-  bool pop_front(RunSlot& t) {
+  bool pop_front(std::size_t& t) {
     std::lock_guard<std::mutex> g(mu_);
     if (q_.empty()) return false;
     t = q_.front();
     q_.pop_front();
     return true;
   }
-  bool steal_back(RunSlot& t) {
+  bool steal_back(std::size_t& t) {
     std::lock_guard<std::mutex> g(mu_);
     if (q_.empty()) return false;
     t = q_.back();
@@ -40,7 +37,7 @@ class StealQueue {
 
  private:
   std::mutex mu_;
-  std::deque<RunSlot> q_;
+  std::deque<std::size_t> q_;
 };
 
 }  // namespace
@@ -49,6 +46,119 @@ int resolve_jobs(int jobs) {
   if (jobs > 0) return jobs;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+struct WorkPool::Impl {
+  explicit Impl(int jobs) : queues(static_cast<std::size_t>(jobs)) {
+    workers.reserve(static_cast<std::size_t>(jobs));
+    for (int w = 0; w < jobs; ++w) {
+      workers.emplace_back([this, w] { worker(static_cast<std::size_t>(w)); });
+    }
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> g(mu);
+      stop = true;
+    }
+    start_cv.notify_all();
+    for (auto& th : workers) th.join();
+  }
+
+  // Pop-then-steal until every queue is empty.  Tasks never enqueue more
+  // tasks, so a full empty scan means the round's work is exhausted.
+  void drain(std::size_t me) {
+    std::size_t t;
+    for (;;) {
+      if (queues[me].pop_front(t)) {
+        run_one(t);
+        continue;
+      }
+      bool stole = false;
+      for (std::size_t i = 1; i < queues.size(); ++i) {
+        if (queues[(me + i) % queues.size()].steal_back(t)) {
+          stole = true;
+          break;
+        }
+      }
+      if (!stole) return;
+      run_one(t);
+    }
+  }
+
+  void run_one(std::size_t t) {
+    try {
+      (*task)(t);
+    } catch (...) {
+      std::lock_guard<std::mutex> g(mu);
+      if (!failure) failure = std::current_exception();
+    }
+  }
+
+  void worker(std::size_t me) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        start_cv.wait(lk, [&] { return stop || round != seen; });
+        if (stop) return;
+        seen = round;
+      }
+      drain(me);
+      std::lock_guard<std::mutex> g(mu);
+      if (--remaining == 0) done_cv.notify_all();
+    }
+  }
+
+  std::vector<StealQueue> queues;
+  const std::function<void(std::size_t)>* task = nullptr;
+
+  std::mutex mu;
+  std::condition_variable start_cv;
+  std::condition_variable done_cv;
+  std::uint64_t round = 0;   // bumped to release workers into a round
+  int remaining = 0;         // workers still draining the current round
+  bool stop = false;
+  std::exception_ptr failure;  // first task exception of the round
+
+  std::vector<std::thread> workers;
+};
+
+WorkPool::WorkPool(int jobs) : jobs_(std::max(jobs, 1)) {
+  if (jobs_ > 1) impl_ = std::make_unique<Impl>(jobs_);
+}
+
+WorkPool::~WorkPool() = default;
+
+void WorkPool::parallel_run(std::size_t n,
+                            const std::function<void(std::size_t)>& task) {
+  if (impl_ == nullptr || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) task(i);
+    return;
+  }
+  // Deal round-robin: index order across the queues, so contiguous indices
+  // land on different workers (callers order their work so neighbours are
+  // the expensive-together ones — run_experiment deals replicate-major for
+  // exactly this reason).
+  for (std::size_t i = 0; i < n; ++i) {
+    impl_->queues[i % impl_->queues.size()].push(i);
+  }
+  impl_->task = &task;
+  {
+    std::lock_guard<std::mutex> g(impl_->mu);
+    impl_->remaining = jobs_;
+    impl_->failure = nullptr;
+    ++impl_->round;
+  }
+  impl_->start_cv.notify_all();
+  std::exception_ptr failure;
+  {
+    std::unique_lock<std::mutex> lk(impl_->mu);
+    impl_->done_cv.wait(lk, [&] { return impl_->remaining == 0; });
+    failure = impl_->failure;
+  }
+  impl_->task = nullptr;
+  if (failure) std::rethrow_exception(failure);
 }
 
 Replicates CellResult::metric(std::string_view name) const {
@@ -74,6 +184,10 @@ std::vector<CellResult> run_experiment(const ExperimentSpec& spec,
     out[i].samples.resize(static_cast<std::size_t>(reps));
   }
 
+  struct RunSlot {
+    std::size_t cell = 0;
+    int replicate = 0;
+  };
   const auto execute = [&](const RunSlot& t) {
     const std::uint64_t seed =
         spec.base_seed + static_cast<std::uint64_t>(t.replicate);
@@ -89,44 +203,18 @@ std::vector<CellResult> run_experiment(const ExperimentSpec& spec,
     return out;
   }
 
-  // Deal runs round-robin across the worker queues, replicate-major so one
-  // cell's replicates land on different workers (cells within a grid can
-  // differ in cost by orders of magnitude; spreading replicates narrows the
-  // tail).
-  std::vector<StealQueue> queues(static_cast<std::size_t>(jobs));
-  std::size_t next = 0;
+  // Flatten replicate-major so one cell's replicates land on different
+  // workers (cells within a grid can differ in cost by orders of magnitude;
+  // spreading replicates narrows the tail).
+  std::vector<RunSlot> slots;
+  slots.reserve(spec.cells.size() * static_cast<std::size_t>(reps));
   for (int r = 0; r < reps; ++r) {
-    for (std::size_t c = 0; c < spec.cells.size(); ++c) {
-      queues[next % queues.size()].push({c, r});
-      ++next;
-    }
+    for (std::size_t c = 0; c < spec.cells.size(); ++c) slots.push_back({c, r});
   }
 
-  auto worker = [&](std::size_t me) {
-    RunSlot t;
-    for (;;) {
-      if (queues[me].pop_front(t)) {
-        execute(t);
-        continue;
-      }
-      bool stole = false;
-      for (std::size_t i = 1; i < queues.size(); ++i) {
-        if (queues[(me + i) % queues.size()].steal_back(t)) {
-          stole = true;
-          break;
-        }
-      }
-      if (!stole) return;  // every queue empty and no producer exists
-      execute(t);
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(jobs));
-  for (int w = 0; w < jobs; ++w) {
-    pool.emplace_back(worker, static_cast<std::size_t>(w));
-  }
-  for (auto& th : pool) th.join();
+  WorkPool pool(jobs);
+  pool.parallel_run(slots.size(),
+                    [&](std::size_t i) { execute(slots[i]); });
   return out;
 }
 

@@ -5,8 +5,16 @@
 // of the spec — every run writes into its pre-assigned (cell, replicate)
 // slot, so the output is byte-for-byte independent of the job count and of
 // host-thread interleaving (tests/exp_engine_test.cpp locks this in).
+//
+// The pool itself is exposed as WorkPool: persistent workers that can be
+// fanned out over an index range repeatedly.  run_experiment uses a single
+// round; the domain-parallel epoch loop (runtime/domains.h) reuses one pool
+// every epoch, so an epoch costs a wakeup, not a thread spawn.
 #pragma once
 
+#include <cstddef>
+#include <functional>
+#include <memory>
 #include <string_view>
 #include <vector>
 
@@ -23,6 +31,39 @@ struct EngineOptions {
 
 // 0 → std::thread::hardware_concurrency() (at least 1).
 int resolve_jobs(int jobs);
+
+// Persistent work-stealing pool over host threads.
+//
+// `jobs` counts workers (pass a resolved value; resolve_jobs() maps 0).
+// With jobs <= 1 no threads are created and every round runs inline on the
+// calling thread.  Workers are parked on a condition variable between
+// rounds, so a round costs one broadcast + one join-wait, not jobs thread
+// spawns — the property the per-epoch fan-out of the domain-parallel
+// simulation depends on.
+class WorkPool {
+ public:
+  explicit WorkPool(int jobs);
+  ~WorkPool();
+
+  WorkPool(const WorkPool&) = delete;
+  WorkPool& operator=(const WorkPool&) = delete;
+
+  int jobs() const { return jobs_; }
+
+  // Runs task(i) for every i in [0, n), fanned across the pool: indices are
+  // dealt round-robin to per-worker deques, each owner pops from the front
+  // and thieves steal from the back.  Blocks until every task returns.
+  // With jobs() == 1 or n <= 1 the tasks run inline in index order.  The
+  // first exception a task throws is rethrown here (which tasks ran to
+  // completion by then is not specified).  Not reentrant: one round at a
+  // time per pool, and tasks must not call back into the same pool.
+  void parallel_run(std::size_t n, const std::function<void(std::size_t)>& task);
+
+ private:
+  struct Impl;
+  int jobs_;
+  std::unique_ptr<Impl> impl_;  // null when jobs_ <= 1 (inline mode)
+};
 
 struct CellResult {
   std::string id;

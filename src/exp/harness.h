@@ -21,6 +21,7 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exp/engine.h"
@@ -37,6 +38,11 @@ struct CliOptions {
   std::string out_path;       // empty = no results export
   std::string baseline_path;  // empty = no regression gate
   RegressOptions regress;     // metric/direction defaults set per bench
+  // Record host_threads/hw_concurrency in the exported document.  Benches
+  // whose metrics depend on the host (wall-clock rates) set this so the
+  // committed baseline says what machine produced it; deterministic-grid
+  // benches leave it off to keep their documents byte-identical everywhere.
+  bool record_host = false;
 };
 
 inline CliOptions parse_cli(const harness::Args& args,
@@ -63,7 +69,12 @@ inline CliOptions parse_cli(const harness::Args& args,
 inline int finish_cli(const ExperimentSpec& spec,
                       const std::vector<CellResult>& results,
                       const CliOptions& cli) {
-  const ExperimentDoc doc = make_doc(spec, results);
+  ExperimentDoc doc = make_doc(spec, results);
+  if (cli.record_host) {
+    doc.host_threads = resolve_jobs(cli.jobs);
+    doc.hw_concurrency =
+        static_cast<int>(std::thread::hardware_concurrency());
+  }
   if (!cli.out_path.empty()) {
     if (!write_results_file(doc, cli.out_path)) return 2;
     std::fprintf(stderr, "results: wrote %zu cell(s) to %s\n", doc.cells.size(),

@@ -27,6 +27,17 @@ CellComparison compare_cell(const CellRecord& base, const CellRecord* cand,
     out.note = "metric '" + opt.metric + "' missing from baseline cell";
     return out;
   }
+  // An all-zero baseline metric is a recording artifact (e.g. a scenario
+  // that produced no transactions exporting txs_per_sec anyway), not a
+  // level to hold the candidate to: every ratio against it is meaningless.
+  // Skip it as a pass so stale baselines cannot wedge the gate.
+  if (!bm->samples.empty() &&
+      std::all_of(bm->samples.begin(), bm->samples.end(),
+                  [](double s) { return s == 0.0; })) {
+    out.verdict = Verdict::kPass;
+    out.note = "baseline metric all-zero; skipped";
+    return out;
+  }
   const MetricRecord* cm = cand->find_metric(opt.metric);
   if (cm == nullptr) {
     out.verdict = Verdict::kWarnMissingMetric;

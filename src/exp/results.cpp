@@ -167,6 +167,16 @@ std::string results_json(const ExperimentDoc& doc) {
   append_u64(out, static_cast<std::uint64_t>(doc.replicates));
   out += ",\"base_seed\":";
   append_u64(out, doc.base_seed);
+  // Host metadata is opt-in (emitted only when recorded) so documents from
+  // deterministic grids stay byte-identical across hosts.
+  if (doc.host_threads != 0) {
+    out += ",\"host_threads\":";
+    append_u64(out, static_cast<std::uint64_t>(doc.host_threads));
+  }
+  if (doc.hw_concurrency != 0) {
+    out += ",\"hw_concurrency\":";
+    append_u64(out, static_cast<std::uint64_t>(doc.hw_concurrency));
+  }
   out += ",\"cells\":[";
   for (std::size_t i = 0; i < doc.cells.size(); ++i) {
     if (i != 0) out += ',';
@@ -220,6 +230,13 @@ bool parse_results_json(std::string_view text, ExperimentDoc& out,
   }
   const JValue* base_seed = root.find("base_seed");
   if (base_seed != nullptr) out.base_seed = base_seed->u64_or(1);
+  // Optional host metadata (absent in pre-metadata documents).
+  if (const JValue* ht = root.find("host_threads"); ht != nullptr) {
+    out.host_threads = static_cast<int>(ht->u64_or(0));
+  }
+  if (const JValue* hc = root.find("hw_concurrency"); hc != nullptr) {
+    out.hw_concurrency = static_cast<int>(hc->u64_or(0));
+  }
   const JValue* cells = root.find("cells");
   if (cells == nullptr || cells->kind != JValue::Kind::kArray) {
     if (error != nullptr) *error = "document has no cells array";

@@ -52,6 +52,13 @@ struct ExperimentDoc {
   std::string experiment;
   int replicates = 0;
   std::uint64_t base_seed = 1;
+  // Recording-host metadata, for interpreting wall-clock metrics: how many
+  // host threads the run used and how many the host had.  0 = not recorded;
+  // the fields are emitted only when nonzero (a committed deterministic-grid
+  // baseline stays byte-reproducible on any host) and the parser tolerates
+  // their absence, so pre-metadata documents keep loading.
+  int host_threads = 0;
+  int hw_concurrency = 0;
   std::vector<CellRecord> cells;
 
   const CellRecord* find_cell(std::string_view id) const;

@@ -1,0 +1,233 @@
+// sihle-lint: disable-file=R005 — this driver *reports* host wall-clock
+// time (ShardWorkloadResult::wall_seconds, the parallel-simulation payoff
+// metric); the reading never feeds a simulation decision.
+#include "harness/shard_workload.h"
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "ds/hashtable.h"
+#include "elision/elided_lock.h"
+#include "harness/zipf.h"
+#include "runtime/ctx.h"
+#include "runtime/domains.h"
+#include "sim/rng.h"
+
+namespace sihle::harness {
+
+namespace {
+
+using runtime::Ctx;
+using runtime::DomainSet;
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  std::uint64_t s = h ^ (v + 0x9E3779B97F4A7C15ULL);
+  return sim::splitmix64(s);
+}
+
+sim::Task<void> op_insert(Ctx& c, ds::HashTable& t, std::int64_t k) {
+  const bool r = co_await t.insert(c, k);
+  (void)r;
+}
+sim::Task<void> op_erase(Ctx& c, ds::HashTable& t, std::int64_t k) {
+  const bool r = co_await t.erase(c, k);
+  (void)r;
+}
+sim::Task<void> op_lookup(Ctx& c, ds::HashTable& t, std::int64_t k) {
+  const bool r = co_await t.contains(c, k);
+  (void)r;
+}
+
+struct Shard {
+  std::unique_ptr<elision::ElidedLock> lock;
+  std::unique_ptr<ds::HashTable> table;
+  std::uint64_t ops = 0;  // this shard's slice of the operation budget
+};
+
+struct WorkerArgs {
+  std::size_t shard = 0;
+  std::size_t shards = 1;
+  std::uint64_t ops = 0;
+  int update_pct = 0;
+  std::uint64_t remote_every = 0;
+  const Zipf* zipf = nullptr;
+  ds::HashTable* table = nullptr;
+  elision::ElidedLock* lock = nullptr;
+  elision::Policy policy;
+  DomainSet* set = nullptr;
+  mem::Shared<std::uint64_t>* telemetry = nullptr;
+  stats::OpStats* st = nullptr;
+};
+
+sim::Task<void> worker(Ctx& c, WorkerArgs a) {
+  for (std::uint64_t i = 0; i < a.ops; ++i) {
+    // The shard serves its slice of the global Zipfian stream: draw from
+    // the full key universe, keep the keys this shard owns.  Rejected
+    // draws cost rng draws only (request routing is free; executing the
+    // request is what the simulation prices).
+    std::int64_t key;
+    do {
+      key = static_cast<std::int64_t>(a.zipf->draw(c.rng()));
+    } while (shard_of_key(key, a.shards) != a.shard);
+    const int dice = static_cast<int>(c.rng().below(100));
+    ds::HashTable& t = *a.table;
+    if (dice < a.update_pct / 2) {
+      co_await elision::run_cs(
+          a.policy, c, *a.lock,
+          [&t, key](Ctx& cc) { return op_insert(cc, t, key); }, *a.st);
+    } else if (dice < a.update_pct) {
+      co_await elision::run_cs(
+          a.policy, c, *a.lock,
+          [&t, key](Ctx& cc) { return op_erase(cc, t, key); }, *a.st);
+    } else {
+      co_await elision::run_cs(
+          a.policy, c, *a.lock,
+          [&t, key](Ctx& cc) { return op_lookup(cc, t, key); }, *a.st);
+    }
+    if (a.remote_every != 0 && (i + 1) % a.remote_every == 0) {
+      // Telemetry handoff: a non-transactional cross-domain fetch-add on
+      // the shard-0 counter, resolved at the next epoch barrier.
+      (void)co_await a.set->remote_fetch_add(c, 0, *a.telemetry,
+                                             std::uint64_t{1});
+    }
+  }
+}
+
+}  // namespace
+
+ShardWorkloadResult run_shard_workload(const ShardWorkloadConfig& cfg) {
+  const std::size_t shards = cfg.shards == 0 ? 1 : cfg.shards;
+  const int tps = cfg.threads_per_shard < 1 ? 1 : cfg.threads_per_shard;
+
+  DomainSet::Config dc;
+  dc.seed = cfg.seed;
+  dc.domains = shards;
+  dc.host_threads = cfg.domain_threads;
+  dc.epoch_cycles = cfg.epoch_cycles;
+  dc.machine.costs = cfg.costs;
+  dc.machine.htm.spurious_abort_per_access = cfg.spurious;
+  dc.machine.htm.persistent_abort_per_tx = cfg.persistent;
+  DomainSet set(dc);
+  if (cfg.hash_timeline) set.attach_traces();
+
+  const Zipf zipf(cfg.keyspace, cfg.zipf_s);
+
+  // Partition the operation budget by each shard's share of the key-stream
+  // probability mass (cumulative rounding so the slices sum exactly to
+  // total_ops).  Skew concentrates the budget on hot shards.
+  std::vector<double> mass(shards, 0.0);
+  for (std::size_t k = 0; k < cfg.keyspace; ++k) {
+    mass[shard_of_key(static_cast<std::int64_t>(k), shards)] += zipf.mass(k);
+  }
+  std::vector<Shard> shard_state(shards);
+  {
+    double cum = 0.0;
+    std::uint64_t assigned = 0;
+    for (std::size_t d = 0; d < shards; ++d) {
+      cum += mass[d];
+      const auto upto = static_cast<std::uint64_t>(
+          static_cast<double>(cfg.total_ops) * cum + 0.5);
+      shard_state[d].ops = upto - assigned;
+      assigned = upto;
+    }
+  }
+
+  // Per-domain lock then table — the same sync-line allocation order the
+  // single-machine workloads use.
+  for (std::size_t d = 0; d < shards; ++d) {
+    shard_state[d].lock = std::make_unique<elision::ElidedLock>(
+        set.domain(d), cfg.lock, cfg.scheme.conflict.aux);
+    shard_state[d].table = std::make_unique<ds::HashTable>(
+        set.domain(d), std::max<std::size_t>(cfg.buckets_per_shard, 4));
+  }
+  // The cross-domain telemetry counter lives on shard 0.
+  runtime::LineHandle telemetry_line(set.domain(0));
+  mem::Shared<std::uint64_t> telemetry(telemetry_line.line(), 0);
+
+  // Deterministic pre-fill: every key owned by a shard joins its table with
+  // probability 1/2, from one host-side rng (independent of shard count in
+  // draw order, so refactoring the sharding never silently reseeds).
+  {
+    sim::Rng fill(cfg.seed ^ 0xF111F111ULL);
+    for (std::size_t k = 0; k < cfg.keyspace; ++k) {
+      const bool put = fill.chance(0.5);
+      if (!put) continue;
+      const auto key = static_cast<std::int64_t>(k);
+      shard_state[shard_of_key(key, shards)].table->debug_insert(key);
+    }
+  }
+
+  std::vector<stats::OpStats> per_thread(shards * static_cast<std::size_t>(tps));
+  for (std::size_t d = 0; d < shards; ++d) {
+    const std::uint64_t base = shard_state[d].ops / static_cast<std::uint64_t>(tps);
+    const std::uint64_t extra = shard_state[d].ops % static_cast<std::uint64_t>(tps);
+    for (int t = 0; t < tps; ++t) {
+      WorkerArgs a;
+      a.shard = d;
+      a.shards = shards;
+      a.ops = base + (static_cast<std::uint64_t>(t) < extra ? 1 : 0);
+      a.update_pct = cfg.update_pct;
+      a.remote_every = cfg.remote_every;
+      a.zipf = &zipf;
+      a.table = shard_state[d].table.get();
+      a.lock = shard_state[d].lock.get();
+      a.policy = cfg.scheme;
+      a.set = &set;
+      a.telemetry = &telemetry;
+      a.st = &per_thread[d * static_cast<std::size_t>(tps) +
+                         static_cast<std::size_t>(t)];
+      set.spawn(d, [a](Ctx& c) { return worker(c, a); });
+    }
+  }
+
+  const auto wall0 = std::chrono::steady_clock::now();
+  set.run();
+  const auto wall1 = std::chrono::steady_clock::now();
+
+  ShardWorkloadResult out;
+  for (const auto& st : per_thread) out.stats += st;
+  out.makespan = set.max_clock();
+  out.total_events = set.total_events();
+  out.epochs = set.epochs();
+  out.remote_ops = set.remote_ops();
+  out.telemetry = telemetry.debug_value();  // sihle-lint: disable=R002 (post-run readback)
+  out.wall_seconds = std::chrono::duration<double>(wall1 - wall0).count();
+  out.ops_per_mcycle =
+      out.makespan == 0 ? 0.0
+                        : static_cast<double>(out.stats.ops()) * 1e6 /
+                              static_cast<double>(out.makespan);
+
+  out.tables_valid = true;
+  std::uint64_t h = 0x5141A5D5ULL;
+  for (std::size_t d = 0; d < shards; ++d) {
+    if (!shard_state[d].table->debug_validate()) out.tables_valid = false;
+    h = mix(h, shard_state[d].table->debug_size());
+  }
+  for (std::size_t k = 0; k < cfg.keyspace; ++k) {
+    const auto key = static_cast<std::int64_t>(k);
+    const bool present =
+        shard_state[shard_of_key(key, shards)].table->debug_contains(key);
+    h = mix(h, (k << 1) | (present ? 1 : 0));
+  }
+  h = mix(h, out.telemetry);
+  h = mix(h, out.remote_ops);
+  h = mix(h, out.makespan);
+  h = mix(h, out.total_events);
+  out.fingerprint = h;
+
+  if (cfg.hash_timeline) {
+    std::uint64_t th = 0x71AE11EULL;
+    for (const DomainSet::MergedEvent& e : set.merged_timeline()) {
+      th = mix(th, e.event.at);
+      th = mix(th, (static_cast<std::uint64_t>(e.domain) << 32) | e.tid);
+      th = mix(th, (static_cast<std::uint64_t>(e.event.kind) << 16) |
+                       (static_cast<std::uint64_t>(e.event.cause) << 8) |
+                       e.event.code);
+    }
+    out.timeline_hash = th;
+  }
+  return out;
+}
+
+}  // namespace sihle::harness

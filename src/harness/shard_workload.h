@@ -1,0 +1,77 @@
+// Sharded multi-lock workload over the domain-parallel simulator
+// (runtime/domains.h): the "production-scale service" scenario the ROADMAP
+// names as the payoff for parallel simulation.
+//
+// The key space is split across S shards by a multiplicative hash; each
+// shard is one DomainSet domain hosting its own elided lock and its own
+// ds::HashTable, served by a fixed number of worker threads.  A global
+// Zipfian key stream is partitioned by owning shard: each shard executes
+// the fraction of the total operation budget proportional to the
+// probability mass of the keys it owns, so skew (zipf_s > 0) concentrates
+// work on the hot shards — the load-imbalance signal figshard_scaling
+// sweeps.  Every `remote_every` operations a worker publishes telemetry to
+// a global counter on shard 0 through the cross-domain path
+// (DomainSet::remote_fetch_add), exercising the epoch-barrier handoff.
+//
+// Determinism: the result — including the content fingerprint and the
+// merged event-timeline hash — is a pure function of the config (seed,
+// shards, epoch_cycles, ...) and in particular is byte-identical across
+// `domain_threads` values (tests/domains_test.cpp, ctest label `domains`).
+#pragma once
+
+#include <cstdint>
+
+#include "elision/policy.h"
+#include "harness/rbtree_workload.h"  // kDefaultSpurious/kDefaultPersistent
+#include "locks/locks.h"
+#include "sim/cost_model.h"
+#include "stats/op_stats.h"
+
+namespace sihle::harness {
+
+struct ShardWorkloadConfig {
+  std::size_t shards = 4;          // = DomainSet domains
+  int threads_per_shard = 2;
+  std::size_t buckets_per_shard = 64;
+  std::size_t keyspace = 4096;     // global key universe, split by hash
+  double zipf_s = 0.2;             // key-popularity skew (0 = uniform)
+  std::uint64_t total_ops = 16000; // summed over every shard's workers
+  int update_pct = 20;             // mutating fraction, split insert/erase
+  std::uint64_t remote_every = 64; // ops between telemetry handoffs (0 = off)
+  std::uint64_t seed = 1;
+  int domain_threads = 1;          // host threads (0 = hardware concurrency)
+  sim::Cycles epoch_cycles = 4096;
+  elision::Policy scheme = elision::Scheme::kHle;
+  locks::LockKind lock = locks::LockKind::kTtas;
+  double spurious = kDefaultSpurious;
+  double persistent = kDefaultPersistent;
+  sim::CostModel costs{};
+  // Attach per-domain event traces and hash the canonical merged timeline
+  // (costs memory; the determinism tests turn it on).
+  bool hash_timeline = false;
+};
+
+struct ShardWorkloadResult {
+  stats::OpStats stats;            // aggregated over every worker
+  sim::Cycles makespan = 0;        // max virtual clock over all domains
+  std::uint64_t total_events = 0;  // simulation events over all threads
+  std::uint64_t epochs = 0;
+  std::uint64_t remote_ops = 0;    // cross-domain handoffs applied
+  std::uint64_t telemetry = 0;     // final value of the shard-0 counter
+  std::uint64_t fingerprint = 0;   // hash of final table contents + counters
+  std::uint64_t timeline_hash = 0; // merged-event-stream hash (hash_timeline)
+  bool tables_valid = false;
+  double ops_per_mcycle = 0.0;
+  double wall_seconds = 0.0;       // host wall-clock of DomainSet::run()
+};
+
+ShardWorkloadResult run_shard_workload(const ShardWorkloadConfig& cfg);
+
+// The shard owning `key` (multiplicative hash, mirroring HashTable's
+// bucket spread so hot ranks scatter across shards).
+inline std::size_t shard_of_key(std::int64_t key, std::size_t shards) {
+  return static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(key) * 0x9E3779B97F4A7C15ULL) % shards);
+}
+
+}  // namespace sihle::harness

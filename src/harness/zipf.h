@@ -1,0 +1,65 @@
+// Discrete Zipfian rank generator for skewed key streams.
+//
+// P(rank r) ∝ 1/(r+1)^s over ranks [0, n); s = 0 degenerates to uniform,
+// s ≈ 1 is the classic web/caching skew.  Used by the sharded multi-lock
+// workload (harness/shard_workload.h): key popularity concentrates load on
+// the shards owning hot keys, which is the imbalance the domain-parallel
+// scaling bench measures.
+//
+// Construction is O(n) (one cumulative table); a draw is one rng draw plus
+// a binary search — the rng draw *count* per call is exactly one, so
+// schedules that interleave zipf draws with other per-thread rng use stay a
+// pure function of the seed regardless of skew.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace sihle::harness {
+
+class Zipf {
+ public:
+  Zipf(std::size_t n, double s) : cdf_(n) {
+    assert(n > 0);
+    double sum = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      sum += 1.0 / std::pow(static_cast<double>(r + 1), s);
+      cdf_[r] = sum;
+    }
+    for (double& c : cdf_) c /= sum;
+    cdf_.back() = 1.0;  // guard the tail against fp round-down
+  }
+
+  std::size_t n() const { return cdf_.size(); }
+
+  // Probability mass of a single rank (for host-side load accounting).
+  double mass(std::size_t rank) const {
+    assert(rank < cdf_.size());
+    return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+  }
+
+  // Rank in [0, n); rank 0 is the hottest.  Consumes exactly one rng draw.
+  std::size_t draw(sim::Rng& rng) const {
+    const double u = rng.uniform();
+    std::size_t lo = 0;
+    std::size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid] <= u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r)
+};
+
+}  // namespace sihle::harness

@@ -298,6 +298,31 @@ void Htm::nontx_store(std::uint32_t tid, mem::RawCell& cell, std::uint64_t value
   if (observer_) observer_->on_nontx_write(tid, cell, rmw);
 }
 
+std::uint64_t Htm::external_load(const mem::RawCell& cell) {
+  mem::LineState& st = dir_[cell.line()];
+  if (st.tx_writer != -1) {
+    doom(static_cast<std::uint32_t>(st.tx_writer), AbortCause::kConflict,
+         cell.line());
+  }
+  return cell.raw();
+}
+
+void Htm::external_store(mem::RawCell& cell, std::uint64_t value) {
+  mem::LineState& st = dir_[cell.line()];
+  if (st.tx_writer != -1) {
+    doom(static_cast<std::uint32_t>(st.tx_writer), AbortCause::kConflict,
+         cell.line());
+  }
+  std::uint64_t readers = st.tx_readers;
+  while (readers != 0) {
+    const int r = __builtin_ctzll(readers);
+    readers &= readers - 1;
+    doom(static_cast<std::uint32_t>(r), AbortCause::kConflict, cell.line());
+  }
+  st.version++;
+  cell.set_raw(value);
+}
+
 void Htm::on_line_freed(mem::Line line) {
   if (observer_) observer_->on_line_freed(line);
   mem::LineState& st = dir_[line];

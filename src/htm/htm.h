@@ -348,6 +348,19 @@ class Htm {
   void nontx_store(std::uint32_t tid, mem::RawCell& cell, std::uint64_t value,
                    bool rmw = false);
 
+  // --- Cross-domain (external-agent) accesses -------------------------------
+  //
+  // A coherence request arriving from outside this machine — another
+  // domain's thread, applied at the DomainSet epoch barrier
+  // (runtime/domains.h).  There is no local thread id to attribute the
+  // access to, so the conflict rule is the conservative one already used
+  // for line reuse: a load dooms the line's transactional writer, a store
+  // dooms the writer and every transactional reader.  The analysis observer
+  // is not consulted — cross-domain traffic is non-transactional by
+  // construction, and its synchronization discipline is the barrier's job.
+  std::uint64_t external_load(const mem::RawCell& cell);
+  void external_store(mem::RawCell& cell, std::uint64_t value);
+
   // Abort `victim`'s transaction with the given cause (requestor wins).
   // Clears the victim's directory footprint immediately; the victim unwinds
   // at its next access or commit.  `line` is the conflicting cache line

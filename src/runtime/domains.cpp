@@ -1,0 +1,186 @@
+#include "runtime/domains.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "exp/engine.h"
+
+namespace sihle::runtime {
+
+namespace {
+
+// Domain 0 runs the configured seed verbatim (a one-domain set must be
+// bit-equal to a plain Machine at that seed); other domains get decorrelated
+// streams — plain seed+d would alias thread-RNG seeding across domains
+// (Executor seeds thread t from seed + 0x100 + t).
+std::uint64_t domain_seed(std::uint64_t seed, std::size_t d) {
+  if (d == 0) return seed;
+  std::uint64_t sm = seed ^ (0xD0A11ULL + 0x9E3779B97F4A7C15ULL * d);
+  return sim::splitmix64(sm);
+}
+
+}  // namespace
+
+DomainSet::DomainSet(Config cfg) : cfg_(cfg) {
+  if (cfg_.domains == 0) cfg_.domains = 1;
+  if (cfg_.epoch_cycles == 0) cfg_.epoch_cycles = 4096;
+  machines_.reserve(cfg_.domains);
+  for (std::size_t d = 0; d < cfg_.domains; ++d) {
+    Machine::Config mc = cfg_.machine;
+    mc.seed = domain_seed(cfg_.seed, d);
+    machines_.push_back(std::make_unique<Machine>(mc));
+  }
+  pending_.resize(cfg_.domains);
+  // More workers than domains can never help: a domain is sequential.
+  const int jobs =
+      std::min(exp::resolve_jobs(cfg_.host_threads),
+               static_cast<int>(cfg_.domains));
+  pool_ = std::make_unique<exp::WorkPool>(jobs);
+}
+
+DomainSet::~DomainSet() = default;
+
+void DomainSet::attach_traces(std::size_t capacity_per_thread) {
+  traces_.reserve(machines_.size());
+  for (auto& m : machines_) {
+    traces_.push_back(std::make_unique<stats::EventTrace>(capacity_per_thread));
+    m->set_event_trace(traces_.back().get());
+  }
+}
+
+std::uint32_t DomainSet::index_of(const Machine& m) const {
+  for (std::size_t d = 0; d < machines_.size(); ++d) {
+    if (machines_[d].get() == &m) return static_cast<std::uint32_t>(d);
+  }
+  assert(false && "Ctx does not belong to this DomainSet");
+  return 0;
+}
+
+void DomainSet::issue(RemoteOpBase& op, std::coroutine_handle<> h) {
+  assert(!op.ctx.in_tx() &&
+         "cross-domain accesses must be non-transactional (no cross-domain "
+         "conflict detection exists by design)");
+  assert(op.target < machines_.size());
+  Machine& m = op.ctx.machine();
+  const std::uint32_t src = index_of(m);
+  const sim::Cycles issue_clock = m.exec().thread(op.ctx.id()).clock;
+  pending_[src].push_back({issue_clock, src, op.ctx.id(), &op});
+  m.exec().block_current(h);
+}
+
+bool DomainSet::apply_barrier() {
+  barrier_scratch_.clear();
+  for (auto& v : pending_) {
+    barrier_scratch_.insert(barrier_scratch_.end(), v.begin(), v.end());
+    v.clear();
+  }
+  if (barrier_scratch_.empty()) return false;
+  // Deterministic total order.  A blocked thread has at most one pending op,
+  // so (clock, domain, tid) is a unique key — no tie left to host timing.
+  std::sort(barrier_scratch_.begin(), barrier_scratch_.end(),
+            [](const PendingOp& a, const PendingOp& b) {
+              if (a.issue_clock != b.issue_clock) {
+                return a.issue_clock < b.issue_clock;
+              }
+              if (a.src_domain != b.src_domain) {
+                return a.src_domain < b.src_domain;
+              }
+              return a.src_tid < b.src_tid;
+            });
+  for (const PendingOp& p : barrier_scratch_) {
+    RemoteOpBase& op = *p.op;
+    Machine& tgt = *machines_[op.target];
+    const sim::Cycles done = p.issue_clock + tgt.costs().remote_access;
+    switch (op.kind) {
+      case OpKind::kLoad:
+        op.value = tgt.htm().external_load(*op.cell);
+        break;
+      case OpKind::kStore:
+        tgt.htm().external_store(*op.cell, op.operand);
+        op.value = op.operand;
+        tgt.exec().wake_watchers(op.cell->line(), done, tgt.costs());
+        break;
+      case OpKind::kFetchAdd:
+        op.value = tgt.htm().external_load(*op.cell);
+        tgt.htm().external_store(*op.cell, op.value + op.operand);
+        tgt.exec().wake_watchers(op.cell->line(), done, tgt.costs());
+        break;
+    }
+    machines_[p.src_domain]->exec().wake_blocked(p.src_tid, done);
+    ++remote_ops_;
+  }
+  return true;
+}
+
+void DomainSet::run() {
+  const std::size_t n = machines_.size();
+  std::vector<sim::RunOutcome> outcome(n, sim::RunOutcome::kHorizon);
+  std::vector<char> finished(n, 0);
+  sim::Cycles horizon = 0;
+  for (;;) {
+    horizon += cfg_.epoch_cycles;
+    // Parallel phase: disjoint per-domain state, any host interleaving.
+    pool_->parallel_run(n, [&](std::size_t d) {
+      if (finished[d]) return;
+      outcome[d] = machines_[d]->run_until(horizon);
+    });
+    ++epochs_;
+    // Barrier phase: coordinator only.
+    const bool applied = apply_barrier();
+    bool all_finished = true;
+    bool all_blocked = true;
+    for (std::size_t d = 0; d < n; ++d) {
+      if (outcome[d] == sim::RunOutcome::kFinished) finished[d] = 1;
+      if (!finished[d]) {
+        all_finished = false;
+        if (outcome[d] != sim::RunOutcome::kAllBlocked) all_blocked = false;
+      }
+    }
+    if (all_finished) return;
+    if (all_blocked && !applied) {
+      throw std::runtime_error(
+          "DomainSet: deadlock — every unfinished domain is blocked and no "
+          "cross-domain operation is pending");
+    }
+  }
+}
+
+std::vector<DomainSet::MergedEvent> DomainSet::merged_timeline() const {
+  std::vector<MergedEvent> out;
+  assert(!traces_.empty() && "attach_traces() before the run");
+  for (std::size_t d = 0; d < traces_.size(); ++d) {
+    const stats::EventTrace& tr = *traces_[d];
+    for (std::uint32_t tid = 0; tid < tr.threads(); ++tid) {
+      tr.ring(tid).for_each([&](const stats::Event& e) {
+        out.push_back({static_cast<std::uint32_t>(d), tid, e});
+      });
+    }
+  }
+  // Stable: equal (at, domain, tid) keeps ring (program) order.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const MergedEvent& a, const MergedEvent& b) {
+                     if (a.event.at != b.event.at) return a.event.at < b.event.at;
+                     if (a.domain != b.domain) return a.domain < b.domain;
+                     return a.tid < b.tid;
+                   });
+  return out;
+}
+
+sim::Cycles DomainSet::max_clock() const {
+  sim::Cycles m = 0;
+  for (const auto& mach : machines_) m = std::max(m, mach->exec().max_clock());
+  return m;
+}
+
+std::uint64_t DomainSet::total_events() const {
+  std::uint64_t n = 0;
+  for (const auto& mach : machines_) {
+    const auto& ex = mach->exec();
+    for (std::uint32_t t = 0; t < ex.thread_count(); ++t) {
+      n += ex.thread(t).events;
+    }
+  }
+  return n;
+}
+
+}  // namespace sihle::runtime

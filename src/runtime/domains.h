@@ -1,0 +1,224 @@
+// Domain-parallel simulation: independent lock domains on host threads.
+//
+// A *domain* is one complete simulated machine — executor, directory, HTM,
+// frame pool, trace sinks — hosting one elided lock (or a small family of
+// locks) and the cache lines its critical sections touch.  Workloads whose
+// locks are causally independent most of the time (a sharded hash map, one
+// elided lock per shard) partition naturally into domains, and DomainSet
+// advances the domains concurrently on host threads while keeping the
+// result a pure function of the seed:
+//
+//   * Epoch loop.  Virtual time is cut into fixed epochs of `epoch_cycles`.
+//     Each epoch every unfinished domain runs run_until(horizon) — its own
+//     executor, its own state, nothing shared — fanned across an
+//     exp::WorkPool of host threads.  Which host thread runs which domain
+//     is immaterial: domains touch disjoint state during the parallel
+//     phase, so any interleaving computes the same per-domain result.
+//
+//   * Epoch barrier.  Cross-domain accesses issued during the epoch (each
+//     recorded in a *domain-local* pending list by the issuing domain) are
+//     applied by the coordinating thread after all workers quiesce, sorted
+//     by (issue clock, source domain, source thread) — a deterministic
+//     total order.  The issuing logical thread blocks at issue
+//     (Executor::block_current) and is woken remote_access cycles later,
+//     so a cross-domain access conservatively costs a remote round trip
+//     regardless of host-thread timing.
+//
+//   * Determinism.  Per-domain phases are sequential deterministic
+//     simulations; the barrier is single-threaded over a deterministically
+//     ordered op list; the epoch schedule (horizon sequence) is a fixed
+//     function of epoch_cycles.  Hence the merged event order — and every
+//     result derived from it — is byte-identical across --domain-threads
+//     counts and across repeated runs (tests/domains_test.cpp, ctest label
+//     `domains`).  A single-domain DomainSet reproduces a plain
+//     Machine::run() exactly: run_until's horizon pause does not perturb
+//     the min-clock schedule, it only slices it.
+//
+// Cross-domain semantics are conservative by design: remote accesses are
+// non-transactional (asserted), apply with external-agent conflict rules
+// (doom the target line's writer, and on stores its readers —
+// htm::Htm::external_load/external_store), and wake line watchers in the
+// target domain.  That models an uncached remote-socket access, the worst
+// honest cost; domains exist to make such accesses rare.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/shared.h"
+#include "runtime/ctx.h"
+#include "runtime/machine.h"
+#include "sim/cost_model.h"
+#include "sim/executor.h"
+#include "stats/event_ring.h"
+
+namespace sihle::exp {
+class WorkPool;
+}
+
+namespace sihle::runtime {
+
+class DomainSet {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;
+    std::size_t domains = 1;
+    // Host threads fanning domains out per epoch: 0 = one per hardware
+    // thread, 1 = run every domain inline on the calling thread.
+    int host_threads = 1;
+    // Epoch length in virtual cycles.  Longer epochs amortize barrier
+    // overhead; cross-domain ops resolve only at barriers, so an op waits
+    // up to one epoch.  Result bytes do NOT depend on host_threads, but DO
+    // depend on epoch_cycles (it is part of the virtual-time model).
+    sim::Cycles epoch_cycles = 4096;
+    // Per-domain machine template; `seed` above overrides machine.seed
+    // (domain 0 uses it verbatim, so a one-domain DomainSet is bit-equal to
+    // Machine{machine} with that seed).
+    Machine::Config machine{};
+  };
+
+  explicit DomainSet(Config cfg);
+  ~DomainSet();
+
+  DomainSet(const DomainSet&) = delete;
+  DomainSet& operator=(const DomainSet&) = delete;
+
+  std::size_t domain_count() const { return machines_.size(); }
+  Machine& domain(std::size_t d) { return *machines_[d]; }
+  const Config& config() const { return cfg_; }
+
+  // Registers a logical thread on domain `d` (see Machine::spawn).
+  template <class F>
+  std::uint32_t spawn(std::size_t d, F&& make_body) {
+    return machines_[d]->spawn(std::forward<F>(make_body));
+  }
+
+  // Runs every domain to completion through the epoch loop.  Throws
+  // std::runtime_error on deadlock: every unfinished domain blocked with no
+  // pending cross-domain operation to resolve it.
+  void run();
+
+  // --- Cross-domain access (awaitables) ------------------------------------
+  //
+  // Issued by a logical thread of any domain against a cell owned by domain
+  // `target`.  Non-transactional only (asserted): a speculative cross-domain
+  // access would need cross-domain conflict detection, which is exactly what
+  // domain partitioning removes.  The issuing thread blocks until the next
+  // epoch barrier applies the op, resuming remote_access cycles after issue.
+
+  template <mem::SharedValue T>
+  auto remote_load(Ctx& ctx, std::size_t target, const mem::Shared<T>& cell) {
+    struct Op : RemoteOpBase {
+      using RemoteOpBase::RemoteOpBase;
+      T await_resume() { return mem::Shared<T>::unpack(this->value); }
+    };
+    return Op{*this, ctx, static_cast<std::uint32_t>(target), OpKind::kLoad,
+              const_cast<mem::RawCell*>(static_cast<const mem::RawCell*>(&cell)),
+              0};
+  }
+
+  template <mem::SharedValue T>
+  auto remote_store(Ctx& ctx, std::size_t target, mem::Shared<T>& cell, T v) {
+    struct Op : RemoteOpBase {
+      using RemoteOpBase::RemoteOpBase;
+      void await_resume() const noexcept {}
+    };
+    return Op{*this, ctx, static_cast<std::uint32_t>(target), OpKind::kStore,
+              &cell, mem::Shared<T>::pack(v)};
+  }
+
+  // Atomic at the barrier (the coordinating thread applies ops one at a
+  // time); returns the pre-add value.
+  template <mem::SharedValue T>
+  auto remote_fetch_add(Ctx& ctx, std::size_t target, mem::Shared<T>& cell,
+                        T delta) {
+    static_assert(std::is_integral_v<T>);
+    struct Op : RemoteOpBase {
+      using RemoteOpBase::RemoteOpBase;
+      T await_resume() { return mem::Shared<T>::unpack(this->value); }
+    };
+    return Op{*this, ctx, static_cast<std::uint32_t>(target),
+              OpKind::kFetchAdd, &cell, mem::Shared<T>::pack(delta)};
+  }
+
+  // --- Merged observability -------------------------------------------------
+
+  // Attaches one stats::EventTrace per domain (Machine::set_event_trace);
+  // call before run().  Traces are owned by the set.
+  void attach_traces(
+      std::size_t capacity_per_thread = stats::EventTrace::kDefaultCapacityPerThread);
+  stats::EventTrace* trace(std::size_t d) {
+    return traces_.empty() ? nullptr : traces_[d].get();
+  }
+
+  // One event of the canonical merged stream: (at, domain, tid, ring order)
+  // — a pure function of the seed, independent of host_threads.
+  struct MergedEvent {
+    std::uint32_t domain = 0;
+    std::uint32_t tid = 0;
+    stats::Event event{};
+  };
+  // Requires attach_traces() before the run.  Events are merged across
+  // every domain's rings by (timestamp, domain, tid), ties keeping ring
+  // (per-thread program) order.
+  std::vector<MergedEvent> merged_timeline() const;
+
+  // --- Run accounting -------------------------------------------------------
+
+  sim::Cycles max_clock() const;        // makespan over all domains
+  std::uint64_t total_events() const;   // simulation events over all threads
+  std::uint64_t epochs() const { return epochs_; }
+  std::uint64_t remote_ops() const { return remote_ops_; }
+
+ private:
+  enum class OpKind : std::uint8_t { kLoad, kStore, kFetchAdd };
+
+  struct RemoteOpBase {
+    DomainSet& ds;
+    Ctx& ctx;
+    std::uint32_t target;
+    OpKind kind;
+    mem::RawCell* cell;
+    std::uint64_t operand;
+    std::uint64_t value = 0;
+
+    RemoteOpBase(DomainSet& ds, Ctx& ctx, std::uint32_t target, OpKind kind,
+                 mem::RawCell* cell, std::uint64_t operand)
+        : ds(ds), ctx(ctx), target(target), kind(kind), cell(cell),
+          operand(operand) {}
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { ds.issue(*this, h); }
+  };
+
+  struct PendingOp {
+    sim::Cycles issue_clock = 0;
+    std::uint32_t src_domain = 0;
+    std::uint32_t src_tid = 0;
+    RemoteOpBase* op = nullptr;  // lives in the blocked coroutine's frame
+  };
+
+  // Records the op in the issuing domain's pending list and blocks the
+  // issuing thread; runs inside that domain's parallel phase.
+  void issue(RemoteOpBase& op, std::coroutine_handle<> h);
+  std::uint32_t index_of(const Machine& m) const;
+  // Applies every pending op in deterministic order and wakes the issuers.
+  // Single-threaded (coordinator only).  Returns whether any op applied.
+  bool apply_barrier();
+
+  Config cfg_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+  std::vector<std::unique_ptr<stats::EventTrace>> traces_;
+  std::unique_ptr<exp::WorkPool> pool_;
+  // pending_[d]: ops issued by domain d's threads this epoch.  Written only
+  // by the host thread running domain d's phase; drained at the barrier.
+  std::vector<std::vector<PendingOp>> pending_;
+  std::vector<PendingOp> barrier_scratch_;
+  std::uint64_t epochs_ = 0;
+  std::uint64_t remote_ops_ = 0;
+};
+
+}  // namespace sihle::runtime

@@ -7,6 +7,11 @@
 namespace sihle::runtime {
 
 Machine::~Machine() {
+  // A machine that last ran on an epoch-loop worker may be destroyed by the
+  // thread that owns the DomainSet; destruction implies the owner has
+  // synchronized with every worker, so take the frame pool back before the
+  // executor's root-frame teardown releases frames into it.
+  frame_pool_.bind_to_this_thread();
   // Surface analysis findings even when no one inspected the report (e.g. a
   // bench run with --analysis=on); non-fatal mode otherwise stays silent.
   if (checker_ && !checker_->report().clean()) {
@@ -23,6 +28,13 @@ void Machine::run() {
   sim::ActiveFramePool scope(&frame_pool_);
   exec_.run();
   maybe_drain();
+}
+
+sim::RunOutcome Machine::run_until(sim::Cycles horizon) {
+  sim::ActiveFramePool scope(&frame_pool_);
+  const sim::RunOutcome r = exec_.run_until(horizon);
+  if (r == sim::RunOutcome::kFinished) maybe_drain();
+  return r;
 }
 
 }  // namespace sihle::runtime

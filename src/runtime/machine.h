@@ -115,6 +115,13 @@ class Machine {
   // Runs the simulation to completion and drains deferred reclamation.
   void run();
 
+  // Bounded run for the domain-parallel epoch loop (runtime/domains.h):
+  // advances until every runnable thread reaches `horizon` (or the machine
+  // finishes / has no runnable thread), with this machine's frame pool
+  // active — entering run_until is the pool's ownership handoff to the
+  // calling host thread.  Drains deferred reclamation once finished.
+  sim::RunOutcome run_until(sim::Cycles horizon);
+
   sim::Executor& exec() { return exec_; }
   mem::Directory& dir() { return dir_; }
   htm::Htm& htm() { return htm_; }

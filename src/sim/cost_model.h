@@ -39,6 +39,10 @@ struct CostModel {
   Cycles wake_latency = 40;
   // Charged when a blocked thread is woken (reload of the watched line).
   Cycles wake_reload = 12;
+  // Cross-domain access (runtime/domains.h): a line owned by another lock
+  // domain is reached through the epoch barrier, modelling a remote-socket
+  // round trip.  The issuing thread resumes this many cycles after issue.
+  Cycles remote_access = 200;
 
   // One "unit" of private computation, used by workloads via Ctx::work().
   Cycles work_unit = 1;

@@ -78,8 +78,15 @@ void Executor::finish(ThreadState& t) {
 }
 
 void Executor::run() {
+  if (run_until(kNoHorizon) == RunOutcome::kAllBlocked) {
+    throw std::runtime_error("Executor: deadlock — all live threads blocked");
+  }
+}
+
+RunOutcome Executor::run_until(Cycles horizon) {
   // Fix up promise back-pointers and initial resume points now that the
-  // thread vector is stable.
+  // thread vector is stable.  Idempotent, so the epoch loop may call
+  // run_until repeatedly (no spawns are permitted once a run has started).
   for (std::uint32_t i = 0; i < threads_.size(); ++i) {
     roots_[i].handle.promise().ts = &threads_[i];
     if (!threads_[i].resume_point) threads_[i].resume_point = roots_[i].handle;
@@ -88,11 +95,15 @@ void Executor::run() {
   while (true) {
     const std::uint32_t next = pick_next();
     if (next == kInvalidThread) {
-      if (blocked_mask_ == 0) return;  // every thread finished
-      throw std::runtime_error("Executor: deadlock — all live threads blocked");
+      if (blocked_mask_ == 0) return RunOutcome::kFinished;
+      return RunOutcome::kAllBlocked;
     }
-    current_ = next;
     ThreadState& t = threads_[next];
+    // pick_next returns a minimum-clock runnable thread, so once it is past
+    // the horizon every runnable thread is.  Never taken under run()'s
+    // kNoHorizon, keeping the sequential event loop bit-for-bit intact.
+    if (t.clock >= horizon) return RunOutcome::kHorizon;
+    current_ = next;
     t.events++;
     t.resume_point.resume();
     if (t.failure) {
@@ -141,6 +152,17 @@ void Executor::block_current_on_line(std::uint32_t line, std::coroutine_handle<>
     choice_->note_line(line, false);
     if (line2 != kInvalidLine) choice_->note_line(line2, false);
   }
+}
+
+void Executor::block_current(std::coroutine_handle<> h) {
+  ThreadState& t = threads_[current_];
+  t.watch_line = kInvalidLine;
+  t.watch_line2 = kInvalidLine;
+  t.state = RunState::kBlocked;
+  t.resume_point = h;
+  const std::uint64_t bit = 1ULL << t.id;
+  runnable_mask_ &= ~bit;
+  blocked_mask_ |= bit;
 }
 
 void Executor::unblock(ThreadState& t) {

@@ -31,6 +31,14 @@ inline constexpr std::uint32_t kInvalidThread = std::numeric_limits<std::uint32_
 
 enum class RunState : std::uint8_t { kRunnable, kBlocked, kFinished };
 
+// Why run_until() stopped (domain-parallel simulation, runtime/domains.h).
+enum class RunOutcome : std::uint8_t {
+  kFinished,    // every logical thread finished
+  kHorizon,     // all runnable threads have reached the virtual-time horizon
+  kAllBlocked,  // live threads exist but none is runnable (possible deadlock;
+                // under DomainSet a pending cross-domain op resolves it)
+};
+
 // Per-logical-thread simulation state.  Higher layers (memory, HTM) keep
 // their own per-thread state indexed by `id`.
 struct ThreadState {
@@ -90,6 +98,17 @@ class Executor {
   // escapes a thread body.
   void run();
 
+  // Bounded run: resumes min-clock threads until every runnable thread's
+  // clock is >= `horizon`, every thread finished, or no thread is runnable.
+  // run() is run_until(no horizon) plus the deadlock throw, so the
+  // sequential scheduling order — and its RNG draw sequence — is untouched
+  // (tests/rng_draworder_test.cpp).  The epoch loop of the domain-parallel
+  // simulation (runtime/domains.h) calls this once per epoch; kAllBlocked is
+  // not a verdict there, because a thread parked on a cross-domain handoff
+  // is woken at the next barrier.
+  RunOutcome run_until(Cycles horizon);
+  static constexpr Cycles kNoHorizon = std::numeric_limits<Cycles>::max();
+
   std::uint32_t thread_count() const { return static_cast<std::uint32_t>(threads_.size()); }
   ThreadState& thread(std::uint32_t id) { return threads_[id]; }
   const ThreadState& thread(std::uint32_t id) const { return threads_[id]; }
@@ -109,6 +128,11 @@ class Executor {
   // published to.
   void block_current_on_line(std::uint32_t line, std::coroutine_handle<> h,
                              std::uint32_t line2 = kInvalidLine);
+
+  // Suspend the current thread with no watched line: only an explicit
+  // wake_blocked() revives it.  Used for cross-domain handoffs, whose wake
+  // comes from the epoch barrier rather than from a published line.
+  void block_current(std::coroutine_handle<> h);
 
   // Wake every thread blocked on `line`; the waiter's clock jumps to the
   // publisher's clock plus coherence latency.  O(#woken): watchers are kept

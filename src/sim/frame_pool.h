@@ -20,7 +20,14 @@
 // pointer, decides where the memory goes back to.
 //
 // Not thread-safe: a pool must be used from one host thread at a time
-// (each engine worker owns its Machines, hence its pools).
+// (each engine worker owns its Machines, hence its pools).  Ownership is
+// explicitly thread-affine but *rebindable*: installing the pool with
+// ActiveFramePool binds it to the installing host thread, which is how a
+// per-domain pool legally migrates between epoch-loop workers
+// (runtime/domains.h) — the epoch barrier provides the happens-before.
+// Debug builds assert that every pooled allocation and free-list release
+// happens on the currently bound thread, so an unsynchronized cross-thread
+// release fails loudly instead of corrupting the free lists.
 //
 // Under AddressSanitizer the pool serves every request from the host
 // allocator and never recycles, so ASan retains byte-exact use-after-free
@@ -32,6 +39,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <new>
+#include <thread>
 #include <vector>
 
 // SIHLE_NO_FRAME_POOL=1 in the environment forces every coroutine frame
@@ -115,12 +123,25 @@ class FramePool {
     }
     --ctrl->live;
     if (ctrl->pool != nullptr) {
+      // Cross-thread release would race the owner's free-list pushes and
+      // corrupt them silently; the owner is rebound on activation
+      // (ActiveFramePool) and at Machine teardown, so a failure here means a
+      // frame was freed from a host thread the pool was never handed to.
+      assert(ctrl->pool->bound_thread_ == std::this_thread::get_id() &&
+             "FramePool: frame released on a thread the pool is not bound to");
       ctrl->pool->free_[h->bucket].push_back(h);
     } else {
       std::free(h);
       if (ctrl->live == 0) delete ctrl;
     }
   }
+
+  // Re-binds pool ownership to the calling host thread.  Legal only when the
+  // caller has synchronized with every prior user of the pool (the epoch
+  // barrier, a thread join, ...).  ActiveFramePool does this on install;
+  // Machine::~Machine does it so a machine last run on a pool worker can be
+  // destroyed by its owner.
+  void bind_to_this_thread() { bound_thread_ = std::this_thread::get_id(); }
 
   // --- Introspection (tests, docs/PERFORMANCE.md) --------------------------
   std::uint64_t served() const { return served_; }        // pooled requests
@@ -148,6 +169,8 @@ class FramePool {
   }
 
   void* pooled_allocate(std::size_t total) {
+    assert(bound_thread_ == std::this_thread::get_id() &&
+           "FramePool: allocation on a thread the pool is not bound to");
     const std::uint32_t bucket = static_cast<std::uint32_t>(total / kGranularity - 1);
     ++served_;
     ++ctrl_->live;
@@ -175,6 +198,8 @@ class FramePool {
   std::vector<void*> free_[kBuckets];
   std::uint64_t served_ = 0;
   std::uint64_t recycled_ = 0;
+  // Host thread the pool is currently affine to (see bind_to_this_thread).
+  std::thread::id bound_thread_ = std::this_thread::get_id();
 };
 
 // Installs `pool` as the thread's active frame pool for the current scope.
@@ -182,6 +207,9 @@ class ActiveFramePool {
  public:
   explicit ActiveFramePool(FramePool* pool) : prev_(FramePool::active()) {
     FramePool::active() = pool;
+    // Activation is the ownership handoff point: the installer must already
+    // have synchronized with the pool's previous user.
+    if (pool != nullptr) pool->bind_to_this_thread();
   }
   ActiveFramePool(const ActiveFramePool&) = delete;
   ActiveFramePool& operator=(const ActiveFramePool&) = delete;

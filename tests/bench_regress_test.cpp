@@ -147,6 +147,32 @@ TEST(BenchRegress, ZeroBaselineMeanDoesNotDivide) {
   EXPECT_DOUBLE_EQ(report.cells[0].ratio, 1.0);
 }
 
+// An all-zero baseline metric is a recording artifact (a scenario that
+// could never produce the metric still exported it); there is no level to
+// gate against, so the cell passes with a note — even when the candidate
+// lacks the metric entirely (a fixed bench stops exporting it).
+TEST(BenchRegress, AllZeroBaselineMetricIsSkippedAsPass) {
+  const auto base = doc_with({make_cell("a", "txs_per_sec", 0.0, 0.0)});
+  exp::RegressOptions opt;
+  opt.metric = "txs_per_sec";
+  {
+    const auto cand = doc_with({make_cell("a", "txs_per_sec", 0.0, 0.0)});
+    const exp::RegressReport report = exp::compare_results(base, cand, opt);
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.passes, 1u);
+    EXPECT_EQ(report.cells[0].note, "baseline metric all-zero; skipped");
+  }
+  {
+    // Candidate dropped the metric: still a pass, not a missing-metric
+    // warning — there was never a real baseline to hold it to.
+    const auto cand = doc_with({make_cell("a", "events_per_sec", 10.0, 0.1)});
+    const exp::RegressReport report = exp::compare_results(base, cand, opt);
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.passes, 1u);
+    EXPECT_EQ(report.warnings, 0u);
+  }
+}
+
 // End-to-end through the serialized schema: what bench_regress (the CLI)
 // actually does — parse two documents, compare, report.
 TEST(BenchRegress, RoundTripThroughJsonPreservesVerdicts) {

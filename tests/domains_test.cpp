@@ -1,0 +1,352 @@
+// Domain-parallel simulation suite (runtime/domains.h; ctest label
+// `domains`, also the CI tsan leg's entry point for the epoch-parallel
+// executor).  Locks in the determinism contract:
+//
+//   * a one-domain DomainSet is bit-equal to a plain Machine run,
+//   * sharded-workload results (content fingerprint, merged-timeline hash,
+//     per-op stats) are byte-identical across --domain-threads counts and
+//     across repeated runs,
+//   * cross-domain accesses apply with external-agent semantics (values,
+//     remote_access pricing, dooming a target transaction, deterministic
+//     barrier order), and an all-blocked set reports deadlock,
+//
+// plus unit coverage of the Zipf generator and the persistent WorkPool the
+// epoch loop fans out on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "exp/engine.h"
+#include "harness/shard_workload.h"
+#include "harness/zipf.h"
+#include "runtime/ctx.h"
+#include "runtime/domains.h"
+
+namespace sihle {
+namespace {
+
+using runtime::Ctx;
+using runtime::DomainSet;
+using runtime::LineHandle;
+using runtime::Machine;
+
+struct Cell {
+  LineHandle line;
+  mem::Shared<std::uint64_t> v;
+  explicit Cell(Machine& m, std::uint64_t init = 0)
+      : line(m), v(line.line(), init) {}
+};
+
+sim::Task<void> tx_increments(Ctx& c, Cell& cell, int n, std::uint64_t& commits) {
+  for (int i = 0; i < n; ++i) {
+    const auto s = co_await c.with_tx([&c, &cell] {
+      return [](Ctx& cc, Cell& k) -> sim::Task<void> {
+        const std::uint64_t v = co_await cc.load(k.v);
+        co_await cc.work(20);
+        co_await cc.store(k.v, v + 1);
+      }(c, cell);
+    });
+    if (s.ok()) ++commits;
+  }
+}
+
+// --- single-domain equivalence -----------------------------------------------
+
+TEST(Domains, SingleDomainMatchesPlainMachine) {
+  constexpr int kThreads = 4;
+  constexpr int kOps = 40;
+
+  Machine::Config mc;
+  mc.seed = 7;
+  Machine plain(mc);
+  auto plain_cell = std::make_unique<Cell>(plain);
+  std::vector<std::uint64_t> plain_commits(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    plain.spawn([&, t](Ctx& c) {
+      return tx_increments(c, *plain_cell, kOps, plain_commits[t]);
+    });
+  }
+  plain.run();
+
+  DomainSet::Config dc;
+  dc.seed = 7;
+  dc.domains = 1;
+  dc.epoch_cycles = 512;  // the horizon only slices the schedule
+  DomainSet set(dc);
+  auto set_cell = std::make_unique<Cell>(set.domain(0));
+  std::vector<std::uint64_t> set_commits(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    set.spawn(0, [&, t](Ctx& c) {
+      return tx_increments(c, *set_cell, kOps, set_commits[t]);
+    });
+  }
+  set.run();
+
+  EXPECT_EQ(plain_cell->v.debug_value(), set_cell->v.debug_value());
+  EXPECT_EQ(plain_commits, set_commits);
+  EXPECT_EQ(plain.exec().max_clock(), set.max_clock());
+  for (std::uint32_t t = 0; t < plain.exec().thread_count(); ++t) {
+    EXPECT_EQ(plain.exec().thread(t).clock, set.domain(0).exec().thread(t).clock)
+        << "thread " << t;
+    EXPECT_EQ(plain.exec().thread(t).events,
+              set.domain(0).exec().thread(t).events)
+        << "thread " << t;
+  }
+}
+
+// --- cross-domain access semantics -------------------------------------------
+
+TEST(Domains, RemoteOpsReturnValuesAndChargeRemoteAccess) {
+  DomainSet::Config dc;
+  dc.domains = 2;
+  dc.epoch_cycles = 128;
+  DomainSet set(dc);
+  auto cell = std::make_unique<Cell>(set.domain(0), 41);
+
+  std::uint64_t loaded = 0;
+  std::uint64_t pre_add = 0;
+  sim::Cycles load_cost = 0;
+  set.spawn(1, [&](Ctx& c) -> sim::Task<void> {
+    return [](Ctx& cc, DomainSet& ds, Cell& k, std::uint64_t& out,
+              std::uint64_t& pre, sim::Cycles& cost) -> sim::Task<void> {
+      const sim::Cycles before = cc.now();
+      out = co_await ds.remote_load(cc, 0, k.v);
+      cost = cc.now() - before;
+      pre = co_await ds.remote_fetch_add(cc, 0, k.v, std::uint64_t{1});
+      co_await ds.remote_store(cc, 0, k.v, std::uint64_t{7});
+    }(c, set, *cell, loaded, pre_add, load_cost);
+  });
+  set.run();
+
+  EXPECT_EQ(loaded, 41u);
+  EXPECT_EQ(pre_add, 41u);
+  EXPECT_EQ(cell->v.debug_value(), 7u);
+  EXPECT_EQ(set.remote_ops(), 3u);
+  // The issuer resumes exactly remote_access cycles after issue: a remote
+  // round trip is priced the same regardless of host-thread timing.
+  EXPECT_EQ(load_cost, set.domain(0).costs().remote_access);
+}
+
+TEST(Domains, RemoteStoreDoomsTargetTransaction) {
+  DomainSet::Config dc;
+  dc.domains = 2;
+  dc.epoch_cycles = 64;
+  DomainSet set(dc);
+  auto cell = std::make_unique<Cell>(set.domain(0));
+
+  int aborts = 0;
+  bool committed = false;
+  set.spawn(0, [&](Ctx& c) -> sim::Task<void> {
+    return [](Ctx& cc, Cell& k, int& ab, bool& done) -> sim::Task<void> {
+      for (int i = 0; i < 50 && !done; ++i) {
+        const auto s = co_await cc.with_tx([&cc, &k] {
+          return [](Ctx& c2, Cell& k2) -> sim::Task<void> {
+            const std::uint64_t v = co_await c2.load(k2.v);
+            // Long enough to span several 64-cycle epochs, so the remote
+            // store lands while the transaction is in flight.
+            co_await c2.work(600);
+            co_await c2.store(k2.v, v + 1);
+          }(cc, k);
+        });
+        if (s.ok()) {
+          done = true;
+        } else {
+          ++ab;
+        }
+      }
+    }(c, *cell, aborts, committed);
+  });
+  set.spawn(1, [&](Ctx& c) -> sim::Task<void> {
+    return [](Ctx& cc, DomainSet& ds, Cell& k) -> sim::Task<void> {
+      co_await cc.work(100);
+      co_await ds.remote_store(cc, 0, k.v, std::uint64_t{99});
+    }(c, set, *cell);
+  });
+  set.run();
+
+  EXPECT_TRUE(committed);
+  EXPECT_GE(aborts, 1);  // the external store doomed the in-flight tx
+  EXPECT_EQ(cell->v.debug_value(), 100u);  // retry read 99, committed +1
+}
+
+TEST(Domains, BarrierAppliesOpsInDeterministicOrder) {
+  DomainSet::Config dc;
+  dc.domains = 3;
+  dc.epoch_cycles = 256;
+  DomainSet set(dc);
+  auto cell = std::make_unique<Cell>(set.domain(0));
+
+  std::uint64_t pre[2] = {0, 0};
+  for (std::size_t d = 1; d <= 2; ++d) {
+    set.spawn(d, [&, d](Ctx& c) -> sim::Task<void> {
+      return [](Ctx& cc, DomainSet& ds, Cell& k,
+                std::uint64_t& out, std::uint64_t delta) -> sim::Task<void> {
+        co_await cc.work(10);
+        out = co_await ds.remote_fetch_add(cc, 0, k.v, delta);
+      }(c, set, *cell, pre[d - 1], static_cast<std::uint64_t>(d));
+    });
+  }
+  set.run();
+
+  // Both adds land in one barrier; (clock, src_domain, tid) orders them, so
+  // the pre-values partition {0, first delta} deterministically.
+  EXPECT_EQ(cell->v.debug_value(), 3u);
+  const bool domain1_first = pre[0] == 0 && pre[1] == 1;
+  const bool domain2_first = pre[1] == 0 && pre[0] == 2;
+  EXPECT_TRUE(domain1_first || domain2_first);
+  EXPECT_EQ(set.remote_ops(), 2u);
+}
+
+TEST(Domains, AllBlockedWithNoPendingOpsThrowsDeadlock) {
+  DomainSet::Config dc;
+  dc.domains = 2;
+  dc.epoch_cycles = 64;
+  DomainSet set(dc);
+  auto cell = std::make_unique<Cell>(set.domain(0));
+  set.spawn(0, [&](Ctx& c) -> sim::Task<void> {
+    return [](Ctx& cc, Cell& k) -> sim::Task<void> {
+      (void)co_await runtime::spin_until(
+          cc, k.v, [](std::uint64_t v) { return v == 42; });
+    }(c, *cell);
+  });
+  set.spawn(1, [&](Ctx& c) -> sim::Task<void> {
+    return [](Ctx& cc) -> sim::Task<void> { co_await cc.work(10); }(c);
+  });
+  EXPECT_THROW(set.run(), std::runtime_error);
+}
+
+// --- sharded-workload determinism --------------------------------------------
+
+harness::ShardWorkloadConfig small_cfg() {
+  harness::ShardWorkloadConfig cfg;
+  cfg.shards = 4;
+  cfg.threads_per_shard = 2;
+  cfg.buckets_per_shard = 16;
+  cfg.keyspace = 512;
+  cfg.zipf_s = 0.4;
+  cfg.total_ops = 2000;
+  cfg.remote_every = 32;
+  cfg.epoch_cycles = 512;
+  cfg.seed = 3;
+  cfg.hash_timeline = true;
+  return cfg;
+}
+
+TEST(Domains, ShardedResultsAreIdenticalAcrossHostThreadCounts) {
+  harness::ShardWorkloadConfig cfg = small_cfg();
+  cfg.domain_threads = 1;
+  const auto r1 = harness::run_shard_workload(cfg);
+  ASSERT_TRUE(r1.tables_valid);
+  EXPECT_GT(r1.remote_ops, 0u);
+
+  for (const int dt : {2, 8}) {
+    cfg.domain_threads = dt;
+    const auto r = harness::run_shard_workload(cfg);
+    EXPECT_EQ(r.fingerprint, r1.fingerprint) << "domain_threads=" << dt;
+    EXPECT_EQ(r.timeline_hash, r1.timeline_hash) << "domain_threads=" << dt;
+    EXPECT_EQ(r.makespan, r1.makespan) << "domain_threads=" << dt;
+    EXPECT_EQ(r.total_events, r1.total_events) << "domain_threads=" << dt;
+    EXPECT_EQ(r.remote_ops, r1.remote_ops) << "domain_threads=" << dt;
+    EXPECT_EQ(r.telemetry, r1.telemetry) << "domain_threads=" << dt;
+    EXPECT_EQ(r.stats.ops(), r1.stats.ops()) << "domain_threads=" << dt;
+    EXPECT_EQ(r.epochs, r1.epochs) << "domain_threads=" << dt;
+  }
+}
+
+TEST(Domains, RepeatedRunsAreIdentical) {
+  const harness::ShardWorkloadConfig cfg = small_cfg();
+  const auto a = harness::run_shard_workload(cfg);
+  const auto b = harness::run_shard_workload(cfg);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.timeline_hash, b.timeline_hash);
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+TEST(Domains, SeedChangesTheResult) {
+  harness::ShardWorkloadConfig cfg = small_cfg();
+  const auto a = harness::run_shard_workload(cfg);
+  cfg.seed = cfg.seed + 1;
+  const auto b = harness::run_shard_workload(cfg);
+  EXPECT_NE(a.fingerprint, b.fingerprint);
+}
+
+TEST(Domains, ShardsOverlapInVirtualTime) {
+  // The same op budget spread over 8 domains finishes in far less virtual
+  // time than one domain: domains advance concurrently in simulated time
+  // no matter how many host threads exist.
+  harness::ShardWorkloadConfig cfg = small_cfg();
+  cfg.remote_every = 0;  // isolate the partitioning effect
+  cfg.shards = 1;
+  const auto one = harness::run_shard_workload(cfg);
+  cfg.shards = 8;
+  const auto eight = harness::run_shard_workload(cfg);
+  EXPECT_LT(eight.makespan * 3, one.makespan);
+}
+
+// --- zipf --------------------------------------------------------------------
+
+TEST(Zipf, MassesSumToOneAndSkewOrdersRanks) {
+  const harness::Zipf z(64, 0.9);
+  double sum = 0.0;
+  for (std::size_t r = 0; r < z.n(); ++r) sum += z.mass(r);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_GT(z.mass(0), z.mass(63));
+
+  const harness::Zipf uniform(64, 0.0);
+  EXPECT_NEAR(uniform.mass(0), uniform.mass(63), 1e-12);
+}
+
+TEST(Zipf, DrawsAreInRangeAndDeterministic) {
+  const harness::Zipf z(100, 1.0);
+  sim::Rng a(5);
+  sim::Rng b(5);
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t ra = z.draw(a);
+    EXPECT_LT(ra, 100u);
+    EXPECT_EQ(ra, z.draw(b));
+  }
+}
+
+// --- WorkPool ----------------------------------------------------------------
+
+TEST(WorkPool, RunsEveryIndexOnceAndIsReusable) {
+  exp::WorkPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::atomic<int>> counts(97);
+    pool.parallel_run(counts.size(),
+                      [&](std::size_t i) { counts[i].fetch_add(1); });
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      EXPECT_EQ(counts[i].load(), 1) << "round " << round << " index " << i;
+    }
+  }
+}
+
+TEST(WorkPool, InlineModeRunsOnTheCallingThread) {
+  exp::WorkPool pool(1);
+  EXPECT_EQ(pool.jobs(), 1);
+  std::vector<int> order;
+  pool.parallel_run(5, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(WorkPool, TaskExceptionsPropagateToTheCaller) {
+  exp::WorkPool pool(3);
+  EXPECT_THROW(pool.parallel_run(16,
+                                 [](std::size_t i) {
+                                   if (i == 7) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool survives a failed round.
+  std::atomic<int> n{0};
+  pool.parallel_run(8, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 8);
+}
+
+}  // namespace
+}  // namespace sihle

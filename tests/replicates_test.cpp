@@ -160,6 +160,33 @@ TEST(ResultsSchema, SerializeParseRoundTripIsExact) {
   EXPECT_EQ(exp::results_json(parsed), text);
 }
 
+TEST(ResultsSchema, HostMetadataIsOptionalAndRoundTrips) {
+  // Not recorded (the deterministic-grid default): the fields are absent
+  // from the document, so byte-reproducibility across hosts is preserved,
+  // and a pre-metadata document parses with both fields zero.
+  const exp::ExperimentDoc bare = synthetic_doc();
+  const std::string bare_text = exp::results_json(bare);
+  EXPECT_EQ(bare_text.find("host_threads"), std::string::npos);
+  EXPECT_EQ(bare_text.find("hw_concurrency"), std::string::npos);
+  exp::ExperimentDoc bare_parsed;
+  std::string error;
+  ASSERT_TRUE(exp::parse_results_json(bare_text, bare_parsed, &error)) << error;
+  EXPECT_EQ(bare_parsed.host_threads, 0);
+  EXPECT_EQ(bare_parsed.hw_concurrency, 0);
+
+  // Recorded (wall-clock benches): emitted, parsed back, byte-exact fixed
+  // point like every other field.
+  exp::ExperimentDoc doc = synthetic_doc();
+  doc.host_threads = 8;
+  doc.hw_concurrency = 16;
+  const std::string text = exp::results_json(doc);
+  exp::ExperimentDoc parsed;
+  ASSERT_TRUE(exp::parse_results_json(text, parsed, &error)) << error;
+  EXPECT_EQ(parsed.host_threads, 8);
+  EXPECT_EQ(parsed.hw_concurrency, 16);
+  EXPECT_EQ(exp::results_json(parsed), text);
+}
+
 TEST(ResultsSchema, GoldenFileRoundTrip) {
   const std::string path =
       std::string(SIHLE_TEST_DATA_DIR) + "/results_v1_golden.json";
