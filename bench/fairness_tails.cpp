@@ -33,8 +33,8 @@ int main(int argc, char** argv) {
 
   std::printf(
       "Operation-latency tails under contention (%zu-node tree, %d threads, "
-      "%d%% updates); latencies in virtual cycles, bucketed to powers of "
-      "two\n\n",
+      "%d%% updates); latencies in virtual cycles from the shared log-linear "
+      "histogram (stats/latency.h, <=1/32 relative bucket width)\n\n",
       size, threads, updates);
 
   struct Row {
@@ -65,16 +65,15 @@ int main(int argc, char** argv) {
     const double p50 = static_cast<double>(r.latency.percentile(0.50));
     const double p999 = static_cast<double>(r.latency.percentile(0.999));
     table.row({row.name, Table::num(r.ops_per_mcycle, 0),
-               std::to_string(r.latency.percentile(0.50)),
-               std::to_string(r.latency.percentile(0.99)),
-               std::to_string(r.latency.percentile(0.999)),
-               Table::num(p999 / p50, 1)});
+               Table::num(static_cast<double>(r.latency.percentile(0.50)), 0),
+               Table::num(static_cast<double>(r.latency.percentile(0.99)), 0),
+               Table::num(p999, 0), Table::num(p999 / p50, 1)});
   }
   table.print();
   std::printf(
       "\nExpected: the fair queue keeps MCS's tail ratio small where TTAS's "
       "explodes; HLE-SCM preserves that bounded tail while restoring "
       "speculative throughput; optimistic SLR trades the tail back for "
-      "throughput.  (Buckets are powers of two, so ratios are coarse.)\n");
+      "throughput.\n");
   return 0;
 }

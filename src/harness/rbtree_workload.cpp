@@ -12,6 +12,7 @@
 #include "ds/skiplist.h"
 #include "elision/elided_lock.h"
 #include "runtime/ctx.h"
+#include "service/dispatcher.h"
 
 namespace sihle::harness {
 
@@ -45,33 +46,78 @@ sim::Task<void> op_lookup(Ctx& c, DS& t, std::int64_t k) {
   (void)r;
 }
 
+// One keyed operation under the policy split: mutations run under `policy`,
+// lookups under `read_policy`.  Shared by the closed session body and the
+// open-mode request executor.
+template <class DS>
+sim::Task<void> keyed_op(Ctx& c, DS& ds, elision::ElidedLock& lock,
+                         SharedState& ss, stats::OpStats& st,
+                         service::OpKind op, std::int64_t key) {
+  switch (op) {
+    case service::OpKind::kInsert:
+      co_await elision::run_cs(
+          ss.policy, c, lock,
+          [&ds, key](Ctx& cc) { return op_insert(cc, ds, key); }, st);
+      break;
+    case service::OpKind::kErase:
+      co_await elision::run_cs(
+          ss.policy, c, lock,
+          [&ds, key](Ctx& cc) { return op_erase(cc, ds, key); }, st);
+      break;
+    case service::OpKind::kLookup:
+      co_await elision::run_cs(
+          ss.read_policy, c, lock,
+          [&ds, key](Ctx& cc) { return op_lookup(cc, ds, key); }, st);
+      break;
+  }
+}
+
+// Closed-loop iteration body: draw key and op dice (the historical draw
+// order), execute, record latency and the optional slice sample.
+template <class DS>
+sim::Task<void> closed_op(Ctx& c, DS& ds, elision::ElidedLock& lock,
+                          SharedState& ss, stats::OpStats& st,
+                          stats::LatencyHistogram& lat) {
+  const std::int64_t key = static_cast<std::int64_t>(c.rng().below(ss.key_domain));
+  const int dice = static_cast<int>(c.rng().below(100));
+  const service::OpKind op = dice < ss.update_pct / 2 ? service::OpKind::kInsert
+                             : dice < ss.update_pct   ? service::OpKind::kErase
+                                                      : service::OpKind::kLookup;
+  const std::uint64_t nonspec_before = st.nonspec;
+  const sim::Cycles op_start = c.now();
+  co_await keyed_op(c, ds, lock, ss, st, op, key);
+  lat.record(c.now() - op_start);
+  if (ss.slices != nullptr) {
+    ss.slices->record_op(c.now(), st.nonspec != nonspec_before);
+  }
+}
+
+// Closed worker: a zero-think-time session for the configured duration —
+// LoadModel::kClosed expressed through the service stack's session shape.
 template <class DS>
 sim::Task<void> worker(Ctx& c, DS& ds, elision::ElidedLock& lock,
                        SharedState& ss, stats::OpStats& st,
                        stats::LatencyHistogram& lat) {
   const sim::Cycles t0 = c.now();
-  while (c.now() - t0 < ss.duration) {
-    const std::int64_t key = static_cast<std::int64_t>(c.rng().below(ss.key_domain));
-    const int dice = static_cast<int>(c.rng().below(100));
-    const std::uint64_t nonspec_before = st.nonspec;
-    const sim::Cycles op_start = c.now();
-    if (dice < ss.update_pct / 2) {
-      co_await elision::run_cs(
-          ss.policy, c, lock,
-          [&ds, key](Ctx& cc) { return op_insert(cc, ds, key); }, st);
-    } else if (dice < ss.update_pct) {
-      co_await elision::run_cs(
-          ss.policy, c, lock,
-          [&ds, key](Ctx& cc) { return op_erase(cc, ds, key); }, st);
-    } else {
-      co_await elision::run_cs(
-          ss.read_policy, c, lock,
-          [&ds, key](Ctx& cc) { return op_lookup(cc, ds, key); }, st);
-    }
-    lat.record(c.now() - op_start);
-    if (ss.slices != nullptr) {
-      ss.slices->record_op(c.now(), st.nonspec != nonspec_before);
-    }
+  co_await service::closed_session(
+      c,
+      [t0, &ss](Ctx& cc, std::uint64_t) { return cc.now() - t0 < ss.duration; },
+      [&](Ctx& cc, std::uint64_t) {
+        return closed_op(cc, ds, lock, ss, st, lat);
+      });
+}
+
+// Open-mode request executor: the key and op kind come from the request
+// stream, so server threads draw nothing from the workload rng.
+template <class DS>
+sim::Task<void> execute_request(Ctx& c, DS& ds, elision::ElidedLock& lock,
+                                SharedState& ss, stats::OpStats& st,
+                                service::Request r) {
+  const std::uint64_t nonspec_before = st.nonspec;
+  co_await keyed_op(c, ds, lock, ss, st, r.op,
+                    static_cast<std::int64_t>(r.key));
+  if (ss.slices != nullptr) {
+    ss.slices->record_op(c.now(), st.nonspec != nonspec_before);
   }
 }
 
@@ -154,15 +200,49 @@ WorkloadResult run_impl(const WorkloadConfig& cfg) {
 
   std::vector<stats::OpStats> per_thread(cfg.threads);
   std::vector<stats::LatencyHistogram> per_thread_lat(cfg.threads);
-  for (int t = 0; t < cfg.threads; ++t) {
-    m.spawn([&, t](Ctx& c) {
-      return worker<DS>(c, *ds, lock, ss, per_thread[t], per_thread_lat[t]);
-    });
+  std::vector<service::RequestStream> streams;
+  std::vector<service::RequestQueue> queues;
+  std::vector<service::ServerStats> servers;
+  if (cfg.load.open()) {
+    // Open system: a deterministic request stream into one bounded queue,
+    // drained by `threads` simulated servers.  Keys are uniform over the
+    // same domain the closed loop draws from (Zipf with s=0).
+    service::StreamConfig sc;
+    sc.load = cfg.load;
+    sc.keyspace = domain;
+    sc.update_pct = cfg.update_pct;
+    sc.queues = 1;
+    sc.seed = cfg.seed;
+    streams = service::build_request_streams(sc);
+    queues.emplace_back(streams[0], cfg.load.queue_capacity);
+    servers.resize(static_cast<std::size_t>(cfg.threads));
+    for (auto& sv : servers) sv.served_by_session.resize(cfg.load.sessions);
+    for (int t = 0; t < cfg.threads; ++t) {
+      m.spawn([&, t](Ctx& c) {
+        return service::serve(
+            c, queues[0],
+            [&, t](Ctx& cc, const service::Request& r) {
+              return execute_request<DS>(cc, *ds, lock, ss, per_thread[t], r);
+            },
+            servers[static_cast<std::size_t>(t)]);
+      });
+    }
+  } else {
+    for (int t = 0; t < cfg.threads; ++t) {
+      m.spawn([&, t](Ctx& c) {
+        return worker<DS>(c, *ds, lock, ss, per_thread[t], per_thread_lat[t]);
+      });
+    }
   }
   m.run();
 
   for (const auto& st : per_thread) out.stats += st;
   for (const auto& lh : per_thread_lat) out.latency += lh;
+  if (cfg.load.open()) {
+    out.open = service::aggregate_service(cfg.load.sessions, streams, queues,
+                                          servers);
+    out.latency = out.open.sojourn;
+  }
   out.elapsed = m.exec().max_clock();
   out.ops_per_mcycle = out.elapsed == 0
                            ? 0.0

@@ -13,8 +13,11 @@
 #include "analysis/config.h"
 #include "elision/policy.h"
 #include "locks/locks.h"
+#include "service/load.h"
+#include "service/stats.h"
 #include "stats/event_ring.h"
 #include "stats/findings.h"
+#include "stats/latency.h"
 #include "stats/op_stats.h"
 #include "stats/tx_trace.h"
 
@@ -60,6 +63,14 @@ struct WorkloadConfig {
   std::optional<elision::Policy> read_scheme;
   locks::LockKind lock = locks::LockKind::kTtas;
   DsKind ds = DsKind::kRbTree;
+  // Load model (docs/SERVICE.md).  The default closed loop reproduces the
+  // historical behavior byte-for-byte: each thread is a zero-think-time
+  // session issuing its next op the instant the previous completes, and
+  // `duration` bounds the run.  Open models instead drive a deterministic
+  // timestamped request stream through a bounded queue served by `threads`
+  // simulated servers; the run ends when the stream drains, `duration` is
+  // ignored, and WorkloadResult::open carries the latency split.
+  service::LoadSpec load{};
   double spurious = kDefaultSpurious;
   double persistent = kDefaultPersistent;
   bool record_slices = false;
@@ -77,7 +88,13 @@ struct WorkloadConfig {
 
 struct WorkloadResult {
   stats::OpStats stats;
-  stats::LatencyHistogram latency;  // per-operation, arrival to completion
+  // Per-operation latency.  Closed runs: completion time of each op (no
+  // queueing exists).  Open runs: the sojourn series (== open.sojourn).
+  stats::LatencyHistogram latency;
+  // Open-mode (cfg.load.open()) view: queueing-delay / service-time /
+  // sojourn split, queue accounting, per-session tallies.  Default-empty
+  // in closed runs.
+  service::ServiceResult open;
   sim::Cycles elapsed = 0;  // makespan of the measured window
   double ops_per_mcycle = 0.0;
   bool tree_valid = false;

@@ -5,11 +5,15 @@
 
 #include <chrono>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "ds/hashtable.h"
 #include "elision/elided_lock.h"
-#include "harness/zipf.h"
+#include "service/dispatcher.h"
+#include "stats/timeline.h"
+#include "util/zipf.h"
 #include "runtime/ctx.h"
 #include "runtime/domains.h"
 #include "sim/rng.h"
@@ -51,47 +55,81 @@ struct WorkerArgs {
   std::uint64_t ops = 0;
   int update_pct = 0;
   std::uint64_t remote_every = 0;
-  const Zipf* zipf = nullptr;
+  const util::Zipf* zipf = nullptr;
   ds::HashTable* table = nullptr;
   elision::ElidedLock* lock = nullptr;
   elision::Policy policy;
+  elision::Policy read_policy;  // lookups; == policy unless cfg.read_scheme
   DomainSet* set = nullptr;
   mem::Shared<std::uint64_t>* telemetry = nullptr;
   stats::OpStats* st = nullptr;
 };
 
-sim::Task<void> worker(Ctx& c, WorkerArgs a) {
-  for (std::uint64_t i = 0; i < a.ops; ++i) {
-    // The shard serves its slice of the global Zipfian stream: draw from
-    // the full key universe, keep the keys this shard owns.  Rejected
-    // draws cost rng draws only (request routing is free; executing the
-    // request is what the simulation prices).
-    std::int64_t key;
-    do {
-      key = static_cast<std::int64_t>(a.zipf->draw(c.rng()));
-    } while (shard_of_key(key, a.shards) != a.shard);
-    const int dice = static_cast<int>(c.rng().below(100));
-    ds::HashTable& t = *a.table;
-    if (dice < a.update_pct / 2) {
+// One table operation under the policy split (mutations under `policy`,
+// lookups under `read_policy`) — shared by the closed session body and the
+// open-mode request executor.
+sim::Task<void> table_op(Ctx& c, WorkerArgs& a, service::OpKind op,
+                         std::int64_t key) {
+  ds::HashTable& t = *a.table;
+  switch (op) {
+    case service::OpKind::kInsert:
       co_await elision::run_cs(
           a.policy, c, *a.lock,
           [&t, key](Ctx& cc) { return op_insert(cc, t, key); }, *a.st);
-    } else if (dice < a.update_pct) {
+      break;
+    case service::OpKind::kErase:
       co_await elision::run_cs(
           a.policy, c, *a.lock,
           [&t, key](Ctx& cc) { return op_erase(cc, t, key); }, *a.st);
-    } else {
+      break;
+    case service::OpKind::kLookup:
       co_await elision::run_cs(
-          a.policy, c, *a.lock,
+          a.read_policy, c, *a.lock,
           [&t, key](Ctx& cc) { return op_lookup(cc, t, key); }, *a.st);
-    }
-    if (a.remote_every != 0 && (i + 1) % a.remote_every == 0) {
-      // Telemetry handoff: a non-transactional cross-domain fetch-add on
-      // the shard-0 counter, resolved at the next epoch barrier.
-      (void)co_await a.set->remote_fetch_add(c, 0, *a.telemetry,
-                                             std::uint64_t{1});
-    }
+      break;
   }
+}
+
+// Every `remote_every` ops: a non-transactional cross-domain fetch-add on
+// the shard-0 counter, resolved at the next epoch barrier.
+sim::Task<void> maybe_telemetry(Ctx& c, WorkerArgs& a, std::uint64_t done) {
+  if (a.remote_every != 0 && done % a.remote_every == 0) {
+    (void)co_await a.set->remote_fetch_add(c, 0, *a.telemetry,
+                                           std::uint64_t{1});
+  }
+}
+
+// Closed-loop iteration i: the shard serves its slice of the global Zipfian
+// stream — draw from the full key universe, keep the keys this shard owns.
+// Rejected draws cost rng draws only (request routing is free; executing
+// the request is what the simulation prices).
+sim::Task<void> shard_op(Ctx& c, WorkerArgs& a, std::uint64_t i) {
+  std::int64_t key;
+  do {
+    key = static_cast<std::int64_t>(a.zipf->draw(c.rng()));
+  } while (shard_of_key(key, a.shards) != a.shard);
+  const int dice = static_cast<int>(c.rng().below(100));
+  const service::OpKind op = dice < a.update_pct / 2 ? service::OpKind::kInsert
+                             : dice < a.update_pct   ? service::OpKind::kErase
+                                                     : service::OpKind::kLookup;
+  co_await table_op(c, a, op, key);
+  co_await maybe_telemetry(c, a, i + 1);
+}
+
+// Closed worker: the budgeted loop as a zero-think-time session.
+sim::Task<void> worker(Ctx& c, WorkerArgs a) {
+  co_await service::closed_session(
+      c, [&a](Ctx&, std::uint64_t i) { return i < a.ops; },
+      [&a](Ctx& cc, std::uint64_t i) { return shard_op(cc, a, i); });
+}
+
+// Open-mode request executor: key and op kind come from the request stream
+// (no workload rng draws on the serving side); the telemetry cadence keys
+// off the per-queue sequence number so it stays deterministic across the
+// server pool.
+sim::Task<void> execute_request(Ctx& c, WorkerArgs& a, service::Request r) {
+  co_await table_op(c, a, r.op, static_cast<std::int64_t>(r.key));
+  co_await maybe_telemetry(c, a, r.seq + 1);
 }
 
 }  // namespace
@@ -99,6 +137,18 @@ sim::Task<void> worker(Ctx& c, WorkerArgs a) {
 ShardWorkloadResult run_shard_workload(const ShardWorkloadConfig& cfg) {
   const std::size_t shards = cfg.shards == 0 ? 1 : cfg.shards;
   const int tps = cfg.threads_per_shard < 1 ? 1 : cfg.threads_per_shard;
+
+  // Fail before simulating rather than from inside a worker coroutine: a
+  // shared/update-mode policy needs a reader-writer main lock.
+  for (const elision::Policy* p :
+       {&cfg.scheme, cfg.read_scheme ? &*cfg.read_scheme : &cfg.scheme}) {
+    if (!locks::supports_mode(cfg.lock, p->mode)) {
+      throw std::invalid_argument(
+          std::string("shard workload: lock '") + to_string(cfg.lock) +
+          "' does not support mode=" + locks::to_string(p->mode) +
+          " (reader-writer locks only: rw, rw-wp)");
+    }
+  }
 
   DomainSet::Config dc;
   dc.seed = cfg.seed;
@@ -109,9 +159,9 @@ ShardWorkloadResult run_shard_workload(const ShardWorkloadConfig& cfg) {
   dc.machine.htm.spurious_abort_per_access = cfg.spurious;
   dc.machine.htm.persistent_abort_per_tx = cfg.persistent;
   DomainSet set(dc);
-  if (cfg.hash_timeline) set.attach_traces();
+  if (cfg.hash_timeline || cfg.per_shard_lemming) set.attach_traces();
 
-  const Zipf zipf(cfg.keyspace, cfg.zipf_s);
+  const util::Zipf zipf(cfg.keyspace, cfg.zipf_s);
 
   // Partition the operation budget by each shard's share of the key-stream
   // probability mass (cumulative rounding so the slices sum exactly to
@@ -158,26 +208,81 @@ ShardWorkloadResult run_shard_workload(const ShardWorkloadConfig& cfg) {
     }
   }
 
-  std::vector<stats::OpStats> per_thread(shards * static_cast<std::size_t>(tps));
-  for (std::size_t d = 0; d < shards; ++d) {
-    const std::uint64_t base = shard_state[d].ops / static_cast<std::uint64_t>(tps);
-    const std::uint64_t extra = shard_state[d].ops % static_cast<std::uint64_t>(tps);
-    for (int t = 0; t < tps; ++t) {
-      WorkerArgs a;
-      a.shard = d;
-      a.shards = shards;
-      a.ops = base + (static_cast<std::uint64_t>(t) < extra ? 1 : 0);
-      a.update_pct = cfg.update_pct;
-      a.remote_every = cfg.remote_every;
-      a.zipf = &zipf;
-      a.table = shard_state[d].table.get();
-      a.lock = shard_state[d].lock.get();
-      a.policy = cfg.scheme;
-      a.set = &set;
-      a.telemetry = &telemetry;
-      a.st = &per_thread[d * static_cast<std::size_t>(tps) +
-                         static_cast<std::size_t>(t)];
-      set.spawn(d, [a](Ctx& c) { return worker(c, a); });
+  const std::size_t n_workers = shards * static_cast<std::size_t>(tps);
+  std::vector<stats::OpStats> per_thread(n_workers);
+  std::vector<service::RequestStream> streams;
+  std::vector<service::RequestQueue> queues;
+  std::vector<service::ServerStats> servers;
+  std::vector<WorkerArgs> open_args;  // stable storage for server lambdas
+  if (cfg.load.open()) {
+    // Open system: the same global Zipfian stream, but timestamped by the
+    // arrival process and routed host-side to one bounded queue per shard;
+    // each shard's server pool drains its own queue.
+    service::StreamConfig sc;
+    sc.load = cfg.load;
+    sc.keyspace = cfg.keyspace;
+    sc.zipf_s = cfg.zipf_s;
+    sc.update_pct = cfg.update_pct;
+    sc.queues = shards;
+    sc.route = &shard_of_key;
+    sc.seed = cfg.seed;
+    streams = service::build_request_streams(sc);
+    queues.reserve(shards);
+    for (std::size_t d = 0; d < shards; ++d) {
+      queues.emplace_back(streams[d], cfg.load.queue_capacity);
+    }
+    servers.resize(n_workers);
+    for (auto& sv : servers) sv.served_by_session.resize(cfg.load.sessions);
+    open_args.resize(n_workers);
+    for (std::size_t d = 0; d < shards; ++d) {
+      for (int t = 0; t < tps; ++t) {
+        const std::size_t idx =
+            d * static_cast<std::size_t>(tps) + static_cast<std::size_t>(t);
+        WorkerArgs& a = open_args[idx];
+        a.shard = d;
+        a.shards = shards;
+        a.update_pct = cfg.update_pct;
+        a.remote_every = cfg.remote_every;
+        a.zipf = &zipf;
+        a.table = shard_state[d].table.get();
+        a.lock = shard_state[d].lock.get();
+        a.policy = cfg.scheme;
+        a.read_policy = cfg.read_scheme.value_or(cfg.scheme);
+        a.set = &set;
+        a.telemetry = &telemetry;
+        a.st = &per_thread[idx];
+        set.spawn(d, [&queues, &servers, &a, d, idx](Ctx& c) {
+          return service::serve(
+              c, queues[d],
+              [&a](Ctx& cc, const service::Request& r) {
+                return execute_request(cc, a, r);
+              },
+              servers[idx]);
+        });
+      }
+    }
+  } else {
+    for (std::size_t d = 0; d < shards; ++d) {
+      const std::uint64_t base = shard_state[d].ops / static_cast<std::uint64_t>(tps);
+      const std::uint64_t extra = shard_state[d].ops % static_cast<std::uint64_t>(tps);
+      for (int t = 0; t < tps; ++t) {
+        WorkerArgs a;
+        a.shard = d;
+        a.shards = shards;
+        a.ops = base + (static_cast<std::uint64_t>(t) < extra ? 1 : 0);
+        a.update_pct = cfg.update_pct;
+        a.remote_every = cfg.remote_every;
+        a.zipf = &zipf;
+        a.table = shard_state[d].table.get();
+        a.lock = shard_state[d].lock.get();
+        a.policy = cfg.scheme;
+        a.read_policy = cfg.read_scheme.value_or(cfg.scheme);
+        a.set = &set;
+        a.telemetry = &telemetry;
+        a.st = &per_thread[d * static_cast<std::size_t>(tps) +
+                           static_cast<std::size_t>(t)];
+        set.spawn(d, [a](Ctx& c) { return worker(c, a); });
+      }
     }
   }
 
@@ -214,7 +319,29 @@ ShardWorkloadResult run_shard_workload(const ShardWorkloadConfig& cfg) {
   h = mix(h, out.remote_ops);
   h = mix(h, out.makespan);
   h = mix(h, out.total_events);
+  if (cfg.load.open()) {
+    // Open-only fingerprint extension: closed-run fingerprints (and the
+    // committed baselines built on them) are untouched.
+    out.open = service::aggregate_service(cfg.load.sessions, streams, queues,
+                                          servers);
+    h = mix(h, out.open.queue.served);
+    h = mix(h, out.open.queue.dropped);
+    h = mix(h, out.open.queue.max_depth);
+    h = mix(h, out.open.sojourn.count());
+    h = mix(h, out.open.sojourn.max_value());
+  }
   out.fingerprint = h;
+
+  if (cfg.per_shard_lemming) {
+    // Each shard's own timeline, not the merged stream: an abort storm on a
+    // hot shard must fire even while cold shards stay speculative.
+    const sim::Cycles window = out.makespan / 24 + 1;
+    for (std::size_t d = 0; d < shards; ++d) {
+      const stats::Timeline tl =
+          stats::Timeline::aggregate(*set.trace(d), window);
+      if (stats::detect_lemming(tl).fired) out.lemming_shards++;
+    }
+  }
 
   if (cfg.hash_timeline) {
     std::uint64_t th = 0x71AE11EULL;

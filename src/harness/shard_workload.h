@@ -20,10 +20,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "elision/policy.h"
 #include "harness/rbtree_workload.h"  // kDefaultSpurious/kDefaultPersistent
 #include "locks/locks.h"
+#include "service/load.h"
+#include "service/stats.h"
 #include "sim/cost_model.h"
 #include "stats/op_stats.h"
 
@@ -42,6 +45,9 @@ struct ShardWorkloadConfig {
   int domain_threads = 1;          // host threads (0 = hardware concurrency)
   sim::Cycles epoch_cycles = 4096;
   elision::Policy scheme = elision::Scheme::kHle;
+  // Lookups run under this policy when set (e.g. a shared-mode elision over
+  // an rw lock); unset keeps the historical one-policy behavior.
+  std::optional<elision::Policy> read_scheme;
   locks::LockKind lock = locks::LockKind::kTtas;
   double spurious = kDefaultSpurious;
   double persistent = kDefaultPersistent;
@@ -49,6 +55,16 @@ struct ShardWorkloadConfig {
   // Attach per-domain event traces and hash the canonical merged timeline
   // (costs memory; the determinism tests turn it on).
   bool hash_timeline = false;
+  // Load model (docs/SERVICE.md).  Closed (default) reproduces the
+  // historical budgeted loop byte-for-byte.  Open models ignore total_ops:
+  // the global Zipfian request stream is timestamped by the arrival process,
+  // routed to one bounded queue per shard, and drained by threads_per_shard
+  // servers per shard; ShardWorkloadResult::open carries the latency split.
+  service::LoadSpec load{};
+  // Attach per-domain traces and run the lemming detector on each shard's
+  // own timeline (ShardWorkloadResult::lemming_shards) — the per-shard
+  // abort-storm flag figservice_tail reports under hot-key skew.
+  bool per_shard_lemming = false;
 };
 
 struct ShardWorkloadResult {
@@ -59,7 +75,12 @@ struct ShardWorkloadResult {
   std::uint64_t remote_ops = 0;    // cross-domain handoffs applied
   std::uint64_t telemetry = 0;     // final value of the shard-0 counter
   std::uint64_t fingerprint = 0;   // hash of final table contents + counters
+                                   // (open runs fold in queue/latency totals)
   std::uint64_t timeline_hash = 0; // merged-event-stream hash (hash_timeline)
+  // Open-mode (cfg.load.open()) view; default-empty in closed runs.
+  service::ServiceResult open;
+  // Shards whose own timeline fired the lemming detector (per_shard_lemming).
+  std::uint32_t lemming_shards = 0;
   bool tables_valid = false;
   double ops_per_mcycle = 0.0;
   double wall_seconds = 0.0;       // host wall-clock of DomainSet::run()

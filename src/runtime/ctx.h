@@ -165,6 +165,22 @@ class Ctx {
     void await_resume() const noexcept {}
   };
 
+  // Advance this thread's virtual clock to an absolute deadline (no-op when
+  // the deadline has passed).  One scheduling event, no rng draws, no memory
+  // traffic: the open-system service layer uses it for an idle server
+  // awaiting the next request arrival — virtual idle time must cost exactly
+  // the gap, independent of the cost model's work_unit scaling.
+  struct SleepUntilOp {
+    Ctx& c;
+    sim::Cycles deadline;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      if (deadline > c.ts().clock) c.ts().clock = deadline;
+      c.m_.exec().suspend_current(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
   struct WatchLineOp {
     Ctx& c;
     mem::Line line;
@@ -377,6 +393,10 @@ class Ctx {
   // Private computation: advances this thread's clock without touching
   // shared memory.
   auto work(std::uint64_t units) { return WorkOp{*this, units}; }
+
+  // Idle until virtual time `deadline` (absolute); returns immediately if it
+  // already passed.  See SleepUntilOp.
+  auto sleep_until(sim::Cycles deadline) { return SleepUntilOp{*this, deadline}; }
 
   // Sleep inside the running transaction until it is doomed (or the cell's
   // line is republished); always aborts.  See TxSleepOp.

@@ -1,0 +1,65 @@
+// Deterministic arrival processes for the open-system load models
+// (service/load.h).  An ArrivalProcess is a pure function of (spec, seed):
+// its own sim::Rng is seeded through the repo's splitmix64 discipline, each
+// next() consumes exactly one rng draw, and the produced timestamp sequence
+// is non-decreasing — so a request stream, and everything downstream of it,
+// is byte-identical across host-thread counts and engine --jobs fan-outs.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "service/load.h"
+#include "sim/rng.h"
+
+namespace sihle::service {
+
+class ArrivalProcess {
+ public:
+  // `seed` should be derived from the run seed (the callers salt it with a
+  // stream tag so arrival draws never alias workload draws).
+  ArrivalProcess(const LoadSpec& spec, std::uint64_t seed)
+      : spec_(spec), rng_(seed) {
+    assert(spec.open() && "closed load models have no arrival stream");
+    assert(spec.offered_ops_per_mcycle > 0.0);
+    if (spec_.model == LoadModel::kOnOff) {
+      assert(spec_.on_cycles > 0);
+    }
+  }
+
+  // Timestamp (virtual cycles) of the next arrival; non-decreasing, one rng
+  // draw per call (also for kUniform, keeping draw counts model-independent).
+  sim::Cycles next() {
+    const double mean_gap = 1e6 / spec_.offered_ops_per_mcycle;
+    const double u = rng_.uniform();
+    double gap_d;
+    if (spec_.model == LoadModel::kUniform) {
+      gap_d = mean_gap;
+      (void)u;
+    } else {
+      // Exponential inter-arrival: -ln(1-u) * mean.  u < 1 by construction.
+      gap_d = -std::log1p(-u) * mean_gap;
+    }
+    sim::Cycles gap = static_cast<sim::Cycles>(std::llround(gap_d));
+    if (gap < 1) gap = 1;
+    active_ += gap;
+    return spec_.model == LoadModel::kOnOff ? map_onoff(active_) : active_;
+  }
+
+ private:
+  // kOnOff: gaps accumulate in *active* (on-phase) time; mapping active time
+  // onto the on/off phase grid yields arrivals only inside on phases, with
+  // bursts at the spec'd rate and silence in between.
+  sim::Cycles map_onoff(sim::Cycles active) const {
+    const sim::Cycles period = spec_.on_cycles + spec_.off_cycles;
+    return (active / spec_.on_cycles) * period + active % spec_.on_cycles;
+  }
+
+  LoadSpec spec_;
+  // sihle-lint: disable=R005 (seeded in the ctor from the caller's seed)
+  sim::Rng rng_;
+  sim::Cycles active_ = 0;
+};
+
+}  // namespace sihle::service

@@ -1,0 +1,83 @@
+#include "service/dispatcher.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "service/arrival.h"
+#include "sim/rng.h"
+#include "util/zipf.h"
+
+namespace sihle::service {
+
+namespace {
+// Stream-tag salts: arrival-gap draws and request-content draws come from
+// distinct generators so neither stream's draw count perturbs the other.
+constexpr std::uint64_t kArrivalSeedSalt = 0x0A2210A1ULL;
+constexpr std::uint64_t kRequestSeedSalt = 0x5EC0A751ULL;
+}  // namespace
+
+std::vector<RequestStream> build_request_streams(const StreamConfig& sc) {
+  assert(sc.load.open() && "closed load models build no request streams");
+  const std::size_t queues = sc.queues == 0 ? 1 : sc.queues;
+  std::vector<RequestStream> out(queues);
+
+  ArrivalProcess arrivals(sc.load, sc.seed ^ kArrivalSeedSalt);
+  sim::Rng req_rng(sc.seed ^ kRequestSeedSalt);
+  const util::Zipf zipf(sc.keyspace, sc.zipf_s);
+
+  for (std::uint64_t i = 0; i < sc.load.requests; ++i) {
+    Request r;
+    r.session = sc.load.sessions == 0 ? 0 : i % sc.load.sessions;
+    r.arrival = arrivals.next();
+    r.key = zipf.draw(req_rng);
+    const int dice = static_cast<int>(req_rng.below(100));
+    r.op = dice < sc.update_pct / 2 ? OpKind::kInsert
+           : dice < sc.update_pct   ? OpKind::kErase
+                                    : OpKind::kLookup;
+    const std::size_t q =
+        sc.route == nullptr
+            ? 0
+            : sc.route(static_cast<std::int64_t>(r.key), queues);
+    assert(q < queues);
+    r.seq = out[q].size();
+    out[q].push_back(r);
+  }
+  return out;
+}
+
+ServiceResult aggregate_service(std::uint64_t sessions,
+                                const std::vector<RequestStream>& streams,
+                                const std::vector<RequestQueue>& queues,
+                                const std::vector<ServerStats>& servers) {
+  ServiceResult out;
+  for (const RequestQueue& q : queues) {
+    const QueueStats& s = q.stats();
+    out.queue.offered += s.offered;
+    out.queue.admitted += s.admitted;
+    out.queue.dropped += s.dropped;
+    out.queue.served += s.served;
+    out.queue.max_depth = std::max(out.queue.max_depth, s.max_depth);
+  }
+  out.sessions.resize(sessions);
+  for (std::uint64_t s = 0; s < sessions; ++s) out.sessions[s].id = s;
+  for (const RequestStream& stream : streams) {
+    for (const Request& r : stream) {
+      if (r.session < sessions) out.sessions[r.session].issued++;
+    }
+  }
+  for (const ServerStats& st : servers) {
+    out.qdelay += st.qdelay;
+    out.service += st.service;
+    out.sojourn += st.sojourn;
+    for (std::size_t s = 0;
+         s < st.served_by_session.size() && s < out.sessions.size(); ++s) {
+      out.sessions[s].served += st.served_by_session[s];
+    }
+  }
+  for (Session& s : out.sessions) {
+    s.dropped = s.issued >= s.served ? s.issued - s.served : 0;
+  }
+  return out;
+}
+
+}  // namespace sihle::service

@@ -1,0 +1,107 @@
+// Dispatcher: binds a pool of simulated server threads to request queues.
+//
+// The open-system pipeline (docs/SERVICE.md):
+//
+//   build_request_streams()  host side; pure function of (StreamConfig)
+//        |                   — arrivals, keys, op kinds, session ids
+//        v
+//   RequestQueue per shard   bounded, depth-tracked (service/queue.h)
+//        |
+//   serve() per server       claim -> execute under the elision policy ->
+//        |                   record qdelay / service / sojourn
+//        v
+//   aggregate_service()      merged histograms + queue + session accounting
+//
+// The closed system is the degenerate case: closed_session() is the same
+// request loop with the arrival process collapsed to "issue the next
+// request the instant the previous one completes".  The historical worker
+// loops in src/harness are expressed through it, which is what makes
+// LoadModel::kClosed a special case of the service stack rather than a
+// separate code path — and keeps the committed closed baselines
+// byte-identical (task nesting is symmetric transfer: no executor event,
+// no rng draw).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/ctx.h"
+#include "service/load.h"
+#include "service/queue.h"
+#include "service/request.h"
+#include "service/stats.h"
+#include "sim/task.h"
+#include "stats/latency.h"
+
+namespace sihle::service {
+
+// Host-side request-stream construction.  Deterministic: the streams are a
+// pure function of this config, independent of server scheduling.
+struct StreamConfig {
+  LoadSpec load;
+  std::uint64_t keyspace = 256;  // keys drawn from [0, keyspace)
+  double zipf_s = 0.0;           // key-popularity skew (0 = uniform)
+  int update_pct = 20;           // mutating fraction, split insert/erase
+  std::size_t queues = 1;
+  // Routes a key to its queue (e.g. harness::shard_of_key); nullptr sends
+  // everything to queue 0.
+  std::size_t (*route)(std::int64_t key, std::size_t queues) = nullptr;
+  std::uint64_t seed = 1;
+};
+
+// One stream per queue, each sorted by arrival time, with per-queue seq
+// numbers assigned in arrival order.  Sessions are attributed round-robin.
+std::vector<RequestStream> build_request_streams(const StreamConfig& sc);
+
+// Merges queue counters, server histograms, and per-session accounting
+// (dropped = issued - served; exact once the run has drained every queue).
+ServiceResult aggregate_service(std::uint64_t sessions,
+                                const std::vector<RequestStream>& streams,
+                                const std::vector<RequestQueue>& queues,
+                                const std::vector<ServerStats>& servers);
+
+// One simulated server thread draining one queue.  At each scheduling point
+// it claims the oldest request that has arrived by its own clock (ingesting
+// arrivals up to now); when nothing is ready it sleeps until one is —
+// next_ready() is strictly in the future after a failed claim, so the loop
+// always advances virtual time.  `execute(c, req)` returns the Task
+// performing the request under the workload's elision policy.  Returns once
+// the queue is exhausted (stream ingested, backlog drained).
+template <class Execute>
+sim::Task<void> serve(runtime::Ctx& c, RequestQueue& q, Execute execute,
+                      ServerStats& st) {
+  for (;;) {
+    auto [req, ok] = q.claim(c.now());
+    if (!ok) {
+      if (q.exhausted()) co_return;
+      const sim::Cycles next = q.next_ready();
+      if (next == kNever) co_return;  // defensive: exhausted() covers this
+      co_await c.sleep_until(next);
+      continue;
+    }
+    req.start = c.now();
+    co_await execute(c, req);
+    req.done = c.now();
+    st.qdelay.record(req.start - req.arrival);
+    st.service.record(req.done - req.start);
+    st.sojourn.record(req.done - req.arrival);
+    st.served++;
+    if (req.session < st.served_by_session.size()) {
+      st.served_by_session[req.session]++;
+    }
+  }
+}
+
+// The closed loop as the degenerate session: zero think time, the next
+// request issued the instant the previous one completes.  `more(c, i)`
+// gates iteration i; `issue(c, i)` returns the Task performing it (build it
+// from a named coroutine function, not a capturing coroutine lambda, so the
+// captures outlive every suspension).
+template <class More, class Issue>
+sim::Task<void> closed_session(runtime::Ctx& c, More more, Issue issue) {
+  for (std::uint64_t i = 0; more(c, i); ++i) {
+    co_await issue(c, i);
+  }
+}
+
+}  // namespace sihle::service

@@ -1,0 +1,60 @@
+// Load models for the layered load-generation stack (docs/SERVICE.md).
+//
+// Every workload driver in the repo runs under a LoadSpec.  The historical
+// benches are *closed* systems: N server threads double as zero-think-time
+// client sessions, each issuing its next operation the instant the previous
+// one completes, so offered load always equals capacity and latency numbers
+// contain no queueing delay.  The *open* models decouple request arrival
+// from service: a deterministic arrival process (service/arrival.h) issues
+// timestamped requests from simulated client sessions into per-shard
+// bounded queues (service/queue.h), and a pool of simulated server threads
+// drains them (service/dispatcher.h).  Under an open model the sojourn time
+// (arrival to completion) splits into queueing delay plus service time —
+// the tail-latency numbers a service operator sees, and the form in which
+// the paper's SCM fairness/starvation-freedom claims become measurable
+// (PAPER.md §5-6, bench/figservice_tail.cpp).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cost_model.h"
+
+namespace sihle::service {
+
+enum class LoadModel : std::uint8_t {
+  kClosed,   // classic closed loop: the degenerate arrival process
+  kUniform,  // open, deterministic arrivals at fixed spacing
+  kPoisson,  // open, exponential inter-arrival gaps (memoryless)
+  kOnOff,    // open, Poisson bursts: on-phase arrivals, silent off phases
+};
+
+constexpr const char* to_string(LoadModel m) {
+  switch (m) {
+    case LoadModel::kClosed: return "closed";
+    case LoadModel::kUniform: return "uniform";
+    case LoadModel::kPoisson: return "poisson";
+    case LoadModel::kOnOff: return "onoff";
+  }
+  return "?";
+}
+
+struct LoadSpec {
+  LoadModel model = LoadModel::kClosed;
+  // Open models: mean offered arrival rate while generating (for kOnOff this
+  // is the *burst* rate; the long-run mean is scaled by the on fraction).
+  double offered_ops_per_mcycle = 1000.0;
+  // kOnOff phase lengths in virtual cycles.
+  sim::Cycles on_cycles = 50'000;
+  sim::Cycles off_cycles = 50'000;
+  // Open models: total requests in the arrival stream.
+  std::uint64_t requests = 8000;
+  // Open models: simulated client sessions the stream is attributed to.
+  std::uint64_t sessions = 1024;
+  // Open models: per-queue bound; arrivals beyond it are shed (counted as
+  // drops, never served).  0 = unbounded.
+  std::size_t queue_capacity = 0;
+
+  bool open() const { return model != LoadModel::kClosed; }
+};
+
+}  // namespace sihle::service

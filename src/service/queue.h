@@ -1,0 +1,104 @@
+// Bounded per-shard request queues with depth tracking.
+//
+// Each queue owns one precomputed arrival stream (service/request.h) sorted
+// by arrival time.  Servers call claim(now) at their scheduling points: the
+// queue first *ingests* every request whose arrival timestamp is <= now —
+// admitting it if the backlog is below capacity, shedding it otherwise —
+// and then hands out the oldest admitted request that has arrived by the
+// claimant's own clock.  Because ingestion happens
+// only at virtual-time points that are themselves deterministic, the
+// admitted/dropped split, the depth high-water mark, and every latency
+// sample are byte-identical across --jobs and --domain-threads.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <utility>
+
+#include "service/request.h"
+#include "sim/cost_model.h"
+
+namespace sihle::service {
+
+// Sentinel for "no pending arrival" (stream exhausted).
+inline constexpr sim::Cycles kNever = std::numeric_limits<sim::Cycles>::max();
+
+struct QueueStats {
+  std::uint64_t offered = 0;    // total requests in the stream
+  std::uint64_t admitted = 0;   // entered the queue
+  std::uint64_t dropped = 0;    // shed at ingest (queue at capacity)
+  std::uint64_t served = 0;     // handed to a server via claim()
+  std::size_t max_depth = 0;    // backlog high-water mark after ingest
+};
+
+class RequestQueue {
+ public:
+  // capacity 0 = unbounded.
+  explicit RequestQueue(RequestStream stream, std::size_t capacity = 0)
+      : stream_(std::move(stream)), capacity_(capacity) {
+    stats_.offered = stream_.size();
+  }
+
+  // Arrival time of the next not-yet-ingested request, or kNever.
+  sim::Cycles next_arrival() const {
+    return cursor_ < stream_.size() ? stream_[cursor_].arrival : kNever;
+  }
+
+  // Earliest virtual time at which a claim could succeed: the backlog
+  // head's arrival if one is waiting, else the next stream arrival, else
+  // kNever.  An idle server sleeps until next_ready().
+  sim::Cycles next_ready() const {
+    return backlog_.empty() ? next_arrival() : backlog_.front().arrival;
+  }
+
+  // Ingest all arrivals <= now, then pop the oldest admitted request —
+  // but only if it has arrived by the *claimant's* clock.  Server clocks
+  // within a pool advance independently, so a laggard may observe a
+  // backlog its faster peers ingested from the future of its own
+  // timeline; handing such a request out would start it before it arrived
+  // (and underflow every latency component).  Returns {request, true} or
+  // {{}, false} when nothing has both arrived and been admitted.
+  std::pair<Request, bool> claim(sim::Cycles now) {
+    ingest(now);
+    if (backlog_.empty() || backlog_.front().arrival > now) {
+      return {Request{}, false};
+    }
+    Request r = backlog_.front();
+    backlog_.pop_front();
+    stats_.served++;
+    return {r, true};
+  }
+
+  // True once every stream request has been ingested and the backlog drained
+  // (served or shed) — the server pool's termination condition.
+  bool exhausted() const {
+    return cursor_ == stream_.size() && backlog_.empty();
+  }
+
+  std::size_t depth() const { return backlog_.size(); }
+  const QueueStats& stats() const { return stats_; }
+
+ private:
+  void ingest(sim::Cycles now) {
+    while (cursor_ < stream_.size() && stream_[cursor_].arrival <= now) {
+      if (capacity_ != 0 && backlog_.size() >= capacity_) {
+        stats_.dropped++;
+      } else {
+        backlog_.push_back(stream_[cursor_]);
+        stats_.admitted++;
+        if (backlog_.size() > stats_.max_depth) stats_.max_depth = backlog_.size();
+      }
+      cursor_++;
+    }
+  }
+
+  RequestStream stream_;
+  std::size_t capacity_;
+  std::size_t cursor_ = 0;  // next stream index to ingest
+  std::deque<Request> backlog_;
+  QueueStats stats_;
+};
+
+}  // namespace sihle::service

@@ -1,0 +1,53 @@
+// Request and Session records for the open-system service stack.
+//
+// A Request is born on the host side (service/dispatcher.h's stream
+// builders) with its key, operation kind, and arrival timestamp already
+// fixed — making the offered load a pure function of (LoadSpec, seed),
+// independent of how the servers are scheduled.  The serving side fills in
+// `start` (dequeued by a server) and `done` (operation completed), from
+// which the three latency series derive:
+//
+//   queueing delay = start - arrival
+//   service time   = done  - start
+//   sojourn time   = done  - arrival
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cost_model.h"
+
+namespace sihle::service {
+
+enum class OpKind : std::uint8_t { kLookup, kInsert, kErase };
+
+constexpr const char* to_string(OpKind op) {
+  switch (op) {
+    case OpKind::kLookup: return "lookup";
+    case OpKind::kInsert: return "insert";
+    case OpKind::kErase: return "erase";
+  }
+  return "?";
+}
+
+struct Request {
+  std::uint64_t session = 0;  // issuing session id, [0, LoadSpec::sessions)
+  std::uint64_t seq = 0;      // position in the per-queue arrival stream
+  std::uint64_t key = 0;
+  OpKind op = OpKind::kLookup;
+  sim::Cycles arrival = 0;  // fixed at stream-build time
+  sim::Cycles start = 0;    // filled by the dispatcher
+  sim::Cycles done = 0;     // filled by the dispatcher
+};
+
+// Per-session accounting, aggregated by the dispatcher after a run.
+struct Session {
+  std::uint64_t id = 0;
+  std::uint64_t issued = 0;
+  std::uint64_t served = 0;
+  std::uint64_t dropped = 0;
+};
+
+using RequestStream = std::vector<Request>;
+
+}  // namespace sihle::service

@@ -1,0 +1,36 @@
+// Plain-data accounting for the service stack, kept separate from the
+// dispatcher templates so result structs (harness/rbtree_workload.h,
+// harness/shard_workload.h) can embed them without pulling in the runtime.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "service/queue.h"
+#include "service/request.h"
+#include "stats/latency.h"
+
+namespace sihle::service {
+
+// Per-server-thread recordings; aggregate with aggregate_service()
+// (service/dispatcher.h).
+struct ServerStats {
+  stats::LatencyHistogram qdelay;   // start - arrival
+  stats::LatencyHistogram service;  // done - start
+  stats::LatencyHistogram sojourn;  // done - arrival
+  std::uint64_t served = 0;
+  // served count per session id; size it to LoadSpec::sessions before the
+  // run (ids beyond the size are counted in `served` only).
+  std::vector<std::uint64_t> served_by_session;
+};
+
+// Whole-run view over every queue and server.
+struct ServiceResult {
+  stats::LatencyHistogram qdelay;
+  stats::LatencyHistogram service;
+  stats::LatencyHistogram sojourn;
+  QueueStats queue;  // counters summed; max_depth = max over queues
+  std::vector<Session> sessions;
+};
+
+}  // namespace sihle::service

@@ -1,0 +1,115 @@
+// Shared log-linear latency histogram (docs/SERVICE.md "Metrics").
+//
+// One histogram class serves every latency series in the repo: the closed
+// workloads' per-operation latency (harness/rbtree_workload.h), the open
+// service stack's queueing-delay / service-time / sojourn-time split
+// (service/dispatcher.h), and the fairness-tail bench's quantile columns.
+//
+// Bucketing is HDR-style log-linear: values below kSubBuckets (32) are
+// recorded exactly; above that, each power-of-two octave is divided into
+// kSubBuckets equal-width sub-buckets, so the relative width of any bucket
+// is at most 1/32 (~3.1%).  Merging (`operator+=`) is exact: the merged
+// histogram equals the histogram of the concatenated samples, which is what
+// lets per-thread and per-shard recordings aggregate without bias.
+//
+// Quantile contract (tested against a sorted reference in
+// tests/service_test.cpp): percentile(p) returns bucket_upper(b) where b is
+// the bucket containing the ceil(p * count)-th smallest recorded sample
+// (1-indexed, p clamped to (0, 1]); hence
+//
+//   true_quantile <= percentile(p) <= true_quantile * (1 + 1/32) + 1
+//
+// and for values below kSubBuckets the returned quantile is exact.  An
+// empty histogram reports 0 for every quantile.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "sim/cost_model.h"
+
+namespace sihle::stats {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 5;
+  static constexpr std::uint64_t kSubBuckets = std::uint64_t{1} << kSubBits;
+  // Buckets: kSubBuckets exact small-value buckets plus kSubBuckets per
+  // octave for octaves [kSubBits, 63].
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(kSubBuckets) * (64 - kSubBits + 1);
+
+  // Index of the bucket containing `v`.
+  static constexpr std::size_t bucket_of(sim::Cycles v) {
+    if (v < kSubBuckets) return static_cast<std::size_t>(v);
+    const int msb = 63 - std::countl_zero(v);  // msb >= kSubBits
+    const int shift = msb - kSubBits;
+    const std::uint64_t sub = (v >> shift) - kSubBuckets;  // [0, kSubBuckets)
+    return static_cast<std::size_t>(kSubBuckets +
+                                    static_cast<std::uint64_t>(shift) * kSubBuckets + sub);
+  }
+
+  // Smallest / largest value mapping to bucket `b`.
+  static constexpr sim::Cycles bucket_lower(std::size_t b) {
+    if (b < kSubBuckets) return static_cast<sim::Cycles>(b);
+    const std::uint64_t shift = (b - kSubBuckets) / kSubBuckets;
+    const std::uint64_t sub = (b - kSubBuckets) % kSubBuckets;
+    return (kSubBuckets + sub) << shift;
+  }
+  static constexpr sim::Cycles bucket_upper(std::size_t b) {
+    if (b < kSubBuckets) return static_cast<sim::Cycles>(b);
+    const std::uint64_t shift = (b - kSubBuckets) / kSubBuckets;
+    return bucket_lower(b) + ((sim::Cycles{1} << shift) - 1);
+  }
+
+  void record(sim::Cycles v) {
+    buckets_[bucket_of(v)]++;
+    count_++;
+    sum_ += v;
+    if (v > max_) max_ = v;
+  }
+
+  std::uint64_t count() const { return count_; }
+  sim::Cycles max_value() const { return max_; }
+  // Exact mean of the recorded samples (the sum is tracked exactly).
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  // See the quantile contract above.
+  sim::Cycles percentile(double p) const {
+    if (count_ == 0) return 0;
+    const double clamped = p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(std::ceil(clamped * static_cast<double>(count_)));
+    if (rank < 1) rank = 1;
+    if (rank > count_) rank = count_;
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      seen += buckets_[b];
+      if (seen >= rank) return bucket_upper(b);
+    }
+    return max_;  // unreachable: every sample lives in some bucket
+  }
+
+  LatencyHistogram& operator+=(const LatencyHistogram& o) {
+    for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += o.buckets_[b];
+    count_ += o.count_;
+    sum_ += o.sum_;
+    if (o.max_ > max_) max_ = o.max_;
+    return *this;
+  }
+
+  friend bool operator==(const LatencyHistogram&, const LatencyHistogram&) = default;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;  // wraps mod 2^64; latencies are cycle counts
+  sim::Cycles max_ = 0;
+};
+
+}  // namespace sihle::stats

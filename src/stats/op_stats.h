@@ -56,47 +56,11 @@ struct OpStats {
   }
 };
 
-// Log-scale histogram of per-operation latencies (virtual cycles from
-// arrival to completion).  Used to quantify fairness: fair locks bound the
-// tail, unfair ones let it stretch — and SCM is what lets an elided fair
-// lock keep that property (§6 "starvation freedom").
-class LatencyHistogram {
- public:
-  void record(sim::Cycles latency) {
-    int b = 0;
-    while (latency > 1 && b < kBuckets - 1) {
-      latency >>= 1;
-      ++b;
-    }
-    buckets_[static_cast<std::size_t>(b)]++;
-    ++count_;
-  }
-
-  std::uint64_t count() const { return count_; }
-
-  // Upper bound (2^bucket) of the bucket containing the p-quantile.
-  sim::Cycles percentile(double p) const {
-    if (count_ == 0) return 0;
-    const auto target = static_cast<std::uint64_t>(p * static_cast<double>(count_));
-    std::uint64_t seen = 0;
-    for (int b = 0; b < kBuckets; ++b) {
-      seen += buckets_[static_cast<std::size_t>(b)];
-      if (seen > target) return sim::Cycles{1} << b;
-    }
-    return sim::Cycles{1} << (kBuckets - 1);
-  }
-
-  LatencyHistogram& operator+=(const LatencyHistogram& o) {
-    for (std::size_t b = 0; b < buckets_.size(); ++b) buckets_[b] += o.buckets_[b];
-    count_ += o.count_;
-    return *this;
-  }
-
- private:
-  static constexpr int kBuckets = 40;
-  std::array<std::uint64_t, kBuckets> buckets_{};
-  std::uint64_t count_ = 0;
-};
+// The per-operation latency histogram historically defined here moved to
+// stats/latency.h as the shared log-linear stats::LatencyHistogram: the
+// open-system service stack records queueing delay, service time, and
+// sojourn time into three instances of the same class the closed workloads
+// use for per-op latency, so quantile columns are comparable everywhere.
 
 // Virtual-time-sliced counters for the Figure 3 dynamics plots: operations
 // completed and non-speculative completions per slice (1 simulated ms by

@@ -1,10 +1,12 @@
 // Discrete Zipfian rank generator for skewed key streams.
 //
 // P(rank r) ∝ 1/(r+1)^s over ranks [0, n); s = 0 degenerates to uniform,
-// s ≈ 1 is the classic web/caching skew.  Used by the sharded multi-lock
-// workload (harness/shard_workload.h): key popularity concentrates load on
-// the shards owning hot keys, which is the imbalance the domain-parallel
-// scaling bench measures.
+// s ≈ 1 is the classic web/caching skew.  Workload-agnostic: the closed-loop
+// sharded workload (harness/shard_workload.h) draws per-op keys from it, and
+// the open-system load generator (service/dispatcher.h) draws per-request
+// keys from it — key popularity concentrates load on the shards owning hot
+// keys, which is both the load-imbalance signal figshard_scaling sweeps and
+// the hot-key tail-latency signal figservice_tail sweeps.
 //
 // Construction is O(n) (one cumulative table); a draw is one rng draw plus
 // a binary search — the rng draw *count* per call is exactly one, so
@@ -19,7 +21,7 @@
 
 #include "sim/rng.h"
 
-namespace sihle::harness {
+namespace sihle::util {
 
 class Zipf {
  public:
@@ -62,4 +64,4 @@ class Zipf {
   std::vector<double> cdf_;  // cdf_[r] = P(rank <= r)
 };
 
-}  // namespace sihle::harness
+}  // namespace sihle::util

@@ -20,7 +20,7 @@
 
 #include "exp/engine.h"
 #include "harness/shard_workload.h"
-#include "harness/zipf.h"
+#include "util/zipf.h"
 #include "runtime/ctx.h"
 #include "runtime/domains.h"
 
@@ -288,18 +288,18 @@ TEST(Domains, ShardsOverlapInVirtualTime) {
 // --- zipf --------------------------------------------------------------------
 
 TEST(Zipf, MassesSumToOneAndSkewOrdersRanks) {
-  const harness::Zipf z(64, 0.9);
+  const util::Zipf z(64, 0.9);
   double sum = 0.0;
   for (std::size_t r = 0; r < z.n(); ++r) sum += z.mass(r);
   EXPECT_NEAR(sum, 1.0, 1e-12);
   EXPECT_GT(z.mass(0), z.mass(63));
 
-  const harness::Zipf uniform(64, 0.0);
+  const util::Zipf uniform(64, 0.0);
   EXPECT_NEAR(uniform.mass(0), uniform.mass(63), 1e-12);
 }
 
 TEST(Zipf, DrawsAreInRangeAndDeterministic) {
-  const harness::Zipf z(100, 1.0);
+  const util::Zipf z(100, 1.0);
   sim::Rng a(5);
   sim::Rng b(5);
   for (int i = 0; i < 1000; ++i) {

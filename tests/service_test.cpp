@@ -1,0 +1,484 @@
+// Open-system service layer (src/service/, docs/SERVICE.md): arrival
+// determinism, the shared latency histogram's quantile contract, queue
+// depth/drop accounting, open-vs-closed saturation equivalence, and
+// byte-identity of open runs across host-parallelism knobs.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/rbtree_workload.h"
+#include "harness/shard_workload.h"
+#include "service/arrival.h"
+#include "service/dispatcher.h"
+#include "service/queue.h"
+#include "sim/rng.h"
+#include "stats/latency.h"
+
+namespace sihle {
+namespace {
+
+using service::ArrivalProcess;
+using service::LoadModel;
+using service::LoadSpec;
+using service::Request;
+using service::RequestQueue;
+using service::RequestStream;
+using stats::LatencyHistogram;
+
+LoadSpec poisson_spec(double offered, std::uint64_t requests) {
+  LoadSpec s;
+  s.model = LoadModel::kPoisson;
+  s.offered_ops_per_mcycle = offered;
+  s.requests = requests;
+  return s;
+}
+
+// --- Arrival processes ------------------------------------------------------
+
+TEST(Arrival, SameSeedSameSequence) {
+  const LoadSpec spec = poisson_spec(1000.0, 0);
+  ArrivalProcess a(spec, 42), b(spec, 42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next(), b.next()) << "diverged at arrival " << i;
+  }
+}
+
+TEST(Arrival, SeedChangesSequence) {
+  const LoadSpec spec = poisson_spec(1000.0, 0);
+  ArrivalProcess a(spec, 1), b(spec, 2);
+  bool differs = false;
+  for (int i = 0; i < 100 && !differs; ++i) differs = a.next() != b.next();
+  EXPECT_TRUE(differs);
+}
+
+TEST(Arrival, NonDecreasingTimestamps) {
+  for (const LoadModel m :
+       {LoadModel::kUniform, LoadModel::kPoisson, LoadModel::kOnOff}) {
+    LoadSpec spec = poisson_spec(2000.0, 0);
+    spec.model = m;
+    ArrivalProcess arr(spec, 7);
+    sim::Cycles prev = 0;
+    for (int i = 0; i < 2000; ++i) {
+      const sim::Cycles t = arr.next();
+      ASSERT_GE(t, prev) << to_string(m) << " went backwards at " << i;
+      prev = t;
+    }
+  }
+}
+
+TEST(Arrival, UniformIsFixedSpacing) {
+  LoadSpec spec = poisson_spec(1000.0, 0);  // mean gap 1000 cycles
+  spec.model = LoadModel::kUniform;
+  ArrivalProcess arr(spec, 9);
+  sim::Cycles prev = arr.next();
+  EXPECT_EQ(prev, 1000u);
+  for (int i = 0; i < 50; ++i) {
+    const sim::Cycles t = arr.next();
+    EXPECT_EQ(t - prev, 1000u);
+    prev = t;
+  }
+}
+
+TEST(Arrival, PoissonMeanRateApproximatesOffered) {
+  const double offered = 2000.0;  // mean gap 500 cycles
+  const int n = 20000;
+  ArrivalProcess arr(poisson_spec(offered, 0), 11);
+  sim::Cycles last = 0;
+  for (int i = 0; i < n; ++i) last = arr.next();
+  const double mean_gap = static_cast<double>(last) / n;
+  EXPECT_NEAR(mean_gap, 1e6 / offered, 0.05 * (1e6 / offered));
+}
+
+TEST(Arrival, OnOffArrivalsLandInOnPhases) {
+  LoadSpec spec = poisson_spec(5000.0, 0);
+  spec.model = LoadModel::kOnOff;
+  spec.on_cycles = 10'000;
+  spec.off_cycles = 30'000;
+  ArrivalProcess arr(spec, 13);
+  const sim::Cycles period = spec.on_cycles + spec.off_cycles;
+  for (int i = 0; i < 5000; ++i) {
+    const sim::Cycles t = arr.next();
+    EXPECT_LT(t % period, spec.on_cycles) << "arrival " << i << " at " << t
+                                          << " fell into an off phase";
+  }
+}
+
+// --- LatencyHistogram -------------------------------------------------------
+
+TEST(LatencyHistogram, BucketBoundsAreConsistent) {
+  for (sim::Cycles v :
+       {sim::Cycles{0}, sim::Cycles{1}, sim::Cycles{31}, sim::Cycles{32},
+        sim::Cycles{63}, sim::Cycles{64}, sim::Cycles{1000},
+        sim::Cycles{1} << 40, (sim::Cycles{1} << 40) + 12345}) {
+    const std::size_t b = LatencyHistogram::bucket_of(v);
+    ASSERT_LT(b, LatencyHistogram::kBuckets);
+    EXPECT_LE(LatencyHistogram::bucket_lower(b), v);
+    EXPECT_GE(LatencyHistogram::bucket_upper(b), v);
+  }
+}
+
+TEST(LatencyHistogram, SmallValuesExact) {
+  LatencyHistogram h;
+  for (sim::Cycles v = 0; v < LatencyHistogram::kSubBuckets; ++v) h.record(v);
+  for (sim::Cycles v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+    const double p =
+        static_cast<double>(v + 1) / LatencyHistogram::kSubBuckets;
+    EXPECT_EQ(h.percentile(p), v);
+  }
+}
+
+// The documented contract against a sorted reference:
+//   true_quantile <= percentile(p) <= true_quantile * (1 + 1/32) + 1
+TEST(LatencyHistogram, QuantileContractVsSortedReference) {
+  sim::Rng rng(12345);  // seed fixed for reproducibility
+  LatencyHistogram h;
+  std::vector<sim::Cycles> samples;
+  for (int i = 0; i < 50000; ++i) {
+    // Heavy-tailed-ish mix covering several octaves.
+    const sim::Cycles v = rng.below(1u << (1 + rng.below(20)));
+    samples.push_back(v);
+    h.record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (const double p : {0.01, 0.10, 0.50, 0.90, 0.99, 0.999, 1.0}) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(samples.size())));
+    const sim::Cycles truth = samples[rank - 1];
+    const sim::Cycles est = h.percentile(p);
+    EXPECT_GE(est, truth) << "p=" << p;
+    EXPECT_LE(static_cast<double>(est),
+              static_cast<double>(truth) * (1.0 + 1.0 / 32.0) + 1.0)
+        << "p=" << p;
+  }
+  EXPECT_EQ(h.count(), samples.size());
+  EXPECT_EQ(h.max_value(), samples.back());
+}
+
+TEST(LatencyHistogram, MergeEqualsConcatenation) {
+  sim::Rng rng(99);  // seed fixed for reproducibility
+  LatencyHistogram a, b, all;
+  for (int i = 0; i < 5000; ++i) {
+    const sim::Cycles v = rng.below(1 << 16);
+    (i % 2 == 0 ? a : b).record(v);
+    all.record(v);
+  }
+  a += b;
+  EXPECT_EQ(a, all);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+}
+
+TEST(LatencyHistogram, EmptyReportsZero) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_EQ(h.max_value(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+// --- RequestQueue -----------------------------------------------------------
+
+RequestStream stream_at(std::initializer_list<sim::Cycles> arrivals) {
+  RequestStream s;
+  std::uint64_t seq = 0;
+  for (const sim::Cycles at : arrivals) {
+    Request r;
+    r.seq = seq++;
+    r.arrival = at;
+    s.push_back(r);
+  }
+  return s;
+}
+
+// Depth accounting under a pinned claim schedule: every ingest point and
+// its resulting backlog depth is enumerated by hand.
+TEST(RequestQueue, DepthAccountingUnderPinnedSchedule) {
+  RequestQueue q(stream_at({10, 20, 30, 40, 100}), /*capacity=*/0);
+  EXPECT_EQ(q.next_arrival(), 10u);
+  EXPECT_EQ(q.depth(), 0u);
+
+  auto [r0, ok0] = q.claim(35);  // ingests 10,20,30 -> depth 3, pops one
+  ASSERT_TRUE(ok0);
+  EXPECT_EQ(r0.arrival, 10u);
+  EXPECT_EQ(q.depth(), 2u);
+  EXPECT_EQ(q.stats().max_depth, 3u);
+  EXPECT_EQ(q.next_arrival(), 40u);
+
+  auto [r1, ok1] = q.claim(35);
+  ASSERT_TRUE(ok1);
+  EXPECT_EQ(r1.arrival, 20u);
+
+  auto [r2, ok2] = q.claim(60);  // ingests 40 -> depth 2, pops 30
+  ASSERT_TRUE(ok2);
+  EXPECT_EQ(r2.arrival, 30u);
+  EXPECT_EQ(q.depth(), 1u);
+  EXPECT_EQ(q.stats().max_depth, 3u);
+
+  auto [r3, ok3] = q.claim(60);
+  ASSERT_TRUE(ok3);
+  EXPECT_EQ(r3.arrival, 40u);
+  EXPECT_FALSE(q.claim(60).second);  // backlog empty, 100 not yet arrived
+  EXPECT_FALSE(q.exhausted());
+  EXPECT_EQ(q.next_arrival(), 100u);
+
+  auto [r4, ok4] = q.claim(100);
+  ASSERT_TRUE(ok4);
+  EXPECT_EQ(r4.arrival, 100u);
+  EXPECT_TRUE(q.exhausted());
+  EXPECT_EQ(q.stats().offered, 5u);
+  EXPECT_EQ(q.stats().admitted, 5u);
+  EXPECT_EQ(q.stats().served, 5u);
+  EXPECT_EQ(q.stats().dropped, 0u);
+}
+
+// Server clocks within a pool advance independently: a laggard may claim
+// from a backlog its faster peer ingested from the future of its own
+// timeline.  It must not be handed a request that has not arrived by its
+// own clock — that would start (and finish) the request before its arrival
+// and underflow every latency component.
+TEST(RequestQueue, LaggardClaimWaitsForArrival) {
+  RequestQueue q(stream_at({10, 40}), /*capacity=*/0);
+  auto [r0, ok0] = q.claim(50);  // fast server: ingests both, pops 10
+  ASSERT_TRUE(ok0);
+  EXPECT_EQ(r0.arrival, 10u);
+  EXPECT_EQ(q.depth(), 1u);
+
+  EXPECT_FALSE(q.claim(20).second);  // laggard at 20: 40 hasn't arrived yet
+  EXPECT_EQ(q.depth(), 1u);
+  EXPECT_EQ(q.next_ready(), 40u);  // ...so it sleeps until 40
+
+  auto [r1, ok1] = q.claim(40);
+  ASSERT_TRUE(ok1);
+  EXPECT_EQ(r1.arrival, 40u);
+  EXPECT_TRUE(q.exhausted());
+  EXPECT_EQ(q.next_ready(), service::kNever);
+}
+
+TEST(RequestQueue, BoundedQueueShedsBeyondCapacity) {
+  RequestQueue q(stream_at({1, 2, 3, 4, 5}), /*capacity=*/2);
+  auto [r, ok] = q.claim(10);  // ingest all five: admit 1,2; drop 3,4,5
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(r.arrival, 1u);
+  EXPECT_EQ(q.stats().admitted, 2u);
+  EXPECT_EQ(q.stats().dropped, 3u);
+  EXPECT_EQ(q.stats().max_depth, 2u);
+  EXPECT_TRUE(q.claim(10).second);
+  EXPECT_FALSE(q.claim(10).second);
+  EXPECT_TRUE(q.exhausted());
+  EXPECT_EQ(q.stats().served, 2u);
+}
+
+// --- Request streams --------------------------------------------------------
+
+TEST(RequestStreams, DeterministicAndRoutedByKey) {
+  service::StreamConfig sc;
+  sc.load = poisson_spec(3000.0, 2000);
+  sc.load.sessions = 64;
+  sc.keyspace = 1024;
+  sc.zipf_s = 0.9;
+  sc.queues = 4;
+  sc.route = &harness::shard_of_key;
+  sc.seed = 17;
+  const auto a = service::build_request_streams(sc);
+  const auto b = service::build_request_streams(sc);
+  ASSERT_EQ(a.size(), 4u);
+  std::uint64_t total = 0;
+  for (std::size_t q = 0; q < a.size(); ++q) {
+    ASSERT_EQ(a[q].size(), b[q].size());
+    sim::Cycles prev = 0;
+    for (std::size_t i = 0; i < a[q].size(); ++i) {
+      const Request& r = a[q][i];
+      EXPECT_EQ(r.arrival, b[q][i].arrival);
+      EXPECT_EQ(r.key, b[q][i].key);
+      EXPECT_EQ(harness::shard_of_key(static_cast<std::int64_t>(r.key), 4), q);
+      EXPECT_EQ(r.seq, i);
+      EXPECT_GE(r.arrival, prev);
+      EXPECT_LT(r.session, sc.load.sessions);
+      prev = r.arrival;
+    }
+    total += a[q].size();
+  }
+  EXPECT_EQ(total, sc.load.requests);
+}
+
+// --- Open-mode workloads ----------------------------------------------------
+
+harness::WorkloadConfig small_tree_cfg() {
+  harness::WorkloadConfig cfg;
+  cfg.threads = 4;
+  cfg.tree_size = 64;
+  cfg.update_pct = 20;
+  cfg.seed = 3;
+  cfg.duration = 400'000;
+  return cfg;
+}
+
+TEST(OpenWorkload, LatencySplitAndConservation) {
+  harness::WorkloadConfig cfg = small_tree_cfg();
+  cfg.load.model = LoadModel::kPoisson;
+  cfg.load.offered_ops_per_mcycle = 2000.0;
+  cfg.load.requests = 1500;
+  cfg.load.sessions = 32;
+  const auto r = harness::run_rbtree_workload(cfg);
+  EXPECT_TRUE(r.tree_valid);
+  // Every request was served (unbounded queue) and every served request
+  // contributed one sample to each series.
+  EXPECT_EQ(r.open.queue.offered, cfg.load.requests);
+  EXPECT_EQ(r.open.queue.served, cfg.load.requests);
+  EXPECT_EQ(r.open.queue.dropped, 0u);
+  EXPECT_EQ(r.open.sojourn.count(), cfg.load.requests);
+  EXPECT_EQ(r.open.qdelay.count(), cfg.load.requests);
+  EXPECT_EQ(r.open.service.count(), cfg.load.requests);
+  EXPECT_EQ(r.stats.ops(), cfg.load.requests);
+  // latency is the sojourn series in open mode.
+  EXPECT_EQ(r.latency, r.open.sojourn);
+  // sojourn = qdelay + service, per sample: means add exactly.
+  EXPECT_NEAR(r.open.sojourn.mean(),
+              r.open.qdelay.mean() + r.open.service.mean(), 1e-9);
+  // The sojourn tail cannot be shorter than the service tail.
+  EXPECT_GE(r.open.sojourn.percentile(0.99),
+            r.open.service.percentile(0.99));
+  // Causality: no sample can exceed the run's own span (an unsigned
+  // underflow in done - arrival would blow past this by ~2^63).
+  EXPECT_LE(r.open.sojourn.max_value(), r.elapsed);
+  EXPECT_LE(r.open.qdelay.max_value(), r.elapsed);
+}
+
+TEST(OpenWorkload, SessionAccountingConserved) {
+  harness::WorkloadConfig cfg = small_tree_cfg();
+  cfg.load.model = LoadModel::kPoisson;
+  cfg.load.offered_ops_per_mcycle = 8000.0;  // well past capacity
+  cfg.load.requests = 1200;
+  cfg.load.sessions = 16;
+  cfg.load.queue_capacity = 24;  // force drops
+  const auto r = harness::run_rbtree_workload(cfg);
+  EXPECT_GT(r.open.queue.dropped, 0u);
+  EXPECT_EQ(r.open.queue.served + r.open.queue.dropped, cfg.load.requests);
+  ASSERT_EQ(r.open.sessions.size(), cfg.load.sessions);
+  std::uint64_t issued = 0, served = 0, dropped = 0;
+  for (const service::Session& s : r.open.sessions) {
+    EXPECT_EQ(s.issued, s.served + s.dropped);
+    issued += s.issued;
+    served += s.served;
+    dropped += s.dropped;
+  }
+  EXPECT_EQ(issued, cfg.load.requests);
+  EXPECT_EQ(served, r.open.queue.served);
+  EXPECT_EQ(dropped, r.open.queue.dropped);
+  // The bound was respected.
+  EXPECT_LE(r.open.queue.max_depth, cfg.load.queue_capacity);
+}
+
+// At heavy overload the open system's servers never idle, so its
+// throughput converges to the closed loop's: the closed system is the
+// saturation limit of the open one.
+TEST(OpenWorkload, SaturationMatchesClosedThroughput) {
+  harness::WorkloadConfig closed = small_tree_cfg();
+  closed.duration = 600'000;
+  const auto rc = harness::run_rbtree_workload(closed);
+  ASSERT_GT(rc.ops_per_mcycle, 0.0);
+
+  harness::WorkloadConfig open = small_tree_cfg();
+  open.load.model = LoadModel::kPoisson;
+  // Offer several times the closed capacity so the queue never drains.
+  open.load.offered_ops_per_mcycle = 5.0 * rc.ops_per_mcycle;
+  open.load.requests = 2000;
+  open.load.sessions = 32;
+  const auto ro = harness::run_rbtree_workload(open);
+  EXPECT_TRUE(ro.tree_valid);
+  EXPECT_NEAR(ro.ops_per_mcycle, rc.ops_per_mcycle,
+              0.25 * rc.ops_per_mcycle);
+  // ... and queueing delay dominates the sojourn tail there.
+  EXPECT_GT(ro.open.qdelay.percentile(0.5), ro.open.service.percentile(0.5));
+}
+
+TEST(OpenWorkload, RunsAreReproducible) {
+  harness::WorkloadConfig cfg = small_tree_cfg();
+  cfg.load.model = LoadModel::kOnOff;
+  cfg.load.offered_ops_per_mcycle = 4000.0;
+  cfg.load.on_cycles = 20'000;
+  cfg.load.off_cycles = 20'000;
+  cfg.load.requests = 1000;
+  cfg.load.sessions = 8;
+  const auto a = harness::run_rbtree_workload(cfg);
+  const auto b = harness::run_rbtree_workload(cfg);
+  EXPECT_EQ(a.open.sojourn, b.open.sojourn);
+  EXPECT_EQ(a.open.qdelay, b.open.qdelay);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.open.queue.max_depth, b.open.queue.max_depth);
+}
+
+// --- Open sharded service: byte-identity across host parallelism ------------
+
+harness::ShardWorkloadConfig open_shard_cfg() {
+  harness::ShardWorkloadConfig cfg;
+  cfg.shards = 4;
+  cfg.threads_per_shard = 2;
+  cfg.keyspace = 1024;
+  cfg.zipf_s = 0.9;
+  cfg.update_pct = 20;
+  cfg.seed = 5;
+  cfg.load.model = LoadModel::kPoisson;
+  cfg.load.offered_ops_per_mcycle = 3000.0;
+  cfg.load.requests = 3000;
+  cfg.load.sessions = 64;
+  cfg.load.queue_capacity = 256;
+  return cfg;
+}
+
+TEST(OpenShardWorkload, ByteIdenticalAcrossDomainThreads) {
+  harness::ShardWorkloadConfig cfg = open_shard_cfg();
+  cfg.domain_threads = 1;
+  const auto a = harness::run_shard_workload(cfg);
+  cfg.domain_threads = 2;
+  const auto b = harness::run_shard_workload(cfg);
+  cfg.domain_threads = 0;  // hardware concurrency
+  const auto c = harness::run_shard_workload(cfg);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.fingerprint, c.fingerprint);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.open.sojourn, b.open.sojourn);
+  EXPECT_EQ(a.open.qdelay, c.open.qdelay);
+  EXPECT_EQ(a.open.queue.max_depth, b.open.queue.max_depth);
+  EXPECT_EQ(a.open.queue.dropped, b.open.queue.dropped);
+  EXPECT_TRUE(a.tables_valid);
+  EXPECT_GT(a.open.queue.served, 0u);
+  // Causality across the server pool: a laggard server must never serve a
+  // request from the future of its own clock (queue.h claim gating), so no
+  // latency component can exceed the makespan.
+  EXPECT_LE(a.open.sojourn.max_value(), a.makespan);
+  EXPECT_LE(a.open.qdelay.max_value(), a.makespan);
+}
+
+TEST(OpenShardWorkload, SkewConcentratesQueueDepth) {
+  harness::ShardWorkloadConfig cfg = open_shard_cfg();
+  cfg.load.queue_capacity = 0;  // unbounded: depth is the imbalance signal
+  cfg.zipf_s = 0.0;
+  const auto uniform = harness::run_shard_workload(cfg);
+  cfg.zipf_s = 1.2;
+  const auto skewed = harness::run_shard_workload(cfg);
+  EXPECT_EQ(uniform.open.queue.served, cfg.load.requests);
+  EXPECT_EQ(skewed.open.queue.served, cfg.load.requests);
+  // Hot-shard pile-up: the skewed run's deepest queue dominates.
+  EXPECT_GT(skewed.open.queue.max_depth, uniform.open.queue.max_depth);
+}
+
+// Closed shard runs carry no open-mode extras and (covered by the committed
+// figshard baseline) keep their historical fingerprints; here we only pin
+// the invariant that the open fields stay empty.
+TEST(OpenShardWorkload, ClosedRunsLeaveOpenFieldsEmpty) {
+  harness::ShardWorkloadConfig cfg;
+  cfg.shards = 2;
+  cfg.total_ops = 500;
+  cfg.seed = 2;
+  const auto r = harness::run_shard_workload(cfg);
+  EXPECT_EQ(r.open.sojourn.count(), 0u);
+  EXPECT_EQ(r.open.queue.offered, 0u);
+  EXPECT_TRUE(r.open.sessions.empty());
+  EXPECT_EQ(r.lemming_shards, 0u);
+}
+
+}  // namespace
+}  // namespace sihle

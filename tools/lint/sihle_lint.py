@@ -42,13 +42,26 @@ repo rules (documented in src/elision/policy.h and docs/ANALYSIS.md):
                              src/mc) are exempt; anything else (e.g. a
                              wall-clock perf gate) must carry an explicit
                              suppression.
+  R006  private-load-loop    A file that names a workload config
+                             (WorkloadConfig / ShardWorkloadConfig) AND
+                             drives critical sections itself
+                             (elision::run_cs) re-creates the load
+                             generation loop privately.  Load flows through
+                             one stack (docs/SERVICE.md): the service
+                             layer's arrival -> queue -> dispatcher pipeline
+                             with src/harness's workload drivers as the only
+                             config-fed run_cs call sites; src/service and
+                             src/harness are exempt.  Benches and tests
+                             configure a WorkloadConfig and hand it to
+                             harness::run_*_workload instead of looping over
+                             run_cs themselves.
 
 Suppressions:
   // sihle-lint: disable=R001[,R002...]       this line or the next line
   // sihle-lint: disable-file=R002[,R003...]  whole file
 
 Usage:
-  sihle_lint.py [--rules=R001,...,R005] [--allow-dir=PATH ...] PATH...
+  sihle_lint.py [--rules=R001,...,R006] [--allow-dir=PATH ...] PATH...
 
 PATH arguments may be files or directories (searched recursively for
 .h/.cpp/.cc/.hpp).  Exit status is 1 if any finding is emitted, else 0.
@@ -62,7 +75,7 @@ import re
 import sys
 from dataclasses import dataclass
 
-ALL_RULES = ("R001", "R002", "R003", "R004", "R005")
+ALL_RULES = ("R001", "R002", "R003", "R004", "R005", "R006")
 
 # Directories whose files implement the simulated memory itself and may touch
 # raw cell state freely (relative to the repo root or any scanned root).
@@ -81,10 +94,21 @@ DISPATCH_ALLOW_DIRS = ("src/elision", "src/locks")
 # decisions as choice points).  Exempt from R005.
 CHOICE_ALLOW_DIRS = ("src/sim", "src/mc")
 
+# Directories that own load generation: the service layer (arrival
+# processes, request queues, dispatcher) and the harness workload drivers —
+# the only places where a workload config legitimately feeds run_cs call
+# sites.  Exempt from R006.
+LOAD_ALLOW_DIRS = ("src/service", "src/harness")
+
 CPP_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
 
 RAW_ACCESS_RE = re.compile(r"(?:\.|->)(raw|set_raw|debug_value)\s*\(")
 RUN_OP_RE = re.compile(r"\b(?:elision\s*::\s*)?run_op\s*\(")
+# R006: a workload-config name plus a direct critical-section call in the
+# same file means the file drives load itself instead of handing the config
+# to a harness/service entry point.
+WORKLOAD_CONFIG_RE = re.compile(r"\b(?:Shard)?WorkloadConfig\b")
+RUN_CS_RE = re.compile(r"\b(?:elision\s*::\s*)?run_cs\s*\(")
 DISPATCH_SWITCH_RE = re.compile(
     r"\bcase\s+(?:\w+\s*::\s*)*(?:Scheme|LockKind|LockMode)\s*::\s*\w+")
 TASK_DECL_RE = re.compile(r"\bTask<([^<>]*(?:<[^<>]*>)?[^<>]*)>\s+(\w+)\s*\(")
@@ -401,8 +425,23 @@ def check_unlogged_choice(path, stripped, findings):
         flag(m.start(), "sim::Rng construction with an invented seed")
 
 
+def check_private_load_loop(path, stripped, findings):
+    """R006: a config-naming file driving critical sections itself."""
+    if not WORKLOAD_CONFIG_RE.search(stripped):
+        return
+    for m in RUN_CS_RE.finditer(stripped):
+        findings.append(Finding(
+            path, line_of(stripped, m.start()), "R006",
+            "direct 'elision::run_cs(...)' in a file that names a workload "
+            "config re-creates the load-generation loop privately; hand the "
+            "config to harness::run_rbtree_workload / run_shard_workload "
+            "(or drive requests through the service layer's dispatcher — "
+            "docs/SERVICE.md)"))
+
+
 def lint_source(path, text, registry, rules=ALL_RULES, allowed=False,
-                dispatch_allowed=False, choice_allowed=False):
+                dispatch_allowed=False, choice_allowed=False,
+                load_allowed=False):
     """Lints one file's contents; returns the surviving findings."""
     stripped = strip_comments_and_strings(text)
     file_disabled, line_disabled = collect_suppressions(text)
@@ -415,6 +454,8 @@ def lint_source(path, text, registry, rules=ALL_RULES, allowed=False,
         check_private_dispatch(path, stripped, findings)
     if "R005" in rules and not choice_allowed:
         check_unlogged_choice(path, stripped, findings)
+    if "R006" in rules and not load_allowed:
+        check_private_load_loop(path, stripped, findings)
     return [
         f for f in findings
         if f.rule in rules
@@ -470,7 +511,8 @@ def main(argv=None) -> int:
             f, text, registry, rules,
             allowed=is_allowlisted(f, allow_dirs),
             dispatch_allowed=is_allowlisted(f, DISPATCH_ALLOW_DIRS),
-            choice_allowed=is_allowlisted(f, CHOICE_ALLOW_DIRS)))
+            choice_allowed=is_allowlisted(f, CHOICE_ALLOW_DIRS),
+            load_allowed=is_allowlisted(f, LOAD_ALLOW_DIRS)))
     for finding in findings:
         print(finding)
     if findings:

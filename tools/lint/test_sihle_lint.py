@@ -6,12 +6,12 @@ import sihle_lint as lint
 
 
 def run_lint(source, registry_sources=(), rules=lint.ALL_RULES, allowed=False,
-             dispatch_allowed=False, choice_allowed=False):
+             dispatch_allowed=False, choice_allowed=False, load_allowed=False):
     stripped = [lint.strip_comments_and_strings(s)
                 for s in (source,) + tuple(registry_sources)]
     registry = lint.build_registry(stripped)
     return lint.lint_source("test.cpp", source, registry, rules, allowed,
-                            dispatch_allowed, choice_allowed)
+                            dispatch_allowed, choice_allowed, load_allowed)
 
 
 TASK_DECLS = """
@@ -287,6 +287,67 @@ class R005Test(unittest.TestCase):
         src = ("void f() {\n"
                "  auto g = sim::Rng(42);  // sihle-lint: disable=R005\n"
                "}\n")
+        self.assertEqual(run_lint(src), [])
+
+
+class R006Test(unittest.TestCase):
+    def test_flags_config_plus_direct_run_cs(self):
+        src = ("sim::Task<void> drive(Ctx& c, const WorkloadConfig& cfg) {\n"
+               "  for (int i = 0; i < cfg.threads; ++i) {\n"
+               "    co_await elision::run_cs(policy, c, lock, body, st);\n"
+               "  }\n}\n")
+        self.assertEqual([f.rule for f in run_lint(src)], ["R006"])
+
+    def test_flags_shard_config_plus_unqualified_run_cs(self):
+        src = ("sim::Task<void> drive(Ctx& c, ShardWorkloadConfig cfg) {\n"
+               "  co_await run_cs(policy, c, lock, body, st);\n}\n")
+        self.assertEqual([f.rule for f in run_lint(src)], ["R006"])
+
+    def test_flags_each_run_cs_site(self):
+        src = ("sim::Task<void> drive(Ctx& c, WorkloadConfig cfg) {\n"
+               "  co_await elision::run_cs(p1, c, lock, body, st);\n"
+               "  co_await elision::run_cs(p2, c, lock, body, st);\n}\n")
+        self.assertEqual([f.rule for f in run_lint(src)], ["R006", "R006"])
+
+    def test_allows_config_handed_to_harness(self):
+        # The sanctioned bench/test shape: configure, then call the driver.
+        src = ("int main() {\n"
+               "  WorkloadConfig cfg;\n"
+               "  cfg.threads = 8;\n"
+               "  const auto r = harness::run_rbtree_workload(cfg);\n"
+               "  return r.ops == 0;\n}\n")
+        self.assertEqual(run_lint(src), [])
+
+    def test_allows_run_cs_without_config(self):
+        # Policy/lock unit tests exercise run_cs directly without naming a
+        # workload config: that is dispatch testing, not load generation.
+        src = ("sim::Task<void> f(Ctx& c) {\n"
+               "  co_await elision::run_cs(policy, c, lock, body, st);\n}\n")
+        self.assertEqual(run_lint(src), [])
+
+    def test_load_allowlisted_file_is_exempt(self):
+        src = ("sim::Task<void> drive(Ctx& c, WorkloadConfig cfg) {\n"
+               "  co_await elision::run_cs(policy, c, lock, body, st);\n}\n")
+        self.assertEqual(run_lint(src, load_allowed=True), [])
+
+    def test_allowlist_covers_service_and_harness_dirs(self):
+        self.assertTrue(lint.is_allowlisted("src/service/dispatcher.cpp",
+                                            lint.LOAD_ALLOW_DIRS))
+        self.assertTrue(lint.is_allowlisted("src/harness/shard_workload.cpp",
+                                            lint.LOAD_ALLOW_DIRS))
+        self.assertFalse(lint.is_allowlisted("bench/figservice_tail.cpp",
+                                             lint.LOAD_ALLOW_DIRS))
+
+    def test_ignores_config_named_in_comments(self):
+        src = ("// unlike a WorkloadConfig-driven loop, this tests dispatch\n"
+               "sim::Task<void> f(Ctx& c) {\n"
+               "  co_await elision::run_cs(policy, c, lock, body, st);\n}\n")
+        self.assertEqual(run_lint(src), [])
+
+    def test_line_suppression_applies(self):
+        src = ("sim::Task<void> drive(Ctx& c, WorkloadConfig cfg) {\n"
+               "  // sihle-lint: disable=R006 (micro-harness for the docs)\n"
+               "  co_await elision::run_cs(policy, c, lock, body, st);\n}\n")
         self.assertEqual(run_lint(src), [])
 
 
